@@ -1,0 +1,61 @@
+//! Criterion benchmarks: corpus generation and interpretation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vdbench_corpus::{CorpusBuilder, Interpreter, Request};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus/generate");
+    for &units in &[100usize, 400, 1600] {
+        group.bench_with_input(BenchmarkId::from_parameter(units), &units, |b, &units| {
+            b.iter(|| {
+                black_box(
+                    CorpusBuilder::new()
+                        .units(units)
+                        .vulnerability_density(0.3)
+                        .seed(7)
+                        .build(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_interpretation(c: &mut Criterion) {
+    let corpus = CorpusBuilder::new().units(100).seed(7).build();
+    let interp = Interpreter::default();
+    let request = Request::new()
+        .with_param("id", "x' OR '1'='1")
+        .with_param("mode", "debug");
+    c.bench_function("corpus/interpret-100-units", |b| {
+        b.iter(|| {
+            let mut sinks = 0usize;
+            for unit in corpus.units() {
+                sinks += interp.run(black_box(unit), &request).map(|o| o.len()).unwrap_or(0);
+            }
+            black_box(sinks)
+        })
+    });
+}
+
+fn bench_pretty_printing(c: &mut Criterion) {
+    let corpus = CorpusBuilder::new().units(100).seed(7).build();
+    c.bench_function("corpus/pretty-print-100-units", |b| {
+        b.iter(|| {
+            let total: usize = corpus
+                .units()
+                .iter()
+                .map(|u| vdbench_corpus::pretty::unit_to_string(u).len())
+                .sum();
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_interpretation,
+    bench_pretty_printing
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmarks: detection-tool analysis throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vdbench_corpus::CorpusBuilder;
+use vdbench_detectors::{
+    score_detector, Detector, DynamicScanner, PatternScanner, TaintAnalyzer,
+};
+
+fn bench_tools(c: &mut Criterion) {
+    let corpus = CorpusBuilder::new()
+        .units(100)
+        .vulnerability_density(0.3)
+        .seed(13)
+        .build();
+    let tools: Vec<(&str, Box<dyn Detector>)> = vec![
+        ("pattern-aggressive", Box::new(PatternScanner::aggressive())),
+        ("taint-precise", Box::new(TaintAnalyzer::precise())),
+        ("taint-shallow", Box::new(TaintAnalyzer::shallow())),
+        ("pentest-quick", Box::new(DynamicScanner::quick())),
+    ];
+    for (name, tool) in &tools {
+        c.bench_function(&format!("detector/{name}-100-units"), |b| {
+            b.iter(|| black_box(tool.analyze_corpus(black_box(&corpus))))
+        });
+    }
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let corpus = CorpusBuilder::new()
+        .units(400)
+        .vulnerability_density(0.3)
+        .seed(13)
+        .build();
+    let tool = TaintAnalyzer::precise();
+    c.bench_function("detector/score-taint-400-units", |b| {
+        b.iter(|| black_box(score_detector(black_box(&tool), black_box(&corpus))))
+    });
+}
+
+fn bench_second_order(c: &mut Criterion) {
+    // The stored-flow corpus stresses the session interpreter (two-phase
+    // scanning) and the taint analyzer's double-pass heap abstraction.
+    let corpus = CorpusBuilder::new()
+        .units(100)
+        .vulnerability_density(0.5)
+        .stored_rate(1.0)
+        .seed(17)
+        .build();
+    let stateful = DynamicScanner::stateful();
+    c.bench_function("detector/pentest-stateful-100-stored-units", |b| {
+        b.iter(|| black_box(stateful.analyze_corpus(black_box(&corpus))))
+    });
+    let heap_taint = TaintAnalyzer::precise();
+    c.bench_function("detector/taint-heap-100-stored-units", |b| {
+        b.iter(|| black_box(heap_taint.analyze_corpus(black_box(&corpus))))
+    });
+}
+
+criterion_group!(benches, bench_tools, bench_scoring, bench_second_order);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks: MCDA solvers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vdbench_mcda::consistency::check;
+use vdbench_mcda::pairwise::PairwiseMatrix;
+use vdbench_mcda::priority::{eigenvector_priorities, geometric_mean_priorities};
+use vdbench_mcda::ranking::{borda, kemeny};
+
+fn slightly_inconsistent(n: usize) -> PairwiseMatrix {
+    let weights: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+    let mut m = PairwiseMatrix::from_weights(&weights).unwrap();
+    // Perturb one judgment to keep the eigen-solver honest.
+    m.set(0, n - 1, m.get(0, n - 1) * 1.5).unwrap();
+    m
+}
+
+fn bench_priorities(c: &mut Criterion) {
+    let m = slightly_inconsistent(8);
+    c.bench_function("mcda/eigenvector-8x8", |b| {
+        b.iter(|| black_box(eigenvector_priorities(black_box(&m)).unwrap()))
+    });
+    c.bench_function("mcda/geometric-mean-8x8", |b| {
+        b.iter(|| black_box(geometric_mean_priorities(black_box(&m)).unwrap()))
+    });
+}
+
+fn bench_consistency(c: &mut Criterion) {
+    let m = slightly_inconsistent(8);
+    c.bench_function("mcda/consistency-check-8x8", |b| {
+        b.iter(|| black_box(check(black_box(&m)).unwrap()))
+    });
+}
+
+fn bench_rank_aggregation(c: &mut Criterion) {
+    let rankings: Vec<Vec<usize>> = (0..9)
+        .map(|i| {
+            let mut r: Vec<usize> = (0..7).collect();
+            r.rotate_left(i % 7);
+            r
+        })
+        .collect();
+    c.bench_function("mcda/borda-9x7", |b| {
+        b.iter(|| black_box(borda(black_box(&rankings)).unwrap()))
+    });
+    c.bench_function("mcda/kemeny-exact-9x7", |b| {
+        b.iter(|| black_box(kemeny(black_box(&rankings)).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_priorities,
+    bench_consistency,
+    bench_rank_aggregation
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks: metric computation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vdbench_metrics::metric::MetricExt;
+use vdbench_metrics::{standard_catalog, ConfusionMatrix};
+
+fn bench_single_metric(c: &mut Criterion) {
+    let cm = ConfusionMatrix::new(431, 87, 62, 3420);
+    let mcc = vdbench_metrics::composite::Mcc;
+    c.bench_function("metric/mcc", |b| {
+        b.iter(|| {
+            use vdbench_metrics::metric::Metric;
+            black_box(mcc.compute(black_box(&cm)).unwrap())
+        })
+    });
+}
+
+fn bench_full_catalog(c: &mut Criterion) {
+    let cm = ConfusionMatrix::new(431, 87, 62, 3420);
+    let catalog = standard_catalog();
+    c.bench_function("metric/full-catalog-27", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in &catalog {
+                let v = m.compute_or_nan(black_box(&cm));
+                if v.is_finite() {
+                    acc += v;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_confusion_from_outcomes(c: &mut Criterion) {
+    let outcomes: Vec<(bool, bool)> = (0..10_000)
+        .map(|i| (i % 3 == 0, i % 7 == 0))
+        .collect();
+    c.bench_function("metric/confusion-from-10k-outcomes", |b| {
+        b.iter(|| black_box(ConfusionMatrix::from_outcomes(outcomes.iter().copied())))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_metric,
+    bench_full_catalog,
+    bench_confusion_from_outcomes
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmarks: the metric-selection pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vdbench_core::attributes::{assess_catalog, cost_alignment, AssessmentConfig};
+use vdbench_core::scenario::{Scenario, ScenarioId};
+use vdbench_core::selection::{default_candidates, MetricSelector};
+use vdbench_experts::Panel;
+
+fn quick_cfg() -> AssessmentConfig {
+    AssessmentConfig {
+        workload_size: 200,
+        reference_prevalence: 0.2,
+        tool_sample: 40,
+        replicates: 100,
+        seed: 77,
+    }
+}
+
+fn bench_assessment(c: &mut Criterion) {
+    let candidates = default_candidates();
+    let cfg = quick_cfg();
+    c.bench_function("selection/assess-11-candidates", |b| {
+        b.iter(|| black_box(assess_catalog(black_box(&candidates), &cfg)))
+    });
+    let precision = vdbench_metrics::basic::Precision;
+    c.bench_function("selection/cost-alignment-one-metric", |b| {
+        b.iter(|| black_box(cost_alignment(&precision, 5.0, 1.0, 0.25, &cfg)))
+    });
+}
+
+fn bench_full_selection(c: &mut Criterion) {
+    let selector = MetricSelector::new(default_candidates(), quick_cfg()).unwrap();
+    let scenario = Scenario::standard(ScenarioId::S2Gate);
+    let panel = Panel::homogeneous(&scenario.weight_vector(), 7, 0.25, 1);
+    c.bench_function("selection/select-one-scenario", |b| {
+        b.iter(|| black_box(selector.select(black_box(&scenario), &panel).unwrap()))
+    });
+    c.bench_function("selection/panel-elicit-aggregate", |b| {
+        b.iter(|| black_box(panel.aggregate().unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_assessment, bench_full_selection);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks: statistics substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vdbench_stats::correlation::{kendall_tau, spearman};
+use vdbench_stats::intervals::{clopper_pearson, wilson, Confidence};
+use vdbench_stats::{Bootstrap, SeededRng};
+
+fn bench_intervals(c: &mut Criterion) {
+    c.bench_function("stats/wilson-interval", |b| {
+        b.iter(|| black_box(wilson(black_box(431), 4000, Confidence::P95).unwrap()))
+    });
+    c.bench_function("stats/clopper-pearson-interval", |b| {
+        b.iter(|| black_box(clopper_pearson(black_box(431), 4000, Confidence::P95).unwrap()))
+    });
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin()).collect();
+    let y: Vec<f64> = (0..200).map(|i| (i as f64 * 0.41).cos()).collect();
+    c.bench_function("stats/kendall-tau-200", |b| {
+        b.iter(|| black_box(kendall_tau(black_box(&x), black_box(&y)).unwrap()))
+    });
+    c.bench_function("stats/spearman-200", |b| {
+        b.iter(|| black_box(spearman(black_box(&x), black_box(&y)).unwrap()))
+    });
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let data: Vec<f64> = (0..400).map(|i| (i % 10) as f64).collect();
+    c.bench_function("stats/bootstrap-ci-400x500", |b| {
+        b.iter(|| {
+            let mut rng = SeededRng::new(9);
+            black_box(
+                Bootstrap::new(500)
+                    .percentile_ci(
+                        black_box(&data),
+                        0.95,
+                        |s| s.iter().sum::<f64>() / s.len() as f64,
+                        &mut rng,
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_intervals, bench_correlation, bench_bootstrap);
+criterion_main!(benches);

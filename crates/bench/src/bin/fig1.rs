@@ -1,0 +1,4 @@
+//! Regenerates Figure 1. `cargo run -p vdbench-bench --release --bin fig1`
+fn main() {
+    println!("{}", vdbench_bench::figures::fig1());
+}

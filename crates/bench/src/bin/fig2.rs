@@ -1,0 +1,4 @@
+//! Regenerates Figure 2. `cargo run -p vdbench-bench --release --bin fig2`
+fn main() {
+    println!("{}", vdbench_bench::figures::fig2());
+}

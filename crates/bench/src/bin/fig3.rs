@@ -1,0 +1,4 @@
+//! Regenerates Figure 3. `cargo run -p vdbench-bench --release --bin fig3`
+fn main() {
+    println!("{}", vdbench_bench::figures::fig3());
+}

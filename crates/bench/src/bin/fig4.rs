@@ -1,0 +1,4 @@
+//! Regenerates Figure 4. `cargo run -p vdbench-bench --release --bin fig4`
+fn main() {
+    println!("{}", vdbench_bench::figures::fig4());
+}

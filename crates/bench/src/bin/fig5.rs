@@ -1,0 +1,4 @@
+//! Regenerates Figure 5 (extension study). `cargo run -p vdbench-bench --release --bin fig5`
+fn main() {
+    println!("{}", vdbench_bench::figures::fig5());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 6 (extension study). `cargo run -p vdbench-bench --release --bin fig6`
+fn main() {
+    println!("{}", vdbench_bench::figures::fig6());
+}

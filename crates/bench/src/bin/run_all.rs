@@ -1,0 +1,20 @@
+//! Regenerates every table and figure in sequence.
+//! `cargo run -p vdbench-bench --release --bin run_all`
+fn main() {
+    println!("{}", vdbench_bench::tables::preamble());
+    println!("{}", vdbench_bench::tables::table1());
+    println!("{}", vdbench_bench::tables::table2());
+    println!("{}", vdbench_bench::tables::table3());
+    println!("{}", vdbench_bench::tables::table4());
+    println!("{}", vdbench_bench::tables::table5());
+    println!("{}", vdbench_bench::tables::table6());
+    println!("{}", vdbench_bench::tables::table7());
+    println!("{}", vdbench_bench::tables::table8());
+    println!("{}", vdbench_bench::tables::table9());
+    println!("{}", vdbench_bench::figures::fig1());
+    println!("{}", vdbench_bench::figures::fig2());
+    println!("{}", vdbench_bench::figures::fig3());
+    println!("{}", vdbench_bench::figures::fig4());
+    println!("{}", vdbench_bench::figures::fig5());
+    println!("{}", vdbench_bench::figures::fig6());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1. `cargo run -p vdbench-bench --release --bin table1`
+fn main() {
+    println!("{}", vdbench_bench::tables::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2. `cargo run -p vdbench-bench --release --bin table2`
+fn main() {
+    println!("{}", vdbench_bench::tables::table2());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 3. `cargo run -p vdbench-bench --release --bin table3`
+fn main() {
+    println!("{}", vdbench_bench::tables::table3());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 4. `cargo run -p vdbench-bench --release --bin table4`
+fn main() {
+    println!("{}", vdbench_bench::tables::table4());
+}

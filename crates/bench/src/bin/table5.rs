@@ -1,0 +1,4 @@
+//! Regenerates Table 5. `cargo run -p vdbench-bench --release --bin table5`
+fn main() {
+    println!("{}", vdbench_bench::tables::table5());
+}

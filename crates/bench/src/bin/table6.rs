@@ -1,0 +1,4 @@
+//! Regenerates Table 6. `cargo run -p vdbench-bench --release --bin table6`
+fn main() {
+    println!("{}", vdbench_bench::tables::table6());
+}

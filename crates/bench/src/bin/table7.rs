@@ -1,0 +1,4 @@
+//! Regenerates Table 7 (extension study). `cargo run -p vdbench-bench --release --bin table7`
+fn main() {
+    println!("{}", vdbench_bench::tables::table7());
+}

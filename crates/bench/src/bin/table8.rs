@@ -1,0 +1,4 @@
+//! Regenerates Table 8 (extension study). `cargo run -p vdbench-bench --release --bin table8`
+fn main() {
+    println!("{}", vdbench_bench::tables::table8());
+}

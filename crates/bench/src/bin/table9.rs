@@ -1,0 +1,4 @@
+//! Regenerates Table 9 (extension study). `cargo run -p vdbench-bench --release --bin table9`
+fn main() {
+    println!("{}", vdbench_bench::tables::table9());
+}

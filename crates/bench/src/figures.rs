@@ -1,0 +1,402 @@
+//! The four evaluation figures (ASCII rendering + CSV data).
+
+use crate::{experiment_config, EXPERIMENT_SEED};
+use std::fmt::Write as _;
+use vdbench_core::attributes::discrimination::separation_probability;
+use vdbench_core::attributes::prevalence::{sweep, DENSITY_GRID};
+use vdbench_core::campaign::run_case_study;
+use vdbench_core::ranking::subsample_stability;
+use vdbench_core::scenario::standard_scenarios;
+use vdbench_core::selection::{default_candidates, MetricSelector};
+use vdbench_core::validation::noise_robustness;
+use vdbench_metrics::basic::{Accuracy, Npv, Precision, Recall};
+use vdbench_metrics::composite::{FMeasure, Informedness, Mcc};
+use vdbench_metrics::metric::Metric;
+use vdbench_report::{csv, AsciiChart, Series};
+use vdbench_stats::SeededRng;
+
+fn figure_metrics() -> Vec<Box<dyn Metric>> {
+    vec![
+        Box::new(Precision),
+        Box::new(Recall),
+        Box::new(Npv),
+        Box::new(Accuracy),
+        Box::new(FMeasure::f1()),
+        Box::new(Informedness),
+        Box::new(Mcc),
+    ]
+}
+
+/// **Figure 1** — metric value vs workload vulnerability density at a
+/// fixed tool (TPR 0.8 / FPR 0.1). Prevalence-invariant metrics trace flat
+/// lines; precision, NPV and F1 bend hard.
+pub fn fig1() -> String {
+    let cfg = experiment_config();
+    let series: Vec<Series> = figure_metrics()
+        .iter()
+        .map(|m| {
+            Series::from_points(
+                m.abbrev(),
+                sweep(m.as_ref(), &cfg)
+                    .into_iter()
+                    .filter(|(_, v)| v.is_finite())
+                    .collect(),
+            )
+        })
+        .collect();
+    let chart = AsciiChart::new(64, 18)
+        .with_title(format!(
+            "Fig. 1: metric value vs vulnerability density (fixed tool TPR 0.8 / FPR 0.1; \
+             densities {:?})",
+            DENSITY_GRID
+        ))
+        .with_y_bounds(-1.0, 1.0);
+    let mut out = chart.render(&series).expect("non-empty sweep");
+    out.push_str("\nCSV (long format):\n");
+    out.push_str(&csv::series_long(&series));
+    out
+}
+
+/// **Figure 2** — discriminative power: probability of correctly ordering
+/// two tools five points of recall apart, vs workload size.
+pub fn fig2() -> String {
+    let sizes: [u64; 7] = [25, 50, 100, 200, 400, 800, 1600];
+    let prevalence = 0.2;
+    let replicates = 400;
+    let series: Vec<Series> = figure_metrics()
+        .iter()
+        .map(|m| {
+            let mut rng = SeededRng::new(EXPERIMENT_SEED ^ 0xF162);
+            let pts = sizes
+                .iter()
+                .map(|&n| {
+                    let p =
+                        separation_probability(m.as_ref(), n, prevalence, replicates, &mut rng);
+                    (n as f64, p)
+                })
+                .collect();
+            Series::from_points(m.abbrev(), pts)
+        })
+        .collect();
+    let chart = AsciiChart::new(64, 18)
+        .with_title(
+            "Fig. 2: P(correctly ordering two tools, ΔTPR = 0.05) vs workload size \
+             (20% prevalence, 400 realizations)",
+        )
+        .with_y_bounds(0.0, 1.0);
+    let mut out = chart.render(&series).expect("non-empty");
+    out.push_str("\nCSV (wide format):\n");
+    out.push_str(&csv::series_wide(&series));
+    out
+}
+
+/// **Figure 3** — ranking stability: mean Kendall τ between the
+/// full-workload tool ranking and subsampled rankings, vs subsample
+/// fraction, per metric (S3 case study).
+pub fn fig3() -> String {
+    let scenario = standard_scenarios()
+        .into_iter()
+        .find(|s| s.id == vdbench_core::ScenarioId::S3Procurement)
+        .expect("S3 exists");
+    let report = run_case_study(&scenario, EXPERIMENT_SEED).expect("standard roster");
+    let fractions = [0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
+    let replicates = 80;
+    let series: Vec<Series> = default_candidates()
+        .iter()
+        .map(|m| {
+            let mut rng = SeededRng::new(EXPERIMENT_SEED ^ 0xF163);
+            let pts = fractions
+                .iter()
+                .map(|&f| {
+                    let tau = subsample_stability(
+                        report.outcomes(),
+                        m.as_ref(),
+                        f,
+                        replicates,
+                        &mut rng,
+                    )
+                    .unwrap_or(f64::NAN);
+                    (f, tau)
+                })
+                .collect();
+            Series::from_points(m.abbrev(), pts)
+        })
+        .collect();
+    let chart = AsciiChart::new(64, 18)
+        .with_title(
+            "Fig. 3: tool-ranking stability under workload subsampling (S3 case study, \
+             mean Kendall τ to the full-workload ranking, 80 subsamples/point)",
+        )
+        .with_y_bounds(0.0, 1.0);
+    let mut out = chart.render(&series).expect("non-empty");
+    out.push_str("\nCSV (wide format):\n");
+    out.push_str(&csv::series_wide(&series));
+    out
+}
+
+/// **Figure 4** — MCDA robustness to expert noise: agreement between the
+/// panel's AHP metric ranking and the analytical selection (mean Kendall
+/// τ), per scenario, as elicitation noise grows. Winner persistence is
+/// also recorded in the CSV.
+pub fn fig4() -> String {
+    let cfg = experiment_config();
+    let selector = MetricSelector::new(default_candidates(), cfg).expect("candidates");
+    let noise_grid = [0.0, 0.2, 0.5, 1.0, 1.5, 2.5];
+    let panels_per_point = 24;
+    let mut series = Vec::new();
+    let mut csv_rows = String::from("scenario,noise,top1_persistence,mean_tau\n");
+    for scenario in standard_scenarios() {
+        let points = noise_robustness(
+            &selector,
+            &scenario,
+            &noise_grid,
+            panels_per_point,
+            7,
+            EXPERIMENT_SEED ^ u64::from(scenario.id.label().as_bytes()[1]),
+        )
+        .expect("selection");
+        // Plot the mean rank agreement: the top-1 winner can be a
+        // photo-finish (S1's PPV vs ACC differ by <2% of the score), so
+        // whole-ranking τ is the robust signal; both series go to CSV.
+        let pts: Vec<(f64, f64)> = points.iter().map(|p| (p.noise, p.mean_tau)).collect();
+        for p in &points {
+            let _ = writeln!(
+                csv_rows,
+                "{},{},{},{}",
+                scenario.id, p.noise, p.top1_persistence, p.mean_tau
+            );
+        }
+        series.push(Series::from_points(scenario.id.label(), pts));
+    }
+    let chart = AsciiChart::new(64, 16)
+        .with_title(format!(
+            "Fig. 4: agreement between MCDA and analytical metric rankings \
+             (mean Kendall τ) vs expert noise σ ({panels_per_point} panels/point, \
+             7 experts each)"
+        ))
+        .with_y_bounds(0.0, 1.0);
+    let mut out = chart.render(&series).expect("non-empty");
+    out.push_str("\nCSV:\n");
+    out.push_str(&csv_rows);
+    out
+}
+
+/// **Figure 5** (extension) — the pentest ROI curve: dynamic-scanner
+/// recall vs per-unit request budget, with and without the gate
+/// dictionary. Coverage saturates once the guessable gates are exhausted;
+/// obscure gates and stored flows bound the single-request ceiling.
+pub fn fig5() -> String {
+    use vdbench_corpus::CorpusBuilder;
+    use vdbench_detectors::{score_detector, DynamicScanner};
+
+    // A gate-heavy workload makes the budget trade-off visible: most
+    // vulnerable flows hide behind input gates, two-thirds of them
+    // guessable.
+    let corpus = CorpusBuilder::new()
+        .units(400)
+        .vulnerability_density(0.4)
+        .gate_rate(0.6)
+        .gate_obscurity(0.33)
+        .disguise_rate(0.1)
+        .stored_rate(0.05)
+        .seed(EXPERIMENT_SEED ^ 0xF165)
+        .build();
+    let budgets = [2usize, 4, 8, 16, 32, 64, 128, 256];
+    let mut with_dict = Series::new("with gate dictionary");
+    let mut without_dict = Series::new("sprays only");
+    for &budget in &budgets {
+        let yes = score_detector(&DynamicScanner::with_budget(budget, true), &corpus)
+            .confusion()
+            .tpr();
+        let no = score_detector(&DynamicScanner::with_budget(budget, false), &corpus)
+            .confusion()
+            .tpr();
+        with_dict.push(budget as f64, yes);
+        without_dict.push(budget as f64, no);
+    }
+    let series = vec![with_dict, without_dict];
+    let chart = AsciiChart::new(64, 16)
+        .with_title(
+            "Fig. 5 (extension): dynamic-scanner recall vs request budget \
+             (400-case workload, single-request sessions)",
+        )
+        .with_y_bounds(0.0, 1.0);
+    let mut out = chart.render(&series).expect("non-empty");
+    out.push_str("\nCSV (wide format):\n");
+    out.push_str(&csv::series_wide(&series));
+    out.push_str(
+        "\nReading guide: sprays alone saturate immediately (everything reachable \
+         without a gate\nis reached by the first four requests); the dictionary \
+         keeps buying recall until the\nguessable gates are exhausted. The plateau \
+         below 1.0 is structural: obscure gates,\nsecond-order flows and \
+         pattern-class defects are invisible to any single-request budget.\n",
+    );
+    out
+}
+
+/// **Figure 6** (extension) — corpus-design ablation: the two generator
+/// knobs that manufacture tool errors, swept one at a time.
+///
+/// Left: tool recall vs the disguise rate (wrong/partial sanitizers) —
+/// pattern matching collapses, execution and sink-aware dataflow don't.
+/// Right: tool false-positive rate vs the dead-guard decoy rate —
+/// path-insensitive static analysis pays linearly, dynamic analysis never
+/// does. Together they demonstrate that the corpus knobs control exactly
+/// the error mechanisms they claim to.
+pub fn fig6() -> String {
+    use vdbench_corpus::{CorpusBuilder, VulnClass};
+    use vdbench_detectors::{
+        score_detector, Detector, DynamicScanner, PatternScanner, TaintAnalyzer,
+    };
+    let tools: Vec<Box<dyn Detector>> = vec![
+        Box::new(PatternScanner::aggressive()),
+        Box::new(TaintAnalyzer::precise()),
+        Box::new(DynamicScanner::thorough()),
+    ];
+    let rates = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let taint_classes = vec![
+        VulnClass::SqlInjection,
+        VulnClass::Xss,
+        VulnClass::CommandInjection,
+        VulnClass::PathTraversal,
+    ];
+
+    // Sweep 1: recall vs disguise rate (fully vulnerable workload so TPR
+    // is measured on every case).
+    let mut recall_series: Vec<Series> = tools.iter().map(|t| Series::new(t.name())).collect();
+    for &rate in &rates {
+        let corpus = CorpusBuilder::new()
+            .units(250)
+            .vulnerability_density(1.0)
+            .disguise_rate(rate)
+            .stored_rate(0.0)
+            .gate_rate(0.0)
+            .classes(taint_classes.clone())
+            .seed(EXPERIMENT_SEED ^ 0xF166)
+            .build();
+        for (tool, series) in tools.iter().zip(&mut recall_series) {
+            let tpr = score_detector(tool.as_ref(), &corpus).confusion().tpr();
+            series.push(rate, tpr);
+        }
+    }
+    let recall_chart = AsciiChart::new(64, 14)
+        .with_title(
+            "Fig. 6a: tool recall vs disguise rate (wrong/partial sanitizers; \
+             250 vulnerable cases)",
+        )
+        .with_y_bounds(0.0, 1.0)
+        .render(&recall_series)
+        .expect("non-empty");
+
+    // Sweep 2: FPR vs decoy rate (fully safe workload so FPR is measured
+    // on every case).
+    let mut fpr_series: Vec<Series> = tools.iter().map(|t| Series::new(t.name())).collect();
+    for &rate in &rates {
+        let corpus = CorpusBuilder::new()
+            .units(250)
+            .vulnerability_density(0.0)
+            .decoy_rate(rate)
+            .stored_rate(0.0)
+            .classes(taint_classes.clone())
+            .seed(EXPERIMENT_SEED ^ 0xF167)
+            .build();
+        for (tool, series) in tools.iter().zip(&mut fpr_series) {
+            let fpr = score_detector(tool.as_ref(), &corpus).confusion().fpr();
+            series.push(rate, fpr);
+        }
+    }
+    let fpr_chart = AsciiChart::new(64, 14)
+        .with_title(
+            "Fig. 6b: tool false-positive rate vs dead-guard decoy rate \
+             (250 safe cases)",
+        )
+        .with_y_bounds(0.0, 1.0)
+        .render(&fpr_series)
+        .expect("non-empty");
+
+    let mut out = recall_chart;
+    out.push('\n');
+    out.push_str(&fpr_chart);
+    out.push_str("\nCSV (recall sweep, wide):\n");
+    out.push_str(&csv::series_wide(&recall_series));
+    out.push_str("\nCSV (FPR sweep, wide):\n");
+    out.push_str(&csv::series_wide(&fpr_series));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_knobs_control_their_mechanisms() {
+        let f = fig6();
+        let parse_block = |marker: &str| -> Vec<Vec<f64>> {
+            let start = f.find(marker).expect("block present");
+            f[start..]
+                .lines()
+                .skip(2) // marker line + header
+                .take_while(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit()))
+                .map(|l| l.split(',').map(|c| c.parse().unwrap()).collect())
+                .collect()
+        };
+        let recall = parse_block("CSV (recall sweep");
+        assert!(recall.len() >= 5);
+        // Columns: rate, pattern-aggr, taint-d3-precise, pentest-96-dict.
+        let first = recall.first().unwrap();
+        let last = recall.last().unwrap();
+        assert!(
+            first[1] - last[1] > 0.5,
+            "pattern recall must collapse with disguises: {} -> {}",
+            first[1],
+            last[1]
+        );
+        assert!(last[2] > 0.99, "sink-aware taint is immune: {}", last[2]);
+        assert!(last[3] > 0.9, "execution is immune: {}", last[3]);
+
+        let fpr = parse_block("CSV (FPR sweep");
+        let first = fpr.first().unwrap();
+        let last = fpr.last().unwrap();
+        assert!(first[2] < 0.01, "no decoys, no taint FPs: {}", first[2]);
+        assert!(
+            last[2] > 0.9,
+            "full decoys, path-insensitive FPs everywhere: {}",
+            last[2]
+        );
+        assert!(last[3] < 0.01, "dynamic analysis never flags dead code: {}", last[3]);
+    }
+
+    #[test]
+    fn fig5_budget_curve_is_monotone() {
+        let f = fig5();
+        let csv_start = f.find("x,").expect("wide CSV");
+        let rows: Vec<Vec<f64>> = f[csv_start..]
+            .lines()
+            .skip(1)
+            .take_while(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .map(|l| l.split(',').map(|c| c.parse().unwrap()).collect())
+            .collect();
+        assert!(rows.len() >= 6);
+        // Recall never decreases with budget, and the dictionary column
+        // ends strictly above the spray-only column.
+        for w in rows.windows(2) {
+            assert!(w[1][1] >= w[0][1] - 1e-12, "dict column not monotone");
+            assert!(w[1][2] >= w[0][2] - 1e-12, "spray column not monotone");
+        }
+        let last = rows.last().unwrap();
+        assert!(last[1] > last[2], "dictionary must add recall: {last:?}");
+        assert!(last[1] < 1.0, "structural ceiling below 1.0");
+    }
+
+    #[test]
+    fn figure_metric_set_is_diverse() {
+        let metrics = figure_metrics();
+        assert!(metrics.len() >= 6);
+        let invariant = metrics
+            .iter()
+            .filter(|m| m.properties().prevalence_invariant)
+            .count();
+        assert!(invariant >= 2, "need flat lines for contrast");
+        assert!(invariant < metrics.len(), "need bending lines too");
+    }
+}

@@ -1,0 +1,156 @@
+//! Integration tests over the experiment outputs: every table and figure
+//! regenerates, and the rendered results carry the paper's qualitative
+//! conclusions.
+
+use vdbench_bench::{figures, tables};
+
+#[test]
+fn table1_catalog_properties() {
+    let t = tables::table1();
+    // The traditional metrics and the "seldom used" alternatives are all
+    // gathered.
+    for abbrev in ["PPV", "TPR", "ACC", "F1", "INF", "MRK", "MCC", "NEC-fn", "DOR", "κ"] {
+        assert!(t.contains(abbrev), "{abbrev} missing from Table 1");
+    }
+    // Informedness is marked chance-corrected and prevalence-invariant.
+    let inf_row = t.lines().find(|l| l.contains("INF")).unwrap();
+    assert!(inf_row.matches("yes").count() >= 2, "{inf_row}");
+}
+
+#[test]
+fn table2_attribute_scores_are_unit_bounded() {
+    let t = tables::table2();
+    // All numeric cells in [0, 1]: spot-check by parsing every float.
+    let mut floats = 0;
+    for token in t.split(|c: char| c.is_whitespace() || c == '|') {
+        // Only numeric-looking tokens: Rust's f64 parser would happily
+        // read the metric label "INF" as infinity.
+        if !token.chars().all(|c| c.is_ascii_digit() || c == '.') || token.is_empty() {
+            continue;
+        }
+        if let Ok(v) = token.parse::<f64>() {
+            assert!((0.0..=1.0).contains(&v), "score {v} out of range");
+            floats += 1;
+        }
+    }
+    assert!(floats > 100, "expected a dense score table, saw {floats} values");
+}
+
+#[test]
+fn table4_shows_the_tool_family_profiles() {
+    let t = tables::table4();
+    // The dynamic scanners never raise a false alarm on any scenario.
+    for line in t.lines().filter(|l| l.contains("pentest-")) {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        // cells: ["", tool, TP, FP, FN, TN, ...]
+        let fp: u64 = cells[3].parse().expect("FP cell");
+        assert_eq!(fp, 0, "pentest produced false positives: {line}");
+    }
+    // The precise taint analyzer misses nothing.
+    for line in t.lines().filter(|l| l.contains("taint-d3-precise")) {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        let fn_: u64 = cells[4].parse().expect("FN cell");
+        assert_eq!(fn_, 0, "precise taint missed vulnerabilities: {line}");
+    }
+}
+
+#[test]
+fn table5_contains_disagreement_matrix() {
+    let t = tables::table5();
+    assert!(t.contains("Kendall τ"));
+    assert!(t.contains("tool ranked first"));
+    // Metric values rendered for every scenario.
+    for s in ["S1", "S2", "S3", "S4"] {
+        assert!(t.contains(&format!("({s})")), "{s} missing");
+    }
+}
+
+#[test]
+fn table6_reproduces_the_headline_result() {
+    let t = tables::table6();
+    // S2 selects a cost-based (seldom used) metric, S3 selects
+    // informedness — the abstract's conclusion in one table.
+    let s2 = t.lines().find(|l| l.starts_with("| S2")).unwrap();
+    assert!(
+        s2.contains("NEC-fn") || s2.contains("TPR") || s2.contains("F2"),
+        "S2 row: {s2}"
+    );
+    let s3 = t.lines().find(|l| l.starts_with("| S3")).unwrap();
+    assert!(s3.contains("INF") || s3.contains("MCC"), "S3 row: {s3}");
+    // Consistency ratios are reported and the ablation section exists.
+    assert!(t.contains("CR"));
+    assert!(t.contains("ablation"));
+}
+
+#[test]
+fn fig1_shows_invariant_and_bending_metrics() {
+    let f = figures::fig1();
+    assert!(f.contains("Fig. 1"));
+    // CSV section: recall is flat (same value at min and max density),
+    // precision is not.
+    let csv: Vec<&str> = f.lines().filter(|l| l.starts_with("TPR,")).collect();
+    assert!(!csv.is_empty());
+    let first: f64 = csv.first().unwrap().split(',').nth(2).unwrap().parse().unwrap();
+    let last: f64 = csv.last().unwrap().split(',').nth(2).unwrap().parse().unwrap();
+    assert!((first - last).abs() < 1e-9, "recall must be flat: {first} vs {last}");
+    let ppv: Vec<&str> = f.lines().filter(|l| l.starts_with("PPV,")).collect();
+    let first: f64 = ppv.first().unwrap().split(',').nth(2).unwrap().parse().unwrap();
+    let last: f64 = ppv.last().unwrap().split(',').nth(2).unwrap().parse().unwrap();
+    assert!(last - first > 0.3, "precision must bend: {first} → {last}");
+}
+
+#[test]
+fn fig2_probability_grows_with_workload() {
+    let f = figures::fig2();
+    // Wide CSV: x,TPR-col...; find the INF column and check monotone-ish
+    // growth from the smallest to the largest workload.
+    let csv_start = f.find("x,").expect("wide CSV present");
+    let csv = &f[csv_start..];
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+    let inf_col = header.iter().position(|h| *h == "INF").expect("INF series");
+    let rows: Vec<Vec<f64>> = lines
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.split(',').map(|c| c.parse().unwrap_or(f64::NAN)).collect())
+        .collect();
+    let first = rows.first().unwrap()[inf_col];
+    let last = rows.last().unwrap()[inf_col];
+    assert!(
+        last > first + 0.1,
+        "separation must improve with workload size: {first} → {last}"
+    );
+    assert!(last > 0.85, "large workloads separate reliably: {last}");
+}
+
+#[test]
+fn fig4_low_noise_panels_agree() {
+    let f = figures::fig4();
+    // CSV rows: scenario,noise,persistence,tau — at the lowest noise level
+    // every scenario's whole-ranking agreement is high, and the clear-cut
+    // scenarios (S2–S4) also reproduce the exact winner.
+    let mut checked = 0;
+    for line in f.lines().filter(|l| l.starts_with('S') && l.contains(",0,")) {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells[1] != "0" {
+            continue;
+        }
+        let persistence: f64 = cells[2].parse().unwrap();
+        let tau: f64 = cells[3].parse().unwrap();
+        assert!(tau >= 0.85, "{}: zero-noise τ {tau}", cells[0]);
+        if cells[0] != "S1" {
+            assert!(
+                persistence >= 0.9,
+                "{}: zero-noise persistence {persistence}",
+                cells[0]
+            );
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, 4, "expected all four scenarios at σ = 0");
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    assert_eq!(tables::table3(), tables::table3());
+    assert_eq!(figures::fig1(), figures::fig1());
+}

@@ -1,0 +1,88 @@
+//! Chance correction: do random tools score a fixed reference value?
+//!
+//! A *random* tool reports each unit with probability `r` independent of
+//! the truth. A chance-corrected metric assigns every such tool the same
+//! reference value (0 for correlations, 1 for ratios) no matter what `r`
+//! or the workload prevalence is — so "better than random" is visible at a
+//! glance. The score measures how constant the metric is across a grid of
+//! random tools.
+
+use super::AssessmentConfig;
+use vdbench_metrics::metric::{Metric, MetricExt};
+use vdbench_metrics::OperatingPoint;
+
+const REPORT_RATES: [f64; 5] = [0.05, 0.2, 0.4, 0.6, 0.9];
+const PREVALENCES: [f64; 3] = [0.05, 0.2, 0.4];
+
+/// Scores chance correction in `[0, 1]`.
+pub fn score(metric: &dyn Metric, cfg: &AssessmentConfig) -> f64 {
+    let total = cfg.workload_size.max(10_000);
+    let mut values = Vec::new();
+    for &prev in &PREVALENCES {
+        let positives = ((total as f64) * prev).round().max(1.0) as u64;
+        let negatives = total - positives.min(total - 1);
+        for &rate in &REPORT_RATES {
+            let op = OperatingPoint::random(rate);
+            let cm = op.to_confusion(positives, negatives);
+            let v = metric.compute_or_nan(&cm);
+            if v.is_finite() {
+                values.push(v);
+            }
+        }
+    }
+    if values.len() < (REPORT_RATES.len() * PREVALENCES.len()) / 2 {
+        return 0.0;
+    }
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let spread = max - min;
+    // Random tools should collapse to a point; measure the spread against
+    // the metric's own declared range where it is bounded, or the observed
+    // magnitude otherwise.
+    let range = metric.properties().range;
+    let scale = if range.is_bounded() {
+        range.width()
+    } else {
+        values
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0_f64, f64::max)
+            .max(1e-9)
+    };
+    (1.0 - spread / scale).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdbench_metrics::basic::{Accuracy, Precision, Recall};
+    use vdbench_metrics::chance::CohenKappa;
+    use vdbench_metrics::composite::{BalancedAccuracy, Informedness, Mcc};
+
+    #[test]
+    fn corrected_metrics_score_high() {
+        let cfg = AssessmentConfig::default();
+        for m in [
+            Box::new(Informedness) as Box<dyn Metric>,
+            Box::new(Mcc),
+            Box::new(CohenKappa),
+            Box::new(BalancedAccuracy),
+        ] {
+            let s = score(m.as_ref(), &cfg);
+            assert!(s > 0.95, "{} chance correction {s}", m.abbrev());
+        }
+    }
+
+    #[test]
+    fn uncorrected_metrics_score_low() {
+        let cfg = AssessmentConfig::default();
+        for m in [
+            Box::new(Recall) as Box<dyn Metric>,
+            Box::new(Accuracy),
+            Box::new(Precision),
+        ] {
+            let s = score(m.as_ref(), &cfg);
+            assert!(s < 0.7, "{} should drift with report rate: {s}", m.abbrev());
+        }
+    }
+}

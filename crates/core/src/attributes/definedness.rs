@@ -1,0 +1,74 @@
+//! Definedness: how often is the metric undefined on matrices benchmarks
+//! actually produce?
+//!
+//! Benchmarks routinely produce degenerate matrices — a tool that reports
+//! nothing, a workload slice with no vulnerable units, a class-restricted
+//! view with a single class. A metric that errors out on those cannot
+//! anchor a benchmark report. The score is the fraction of a fixed stress
+//! battery on which the metric is defined.
+
+use vdbench_metrics::metric::Metric;
+use vdbench_metrics::ConfusionMatrix;
+
+/// The stress battery: realistic degenerate-but-reachable matrices, from
+/// benign to hostile.
+pub fn stress_battery() -> Vec<(&'static str, ConfusionMatrix)> {
+    vec![
+        ("balanced", ConfusionMatrix::new(30, 10, 10, 50)),
+        ("silent tool", ConfusionMatrix::new(0, 0, 20, 80)),
+        ("report-everything tool", ConfusionMatrix::new(20, 80, 0, 0)),
+        ("no vulnerable units", ConfusionMatrix::new(0, 10, 0, 90)),
+        ("all vulnerable units", ConfusionMatrix::new(70, 0, 30, 0)),
+        ("perfect tool", ConfusionMatrix::new(20, 0, 0, 80)),
+        ("fully wrong tool", ConfusionMatrix::new(0, 80, 20, 0)),
+        ("single true positive", ConfusionMatrix::new(1, 0, 0, 99)),
+        ("tiny workload", ConfusionMatrix::new(1, 1, 1, 1)),
+    ]
+}
+
+/// Scores definedness in `[0, 1]` as the defined fraction of the battery.
+pub fn score(metric: &dyn Metric) -> f64 {
+    let battery = stress_battery();
+    let defined = battery
+        .iter()
+        .filter(|(_, cm)| metric.compute(cm).is_ok())
+        .count();
+    defined as f64 / battery.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdbench_metrics::basic::{Accuracy, Precision, Recall};
+    use vdbench_metrics::composite::{DiagnosticOddsRatio, Mcc};
+    use vdbench_metrics::cost::ExpectedCost;
+
+    #[test]
+    fn accuracy_and_cost_are_always_defined() {
+        assert_eq!(score(&Accuracy), 1.0);
+        assert_eq!(score(&ExpectedCost::balanced()), 1.0);
+    }
+
+    #[test]
+    fn precision_and_recall_have_holes() {
+        assert!(score(&Precision) < 1.0);
+        assert!(score(&Recall) < 1.0);
+        assert!(score(&Precision) > 0.5);
+    }
+
+    #[test]
+    fn odds_ratio_is_most_fragile() {
+        let dor = score(&DiagnosticOddsRatio);
+        let mcc = score(&Mcc);
+        assert!(dor <= mcc, "dor {dor} vs mcc {mcc}");
+        assert!(dor < 0.5);
+    }
+
+    #[test]
+    fn battery_is_nontrivial() {
+        let battery = stress_battery();
+        assert!(battery.len() >= 8);
+        // Every battery entry is non-empty.
+        assert!(battery.iter().all(|(_, cm)| cm.total() > 0));
+    }
+}

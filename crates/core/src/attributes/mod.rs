@@ -1,0 +1,357 @@
+//! Empirical assessment of the *characteristics of a good metric*.
+//!
+//! The paper's first stage analyzes each gathered metric "according to the
+//! characteristics of a good metric for the vulnerability detection
+//! domain". This module makes each characteristic *measurable*: every
+//! attribute is scored in `[0, 1]` (1 = ideal) by simulation against
+//! controlled tool populations and workloads, so Table 2 is computed, not
+//! asserted.
+//!
+//! | Attribute | Question answered | Module |
+//! |---|---|---|
+//! | Validity | does the metric track true tool quality? | [`validity`] |
+//! | Cost alignment | does it rank tools like the scenario's real cost? | [`cost_alignment`](fn@cost_alignment) |
+//! | Prevalence invariance | is it stable across workload mixes? | [`prevalence`] |
+//! | Chance correction | do random tools score a fixed reference? | [`chance`] |
+//! | Discriminative power | can it separate close tools on finite data? | [`discrimination`] |
+//! | Stability | how noisy is it on one finite workload? | [`stability`] |
+//! | Definedness | how often is it undefined in practice? | [`definedness`] |
+//! | Simplicity | can benchmark consumers interpret it? | catalog metadata |
+
+pub mod chance;
+pub mod definedness;
+pub mod discrimination;
+pub mod monotonic;
+pub mod prevalence;
+pub mod stability;
+pub mod validity;
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use vdbench_metrics::metric::{Metric, MetricExt};
+use vdbench_metrics::{ConfusionMatrix, MetricId, OperatingPoint};
+use vdbench_stats::SeededRng;
+
+/// The characteristics of a good metric, as assessed by this engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MetricAttribute {
+    /// Correlation with latent tool quality.
+    Validity,
+    /// Agreement with the scenario's true cost ordering of tools.
+    CostAlignment,
+    /// Insensitivity to workload vulnerability density at a fixed
+    /// operating point.
+    PrevalenceInvariance,
+    /// Random tools score a fixed reference value.
+    ChanceCorrection,
+    /// Probability of correctly ordering two close tools on finite data.
+    DiscriminativePower,
+    /// Low sampling noise on a finite workload.
+    Stability,
+    /// Defined on the confusion matrices benchmarks actually produce.
+    Definedness,
+    /// Interpretability for benchmark consumers.
+    Simplicity,
+}
+
+impl MetricAttribute {
+    /// All attributes in presentation order.
+    pub fn all() -> &'static [MetricAttribute] {
+        &[
+            MetricAttribute::Validity,
+            MetricAttribute::CostAlignment,
+            MetricAttribute::PrevalenceInvariance,
+            MetricAttribute::ChanceCorrection,
+            MetricAttribute::DiscriminativePower,
+            MetricAttribute::Stability,
+            MetricAttribute::Definedness,
+            MetricAttribute::Simplicity,
+        ]
+    }
+
+    /// Short column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricAttribute::Validity => "valid",
+            MetricAttribute::CostAlignment => "cost",
+            MetricAttribute::PrevalenceInvariance => "prev-inv",
+            MetricAttribute::ChanceCorrection => "chance",
+            MetricAttribute::DiscriminativePower => "discrim",
+            MetricAttribute::Stability => "stable",
+            MetricAttribute::Definedness => "defined",
+            MetricAttribute::Simplicity => "simple",
+        }
+    }
+}
+
+impl fmt::Display for MetricAttribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration of the assessment simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AssessmentConfig {
+    /// Workload size (benchmark cases) for finite-sample attributes.
+    pub workload_size: u64,
+    /// Reference prevalence for finite-sample attributes.
+    pub reference_prevalence: f64,
+    /// Number of hypothetical tools sampled for validity / cost alignment.
+    pub tool_sample: usize,
+    /// Bootstrap / Monte-Carlo replicates.
+    pub replicates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AssessmentConfig {
+    /// 400-case workloads at 20% prevalence, 150 sampled tools, 300
+    /// replicates.
+    fn default() -> Self {
+        AssessmentConfig {
+            workload_size: 400,
+            reference_prevalence: 0.2,
+            tool_sample: 150,
+            replicates: 300,
+            seed: 0xA55E55,
+        }
+    }
+}
+
+/// The scored attribute sheet of one metric (generic attributes only;
+/// [`cost_alignment`] is scenario-specific and computed separately).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeAssessment {
+    /// The assessed metric.
+    pub metric: MetricId,
+    /// Attribute → score in `[0, 1]`.
+    pub scores: BTreeMap<MetricAttribute, f64>,
+}
+
+impl AttributeAssessment {
+    /// The score for one attribute (0 when not assessed).
+    pub fn score(&self, attribute: MetricAttribute) -> f64 {
+        self.scores.get(&attribute).copied().unwrap_or(0.0)
+    }
+}
+
+/// Assesses every metric in a catalog against the generic attributes.
+///
+/// Scenario-specific cost alignment is added by callers via
+/// [`cost_alignment`] so the expensive generic work is done once.
+pub fn assess_catalog(
+    metrics: &[Box<dyn Metric>],
+    cfg: &AssessmentConfig,
+) -> Vec<AttributeAssessment> {
+    metrics
+        .iter()
+        .map(|m| {
+            let mut scores = BTreeMap::new();
+            scores.insert(
+                MetricAttribute::Validity,
+                validity::score(m.as_ref(), cfg),
+            );
+            scores.insert(
+                MetricAttribute::PrevalenceInvariance,
+                prevalence::score(m.as_ref(), cfg),
+            );
+            scores.insert(
+                MetricAttribute::ChanceCorrection,
+                chance::score(m.as_ref(), cfg),
+            );
+            scores.insert(
+                MetricAttribute::DiscriminativePower,
+                discrimination::score(m.as_ref(), cfg),
+            );
+            scores.insert(
+                MetricAttribute::Stability,
+                stability::score(m.as_ref(), cfg),
+            );
+            scores.insert(
+                MetricAttribute::Definedness,
+                definedness::score(m.as_ref()),
+            );
+            scores.insert(
+                MetricAttribute::Simplicity,
+                f64::from(m.properties().simplicity) / 5.0,
+            );
+            AttributeAssessment {
+                metric: m.id(),
+                scores,
+            }
+        })
+        .collect()
+}
+
+/// Scenario-specific attribute: how well the metric's ranking of a tool
+/// population agrees with the scenario's *true expected cost* ranking.
+///
+/// Samples `cfg.tool_sample` plausible tools, realizes each on a workload
+/// at the scenario's prevalence, ranks them by the metric and by true cost
+/// (`fp_cost · FP + fn_cost · FN`), and maps the Kendall τ between the two
+/// rankings to `[0, 1]`.
+pub fn cost_alignment(
+    metric: &dyn Metric,
+    fp_cost: f64,
+    fn_cost: f64,
+    prevalence: f64,
+    cfg: &AssessmentConfig,
+) -> f64 {
+    let mut rng = SeededRng::new(cfg.seed ^ 0x00C0_57A1);
+    let tools = sample_tools(cfg.tool_sample, &mut rng);
+    let positives = ((cfg.workload_size as f64) * prevalence).round() as u64;
+    let positives = positives.clamp(1, cfg.workload_size - 1);
+    let negatives = cfg.workload_size - positives;
+
+    let mut metric_scores = Vec::new();
+    let mut cost_scores = Vec::new();
+    for op in &tools {
+        let cm = op.to_confusion(positives, negatives);
+        let Ok(v) = metric.oriented(&cm) else {
+            continue; // undefined on this tool: excluded from the ranking
+        };
+        metric_scores.push(v);
+        cost_scores.push(-(fp_cost * cm.fp as f64 + fn_cost * cm.fn_ as f64));
+    }
+    if metric_scores.len() < 3 {
+        return 0.0;
+    }
+    match vdbench_stats::correlation::kendall_tau(&metric_scores, &cost_scores) {
+        Ok(tau) => ((tau + 1.0) / 2.0).clamp(0.0, 1.0),
+        Err(_) => 0.0,
+    }
+}
+
+/// Samples a plausible population of tools: mostly better than chance,
+/// spanning quiet/precise to chatty/sensitive behaviour.
+pub(crate) fn sample_tools(count: usize, rng: &mut SeededRng) -> Vec<OperatingPoint> {
+    (0..count)
+        .map(|_| {
+            let tpr = rng.uniform_in(0.2, 1.0);
+            // FPR mostly below TPR (useful tools), occasionally above.
+            let fpr = if rng.bernoulli(0.9) {
+                rng.uniform_in(0.0, (tpr * 0.8).max(0.01))
+            } else {
+                rng.uniform_in(0.0, 1.0)
+            };
+            OperatingPoint::new(tpr, fpr)
+        })
+        .collect()
+}
+
+/// Oriented metric value on a synthesized matrix, `None` when undefined —
+/// shared helper for the attribute submodules.
+pub(crate) fn oriented_at(
+    metric: &dyn Metric,
+    op: OperatingPoint,
+    positives: u64,
+    negatives: u64,
+) -> Option<f64> {
+    let cm: ConfusionMatrix = op.to_confusion(positives, negatives);
+    metric.oriented(&cm).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdbench_metrics::basic::{Accuracy, Precision, Recall};
+    use vdbench_metrics::composite::{Informedness, Mcc};
+    use vdbench_metrics::cost::ExpectedCost;
+    use vdbench_metrics::standard_catalog;
+
+    fn quick_cfg() -> AssessmentConfig {
+        AssessmentConfig {
+            workload_size: 200,
+            reference_prevalence: 0.2,
+            tool_sample: 40,
+            replicates: 120,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn attribute_labels_unique() {
+        let mut labels: Vec<&str> = MetricAttribute::all().iter().map(|a| a.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), MetricAttribute::all().len());
+        assert_eq!(MetricAttribute::Validity.to_string(), "valid");
+    }
+
+    #[test]
+    fn assess_catalog_scores_everything_in_unit_range() {
+        let catalog = standard_catalog();
+        let sheets = assess_catalog(&catalog, &quick_cfg());
+        assert_eq!(sheets.len(), catalog.len());
+        for sheet in &sheets {
+            // Seven generic attributes assessed.
+            assert_eq!(sheet.scores.len(), 7);
+            for (attr, score) in &sheet.scores {
+                assert!(
+                    (0.0..=1.0).contains(score),
+                    "{:?} {attr:?} = {score}",
+                    sheet.metric
+                );
+            }
+            assert_eq!(sheet.score(MetricAttribute::CostAlignment), 0.0);
+        }
+    }
+
+    #[test]
+    fn cost_alignment_favors_matching_metrics() {
+        let cfg = quick_cfg();
+        // FP-dominated scenario: precision must align better than recall.
+        let p = cost_alignment(&Precision, 5.0, 1.0, 0.25, &cfg);
+        let r = cost_alignment(&Recall, 5.0, 1.0, 0.25, &cfg);
+        assert!(p > r, "precision {p} vs recall {r} under FP costs");
+        // FN-dominated scenario: recall must align better than precision.
+        let p = cost_alignment(&Precision, 1.0, 20.0, 0.15, &cfg);
+        let r = cost_alignment(&Recall, 1.0, 20.0, 0.15, &cfg);
+        assert!(r > p, "recall {r} vs precision {p} under FN costs");
+    }
+
+    #[test]
+    fn matched_cost_metric_aligns_near_perfectly() {
+        let cfg = quick_cfg();
+        let nec = ExpectedCost::new(5.0, 1.0);
+        let score = cost_alignment(&nec, 5.0, 1.0, 0.25, &cfg);
+        assert!(score > 0.95, "matched cost metric alignment {score}");
+    }
+
+    #[test]
+    fn matched_cost_model_dominates_at_low_prevalence() {
+        // At 2% prevalence FP counts dwarf FN counts, so accuracy (implicit
+        // 1:1 cost) aligns deceptively well with any FP-heavy cost — but
+        // the *matched* cost metric must still be at least as aligned, and
+        // recall (which ignores FP entirely) must crater.
+        let cfg = quick_cfg();
+        let acc = cost_alignment(&Accuracy, 2.0, 8.0, 0.02, &cfg);
+        let matched = cost_alignment(&ExpectedCost::new(2.0, 8.0), 2.0, 8.0, 0.02, &cfg);
+        let recall = cost_alignment(&Recall, 2.0, 8.0, 0.02, &cfg);
+        assert!(
+            matched >= acc,
+            "matched cost metric at least as aligned (matched {matched}, acc {acc})"
+        );
+        assert!(matched > 0.95, "matched cost metric near-perfect: {matched}");
+        assert!(
+            recall < acc - 0.1,
+            "recall ignores the dominant error type (recall {recall}, acc {acc})"
+        );
+        // The chance-corrected alternatives remain decent without a cost
+        // model at all.
+        let inf = cost_alignment(&Informedness, 2.0, 8.0, 0.02, &cfg);
+        let mcc = cost_alignment(&Mcc, 2.0, 8.0, 0.02, &cfg);
+        assert!(inf > recall && mcc > recall, "inf {inf}, mcc {mcc}");
+    }
+
+    #[test]
+    fn sampled_tools_are_valid_points() {
+        let mut rng = SeededRng::new(1);
+        let tools = sample_tools(100, &mut rng);
+        assert_eq!(tools.len(), 100);
+        let useful = tools.iter().filter(|t| t.better_than_chance()).count();
+        assert!(useful > 70, "most sampled tools are useful: {useful}");
+    }
+}

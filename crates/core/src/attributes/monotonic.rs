@@ -1,0 +1,184 @@
+//! Empirical verification of the catalog's monotonicity metadata.
+//!
+//! Each metric declares how it responds to TPR and FPR changes
+//! ([`vdbench_metrics::properties::Monotonicity`]). This module *checks*
+//! those analytical claims against a dense ROC grid, so the catalog's
+//! metadata is audited rather than trusted — a small self-verification the
+//! selection study leans on when it reasons from declared properties.
+
+use vdbench_metrics::metric::{Metric, MetricExt};
+use vdbench_metrics::properties::Monotonicity;
+use vdbench_metrics::roc::roc_grid;
+use vdbench_metrics::OperatingPoint;
+
+/// The observed behaviour of one metric along one rate axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AxisReport {
+    /// What the catalog claims.
+    pub claimed: Monotonicity,
+    /// Fraction of grid transitions where increasing the rate increased
+    /// the raw metric value.
+    pub increasing_fraction: f64,
+    /// Fraction where it decreased.
+    pub decreasing_fraction: f64,
+    /// Fraction where it stayed exactly constant.
+    pub constant_fraction: f64,
+    /// Transitions where both values were defined.
+    pub comparisons: usize,
+}
+
+impl AxisReport {
+    /// Whether the observations are consistent with the claim (within a
+    /// 2% tolerance for numerical ties on coarse grids).
+    pub fn consistent(&self) -> bool {
+        const TOL: f64 = 0.02;
+        match self.claimed {
+            Monotonicity::Increasing => self.decreasing_fraction <= TOL,
+            Monotonicity::Decreasing => self.increasing_fraction <= TOL,
+            Monotonicity::Independent => {
+                self.constant_fraction >= 1.0 - TOL
+            }
+            Monotonicity::Mixed => true,
+        }
+    }
+}
+
+/// Full monotonicity report for one metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonotonicityReport {
+    /// Behaviour along the TPR axis (FPR held fixed).
+    pub tpr_axis: AxisReport,
+    /// Behaviour along the FPR axis (TPR held fixed).
+    pub fpr_axis: AxisReport,
+}
+
+impl MonotonicityReport {
+    /// Whether both axes match the catalog claims.
+    pub fn consistent(&self) -> bool {
+        self.tpr_axis.consistent() && self.fpr_axis.consistent()
+    }
+}
+
+/// Verifies a metric's declared monotonicity on a `steps × steps` interior
+/// ROC grid realized on a workload with the given class sizes.
+pub fn verify_monotonicity(
+    metric: &dyn Metric,
+    steps: usize,
+    positives: u64,
+    negatives: u64,
+) -> MonotonicityReport {
+    let grid = roc_grid(steps);
+    let value = |op: &OperatingPoint| -> Option<f64> {
+        let cm = op.to_confusion(positives, negatives);
+        let v = metric.compute_or_nan(&cm);
+        v.is_finite().then_some(v)
+    };
+
+    let props = metric.properties();
+    let mut tpr_axis = Counter::new(props.monotone_tpr);
+    let mut fpr_axis = Counter::new(props.monotone_fpr);
+    let step = 1.0 / (steps + 1) as f64;
+    for op in &grid {
+        // Neighbour with higher TPR (same FPR).
+        if op.tpr + step < 1.0 {
+            let next = OperatingPoint::new(op.tpr + step, op.fpr);
+            if let (Some(a), Some(b)) = (value(op), value(&next)) {
+                tpr_axis.record(a, b);
+            }
+        }
+        // Neighbour with higher FPR (same TPR).
+        if op.fpr + step < 1.0 {
+            let next = OperatingPoint::new(op.tpr, op.fpr + step);
+            if let (Some(a), Some(b)) = (value(op), value(&next)) {
+                fpr_axis.record(a, b);
+            }
+        }
+    }
+    MonotonicityReport {
+        tpr_axis: tpr_axis.finish(),
+        fpr_axis: fpr_axis.finish(),
+    }
+}
+
+struct Counter {
+    claimed: Monotonicity,
+    inc: usize,
+    dec: usize,
+    eq: usize,
+}
+
+impl Counter {
+    fn new(claimed: Monotonicity) -> Self {
+        Counter {
+            claimed,
+            inc: 0,
+            dec: 0,
+            eq: 0,
+        }
+    }
+
+    fn record(&mut self, before: f64, after: f64) {
+        // Integer realization quantizes: use a small tolerance for ties.
+        if (after - before).abs() < 1e-12 {
+            self.eq += 1;
+        } else if after > before {
+            self.inc += 1;
+        } else {
+            self.dec += 1;
+        }
+    }
+
+    fn finish(self) -> AxisReport {
+        let n = (self.inc + self.dec + self.eq).max(1);
+        AxisReport {
+            claimed: self.claimed,
+            increasing_fraction: self.inc as f64 / n as f64,
+            decreasing_fraction: self.dec as f64 / n as f64,
+            constant_fraction: self.eq as f64 / n as f64,
+            comparisons: self.inc + self.dec + self.eq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdbench_metrics::standard_catalog;
+
+    #[test]
+    fn every_catalog_claim_is_empirically_consistent() {
+        // Large class sizes keep integer rounding away from the
+        // comparisons; 9x9 interior grid = up to 144 transitions per axis.
+        for metric in standard_catalog() {
+            let report = verify_monotonicity(metric.as_ref(), 9, 10_000, 40_000);
+            assert!(
+                report.consistent(),
+                "{}: claims {:?}/{:?}, observed TPR axis {:?}, FPR axis {:?}",
+                metric.abbrev(),
+                metric.properties().monotone_tpr,
+                metric.properties().monotone_fpr,
+                report.tpr_axis,
+                report.fpr_axis,
+            );
+            assert!(report.tpr_axis.comparisons > 50);
+        }
+    }
+
+    #[test]
+    fn recall_axes_are_as_declared() {
+        use vdbench_metrics::basic::Recall;
+        let report = verify_monotonicity(&Recall, 9, 10_000, 40_000);
+        assert!(report.tpr_axis.increasing_fraction > 0.98);
+        assert!(report.fpr_axis.constant_fraction > 0.98);
+    }
+
+    #[test]
+    fn fallout_decreases_oriented_but_increases_raw() {
+        use vdbench_metrics::basic::Fallout;
+        // Fallout's raw value increases with FPR (claimed Increasing on
+        // the FPR axis even though the metric is lower-is-better).
+        let report = verify_monotonicity(&Fallout, 9, 10_000, 40_000);
+        assert!(report.fpr_axis.increasing_fraction > 0.98);
+        assert!(report.consistent());
+    }
+}

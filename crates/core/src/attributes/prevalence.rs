@@ -1,0 +1,106 @@
+//! Prevalence invariance: is the metric stable across workload mixes?
+//!
+//! A fixed reference tool (TPR 0.8, FPR 0.1) is realized on workloads
+//! whose vulnerability density sweeps 0.5% → 50%. A metric adequate for
+//! cross-workload comparison should barely move; precision, accuracy and
+//! NPV famously swing wildly. The score maps the relative spread of the
+//! metric values to `[0, 1]` (1 = perfectly invariant).
+
+use super::AssessmentConfig;
+use vdbench_metrics::metric::Metric;
+use vdbench_metrics::OperatingPoint;
+
+/// The density grid used by the sweep (mirrors Fig. 1).
+pub const DENSITY_GRID: [f64; 9] = [0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+/// The fixed reference operating point used by the sweep.
+pub fn reference_tool() -> OperatingPoint {
+    OperatingPoint::new(0.8, 0.1)
+}
+
+/// The metric's value at each grid density for a fixed tool, `NaN` where
+/// undefined — the raw data behind Fig. 1.
+pub fn sweep(metric: &dyn Metric, cfg: &AssessmentConfig) -> Vec<(f64, f64)> {
+    // A large synthetic workload keeps integer rounding negligible.
+    let total = cfg.workload_size.max(10_000);
+    DENSITY_GRID
+        .iter()
+        .map(|&density| {
+            let positives = ((total as f64) * density).round().max(1.0) as u64;
+            let negatives = total - positives.min(total - 1);
+            let v = super::oriented_at(metric, reference_tool(), positives, negatives)
+                .unwrap_or(f64::NAN);
+            (density, v)
+        })
+        .collect()
+}
+
+/// Scores prevalence invariance in `[0, 1]`.
+pub fn score(metric: &dyn Metric, cfg: &AssessmentConfig) -> f64 {
+    let values: Vec<f64> = sweep(metric, cfg)
+        .into_iter()
+        .map(|(_, v)| v)
+        .filter(|v| v.is_finite())
+        .collect();
+    if values.len() < DENSITY_GRID.len() / 2 {
+        // Undefined on most of the sweep: useless for cross-workload use.
+        return 0.0;
+    }
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let spread = max - min;
+    let scale = values
+        .iter()
+        .map(|v| v.abs())
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    // Relative spread 0 → score 1; spread equal to the value scale → 0.5.
+    1.0 / (1.0 + spread / scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdbench_metrics::basic::{Accuracy, Npv, Precision, Recall, Specificity};
+    use vdbench_metrics::composite::{BalancedAccuracy, GMean, Informedness};
+
+    #[test]
+    fn rate_metrics_are_invariant() {
+        let cfg = AssessmentConfig::default();
+        for m in [
+            Box::new(Recall) as Box<dyn Metric>,
+            Box::new(Specificity),
+            Box::new(Informedness),
+            Box::new(BalancedAccuracy),
+            Box::new(GMean),
+        ] {
+            let s = score(m.as_ref(), &cfg);
+            assert!(s > 0.98, "{} invariance {s}", m.abbrev());
+        }
+    }
+
+    #[test]
+    fn predictive_values_are_not_invariant() {
+        let cfg = AssessmentConfig::default();
+        let p = score(&Precision, &cfg);
+        assert!(p < 0.7, "precision should swing with prevalence: {p}");
+        let n = score(&Npv, &cfg);
+        assert!(n < 0.9, "NPV should swing with prevalence: {n}");
+        // Accuracy at a *fixed operating point* is only mildly
+        // prevalence-dependent — its real failure mode is chance
+        // correction, covered by the `chance` attribute.
+        let a = score(&Accuracy, &cfg);
+        assert!(a > 0.85, "accuracy invariance {a}");
+    }
+
+    #[test]
+    fn sweep_has_grid_shape() {
+        let cfg = AssessmentConfig::default();
+        let data = sweep(&Precision, &cfg);
+        assert_eq!(data.len(), DENSITY_GRID.len());
+        // Precision grows with density at a fixed operating point.
+        let first = data.first().unwrap().1;
+        let last = data.last().unwrap().1;
+        assert!(last > first + 0.3, "precision sweep {first} → {last}");
+    }
+}

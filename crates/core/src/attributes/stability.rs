@@ -1,0 +1,87 @@
+//! Stability: sampling noise of the metric on one finite workload.
+//!
+//! A reference tool is realized repeatedly on same-size workloads (binomial
+//! outcome noise); the metric's dispersion across realizations, relative to
+//! its usable range, determines the score (1 = rock-stable).
+
+use super::AssessmentConfig;
+use vdbench_metrics::metric::{Metric, MetricExt};
+use vdbench_metrics::ConfusionMatrix;
+use vdbench_stats::{SeededRng, Summary};
+
+const REFERENCE_TOOL: (f64, f64) = (0.75, 0.10);
+
+/// Scores stability in `[0, 1]`.
+pub fn score(metric: &dyn Metric, cfg: &AssessmentConfig) -> f64 {
+    let mut rng = SeededRng::new(cfg.seed ^ 0x57AB_1E00);
+    let positives = ((cfg.workload_size as f64) * cfg.reference_prevalence)
+        .round()
+        .max(1.0) as u64;
+    let positives = positives.min(cfg.workload_size - 1);
+    let negatives = cfg.workload_size - positives;
+    let (tpr, fpr) = REFERENCE_TOOL;
+
+    let mut summary = Summary::new();
+    for _ in 0..cfg.replicates {
+        let tp = rng.binomial(positives as usize, tpr) as u64;
+        let fp = rng.binomial(negatives as usize, fpr) as u64;
+        let cm = ConfusionMatrix::new(tp, fp, positives - tp, negatives - fp);
+        let v = metric.compute_or_nan(&cm);
+        if v.is_finite() {
+            summary.push(v);
+        }
+    }
+    if summary.len() < cfg.replicates / 2 {
+        return 0.0;
+    }
+    let spread = summary.sample_std_dev();
+    let range = metric.properties().range;
+    let scale = if range.is_bounded() {
+        range.width()
+    } else {
+        summary.mean().abs().max(1e-9)
+    };
+    // Map relative noise to [0, 1]: 0 noise → 1; noise at 10% of the range
+    // → ~0.5.
+    (1.0 / (1.0 + 10.0 * spread / scale)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdbench_metrics::basic::{Accuracy, Recall};
+    use vdbench_metrics::composite::DiagnosticOddsRatio;
+
+    #[test]
+    fn bounded_rate_metrics_are_stable_on_decent_workloads() {
+        let cfg = AssessmentConfig::default();
+        for m in [Box::new(Recall) as Box<dyn Metric>, Box::new(Accuracy)] {
+            let s = score(m.as_ref(), &cfg);
+            assert!(s > 0.6, "{} stability {s}", m.abbrev());
+        }
+    }
+
+    #[test]
+    fn unbounded_ratio_metrics_are_noisier() {
+        let cfg = AssessmentConfig::default();
+        let dor = score(&DiagnosticOddsRatio, &cfg);
+        let recall = score(&Recall, &cfg);
+        assert!(
+            dor < recall,
+            "odds ratios amplify noise: dor {dor} vs recall {recall}"
+        );
+    }
+
+    #[test]
+    fn stability_improves_with_workload_size() {
+        let small = AssessmentConfig {
+            workload_size: 50,
+            ..AssessmentConfig::default()
+        };
+        let large = AssessmentConfig {
+            workload_size: 5000,
+            ..AssessmentConfig::default()
+        };
+        assert!(score(&Recall, &large) > score(&Recall, &small));
+    }
+}

@@ -1,0 +1,89 @@
+//! Validity: does the metric track latent tool quality?
+//!
+//! A ladder of hypothetical tools is built whose *latent quality* `q` is
+//! known by construction (quality controls how far above the chance
+//! diagonal the tool operates). The metric is computed for every tool on a
+//! reference workload; validity is the Spearman rank correlation between
+//! the oriented metric values and `q`, mapped to `[0, 1]`.
+
+use super::AssessmentConfig;
+use vdbench_metrics::metric::Metric;
+use vdbench_metrics::OperatingPoint;
+use vdbench_stats::correlation::spearman;
+use vdbench_stats::SeededRng;
+
+/// Scores validity in `[0, 1]`.
+pub fn score(metric: &dyn Metric, cfg: &AssessmentConfig) -> f64 {
+    let mut rng = SeededRng::new(cfg.seed ^ 0x0001_11D1);
+    let positives = ((cfg.workload_size as f64) * cfg.reference_prevalence).round() as u64;
+    let positives = positives.clamp(1, cfg.workload_size - 1);
+    let negatives = cfg.workload_size - positives;
+
+    let mut qualities = Vec::with_capacity(cfg.tool_sample);
+    let mut values = Vec::with_capacity(cfg.tool_sample);
+    for _ in 0..cfg.tool_sample {
+        let q = rng.uniform();
+        // Quality q lifts the operating point above the chance diagonal;
+        // a small perpendicular jitter decorrelates quality from any one
+        // specific formula.
+        let base = rng.uniform_in(0.05, 0.95);
+        let jitter = rng.normal(0.0, 0.03);
+        let tpr = (base + q * (1.0 - base) + jitter).clamp(0.0, 1.0);
+        let fpr = (base * (1.0 - q) + jitter).clamp(0.0, 1.0);
+        let op = OperatingPoint::new(tpr, fpr);
+        if let Some(v) = super::oriented_at(metric, op, positives, negatives) {
+            qualities.push(q);
+            values.push(v);
+        }
+    }
+    if values.len() < 5 {
+        return 0.0;
+    }
+    match spearman(&values, &qualities) {
+        Ok(rho) => rho.clamp(0.0, 1.0),
+        Err(_) => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdbench_metrics::basic::{Fallout, Recall};
+    use vdbench_metrics::composite::{Informedness, Mcc};
+
+    #[test]
+    fn informative_metrics_have_high_validity() {
+        let cfg = AssessmentConfig::default();
+        for m in [
+            Box::new(Informedness) as Box<dyn Metric>,
+            Box::new(Mcc),
+        ] {
+            let s = score(m.as_ref(), &cfg);
+            assert!(s > 0.85, "{} validity {s}", m.abbrev());
+        }
+    }
+
+    #[test]
+    fn single_rate_metrics_are_less_valid_than_full_matrix_ones() {
+        let cfg = AssessmentConfig::default();
+        let recall = score(&Recall, &cfg);
+        let mcc = score(&Mcc, &cfg);
+        assert!(
+            mcc >= recall,
+            "full-matrix metric at least as valid: mcc {mcc} vs recall {recall}"
+        );
+    }
+
+    #[test]
+    fn oriented_cost_metrics_score_positively() {
+        let cfg = AssessmentConfig::default();
+        let fallout = score(&Fallout, &cfg);
+        assert!(fallout > 0.0, "oriented fallout tracks quality: {fallout}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = AssessmentConfig::default();
+        assert_eq!(score(&Mcc, &cfg), score(&Mcc, &cfg));
+    }
+}

@@ -1,0 +1,298 @@
+//! The benchmark runner: workload × tools × metrics.
+
+use crate::error::{CoreError, Result};
+use vdbench_corpus::Corpus;
+use vdbench_detectors::{score_detector, DetectionOutcome, Detector};
+use vdbench_metrics::metric::{Metric, MetricExt};
+use vdbench_metrics::MetricId;
+use vdbench_report::Table;
+use vdbench_stats::intervals::{wilson, Confidence};
+
+/// A configured benchmark: one corpus, a tool roster and a metric set.
+///
+/// ```
+/// use vdbench_core::Benchmark;
+/// use vdbench_corpus::CorpusBuilder;
+/// use vdbench_detectors::{PatternScanner, TaintAnalyzer};
+/// use vdbench_metrics::basic::{Precision, Recall};
+///
+/// let corpus = CorpusBuilder::new().units(60).seed(5).build();
+/// let report = Benchmark::new(corpus)
+///     .tool(Box::new(PatternScanner::aggressive()))
+///     .tool(Box::new(TaintAnalyzer::precise()))
+///     .metric(Box::new(Precision))
+///     .metric(Box::new(Recall))
+///     .run()?;
+/// assert_eq!(report.tool_names().len(), 2);
+/// # Ok::<(), vdbench_core::CoreError>(())
+/// ```
+pub struct Benchmark {
+    corpus: Corpus,
+    tools: Vec<Box<dyn Detector>>,
+    metrics: Vec<Box<dyn Metric>>,
+}
+
+impl Benchmark {
+    /// Starts a benchmark over a corpus.
+    pub fn new(corpus: Corpus) -> Self {
+        Benchmark {
+            corpus,
+            tools: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Adds a tool (builder style).
+    pub fn tool(mut self, tool: Box<dyn Detector>) -> Self {
+        self.tools.push(tool);
+        self
+    }
+
+    /// Adds several tools.
+    pub fn tools(mut self, tools: Vec<Box<dyn Detector>>) -> Self {
+        self.tools.extend(tools);
+        self
+    }
+
+    /// Adds a metric column (builder style).
+    pub fn metric(mut self, metric: Box<dyn Metric>) -> Self {
+        self.metrics.push(metric);
+        self
+    }
+
+    /// Adds several metric columns.
+    pub fn metrics(mut self, metrics: Vec<Box<dyn Metric>>) -> Self {
+        self.metrics.extend(metrics);
+        self
+    }
+
+    /// The corpus under benchmark.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Runs every tool over the corpus and evaluates every metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when no tools or metrics were
+    /// added.
+    pub fn run(self) -> Result<BenchmarkReport> {
+        if self.tools.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "benchmark has no tools".into(),
+            });
+        }
+        if self.metrics.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "benchmark has no metrics".into(),
+            });
+        }
+        // Tools are independent: fan their runs out across scoped threads.
+        // Detector: Send + Sync by trait bound; the corpus is shared
+        // read-only.
+        let corpus = &self.corpus;
+        let outcomes: Vec<DetectionOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .tools
+                .iter()
+                .map(|t| scope.spawn(move || score_detector(t.as_ref(), corpus)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("detector threads do not panic"))
+                .collect()
+        });
+        let metric_ids: Vec<MetricId> = self.metrics.iter().map(|m| m.id()).collect();
+        let metric_labels: Vec<String> =
+            self.metrics.iter().map(|m| m.abbrev().to_string()).collect();
+        let values: Vec<Vec<f64>> = outcomes
+            .iter()
+            .map(|o| {
+                let cm = o.confusion();
+                self.metrics.iter().map(|m| m.compute_or_nan(&cm)).collect()
+            })
+            .collect();
+        Ok(BenchmarkReport {
+            outcomes,
+            metric_ids,
+            metric_labels,
+            values,
+        })
+    }
+}
+
+/// The results of a benchmark run: per-tool outcomes plus the metric value
+/// table (`values[tool][metric]`, `NaN` where undefined).
+#[derive(Debug, Clone)]
+pub struct BenchmarkReport {
+    outcomes: Vec<DetectionOutcome>,
+    metric_ids: Vec<MetricId>,
+    metric_labels: Vec<String>,
+    values: Vec<Vec<f64>>,
+}
+
+impl BenchmarkReport {
+    /// Tool names in roster order.
+    pub fn tool_names(&self) -> Vec<&str> {
+        self.outcomes.iter().map(|o| o.tool()).collect()
+    }
+
+    /// Metric identifiers in column order.
+    pub fn metric_ids(&self) -> &[MetricId] {
+        &self.metric_ids
+    }
+
+    /// Raw per-tool detection outcomes.
+    pub fn outcomes(&self) -> &[DetectionOutcome] {
+        &self.outcomes
+    }
+
+    /// Metric value for one tool/metric pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn value(&self, tool: usize, metric: usize) -> f64 {
+        self.values[tool][metric]
+    }
+
+    /// One metric's value across all tools (column extraction).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range metric index.
+    pub fn metric_column(&self, metric: usize) -> Vec<f64> {
+        self.values.iter().map(|row| row[metric]).collect()
+    }
+
+    /// Renders the case-study outcomes with Wilson confidence intervals on
+    /// recall and precision — the honest form of Table 4: point estimates
+    /// on finite workloads come with interval estimates, and two tools
+    /// whose intervals overlap have not been distinguished.
+    pub fn to_interval_table(&self, title: &str, confidence: Confidence) -> Table {
+        let mut table = Table::new(vec![
+            "tool".to_string(),
+            format!("TPR [{:.0}% CI]", confidence.level() * 100.0),
+            format!("PPV [{:.0}% CI]", confidence.level() * 100.0),
+        ])
+        .with_title(title);
+        for o in &self.outcomes {
+            let cm = o.confusion();
+            let tpr = wilson(cm.tp, cm.actual_positive(), confidence)
+                .map(|iv| vdbench_report::format::interval(iv.estimate, iv.lower, iv.upper))
+                .unwrap_or_else(|_| "—".into());
+            let ppv = wilson(cm.tp, cm.predicted_positive(), confidence)
+                .map(|iv| vdbench_report::format::interval(iv.estimate, iv.lower, iv.upper))
+                .unwrap_or_else(|_| "—".into());
+            table
+                .push_row(vec![o.tool().to_string(), tpr, ppv])
+                .expect("row width matches header");
+        }
+        table
+    }
+
+    /// Renders the report as a table (tools × metrics).
+    pub fn to_table(&self, title: &str) -> Table {
+        let mut header = vec!["tool".to_string()];
+        header.extend(self.metric_labels.iter().cloned());
+        let mut table = Table::new(header).with_title(title);
+        for (o, row) in self.outcomes.iter().zip(&self.values) {
+            let mut cells = vec![o.tool().to_string()];
+            cells.extend(row.iter().map(|v| vdbench_report::format::metric(*v)));
+            table.push_row(cells).expect("row width matches header");
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdbench_corpus::CorpusBuilder;
+    use vdbench_detectors::{PatternScanner, ProfileTool, TaintAnalyzer};
+    use vdbench_metrics::basic::{Precision, Recall};
+    use vdbench_metrics::composite::Informedness;
+
+    fn base() -> Benchmark {
+        let corpus = CorpusBuilder::new()
+            .units(120)
+            .vulnerability_density(0.3)
+            .seed(61)
+            .build();
+        Benchmark::new(corpus)
+    }
+
+    #[test]
+    fn empty_configuration_rejected() {
+        assert!(matches!(
+            base().run(),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        assert!(base()
+            .tool(Box::new(PatternScanner::aggressive()))
+            .run()
+            .is_err());
+        assert!(base().metric(Box::new(Recall)).run().is_err());
+    }
+
+    #[test]
+    fn full_run_produces_table() {
+        let report = base()
+            .tools(vec![
+                Box::new(PatternScanner::aggressive()),
+                Box::new(TaintAnalyzer::precise()),
+                Box::new(ProfileTool::new("emu", 0.7, 0.1, 1)),
+            ])
+            .metrics(vec![
+                Box::new(Precision),
+                Box::new(Recall),
+                Box::new(Informedness),
+            ])
+            .run()
+            .unwrap();
+        assert_eq!(report.tool_names().len(), 3);
+        assert_eq!(report.metric_ids().len(), 3);
+        assert_eq!(report.metric_column(1).len(), 3);
+        let table = report.to_table("case study");
+        assert_eq!(table.row_count(), 3);
+        let text = table.render_ascii();
+        assert!(text.contains("taint-d3-precise"));
+        assert!(text.contains("TPR"));
+        // Values are plausible rates.
+        for t in 0..3 {
+            for m in 0..3 {
+                let v = report.value(t, m);
+                assert!(v.is_nan() || (-1.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn interval_table_renders() {
+        let report = base()
+            .tools(vec![
+                Box::new(PatternScanner::aggressive()),
+                Box::new(TaintAnalyzer::precise()),
+            ])
+            .metric(Box::new(Recall))
+            .run()
+            .unwrap();
+        let table = report.to_interval_table("with intervals", Confidence::P95);
+        let text = table.render_ascii();
+        assert!(text.contains("95% CI"));
+        assert!(text.contains('['), "{text}");
+        assert_eq!(table.row_count(), 2);
+    }
+
+    #[test]
+    fn outcomes_align_with_tools() {
+        let report = base()
+            .tool(Box::new(PatternScanner::conservative()))
+            .metric(Box::new(Recall))
+            .run()
+            .unwrap();
+        assert_eq!(report.outcomes().len(), 1);
+        assert_eq!(report.outcomes()[0].tool(), "pattern-cons");
+    }
+}

@@ -1,0 +1,95 @@
+//! Unified error type for the benchmark framework.
+
+use std::fmt;
+use vdbench_mcda::McdaError;
+use vdbench_metrics::MetricError;
+use vdbench_stats::StatsError;
+
+/// Errors surfaced by the core framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A metric computation failed.
+    Metric(MetricError),
+    /// A statistics routine failed.
+    Stats(StatsError),
+    /// An MCDA routine failed.
+    Mcda(McdaError),
+    /// The experiment configuration is invalid.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The benchmark produced no usable data for the requested analysis.
+    NoData {
+        /// What was missing.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Metric(e) => write!(f, "metric error: {e}"),
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::Mcda(e) => write!(f, "mcda error: {e}"),
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::NoData { reason } => write!(f, "no data: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Metric(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            CoreError::Mcda(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MetricError> for CoreError {
+    fn from(e: MetricError) -> Self {
+        CoreError::Metric(e)
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<McdaError> for CoreError {
+    fn from(e: McdaError) -> Self {
+        CoreError::Mcda(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = MetricError::EmptyMatrix.into();
+        assert!(e.to_string().contains("metric error"));
+        assert!(e.source().is_some());
+        let e: CoreError = StatsError::EmptyInput.into();
+        assert!(e.to_string().contains("statistics error"));
+        let e: CoreError = McdaError::Degenerate { reason: "x" }.into();
+        assert!(e.to_string().contains("mcda error"));
+        let e = CoreError::InvalidConfig {
+            reason: "bad".into(),
+        };
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+        let e = CoreError::NoData { reason: "empty" };
+        assert!(e.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,41 @@
+//! The benchmark framework and metric-selection study — the core
+//! contribution of *"On the Metrics for Benchmarking Vulnerability
+//! Detection Tools"* (Antunes & Vieira, DSN 2015).
+//!
+//! The crate wires the substrates into the paper's three-stage method:
+//!
+//! 1. **Gather & analyze** — [`attributes`] empirically scores every
+//!    catalog metric against the *characteristics of a good metric*
+//!    (validity, prevalence invariance, chance correction, discriminative
+//!    power, stability, definedness, simplicity) plus the scenario-specific
+//!    *cost alignment*;
+//! 2. **Scenario analysis** — [`scenario`] defines the four concrete usage
+//!    scenarios; [`benchmark`] and [`ranking`] run tool case studies and
+//!    expose how the metric choice changes tool rankings;
+//! 3. **MCDA validation** — [`selection`] performs the analytical
+//!    selection and validates it against an AHP over simulated expert
+//!    panels ([`validation`] adds SAW/TOPSIS ablations).
+//!
+//! [`campaign`] packages the standard experiment configuration (scenario
+//! workloads + tool roster) used by every table/figure binary in
+//! `vdbench-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attributes;
+pub mod benchmark;
+pub mod campaign;
+pub mod consistency;
+pub mod error;
+pub mod ranking;
+pub mod scenario;
+pub mod selection;
+pub mod validation;
+
+pub use attributes::{assess_catalog, AssessmentConfig, AttributeAssessment, MetricAttribute};
+pub use benchmark::{Benchmark, BenchmarkReport};
+pub use error::CoreError;
+pub use ranking::{rank_by_metric, RankingTable};
+pub use scenario::{Scenario, ScenarioId};
+pub use selection::{MetricSelector, SelectionOutcome};

@@ -1,0 +1,293 @@
+//! Tool rankings induced by metrics, and how much they disagree.
+//!
+//! The paper's central empirical point: **the choice of metric changes
+//! which tool wins**. This module builds metric-induced tool rankings,
+//! quantifies pairwise ranking disagreement between metrics (Table 5) and
+//! measures ranking stability under workload subsampling (Fig. 3).
+
+use crate::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+use vdbench_detectors::DetectionOutcome;
+use vdbench_mcda::ranking::ranking_from_scores;
+use vdbench_metrics::metric::{Metric, MetricExt};
+use vdbench_metrics::MetricId;
+use vdbench_stats::correlation::kendall_tau;
+use vdbench_stats::SeededRng;
+
+/// A metric-induced ranking of tools.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankingTable {
+    /// The metric that induced the ranking.
+    pub metric: MetricId,
+    /// Tool names in outcome order.
+    pub tool_names: Vec<String>,
+    /// Raw metric values per tool (`NaN` where undefined).
+    pub values: Vec<f64>,
+    /// Tool indices ordered best → worst. Tools with undefined metric
+    /// values rank last.
+    pub ranking: Vec<usize>,
+}
+
+impl RankingTable {
+    /// The winning tool's name.
+    pub fn winner(&self) -> &str {
+        &self.tool_names[self.ranking[0]]
+    }
+
+    /// Rank position (0 = best) of each tool, parallel to `tool_names`.
+    pub fn positions(&self) -> Vec<usize> {
+        vdbench_mcda::ranking::positions_from_ranking(&self.ranking)
+    }
+}
+
+/// Ranks tools by a metric computed on their pooled confusion matrices.
+///
+/// ```
+/// use vdbench_core::ranking::rank_by_metric;
+/// use vdbench_corpus::CorpusBuilder;
+/// use vdbench_detectors::{score_detector, ProfileTool};
+/// use vdbench_metrics::basic::Recall;
+///
+/// let corpus = CorpusBuilder::new().units(200).seed(4).build();
+/// let outcomes = vec![
+///     score_detector(&ProfileTool::new("weak", 0.4, 0.05, 1), &corpus),
+///     score_detector(&ProfileTool::new("strong", 0.95, 0.05, 2), &corpus),
+/// ];
+/// let table = rank_by_metric(&outcomes, &Recall)?;
+/// assert_eq!(table.winner(), "strong");
+/// # Ok::<(), vdbench_core::CoreError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`CoreError::NoData`] for an empty outcome slice.
+pub fn rank_by_metric(
+    outcomes: &[DetectionOutcome],
+    metric: &dyn Metric,
+) -> Result<RankingTable> {
+    if outcomes.is_empty() {
+        return Err(CoreError::NoData {
+            reason: "no tool outcomes to rank",
+        });
+    }
+    let values: Vec<f64> = outcomes
+        .iter()
+        .map(|o| metric.compute_or_nan(&o.confusion()))
+        .collect();
+    let oriented: Vec<f64> = values
+        .iter()
+        .map(|v| {
+            if v.is_nan() {
+                f64::NEG_INFINITY // undefined ranks last
+            } else if metric.higher_is_better() {
+                *v
+            } else {
+                -*v
+            }
+        })
+        .collect();
+    Ok(RankingTable {
+        metric: metric.id(),
+        tool_names: outcomes.iter().map(|o| o.tool().to_string()).collect(),
+        values,
+        ranking: ranking_from_scores(&oriented, true),
+    })
+}
+
+/// Pairwise Kendall τ between the tool rankings induced by each metric —
+/// the ranking-disagreement matrix of Table 5. `NaN` where τ is undefined
+/// (fully tied rankings).
+///
+/// # Errors
+///
+/// Returns [`CoreError::NoData`] when there are fewer than two outcomes.
+pub fn ranking_disagreement(
+    outcomes: &[DetectionOutcome],
+    metrics: &[Box<dyn Metric>],
+) -> Result<Vec<Vec<f64>>> {
+    if outcomes.len() < 2 {
+        return Err(CoreError::NoData {
+            reason: "need at least two tools to compare rankings",
+        });
+    }
+    let positions: Vec<Vec<f64>> = metrics
+        .iter()
+        .map(|m| {
+            rank_by_metric(outcomes, m.as_ref()).map(|t| {
+                t.positions().iter().map(|&p| p as f64).collect::<Vec<f64>>()
+            })
+        })
+        .collect::<Result<_>>()?;
+    let n = metrics.len();
+    let mut matrix = vec![vec![1.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let tau = kendall_tau(&positions[i], &positions[j]).unwrap_or(f64::NAN);
+            matrix[i][j] = tau;
+            matrix[j][i] = tau;
+        }
+    }
+    Ok(matrix)
+}
+
+/// Ranking stability under workload subsampling (Fig. 3 primitive): mean
+/// Kendall τ between the full-workload tool ranking and rankings computed
+/// on random subsamples of the cases.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NoData`] for empty outcomes and
+/// [`CoreError::InvalidConfig`] for a fraction outside `(0, 1]` or zero
+/// replicates.
+pub fn subsample_stability(
+    outcomes: &[DetectionOutcome],
+    metric: &dyn Metric,
+    fraction: f64,
+    replicates: usize,
+    rng: &mut SeededRng,
+) -> Result<f64> {
+    if outcomes.is_empty() {
+        return Err(CoreError::NoData {
+            reason: "no tool outcomes",
+        });
+    }
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(CoreError::InvalidConfig {
+            reason: format!("subsample fraction {fraction} outside (0, 1]"),
+        });
+    }
+    if replicates == 0 {
+        return Err(CoreError::InvalidConfig {
+            reason: "zero replicates".into(),
+        });
+    }
+    let cases = outcomes[0].records().len();
+    let k = ((cases as f64 * fraction).round() as usize).clamp(2, cases);
+    let full = rank_by_metric(outcomes, metric)?;
+    let full_pos: Vec<f64> = full.positions().iter().map(|&p| p as f64).collect();
+
+    let mut taus = Vec::with_capacity(replicates);
+    for _ in 0..replicates {
+        let idx = rng.sample_without_replacement(cases, k);
+        let oriented: Vec<f64> = outcomes
+            .iter()
+            .map(|o| {
+                let cm = o.confusion_for_indices(&idx);
+                let v = metric.compute_or_nan(&cm);
+                if v.is_nan() {
+                    f64::NEG_INFINITY
+                } else if metric.higher_is_better() {
+                    v
+                } else {
+                    -v
+                }
+            })
+            .collect();
+        let sub_ranking = ranking_from_scores(&oriented, true);
+        let sub_pos: Vec<f64> =
+            vdbench_mcda::ranking::positions_from_ranking(&sub_ranking)
+                .iter()
+                .map(|&p| p as f64)
+                .collect();
+        if let Ok(tau) = kendall_tau(&full_pos, &sub_pos) {
+            taus.push(tau);
+        }
+    }
+    if taus.is_empty() {
+        return Err(CoreError::NoData {
+            reason: "no defined subsample rankings",
+        });
+    }
+    Ok(taus.iter().sum::<f64>() / taus.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdbench_corpus::CorpusBuilder;
+    use vdbench_detectors::{score_detector, ProfileTool};
+    use vdbench_metrics::basic::{Fallout, Precision, Recall};
+    use vdbench_metrics::composite::Informedness;
+
+    fn outcomes() -> Vec<DetectionOutcome> {
+        let corpus = CorpusBuilder::new()
+            .units(500)
+            .vulnerability_density(0.3)
+            .seed(71)
+            .build();
+        // A precision-oriented tool and a recall-oriented tool: the pair
+        // whose ranking flips with the metric.
+        let quiet = ProfileTool::new("quiet", 0.55, 0.01, 1);
+        let chatty = ProfileTool::new("chatty", 0.95, 0.35, 2);
+        vec![
+            score_detector(&quiet, &corpus),
+            score_detector(&chatty, &corpus),
+        ]
+    }
+
+    #[test]
+    fn metric_choice_flips_the_winner() {
+        let outcomes = outcomes();
+        let by_precision = rank_by_metric(&outcomes, &Precision).unwrap();
+        let by_recall = rank_by_metric(&outcomes, &Recall).unwrap();
+        assert_eq!(by_precision.winner(), "quiet");
+        assert_eq!(by_recall.winner(), "chatty");
+    }
+
+    #[test]
+    fn lower_is_better_metrics_rank_correctly() {
+        let outcomes = outcomes();
+        let by_fallout = rank_by_metric(&outcomes, &Fallout).unwrap();
+        assert_eq!(by_fallout.winner(), "quiet");
+    }
+
+    #[test]
+    fn positions_invert_ranking() {
+        let outcomes = outcomes();
+        let t = rank_by_metric(&outcomes, &Informedness).unwrap();
+        let pos = t.positions();
+        assert_eq!(pos.len(), 2);
+        assert_eq!(t.ranking[pos.iter().position(|&p| p == 0).unwrap()], 0);
+    }
+
+    #[test]
+    fn disagreement_matrix_shape_and_symmetry() {
+        let outcomes = outcomes();
+        let metrics: Vec<Box<dyn Metric>> = vec![
+            Box::new(Precision),
+            Box::new(Recall),
+            Box::new(Informedness),
+        ];
+        let m = ranking_disagreement(&outcomes, &metrics).unwrap();
+        assert_eq!(m.len(), 3);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(v.to_bits(), m[j][i].to_bits());
+            }
+        }
+        // Precision and recall disagree completely on this pair of tools.
+        assert!((m[0][1] + 1.0).abs() < 1e-12, "tau {}", m[0][1]);
+    }
+
+    #[test]
+    fn stability_increases_with_fraction() {
+        let outcomes = outcomes();
+        let mut rng = SeededRng::new(9);
+        let small = subsample_stability(&outcomes, &Informedness, 0.05, 60, &mut rng).unwrap();
+        let mut rng = SeededRng::new(9);
+        let large = subsample_stability(&outcomes, &Informedness, 0.9, 60, &mut rng).unwrap();
+        assert!(large >= small, "stability {small} → {large}");
+        assert!(large > 0.9);
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut rng = SeededRng::new(1);
+        assert!(rank_by_metric(&[], &Recall).is_err());
+        assert!(ranking_disagreement(&[], &[]).is_err());
+        let o = outcomes();
+        assert!(subsample_stability(&o, &Recall, 0.0, 5, &mut rng).is_err());
+        assert!(subsample_stability(&o, &Recall, 0.5, 0, &mut rng).is_err());
+    }
+}

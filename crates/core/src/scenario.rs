@@ -1,0 +1,355 @@
+//! Concrete usage scenarios (stage 2 of the paper).
+//!
+//! "The effectiveness of vulnerability detection tools depends on the
+//! concrete use scenario" — these four scenarios operationalize that claim.
+//! Each scenario fixes a cost model (how expensive each error type is), a
+//! typical workload prevalence, and a *requirement profile*: how much the
+//! scenario cares about each characteristic of a good metric. The
+//! requirement profile doubles as the latent preference vector handed to
+//! simulated expert panels in the validation stage.
+
+use crate::attributes::MetricAttribute;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The four standard scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ScenarioId {
+    /// S1 — security audit with expert review of every report.
+    S1Audit,
+    /// S2 — business-critical deployment gate.
+    S2Gate,
+    /// S3 — tool comparison / procurement across heterogeneous workloads.
+    S3Procurement,
+    /// S4 — continuous-integration filter on low-prevalence code streams.
+    S4Triage,
+}
+
+impl ScenarioId {
+    /// All scenarios in presentation order.
+    pub fn all() -> &'static [ScenarioId] {
+        &[
+            ScenarioId::S1Audit,
+            ScenarioId::S2Gate,
+            ScenarioId::S3Procurement,
+            ScenarioId::S4Triage,
+        ]
+    }
+
+    /// Short label ("S1" … "S4").
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioId::S1Audit => "S1",
+            ScenarioId::S2Gate => "S2",
+            ScenarioId::S3Procurement => "S3",
+            ScenarioId::S4Triage => "S4",
+        }
+    }
+}
+
+impl fmt::Display for ScenarioId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fully specified usage scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Identifier.
+    pub id: ScenarioId,
+    /// Human-readable name.
+    pub name: String,
+    /// One-paragraph description of the use case.
+    pub description: String,
+    /// Cost of triaging one false positive (relative units).
+    pub fp_cost: f64,
+    /// Cost of one missed vulnerability (relative units).
+    pub fn_cost: f64,
+    /// Typical fraction of vulnerable units in this scenario's workloads.
+    pub typical_prevalence: f64,
+    /// Default workload size (benchmark cases) for the case studies.
+    pub workload_units: usize,
+    /// Requirement profile: relative importance of each good-metric
+    /// characteristic in this scenario (positive weights, not necessarily
+    /// normalized).
+    pub attribute_weights: BTreeMap<MetricAttribute, f64>,
+}
+
+impl Scenario {
+    /// The cost ratio `fn_cost / fp_cost` — how many false alarms one miss
+    /// is worth.
+    pub fn cost_ratio(&self) -> f64 {
+        self.fn_cost / self.fp_cost
+    }
+
+    /// Requirement weights as parallel vectors in [`MetricAttribute::all`]
+    /// order (zeros for absent attributes).
+    pub fn weight_vector(&self) -> Vec<f64> {
+        MetricAttribute::all()
+            .iter()
+            .map(|a| self.attribute_weights.get(a).copied().unwrap_or(0.0))
+            .collect()
+    }
+
+    /// Looks a standard scenario up by id.
+    pub fn standard(id: ScenarioId) -> Scenario {
+        standard_scenarios()
+            .into_iter()
+            .find(|s| s.id == id)
+            .expect("all ids covered")
+    }
+
+    /// Builds an ad-hoc scenario from a user's cost model and workload
+    /// prevalence, with a neutral requirement profile (cost alignment and
+    /// validity dominate, the remaining attributes get moderate weight).
+    /// This is the entry point behind `vdbench recommend`: describe your
+    /// situation numerically and let the selection machinery pick the
+    /// metric.
+    ///
+    /// The closest standard scenario id is attached for reporting (by cost
+    /// ratio and prevalence distance); the selection itself uses only the
+    /// supplied numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both costs are positive and finite and `prevalence`
+    /// lies in `(0, 1)`.
+    pub fn custom(fp_cost: f64, fn_cost: f64, prevalence: f64) -> Scenario {
+        assert!(
+            fp_cost.is_finite() && fp_cost > 0.0 && fn_cost.is_finite() && fn_cost > 0.0,
+            "costs must be positive and finite"
+        );
+        assert!(
+            prevalence > 0.0 && prevalence < 1.0,
+            "prevalence must be in (0, 1)"
+        );
+        use MetricAttribute as A;
+        // Nearest standard scenario in (log cost ratio, log prevalence)
+        // space, for reporting only.
+        let target = ((fn_cost / fp_cost).ln(), prevalence.ln());
+        let nearest = standard_scenarios()
+            .into_iter()
+            .min_by(|a, b| {
+                let d = |s: &Scenario| -> f64 {
+                    let dr = s.cost_ratio().ln() - target.0;
+                    let dp = s.typical_prevalence.ln() - target.1;
+                    dr * dr + dp * dp
+                };
+                d(a).total_cmp(&d(b))
+            })
+            .expect("standard scenarios exist");
+        Scenario {
+            id: nearest.id,
+            name: "Custom scenario".into(),
+            description: format!(
+                "User-described scenario: c(FP) = {fp_cost}, c(FN) = {fn_cost}, \
+                 prevalence ≈ {:.1}% (closest standard profile: {}).",
+                prevalence * 100.0,
+                nearest.id
+            ),
+            fp_cost,
+            fn_cost,
+            typical_prevalence: prevalence,
+            workload_units: 600,
+            attribute_weights: weights(&[
+                (A::CostAlignment, 8.0),
+                (A::Validity, 6.0),
+                (A::ChanceCorrection, 3.0),
+                (A::Simplicity, 3.0),
+                (A::Stability, 3.0),
+                (A::Definedness, 2.0),
+                (A::DiscriminativePower, 2.0),
+                (A::PrevalenceInvariance, 2.0),
+            ]),
+        }
+    }
+}
+
+fn weights(entries: &[(MetricAttribute, f64)]) -> BTreeMap<MetricAttribute, f64> {
+    entries.iter().copied().collect()
+}
+
+/// The four standard scenarios with their cost models and requirement
+/// profiles.
+///
+/// The profiles encode the scenario analysis of the paper: every scenario
+/// values validity and cost alignment, but they differ in how much they
+/// care about prevalence invariance (S3 compares across workloads),
+/// simplicity (S1's reports go to human reviewers and managers), chance
+/// correction (S4's prevalence is so low that uncorrected metrics
+/// degenerate) and discriminative power (S3 must separate close
+/// competitors).
+pub fn standard_scenarios() -> Vec<Scenario> {
+    use MetricAttribute as A;
+    vec![
+        Scenario {
+            id: ScenarioId::S1Audit,
+            name: "Security audit with expert review".into(),
+            description: "A security team reviews every tool report by hand. Review \
+                          capacity is the scarce resource, so false positives burn real \
+                          budget; residual risk is tolerated and handled by later process \
+                          stages. Metric consumers are human reviewers and managers."
+                .into(),
+            fp_cost: 5.0,
+            fn_cost: 1.0,
+            typical_prevalence: 0.25,
+            workload_units: 600,
+            attribute_weights: weights(&[
+                (A::CostAlignment, 9.0),
+                (A::Validity, 6.0),
+                (A::Simplicity, 5.0),
+                // Reviewers compare tool scores against the cost of random
+                // triage, so a metric that flatters chance-level reporting
+                // (accuracy at moderate prevalence) misleads the audit.
+                (A::ChanceCorrection, 3.0),
+                (A::Stability, 3.0),
+                (A::Definedness, 2.0),
+                (A::DiscriminativePower, 2.0),
+                (A::PrevalenceInvariance, 1.0),
+            ]),
+        },
+        Scenario {
+            id: ScenarioId::S2Gate,
+            name: "Business-critical deployment gate".into(),
+            description: "The tool gates deployment of a business-critical service: a \
+                          vulnerability that slips through is catastrophically expensive, \
+                          while a false alarm merely delays a release. The benchmark must \
+                          reward tools that miss as little as possible."
+                .into(),
+            fp_cost: 1.0,
+            fn_cost: 20.0,
+            typical_prevalence: 0.15,
+            workload_units: 600,
+            attribute_weights: weights(&[
+                (A::CostAlignment, 9.0),
+                (A::Validity, 6.0),
+                (A::Simplicity, 4.0),
+                (A::Stability, 3.0),
+                (A::Definedness, 2.0),
+                (A::DiscriminativePower, 2.0),
+                (A::PrevalenceInvariance, 1.0),
+                (A::ChanceCorrection, 1.0),
+            ]),
+        },
+        Scenario {
+            id: ScenarioId::S3Procurement,
+            name: "Tool comparison and procurement".into(),
+            description: "An organization ranks candidate tools using benchmark results \
+                          gathered on workloads with very different vulnerability \
+                          densities. The metric must order tools consistently regardless \
+                          of workload mix and must not reward chance-level behaviour."
+                .into(),
+            fp_cost: 1.0,
+            fn_cost: 3.0,
+            typical_prevalence: 0.3,
+            workload_units: 600,
+            attribute_weights: weights(&[
+                (A::PrevalenceInvariance, 9.0),
+                (A::ChanceCorrection, 7.0),
+                (A::DiscriminativePower, 6.0),
+                (A::Validity, 6.0),
+                (A::CostAlignment, 3.0),
+                (A::Stability, 3.0),
+                (A::Definedness, 2.0),
+                (A::Simplicity, 1.0),
+            ]),
+        },
+        Scenario {
+            id: ScenarioId::S4Triage,
+            name: "Continuous-integration filter".into(),
+            description: "The tool screens a high-volume stream of changes where true \
+                          vulnerabilities are rare (≈2%). Plain accuracy is degenerate \
+                          here (saying 'clean' scores 98%), so the metric must stay \
+                          meaningful at extreme class imbalance and respect the asymmetric \
+                          cost of the two error types."
+                .into(),
+            fp_cost: 2.0,
+            fn_cost: 8.0,
+            typical_prevalence: 0.02,
+            workload_units: 1500,
+            attribute_weights: weights(&[
+                (A::CostAlignment, 8.0),
+                (A::ChanceCorrection, 7.0),
+                (A::Validity, 6.0),
+                (A::PrevalenceInvariance, 4.0),
+                (A::Definedness, 4.0),
+                (A::Stability, 3.0),
+                (A::DiscriminativePower, 3.0),
+                (A::Simplicity, 1.0),
+            ]),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_standard_scenarios() {
+        let scenarios = standard_scenarios();
+        assert_eq!(scenarios.len(), 4);
+        let ids: Vec<ScenarioId> = scenarios.iter().map(|s| s.id).collect();
+        assert_eq!(ids, ScenarioId::all());
+    }
+
+    #[test]
+    fn cost_models_encode_the_narrative() {
+        let s1 = Scenario::standard(ScenarioId::S1Audit);
+        let s2 = Scenario::standard(ScenarioId::S2Gate);
+        assert!(s1.cost_ratio() < 1.0, "S1 is FP-dominated");
+        assert!(s2.cost_ratio() > 10.0, "S2 is FN-dominated");
+        let s4 = Scenario::standard(ScenarioId::S4Triage);
+        assert!(s4.typical_prevalence < 0.05, "S4 is low-prevalence");
+    }
+
+    #[test]
+    fn weight_vectors_cover_all_attributes() {
+        for s in standard_scenarios() {
+            let v = s.weight_vector();
+            assert_eq!(v.len(), MetricAttribute::all().len());
+            assert!(v.iter().all(|w| *w > 0.0), "{}: all attributes weighted", s.id);
+        }
+    }
+
+    #[test]
+    fn s3_prioritizes_invariance() {
+        let s3 = Scenario::standard(ScenarioId::S3Procurement);
+        let inv = s3.attribute_weights[&MetricAttribute::PrevalenceInvariance];
+        let simp = s3.attribute_weights[&MetricAttribute::Simplicity];
+        assert!(inv > simp * 5.0);
+    }
+
+    #[test]
+    fn custom_scenario_construction() {
+        let s = Scenario::custom(5.0, 1.0, 0.25);
+        assert_eq!(s.id, ScenarioId::S1Audit, "closest profile is the audit");
+        assert!((s.cost_ratio() - 0.2).abs() < 1e-12);
+        assert!(s.description.contains("c(FP) = 5"));
+        let s = Scenario::custom(1.0, 20.0, 0.15);
+        assert_eq!(s.id, ScenarioId::S2Gate);
+        let s = Scenario::custom(2.0, 8.0, 0.02);
+        assert_eq!(s.id, ScenarioId::S4Triage);
+        assert_eq!(s.weight_vector().len(), MetricAttribute::all().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "prevalence must be in")]
+    fn custom_scenario_validates_prevalence() {
+        let _ = Scenario::custom(1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "costs must be positive")]
+    fn custom_scenario_validates_costs() {
+        let _ = Scenario::custom(0.0, 1.0, 0.5);
+    }
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(ScenarioId::S1Audit.to_string(), "S1");
+        assert_eq!(ScenarioId::S4Triage.label(), "S4");
+    }
+}

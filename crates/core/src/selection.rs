@@ -1,0 +1,376 @@
+//! Per-scenario metric selection: analytical and MCDA-validated.
+//!
+//! The selector scores every candidate metric on the assessed attributes,
+//! weights the attributes by the scenario's requirement profile, and
+//! produces the **analytical ranking**. For validation it elicits a
+//! simulated expert panel, aggregates the judgments into AHP criteria
+//! weights, runs the hierarchy in ratings mode over the same attribute
+//! scores, and reports the agreement between the two rankings.
+
+use crate::attributes::{
+    assess_catalog, cost_alignment, AssessmentConfig, AttributeAssessment, MetricAttribute,
+};
+use crate::error::{CoreError, Result};
+use crate::scenario::{Scenario, ScenarioId};
+use serde::{Deserialize, Serialize};
+use vdbench_experts::Panel;
+use vdbench_mcda::ahp::Ahp;
+use vdbench_mcda::decision::Direction;
+use vdbench_mcda::ranking::ranking_from_scores;
+use vdbench_metrics::metric::Metric;
+use vdbench_metrics::MetricId;
+use vdbench_stats::correlation::kendall_tau;
+
+/// The default candidate short-list used in the scenario studies: the
+/// traditional metrics plus the paper's "seldom used" alternatives.
+pub fn default_candidates() -> Vec<Box<dyn Metric>> {
+    use vdbench_metrics::basic::{Accuracy, Precision, Recall, Specificity};
+    use vdbench_metrics::composite::{FMeasure, Informedness, Markedness, Mcc};
+    use vdbench_metrics::cost::ExpectedCost;
+    vec![
+        Box::new(Precision),
+        Box::new(Recall),
+        Box::new(Specificity),
+        Box::new(Accuracy),
+        Box::new(FMeasure::f1()),
+        Box::new(FMeasure::f2()),
+        Box::new(Informedness),
+        Box::new(Markedness),
+        Box::new(Mcc),
+        Box::new(ExpectedCost::fn_heavy()),
+        Box::new(ExpectedCost::fp_heavy()),
+    ]
+}
+
+/// The outcome of selecting a metric for one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionOutcome {
+    /// The scenario analyzed.
+    pub scenario: ScenarioId,
+    /// Candidate metric ids in candidate order.
+    pub candidates: Vec<MetricId>,
+    /// Analytical (requirement-weighted) scores per candidate.
+    pub analytical_scores: Vec<f64>,
+    /// Analytical ranking (candidate indices, best first).
+    pub analytical_ranking: Vec<usize>,
+    /// MCDA (AHP + experts) global priorities per candidate.
+    pub mcda_scores: Vec<f64>,
+    /// MCDA ranking (candidate indices, best first).
+    pub mcda_ranking: Vec<usize>,
+    /// AHP criteria weights recovered from the expert panel.
+    pub criteria_weights: Vec<f64>,
+    /// Consistency ratio of the aggregated expert judgments (`None` for
+    /// fewer than three criteria).
+    pub consistency_ratio: Option<f64>,
+    /// Kendall τ between the analytical and MCDA rankings.
+    pub agreement_tau: f64,
+    /// Whether both rankings pick the same winner.
+    pub top1_agree: bool,
+}
+
+impl SelectionOutcome {
+    /// The analytically selected metric.
+    pub fn analytical_best(&self) -> MetricId {
+        self.candidates[self.analytical_ranking[0]]
+    }
+
+    /// The MCDA-selected metric.
+    pub fn mcda_best(&self) -> MetricId {
+        self.candidates[self.mcda_ranking[0]]
+    }
+
+    /// Overlap size of the two rankings' top-`k` sets.
+    pub fn top_k_overlap(&self, k: usize) -> usize {
+        let a: std::collections::BTreeSet<_> =
+            self.analytical_ranking.iter().take(k).collect();
+        self.mcda_ranking
+            .iter()
+            .take(k)
+            .filter(|i| a.contains(i))
+            .count()
+    }
+}
+
+/// The metric-selection engine: candidates + their assessed attributes.
+pub struct MetricSelector {
+    candidates: Vec<Box<dyn Metric>>,
+    assessments: Vec<AttributeAssessment>,
+    cfg: AssessmentConfig,
+}
+
+impl MetricSelector {
+    /// Builds a selector, running the (generic) attribute assessment once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty candidate list.
+    pub fn new(candidates: Vec<Box<dyn Metric>>, cfg: AssessmentConfig) -> Result<Self> {
+        if candidates.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "no candidate metrics".into(),
+            });
+        }
+        let assessments = assess_catalog(&candidates, &cfg);
+        Ok(MetricSelector {
+            candidates,
+            assessments,
+            cfg,
+        })
+    }
+
+    /// The candidate metrics.
+    pub fn candidates(&self) -> &[Box<dyn Metric>] {
+        &self.candidates
+    }
+
+    /// The generic attribute assessments (no cost alignment).
+    pub fn assessments(&self) -> &[AttributeAssessment] {
+        &self.assessments
+    }
+
+    /// Full ratings matrix for a scenario: per candidate, the scores of
+    /// every attribute in [`MetricAttribute::all`] order, with the
+    /// scenario-specific cost alignment filled in.
+    pub fn ratings_for(&self, scenario: &Scenario) -> Vec<Vec<f64>> {
+        self.candidates
+            .iter()
+            .zip(&self.assessments)
+            .map(|(metric, sheet)| {
+                MetricAttribute::all()
+                    .iter()
+                    .map(|attr| match attr {
+                        MetricAttribute::CostAlignment => cost_alignment(
+                            metric.as_ref(),
+                            scenario.fp_cost,
+                            scenario.fn_cost,
+                            scenario.typical_prevalence,
+                            &self.cfg,
+                        ),
+                        other => sheet.score(*other),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Analytical selection: requirement-weighted sum of attribute scores.
+    pub fn analytical(&self, scenario: &Scenario) -> (Vec<f64>, Vec<usize>) {
+        let ratings = self.ratings_for(scenario);
+        let weights = scenario.weight_vector();
+        let total: f64 = weights.iter().sum();
+        let scores: Vec<f64> = ratings
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&weights)
+                    .map(|(r, w)| r * w)
+                    .sum::<f64>()
+                    / total
+            })
+            .collect();
+        let ranking = ranking_from_scores(&scores, true);
+        (scores, ranking)
+    }
+
+    /// Full selection for one scenario: analytical ranking + MCDA
+    /// validation against the given expert panel.
+    ///
+    /// The panel must judge [`MetricAttribute::all`]`.len()` criteria; its
+    /// aggregated judgments become the AHP criteria matrix, and the
+    /// assessed attribute scores are the ratings-mode alternatives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the panel's criteria
+    /// count does not match, or propagates MCDA errors.
+    pub fn select(&self, scenario: &Scenario, panel: &Panel) -> Result<SelectionOutcome> {
+        let n_criteria = MetricAttribute::all().len();
+        if panel.criteria_count() != n_criteria {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "panel judges {} criteria, scenario needs {}",
+                    panel.criteria_count(),
+                    n_criteria
+                ),
+            });
+        }
+        let (analytical_scores, analytical_ranking) = self.analytical(scenario);
+        let ratings = self.ratings_for(scenario);
+
+        let consensus = panel.aggregate()?;
+        let criteria_names: Vec<String> = MetricAttribute::all()
+            .iter()
+            .map(|a| a.label().to_string())
+            .collect();
+        let alt_names: Vec<String> = self
+            .candidates
+            .iter()
+            .map(|m| m.abbrev().to_string())
+            .collect();
+        let ahp = Ahp::with_ratings(
+            criteria_names,
+            consensus,
+            alt_names,
+            ratings,
+            vec![Direction::Benefit; n_criteria],
+        )?;
+        let result = ahp.solve()?;
+
+        let analytical_pos: Vec<f64> =
+            vdbench_mcda::ranking::positions_from_ranking(&analytical_ranking)
+                .iter()
+                .map(|&p| p as f64)
+                .collect();
+        let mcda_pos: Vec<f64> =
+            vdbench_mcda::ranking::positions_from_ranking(&result.ranking)
+                .iter()
+                .map(|&p| p as f64)
+                .collect();
+        let agreement_tau = kendall_tau(&analytical_pos, &mcda_pos).unwrap_or(f64::NAN);
+
+        Ok(SelectionOutcome {
+            scenario: scenario.id,
+            candidates: self.candidates.iter().map(|m| m.id()).collect(),
+            top1_agree: analytical_ranking[0] == result.ranking[0],
+            analytical_scores,
+            analytical_ranking,
+            mcda_scores: result.scores.clone(),
+            mcda_ranking: result.ranking.clone(),
+            criteria_weights: result.criteria_weights.clone(),
+            consistency_ratio: result.criteria_consistency.cr,
+            agreement_tau,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::standard_scenarios;
+
+    fn quick_cfg() -> AssessmentConfig {
+        AssessmentConfig {
+            workload_size: 200,
+            reference_prevalence: 0.2,
+            tool_sample: 40,
+            replicates: 100,
+            seed: 77,
+        }
+    }
+
+    fn selector() -> MetricSelector {
+        MetricSelector::new(default_candidates(), quick_cfg()).unwrap()
+    }
+
+    fn low_noise_panel(scenario: &Scenario) -> Panel {
+        Panel::homogeneous(&scenario.weight_vector(), 7, 0.1, 99)
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        assert!(MetricSelector::new(vec![], quick_cfg()).is_err());
+    }
+
+    #[test]
+    fn ratings_shape() {
+        let s = selector();
+        let scenario = Scenario::standard(ScenarioId::S1Audit);
+        let ratings = s.ratings_for(&scenario);
+        assert_eq!(ratings.len(), s.candidates().len());
+        for row in &ratings {
+            assert_eq!(row.len(), MetricAttribute::all().len());
+            assert!(row.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn scenario_winners_follow_the_paper_narrative() {
+        let s = selector();
+        // S1 (false positives costly): a precision-flavoured metric wins.
+        let (_, r1) = s.analytical(&Scenario::standard(ScenarioId::S1Audit));
+        let s1_best = s.candidates()[r1[0]].id();
+        assert!(
+            matches!(
+                s1_best,
+                MetricId::Precision | MetricId::CostFpHeavy | MetricId::FHalf | MetricId::F1
+            ),
+            "S1 picked {s1_best:?}"
+        );
+        // S2 (misses costly): a recall-flavoured metric wins.
+        let (_, r2) = s.analytical(&Scenario::standard(ScenarioId::S2Gate));
+        let s2_best = s.candidates()[r2[0]].id();
+        assert!(
+            matches!(
+                s2_best,
+                MetricId::Recall | MetricId::CostFnHeavy | MetricId::F2
+            ),
+            "S2 picked {s2_best:?}"
+        );
+        // S3 (cross-workload comparison): a chance-corrected,
+        // prevalence-robust metric wins — the "seldom used" family.
+        let (_, r3) = s.analytical(&Scenario::standard(ScenarioId::S3Procurement));
+        let s3_best = s.candidates()[r3[0]].id();
+        assert!(
+            matches!(s3_best, MetricId::Informedness | MetricId::Mcc),
+            "S3 picked {s3_best:?}"
+        );
+        // Accuracy must not win anywhere.
+        for scenario in standard_scenarios() {
+            let (_, r) = s.analytical(&scenario);
+            assert_ne!(
+                s.candidates()[r[0]].id(),
+                MetricId::Accuracy,
+                "accuracy won {}",
+                scenario.id
+            );
+        }
+    }
+
+    #[test]
+    fn low_noise_mcda_validates_analytical_selection() {
+        let s = selector();
+        for scenario in standard_scenarios() {
+            let panel = low_noise_panel(&scenario);
+            let outcome = s.select(&scenario, &panel).unwrap();
+            assert!(
+                outcome.agreement_tau > 0.5,
+                "{}: tau {}",
+                scenario.id,
+                outcome.agreement_tau
+            );
+            assert!(
+                outcome.top_k_overlap(3) >= 2,
+                "{}: top-3 overlap {}",
+                scenario.id,
+                outcome.top_k_overlap(3)
+            );
+            if let Some(cr) = outcome.consistency_ratio {
+                assert!(cr < 0.2, "{}: CR {cr}", scenario.id);
+            }
+        }
+    }
+
+    #[test]
+    fn panel_size_mismatch_rejected() {
+        let s = selector();
+        let scenario = Scenario::standard(ScenarioId::S1Audit);
+        let bad_panel = Panel::homogeneous(&[0.5, 0.5], 3, 0.1, 1);
+        assert!(s.select(&scenario, &bad_panel).is_err());
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let s = selector();
+        let scenario = Scenario::standard(ScenarioId::S2Gate);
+        let outcome = s.select(&scenario, &low_noise_panel(&scenario)).unwrap();
+        assert_eq!(
+            outcome.analytical_best(),
+            outcome.candidates[outcome.analytical_ranking[0]]
+        );
+        assert_eq!(
+            outcome.mcda_best(),
+            outcome.candidates[outcome.mcda_ranking[0]]
+        );
+        assert!(outcome.top_k_overlap(outcome.candidates.len()) == outcome.candidates.len());
+    }
+}

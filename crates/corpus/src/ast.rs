@@ -1,0 +1,505 @@
+//! The MiniWeb abstract syntax tree.
+//!
+//! MiniWeb is a small structured imperative language shaped like a web
+//! request handler: values are strings, integers and booleans; data enters
+//! through request sources, flows through lets, concatenations, conditionals
+//! and helper calls, and exits at security-sensitive sinks.
+
+use crate::types::{SanitizerKind, SinkKind, SourceKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Uniquely identifies a sink call site across the corpus: the benchmark
+/// "case" that ground truth labels and tools report on.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct SiteId {
+    /// Index of the unit within the corpus.
+    pub unit: u32,
+    /// Index of the sink within the unit (textual order).
+    pub sink: u32,
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}:s{}", self.unit, self.sink)
+    }
+}
+
+/// Binary operators (conditions and light arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Equality (ints, strings, bools).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than (ints).
+    Lt,
+    /// Greater-than (ints).
+    Gt,
+    /// Addition (ints).
+    Add,
+    /// Subtraction (ints).
+    Sub,
+}
+
+impl BinOp {
+    /// Surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Gt => ">",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+        }
+    }
+}
+
+/// MiniWeb expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Var(String),
+    /// Attacker-controlled input: `param("id")`, `header("ua")`, …
+    Source {
+        /// Which request surface the data comes from.
+        kind: SourceKind,
+        /// The parameter/header/cookie name.
+        name: String,
+    },
+    /// String concatenation.
+    Concat(Box<Expr>, Box<Expr>),
+    /// Sanitization of a sub-expression.
+    Sanitize {
+        /// The sanitizer applied.
+        kind: SanitizerKind,
+        /// The sanitized expression.
+        arg: Box<Expr>,
+    },
+    /// Binary operation.
+    BinOp {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Reads a value from the unit's persistent store (e.g. a database
+    /// row); the empty string when the key was never written. Taint
+    /// persists through the store, enabling second-order injection flows.
+    StoreRead {
+        /// Store key.
+        key: String,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for string literals.
+    pub fn str(s: impl Into<String>) -> Expr {
+        Expr::Str(s.into())
+    }
+
+    /// Convenience constructor for variable references.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience constructor for concatenation.
+    pub fn concat(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Concat(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for sanitization.
+    pub fn sanitize(kind: SanitizerKind, arg: Expr) -> Expr {
+        Expr::Sanitize {
+            kind,
+            arg: Box::new(arg),
+        }
+    }
+
+    /// Whether the expression syntactically contains any source.
+    pub fn contains_source(&self) -> bool {
+        match self {
+            Expr::Source { .. } => true,
+            Expr::Concat(a, b) => a.contains_source() || b.contains_source(),
+            Expr::Sanitize { arg, .. } => arg.contains_source(),
+            Expr::BinOp { lhs, rhs, .. } => lhs.contains_source() || rhs.contains_source(),
+            _ => false,
+        }
+    }
+
+    /// Whether the expression syntactically contains a sanitizer call.
+    pub fn contains_sanitizer(&self) -> bool {
+        match self {
+            Expr::Sanitize { .. } => true,
+            Expr::Concat(a, b) => a.contains_sanitizer() || b.contains_sanitizer(),
+            Expr::BinOp { lhs, rhs, .. } => {
+                lhs.contains_sanitizer() || rhs.contains_sanitizer()
+            }
+            _ => false,
+        }
+    }
+
+    /// Variables referenced by the expression, in first-occurrence order.
+    pub fn referenced_vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Var(v)
+                if !out.contains(&v.as_str()) => {
+                    out.push(v);
+                }
+            Expr::Concat(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Sanitize { arg, .. } => arg.collect_vars(out),
+            Expr::BinOp { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// MiniWeb statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `let x = expr;` — introduces or shadows a variable.
+    Let {
+        /// Variable name.
+        var: String,
+        /// Initializer.
+        expr: Expr,
+    },
+    /// `x = expr;` — reassignment.
+    Assign {
+        /// Variable name.
+        var: String,
+        /// New value.
+        expr: Expr,
+    },
+    /// Conditional with both branches.
+    If {
+        /// Condition (evaluated as a boolean).
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_branch: Vec<Stmt>,
+    },
+    /// Bounded while loop.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A security-sensitive sink call.
+    Sink {
+        /// The sink kind.
+        kind: SinkKind,
+        /// Argument expression.
+        arg: Expr,
+        /// Corpus-wide site identifier (benchmark case id).
+        site: SiteId,
+    },
+    /// `let var = call(f, args);` — helper-function call with result bind.
+    Call {
+        /// Variable receiving the return value (`None` discards it).
+        var: Option<String>,
+        /// Callee name (must exist among the unit's helpers).
+        func: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `return expr;`
+    Return(
+        /// Returned value.
+        Expr,
+    ),
+    /// Persists a value in the unit's store under a key (e.g. an INSERT).
+    StoreWrite {
+        /// Store key.
+        key: String,
+        /// The stored value.
+        expr: Expr,
+    },
+}
+
+/// A MiniWeb function: the unit entry handler or a helper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Formal parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Creates a function.
+    pub fn new(name: impl Into<String>, params: Vec<String>, body: Vec<Stmt>) -> Self {
+        Function {
+            name: name.into(),
+            params,
+            body,
+        }
+    }
+}
+
+/// One benchmark code unit: an entry handler plus its private helpers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Unit {
+    /// Index within the corpus.
+    pub id: u32,
+    /// The entry-point handler invoked with a [`crate::interp::Request`].
+    pub handler: Function,
+    /// Helper functions callable from the handler (and each other).
+    pub helpers: Vec<Function>,
+}
+
+impl Unit {
+    /// Iterates over every sink statement in the unit (handler and
+    /// helpers), in declaration order.
+    pub fn sinks(&self) -> Vec<(&SinkKind, &Expr, SiteId)> {
+        let mut out = Vec::new();
+        collect_sinks(&self.handler.body, &mut out);
+        for h in &self.helpers {
+            collect_sinks(&h.body, &mut out);
+        }
+        out
+    }
+
+    /// Looks up a function (handler or helper) by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        if self.handler.name == name {
+            return Some(&self.handler);
+        }
+        self.helpers.iter().find(|f| f.name == name)
+    }
+
+    /// Every `(source kind, name)` pair referenced anywhere in the unit —
+    /// the input surface a crawler/spider would discover (form fields, API
+    /// parameters). Dynamic scanners are allowed to see this; gate *values*
+    /// remain hidden.
+    pub fn referenced_sources(&self) -> Vec<(crate::types::SourceKind, String)> {
+        let mut out = Vec::new();
+        let mut visit_expr = |e: &Expr, out: &mut Vec<(crate::types::SourceKind, String)>| {
+            collect_sources(e, out);
+        };
+        fn walk(
+            body: &[Stmt],
+            out: &mut Vec<(crate::types::SourceKind, String)>,
+            visit: &mut impl FnMut(&Expr, &mut Vec<(crate::types::SourceKind, String)>),
+        ) {
+            for stmt in body {
+                match stmt {
+                    Stmt::Let { expr, .. }
+                    | Stmt::Assign { expr, .. }
+                    | Stmt::Return(expr)
+                    | Stmt::StoreWrite { expr, .. } => visit(expr, out),
+                    Stmt::Sink { arg, .. } => visit(arg, out),
+                    Stmt::Call { args, .. } => {
+                        for a in args {
+                            visit(a, out);
+                        }
+                    }
+                    Stmt::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    } => {
+                        visit(cond, out);
+                        walk(then_branch, out, visit);
+                        walk(else_branch, out, visit);
+                    }
+                    Stmt::While { cond, body } => {
+                        visit(cond, out);
+                        walk(body, out, visit);
+                    }
+                }
+            }
+        }
+        walk(&self.handler.body, &mut out, &mut visit_expr);
+        for h in &self.helpers {
+            walk(&h.body, &mut out, &mut visit_expr);
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Total statement count across handler and helpers (a code-size
+    /// proxy).
+    pub fn statement_count(&self) -> usize {
+        fn count(body: &[Stmt]) -> usize {
+            body.iter()
+                .map(|s| match s {
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => 1 + count(then_branch) + count(else_branch),
+                    Stmt::While { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.handler.body) + self.helpers.iter().map(|h| count(&h.body)).sum::<usize>()
+    }
+}
+
+fn collect_sources(expr: &Expr, out: &mut Vec<(SourceKind, String)>) {
+    match expr {
+        Expr::Source { kind, name } => out.push((*kind, name.clone())),
+        Expr::Concat(a, b) => {
+            collect_sources(a, out);
+            collect_sources(b, out);
+        }
+        Expr::Sanitize { arg, .. } => collect_sources(arg, out),
+        Expr::BinOp { lhs, rhs, .. } => {
+            collect_sources(lhs, out);
+            collect_sources(rhs, out);
+        }
+        _ => {}
+    }
+}
+
+fn collect_sinks<'a>(body: &'a [Stmt], out: &mut Vec<(&'a SinkKind, &'a Expr, SiteId)>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Sink { kind, arg, site } => out.push((kind, arg, *site)),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_sinks(then_branch, out);
+                collect_sinks(else_branch, out);
+            }
+            Stmt::While { body, .. } => collect_sinks(body, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SanitizerKind;
+
+    fn site(s: u32) -> SiteId {
+        SiteId { unit: 0, sink: s }
+    }
+
+    #[test]
+    fn site_id_display() {
+        assert_eq!(SiteId { unit: 3, sink: 1 }.to_string(), "u3:s1");
+    }
+
+    #[test]
+    fn expr_source_detection() {
+        let e = Expr::concat(
+            Expr::str("SELECT * FROM t WHERE id="),
+            Expr::Source {
+                kind: SourceKind::HttpParam,
+                name: "id".into(),
+            },
+        );
+        assert!(e.contains_source());
+        assert!(!Expr::str("literal").contains_source());
+        let sanitized = Expr::sanitize(SanitizerKind::EscapeSql, e.clone());
+        assert!(sanitized.contains_source());
+        assert!(sanitized.contains_sanitizer());
+        assert!(!e.contains_sanitizer());
+    }
+
+    #[test]
+    fn referenced_vars_dedup_and_order() {
+        let e = Expr::concat(
+            Expr::var("a"),
+            Expr::concat(Expr::var("b"), Expr::var("a")),
+        );
+        assert_eq!(e.referenced_vars(), vec!["a", "b"]);
+        let bin = Expr::BinOp {
+            op: BinOp::Eq,
+            lhs: Box::new(Expr::var("x")),
+            rhs: Box::new(Expr::Int(1)),
+        };
+        assert_eq!(bin.referenced_vars(), vec!["x"]);
+    }
+
+    #[test]
+    fn unit_sink_collection_recurses() {
+        let unit = Unit {
+            id: 0,
+            handler: Function::new(
+                "handler",
+                vec![],
+                vec![
+                    Stmt::Sink {
+                        kind: SinkKind::SqlQuery,
+                        arg: Expr::str("q"),
+                        site: site(0),
+                    },
+                    Stmt::If {
+                        cond: Expr::Bool(true),
+                        then_branch: vec![Stmt::Sink {
+                            kind: SinkKind::HtmlOutput,
+                            arg: Expr::str("x"),
+                            site: site(1),
+                        }],
+                        else_branch: vec![Stmt::While {
+                            cond: Expr::Bool(false),
+                            body: vec![Stmt::Sink {
+                                kind: SinkKind::FileOpen,
+                                arg: Expr::str("f"),
+                                site: site(2),
+                            }],
+                        }],
+                    },
+                ],
+            ),
+            helpers: vec![Function::new(
+                "helper",
+                vec!["x".into()],
+                vec![Stmt::Sink {
+                    kind: SinkKind::ShellExec,
+                    arg: Expr::var("x"),
+                    site: site(3),
+                }],
+            )],
+        };
+        let sinks = unit.sinks();
+        assert_eq!(sinks.len(), 4);
+        assert_eq!(sinks[0].2, site(0));
+        assert_eq!(sinks[3].2, site(3));
+        assert!(unit.function("helper").is_some());
+        assert!(unit.function("handler").is_some());
+        assert!(unit.function("nope").is_none());
+        assert_eq!(unit.statement_count(), 6);
+    }
+
+    #[test]
+    fn binop_symbols() {
+        assert_eq!(BinOp::Eq.symbol(), "==");
+        assert_eq!(BinOp::Add.symbol(), "+");
+    }
+}

@@ -1,0 +1,211 @@
+//! The generated corpus and its ground truth.
+
+use crate::ast::{SiteId, Unit};
+use crate::interp::Request;
+use crate::types::{FlowShape, VulnClass};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A multi-request attack session (requests share the unit's store).
+pub type AttackSession = Vec<Request>;
+
+/// Ground truth for one sink site (one benchmark case).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteInfo {
+    /// The site this record labels.
+    pub site: SiteId,
+    /// The vulnerability class the site belongs to.
+    pub class: VulnClass,
+    /// Whether the site is actually vulnerable (by construction, and
+    /// verified by the reference interpreter for reachable taint flows).
+    pub vulnerable: bool,
+    /// How the flow was constructed.
+    pub shape: FlowShape,
+    /// An attack session driving execution to the sink (with attack
+    /// payloads on the tainted inputs); most shapes need one request,
+    /// second-order flows need two. `None` for sites that are statically
+    /// unreachable (dead guards). Used by tests to *verify* ground truth —
+    /// detection tools never see it.
+    pub witness: Option<AttackSession>,
+}
+
+/// A complete benchmark workload: units plus per-site ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    units: Vec<Unit>,
+    sites: Vec<SiteInfo>,
+    seed: u64,
+}
+
+impl Corpus {
+    /// Assembles a corpus from parts (used by the generator; typical users
+    /// go through [`crate::CorpusBuilder`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a site references a unit index outside `units`.
+    pub fn from_parts(units: Vec<Unit>, sites: Vec<SiteInfo>, seed: u64) -> Self {
+        for s in &sites {
+            assert!(
+                (s.site.unit as usize) < units.len(),
+                "site {} references missing unit",
+                s.site
+            );
+        }
+        Corpus { units, sites, seed }
+    }
+
+    /// The code units.
+    pub fn units(&self) -> &[Unit] {
+        &self.units
+    }
+
+    /// Iterator over the ground-truth site records.
+    pub fn sites(&self) -> impl Iterator<Item = &SiteInfo> {
+        self.sites.iter()
+    }
+
+    /// Number of benchmark cases (sites).
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Looks up ground truth for a site.
+    pub fn site_info(&self, site: SiteId) -> Option<&SiteInfo> {
+        self.sites.iter().find(|s| s.site == site)
+    }
+
+    /// The unit containing a site.
+    pub fn unit_of(&self, site: SiteId) -> Option<&Unit> {
+        self.units.get(site.unit as usize)
+    }
+
+    /// The seed the corpus was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> CorpusStats {
+        let mut by_class: BTreeMap<VulnClass, ClassCount> = BTreeMap::new();
+        let mut by_shape: BTreeMap<FlowShape, usize> = BTreeMap::new();
+        let mut vulnerable = 0usize;
+        for s in &self.sites {
+            let c = by_class.entry(s.class).or_default();
+            c.total += 1;
+            if s.vulnerable {
+                c.vulnerable += 1;
+                vulnerable += 1;
+            }
+            *by_shape.entry(s.shape).or_insert(0) += 1;
+        }
+        CorpusStats {
+            units: self.units.len(),
+            sites: self.sites.len(),
+            vulnerable_sites: vulnerable,
+            prevalence: if self.sites.is_empty() {
+                f64::NAN
+            } else {
+                vulnerable as f64 / self.sites.len() as f64
+            },
+            by_class,
+            by_shape,
+            total_statements: self.units.iter().map(Unit::statement_count).sum(),
+        }
+    }
+}
+
+/// Per-class counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCount {
+    /// Sites of the class.
+    pub total: usize,
+    /// Vulnerable sites of the class.
+    pub vulnerable: usize,
+}
+
+/// Aggregate corpus statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Number of code units.
+    pub units: usize,
+    /// Number of benchmark cases (sink sites).
+    pub sites: usize,
+    /// Vulnerable cases.
+    pub vulnerable_sites: usize,
+    /// Fraction of vulnerable cases.
+    pub prevalence: f64,
+    /// Per-class breakdown.
+    pub by_class: BTreeMap<VulnClass, ClassCount>,
+    /// Flow-shape histogram.
+    pub by_shape: BTreeMap<FlowShape, usize>,
+    /// Total MiniWeb statements across the corpus (code-size proxy).
+    pub total_statements: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Function;
+
+    fn tiny() -> Corpus {
+        let unit = Unit {
+            id: 0,
+            handler: Function::new("h", vec![], vec![]),
+            helpers: vec![],
+        };
+        let site = SiteId { unit: 0, sink: 0 };
+        Corpus::from_parts(
+            vec![unit],
+            vec![SiteInfo {
+                site,
+                class: VulnClass::Xss,
+                vulnerable: true,
+                shape: FlowShape::Direct,
+                witness: Some(vec![Request::new()]),
+            }],
+            7,
+        )
+    }
+
+    #[test]
+    fn lookup_and_stats() {
+        let c = tiny();
+        assert_eq!(c.units().len(), 1);
+        assert_eq!(c.site_count(), 1);
+        assert_eq!(c.seed(), 7);
+        let site = SiteId { unit: 0, sink: 0 };
+        assert!(c.site_info(site).unwrap().vulnerable);
+        assert!(c.unit_of(site).is_some());
+        assert!(c.site_info(SiteId { unit: 0, sink: 9 }).is_none());
+        let stats = c.stats();
+        assert_eq!(stats.vulnerable_sites, 1);
+        assert!((stats.prevalence - 1.0).abs() < 1e-12);
+        assert_eq!(stats.by_class[&VulnClass::Xss].total, 1);
+        assert_eq!(stats.by_shape[&FlowShape::Direct], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing unit")]
+    fn dangling_site_panics() {
+        let _ = Corpus::from_parts(
+            vec![],
+            vec![SiteInfo {
+                site: SiteId { unit: 0, sink: 0 },
+                class: VulnClass::Xss,
+                vulnerable: false,
+                shape: FlowShape::LiteralOnly,
+                witness: None,
+            }],
+            0,
+        );
+    }
+
+    #[test]
+    fn empty_corpus_stats() {
+        let c = Corpus::from_parts(vec![], vec![], 0);
+        let s = c.stats();
+        assert_eq!(s.units, 0);
+        assert!(s.prevalence.is_nan());
+    }
+}

@@ -1,0 +1,532 @@
+//! The seeded corpus generator.
+//!
+//! [`CorpusBuilder`] turns a handful of knobs (unit count, vulnerability
+//! density, class mix, flow-shape tendencies) into a deterministic corpus
+//! with construction-time ground truth. The actual code shapes live in
+//! [`recipes`].
+
+pub mod recipes;
+
+use crate::ast::{SiteId, Unit};
+use crate::corpus::{Corpus, SiteInfo};
+use crate::types::{FlowShape, VulnClass};
+use recipes::{pattern_recipe, safe_recipe, vulnerable_recipe, RecipeOutput};
+use vdbench_stats::SeededRng;
+
+/// Builder for deterministic MiniWeb corpora.
+///
+/// ```
+/// use vdbench_corpus::CorpusBuilder;
+///
+/// let corpus = CorpusBuilder::new()
+///     .units(200)
+///     .vulnerability_density(0.25)
+///     .seed(7)
+///     .build();
+/// let stats = corpus.stats();
+/// assert_eq!(stats.units, 200);
+/// // Achieved prevalence is binomially distributed around the target.
+/// assert!((stats.prevalence - 0.25).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CorpusBuilder {
+    units: usize,
+    density: f64,
+    classes: Vec<VulnClass>,
+    /// Sampling weight per entry of `classes` (parallel vector; uniform
+    /// when `None`).
+    class_weights: Option<Vec<f64>>,
+    seed: u64,
+    /// Probability that a vulnerable taint flow hides behind a mismatched
+    /// or partial sanitizer (disguised vulnerabilities).
+    disguise_rate: f64,
+    /// Probability that a safe taint site is a dead-guard decoy (static
+    /// false-positive bait) rather than a sanitized or literal flow.
+    decoy_rate: f64,
+    /// Probability that a flow crosses a helper function.
+    interproc_rate: f64,
+    /// Probability that a vulnerable sink hides behind an input gate.
+    gate_rate: f64,
+    /// Probability that a vulnerable taint flow is second-order (persisted
+    /// through the store and triggered by a later request).
+    stored_rate: f64,
+    /// Probability that an input gate uses an obscure random token rather
+    /// than a guessable common value (drives dynamic-scanner misses).
+    gate_obscurity: f64,
+    /// Maximum extra noise statements per unit.
+    noise: usize,
+}
+
+impl Default for CorpusBuilder {
+    fn default() -> Self {
+        CorpusBuilder {
+            units: 100,
+            density: 0.3,
+            classes: VulnClass::all().to_vec(),
+            class_weights: None,
+            seed: 0xC0FFEE,
+            disguise_rate: 0.25,
+            decoy_rate: 0.3,
+            interproc_rate: 0.25,
+            gate_rate: 0.2,
+            stored_rate: 0.12,
+            gate_obscurity: 0.5,
+            noise: 4,
+        }
+    }
+}
+
+impl CorpusBuilder {
+    /// Creates a builder with the default profile (100 units, 30% density,
+    /// all classes).
+    pub fn new() -> Self {
+        CorpusBuilder::default()
+    }
+
+    /// Sets the number of code units (= benchmark cases).
+    pub fn units(mut self, units: usize) -> Self {
+        self.units = units;
+        self
+    }
+
+    /// Sets the target fraction of vulnerable units.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `density` is in `[0, 1]`.
+    pub fn vulnerability_density(mut self, density: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&density),
+            "density must be in [0, 1]"
+        );
+        self.density = density;
+        self
+    }
+
+    /// Restricts the vulnerability classes to inject (uniform mix; any
+    /// previously set weights are cleared).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty class list.
+    pub fn classes(mut self, classes: Vec<VulnClass>) -> Self {
+        assert!(!classes.is_empty(), "class list must be non-empty");
+        self.classes = classes;
+        self.class_weights = None;
+        self
+    }
+
+    /// Sets a weighted class mix — e.g. the SQLi/XSS-dominated profile of
+    /// typical web applications.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty mix or non-positive weights.
+    pub fn class_mix(mut self, mix: Vec<(VulnClass, f64)>) -> Self {
+        assert!(!mix.is_empty(), "class mix must be non-empty");
+        assert!(
+            mix.iter().all(|(_, w)| w.is_finite() && *w > 0.0),
+            "class weights must be positive"
+        );
+        self.classes = mix.iter().map(|(c, _)| *c).collect();
+        self.class_weights = Some(mix.into_iter().map(|(_, w)| w).collect());
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the disguised-vulnerability rate (mismatched/partial
+    /// sanitizers).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate is in `[0, 1]`.
+    pub fn disguise_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.disguise_rate = rate;
+        self
+    }
+
+    /// Sets the dead-guard decoy rate among safe sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate is in `[0, 1]`.
+    pub fn decoy_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.decoy_rate = rate;
+        self
+    }
+
+    /// Sets the interprocedural-flow rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate is in `[0, 1]`.
+    pub fn interproc_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.interproc_rate = rate;
+        self
+    }
+
+    /// Sets the input-gating rate for vulnerable flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate is in `[0, 1]`.
+    pub fn gate_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.gate_rate = rate;
+        self
+    }
+
+    /// Sets the second-order (stored) flow rate for vulnerable flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate is in `[0, 1]`.
+    pub fn stored_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.stored_rate = rate;
+        self
+    }
+
+    /// Sets how often gates use obscure (unguessable) values.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate is in `[0, 1]`.
+    pub fn gate_obscurity(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.gate_obscurity = rate;
+        self
+    }
+
+    /// Sets the maximum number of noise statements per unit.
+    pub fn noise(mut self, noise: usize) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Generates the corpus.
+    pub fn build(&self) -> Corpus {
+        let mut rng = SeededRng::new(self.seed);
+        let mut units = Vec::with_capacity(self.units);
+        let mut sites = Vec::with_capacity(self.units);
+        for i in 0..self.units {
+            let mut unit_rng = rng.split(&format!("unit-{i}"));
+            let (unit, info) = self.generate_unit(i as u32, &mut unit_rng);
+            units.push(unit);
+            sites.push(info);
+        }
+        Corpus::from_parts(units, sites, self.seed)
+    }
+
+    fn generate_unit(&self, id: u32, rng: &mut SeededRng) -> (Unit, SiteInfo) {
+        let vulnerable = rng.bernoulli(self.density);
+        let class = match &self.class_weights {
+            Some(weights) => {
+                let idx = rng
+                    .choose_weighted(weights)
+                    .expect("weights validated positive");
+                self.classes[idx]
+            }
+            None => *rng.choose(&self.classes),
+        };
+        let site = SiteId { unit: id, sink: 0 };
+
+        let output: RecipeOutput = if !class.is_taint_based() {
+            pattern_recipe(class, vulnerable, site, rng)
+        } else if vulnerable {
+            let shape = self.pick_vulnerable_shape(rng);
+            vulnerable_recipe(class, shape, site, self.gate_obscurity, rng)
+        } else {
+            let shape = self.pick_safe_shape(rng);
+            safe_recipe(class, shape, site, rng)
+        };
+
+        let mut body = output.body;
+        recipes::inject_noise(&mut body, self.noise, rng);
+
+        let unit = Unit {
+            id,
+            handler: crate::ast::Function::new(format!("handler_{id}"), vec![], body),
+            helpers: output.helpers,
+        };
+        let info = SiteInfo {
+            site,
+            class,
+            vulnerable: output.shape.is_vulnerable(),
+            shape: output.shape,
+            witness: output.witness,
+        };
+        (unit, info)
+    }
+
+    fn pick_vulnerable_shape(&self, rng: &mut SeededRng) -> FlowShape {
+        if rng.bernoulli(self.stored_rate) {
+            FlowShape::Stored
+        } else if rng.bernoulli(self.disguise_rate) {
+            if rng.bernoulli(0.5) {
+                FlowShape::SanitizedMismatch
+            } else {
+                FlowShape::SanitizedPartial
+            }
+        } else if rng.bernoulli(self.gate_rate) {
+            FlowShape::InputGated
+        } else if rng.bernoulli(self.interproc_rate) {
+            FlowShape::Interprocedural
+        } else {
+            match rng.index(5) {
+                0 | 1 => FlowShape::Direct,
+                2 | 3 => FlowShape::Chained,
+                _ => FlowShape::LoopCarried,
+            }
+        }
+    }
+
+    fn pick_safe_shape(&self, rng: &mut SeededRng) -> FlowShape {
+        if rng.bernoulli(self.decoy_rate) {
+            FlowShape::DeadGuard
+        } else if rng.bernoulli(self.stored_rate) {
+            FlowShape::StoredLiteral
+        } else if rng.bernoulli(0.35) {
+            FlowShape::LiteralOnly
+        } else {
+            FlowShape::SanitizedCorrect
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interpreter, Request};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = CorpusBuilder::new().units(30).seed(5).build();
+        let b = CorpusBuilder::new().units(30).seed(5).build();
+        assert_eq!(a, b);
+        let c = CorpusBuilder::new().units(30).seed(6).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn density_respected() {
+        let corpus = CorpusBuilder::new()
+            .units(2000)
+            .vulnerability_density(0.3)
+            .seed(11)
+            .build();
+        let stats = corpus.stats();
+        assert!(
+            (stats.prevalence - 0.3).abs() < 0.04,
+            "prevalence {}",
+            stats.prevalence
+        );
+        let zero = CorpusBuilder::new()
+            .units(50)
+            .vulnerability_density(0.0)
+            .seed(1)
+            .build();
+        assert_eq!(zero.stats().vulnerable_sites, 0);
+        let full = CorpusBuilder::new()
+            .units(50)
+            .vulnerability_density(1.0)
+            .seed(1)
+            .build();
+        assert_eq!(full.stats().vulnerable_sites, 50);
+    }
+
+    #[test]
+    fn one_site_per_unit() {
+        let corpus = CorpusBuilder::new().units(40).seed(3).build();
+        assert_eq!(corpus.site_count(), 40);
+        for unit in corpus.units() {
+            assert_eq!(unit.sinks().len(), 1, "unit {} sinks", unit.id);
+        }
+    }
+
+    #[test]
+    fn class_mix_weights_respected() {
+        let corpus = CorpusBuilder::new()
+            .units(3000)
+            .class_mix(vec![
+                (VulnClass::SqlInjection, 6.0),
+                (VulnClass::Xss, 3.0),
+                (VulnClass::WeakHash, 1.0),
+            ])
+            .seed(12)
+            .build();
+        let stats = corpus.stats();
+        let sql = stats.by_class[&VulnClass::SqlInjection].total as f64;
+        let xss = stats.by_class[&VulnClass::Xss].total as f64;
+        let hash = stats.by_class[&VulnClass::WeakHash].total as f64;
+        assert!((sql / xss - 2.0).abs() < 0.3, "sql/xss = {}", sql / xss);
+        assert!((xss / hash - 3.0).abs() < 0.8, "xss/hash = {}", xss / hash);
+        assert_eq!(stats.by_class.len(), 3);
+        // `classes` clears weights again.
+        let uniform = CorpusBuilder::new()
+            .units(100)
+            .class_mix(vec![(VulnClass::SqlInjection, 9.0), (VulnClass::Xss, 1.0)])
+            .classes(vec![VulnClass::SqlInjection, VulnClass::Xss])
+            .seed(12)
+            .build();
+        let s = uniform.stats();
+        let ratio = s.by_class[&VulnClass::SqlInjection].total as f64
+            / s.by_class[&VulnClass::Xss].total as f64;
+        assert!(ratio < 2.0, "uniform after classes(): {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn class_mix_rejects_bad_weights() {
+        let _ = CorpusBuilder::new().class_mix(vec![(VulnClass::Xss, 0.0)]);
+    }
+
+    #[test]
+    fn class_restriction() {
+        let corpus = CorpusBuilder::new()
+            .units(60)
+            .classes(vec![VulnClass::SqlInjection])
+            .seed(9)
+            .build();
+        for s in corpus.sites() {
+            assert_eq!(s.class, VulnClass::SqlInjection);
+        }
+    }
+
+    #[test]
+    fn ground_truth_verified_by_interpreter() {
+        // For every site with a witness, executing the witness must
+        // reproduce the label: vulnerable sites show taint at the sink,
+        // safe reachable taint sites do not.
+        let corpus = CorpusBuilder::new()
+            .units(300)
+            .vulnerability_density(0.4)
+            .seed(21)
+            .build();
+        let interp = Interpreter::default();
+        let mut verified = 0;
+        for info in corpus.sites() {
+            let Some(witness) = &info.witness else {
+                assert_eq!(
+                    info.shape,
+                    crate::types::FlowShape::DeadGuard,
+                    "only dead guards lack witnesses"
+                );
+                continue;
+            };
+            let unit = corpus.unit_of(info.site).unwrap();
+            let obs = interp.run_session(unit, witness).unwrap_or_else(|e| {
+                panic!("unit {} failed to execute: {e}", unit.id)
+            });
+            let at_site: Vec<_> = obs.iter().filter(|o| o.site == info.site).collect();
+            assert!(
+                !at_site.is_empty(),
+                "witness for {} did not reach the sink (shape {:?})",
+                info.site,
+                info.shape
+            );
+            if info.class.is_taint_based() {
+                let observed_tainted = at_site.iter().any(|o| o.tainted);
+                assert_eq!(
+                    observed_tainted, info.vulnerable,
+                    "ground truth mismatch at {} (shape {:?})",
+                    info.site, info.shape
+                );
+            }
+            verified += 1;
+        }
+        assert!(verified > 200, "verified only {verified} sites");
+    }
+
+    #[test]
+    fn dead_guards_never_execute() {
+        let corpus = CorpusBuilder::new()
+            .units(200)
+            .vulnerability_density(0.0)
+            .decoy_rate(1.0)
+            .classes(vec![
+                VulnClass::SqlInjection,
+                VulnClass::Xss,
+                VulnClass::CommandInjection,
+                VulnClass::PathTraversal,
+            ])
+            .seed(33)
+            .build();
+        let interp = Interpreter::default();
+        for info in corpus.sites() {
+            assert_eq!(info.shape, crate::types::FlowShape::DeadGuard);
+            let unit = corpus.unit_of(info.site).unwrap();
+            // Even a fully hostile request cannot reach the sink.
+            let mut req = Request::new();
+            for (kind, name) in unit.referenced_sources() {
+                req.set(kind, name, "' OR 1=1 --");
+            }
+            let obs = interp.run(unit, &req).unwrap();
+            assert!(obs.iter().all(|o| o.site != info.site));
+        }
+    }
+
+    #[test]
+    fn noise_increases_code_size() {
+        let quiet = CorpusBuilder::new().units(50).noise(0).seed(2).build();
+        let noisy = CorpusBuilder::new().units(50).noise(10).seed(2).build();
+        assert!(noisy.stats().total_statements > quiet.stats().total_statements);
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be in")]
+    fn bad_density_panics() {
+        let _ = CorpusBuilder::new().vulnerability_density(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_classes_panics() {
+        let _ = CorpusBuilder::new().classes(vec![]);
+    }
+
+    #[test]
+    fn shape_mix_controls() {
+        let disguised = CorpusBuilder::new()
+            .units(200)
+            .vulnerability_density(1.0)
+            .disguise_rate(1.0)
+            .stored_rate(0.0)
+            .classes(vec![VulnClass::SqlInjection])
+            .seed(4)
+            .build();
+        for s in disguised.sites() {
+            assert!(matches!(
+                s.shape,
+                crate::types::FlowShape::SanitizedMismatch
+                    | crate::types::FlowShape::SanitizedPartial
+            ));
+        }
+        let plain = CorpusBuilder::new()
+            .units(100)
+            .vulnerability_density(1.0)
+            .disguise_rate(0.0)
+            .gate_rate(0.0)
+            .interproc_rate(0.0)
+            .stored_rate(0.0)
+            .classes(vec![VulnClass::Xss])
+            .seed(4)
+            .build();
+        for s in plain.sites() {
+            assert!(matches!(
+                s.shape,
+                crate::types::FlowShape::Direct
+                    | crate::types::FlowShape::Chained
+                    | crate::types::FlowShape::LoopCarried
+            ));
+        }
+    }
+}

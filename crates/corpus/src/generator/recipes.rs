@@ -1,0 +1,789 @@
+//! Flow-shape recipes: the concrete MiniWeb code the generator emits.
+//!
+//! Each recipe builds one handler body (plus helpers) containing exactly
+//! one sink site, and records a *witness* request proving the site's
+//! ground-truth label under the reference interpreter.
+
+use crate::ast::{BinOp, Expr, Function, SiteId, Stmt};
+use crate::corpus::AttackSession;
+use crate::interp::Request;
+use crate::types::{FlowShape, SanitizerKind, SinkKind, SourceKind, VulnClass};
+use vdbench_stats::SeededRng;
+
+/// What a recipe produced.
+#[derive(Debug, Clone)]
+pub struct RecipeOutput {
+    /// Handler body statements.
+    pub body: Vec<Stmt>,
+    /// Helper functions (interprocedural shapes).
+    pub helpers: Vec<Function>,
+    /// The realized flow shape.
+    pub shape: FlowShape,
+    /// An attack session reaching the sink and exhibiting the labelled
+    /// behaviour; `None` only for statically unreachable sites.
+    pub witness: Option<AttackSession>,
+}
+
+/// Input-name pools per class, mimicking realistic API surfaces.
+fn input_name(class: VulnClass, rng: &mut SeededRng) -> &'static str {
+    let pool: &[&'static str] = match class {
+        VulnClass::SqlInjection => &["id", "user", "q", "order_id"],
+        VulnClass::Xss => &["comment", "name", "message", "title"],
+        VulnClass::CommandInjection => &["cmd", "target", "host", "filename"],
+        VulnClass::PathTraversal => &["file", "doc", "path", "template"],
+        VulnClass::HardcodedCredentials | VulnClass::WeakHash => &["input"],
+    };
+    pool[rng.index(pool.len())]
+}
+
+/// Literal context written in front of the tainted data at the sink.
+fn sink_prefix(class: VulnClass) -> &'static str {
+    match class {
+        VulnClass::SqlInjection => "SELECT * FROM records WHERE key = '",
+        VulnClass::Xss => "<div class=\"result\">",
+        VulnClass::CommandInjection => "/usr/bin/report --target ",
+        VulnClass::PathTraversal => "/srv/app/data/",
+        VulnClass::HardcodedCredentials => "",
+        VulnClass::WeakHash => "",
+    }
+}
+
+/// A class-appropriate attack payload for witness requests.
+pub fn attack_payload(class: VulnClass) -> &'static str {
+    match class {
+        VulnClass::SqlInjection => "x' OR '1'='1",
+        VulnClass::Xss => "<script>alert(1)</script>",
+        VulnClass::CommandInjection => "; cat /etc/passwd",
+        VulnClass::PathTraversal => "../../etc/passwd",
+        VulnClass::HardcodedCredentials | VulnClass::WeakHash => "",
+    }
+}
+
+/// Which request surface the tainted input arrives on. Parameters dominate,
+/// with occasional header/cookie sources.
+fn source_kind(rng: &mut SeededRng) -> SourceKind {
+    let r = rng.uniform();
+    if r < 0.7 {
+        SourceKind::HttpParam
+    } else if r < 0.85 {
+        SourceKind::HttpHeader
+    } else {
+        SourceKind::Cookie
+    }
+}
+
+fn source(kind: SourceKind, name: &str) -> Expr {
+    Expr::Source {
+        kind,
+        name: name.to_string(),
+    }
+}
+
+/// Common gate values a scanner's dictionary would try, vs obscure tokens
+/// it cannot guess.
+const COMMON_GATES: [&str; 6] = ["1", "true", "debug", "admin", "yes", "full"];
+
+fn gate_value(obscurity: f64, rng: &mut SeededRng) -> String {
+    if rng.bernoulli(obscurity) {
+        // An unguessable token.
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        (0..8)
+            .map(|_| ALPHABET[rng.index(ALPHABET.len())] as char)
+            .collect()
+    } else {
+        COMMON_GATES[rng.index(COMMON_GATES.len())].to_string()
+    }
+}
+
+/// Builds a vulnerable taint-flow recipe of the given shape.
+///
+/// # Panics
+///
+/// Panics if called with a non-taint class or non-vulnerable shape
+/// (generator invariant).
+pub fn vulnerable_recipe(
+    class: VulnClass,
+    shape: FlowShape,
+    site: SiteId,
+    gate_obscurity: f64,
+    rng: &mut SeededRng,
+) -> RecipeOutput {
+    assert!(class.is_taint_based(), "taint recipe for pattern class");
+    assert!(shape.is_vulnerable(), "vulnerable recipe for safe shape");
+    let sink_kind = class.sink();
+    let kind = source_kind(rng);
+    let name = input_name(class, rng);
+    let prefix = sink_prefix(class);
+    let mut witness = Request::new();
+    witness.set(kind, name, attack_payload(class));
+
+    match shape {
+        FlowShape::Direct => RecipeOutput {
+            body: vec![Stmt::Sink {
+                kind: sink_kind,
+                arg: Expr::concat(Expr::str(prefix), source(kind, name)),
+                site,
+            }],
+            helpers: vec![],
+            shape,
+            witness: Some(vec![witness]),
+        },
+        FlowShape::Chained => {
+            let hops = 1 + rng.index(3);
+            let mut body = vec![Stmt::Let {
+                var: "v0".into(),
+                expr: source(kind, name),
+            }];
+            let mut last = "v0".to_string();
+            for h in 1..=hops {
+                let var = format!("v{h}");
+                let expr = if h == 1 {
+                    Expr::concat(Expr::str(prefix), Expr::var(&last))
+                } else {
+                    Expr::concat(Expr::var(&last), Expr::str("'"))
+                };
+                body.push(Stmt::Let {
+                    var: var.clone(),
+                    expr,
+                });
+                last = var;
+            }
+            body.push(Stmt::Sink {
+                kind: sink_kind,
+                arg: Expr::var(&last),
+                site,
+            });
+            RecipeOutput {
+                body,
+                helpers: vec![],
+                shape,
+                witness: Some(vec![witness]),
+            }
+        }
+        FlowShape::InputGated => {
+            let gate_name = "mode";
+            let gate_val = gate_value(gate_obscurity, rng);
+            witness.set(SourceKind::HttpParam, gate_name, gate_val.clone());
+            let body = vec![Stmt::If {
+                cond: Expr::BinOp {
+                    op: BinOp::Eq,
+                    lhs: Box::new(source(SourceKind::HttpParam, gate_name)),
+                    rhs: Box::new(Expr::str(gate_val)),
+                },
+                then_branch: vec![Stmt::Sink {
+                    kind: sink_kind,
+                    arg: Expr::concat(Expr::str(prefix), source(kind, name)),
+                    site,
+                }],
+                else_branch: vec![Stmt::Let {
+                    var: "status".into(),
+                    expr: Expr::str("forbidden"),
+                }],
+            }];
+            RecipeOutput {
+                body,
+                helpers: vec![],
+                shape,
+                witness: Some(vec![witness]),
+            }
+        }
+        FlowShape::Interprocedural => {
+            let deep = rng.bernoulli(0.4);
+            let mut helpers = vec![Function::new(
+                "build_arg",
+                vec!["x".into()],
+                vec![Stmt::Return(Expr::concat(
+                    Expr::str(prefix),
+                    Expr::var("x"),
+                ))],
+            )];
+            let entry_fn = if deep {
+                helpers.push(Function::new(
+                    "prepare",
+                    vec!["raw".into()],
+                    vec![
+                        Stmt::Call {
+                            var: Some("built".into()),
+                            func: "build_arg".into(),
+                            args: vec![Expr::var("raw")],
+                        },
+                        Stmt::Return(Expr::var("built")),
+                    ],
+                ));
+                "prepare"
+            } else {
+                "build_arg"
+            };
+            let body = vec![
+                Stmt::Call {
+                    var: Some("q".into()),
+                    func: entry_fn.into(),
+                    args: vec![source(kind, name)],
+                },
+                Stmt::Sink {
+                    kind: sink_kind,
+                    arg: Expr::var("q"),
+                    site,
+                },
+            ];
+            RecipeOutput {
+                body,
+                helpers,
+                shape,
+                witness: Some(vec![witness]),
+            }
+        }
+        FlowShape::SanitizedMismatch => {
+            let wrong = SanitizerKind::mismatched_for(sink_kind)
+                .expect("taint sinks have mismatched sanitizers");
+            RecipeOutput {
+                body: vec![
+                    Stmt::Let {
+                        var: "clean".into(),
+                        expr: Expr::sanitize(wrong, source(kind, name)),
+                    },
+                    Stmt::Sink {
+                        kind: sink_kind,
+                        arg: Expr::concat(Expr::str(prefix), Expr::var("clean")),
+                        site,
+                    },
+                ],
+                helpers: vec![],
+                shape,
+                witness: Some(vec![witness]),
+            }
+        }
+        FlowShape::SanitizedPartial => {
+            let correct = SanitizerKind::correct_for(sink_kind)
+                .expect("taint sinks have correct sanitizers");
+            // The sanitizing path triggers only on strict=1; the witness
+            // leaves `strict` unset, taking the vulnerable path.
+            let body = vec![
+                Stmt::Let {
+                    var: "val".into(),
+                    expr: source(kind, name),
+                },
+                Stmt::If {
+                    cond: Expr::BinOp {
+                        op: BinOp::Eq,
+                        lhs: Box::new(source(SourceKind::HttpParam, "strict")),
+                        rhs: Box::new(Expr::str("1")),
+                    },
+                    then_branch: vec![Stmt::Assign {
+                        var: "val".into(),
+                        expr: Expr::sanitize(correct, Expr::var("val")),
+                    }],
+                    else_branch: vec![],
+                },
+                Stmt::Sink {
+                    kind: sink_kind,
+                    arg: Expr::concat(Expr::str(prefix), Expr::var("val")),
+                    site,
+                },
+            ];
+            RecipeOutput {
+                body,
+                helpers: vec![],
+                shape,
+                witness: Some(vec![witness]),
+            }
+        }
+        FlowShape::LoopCarried => {
+            // The tainted input is appended to an accumulator across a
+            // bounded loop before hitting the sink — the taint must
+            // survive a loop fixpoint to be seen statically.
+            let iters = 2 + rng.index(3) as i64;
+            let body = vec![
+                Stmt::Let {
+                    var: "acc".into(),
+                    expr: Expr::str(prefix),
+                },
+                Stmt::Let {
+                    var: "i".into(),
+                    expr: Expr::Int(0),
+                },
+                Stmt::While {
+                    cond: Expr::BinOp {
+                        op: BinOp::Lt,
+                        lhs: Box::new(Expr::var("i")),
+                        rhs: Box::new(Expr::Int(iters)),
+                    },
+                    body: vec![
+                        Stmt::Assign {
+                            var: "acc".into(),
+                            expr: Expr::concat(
+                                Expr::concat(Expr::var("acc"), Expr::str(",")),
+                                source(kind, name),
+                            ),
+                        },
+                        Stmt::Assign {
+                            var: "i".into(),
+                            expr: Expr::BinOp {
+                                op: BinOp::Add,
+                                lhs: Box::new(Expr::var("i")),
+                                rhs: Box::new(Expr::Int(1)),
+                            },
+                        },
+                    ],
+                },
+                Stmt::Sink {
+                    kind: sink_kind,
+                    arg: Expr::var("acc"),
+                    site,
+                },
+            ];
+            RecipeOutput {
+                body,
+                helpers: vec![],
+                shape,
+                witness: Some(vec![witness]),
+            }
+        }
+        FlowShape::Stored => {
+            let key = store_key(rng);
+            // Phase 1 (action=save) persists the raw input; phase 2 (any
+            // other request) reads it back into the sink. No single
+            // request can both write and trigger — the classic
+            // second-order pattern.
+            let body = vec![Stmt::If {
+                cond: Expr::BinOp {
+                    op: BinOp::Eq,
+                    lhs: Box::new(source(SourceKind::HttpParam, "action")),
+                    rhs: Box::new(Expr::str("save")),
+                },
+                then_branch: vec![
+                    Stmt::StoreWrite {
+                        key: key.to_string(),
+                        expr: source(kind, name),
+                    },
+                    Stmt::Let {
+                        var: "ack".into(),
+                        expr: Expr::str("saved"),
+                    },
+                ],
+                else_branch: vec![
+                    Stmt::Let {
+                        var: "stored".into(),
+                        expr: Expr::StoreRead {
+                            key: key.to_string(),
+                        },
+                    },
+                    Stmt::Sink {
+                        kind: sink_kind,
+                        arg: Expr::concat(Expr::str(prefix), Expr::var("stored")),
+                        site,
+                    },
+                ],
+            }];
+            let mut save = witness.clone();
+            save.set(SourceKind::HttpParam, "action", "save");
+            let trigger = Request::new();
+            RecipeOutput {
+                body,
+                helpers: vec![],
+                shape,
+                witness: Some(vec![save, trigger]),
+            }
+        }
+        other => unreachable!("vulnerable_recipe got safe shape {other:?}"),
+    }
+}
+
+/// Store-key pool for second-order flows.
+fn store_key(rng: &mut SeededRng) -> &'static str {
+    const KEYS: [&str; 4] = ["profile", "bio", "draft", "last_query"];
+    KEYS[rng.index(KEYS.len())]
+}
+
+/// Builds a safe taint-class recipe of the given shape.
+///
+/// # Panics
+///
+/// Panics if called with a vulnerable shape (generator invariant).
+pub fn safe_recipe(
+    class: VulnClass,
+    shape: FlowShape,
+    site: SiteId,
+    rng: &mut SeededRng,
+) -> RecipeOutput {
+    assert!(!shape.is_vulnerable(), "safe recipe for vulnerable shape");
+    let sink_kind = class.sink();
+    let kind = source_kind(rng);
+    let name = input_name(class, rng);
+    let prefix = sink_prefix(class);
+    let mut witness = Request::new();
+    witness.set(kind, name, attack_payload(class));
+
+    match shape {
+        FlowShape::SanitizedCorrect => {
+            let sanitizer = match rng.index(4) {
+                0 => SanitizerKind::ValidateInt,
+                1 => SanitizerKind::WhitelistCheck,
+                _ => SanitizerKind::correct_for(sink_kind)
+                    .expect("taint sinks have correct sanitizers"),
+            };
+            RecipeOutput {
+                body: vec![
+                    Stmt::Let {
+                        var: "clean".into(),
+                        expr: Expr::sanitize(sanitizer, source(kind, name)),
+                    },
+                    Stmt::Sink {
+                        kind: sink_kind,
+                        arg: Expr::concat(Expr::str(prefix), Expr::var("clean")),
+                        site,
+                    },
+                ],
+                helpers: vec![],
+                shape,
+                witness: Some(vec![witness]),
+            }
+        }
+        FlowShape::LiteralOnly => RecipeOutput {
+            body: vec![
+                Stmt::Let {
+                    var: "fixed".into(),
+                    expr: Expr::str("constant-value"),
+                },
+                Stmt::Sink {
+                    kind: sink_kind,
+                    arg: Expr::concat(Expr::str(prefix), Expr::var("fixed")),
+                    site,
+                },
+            ],
+            helpers: vec![],
+            shape,
+            // Any request reaches the sink; keep the payload for surface
+            // realism.
+            witness: Some(vec![witness]),
+        },
+        FlowShape::DeadGuard => RecipeOutput {
+            body: vec![Stmt::If {
+                // A constant-false guard a path-insensitive analysis will
+                // not evaluate.
+                cond: Expr::BinOp {
+                    op: BinOp::Eq,
+                    lhs: Box::new(Expr::Int(1)),
+                    rhs: Box::new(Expr::Int(2)),
+                },
+                then_branch: vec![Stmt::Sink {
+                    kind: sink_kind,
+                    arg: Expr::concat(Expr::str(prefix), source(kind, name)),
+                    site,
+                }],
+                else_branch: vec![Stmt::Let {
+                    var: "audit".into(),
+                    expr: Expr::concat(Expr::str("skipped:"), source(kind, name)),
+                }],
+            }],
+            helpers: vec![],
+            shape,
+            witness: None,
+        },
+        FlowShape::StoredLiteral => {
+            let key = store_key(rng);
+            let body = vec![Stmt::If {
+                cond: Expr::BinOp {
+                    op: BinOp::Eq,
+                    lhs: Box::new(source(SourceKind::HttpParam, "action")),
+                    rhs: Box::new(Expr::str("save")),
+                },
+                then_branch: vec![Stmt::StoreWrite {
+                    key: key.to_string(),
+                    expr: Expr::str("default-profile"),
+                }],
+                else_branch: vec![
+                    Stmt::Let {
+                        var: "stored".into(),
+                        expr: Expr::StoreRead {
+                            key: key.to_string(),
+                        },
+                    },
+                    Stmt::Sink {
+                        kind: sink_kind,
+                        arg: Expr::concat(Expr::str(prefix), Expr::var("stored")),
+                        site,
+                    },
+                ],
+            }];
+            let save = Request::new().with_param("action", "save");
+            RecipeOutput {
+                body,
+                helpers: vec![],
+                shape,
+                witness: Some(vec![save, witness]),
+            }
+        }
+        other => unreachable!("safe_recipe got vulnerable shape {other:?}"),
+    }
+}
+
+/// Builds a pattern-class (credentials / weak-hash) recipe.
+pub fn pattern_recipe(
+    class: VulnClass,
+    vulnerable: bool,
+    site: SiteId,
+    rng: &mut SeededRng,
+) -> RecipeOutput {
+    let shape = if vulnerable {
+        FlowShape::BadConfiguration
+    } else {
+        FlowShape::GoodConfiguration
+    };
+    let witness = Some(vec![
+        Request::new().with_header("authorization", "Bearer token")
+    ]);
+    match class {
+        VulnClass::HardcodedCredentials => {
+            let body = if vulnerable {
+                const LEAKED: [&str; 4] = ["s3cr3t!", "admin123", "hunter2", "changeme"];
+                vec![
+                    Stmt::Let {
+                        var: "password".into(),
+                        expr: Expr::str(LEAKED[rng.index(LEAKED.len())]),
+                    },
+                    Stmt::Sink {
+                        kind: SinkKind::Authenticate,
+                        arg: Expr::var("password"),
+                        site,
+                    },
+                ]
+            } else {
+                vec![Stmt::Sink {
+                    kind: SinkKind::Authenticate,
+                    arg: Expr::Source {
+                        kind: SourceKind::HttpHeader,
+                        name: "authorization".into(),
+                    },
+                    site,
+                }]
+            };
+            RecipeOutput {
+                body,
+                helpers: vec![],
+                shape,
+                witness,
+            }
+        }
+        VulnClass::WeakHash => {
+            let algo = if vulnerable {
+                const WEAK: [&str; 3] = ["md5", "sha1", "crc32"];
+                WEAK[rng.index(WEAK.len())]
+            } else {
+                const STRONG: [&str; 3] = ["sha256", "sha512", "bcrypt"];
+                STRONG[rng.index(STRONG.len())]
+            };
+            RecipeOutput {
+                body: vec![Stmt::Sink {
+                    kind: SinkKind::CryptoHash,
+                    arg: Expr::str(algo),
+                    site,
+                }],
+                helpers: vec![],
+                shape,
+                witness,
+            }
+        }
+        other => unreachable!("pattern_recipe got taint class {other:?}"),
+    }
+}
+
+/// Sprinkles self-contained noise statements into a body at random
+/// positions. Noise never touches the flow's variables or adds sinks; it
+/// exists to give analyzers realistic code to wade through and to widen the
+/// crawlable input surface.
+pub fn inject_noise(body: &mut Vec<Stmt>, max_noise: usize, rng: &mut SeededRng) {
+    if max_noise == 0 {
+        return;
+    }
+    let count = rng.index(max_noise + 1);
+    for i in 0..count {
+        let stmt = make_noise_stmt(i, rng);
+        let pos = rng.index(body.len() + 1);
+        body.insert(pos, stmt);
+    }
+}
+
+fn make_noise_stmt(i: usize, rng: &mut SeededRng) -> Stmt {
+    match rng.index(4) {
+        0 => Stmt::Let {
+            var: format!("n{i}"),
+            expr: Expr::Int(rng.index(1000) as i64),
+        },
+        1 => Stmt::Let {
+            var: format!("log{i}"),
+            expr: Expr::concat(
+                Expr::str("request from "),
+                Expr::Source {
+                    kind: SourceKind::HttpHeader,
+                    name: "user-agent".into(),
+                },
+            ),
+        },
+        2 => Stmt::If {
+            cond: Expr::BinOp {
+                op: BinOp::Gt,
+                lhs: Box::new(Expr::Source {
+                    kind: SourceKind::HttpParam,
+                    name: "page".into(),
+                }),
+                rhs: Box::new(Expr::Int(0)),
+            },
+            then_branch: vec![Stmt::Let {
+                var: format!("offset{i}"),
+                expr: Expr::Int(20),
+            }],
+            else_branch: vec![Stmt::Let {
+                var: format!("offset{i}"),
+                expr: Expr::Int(0),
+            }],
+        },
+        _ => {
+            // A self-contained terminating counter loop (wrapped in an If
+            // so the counter initialization travels with the loop).
+            let counter = format!("c{i}");
+            Stmt::If {
+                cond: Expr::Bool(true),
+                then_branch: vec![
+                    Stmt::Let {
+                        var: counter.clone(),
+                        expr: Expr::Int(0),
+                    },
+                    Stmt::While {
+                        cond: Expr::BinOp {
+                            op: BinOp::Lt,
+                            lhs: Box::new(Expr::var(&counter)),
+                            rhs: Box::new(Expr::Int(3)),
+                        },
+                        body: vec![Stmt::Assign {
+                            var: counter.clone(),
+                            expr: Expr::BinOp {
+                                op: BinOp::Add,
+                                lhs: Box::new(Expr::var(&counter)),
+                                rhs: Box::new(Expr::Int(1)),
+                            },
+                        }],
+                    },
+                ],
+                else_branch: vec![],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> SiteId {
+        SiteId { unit: 0, sink: 0 }
+    }
+
+    #[test]
+    fn payloads_are_class_appropriate() {
+        assert!(attack_payload(VulnClass::SqlInjection).contains('\''));
+        assert!(attack_payload(VulnClass::Xss).contains("<script>"));
+        assert!(attack_payload(VulnClass::CommandInjection).starts_with(';'));
+        assert!(attack_payload(VulnClass::PathTraversal).contains("../"));
+    }
+
+    #[test]
+    fn direct_recipe_shape() {
+        let mut rng = SeededRng::new(1);
+        let out = vulnerable_recipe(
+            VulnClass::SqlInjection,
+            FlowShape::Direct,
+            site(),
+            0.5,
+            &mut rng,
+        );
+        assert_eq!(out.body.len(), 1);
+        assert!(out.helpers.is_empty());
+        assert!(out.witness.is_some());
+        assert!(matches!(out.body[0], Stmt::Sink { .. }));
+    }
+
+    #[test]
+    fn interprocedural_recipe_has_helpers() {
+        let mut rng = SeededRng::new(2);
+        let out = vulnerable_recipe(
+            VulnClass::CommandInjection,
+            FlowShape::Interprocedural,
+            site(),
+            0.5,
+            &mut rng,
+        );
+        assert!(!out.helpers.is_empty());
+    }
+
+    #[test]
+    fn dead_guard_has_no_witness() {
+        let mut rng = SeededRng::new(3);
+        let out = safe_recipe(VulnClass::Xss, FlowShape::DeadGuard, site(), &mut rng);
+        assert!(out.witness.is_none());
+        assert!(!out.shape.is_vulnerable());
+    }
+
+    #[test]
+    #[should_panic(expected = "safe shape")]
+    fn vulnerable_recipe_rejects_safe_shape() {
+        let mut rng = SeededRng::new(4);
+        let _ = vulnerable_recipe(
+            VulnClass::Xss,
+            FlowShape::LiteralOnly,
+            site(),
+            0.5,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "vulnerable shape")]
+    fn safe_recipe_rejects_vulnerable_shape() {
+        let mut rng = SeededRng::new(4);
+        let _ = safe_recipe(VulnClass::Xss, FlowShape::Direct, site(), &mut rng);
+    }
+
+    #[test]
+    fn pattern_recipes() {
+        let mut rng = SeededRng::new(5);
+        let bad = pattern_recipe(VulnClass::WeakHash, true, site(), &mut rng);
+        assert_eq!(bad.shape, FlowShape::BadConfiguration);
+        let good = pattern_recipe(VulnClass::HardcodedCredentials, false, site(), &mut rng);
+        assert_eq!(good.shape, FlowShape::GoodConfiguration);
+    }
+
+    #[test]
+    fn noise_is_bounded_and_positionally_random() {
+        let mut rng = SeededRng::new(6);
+        let mut body = vec![Stmt::Let {
+            var: "keep".into(),
+            expr: Expr::Int(1),
+        }];
+        inject_noise(&mut body, 5, &mut rng);
+        assert!(body.len() <= 6);
+        // The original statement survives.
+        assert!(body.iter().any(
+            |s| matches!(s, Stmt::Let { var, .. } if var == "keep")
+        ));
+        // Zero noise is a no-op.
+        let mut b2 = body.clone();
+        inject_noise(&mut b2, 0, &mut rng);
+        assert_eq!(b2.len(), body.len());
+    }
+
+    #[test]
+    fn gate_values_mix_common_and_obscure() {
+        let mut rng = SeededRng::new(7);
+        let mut common = 0;
+        for _ in 0..200 {
+            let v = gate_value(0.5, &mut rng);
+            if COMMON_GATES.contains(&v.as_str()) {
+                common += 1;
+            } else {
+                assert_eq!(v.len(), 8);
+            }
+        }
+        assert!(common > 60 && common < 140, "common={common}");
+    }
+}

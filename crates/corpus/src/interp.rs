@@ -1,0 +1,1019 @@
+//! The MiniWeb reference interpreter with dynamic taint tracking.
+//!
+//! This defines the language's dynamic semantics and doubles as the
+//! runtime substrate for pentest-style detection: run a handler under an
+//! attacker-chosen [`Request`] and observe which sinks receive data still
+//! tainted for their sink kind.
+
+use crate::ast::{BinOp, Expr, SiteId, Stmt, Unit};
+use crate::types::{SanitizerKind, SinkKind, SourceKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An HTTP-like request supplying all attacker-controlled inputs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    params: BTreeMap<String, String>,
+    headers: BTreeMap<String, String>,
+    cookies: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// Creates an empty request.
+    pub fn new() -> Self {
+        Request::default()
+    }
+
+    /// Sets a query parameter (builder style).
+    pub fn with_param(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.params.insert(name.into(), value.into());
+        self
+    }
+
+    /// Sets a header (builder style).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.insert(name.into(), value.into());
+        self
+    }
+
+    /// Sets a cookie (builder style).
+    pub fn with_cookie(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.cookies.insert(name.into(), value.into());
+        self
+    }
+
+    /// Sets an input on the given source surface.
+    pub fn set(&mut self, kind: SourceKind, name: impl Into<String>, value: impl Into<String>) {
+        let map = match kind {
+            SourceKind::HttpParam => &mut self.params,
+            SourceKind::HttpHeader => &mut self.headers,
+            SourceKind::Cookie => &mut self.cookies,
+        };
+        map.insert(name.into(), value.into());
+    }
+
+    /// Reads an input; absent inputs read as the empty string (as a web
+    /// framework would deliver a missing parameter).
+    pub fn get(&self, kind: SourceKind, name: &str) -> &str {
+        let map = match kind {
+            SourceKind::HttpParam => &self.params,
+            SourceKind::HttpHeader => &self.headers,
+            SourceKind::Cookie => &self.cookies,
+        };
+        map.get(name).map(String::as_str).unwrap_or("")
+    }
+}
+
+/// One taint label: which source the data came from and which sinks it has
+/// been sanitized for since.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaintTag {
+    /// Source surface.
+    pub kind: SourceKind,
+    /// Source name (parameter/header/cookie name).
+    pub name: String,
+    /// Sinks this datum is now safe for.
+    pub sanitized_for: BTreeSet<SinkKind>,
+}
+
+/// Runtime data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Data {
+    Int(i64),
+    Str(String),
+    Bool(bool),
+}
+
+/// A runtime value: data plus taint labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Value {
+    data: Data,
+    taints: Vec<TaintTag>,
+}
+
+impl Value {
+    fn untainted(data: Data) -> Value {
+        Value {
+            data,
+            taints: Vec::new(),
+        }
+    }
+
+    /// Renders the value as a string (the coercion used by concatenation
+    /// and sinks).
+    pub fn render(&self) -> String {
+        match &self.data {
+            Data::Int(i) => i.to_string(),
+            Data::Str(s) => s.clone(),
+            Data::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Truthiness: `false`/`0`/`""` are false, everything else true.
+    fn truthy(&self) -> bool {
+        match &self.data {
+            Data::Bool(b) => *b,
+            Data::Int(i) => *i != 0,
+            Data::Str(s) => !s.is_empty(),
+        }
+    }
+
+    fn as_int(&self) -> i64 {
+        match &self.data {
+            Data::Int(i) => *i,
+            Data::Bool(b) => i64::from(*b),
+            Data::Str(s) => s.trim().parse().unwrap_or(0),
+        }
+    }
+
+    /// Taint tags carried by the value.
+    pub fn taints(&self) -> &[TaintTag] {
+        &self.taints
+    }
+
+    /// Whether the value is dangerous for the given sink: some tag lacks
+    /// sanitization for it.
+    pub fn tainted_for(&self, sink: SinkKind) -> bool {
+        sink.is_taint_sink()
+            && self
+                .taints
+                .iter()
+                .any(|t| !t.sanitized_for.contains(&sink))
+    }
+}
+
+/// What the interpreter saw at one executed sink.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SinkObservation {
+    /// Which sink site executed.
+    pub site: SiteId,
+    /// The sink kind.
+    pub kind: SinkKind,
+    /// The rendered argument value.
+    pub rendered: String,
+    /// Whether the argument was still tainted for this sink kind.
+    pub tainted: bool,
+    /// Names of the sources whose taint reached the sink unsanitized.
+    pub offending_sources: Vec<String>,
+}
+
+/// Why execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A variable was read before assignment.
+    UndefinedVariable(
+        /// Variable name.
+        String,
+    ),
+    /// A call referenced a function the unit does not define.
+    UndefinedFunction(
+        /// Function name.
+        String,
+    ),
+    /// A call passed the wrong number of arguments.
+    ArityMismatch {
+        /// Callee.
+        func: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Supplied argument count.
+        actual: usize,
+    },
+    /// The global step budget was exhausted (runaway loop).
+    StepLimit,
+    /// The call stack exceeded the depth limit.
+    CallDepth,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UndefinedVariable(v) => write!(f, "undefined variable `{v}`"),
+            ExecError::UndefinedFunction(v) => write!(f, "undefined function `{v}`"),
+            ExecError::ArityMismatch {
+                func,
+                expected,
+                actual,
+            } => write!(f, "`{func}` takes {expected} arguments, got {actual}"),
+            ExecError::StepLimit => write!(f, "step budget exhausted"),
+            ExecError::CallDepth => write!(f, "call depth exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Control-flow signal inside a function body.
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+/// The MiniWeb interpreter.
+///
+/// ```
+/// use vdbench_corpus::{CorpusBuilder, Interpreter, Request};
+///
+/// let corpus = CorpusBuilder::new().units(5).seed(1).build();
+/// let interp = Interpreter::default();
+/// let unit = &corpus.units()[0];
+/// let obs = interp.run(unit, &Request::new().with_param("id", "1"))?;
+/// // Every run observes the sinks actually executed on this input.
+/// assert!(obs.len() <= unit.sinks().len());
+/// # Ok::<(), vdbench_corpus::interp::ExecError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interpreter {
+    max_steps: usize,
+    max_loop_iters: usize,
+    max_call_depth: usize,
+}
+
+impl Default for Interpreter {
+    /// 100 000 steps, 256 loop iterations, call depth 32 — generous for
+    /// generated units while still bounding runaway programs.
+    fn default() -> Self {
+        Interpreter {
+            max_steps: 100_000,
+            max_loop_iters: 256,
+            max_call_depth: 32,
+        }
+    }
+}
+
+impl Interpreter {
+    /// Creates an interpreter with explicit execution bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound is zero.
+    pub fn with_limits(max_steps: usize, max_loop_iters: usize, max_call_depth: usize) -> Self {
+        assert!(
+            max_steps > 0 && max_loop_iters > 0 && max_call_depth > 0,
+            "interpreter limits must be positive"
+        );
+        Interpreter {
+            max_steps,
+            max_loop_iters,
+            max_call_depth,
+        }
+    }
+
+    /// Executes a unit's handler against a request, returning the sink
+    /// observations in execution order. The persistent store starts empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] for malformed programs (undefined names, bad
+    /// arity) or exhausted execution budgets.
+    pub fn run(&self, unit: &Unit, request: &Request) -> Result<Vec<SinkObservation>, ExecError> {
+        self.run_session(unit, std::slice::from_ref(request))
+    }
+
+    /// Executes a *session*: the requests run in order against the same
+    /// unit with a **shared persistent store**, modelling multi-request
+    /// attacks such as second-order injection (write the payload in one
+    /// request, trigger it in the next). Observations from all requests
+    /// are returned in execution order.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Interpreter::run`]; the step budget applies
+    /// per request.
+    pub fn run_session(
+        &self,
+        unit: &Unit,
+        requests: &[Request],
+    ) -> Result<Vec<SinkObservation>, ExecError> {
+        let mut store: BTreeMap<String, Value> = BTreeMap::new();
+        let mut observations = Vec::new();
+        for request in requests {
+            let mut ctx = ExecCtx {
+                unit,
+                request,
+                interp: self,
+                steps: 0,
+                observations: Vec::new(),
+                store: &mut store,
+            };
+            let mut env = Env::new();
+            // The handler takes no formal parameters: inputs arrive via
+            // Source expressions against the request.
+            ctx.exec_block(&unit.handler.body, &mut env, 0)?;
+            observations.extend(ctx.observations);
+        }
+        Ok(observations)
+    }
+}
+
+/// Lexically scoped environment (function-local; MiniWeb has no globals).
+struct Env {
+    vars: BTreeMap<String, Value>,
+}
+
+impl Env {
+    fn new() -> Self {
+        Env {
+            vars: BTreeMap::new(),
+        }
+    }
+
+    fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    fn set(&mut self, name: &str, value: Value) {
+        self.vars.insert(name.to_string(), value);
+    }
+}
+
+struct ExecCtx<'a> {
+    unit: &'a Unit,
+    request: &'a Request,
+    interp: &'a Interpreter,
+    steps: usize,
+    observations: Vec<SinkObservation>,
+    /// The unit's persistent store, shared across a session's requests.
+    store: &'a mut BTreeMap<String, Value>,
+}
+
+impl<'a> ExecCtx<'a> {
+    fn tick(&mut self) -> Result<(), ExecError> {
+        self.steps += 1;
+        if self.steps > self.interp.max_steps {
+            Err(ExecError::StepLimit)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        body: &[Stmt],
+        env: &mut Env,
+        depth: usize,
+    ) -> Result<Flow, ExecError> {
+        for stmt in body {
+            match self.exec_stmt(stmt, env, depth)? {
+                Flow::Normal => {}
+                ret @ Flow::Return(_) => return Ok(ret),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        env: &mut Env,
+        depth: usize,
+    ) -> Result<Flow, ExecError> {
+        self.tick()?;
+        match stmt {
+            Stmt::Let { var, expr } | Stmt::Assign { var, expr } => {
+                let v = self.eval(expr, env)?;
+                env.set(var, v);
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self.eval(cond, env)?;
+                if c.truthy() {
+                    self.exec_block(then_branch, env, depth)
+                } else {
+                    self.exec_block(else_branch, env, depth)
+                }
+            }
+            Stmt::While { cond, body } => {
+                let mut iters = 0;
+                while self.eval(cond, env)?.truthy() {
+                    iters += 1;
+                    if iters > self.interp.max_loop_iters {
+                        break; // bounded execution: treat as loop timeout
+                    }
+                    match self.exec_block(body, env, depth)? {
+                        Flow::Normal => {}
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Sink { kind, arg, site } => {
+                let v = self.eval(arg, env)?;
+                let tainted = v.tainted_for(*kind);
+                let offending = v
+                    .taints()
+                    .iter()
+                    .filter(|t| !t.sanitized_for.contains(kind))
+                    .map(|t| t.name.clone())
+                    .collect();
+                self.observations.push(SinkObservation {
+                    site: *site,
+                    kind: *kind,
+                    rendered: v.render(),
+                    tainted,
+                    offending_sources: offending,
+                });
+                Ok(Flow::Normal)
+            }
+            Stmt::Call { var, func, args } => {
+                if depth + 1 > self.interp.max_call_depth {
+                    return Err(ExecError::CallDepth);
+                }
+                let callee = self
+                    .unit
+                    .function(func)
+                    .ok_or_else(|| ExecError::UndefinedFunction(func.clone()))?;
+                if callee.params.len() != args.len() {
+                    return Err(ExecError::ArityMismatch {
+                        func: func.clone(),
+                        expected: callee.params.len(),
+                        actual: args.len(),
+                    });
+                }
+                let mut callee_env = Env::new();
+                for (param, arg) in callee.params.iter().zip(args) {
+                    let v = self.eval(arg, env)?;
+                    callee_env.set(param, v);
+                }
+                // Clone the body to release the borrow on self.unit during
+                // recursive execution.
+                let body = callee.body.clone();
+                let result = match self.exec_block(&body, &mut callee_env, depth + 1)? {
+                    Flow::Return(v) => v,
+                    Flow::Normal => Value::untainted(Data::Str(String::new())),
+                };
+                if let Some(var) = var {
+                    env.set(var, result);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(expr) => {
+                let v = self.eval(expr, env)?;
+                Ok(Flow::Return(v))
+            }
+            Stmt::StoreWrite { key, expr } => {
+                let v = self.eval(expr, env)?;
+                self.store.insert(key.clone(), v);
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn eval(&mut self, expr: &Expr, env: &Env) -> Result<Value, ExecError> {
+        self.tick()?;
+        match expr {
+            Expr::Int(i) => Ok(Value::untainted(Data::Int(*i))),
+            Expr::Str(s) => Ok(Value::untainted(Data::Str(s.clone()))),
+            Expr::Bool(b) => Ok(Value::untainted(Data::Bool(*b))),
+            Expr::Var(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| ExecError::UndefinedVariable(name.clone())),
+            Expr::Source { kind, name } => {
+                let raw = self.request.get(*kind, name).to_string();
+                Ok(Value {
+                    data: Data::Str(raw),
+                    taints: vec![TaintTag {
+                        kind: *kind,
+                        name: name.clone(),
+                        sanitized_for: BTreeSet::new(),
+                    }],
+                })
+            }
+            Expr::Concat(a, b) => {
+                let va = self.eval(a, env)?;
+                let vb = self.eval(b, env)?;
+                let mut taints = va.taints.clone();
+                for t in &vb.taints {
+                    if !taints.contains(t) {
+                        taints.push(t.clone());
+                    }
+                }
+                Ok(Value {
+                    data: Data::Str(format!("{}{}", va.render(), vb.render())),
+                    taints,
+                })
+            }
+            Expr::Sanitize { kind, arg } => {
+                let v = self.eval(arg, env)?;
+                Ok(apply_sanitizer(*kind, v))
+            }
+            Expr::BinOp { op, lhs, rhs } => {
+                let a = self.eval(lhs, env)?;
+                let b = self.eval(rhs, env)?;
+                Ok(eval_binop(*op, a, b))
+            }
+            Expr::StoreRead { key } => Ok(self
+                .store
+                .get(key)
+                .cloned()
+                .unwrap_or_else(|| Value::untainted(Data::Str(String::new())))),
+        }
+    }
+}
+
+/// The transformation each sanitizer performs plus its taint effect.
+fn apply_sanitizer(kind: SanitizerKind, v: Value) -> Value {
+    match kind {
+        SanitizerKind::ValidateInt => {
+            // Strict parse; non-integers are rejected to a safe default.
+            let n: i64 = v.render().trim().parse().unwrap_or(0);
+            Value::untainted(Data::Int(n))
+        }
+        SanitizerKind::WhitelistCheck => {
+            const WHITELIST: [&str; 4] = ["asc", "desc", "name", "date"];
+            let s = v.render();
+            let safe = if WHITELIST.contains(&s.as_str()) {
+                s
+            } else {
+                WHITELIST[0].to_string()
+            };
+            Value::untainted(Data::Str(safe))
+        }
+        SanitizerKind::EscapeSql => transform(v, SinkKind::SqlQuery, |s| s.replace('\'', "''")),
+        SanitizerKind::EscapeHtml => transform(v, SinkKind::HtmlOutput, |s| {
+            s.replace('&', "&amp;")
+                .replace('<', "&lt;")
+                .replace('>', "&gt;")
+                .replace('"', "&quot;")
+        }),
+        SanitizerKind::ShellQuote => transform(v, SinkKind::ShellExec, |s| {
+            format!("'{}'", s.replace('\'', "'\\''"))
+        }),
+        SanitizerKind::NormalizePath => transform(v, SinkKind::FileOpen, |s| {
+            s.replace("../", "").replace("..\\", "")
+        }),
+    }
+}
+
+fn transform(v: Value, protected: SinkKind, f: impl Fn(&str) -> String) -> Value {
+    let s = f(&v.render());
+    let taints = v
+        .taints
+        .into_iter()
+        .map(|mut t| {
+            t.sanitized_for.insert(protected);
+            t
+        })
+        .collect();
+    Value {
+        data: Data::Str(s),
+        taints,
+    }
+}
+
+fn eval_binop(op: BinOp, a: Value, b: Value) -> Value {
+    let mut taints = a.taints.clone();
+    for t in &b.taints {
+        if !taints.contains(t) {
+            taints.push(t.clone());
+        }
+    }
+    match op {
+        BinOp::Eq | BinOp::Ne => {
+            // Compare as strings when either side is a string, otherwise
+            // numerically; comparisons yield untainted booleans (a 1-bit
+            // channel is below the model's granularity).
+            let eq = match (&a.data, &b.data) {
+                (Data::Str(_), _) | (_, Data::Str(_)) => a.render() == b.render(),
+                _ => a.as_int() == b.as_int(),
+            };
+            Value::untainted(Data::Bool(if op == BinOp::Eq { eq } else { !eq }))
+        }
+        BinOp::Lt => Value::untainted(Data::Bool(a.as_int() < b.as_int())),
+        BinOp::Gt => Value::untainted(Data::Bool(a.as_int() > b.as_int())),
+        BinOp::Add => Value {
+            data: Data::Int(a.as_int().wrapping_add(b.as_int())),
+            taints,
+        },
+        BinOp::Sub => Value {
+            data: Data::Int(a.as_int().wrapping_sub(b.as_int())),
+            taints,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Function;
+
+    fn site(s: u32) -> SiteId {
+        SiteId { unit: 0, sink: s }
+    }
+
+    fn param(name: &str) -> Expr {
+        Expr::Source {
+            kind: SourceKind::HttpParam,
+            name: name.into(),
+        }
+    }
+
+    fn unit(body: Vec<Stmt>, helpers: Vec<Function>) -> Unit {
+        Unit {
+            id: 0,
+            handler: Function::new("handler", vec![], body),
+            helpers,
+        }
+    }
+
+    #[test]
+    fn direct_tainted_flow_observed() {
+        let u = unit(
+            vec![Stmt::Sink {
+                kind: SinkKind::SqlQuery,
+                arg: Expr::concat(Expr::str("SELECT ... "), param("id")),
+                site: site(0),
+            }],
+            vec![],
+        );
+        let req = Request::new().with_param("id", "1 OR 1=1");
+        let obs = Interpreter::default().run(&u, &req).unwrap();
+        assert_eq!(obs.len(), 1);
+        assert!(obs[0].tainted);
+        assert_eq!(obs[0].offending_sources, vec!["id"]);
+        assert!(obs[0].rendered.contains("1 OR 1=1"));
+    }
+
+    #[test]
+    fn correct_sanitizer_clears_taint_for_sink() {
+        let u = unit(
+            vec![Stmt::Sink {
+                kind: SinkKind::SqlQuery,
+                arg: Expr::sanitize(SanitizerKind::EscapeSql, param("id")),
+                site: site(0),
+            }],
+            vec![],
+        );
+        let req = Request::new().with_param("id", "x' OR '1'='1");
+        let obs = Interpreter::default().run(&u, &req).unwrap();
+        assert!(!obs[0].tainted);
+        // Escaping actually happened.
+        assert!(obs[0].rendered.contains("''"));
+    }
+
+    #[test]
+    fn mismatched_sanitizer_leaves_taint() {
+        let u = unit(
+            vec![Stmt::Sink {
+                kind: SinkKind::SqlQuery,
+                arg: Expr::sanitize(SanitizerKind::EscapeHtml, param("id")),
+                site: site(0),
+            }],
+            vec![],
+        );
+        let obs = Interpreter::default()
+            .run(&u, &Request::new().with_param("id", "payload"))
+            .unwrap();
+        assert!(obs[0].tainted, "HTML escaping must not protect SQL");
+    }
+
+    #[test]
+    fn validate_int_clears_all_taint() {
+        let u = unit(
+            vec![Stmt::Sink {
+                kind: SinkKind::ShellExec,
+                arg: Expr::sanitize(SanitizerKind::ValidateInt, param("n")),
+                site: site(0),
+            }],
+            vec![],
+        );
+        let obs = Interpreter::default()
+            .run(&u, &Request::new().with_param("n", "; rm -rf /"))
+            .unwrap();
+        assert!(!obs[0].tainted);
+        assert_eq!(obs[0].rendered, "0"); // rejected to safe default
+    }
+
+    #[test]
+    fn whitelist_check() {
+        let u = unit(
+            vec![Stmt::Sink {
+                kind: SinkKind::SqlQuery,
+                arg: Expr::sanitize(SanitizerKind::WhitelistCheck, param("order")),
+                site: site(0),
+            }],
+            vec![],
+        );
+        let ok = Interpreter::default()
+            .run(&u, &Request::new().with_param("order", "desc"))
+            .unwrap();
+        assert_eq!(ok[0].rendered, "desc");
+        assert!(!ok[0].tainted);
+        let evil = Interpreter::default()
+            .run(&u, &Request::new().with_param("order", "1; DROP TABLE"))
+            .unwrap();
+        assert_eq!(evil[0].rendered, "asc");
+        assert!(!evil[0].tainted);
+    }
+
+    #[test]
+    fn branch_gating_controls_reachability() {
+        let u = unit(
+            vec![Stmt::If {
+                cond: Expr::BinOp {
+                    op: BinOp::Eq,
+                    lhs: Box::new(param("mode")),
+                    rhs: Box::new(Expr::str("debug")),
+                },
+                then_branch: vec![Stmt::Sink {
+                    kind: SinkKind::ShellExec,
+                    arg: param("cmd"),
+                    site: site(0),
+                }],
+                else_branch: vec![],
+            }],
+            vec![],
+        );
+        let miss = Interpreter::default()
+            .run(&u, &Request::new().with_param("cmd", "ls"))
+            .unwrap();
+        assert!(miss.is_empty(), "sink must not execute without the gate");
+        let hit = Interpreter::default()
+            .run(
+                &u,
+                &Request::new()
+                    .with_param("mode", "debug")
+                    .with_param("cmd", "ls"),
+            )
+            .unwrap();
+        assert_eq!(hit.len(), 1);
+        assert!(hit[0].tainted);
+    }
+
+    #[test]
+    fn dead_guard_never_executes() {
+        let u = unit(
+            vec![Stmt::If {
+                cond: Expr::BinOp {
+                    op: BinOp::Eq,
+                    lhs: Box::new(Expr::Int(1)),
+                    rhs: Box::new(Expr::Int(2)),
+                },
+                then_branch: vec![Stmt::Sink {
+                    kind: SinkKind::SqlQuery,
+                    arg: param("id"),
+                    site: site(0),
+                }],
+                else_branch: vec![],
+            }],
+            vec![],
+        );
+        for payload in ["1", "' OR 1=1 --", "anything"] {
+            let obs = Interpreter::default()
+                .run(&u, &Request::new().with_param("id", payload))
+                .unwrap();
+            assert!(obs.is_empty());
+        }
+    }
+
+    #[test]
+    fn interprocedural_flow_preserves_taint() {
+        let helper = Function::new(
+            "fmt",
+            vec!["x".into()],
+            vec![Stmt::Return(Expr::concat(
+                Expr::str("cmd "),
+                Expr::var("x"),
+            ))],
+        );
+        let u = unit(
+            vec![
+                Stmt::Call {
+                    var: Some("full".into()),
+                    func: "fmt".into(),
+                    args: vec![param("arg")],
+                },
+                Stmt::Sink {
+                    kind: SinkKind::ShellExec,
+                    arg: Expr::var("full"),
+                    site: site(0),
+                },
+            ],
+            vec![helper],
+        );
+        let obs = Interpreter::default()
+            .run(&u, &Request::new().with_param("arg", "; reboot"))
+            .unwrap();
+        assert!(obs[0].tainted);
+        assert_eq!(obs[0].rendered, "cmd ; reboot");
+    }
+
+    #[test]
+    fn while_loop_bounded() {
+        let u = unit(
+            vec![
+                Stmt::Let {
+                    var: "i".into(),
+                    expr: Expr::Int(0),
+                },
+                // Infinite loop: i never changes direction.
+                Stmt::While {
+                    cond: Expr::BinOp {
+                        op: BinOp::Lt,
+                        lhs: Box::new(Expr::var("i")),
+                        rhs: Box::new(Expr::Int(1)),
+                    },
+                    body: vec![Stmt::Assign {
+                        var: "i".into(),
+                        expr: Expr::BinOp {
+                            op: BinOp::Sub,
+                            lhs: Box::new(Expr::var("i")),
+                            rhs: Box::new(Expr::Int(1)),
+                        },
+                    }],
+                },
+                Stmt::Sink {
+                    kind: SinkKind::HtmlOutput,
+                    arg: Expr::str("done"),
+                    site: site(0),
+                },
+            ],
+            vec![],
+        );
+        // The loop cap breaks out; execution completes.
+        let obs = Interpreter::default().run(&u, &Request::new()).unwrap();
+        assert_eq!(obs.len(), 1);
+    }
+
+    #[test]
+    fn terminating_loop_runs() {
+        let u = unit(
+            vec![
+                Stmt::Let {
+                    var: "i".into(),
+                    expr: Expr::Int(0),
+                },
+                Stmt::Let {
+                    var: "acc".into(),
+                    expr: Expr::str(""),
+                },
+                Stmt::While {
+                    cond: Expr::BinOp {
+                        op: BinOp::Lt,
+                        lhs: Box::new(Expr::var("i")),
+                        rhs: Box::new(Expr::Int(3)),
+                    },
+                    body: vec![
+                        Stmt::Assign {
+                            var: "acc".into(),
+                            expr: Expr::concat(Expr::var("acc"), Expr::str("x")),
+                        },
+                        Stmt::Assign {
+                            var: "i".into(),
+                            expr: Expr::BinOp {
+                                op: BinOp::Add,
+                                lhs: Box::new(Expr::var("i")),
+                                rhs: Box::new(Expr::Int(1)),
+                            },
+                        },
+                    ],
+                },
+                Stmt::Sink {
+                    kind: SinkKind::HtmlOutput,
+                    arg: Expr::var("acc"),
+                    site: site(0),
+                },
+            ],
+            vec![],
+        );
+        let obs = Interpreter::default().run(&u, &Request::new()).unwrap();
+        assert_eq!(obs[0].rendered, "xxx");
+    }
+
+    #[test]
+    fn error_cases() {
+        let u = unit(
+            vec![Stmt::Sink {
+                kind: SinkKind::HtmlOutput,
+                arg: Expr::var("nope"),
+                site: site(0),
+            }],
+            vec![],
+        );
+        assert_eq!(
+            Interpreter::default().run(&u, &Request::new()).unwrap_err(),
+            ExecError::UndefinedVariable("nope".into())
+        );
+
+        let u = unit(
+            vec![Stmt::Call {
+                var: None,
+                func: "ghost".into(),
+                args: vec![],
+            }],
+            vec![],
+        );
+        assert_eq!(
+            Interpreter::default().run(&u, &Request::new()).unwrap_err(),
+            ExecError::UndefinedFunction("ghost".into())
+        );
+
+        let helper = Function::new("h", vec!["a".into()], vec![]);
+        let u = unit(
+            vec![Stmt::Call {
+                var: None,
+                func: "h".into(),
+                args: vec![],
+            }],
+            vec![helper],
+        );
+        assert!(matches!(
+            Interpreter::default().run(&u, &Request::new()).unwrap_err(),
+            ExecError::ArityMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn recursion_depth_capped() {
+        // h calls itself forever.
+        let helper = Function::new(
+            "h",
+            vec![],
+            vec![Stmt::Call {
+                var: None,
+                func: "h".into(),
+                args: vec![],
+            }],
+        );
+        let u = unit(
+            vec![Stmt::Call {
+                var: None,
+                func: "h".into(),
+                args: vec![],
+            }],
+            vec![helper],
+        );
+        let err = Interpreter::default().run(&u, &Request::new()).unwrap_err();
+        assert!(matches!(err, ExecError::CallDepth | ExecError::StepLimit));
+    }
+
+    #[test]
+    fn crypto_and_auth_sinks_are_not_taint_sinks() {
+        let u = unit(
+            vec![Stmt::Sink {
+                kind: SinkKind::CryptoHash,
+                arg: param("data"),
+                site: site(0),
+            }],
+            vec![],
+        );
+        let obs = Interpreter::default()
+            .run(&u, &Request::new().with_param("data", "x"))
+            .unwrap();
+        assert!(!obs[0].tainted);
+    }
+
+    #[test]
+    fn missing_inputs_read_as_empty_but_tainted_sources() {
+        let u = unit(
+            vec![Stmt::Sink {
+                kind: SinkKind::SqlQuery,
+                arg: param("absent"),
+                site: site(0),
+            }],
+            vec![],
+        );
+        let obs = Interpreter::default().run(&u, &Request::new()).unwrap();
+        assert_eq!(obs[0].rendered, "");
+        assert!(obs[0].tainted, "source taint is a property of origin");
+    }
+
+    #[test]
+    fn with_limits_validation() {
+        let i = Interpreter::with_limits(10, 5, 2);
+        assert_eq!(
+            i,
+            Interpreter {
+                max_steps: 10,
+                max_loop_iters: 5,
+                max_call_depth: 2
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_limits_panic() {
+        let _ = Interpreter::with_limits(0, 1, 1);
+    }
+
+    #[test]
+    fn request_surfaces_are_separate() {
+        let mut req = Request::new();
+        req.set(SourceKind::HttpParam, "k", "p");
+        req.set(SourceKind::HttpHeader, "k", "h");
+        req.set(SourceKind::Cookie, "k", "c");
+        assert_eq!(req.get(SourceKind::HttpParam, "k"), "p");
+        assert_eq!(req.get(SourceKind::HttpHeader, "k"), "h");
+        assert_eq!(req.get(SourceKind::Cookie, "k"), "c");
+        let req2 = Request::new().with_header("ua", "x").with_cookie("sid", "1");
+        assert_eq!(req2.get(SourceKind::HttpHeader, "ua"), "x");
+        assert_eq!(req2.get(SourceKind::Cookie, "sid"), "1");
+    }
+}

@@ -1,0 +1,53 @@
+//! `MiniWeb`: a synthetic vulnerable-code corpus with ground truth.
+//!
+//! The paper benchmarks vulnerability detection tools on web-service
+//! workloads with known vulnerabilities. Those workloads are proprietary,
+//! so this crate builds the closest behaviourally faithful substitute: a
+//! small imperative web-handler language (the *MiniWeb* AST), a
+//! taint-tracking reference interpreter defining its dynamic semantics, and
+//! a seeded generator that injects vulnerabilities of six CWE classes with
+//! **construction-time ground truth**.
+//!
+//! The generator deliberately produces the code shapes that give real tools
+//! their characteristic error profiles:
+//!
+//! * sanitized flows using the **wrong sanitizer** for the sink (fools
+//!   pattern matchers into false negatives — the code "looks escaped");
+//! * flows guarded by **constant-false branches** (path-insensitive static
+//!   analysis reports them: principled false positives);
+//! * **interprocedural** flows through helper functions (defeats detectors
+//!   with limited call depth);
+//! * **input-gated** sinks only reachable for specific parameter values
+//!   (dynamic scanners miss them unless a payload guesses the gate).
+//!
+//! # Example
+//!
+//! ```
+//! use vdbench_corpus::{CorpusBuilder, VulnClass};
+//!
+//! let corpus = CorpusBuilder::new()
+//!     .units(100)
+//!     .vulnerability_density(0.3)
+//!     .seed(42)
+//!     .build();
+//! assert_eq!(corpus.units().len(), 100);
+//! let vulnerable = corpus.sites().filter(|s| s.vulnerable).count();
+//! assert!(vulnerable > 10 && vulnerable < 60);
+//! # let _ = VulnClass::SqlInjection;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod corpus;
+pub mod generator;
+pub mod interp;
+pub mod pretty;
+pub mod types;
+
+pub use ast::{Expr, Function, SiteId, Stmt, Unit};
+pub use corpus::{AttackSession, Corpus, CorpusStats, SiteInfo};
+pub use generator::CorpusBuilder;
+pub use interp::{Interpreter, Request, SinkObservation};
+pub use types::{FlowShape, SanitizerKind, SinkKind, SourceKind, VulnClass};

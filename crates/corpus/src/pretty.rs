@@ -1,0 +1,227 @@
+//! Pretty-printer rendering MiniWeb units as readable pseudo-code.
+//!
+//! Used by examples and diagnostics so humans can inspect what the
+//! generator produced and what a detector flagged.
+
+use crate::ast::{Expr, Function, Stmt, Unit};
+use std::fmt::Write as _;
+
+/// Renders a whole unit (handler followed by helpers).
+pub fn unit_to_string(unit: &Unit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// unit {}", unit.id);
+    function_to_string_into(&unit.handler, &mut out);
+    for helper in &unit.helpers {
+        out.push('\n');
+        function_to_string_into(helper, &mut out);
+    }
+    out
+}
+
+/// Renders one function.
+pub fn function_to_string(f: &Function) -> String {
+    let mut out = String::new();
+    function_to_string_into(f, &mut out);
+    out
+}
+
+fn function_to_string_into(f: &Function, out: &mut String) {
+    let _ = writeln!(out, "fn {}({}) {{", f.name, f.params.join(", "));
+    for stmt in &f.body {
+        stmt_into(stmt, 1, out);
+    }
+    let _ = writeln!(out, "}}");
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn stmt_into(stmt: &Stmt, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match stmt {
+        Stmt::Let { var, expr } => {
+            let _ = writeln!(out, "let {var} = {};", expr_to_string(expr));
+        }
+        Stmt::Assign { var, expr } => {
+            let _ = writeln!(out, "{var} = {};", expr_to_string(expr));
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let _ = writeln!(out, "if {} {{", expr_to_string(cond));
+            for s in then_branch {
+                stmt_into(s, depth + 1, out);
+            }
+            if else_branch.is_empty() {
+                indent(depth, out);
+                let _ = writeln!(out, "}}");
+            } else {
+                indent(depth, out);
+                let _ = writeln!(out, "}} else {{");
+                for s in else_branch {
+                    stmt_into(s, depth + 1, out);
+                }
+                indent(depth, out);
+                let _ = writeln!(out, "}}");
+            }
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "while {} {{", expr_to_string(cond));
+            for s in body {
+                stmt_into(s, depth + 1, out);
+            }
+            indent(depth, out);
+            let _ = writeln!(out, "}}");
+        }
+        Stmt::Sink { kind, arg, site } => {
+            let _ = writeln!(
+                out,
+                "{}({});  // site {site}",
+                kind.keyword(),
+                expr_to_string(arg)
+            );
+        }
+        Stmt::Call { var, func, args } => {
+            let args: Vec<String> = args.iter().map(expr_to_string).collect();
+            match var {
+                Some(v) => {
+                    let _ = writeln!(out, "let {v} = {func}({});", args.join(", "));
+                }
+                None => {
+                    let _ = writeln!(out, "{func}({});", args.join(", "));
+                }
+            }
+        }
+        Stmt::Return(expr) => {
+            let _ = writeln!(out, "return {};", expr_to_string(expr));
+        }
+        Stmt::StoreWrite { key, expr } => {
+            let _ = writeln!(out, "store_write({key:?}, {});", expr_to_string(expr));
+        }
+    }
+}
+
+/// Renders an expression.
+pub fn expr_to_string(expr: &Expr) -> String {
+    match expr {
+        Expr::Int(i) => i.to_string(),
+        Expr::Str(s) => format!("{s:?}"),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Var(v) => v.clone(),
+        Expr::Source { kind, name } => format!("{}({name:?})", kind.keyword()),
+        Expr::Concat(a, b) => format!("{} + {}", expr_to_string(a), expr_to_string(b)),
+        Expr::Sanitize { kind, arg } => {
+            format!("{}({})", kind.keyword(), expr_to_string(arg))
+        }
+        Expr::BinOp { op, lhs, rhs } => format!(
+            "({} {} {})",
+            expr_to_string(lhs),
+            op.symbol(),
+            expr_to_string(rhs)
+        ),
+        Expr::StoreRead { key } => format!("store_read({key:?})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, SiteId};
+    use crate::types::{SanitizerKind, SinkKind, SourceKind};
+
+    #[test]
+    fn renders_expressions() {
+        let e = Expr::concat(
+            Expr::str("SELECT "),
+            Expr::sanitize(
+                SanitizerKind::EscapeSql,
+                Expr::Source {
+                    kind: SourceKind::HttpParam,
+                    name: "id".into(),
+                },
+            ),
+        );
+        assert_eq!(
+            expr_to_string(&e),
+            "\"SELECT \" + escape_sql(param(\"id\"))"
+        );
+        let cond = Expr::BinOp {
+            op: BinOp::Gt,
+            lhs: Box::new(Expr::var("x")),
+            rhs: Box::new(Expr::Int(5)),
+        };
+        assert_eq!(expr_to_string(&cond), "(x > 5)");
+    }
+
+    #[test]
+    fn renders_full_unit() {
+        let unit = Unit {
+            id: 7,
+            handler: Function::new(
+                "handler_7",
+                vec![],
+                vec![
+                    Stmt::Let {
+                        var: "q".into(),
+                        expr: Expr::str("x"),
+                    },
+                    Stmt::If {
+                        cond: Expr::Bool(true),
+                        then_branch: vec![Stmt::Sink {
+                            kind: SinkKind::SqlQuery,
+                            arg: Expr::var("q"),
+                            site: SiteId { unit: 7, sink: 0 },
+                        }],
+                        else_branch: vec![Stmt::Return(Expr::Int(0))],
+                    },
+                    Stmt::While {
+                        cond: Expr::Bool(false),
+                        body: vec![Stmt::Assign {
+                            var: "q".into(),
+                            expr: Expr::str("y"),
+                        }],
+                    },
+                    Stmt::Call {
+                        var: Some("r".into()),
+                        func: "help".into(),
+                        args: vec![Expr::var("q")],
+                    },
+                    Stmt::Call {
+                        var: None,
+                        func: "log".into(),
+                        args: vec![],
+                    },
+                ],
+            ),
+            helpers: vec![Function::new(
+                "help",
+                vec!["a".into()],
+                vec![Stmt::Return(Expr::var("a"))],
+            )],
+        };
+        let text = unit_to_string(&unit);
+        assert!(text.contains("// unit 7"));
+        assert!(text.contains("fn handler_7()"));
+        assert!(text.contains("sql_query(q);  // site u7:s0"));
+        assert!(text.contains("} else {"));
+        assert!(text.contains("while false {"));
+        assert!(text.contains("let r = help(q);"));
+        assert!(text.contains("log();"));
+        assert!(text.contains("fn help(a)"));
+        assert!(text.contains("return a;"));
+    }
+
+    #[test]
+    fn generated_units_render_without_panic() {
+        let corpus = crate::CorpusBuilder::new().units(20).seed(8).build();
+        for unit in corpus.units() {
+            let text = unit_to_string(unit);
+            assert!(text.contains(&format!("fn handler_{}", unit.id)));
+        }
+    }
+}

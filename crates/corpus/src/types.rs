@@ -1,0 +1,358 @@
+//! Vocabulary types of the MiniWeb domain: vulnerability classes, taint
+//! sources, sinks, sanitizers and flow shapes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The vulnerability classes the generator can inject, tagged with their
+/// CWE identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VulnClass {
+    /// CWE-89: SQL injection through an unsanitized query sink.
+    SqlInjection,
+    /// CWE-79: cross-site scripting through an HTML output sink.
+    Xss,
+    /// CWE-78: OS command injection through a shell-exec sink.
+    CommandInjection,
+    /// CWE-22: path traversal through a file-open sink.
+    PathTraversal,
+    /// CWE-798: hardcoded credentials at an authentication sink.
+    HardcodedCredentials,
+    /// CWE-327: use of a broken cryptographic hash algorithm.
+    WeakHash,
+}
+
+impl VulnClass {
+    /// The CWE number.
+    pub fn cwe(self) -> u32 {
+        match self {
+            VulnClass::SqlInjection => 89,
+            VulnClass::Xss => 79,
+            VulnClass::CommandInjection => 78,
+            VulnClass::PathTraversal => 22,
+            VulnClass::HardcodedCredentials => 798,
+            VulnClass::WeakHash => 327,
+        }
+    }
+
+    /// All classes in presentation order.
+    pub fn all() -> &'static [VulnClass] {
+        &[
+            VulnClass::SqlInjection,
+            VulnClass::Xss,
+            VulnClass::CommandInjection,
+            VulnClass::PathTraversal,
+            VulnClass::HardcodedCredentials,
+            VulnClass::WeakHash,
+        ]
+    }
+
+    /// Whether the class is an injection (taint-flow) class, as opposed to
+    /// a configuration/pattern class.
+    pub fn is_taint_based(self) -> bool {
+        !matches!(
+            self,
+            VulnClass::HardcodedCredentials | VulnClass::WeakHash
+        )
+    }
+
+    /// The sink kind this class manifests at.
+    pub fn sink(self) -> SinkKind {
+        match self {
+            VulnClass::SqlInjection => SinkKind::SqlQuery,
+            VulnClass::Xss => SinkKind::HtmlOutput,
+            VulnClass::CommandInjection => SinkKind::ShellExec,
+            VulnClass::PathTraversal => SinkKind::FileOpen,
+            VulnClass::HardcodedCredentials => SinkKind::Authenticate,
+            VulnClass::WeakHash => SinkKind::CryptoHash,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VulnClass::SqlInjection => "SQL injection",
+            VulnClass::Xss => "XSS",
+            VulnClass::CommandInjection => "command injection",
+            VulnClass::PathTraversal => "path traversal",
+            VulnClass::HardcodedCredentials => "hardcoded credentials",
+            VulnClass::WeakHash => "weak hash",
+        }
+    }
+}
+
+impl fmt::Display for VulnClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (CWE-{})", self.name(), self.cwe())
+    }
+}
+
+/// Where attacker-controlled data enters a handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SourceKind {
+    /// An HTTP request parameter.
+    HttpParam,
+    /// An HTTP request header.
+    HttpHeader,
+    /// A request cookie.
+    Cookie,
+}
+
+impl SourceKind {
+    /// All source kinds.
+    pub fn all() -> &'static [SourceKind] {
+        &[SourceKind::HttpParam, SourceKind::HttpHeader, SourceKind::Cookie]
+    }
+
+    /// The MiniWeb surface syntax for the source.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SourceKind::HttpParam => "param",
+            SourceKind::HttpHeader => "header",
+            SourceKind::Cookie => "cookie",
+        }
+    }
+}
+
+/// Security-sensitive operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SinkKind {
+    /// Executes an SQL statement.
+    SqlQuery,
+    /// Writes into an HTML response.
+    HtmlOutput,
+    /// Runs a shell command.
+    ShellExec,
+    /// Opens a file by path.
+    FileOpen,
+    /// Checks a credential.
+    Authenticate,
+    /// Hashes data with a named algorithm.
+    CryptoHash,
+}
+
+impl SinkKind {
+    /// The MiniWeb surface syntax for the sink.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SinkKind::SqlQuery => "sql_query",
+            SinkKind::HtmlOutput => "html_output",
+            SinkKind::ShellExec => "shell_exec",
+            SinkKind::FileOpen => "file_open",
+            SinkKind::Authenticate => "authenticate",
+            SinkKind::CryptoHash => "crypto_hash",
+        }
+    }
+
+    /// Whether tainted data reaching this sink constitutes a vulnerability
+    /// (taint-relevant sinks).
+    pub fn is_taint_sink(self) -> bool {
+        !matches!(self, SinkKind::Authenticate | SinkKind::CryptoHash)
+    }
+}
+
+/// Sanitization / validation primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SanitizerKind {
+    /// Escapes SQL metacharacters — protects [`SinkKind::SqlQuery`] only.
+    EscapeSql,
+    /// HTML-encodes — protects [`SinkKind::HtmlOutput`] only.
+    EscapeHtml,
+    /// Shell-quotes — protects [`SinkKind::ShellExec`] only.
+    ShellQuote,
+    /// Canonicalizes and confines a path — protects [`SinkKind::FileOpen`]
+    /// only.
+    NormalizePath,
+    /// Parses as an integer, rejecting anything else — removes taint for
+    /// **all** sinks.
+    ValidateInt,
+    /// Checks membership in a fixed whitelist — removes taint for **all**
+    /// sinks.
+    WhitelistCheck,
+}
+
+impl SanitizerKind {
+    /// The MiniWeb surface syntax for the sanitizer.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SanitizerKind::EscapeSql => "escape_sql",
+            SanitizerKind::EscapeHtml => "escape_html",
+            SanitizerKind::ShellQuote => "shell_quote",
+            SanitizerKind::NormalizePath => "normalize_path",
+            SanitizerKind::ValidateInt => "validate_int",
+            SanitizerKind::WhitelistCheck => "whitelist_check",
+        }
+    }
+
+    /// Whether this sanitizer neutralizes taint for the given sink.
+    pub fn protects(self, sink: SinkKind) -> bool {
+        match self {
+            SanitizerKind::EscapeSql => sink == SinkKind::SqlQuery,
+            SanitizerKind::EscapeHtml => sink == SinkKind::HtmlOutput,
+            SanitizerKind::ShellQuote => sink == SinkKind::ShellExec,
+            SanitizerKind::NormalizePath => sink == SinkKind::FileOpen,
+            SanitizerKind::ValidateInt | SanitizerKind::WhitelistCheck => true,
+        }
+    }
+
+    /// The sanitizer that correctly protects a sink (the canonical choice).
+    pub fn correct_for(sink: SinkKind) -> Option<SanitizerKind> {
+        match sink {
+            SinkKind::SqlQuery => Some(SanitizerKind::EscapeSql),
+            SinkKind::HtmlOutput => Some(SanitizerKind::EscapeHtml),
+            SinkKind::ShellExec => Some(SanitizerKind::ShellQuote),
+            SinkKind::FileOpen => Some(SanitizerKind::NormalizePath),
+            SinkKind::Authenticate | SinkKind::CryptoHash => None,
+        }
+    }
+
+    /// A plausible-but-wrong sanitizer for a sink (used for disguised
+    /// vulnerabilities). Returns a sanitizer that does **not** protect the
+    /// sink.
+    pub fn mismatched_for(sink: SinkKind) -> Option<SanitizerKind> {
+        match sink {
+            SinkKind::SqlQuery => Some(SanitizerKind::EscapeHtml),
+            SinkKind::HtmlOutput => Some(SanitizerKind::EscapeSql),
+            SinkKind::ShellExec => Some(SanitizerKind::EscapeSql),
+            SinkKind::FileOpen => Some(SanitizerKind::EscapeHtml),
+            SinkKind::Authenticate | SinkKind::CryptoHash => None,
+        }
+    }
+}
+
+/// How a generated flow was constructed — recorded in the ground truth for
+/// diagnostics and for stratified analysis of tool behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FlowShape {
+    /// Source feeds the sink directly in one expression.
+    Direct,
+    /// Source flows through a chain of assignments and concatenations.
+    Chained,
+    /// The vulnerable sink sits behind a *satisfiable* input condition.
+    InputGated,
+    /// The tainted input is accumulated across loop iterations before
+    /// reaching the sink — exercises loop fixpoints in static analysis.
+    LoopCarried,
+    /// The flow crosses a helper-function boundary.
+    Interprocedural,
+    /// Correctly sanitized for the sink — not vulnerable.
+    SanitizedCorrect,
+    /// Sanitized with the wrong sanitizer — still vulnerable.
+    SanitizedMismatch,
+    /// One path sanitizes, another does not — vulnerable.
+    SanitizedPartial,
+    /// The flow is guarded by a constant-false condition — unreachable,
+    /// not vulnerable, but a classic static-analysis false positive.
+    DeadGuard,
+    /// The sink consumes only literals — trivially safe.
+    LiteralOnly,
+    /// Second-order flow: the tainted input is persisted to the store by
+    /// one request and reaches the sink when a later request reads it
+    /// back — vulnerable, and invisible to single-request dynamic
+    /// scanning.
+    Stored,
+    /// The stored value is a literal — the safe counterpart of
+    /// [`FlowShape::Stored`] (pattern tools that distrust every store
+    /// read raise a false positive here).
+    StoredLiteral,
+    /// Pattern-class site (credentials / weak hash), vulnerable variant.
+    BadConfiguration,
+    /// Pattern-class site, safe variant.
+    GoodConfiguration,
+}
+
+impl FlowShape {
+    /// Whether this shape is vulnerable by construction.
+    pub fn is_vulnerable(self) -> bool {
+        matches!(
+            self,
+            FlowShape::Direct
+                | FlowShape::Chained
+                | FlowShape::InputGated
+                | FlowShape::LoopCarried
+                | FlowShape::Interprocedural
+                | FlowShape::SanitizedMismatch
+                | FlowShape::SanitizedPartial
+                | FlowShape::Stored
+                | FlowShape::BadConfiguration
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cwe_numbers() {
+        assert_eq!(VulnClass::SqlInjection.cwe(), 89);
+        assert_eq!(VulnClass::Xss.cwe(), 79);
+        assert_eq!(VulnClass::CommandInjection.cwe(), 78);
+        assert_eq!(VulnClass::PathTraversal.cwe(), 22);
+        assert_eq!(VulnClass::HardcodedCredentials.cwe(), 798);
+        assert_eq!(VulnClass::WeakHash.cwe(), 327);
+        assert_eq!(VulnClass::all().len(), 6);
+    }
+
+    #[test]
+    fn taint_based_split() {
+        assert!(VulnClass::SqlInjection.is_taint_based());
+        assert!(!VulnClass::WeakHash.is_taint_based());
+        assert!(!VulnClass::HardcodedCredentials.is_taint_based());
+        for &c in VulnClass::all() {
+            assert_eq!(c.is_taint_based(), c.sink().is_taint_sink());
+        }
+    }
+
+    #[test]
+    fn display_includes_cwe() {
+        assert_eq!(VulnClass::Xss.to_string(), "XSS (CWE-79)");
+    }
+
+    #[test]
+    fn sanitizer_matching() {
+        assert!(SanitizerKind::EscapeSql.protects(SinkKind::SqlQuery));
+        assert!(!SanitizerKind::EscapeSql.protects(SinkKind::HtmlOutput));
+        assert!(SanitizerKind::ValidateInt.protects(SinkKind::SqlQuery));
+        assert!(SanitizerKind::WhitelistCheck.protects(SinkKind::FileOpen));
+    }
+
+    #[test]
+    fn correct_and_mismatched_are_consistent() {
+        for sink in [
+            SinkKind::SqlQuery,
+            SinkKind::HtmlOutput,
+            SinkKind::ShellExec,
+            SinkKind::FileOpen,
+        ] {
+            let correct = SanitizerKind::correct_for(sink).unwrap();
+            assert!(correct.protects(sink), "{sink:?}");
+            let wrong = SanitizerKind::mismatched_for(sink).unwrap();
+            assert!(!wrong.protects(sink), "{sink:?}");
+        }
+        assert!(SanitizerKind::correct_for(SinkKind::Authenticate).is_none());
+        assert!(SanitizerKind::mismatched_for(SinkKind::CryptoHash).is_none());
+    }
+
+    #[test]
+    fn flow_shape_vulnerability() {
+        assert!(FlowShape::Direct.is_vulnerable());
+        assert!(FlowShape::SanitizedMismatch.is_vulnerable());
+        assert!(!FlowShape::SanitizedCorrect.is_vulnerable());
+        assert!(!FlowShape::DeadGuard.is_vulnerable());
+        assert!(!FlowShape::LiteralOnly.is_vulnerable());
+        assert!(FlowShape::BadConfiguration.is_vulnerable());
+        assert!(!FlowShape::GoodConfiguration.is_vulnerable());
+        assert!(FlowShape::Stored.is_vulnerable());
+        assert!(FlowShape::LoopCarried.is_vulnerable());
+        assert!(!FlowShape::StoredLiteral.is_vulnerable());
+    }
+
+    #[test]
+    fn keywords_are_distinct() {
+        let mut kws: Vec<&str> = SourceKind::all().iter().map(|s| s.keyword()).collect();
+        kws.sort_unstable();
+        kws.dedup();
+        assert_eq!(kws.len(), SourceKind::all().len());
+    }
+}

@@ -1,0 +1,61 @@
+//! The [`Detector`] trait.
+
+use crate::finding::Finding;
+use vdbench_corpus::{Corpus, Unit};
+
+/// A vulnerability detection tool.
+///
+/// Tools receive one [`Unit`] at a time plus the owning [`Corpus`] for
+/// context. Honest analyzers look only at the unit's code; the
+/// [`crate::ProfileTool`] emulation harness additionally reads ground truth
+/// to realize a prescribed operating point (documented there).
+pub trait Detector: std::fmt::Debug + Send + Sync {
+    /// Short stable tool name used in benchmark tables ("taint-d2",
+    /// "pentest-64", …).
+    fn name(&self) -> String;
+
+    /// Analyzes one unit and returns the findings.
+    fn analyze(&self, corpus: &Corpus, unit: &Unit) -> Vec<Finding>;
+
+    /// Analyzes a whole corpus (default: unit by unit).
+    fn analyze_corpus(&self, corpus: &Corpus) -> Vec<Finding> {
+        corpus
+            .units()
+            .iter()
+            .flat_map(|u| self.analyze(corpus, u))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdbench_corpus::CorpusBuilder;
+
+    /// A detector that reports nothing — the "silent" baseline.
+    #[derive(Debug)]
+    struct Silent;
+
+    impl Detector for Silent {
+        fn name(&self) -> String {
+            "silent".into()
+        }
+        fn analyze(&self, _corpus: &Corpus, _unit: &Unit) -> Vec<Finding> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn default_corpus_analysis_covers_all_units() {
+        let corpus = CorpusBuilder::new().units(10).seed(1).build();
+        let findings = Silent.analyze_corpus(&corpus);
+        assert!(findings.is_empty());
+        assert_eq!(Silent.name(), "silent");
+    }
+
+    #[test]
+    fn detector_is_object_safe() {
+        let tools: Vec<Box<dyn Detector>> = vec![Box::new(Silent)];
+        assert_eq!(tools[0].name(), "silent");
+    }
+}

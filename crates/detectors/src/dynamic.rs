@@ -1,0 +1,353 @@
+//! The dynamic (penetration-testing) scanner.
+//!
+//! Models black-box web scanners: crawl the input surface, spray attack
+//! payloads, and report a vulnerability only when an attack demonstrably
+//! reaches a sink un-neutralized: taint confirmed, the payload observed
+//! verbatim at the sink, **and** the response signature matching the
+//! payload's class (an SQL payload reflected into HTML is not proof of SQL
+//! injection). This gives the
+//! pentesting profile the paper describes: near-perfect precision, recall
+//! limited by coverage:
+//!
+//! * input-gated sinks are found only if the gate dictionary guesses the
+//!   gate value;
+//! * pattern-class defects (hardcoded credentials, weak hashes) are
+//!   invisible at runtime;
+//! * the request budget bounds how much of the input space is explored.
+
+use crate::detector::Detector;
+use crate::finding::Finding;
+use std::collections::BTreeMap;
+use vdbench_corpus::{Corpus, Interpreter, Request, SinkKind, Unit, VulnClass};
+
+/// The vulnerability class a sink's response signature indicates.
+fn class_for_sink(kind: SinkKind) -> Option<VulnClass> {
+    match kind {
+        SinkKind::SqlQuery => Some(VulnClass::SqlInjection),
+        SinkKind::HtmlOutput => Some(VulnClass::Xss),
+        SinkKind::ShellExec => Some(VulnClass::CommandInjection),
+        SinkKind::FileOpen => Some(VulnClass::PathTraversal),
+        SinkKind::Authenticate | SinkKind::CryptoHash => None,
+    }
+}
+
+/// Attack payloads sprayed by the scanner, with the class each one probes.
+const PAYLOADS: [(&str, VulnClass); 4] = [
+    ("x' OR '1'='1", VulnClass::SqlInjection),
+    ("<script>alert(1)</script>", VulnClass::Xss),
+    ("; cat /etc/passwd", VulnClass::CommandInjection),
+    ("../../etc/passwd", VulnClass::PathTraversal),
+];
+
+/// The scanner's dictionary of common gate values (what a wordlist would
+/// try for mode/debug/action parameters).
+const GATE_DICTIONARY: [&str; 9] =
+    ["1", "true", "debug", "admin", "yes", "full", "0", "test", "save"];
+
+/// Budgeted black-box scanner.
+///
+/// ```
+/// use vdbench_corpus::CorpusBuilder;
+/// use vdbench_detectors::{score_detector, DynamicScanner};
+///
+/// let corpus = CorpusBuilder::new().units(40).seed(9).build();
+/// let outcome = score_detector(&DynamicScanner::quick(), &corpus);
+/// // The proof-of-exploit oracle never raises a false alarm.
+/// assert_eq!(outcome.confusion().fp, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicScanner {
+    request_budget: usize,
+    use_gate_dictionary: bool,
+    two_phase: bool,
+}
+
+impl DynamicScanner {
+    /// A quick scan: payload sprays only, no gate dictionary.
+    pub fn quick() -> Self {
+        DynamicScanner {
+            request_budget: 6,
+            use_gate_dictionary: false,
+            two_phase: false,
+        }
+    }
+
+    /// A thorough scan: payload sprays plus the gate dictionary, 96
+    /// requests per unit.
+    pub fn thorough() -> Self {
+        DynamicScanner {
+            request_budget: 96,
+            use_gate_dictionary: true,
+            two_phase: false,
+        }
+    }
+
+    /// A stateful scan: like [`DynamicScanner::thorough`] but each attack
+    /// request is followed by a plain *trigger* request in the same
+    /// session, exposing second-order flows through the store. Twice the
+    /// request budget pays for the replay.
+    pub fn stateful() -> Self {
+        DynamicScanner {
+            request_budget: 192,
+            use_gate_dictionary: true,
+            two_phase: true,
+        }
+    }
+
+    /// Custom budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request_budget == 0`.
+    pub fn with_budget(request_budget: usize, use_gate_dictionary: bool) -> Self {
+        assert!(request_budget > 0, "scanner needs at least one request");
+        DynamicScanner {
+            request_budget,
+            use_gate_dictionary,
+            two_phase: false,
+        }
+    }
+
+    /// The per-unit request budget.
+    pub fn request_budget(&self) -> usize {
+        self.request_budget
+    }
+
+    /// Builds the attack plan for one unit, in priority order. Each entry
+    /// is a session (one request, or attack + plain trigger in stateful
+    /// mode); the budget counts individual requests.
+    fn plan(&self, unit: &Unit) -> Vec<(Vec<Request>, &'static str)> {
+        let surface = unit.referenced_sources();
+        let mut attacks: Vec<(Request, &'static str)> = Vec::new();
+        // Phase 1: spray each payload across the whole surface.
+        for (payload, _) in PAYLOADS {
+            let mut req = Request::new();
+            for (kind, name) in &surface {
+                req.set(*kind, name.clone(), payload);
+            }
+            attacks.push((req, payload));
+        }
+        // Phase 2: for each candidate gate input, fix it to a dictionary
+        // value and spray payloads on everything else.
+        if self.use_gate_dictionary {
+            for (gate_kind, gate_name) in &surface {
+                for dict_val in GATE_DICTIONARY {
+                    for (payload, _) in PAYLOADS {
+                        let mut req = Request::new();
+                        for (kind, name) in &surface {
+                            req.set(*kind, name.clone(), payload);
+                        }
+                        req.set(*gate_kind, gate_name.clone(), dict_val);
+                        attacks.push((req, payload));
+                    }
+                }
+            }
+        }
+        // Realize the budget in requests, expanding to two-request
+        // sessions (attack, then plain trigger) in stateful mode.
+        let per_session = if self.two_phase { 2 } else { 1 };
+        let mut plan = Vec::new();
+        let mut spent = 0usize;
+        for (req, payload) in attacks {
+            if spent + per_session > self.request_budget {
+                break;
+            }
+            spent += per_session;
+            let session = if self.two_phase {
+                vec![req, Request::new()]
+            } else {
+                vec![req]
+            };
+            plan.push((session, payload));
+        }
+        plan
+    }
+}
+
+impl Default for DynamicScanner {
+    /// The thorough profile.
+    fn default() -> Self {
+        DynamicScanner::thorough()
+    }
+}
+
+impl Detector for DynamicScanner {
+    fn name(&self) -> String {
+        format!(
+            "pentest-{}{}{}",
+            self.request_budget,
+            if self.use_gate_dictionary { "-dict" } else { "" },
+            if self.two_phase { "-2ph" } else { "" }
+        )
+    }
+
+    fn analyze(&self, _corpus: &Corpus, unit: &Unit) -> Vec<Finding> {
+        let interp = Interpreter::default();
+        let mut confirmed: BTreeMap<_, (&'static str, SinkKind)> = BTreeMap::new();
+        for (session, payload) in self.plan(unit) {
+            // Execution failures (runaway loops, malformed units) are a
+            // scanner non-result, not a crash.
+            let Ok(observations) = interp.run_session(unit, &session) else {
+                continue;
+            };
+            for obs in observations {
+                // Proof of exploit: the sink received data still tainted
+                // for it, our payload survived verbatim, and the response
+                // signature matches the payload's class.
+                let payload_class = PAYLOADS
+                    .iter()
+                    .find(|(p, _)| *p == payload)
+                    .map(|(_, c)| *c);
+                let sink_class = class_for_sink(obs.kind);
+                if obs.tainted
+                    && obs.rendered.contains(payload)
+                    && payload_class == sink_class
+                {
+                    confirmed.entry(obs.site).or_insert((payload, obs.kind));
+                }
+            }
+        }
+        confirmed
+            .into_iter()
+            .map(|(site, (payload, kind))| {
+                let class = PAYLOADS
+                    .iter()
+                    .find(|(p, _)| *p == payload)
+                    .map(|(_, c)| *c);
+                Finding::new(
+                    site,
+                    class,
+                    0.95,
+                    format!(
+                        "payload {payload:?} reached {} un-neutralized",
+                        kind.keyword()
+                    ),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::score_detector;
+    use vdbench_corpus::{CorpusBuilder, FlowShape};
+    use vdbench_metrics::basic::{Precision, Recall};
+    use vdbench_metrics::metric::Metric;
+
+    #[test]
+    fn near_perfect_precision() {
+        let corpus = CorpusBuilder::new()
+            .units(300)
+            .vulnerability_density(0.35)
+            .seed(41)
+            .build();
+        let outcome = score_detector(&DynamicScanner::thorough(), &corpus);
+        let cm = outcome.confusion();
+        assert!(cm.tp > 0);
+        let precision = Precision.compute(&cm).unwrap();
+        assert!(
+            precision > 0.99,
+            "pentesting must not produce false alarms: {cm}"
+        );
+    }
+
+    #[test]
+    fn dead_guards_are_true_negatives() {
+        let corpus = CorpusBuilder::new()
+            .units(60)
+            .vulnerability_density(0.0)
+            .decoy_rate(1.0)
+            .classes(vec![VulnClass::SqlInjection])
+            .seed(42)
+            .build();
+        let outcome = score_detector(&DynamicScanner::thorough(), &corpus);
+        assert_eq!(outcome.confusion().fp, 0);
+    }
+
+    #[test]
+    fn gate_dictionary_raises_recall_on_gated_flows() {
+        let corpus = CorpusBuilder::new()
+            .units(200)
+            .vulnerability_density(1.0)
+            .disguise_rate(0.0)
+            .gate_rate(1.0)
+            .gate_obscurity(0.0) // every gate guessable
+            .classes(vec![VulnClass::Xss])
+            .seed(43)
+            .build();
+        let quick = score_detector(&DynamicScanner::quick(), &corpus);
+        let thorough = score_detector(&DynamicScanner::thorough(), &corpus);
+        let gated_quick = quick.confusion_for_shape(FlowShape::InputGated);
+        let gated_thorough = thorough.confusion_for_shape(FlowShape::InputGated);
+        assert_eq!(
+            gated_quick.tp, 0,
+            "without the dictionary, gates stay closed: {gated_quick}"
+        );
+        assert!(
+            gated_thorough.tpr() > 0.8,
+            "dictionary opens guessable gates: {gated_thorough}"
+        );
+    }
+
+    #[test]
+    fn obscure_gates_stay_hidden() {
+        let corpus = CorpusBuilder::new()
+            .units(150)
+            .vulnerability_density(1.0)
+            .disguise_rate(0.0)
+            .gate_rate(1.0)
+            .gate_obscurity(1.0) // every gate unguessable
+            .classes(vec![VulnClass::SqlInjection])
+            .seed(44)
+            .build();
+        let outcome = score_detector(&DynamicScanner::thorough(), &corpus);
+        let gated = outcome.confusion_for_shape(FlowShape::InputGated);
+        assert_eq!(gated.tp, 0, "obscure gates must defeat the scanner: {gated}");
+    }
+
+    #[test]
+    fn pattern_classes_invisible_at_runtime() {
+        let corpus = CorpusBuilder::new()
+            .units(100)
+            .vulnerability_density(0.8)
+            .classes(vec![VulnClass::WeakHash, VulnClass::HardcodedCredentials])
+            .seed(45)
+            .build();
+        let outcome = score_detector(&DynamicScanner::thorough(), &corpus);
+        assert_eq!(outcome.confusion().tp, 0);
+    }
+
+    #[test]
+    fn mismatched_sanitizers_exposed_dynamically() {
+        // The dynamic scanner is the tool that *does* catch disguised
+        // vulnerabilities: the payload demonstrably survives the wrong
+        // sanitizer.
+        let corpus = CorpusBuilder::new()
+            .units(120)
+            .vulnerability_density(1.0)
+            .disguise_rate(1.0)
+            .stored_rate(0.0)
+            .classes(vec![VulnClass::SqlInjection, VulnClass::Xss])
+            .seed(46)
+            .build();
+        let outcome = score_detector(&DynamicScanner::thorough(), &corpus);
+        let recall = Recall.compute(&outcome.confusion()).unwrap();
+        assert!(recall > 0.9, "disguises don't fool execution: recall {recall}");
+    }
+
+    #[test]
+    fn budget_ordering_and_names() {
+        assert_eq!(DynamicScanner::quick().name(), "pentest-6");
+        assert_eq!(DynamicScanner::thorough().name(), "pentest-96-dict");
+        assert_eq!(DynamicScanner::default(), DynamicScanner::thorough());
+        assert_eq!(DynamicScanner::quick().request_budget(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn zero_budget_panics() {
+        let _ = DynamicScanner::with_budget(0, false);
+    }
+}

@@ -1,0 +1,51 @@
+//! Tool findings.
+
+use serde::{Deserialize, Serialize};
+use vdbench_corpus::{SiteId, VulnClass};
+
+/// One vulnerability report emitted by a detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// The sink site the tool points at.
+    pub site: SiteId,
+    /// The class the tool believes the issue belongs to, when it claims
+    /// one.
+    pub class: Option<VulnClass>,
+    /// Tool-reported confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Human-readable evidence string (useful for debugging tool
+    /// behaviour in examples).
+    pub rationale: String,
+}
+
+impl Finding {
+    /// Creates a finding with clamped confidence.
+    pub fn new(
+        site: SiteId,
+        class: Option<VulnClass>,
+        confidence: f64,
+        rationale: impl Into<String>,
+    ) -> Self {
+        Finding {
+            site,
+            class,
+            confidence: confidence.clamp(0.0, 1.0),
+            rationale: rationale.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_clamped() {
+        let site = SiteId { unit: 0, sink: 0 };
+        assert_eq!(Finding::new(site, None, 2.0, "x").confidence, 1.0);
+        assert_eq!(Finding::new(site, None, -1.0, "x").confidence, 0.0);
+        let f = Finding::new(site, Some(VulnClass::Xss), 0.5, "evidence");
+        assert_eq!(f.class, Some(VulnClass::Xss));
+        assert_eq!(f.rationale, "evidence");
+    }
+}

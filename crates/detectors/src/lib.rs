@@ -1,0 +1,51 @@
+//! Vulnerability detection tools over the MiniWeb corpus.
+//!
+//! The paper benchmarks several families of real tools (static analyzers
+//! and penetration testers). This crate implements the equivalent families
+//! as actual analyzers whose false positives and false negatives arise from
+//! *mechanistic* causes, not coin flips:
+//!
+//! * [`PatternScanner`] — a lexical/AST signature tool: high recall, low
+//!   precision, fooled by mismatched sanitizers, flags dead code;
+//! * [`TaintAnalyzer`] — a real forward dataflow taint analysis with
+//!   branch joins, loop fixpoints and bounded call-depth inlining;
+//!   path-insensitive (false positives on dead guards), configurable
+//!   sanitizer precision and call depth;
+//! * [`DynamicScanner`] — a pentest-style tool driving the MiniWeb
+//!   interpreter with payload-spraying requests and a gate dictionary:
+//!   high precision, recall limited by coverage budget;
+//! * [`ProfileTool`] — a parameterized emulation of an arbitrary tool
+//!   operating point, used by experiments that need exact control.
+//!
+//! Tools implement [`Detector`]; [`score::score_detector`] runs one over a
+//! corpus and scores it against ground truth into confusion matrices.
+//!
+//! ```
+//! use vdbench_corpus::CorpusBuilder;
+//! use vdbench_detectors::{score_detector, TaintAnalyzer, PatternScanner, Detector};
+//!
+//! let corpus = CorpusBuilder::new().units(60).seed(3).build();
+//! let taint = score_detector(&TaintAnalyzer::default(), &corpus);
+//! let pattern = score_detector(&PatternScanner::aggressive(), &corpus);
+//! // The pattern tool reports more (higher recall, more false positives).
+//! assert!(pattern.confusion().fp >= taint.confusion().fp);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod dynamic;
+pub mod finding;
+pub mod pattern;
+pub mod profile;
+pub mod score;
+pub mod taint;
+
+pub use detector::Detector;
+pub use dynamic::DynamicScanner;
+pub use finding::Finding;
+pub use pattern::PatternScanner;
+pub use profile::ProfileTool;
+pub use score::{score_detector, DetectionOutcome, SiteOutcome};
+pub use taint::TaintAnalyzer;

@@ -1,0 +1,326 @@
+//! The lexical/AST signature scanner.
+//!
+//! Models the grep-with-extra-steps family of tools: it looks at each sink
+//! statement in isolation and applies syntactic rules. No dataflow, no
+//! reachability, no sanitizer-sink matching — which produces exactly the
+//! error profile such tools have in practice:
+//!
+//! * flags sinks in dead code (**false positives** on dead guards);
+//! * in aggressive mode flags any sink consuming a variable, including
+//!   variables holding literals (**false positives** on literal flows);
+//! * treats *any* sanitizer as protection, so a mismatched sanitizer
+//!   silences it (**false negatives** on disguised vulnerabilities);
+//! * in conservative mode only flags sources appearing lexically in the
+//!   sink argument (**false negatives** on chained/interprocedural flows).
+//!
+//! It is, however, genuinely good at the pattern classes (hardcoded
+//! credentials, weak hashes) — string matching is the right tool there.
+
+use crate::detector::Detector;
+use crate::finding::Finding;
+use vdbench_corpus::{Corpus, Expr, SinkKind, Unit, VulnClass};
+
+/// Configuration-driven signature scanner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternScanner {
+    /// Flag sinks whose argument references any variable (cannot resolve
+    /// what it holds, so assume the worst).
+    flag_variables: bool,
+}
+
+impl PatternScanner {
+    /// The aggressive profile: variables are assumed dangerous. Highest
+    /// recall, lowest precision.
+    pub fn aggressive() -> Self {
+        PatternScanner {
+            flag_variables: true,
+        }
+    }
+
+    /// The conservative profile: only lexically visible sources are
+    /// flagged. Fewer false positives, misses all indirect flows.
+    pub fn conservative() -> Self {
+        PatternScanner {
+            flag_variables: false,
+        }
+    }
+
+    fn class_for_sink(kind: SinkKind) -> Option<VulnClass> {
+        match kind {
+            SinkKind::SqlQuery => Some(VulnClass::SqlInjection),
+            SinkKind::HtmlOutput => Some(VulnClass::Xss),
+            SinkKind::ShellExec => Some(VulnClass::CommandInjection),
+            SinkKind::FileOpen => Some(VulnClass::PathTraversal),
+            SinkKind::Authenticate => Some(VulnClass::HardcodedCredentials),
+            SinkKind::CryptoHash => Some(VulnClass::WeakHash),
+        }
+    }
+
+    /// Checks one taint sink given the function's one-hop definition map.
+    ///
+    /// The scanner resolves each variable in the sink argument through at
+    /// most **one** lexical assignment — the "grep with extra steps" level
+    /// of effort. Any sanitizer within that horizon counts as protection
+    /// regardless of whether it matches the sink.
+    fn check_taint_sink(
+        &self,
+        arg: &Expr,
+        defs: &std::collections::BTreeMap<String, Expr>,
+    ) -> Option<&'static str> {
+        let one_hop: Vec<&Expr> = arg
+            .referenced_vars()
+            .iter()
+            .filter_map(|v| defs.get(*v))
+            .collect();
+        // Rule 1: a sanitizer anywhere within the one-hop horizon counts
+        // as "handled" — the tool cannot tell whether it is the *right*
+        // sanitizer.
+        if arg.contains_sanitizer() || one_hop.iter().any(|e| e.contains_sanitizer()) {
+            return None;
+        }
+        // Rule 2: a source lexically visible within the horizon.
+        if arg.contains_source() {
+            return Some("request input flows directly into sink expression");
+        }
+        if one_hop.iter().any(|e| e.contains_source()) {
+            return Some("request input assigned to a variable used by the sink");
+        }
+        // Rule 3 (aggressive): database reads are data of unknown
+        // provenance — flag them (catches stored injection at the price of
+        // false alarms on stored literals).
+        if self.flag_variables
+            && (expr_has_store_read(arg) || one_hop.iter().any(|e| expr_has_store_read(e)))
+        {
+            return Some("sink consumes data read back from the store");
+        }
+        // Rule 4 (aggressive): unresolved variables could hold anything.
+        let unresolved = !arg.referenced_vars().is_empty()
+            && (one_hop.is_empty() || one_hop.iter().any(|e| !e.referenced_vars().is_empty()));
+        if self.flag_variables && unresolved {
+            return Some("sink consumes a variable of unknown provenance");
+        }
+        None
+    }
+
+    fn check_pattern_sink(kind: SinkKind, arg: &Expr) -> Option<&'static str> {
+        match kind {
+            SinkKind::CryptoHash => {
+                const WEAK_ALGOS: [&str; 4] = ["md5", "sha1", "crc32", "des"];
+                if let Expr::Str(algo) = arg {
+                    if WEAK_ALGOS.contains(&algo.to_ascii_lowercase().as_str()) {
+                        return Some("weak hash algorithm literal");
+                    }
+                }
+                None
+            }
+            SinkKind::Authenticate => {
+                // A credential that does not come from a request or
+                // configuration source is hardcoded.
+                if !arg.contains_source() {
+                    Some("credential does not originate from an external source")
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Default for PatternScanner {
+    /// The aggressive profile (the common default of signature tools).
+    fn default() -> Self {
+        PatternScanner::aggressive()
+    }
+}
+
+impl Detector for PatternScanner {
+    fn name(&self) -> String {
+        if self.flag_variables {
+            "pattern-aggr".into()
+        } else {
+            "pattern-cons".into()
+        }
+    }
+
+    fn analyze(&self, _corpus: &Corpus, unit: &Unit) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let functions =
+            std::iter::once(&unit.handler).chain(unit.helpers.iter());
+        for function in functions {
+            let defs = lexical_defs(&function.body);
+            let mut sinks = Vec::new();
+            collect_sinks(&function.body, &mut sinks);
+            for (kind, arg, site) in sinks {
+                let rationale = if kind.is_taint_sink() {
+                    self.check_taint_sink(arg, &defs)
+                } else {
+                    Self::check_pattern_sink(kind, arg)
+                };
+                if let Some(reason) = rationale {
+                    findings.push(Finding::new(
+                        site,
+                        Self::class_for_sink(kind),
+                        if kind.is_taint_sink() { 0.6 } else { 0.9 },
+                        reason,
+                    ));
+                }
+            }
+        }
+        findings
+    }
+}
+
+/// Whether the expression lexically contains a store read.
+fn expr_has_store_read(e: &Expr) -> bool {
+    match e {
+        Expr::StoreRead { .. } => true,
+        Expr::Concat(a, b) => expr_has_store_read(a) || expr_has_store_read(b),
+        Expr::Sanitize { arg, .. } => expr_has_store_read(arg),
+        Expr::BinOp { lhs, rhs, .. } => expr_has_store_read(lhs) || expr_has_store_read(rhs),
+        _ => false,
+    }
+}
+
+/// All `var = expr` bindings in lexical order (later assignments override),
+/// flattening through branches and loops — the one-hop resolution horizon.
+fn lexical_defs(body: &[vdbench_corpus::Stmt]) -> std::collections::BTreeMap<String, Expr> {
+    use vdbench_corpus::Stmt;
+    let mut defs = std::collections::BTreeMap::new();
+    fn walk(body: &[Stmt], defs: &mut std::collections::BTreeMap<String, Expr>) {
+        for stmt in body {
+            match stmt {
+                Stmt::Let { var, expr } | Stmt::Assign { var, expr } => {
+                    defs.insert(var.clone(), expr.clone());
+                }
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, defs);
+                    walk(else_branch, defs);
+                }
+                Stmt::While { body, .. } => walk(body, defs),
+                // A call result is opaque to the lexical scanner: drop any
+                // previous binding so the variable stays unresolved.
+                Stmt::Call { var: Some(v), .. } => {
+                    defs.remove(v);
+                }
+                _ => {}
+            }
+        }
+    }
+    walk(body, &mut defs);
+    defs
+}
+
+/// Sinks within one function body, in lexical order.
+fn collect_sinks<'a>(
+    body: &'a [vdbench_corpus::Stmt],
+    out: &mut Vec<(SinkKind, &'a Expr, vdbench_corpus::SiteId)>,
+) {
+    use vdbench_corpus::Stmt;
+    for stmt in body {
+        match stmt {
+            Stmt::Sink { kind, arg, site } => out.push((*kind, arg, *site)),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_sinks(then_branch, out);
+                collect_sinks(else_branch, out);
+            }
+            Stmt::While { body, .. } => collect_sinks(body, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::score_detector;
+    use vdbench_corpus::{CorpusBuilder, FlowShape};
+
+    fn corpus() -> Corpus {
+        CorpusBuilder::new()
+            .units(400)
+            .vulnerability_density(0.35)
+            .seed(17)
+            .build()
+    }
+
+    #[test]
+    fn aggressive_has_higher_recall_and_more_fps_than_conservative() {
+        let corpus = corpus();
+        let aggr = score_detector(&PatternScanner::aggressive(), &corpus);
+        let cons = score_detector(&PatternScanner::conservative(), &corpus);
+        assert!(aggr.confusion().tp >= cons.confusion().tp);
+        assert!(aggr.confusion().fp >= cons.confusion().fp);
+        assert!(aggr.confusion().tp > 0);
+    }
+
+    #[test]
+    fn mismatched_sanitizers_fool_the_scanner() {
+        let corpus = CorpusBuilder::new()
+            .units(100)
+            .vulnerability_density(1.0)
+            .disguise_rate(1.0)
+            .stored_rate(0.0)
+            .classes(vec![VulnClass::SqlInjection])
+            .seed(5)
+            .build();
+        let outcome = score_detector(&PatternScanner::aggressive(), &corpus);
+        // Every disguised site must be missed: the scanner sees "a
+        // sanitizer" within its one-hop horizon and stands down, unable to
+        // tell that it is the wrong one (mismatch) or only on one path
+        // (partial).
+        for rec in outcome.records() {
+            assert!(matches!(
+                rec.shape,
+                FlowShape::SanitizedMismatch | FlowShape::SanitizedPartial
+            ));
+            assert!(!rec.reported, "scanner must be fooled at {}", rec.site);
+        }
+        assert_eq!(outcome.confusion().tp, 0);
+    }
+
+    #[test]
+    fn dead_guards_are_false_positives() {
+        let corpus = CorpusBuilder::new()
+            .units(60)
+            .vulnerability_density(0.0)
+            .decoy_rate(1.0)
+            .classes(vec![VulnClass::Xss])
+            .seed(6)
+            .build();
+        let outcome = score_detector(&PatternScanner::aggressive(), &corpus);
+        let cm = outcome.confusion();
+        assert_eq!(cm.tp, 0);
+        assert!(cm.fp as usize > 30, "dead guards should draw FPs: {cm}");
+    }
+
+    #[test]
+    fn pattern_classes_detected_well() {
+        let corpus = CorpusBuilder::new()
+            .units(200)
+            .vulnerability_density(0.5)
+            .classes(vec![VulnClass::WeakHash, VulnClass::HardcodedCredentials])
+            .seed(7)
+            .build();
+        let outcome = score_detector(&PatternScanner::aggressive(), &corpus);
+        let cm = outcome.confusion();
+        // Signature matching is the right tool for configuration bugs.
+        assert_eq!(cm.fn_, 0, "all pattern-class bugs found: {cm}");
+        assert_eq!(cm.fp, 0, "no false alarms on good configurations: {cm}");
+    }
+
+    #[test]
+    fn names_differ_by_profile() {
+        assert_eq!(PatternScanner::aggressive().name(), "pattern-aggr");
+        assert_eq!(PatternScanner::conservative().name(), "pattern-cons");
+        assert_eq!(PatternScanner::default(), PatternScanner::aggressive());
+    }
+}

@@ -1,0 +1,225 @@
+//! Parameterized tool-profile emulation.
+//!
+//! Experiments that study *metrics* (rather than tools) need exact control
+//! over operating points: "a tool with 80% recall and 5% false-positive
+//! rate", or "two tools 5 points of recall apart". [`ProfileTool`] realizes
+//! such specifications over a real corpus, deterministically per
+//! `(seed, site)`, optionally with per-class sensitivity — emulating the
+//! anonymized commercial tools of the paper's case studies.
+//!
+//! Unlike the honest analyzers, this tool **reads ground truth** to decide
+//! its behaviour; that is its documented purpose as an emulation harness,
+//! not a detection technique.
+
+use crate::detector::Detector;
+use crate::finding::Finding;
+use std::collections::BTreeMap;
+use vdbench_corpus::{Corpus, SiteId, Unit, VulnClass};
+use vdbench_stats::SeededRng;
+
+/// A tool emulated from an operating-point specification.
+///
+/// ```
+/// use vdbench_corpus::CorpusBuilder;
+/// use vdbench_detectors::{score_detector, ProfileTool};
+///
+/// let corpus = CorpusBuilder::new()
+///     .units(2000)
+///     .vulnerability_density(0.5)
+///     .seed(1)
+///     .build();
+/// let tool = ProfileTool::new("spec", 0.8, 0.05, 7);
+/// let cm = score_detector(&tool, &corpus).confusion();
+/// assert!((cm.tpr() - 0.8).abs() < 0.05);
+/// assert!((cm.fpr() - 0.05).abs() < 0.03);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileTool {
+    name: String,
+    default_tpr: f64,
+    fpr: f64,
+    class_tpr: BTreeMap<VulnClass, f64>,
+    diagnosis_accuracy: f64,
+    seed: u64,
+}
+
+impl ProfileTool {
+    /// Creates a profile with uniform sensitivity `tpr` and false-positive
+    /// rate `fpr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both rates lie in `[0, 1]`.
+    pub fn new(name: impl Into<String>, tpr: f64, fpr: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&tpr), "tpr must be in [0,1]");
+        assert!((0.0..=1.0).contains(&fpr), "fpr must be in [0,1]");
+        ProfileTool {
+            name: name.into(),
+            default_tpr: tpr,
+            fpr,
+            class_tpr: BTreeMap::new(),
+            diagnosis_accuracy: 1.0,
+            seed,
+        }
+    }
+
+    /// Sets the probability that a (true-positive) finding carries the
+    /// correct class label; misdiagnosed findings claim a uniformly random
+    /// *other* class (builder style). Default 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate lies in `[0, 1]`.
+    pub fn with_diagnosis_accuracy(mut self, accuracy: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&accuracy),
+            "diagnosis accuracy must be in [0,1]"
+        );
+        self.diagnosis_accuracy = accuracy;
+        self
+    }
+
+    /// Overrides sensitivity for one vulnerability class (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate lies in `[0, 1]`.
+    pub fn with_class_tpr(mut self, class: VulnClass, tpr: f64) -> Self {
+        assert!((0.0..=1.0).contains(&tpr), "tpr must be in [0,1]");
+        self.class_tpr.insert(class, tpr);
+        self
+    }
+
+    /// The configured sensitivity for a class.
+    pub fn tpr_for(&self, class: VulnClass) -> f64 {
+        self.class_tpr.get(&class).copied().unwrap_or(self.default_tpr)
+    }
+
+    /// The configured false-positive rate.
+    pub fn fpr(&self) -> f64 {
+        self.fpr
+    }
+
+    /// Deterministic per-site uniform draw: the same tool on the same site
+    /// always behaves identically (tools are deterministic; it is the
+    /// *population of sites* that is random).
+    fn site_draw(&self, site: SiteId) -> f64 {
+        let mut h: u64 = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for byte in self.name.bytes() {
+            h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(u64::from(byte));
+        }
+        h ^= (u64::from(site.unit) << 32) | u64::from(site.sink);
+        SeededRng::new(h).uniform()
+    }
+}
+
+impl Detector for ProfileTool {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn analyze(&self, corpus: &Corpus, unit: &Unit) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for (_, _, site) in unit.sinks() {
+            let Some(info) = corpus.site_info(site) else {
+                continue;
+            };
+            let threshold = if info.vulnerable {
+                self.tpr_for(info.class)
+            } else {
+                self.fpr
+            };
+            if self.site_draw(site) < threshold {
+                // A second independent draw decides the class claim.
+                let mut rng = SeededRng::new(
+                    (self.site_draw(site).to_bits()) ^ self.seed ^ 0xD1A6,
+                );
+                let claimed = if rng.uniform() < self.diagnosis_accuracy {
+                    info.class
+                } else {
+                    let others: Vec<VulnClass> = VulnClass::all()
+                        .iter()
+                        .copied()
+                        .filter(|c| *c != info.class)
+                        .collect();
+                    *rng.choose(&others)
+                };
+                findings.push(Finding::new(
+                    site,
+                    Some(claimed),
+                    0.5,
+                    "emulated operating point",
+                ));
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::score_detector;
+    use vdbench_corpus::CorpusBuilder;
+
+    #[test]
+    fn realized_rates_match_specification() {
+        let corpus = CorpusBuilder::new()
+            .units(3000)
+            .vulnerability_density(0.4)
+            .seed(51)
+            .build();
+        let tool = ProfileTool::new("spec", 0.8, 0.1, 99);
+        let cm = score_detector(&tool, &corpus).confusion();
+        assert!((cm.tpr() - 0.8).abs() < 0.03, "tpr {}", cm.tpr());
+        assert!((cm.fpr() - 0.1).abs() < 0.03, "fpr {}", cm.fpr());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let corpus = CorpusBuilder::new().units(100).seed(52).build();
+        let a = score_detector(&ProfileTool::new("t", 0.7, 0.05, 7), &corpus);
+        let b = score_detector(&ProfileTool::new("t", 0.7, 0.05, 7), &corpus);
+        assert_eq!(a.records(), b.records());
+        let c = score_detector(&ProfileTool::new("t", 0.7, 0.05, 8), &corpus);
+        assert_ne!(a.records(), c.records());
+    }
+
+    #[test]
+    fn name_is_part_of_identity() {
+        let corpus = CorpusBuilder::new().units(200).seed(53).build();
+        let a = score_detector(&ProfileTool::new("alpha", 0.5, 0.5, 1), &corpus);
+        let b = score_detector(&ProfileTool::new("beta", 0.5, 0.5, 1), &corpus);
+        assert_ne!(
+            a.records(),
+            b.records(),
+            "different tools draw independently"
+        );
+    }
+
+    #[test]
+    fn class_sensitivity_overrides() {
+        let corpus = CorpusBuilder::new()
+            .units(2500)
+            .vulnerability_density(0.5)
+            .classes(vec![VulnClass::SqlInjection, VulnClass::Xss])
+            .seed(54)
+            .build();
+        let tool = ProfileTool::new("classy", 0.9, 0.0, 3)
+            .with_class_tpr(VulnClass::Xss, 0.2);
+        assert_eq!(tool.tpr_for(VulnClass::Xss), 0.2);
+        assert_eq!(tool.tpr_for(VulnClass::SqlInjection), 0.9);
+        assert_eq!(tool.fpr(), 0.0);
+        let outcome = score_detector(&tool, &corpus);
+        let sql = outcome.confusion_for_class(VulnClass::SqlInjection);
+        let xss = outcome.confusion_for_class(VulnClass::Xss);
+        assert!((sql.tpr() - 0.9).abs() < 0.05, "sql tpr {}", sql.tpr());
+        assert!((xss.tpr() - 0.2).abs() < 0.05, "xss tpr {}", xss.tpr());
+    }
+
+    #[test]
+    #[should_panic(expected = "tpr must be in")]
+    fn rejects_bad_rates() {
+        let _ = ProfileTool::new("bad", 1.1, 0.0, 0);
+    }
+}

@@ -1,0 +1,394 @@
+//! Scoring detector output against corpus ground truth.
+
+use crate::detector::Detector;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use vdbench_corpus::{Corpus, FlowShape, SiteId, VulnClass};
+use vdbench_metrics::ConfusionMatrix;
+
+/// The scored outcome at one benchmark case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteOutcome {
+    /// The case.
+    pub site: SiteId,
+    /// Whether the tool reported it.
+    pub reported: bool,
+    /// The vulnerability class the tool claimed, when it reported one.
+    pub claimed_class: Option<VulnClass>,
+    /// Ground truth.
+    pub vulnerable: bool,
+    /// The case's class.
+    pub class: VulnClass,
+    /// The case's construction shape.
+    pub shape: FlowShape,
+}
+
+impl SiteOutcome {
+    /// Whether the tool got this case right.
+    pub fn correct(&self) -> bool {
+        self.reported == self.vulnerable
+    }
+}
+
+/// A detector's complete scored run over a corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionOutcome {
+    tool: String,
+    records: Vec<SiteOutcome>,
+}
+
+impl DetectionOutcome {
+    /// The tool's name.
+    pub fn tool(&self) -> &str {
+        &self.tool
+    }
+
+    /// Per-site outcomes in corpus order.
+    pub fn records(&self) -> &[SiteOutcome] {
+        &self.records
+    }
+
+    /// Pooled confusion matrix over all cases.
+    pub fn confusion(&self) -> ConfusionMatrix {
+        ConfusionMatrix::from_outcomes(
+            self.records.iter().map(|r| (r.reported, r.vulnerable)),
+        )
+    }
+
+    /// Confusion matrix restricted to one vulnerability class.
+    pub fn confusion_for_class(&self, class: VulnClass) -> ConfusionMatrix {
+        ConfusionMatrix::from_outcomes(
+            self.records
+                .iter()
+                .filter(|r| r.class == class)
+                .map(|r| (r.reported, r.vulnerable)),
+        )
+    }
+
+    /// Confusion matrix restricted to one flow shape.
+    pub fn confusion_for_shape(&self, shape: FlowShape) -> ConfusionMatrix {
+        ConfusionMatrix::from_outcomes(
+            self.records
+                .iter()
+                .filter(|r| r.shape == shape)
+                .map(|r| (r.reported, r.vulnerable)),
+        )
+    }
+
+    /// Confusion matrix over a subset of cases (by index) — the resampling
+    /// hook used by bootstrap analyses.
+    pub fn confusion_for_indices(&self, indices: &[usize]) -> ConfusionMatrix {
+        ConfusionMatrix::from_outcomes(
+            indices
+                .iter()
+                .filter_map(|&i| self.records.get(i))
+                .map(|r| (r.reported, r.vulnerable)),
+        )
+    }
+
+    /// Macro-averaged metric value: the metric is computed per
+    /// vulnerability class and the defined values averaged with equal
+    /// class weight. Contrast with the *micro* average
+    /// ([`DetectionOutcome::confusion`] pools all cases first), which
+    /// lets populous classes dominate — a classic benchmarking pitfall
+    /// when class mixes differ between workloads.
+    ///
+    /// Returns `None` when the metric is undefined on every class.
+    pub fn macro_average(&self, metric: &dyn vdbench_metrics::metric::Metric) -> Option<f64> {
+        let classes: BTreeSet<VulnClass> = self.records.iter().map(|r| r.class).collect();
+        let values: Vec<f64> = classes
+            .into_iter()
+            .filter_map(|c| metric.compute(&self.confusion_for_class(c)).ok())
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+
+    /// Diagnosis accuracy: among true positives where the tool claimed a
+    /// class, the fraction whose claim matches the ground-truth class.
+    /// *Detecting* a problem and *identifying* it are different abilities —
+    /// a scanner that probes with an SQL payload can legitimately trip a
+    /// command-injection sink and misfile the finding.
+    ///
+    /// Returns `None` when no true positive carried a class claim.
+    pub fn diagnosis_accuracy(&self) -> Option<f64> {
+        let claims: Vec<&SiteOutcome> = self
+            .records
+            .iter()
+            .filter(|r| r.reported && r.vulnerable && r.claimed_class.is_some())
+            .collect();
+        if claims.is_empty() {
+            return None;
+        }
+        let correct = claims
+            .iter()
+            .filter(|r| r.claimed_class == Some(r.class))
+            .count();
+        Some(correct as f64 / claims.len() as f64)
+    }
+
+    /// McNemar discordance counts against another outcome on the same
+    /// corpus: `(only_self_correct, only_other_correct)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcomes cover different cases.
+    pub fn discordance(&self, other: &DetectionOutcome) -> (u64, u64) {
+        assert_eq!(
+            self.records.len(),
+            other.records.len(),
+            "outcomes cover different corpora"
+        );
+        let mut b = 0;
+        let mut c = 0;
+        for (a, o) in self.records.iter().zip(&other.records) {
+            assert_eq!(a.site, o.site, "outcome order mismatch");
+            match (a.correct(), o.correct()) {
+                (true, false) => b += 1,
+                (false, true) => c += 1,
+                _ => {}
+            }
+        }
+        (b, c)
+    }
+}
+
+/// Runs a detector over a corpus and scores every case.
+///
+/// A case counts as *reported* when the tool emitted at least one finding
+/// at its site (class claims are not required to match — the paper's
+/// benchmarks score detection, not classification).
+pub fn score_detector(tool: &dyn Detector, corpus: &Corpus) -> DetectionOutcome {
+    let findings = tool.analyze_corpus(corpus);
+    let reported: BTreeSet<SiteId> = findings.iter().map(|f| f.site).collect();
+    // First class claim per site (tools may emit several findings).
+    let mut claims: std::collections::BTreeMap<SiteId, VulnClass> =
+        std::collections::BTreeMap::new();
+    for f in &findings {
+        if let Some(class) = f.class {
+            claims.entry(f.site).or_insert(class);
+        }
+    }
+    let records = corpus
+        .sites()
+        .map(|info| SiteOutcome {
+            site: info.site,
+            reported: reported.contains(&info.site),
+            claimed_class: claims.get(&info.site).copied(),
+            vulnerable: info.vulnerable,
+            class: info.class,
+            shape: info.shape,
+        })
+        .collect();
+    DetectionOutcome {
+        tool: tool.name(),
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finding::Finding;
+    use vdbench_corpus::{CorpusBuilder, Unit};
+
+    /// Reports every site — the "chatty" extreme.
+    #[derive(Debug)]
+    struct ReportAll;
+
+    impl Detector for ReportAll {
+        fn name(&self) -> String {
+            "report-all".into()
+        }
+        fn analyze(&self, _corpus: &Corpus, unit: &Unit) -> Vec<Finding> {
+            unit.sinks()
+                .into_iter()
+                .map(|(_, _, site)| Finding::new(site, None, 1.0, "always"))
+                .collect()
+        }
+    }
+
+    /// Reports nothing — the "silent" extreme.
+    #[derive(Debug)]
+    struct Silent;
+
+    impl Detector for Silent {
+        fn name(&self) -> String {
+            "silent".into()
+        }
+        fn analyze(&self, _corpus: &Corpus, _unit: &Unit) -> Vec<Finding> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn extremes_have_expected_confusions() {
+        let corpus = CorpusBuilder::new()
+            .units(100)
+            .vulnerability_density(0.3)
+            .seed(1)
+            .build();
+        let truth_pos = corpus.stats().vulnerable_sites as u64;
+        let total = corpus.site_count() as u64;
+
+        let all = score_detector(&ReportAll, &corpus);
+        let cm = all.confusion();
+        assert_eq!(cm.tp, truth_pos);
+        assert_eq!(cm.fp, total - truth_pos);
+        assert_eq!(cm.fn_, 0);
+        assert_eq!(cm.tn, 0);
+        assert_eq!(all.tool(), "report-all");
+
+        let silent = score_detector(&Silent, &corpus);
+        let cm = silent.confusion();
+        assert_eq!(cm.tp, 0);
+        assert_eq!(cm.fn_, truth_pos);
+        assert_eq!(cm.tn, total - truth_pos);
+    }
+
+    #[test]
+    fn class_and_shape_restriction_partition_totals() {
+        let corpus = CorpusBuilder::new().units(150).seed(2).build();
+        let outcome = score_detector(&ReportAll, &corpus);
+        let total: u64 = VulnClass::all()
+            .iter()
+            .map(|&c| outcome.confusion_for_class(c).total())
+            .sum();
+        assert_eq!(total, corpus.site_count() as u64);
+        let shape_total: u64 = outcome
+            .records()
+            .iter()
+            .map(|r| r.shape)
+            .collect::<BTreeSet<_>>()
+            .iter()
+            .map(|&s| outcome.confusion_for_shape(s).total())
+            .sum();
+        assert_eq!(shape_total, corpus.site_count() as u64);
+    }
+
+    #[test]
+    fn index_subsetting() {
+        let corpus = CorpusBuilder::new().units(50).seed(3).build();
+        let outcome = score_detector(&ReportAll, &corpus);
+        let half: Vec<usize> = (0..25).collect();
+        assert_eq!(outcome.confusion_for_indices(&half).total(), 25);
+        // Out-of-range indices are skipped, not panicking.
+        assert_eq!(outcome.confusion_for_indices(&[999]).total(), 0);
+    }
+
+    #[test]
+    fn diagnosis_accuracy_distinguishes_detection_from_identification() {
+        use crate::{DynamicScanner, PatternScanner, TaintAnalyzer};
+        let corpus = CorpusBuilder::new()
+            .units(300)
+            .vulnerability_density(0.5)
+            .stored_rate(0.0)
+            .seed(21)
+            .build();
+        // Static tools infer the class from the sink kind: diagnosis is
+        // perfect by construction.
+        for tool in [
+            Box::new(TaintAnalyzer::precise()) as Box<dyn Detector>,
+            Box::new(PatternScanner::aggressive()),
+        ] {
+            let acc = score_detector(tool.as_ref(), &corpus)
+                .diagnosis_accuracy()
+                .expect("static tools claim classes");
+            assert!(acc > 0.99, "{}: diagnosis {acc}", tool.name());
+        }
+        // The dynamic scanner's class-matched oracle (response signature
+        // must match the probing payload) makes its diagnosis exact too.
+        let dynamic = score_detector(&DynamicScanner::thorough(), &corpus);
+        let acc = dynamic.diagnosis_accuracy().expect("scanner claims classes");
+        assert!(acc > 0.99, "class-matched oracle: {acc}");
+        // A sloppy classifier lands near its configured accuracy.
+        let sloppy = crate::ProfileTool::new("sloppy", 1.0, 0.0, 5)
+            .with_diagnosis_accuracy(0.7);
+        let acc = score_detector(&sloppy, &corpus)
+            .diagnosis_accuracy()
+            .expect("profile claims classes");
+        assert!((acc - 0.7).abs() < 0.1, "configured 0.7, got {acc}");
+        // A tool with no class claims yields None.
+        let none = score_detector(&ReportAll, &corpus);
+        assert_eq!(none.diagnosis_accuracy(), None);
+    }
+
+    #[test]
+    fn macro_vs_micro_averaging() {
+        use vdbench_corpus::VulnClass;
+        use vdbench_metrics::basic::Recall;
+        // A tool blind to one class: with unequal class sizes, micro and
+        // macro recall must differ, and macro is the lower, fairer number
+        // when the blind spot is a big class... here we build it so the
+        // populous class is detected and the rare one missed.
+        #[derive(Debug)]
+        struct ClassBlind;
+        impl Detector for ClassBlind {
+            fn name(&self) -> String {
+                "class-blind".into()
+            }
+            fn analyze(&self, corpus: &Corpus, unit: &vdbench_corpus::Unit) -> Vec<Finding> {
+                unit.sinks()
+                    .into_iter()
+                    .filter(|(_, _, site)| {
+                        corpus
+                            .site_info(*site)
+                            .is_some_and(|i| i.class != VulnClass::WeakHash)
+                    })
+                    .map(|(_, _, site)| Finding::new(site, None, 1.0, "seen"))
+                    .collect()
+            }
+        }
+        let corpus = CorpusBuilder::new()
+            .units(300)
+            .vulnerability_density(0.5)
+            .classes(vec![VulnClass::SqlInjection, VulnClass::WeakHash])
+            .seed(9)
+            .build();
+        let outcome = score_detector(&ClassBlind, &corpus);
+        let micro = {
+            use vdbench_metrics::metric::Metric;
+            Recall.compute(&outcome.confusion()).unwrap()
+        };
+        let macro_ = outcome.macro_average(&Recall).unwrap();
+        // One class fully detected, one fully missed → macro recall = 0.5
+        // regardless of class sizes; micro depends on the mix.
+        assert!((macro_ - 0.5).abs() < 1e-9, "macro {macro_}");
+        assert!((micro - macro_).abs() > 0.01, "micro {micro} vs macro {macro_}");
+    }
+
+    #[test]
+    fn macro_average_none_when_undefined_everywhere() {
+        use vdbench_metrics::basic::Recall;
+        let corpus = CorpusBuilder::new()
+            .units(20)
+            .vulnerability_density(0.0)
+            .seed(10)
+            .build();
+        let outcome = score_detector(&Silent, &corpus);
+        // No vulnerable cases in any class: recall undefined everywhere.
+        assert!(outcome.macro_average(&Recall).is_none());
+    }
+
+    #[test]
+    fn discordance_between_extremes() {
+        let corpus = CorpusBuilder::new()
+            .units(80)
+            .vulnerability_density(0.25)
+            .seed(4)
+            .build();
+        let all = score_detector(&ReportAll, &corpus);
+        let silent = score_detector(&Silent, &corpus);
+        let (b, c) = all.discordance(&silent);
+        // ReportAll is right exactly on vulnerable cases; Silent exactly on
+        // safe ones. Discordance covers every case.
+        assert_eq!(b as usize + c as usize, corpus.site_count());
+        let (b2, c2) = silent.discordance(&all);
+        assert_eq!((b2, c2), (c, b));
+        let (b3, c3) = all.discordance(&all);
+        assert_eq!((b3, c3), (0, 0));
+    }
+}

@@ -1,0 +1,548 @@
+//! The static taint analyzer: a real forward dataflow analysis.
+//!
+//! The analysis abstractly interprets MiniWeb's structured control flow:
+//!
+//! * **path-insensitive** — both branches of every `if` are analyzed and
+//!   joined, so flows guarded by constant-false conditions are still
+//!   reported (the classic static-analysis false positive);
+//! * **loop fixpoints** — `while` bodies are re-analyzed until the
+//!   abstract environment stabilizes;
+//! * **bounded call-depth inlining** — helper calls are inlined up to
+//!   `max_call_depth`; beyond that the return value is assumed clean,
+//!   which is exactly how depth-limited commercial analyzers miss deep
+//!   interprocedural flows;
+//! * **configurable sanitizer model** — the *precise* model tracks which
+//!   sink each sanitizer protects (catching mismatched sanitizers); the
+//!   *naive* model treats any sanitizer as cleansing (missing them).
+
+use crate::detector::Detector;
+use crate::finding::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+use vdbench_corpus::{
+    Corpus, Expr, Function, SanitizerKind, SinkKind, SiteId, SourceKind, Stmt, Unit, VulnClass,
+};
+
+/// An abstract taint label: origin plus the sinks it is sanitized for.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct AbstractTaint {
+    kind: SourceKind,
+    name: String,
+    sanitized_for: BTreeSet<SinkKind>,
+}
+
+/// Abstract value: the set of taint labels possibly carried.
+type AbstractValue = BTreeSet<AbstractTaint>;
+
+/// Abstract environment: variable → abstract value.
+type AbsEnv = BTreeMap<String, AbstractValue>;
+
+/// Maximum fixpoint iterations for loops (the lattice is finite, so this
+/// is a safety valve, not a soundness requirement).
+const MAX_FIXPOINT_ITERS: usize = 8;
+
+/// Configurable forward taint analysis.
+///
+/// ```
+/// use vdbench_corpus::CorpusBuilder;
+/// use vdbench_detectors::{Detector, TaintAnalyzer};
+///
+/// let corpus = CorpusBuilder::new().units(20).seed(3).build();
+/// let findings = TaintAnalyzer::precise().analyze_corpus(&corpus);
+/// // Findings point at sink sites with taint rationale attached.
+/// assert!(findings.iter().all(|f| !f.rationale.is_empty()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaintAnalyzer {
+    max_call_depth: usize,
+    precise_sanitizers: bool,
+    check_patterns: bool,
+    track_store: bool,
+}
+
+impl TaintAnalyzer {
+    /// Full-strength configuration: call depth 3, sink-aware sanitizer
+    /// model, pattern rules enabled.
+    pub fn precise() -> Self {
+        TaintAnalyzer {
+            max_call_depth: 3,
+            precise_sanitizers: true,
+            check_patterns: true,
+            track_store: true,
+        }
+    }
+
+    /// A weaker profile: intra-procedural only (depth 0) and a naive
+    /// sanitizer model — the error profile of a fast first-generation
+    /// analyzer.
+    pub fn shallow() -> Self {
+        TaintAnalyzer {
+            max_call_depth: 0,
+            precise_sanitizers: false,
+            check_patterns: false,
+            track_store: false,
+        }
+    }
+
+    /// Custom configuration.
+    pub fn with_config(
+        max_call_depth: usize,
+        precise_sanitizers: bool,
+        check_patterns: bool,
+    ) -> Self {
+        TaintAnalyzer {
+            max_call_depth,
+            precise_sanitizers,
+            check_patterns,
+            track_store: precise_sanitizers,
+        }
+    }
+
+    /// Enables or disables the flow-insensitive store (heap) abstraction;
+    /// without it, second-order flows through `store_write`/`store_read`
+    /// are invisible (builder style).
+    pub fn track_store(mut self, enabled: bool) -> Self {
+        self.track_store = enabled;
+        self
+    }
+
+    /// The configured inlining depth.
+    pub fn max_call_depth(&self) -> usize {
+        self.max_call_depth
+    }
+}
+
+impl Default for TaintAnalyzer {
+    /// The precise profile.
+    fn default() -> Self {
+        TaintAnalyzer::precise()
+    }
+}
+
+impl Detector for TaintAnalyzer {
+    fn name(&self) -> String {
+        format!(
+            "taint-d{}{}{}",
+            self.max_call_depth,
+            if self.precise_sanitizers { "-precise" } else { "-naive" },
+            if self.precise_sanitizers && !self.track_store {
+                "-nostore"
+            } else {
+                ""
+            }
+        )
+    }
+
+    fn analyze(&self, _corpus: &Corpus, unit: &Unit) -> Vec<Finding> {
+        let mut ctx = AnalysisCtx {
+            analyzer: self,
+            unit,
+            findings: BTreeMap::new(),
+            store: BTreeMap::new(),
+        };
+        // Two passes realize a flow-insensitive heap abstraction: pass 1
+        // accumulates every possible store write; pass 2 lets reads (even
+        // ones that lexically precede the write, or sit on the opposite
+        // branch — i.e. a different request) observe them. One pass
+        // suffices when the store is not modelled.
+        let passes = if self.track_store { 2 } else { 1 };
+        for _ in 0..passes {
+            let mut env = AbsEnv::new();
+            ctx.analyze_block(&unit.handler.body, &mut env, 0);
+        }
+        ctx.findings
+            .into_iter()
+            .map(|(site, (class, reason))| Finding::new(site, class, 0.8, reason))
+            .collect()
+    }
+}
+
+struct AnalysisCtx<'a> {
+    analyzer: &'a TaintAnalyzer,
+    unit: &'a Unit,
+    findings: BTreeMap<SiteId, (Option<VulnClass>, String)>,
+    /// Flow-insensitive abstraction of the persistent store: weak updates
+    /// only, accumulated across both analysis passes.
+    store: BTreeMap<String, AbstractValue>,
+}
+
+impl<'a> AnalysisCtx<'a> {
+    /// Analyzes a block, mutating the environment; returns the join of all
+    /// returned abstract values.
+    fn analyze_block(&mut self, body: &[Stmt], env: &mut AbsEnv, depth: usize) -> AbstractValue {
+        let mut returned = AbstractValue::new();
+        for stmt in body {
+            match stmt {
+                Stmt::Let { var, expr } | Stmt::Assign { var, expr } => {
+                    let v = self.eval(expr, env);
+                    env.insert(var.clone(), v);
+                }
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    // Path-insensitive join: analyze both branches from the
+                    // same entry state, then merge.
+                    let mut then_env = env.clone();
+                    let mut else_env = env.clone();
+                    let r1 = self.analyze_block(then_branch, &mut then_env, depth);
+                    let r2 = self.analyze_block(else_branch, &mut else_env, depth);
+                    returned.extend(r1);
+                    returned.extend(r2);
+                    *env = join_envs(&then_env, &else_env);
+                }
+                Stmt::While { body, .. } => {
+                    for _ in 0..MAX_FIXPOINT_ITERS {
+                        let mut iter_env = env.clone();
+                        let r = self.analyze_block(body, &mut iter_env, depth);
+                        returned.extend(r);
+                        let joined = join_envs(env, &iter_env);
+                        if joined == *env {
+                            break;
+                        }
+                        *env = joined;
+                    }
+                }
+                Stmt::Sink { kind, arg, site } => {
+                    let v = self.eval(arg, env);
+                    self.check_sink(*kind, arg, &v, *site);
+                }
+                Stmt::Call { var, func, args } => {
+                    let result = self.analyze_call(func, args, env, depth);
+                    if let Some(var) = var {
+                        env.insert(var.clone(), result);
+                    }
+                }
+                Stmt::Return(expr) => {
+                    let v = self.eval(expr, env);
+                    returned.extend(v);
+                    // Statements after an unconditional return are dead,
+                    // but the analysis keeps going: path-insensitivity
+                    // again, and it only ever over-approximates.
+                }
+                Stmt::StoreWrite { key, expr } => {
+                    let v = self.eval(expr, env);
+                    if self.analyzer.track_store {
+                        self.store.entry(key.clone()).or_default().extend(v);
+                    }
+                }
+            }
+        }
+        returned
+    }
+
+    fn analyze_call(
+        &mut self,
+        func: &str,
+        args: &[Expr],
+        env: &mut AbsEnv,
+        depth: usize,
+    ) -> AbstractValue {
+        // Evaluate arguments in the caller regardless, so their taint is
+        // computed consistently.
+        let arg_vals: Vec<AbstractValue> = args.iter().map(|a| self.eval(a, env)).collect();
+        if depth >= self.analyzer.max_call_depth {
+            // Depth budget exhausted: assume the callee returns clean data.
+            // This is the deliberate unsoundness that loses deep flows.
+            return AbstractValue::new();
+        }
+        let Some(callee): Option<&Function> = self.unit.function(func) else {
+            return AbstractValue::new();
+        };
+        if callee.params.len() != arg_vals.len() {
+            return AbstractValue::new();
+        }
+        let mut callee_env = AbsEnv::new();
+        for (p, v) in callee.params.iter().zip(arg_vals) {
+            callee_env.insert(p.clone(), v);
+        }
+        let body = callee.body.clone();
+        self.analyze_block(&body, &mut callee_env, depth + 1)
+    }
+
+    fn eval(&self, expr: &Expr, env: &AbsEnv) -> AbstractValue {
+        match expr {
+            Expr::Int(_) | Expr::Str(_) | Expr::Bool(_) => AbstractValue::new(),
+            Expr::Var(v) => env.get(v).cloned().unwrap_or_default(),
+            Expr::Source { kind, name } => {
+                let mut s = AbstractValue::new();
+                s.insert(AbstractTaint {
+                    kind: *kind,
+                    name: name.clone(),
+                    sanitized_for: BTreeSet::new(),
+                });
+                s
+            }
+            Expr::Concat(a, b) => {
+                let mut v = self.eval(a, env);
+                v.extend(self.eval(b, env));
+                v
+            }
+            Expr::BinOp { lhs, rhs, .. } => {
+                let mut v = self.eval(lhs, env);
+                v.extend(self.eval(rhs, env));
+                v
+            }
+            Expr::Sanitize { kind, arg } => {
+                let v = self.eval(arg, env);
+                self.apply_sanitizer(*kind, v)
+            }
+            Expr::StoreRead { key } => {
+                if self.analyzer.track_store {
+                    self.store.get(key).cloned().unwrap_or_default()
+                } else {
+                    AbstractValue::new()
+                }
+            }
+        }
+    }
+
+    fn apply_sanitizer(&self, kind: SanitizerKind, v: AbstractValue) -> AbstractValue {
+        if !self.analyzer.precise_sanitizers {
+            // Naive model: a sanitizer means the developer handled it.
+            return AbstractValue::new();
+        }
+        v.into_iter()
+            .filter_map(|mut tag| {
+                let mut fully_clean = true;
+                for sink in [
+                    SinkKind::SqlQuery,
+                    SinkKind::HtmlOutput,
+                    SinkKind::ShellExec,
+                    SinkKind::FileOpen,
+                ] {
+                    if kind.protects(sink) {
+                        tag.sanitized_for.insert(sink);
+                    } else {
+                        fully_clean = false;
+                    }
+                }
+                if fully_clean {
+                    // Validators (int/whitelist) remove taint entirely.
+                    None
+                } else {
+                    Some(tag)
+                }
+            })
+            .collect()
+    }
+
+    fn check_sink(&mut self, kind: SinkKind, arg: &Expr, v: &AbstractValue, site: SiteId) {
+        if kind.is_taint_sink() {
+            let offending: Vec<&AbstractTaint> = v
+                .iter()
+                .filter(|t| !t.sanitized_for.contains(&kind))
+                .collect();
+            if let Some(first) = offending.first() {
+                let class = match kind {
+                    SinkKind::SqlQuery => Some(VulnClass::SqlInjection),
+                    SinkKind::HtmlOutput => Some(VulnClass::Xss),
+                    SinkKind::ShellExec => Some(VulnClass::CommandInjection),
+                    SinkKind::FileOpen => Some(VulnClass::PathTraversal),
+                    _ => None,
+                };
+                self.findings.entry(site).or_insert_with(|| {
+                    (
+                        class,
+                        format!(
+                            "tainted data from {}({:?}) reaches {}",
+                            first.kind.keyword(),
+                            first.name,
+                            kind.keyword()
+                        ),
+                    )
+                });
+            }
+        } else if self.analyzer.check_patterns {
+            match kind {
+                SinkKind::CryptoHash => {
+                    const WEAK: [&str; 4] = ["md5", "sha1", "crc32", "des"];
+                    if let Expr::Str(algo) = arg {
+                        if WEAK.contains(&algo.to_ascii_lowercase().as_str()) {
+                            self.findings.entry(site).or_insert_with(|| {
+                                (
+                                    Some(VulnClass::WeakHash),
+                                    format!("weak hash algorithm {algo:?}"),
+                                )
+                            });
+                        }
+                    }
+                }
+                SinkKind::Authenticate
+                    // Credential with no source taint = hardcoded.
+                    if v.is_empty() && !arg.contains_source() => {
+                        self.findings.entry(site).or_insert_with(|| {
+                            (
+                                Some(VulnClass::HardcodedCredentials),
+                                "credential value is compile-time constant".to_string(),
+                            )
+                        });
+                    }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn join_envs(a: &AbsEnv, b: &AbsEnv) -> AbsEnv {
+    let mut out = a.clone();
+    for (k, v) in b {
+        out.entry(k.clone()).or_default().extend(v.iter().cloned());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::score_detector;
+    use vdbench_corpus::{CorpusBuilder, FlowShape};
+    use vdbench_metrics::metric::Metric;
+
+    fn corpus(seed: u64) -> Corpus {
+        CorpusBuilder::new()
+            .units(400)
+            .vulnerability_density(0.35)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn precise_taint_has_high_recall() {
+        let corpus = corpus(31);
+        let outcome = score_detector(&TaintAnalyzer::precise(), &corpus);
+        let cm = outcome.confusion();
+        let recall = vdbench_metrics::basic::Recall.compute(&cm).unwrap();
+        assert!(recall > 0.9, "precise taint recall {recall} ({cm})");
+    }
+
+    #[test]
+    fn dead_guards_are_reported_by_design() {
+        let corpus = CorpusBuilder::new()
+            .units(80)
+            .vulnerability_density(0.0)
+            .decoy_rate(1.0)
+            .classes(vec![VulnClass::SqlInjection, VulnClass::Xss])
+            .seed(32)
+            .build();
+        let outcome = score_detector(&TaintAnalyzer::precise(), &corpus);
+        let cm = outcome.confusion();
+        assert_eq!(cm.tp, 0);
+        assert_eq!(
+            cm.fp as usize,
+            corpus.site_count(),
+            "path-insensitive analysis must flag every dead guard"
+        );
+    }
+
+    #[test]
+    fn precise_sanitizer_model_catches_mismatches() {
+        let corpus = CorpusBuilder::new()
+            .units(120)
+            .vulnerability_density(1.0)
+            .disguise_rate(1.0)
+            .classes(vec![VulnClass::SqlInjection, VulnClass::CommandInjection])
+            .seed(33)
+            .build();
+        let precise = score_detector(&TaintAnalyzer::precise(), &corpus);
+        assert_eq!(
+            precise.confusion().fn_,
+            0,
+            "precise model must catch every disguised flow"
+        );
+        let naive = score_detector(&TaintAnalyzer::shallow(), &corpus);
+        // The naive model treats any sanitizer as cleansing: it misses all
+        // mismatched flows (partial flows still join an unsanitized path).
+        let mismatch_cm = naive.confusion_for_shape(FlowShape::SanitizedMismatch);
+        assert_eq!(mismatch_cm.tp, 0, "naive model must be fooled: {mismatch_cm}");
+        assert!(mismatch_cm.fn_ > 0);
+    }
+
+    #[test]
+    fn partial_sanitization_caught_via_join() {
+        let corpus = CorpusBuilder::new()
+            .units(60)
+            .vulnerability_density(1.0)
+            .disguise_rate(1.0)
+            .classes(vec![VulnClass::Xss])
+            .seed(34)
+            .build();
+        let outcome = score_detector(&TaintAnalyzer::precise(), &corpus);
+        let partial = outcome.confusion_for_shape(FlowShape::SanitizedPartial);
+        if partial.total() > 0 {
+            assert_eq!(
+                partial.fn_, 0,
+                "branch join must preserve the unsanitized path: {partial}"
+            );
+        }
+    }
+
+    #[test]
+    fn call_depth_limits_interprocedural_recall() {
+        let corpus = CorpusBuilder::new()
+            .units(200)
+            .vulnerability_density(1.0)
+            .disguise_rate(0.0)
+            .gate_rate(0.0)
+            .interproc_rate(1.0)
+            .classes(vec![VulnClass::CommandInjection])
+            .seed(35)
+            .build();
+        let deep = score_detector(&TaintAnalyzer::precise(), &corpus);
+        let shallow = score_detector(&TaintAnalyzer::shallow(), &corpus);
+        let inter_deep = deep.confusion_for_shape(FlowShape::Interprocedural);
+        let inter_shallow = shallow.confusion_for_shape(FlowShape::Interprocedural);
+        assert_eq!(inter_deep.fn_, 0, "depth-3 inlining covers helpers");
+        assert_eq!(
+            inter_shallow.tp, 0,
+            "depth-0 analysis must miss every interprocedural flow"
+        );
+    }
+
+    #[test]
+    fn correctly_sanitized_flows_are_not_flagged() {
+        let corpus = CorpusBuilder::new()
+            .units(150)
+            .vulnerability_density(0.0)
+            .decoy_rate(0.0)
+            .classes(vec![
+                VulnClass::SqlInjection,
+                VulnClass::Xss,
+                VulnClass::PathTraversal,
+            ])
+            .seed(36)
+            .build();
+        let outcome = score_detector(&TaintAnalyzer::precise(), &corpus);
+        let cm = outcome.confusion();
+        assert_eq!(cm.fp, 0, "no FPs on clean code: {cm}");
+    }
+
+    #[test]
+    fn pattern_rules_toggle() {
+        let corpus = CorpusBuilder::new()
+            .units(120)
+            .vulnerability_density(0.6)
+            .classes(vec![VulnClass::WeakHash, VulnClass::HardcodedCredentials])
+            .seed(37)
+            .build();
+        let with = score_detector(&TaintAnalyzer::precise(), &corpus);
+        let without = score_detector(&TaintAnalyzer::shallow(), &corpus);
+        assert!(with.confusion().tp > 0);
+        assert_eq!(
+            without.confusion().tp,
+            0,
+            "pattern checks disabled ⇒ no configuration findings"
+        );
+    }
+
+    #[test]
+    fn names_encode_configuration() {
+        assert_eq!(TaintAnalyzer::precise().name(), "taint-d3-precise");
+        assert_eq!(TaintAnalyzer::shallow().name(), "taint-d0-naive");
+        assert_eq!(
+            TaintAnalyzer::with_config(1, true, false).name(),
+            "taint-d1-precise"
+        );
+        assert_eq!(TaintAnalyzer::default().max_call_depth(), 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-tool behaviour on second-order (stored) injection flows.
+//!
+//! The extension study: a vulnerability whose payload is persisted by one
+//! request and triggered by another defeats single-request dynamic
+//! scanning, requires a heap abstraction from static analysis, and baits
+//! pattern tools into false alarms on stored literals.
+
+use vdbench_corpus::{CorpusBuilder, FlowShape, VulnClass};
+use vdbench_detectors::{score_detector, DynamicScanner, PatternScanner, TaintAnalyzer};
+
+fn stored_corpus(density: f64, seed: u64) -> vdbench_corpus::Corpus {
+    CorpusBuilder::new()
+        .units(150)
+        .vulnerability_density(density)
+        .stored_rate(1.0)
+        .decoy_rate(0.0)
+        .classes(vec![VulnClass::SqlInjection, VulnClass::Xss])
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn stored_corpus_has_stored_shapes() {
+    let corpus = stored_corpus(0.5, 1);
+    let stats = corpus.stats();
+    assert!(stats.by_shape.contains_key(&FlowShape::Stored));
+    assert!(stats.by_shape.contains_key(&FlowShape::StoredLiteral));
+    // Witness sessions for stored flows have two requests.
+    for info in corpus.sites() {
+        if info.shape == FlowShape::Stored {
+            assert_eq!(info.witness.as_ref().map(Vec::len), Some(2));
+        }
+    }
+}
+
+#[test]
+fn single_request_scanner_is_blind_to_stored_flows() {
+    let corpus = stored_corpus(1.0, 2);
+    let outcome = score_detector(&DynamicScanner::thorough(), &corpus);
+    let stored = outcome.confusion_for_shape(FlowShape::Stored);
+    assert_eq!(
+        stored.tp, 0,
+        "no single request can both write and trigger: {stored}"
+    );
+}
+
+#[test]
+fn stateful_scanner_exposes_stored_flows() {
+    let corpus = stored_corpus(1.0, 3);
+    let outcome = score_detector(&DynamicScanner::stateful(), &corpus);
+    let stored = outcome.confusion_for_shape(FlowShape::Stored);
+    assert!(
+        stored.tpr() > 0.9,
+        "write-then-trigger sessions expose second-order flows: {stored}"
+    );
+    // And the oracle stays sound: stored literals are not flagged.
+    let safe = score_detector(&DynamicScanner::stateful(), &stored_corpus(0.0, 4));
+    assert_eq!(safe.confusion().fp, 0);
+}
+
+#[test]
+fn taint_heap_abstraction_is_required() {
+    let corpus = stored_corpus(1.0, 5);
+    let with_store = score_detector(&TaintAnalyzer::precise(), &corpus);
+    let without_store = score_detector(
+        &TaintAnalyzer::precise().track_store(false),
+        &corpus,
+    );
+    let a = with_store.confusion_for_shape(FlowShape::Stored);
+    let b = without_store.confusion_for_shape(FlowShape::Stored);
+    assert_eq!(a.fn_, 0, "heap-tracking taint analysis finds stored flows: {a}");
+    assert_eq!(b.tp, 0, "without the heap abstraction every stored flow is missed: {b}");
+}
+
+#[test]
+fn pattern_scanner_distrusts_the_store_both_ways() {
+    // Aggressive profile: flags stored reads → catches the vulnerable
+    // flows AND false-alarms on stored literals.
+    let vulnerable = stored_corpus(1.0, 6);
+    let aggr = score_detector(&PatternScanner::aggressive(), &vulnerable);
+    let stored = aggr.confusion_for_shape(FlowShape::Stored);
+    assert_eq!(stored.fn_, 0, "aggressive pattern catches stored flows: {stored}");
+
+    let safe = stored_corpus(0.0, 7);
+    let aggr_safe = score_detector(&PatternScanner::aggressive(), &safe);
+    let literal = aggr_safe.confusion_for_shape(FlowShape::StoredLiteral);
+    assert!(
+        literal.fp > 0,
+        "distrusting every store read costs false alarms: {literal}"
+    );
+
+    // Conservative profile: silent on the store entirely.
+    let cons = score_detector(&PatternScanner::conservative(), &vulnerable);
+    assert_eq!(cons.confusion_for_shape(FlowShape::Stored).tp, 0);
+}
+
+#[test]
+fn store_taint_survives_only_within_a_session() {
+    use vdbench_corpus::{Interpreter, Request};
+    let corpus = stored_corpus(1.0, 8);
+    let info = corpus
+        .sites()
+        .find(|s| s.shape == FlowShape::Stored)
+        .expect("stored site exists");
+    let unit = corpus.unit_of(info.site).unwrap();
+    let witness = info.witness.as_ref().unwrap();
+    let interp = Interpreter::default();
+
+    // Full session: write then trigger — tainted observation at the sink.
+    let obs = interp.run_session(unit, witness).unwrap();
+    assert!(obs.iter().any(|o| o.site == info.site && o.tainted));
+
+    // Trigger alone (fresh store): the sink reads an empty store slot.
+    let obs = interp.run(unit, &witness[1]).unwrap();
+    let at_site: Vec<_> = obs.iter().filter(|o| o.site == info.site).collect();
+    assert!(!at_site.is_empty(), "trigger request reaches the sink");
+    assert!(at_site.iter().all(|o| !o.tainted));
+
+    // Write alone: the sink never executes.
+    let obs = interp.run(unit, &witness[0]).unwrap();
+    assert!(obs.iter().all(|o| o.site != info.site));
+
+    // Order matters: trigger before write stays clean.
+    let reversed: Vec<Request> = vec![witness[1].clone(), witness[0].clone()];
+    let obs = interp.run_session(unit, &reversed).unwrap();
+    assert!(obs
+        .iter()
+        .filter(|o| o.site == info.site)
+        .all(|o| !o.tainted));
+}

@@ -1,0 +1,220 @@
+//! The individual expert model.
+
+use serde::{Deserialize, Serialize};
+use vdbench_mcda::{PairwiseMatrix, SaatyScale};
+use vdbench_stats::SeededRng;
+
+/// A simulated domain expert.
+///
+/// The expert's latent preference over criteria is a positive weight
+/// vector; when asked to compare criteria `i` and `j` they report the
+/// intensity ratio `w_i / w_j`, perturbed by multiplicative log-normal
+/// noise and snapped to the admissible Saaty values. Each elicitation is
+/// deterministic given the expert's seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Expert {
+    name: String,
+    latent: Vec<f64>,
+    noise: f64,
+    seed: u64,
+}
+
+impl Expert {
+    /// Creates an expert.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `latent` is empty or contains non-positive weights, or
+    /// when `noise` is negative.
+    pub fn new(name: impl Into<String>, latent: Vec<f64>, noise: f64, seed: u64) -> Self {
+        assert!(!latent.is_empty(), "expert needs at least one criterion");
+        assert!(
+            latent.iter().all(|w| w.is_finite() && *w > 0.0),
+            "latent weights must be positive"
+        );
+        assert!(noise >= 0.0 && noise.is_finite(), "noise must be >= 0");
+        Expert {
+            name: name.into(),
+            latent,
+            noise,
+            seed,
+        }
+    }
+
+    /// The expert's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of criteria the expert judges.
+    pub fn criteria_count(&self) -> usize {
+        self.latent.len()
+    }
+
+    /// The latent weights, normalized to sum to one (what a perfect
+    /// elicitation would recover).
+    pub fn normalized_latent(&self) -> Vec<f64> {
+        let sum: f64 = self.latent.iter().sum();
+        self.latent.iter().map(|w| w / sum).collect()
+    }
+
+    /// The noise level.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// Produces the expert's full pairwise judgment matrix.
+    ///
+    /// Judgments are elicited once per unordered pair in a fixed order, so
+    /// the result is exactly reciprocal (as a questionnaire would enforce).
+    pub fn elicit(&self) -> PairwiseMatrix {
+        self.elicit_attempt(0)
+    }
+
+    fn elicit_attempt(&self, attempt: u64) -> PairwiseMatrix {
+        let n = self.latent.len();
+        let mut rng = SeededRng::new(self.seed.wrapping_add(attempt.wrapping_mul(0x9E37)));
+        let mut m = PairwiseMatrix::identity(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let true_ratio = self.latent[i] / self.latent[j];
+                let perturbed = true_ratio * (self.noise * rng.standard_normal()).exp();
+                let judged = SaatyScale::snap(perturbed);
+                m.set(i, j, judged)
+                    .expect("snapped judgments are positive and finite");
+            }
+        }
+        m
+    }
+
+    /// Elicits with the standard AHP protocol: if the judgments fail
+    /// Saaty's 10% consistency rule, the expert is asked to revisit them
+    /// (a fresh elicitation round), up to `max_rounds` times. Returns the
+    /// final matrix and the number of rounds used (1 = first try).
+    ///
+    /// Deterministic given the expert's seed; the matrix of the last round
+    /// is returned even when it is still inconsistent, mirroring surveys
+    /// that eventually accept the answer and report the CR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rounds == 0`.
+    pub fn elicit_consistent(&self, max_rounds: usize) -> (PairwiseMatrix, usize) {
+        assert!(max_rounds > 0, "need at least one elicitation round");
+        let mut last = None;
+        for round in 0..max_rounds {
+            let m = self.elicit_attempt(round as u64);
+            let acceptable = vdbench_mcda::consistency::check(&m)
+                .map(|(_, report)| report.is_acceptable())
+                .unwrap_or(false);
+            if acceptable {
+                return (m, round + 1);
+            }
+            last = Some(m);
+        }
+        (last.expect("max_rounds > 0"), max_rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdbench_mcda::priority::eigenvector_priorities;
+
+    #[test]
+    fn construction_validation() {
+        let e = Expert::new("alice", vec![2.0, 1.0], 0.1, 1);
+        assert_eq!(e.name(), "alice");
+        assert_eq!(e.criteria_count(), 2);
+        assert_eq!(e.noise(), 0.1);
+        let norm = e.normalized_latent();
+        assert!((norm[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one criterion")]
+    fn empty_latent_panics() {
+        let _ = Expert::new("x", vec![], 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn nonpositive_latent_panics() {
+        let _ = Expert::new("x", vec![1.0, 0.0], 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must be")]
+    fn negative_noise_panics() {
+        let _ = Expert::new("x", vec![1.0], -0.1, 1);
+    }
+
+    #[test]
+    fn noiseless_elicitation_recovers_latent_ordering() {
+        let e = Expert::new("oracle", vec![0.55, 0.3, 0.15], 0.0, 7);
+        let m = e.elicit();
+        assert!(m.is_reciprocal());
+        let pv = eigenvector_priorities(&m).unwrap();
+        assert_eq!(pv.ranking(), vec![0, 1, 2]);
+        // Snapping quantizes, so weights are close but not exact; ordering
+        // and rough magnitudes must hold.
+        assert!(pv.weights[0] > 0.45);
+        assert!(pv.weights[2] < 0.2);
+    }
+
+    #[test]
+    fn elicitation_is_deterministic() {
+        let e = Expert::new("det", vec![3.0, 2.0, 1.0], 0.3, 11);
+        assert_eq!(e.elicit(), e.elicit());
+        let e2 = Expert::new("det", vec![3.0, 2.0, 1.0], 0.3, 12);
+        assert_ne!(e.elicit(), e2.elicit());
+    }
+
+    #[test]
+    fn judgments_on_saaty_scale() {
+        let e = Expert::new("scale", vec![9.0, 3.0, 1.0, 0.5], 0.5, 13);
+        let m = e.elicit();
+        for i in 0..4 {
+            for j in 0..4 {
+                let v = m.get(i, j);
+                let admissible = (1..=9).any(|k| {
+                    (v - k as f64).abs() < 1e-12 || (v - 1.0 / k as f64).abs() < 1e-12
+                });
+                assert!(admissible, "judgment {v} not on the scale");
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_elicitation_converges() {
+        // A noisy expert over many criteria usually needs revision rounds.
+        let e = Expert::new("sloppy", vec![8.0, 5.0, 3.0, 2.0, 1.0], 1.2, 17);
+        let (m, rounds) = e.elicit_consistent(50);
+        assert!((1..=50).contains(&rounds));
+        let (_, report) = vdbench_mcda::consistency::check(&m).unwrap();
+        if rounds < 50 {
+            assert!(report.is_acceptable(), "round {rounds} CR {:?}", report.cr);
+        }
+        // A noiseless expert is consistent on the first try (snap
+        // quantization introduces only mild inconsistency).
+        let oracle = Expert::new("oracle", vec![4.0, 2.0, 1.0], 0.0, 1);
+        let (_, rounds) = oracle.elicit_consistent(5);
+        assert_eq!(rounds, 1);
+        // Determinism.
+        assert_eq!(e.elicit_consistent(50), e.elicit_consistent(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one elicitation round")]
+    fn zero_rounds_panics() {
+        let e = Expert::new("x", vec![1.0, 2.0], 0.0, 1);
+        let _ = e.elicit_consistent(0);
+    }
+
+    #[test]
+    fn high_noise_scrambles_judgments() {
+        let calm = Expert::new("calm", vec![4.0, 2.0, 1.0], 0.0, 5).elicit();
+        let noisy = Expert::new("calm", vec![4.0, 2.0, 1.0], 2.0, 5).elicit();
+        assert_ne!(calm, noisy);
+    }
+}

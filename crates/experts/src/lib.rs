@@ -1,0 +1,35 @@
+//! Simulated expert judgment for the MCDA validation stage.
+//!
+//! The paper validates its analytical metric selection with an MCDA
+//! algorithm "together with experts' judgment". The original experts are
+//! unavailable, so this crate models them: each [`Expert`] holds a *latent*
+//! importance vector over the criteria (what they actually believe) and
+//! produces Saaty-scale pairwise judgments perturbed by log-normal noise
+//! and snapped to the 1–9 scale (what they can express on a
+//! questionnaire). [`Panel`]s elicit whole judgment sets, aggregate them
+//! (AIJ) and measure inter-expert agreement (Kendall's W).
+//!
+//! The noise parameter is swept by the Fig. 4 robustness experiment: at
+//! zero noise the panel reproduces the latent ordering exactly; as noise
+//! grows, the MCDA output degrades gracefully.
+//!
+//! ```
+//! use vdbench_experts::{Expert, Panel};
+//!
+//! // Three experts who broadly agree that criterion 0 dominates.
+//! let panel = Panel::homogeneous(&[0.6, 0.3, 0.1], 3, 0.1, 42);
+//! let matrices = panel.elicit_all();
+//! assert_eq!(matrices.len(), 3);
+//! let w = panel.agreement().unwrap();
+//! assert!(w > 0.5, "low-noise panels agree: W = {w}");
+//! # let _ = Expert::new("e", vec![0.5, 0.5], 0.0, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expert;
+pub mod panel;
+
+pub use expert::Expert;
+pub use panel::Panel;

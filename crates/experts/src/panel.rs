@@ -1,0 +1,230 @@
+//! Expert panels: elicitation, aggregation, agreement.
+
+use crate::expert::Expert;
+use vdbench_mcda::group::aggregate_judgments;
+use vdbench_mcda::priority::eigenvector_priorities;
+use vdbench_mcda::{McdaError, PairwiseMatrix};
+use vdbench_stats::correlation::kendall_w;
+use vdbench_stats::{SeededRng, StatsError};
+
+/// A panel of experts judging the same criteria.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Panel {
+    experts: Vec<Expert>,
+}
+
+impl Panel {
+    /// Assembles a panel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the panel is empty or the experts disagree on the
+    /// criteria count.
+    pub fn new(experts: Vec<Expert>) -> Self {
+        assert!(!experts.is_empty(), "panel needs at least one expert");
+        let n = experts[0].criteria_count();
+        assert!(
+            experts.iter().all(|e| e.criteria_count() == n),
+            "experts must judge the same criteria"
+        );
+        Panel { experts }
+    }
+
+    /// Builds a panel of `size` experts sharing the same latent weights,
+    /// each with independent elicitation noise — the "broadly agreeing
+    /// practitioners" model used in most experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `size == 0` or latent weights are invalid.
+    pub fn homogeneous(latent: &[f64], size: usize, noise: f64, seed: u64) -> Self {
+        assert!(size > 0, "panel needs at least one expert");
+        let mut rng = SeededRng::new(seed);
+        let experts = (0..size)
+            .map(|i| {
+                Expert::new(
+                    format!("expert-{i}"),
+                    latent.to_vec(),
+                    noise,
+                    rng.split(&format!("expert-{i}")).next_u64_seed(),
+                )
+            })
+            .collect();
+        Panel::new(experts)
+    }
+
+    /// Builds a panel whose members each perturb a shared latent vector —
+    /// modelling genuine disagreement about importance, not just
+    /// questionnaire noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Panel::homogeneous`].
+    pub fn diverse(latent: &[f64], size: usize, spread: f64, noise: f64, seed: u64) -> Self {
+        assert!(size > 0, "panel needs at least one expert");
+        assert!(spread >= 0.0, "spread must be >= 0");
+        let mut rng = SeededRng::new(seed);
+        let experts = (0..size)
+            .map(|i| {
+                let personal: Vec<f64> = latent
+                    .iter()
+                    .map(|w| w * (spread * rng.standard_normal()).exp())
+                    .collect();
+                Expert::new(
+                    format!("expert-{i}"),
+                    personal,
+                    noise,
+                    rng.split(&format!("expert-{i}")).next_u64_seed(),
+                )
+            })
+            .collect();
+        Panel::new(experts)
+    }
+
+    /// Panel members.
+    pub fn experts(&self) -> &[Expert] {
+        &self.experts
+    }
+
+    /// Number of criteria judged.
+    pub fn criteria_count(&self) -> usize {
+        self.experts[0].criteria_count()
+    }
+
+    /// Elicits every expert's judgment matrix.
+    pub fn elicit_all(&self) -> Vec<PairwiseMatrix> {
+        self.experts.iter().map(Expert::elicit).collect()
+    }
+
+    /// Aggregates the panel's judgments into one consensus matrix
+    /// (element-wise geometric mean, AIJ).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`McdaError`] from the aggregation (cannot happen for a
+    /// validated panel, but surfaced rather than unwrapped).
+    pub fn aggregate(&self) -> Result<PairwiseMatrix, McdaError> {
+        aggregate_judgments(&self.elicit_all(), None)
+    }
+
+    /// Inter-expert agreement: Kendall's W over the experts' individual
+    /// priority vectors (1 = unanimity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] when agreement is undefined (single
+    /// criterion, or fully tied ratings).
+    pub fn agreement(&self) -> Result<f64, StatsError> {
+        let ratings: Vec<Vec<f64>> = self
+            .elicit_all()
+            .iter()
+            .map(|m| {
+                eigenvector_priorities(m)
+                    .map(|pv| pv.weights)
+                    .map_err(|_| StatsError::NoConvergence {
+                        routine: "eigenvector_priorities",
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        kendall_w(&ratings)
+    }
+}
+
+/// Extension used by panel construction: draw a fresh seed from a split
+/// stream.
+trait NextSeed {
+    fn next_u64_seed(&mut self) -> u64;
+}
+
+impl NextSeed for SeededRng {
+    fn next_u64_seed(&mut self) -> u64 {
+        use rand::RngCore;
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdbench_mcda::consistency::check;
+
+    #[test]
+    fn homogeneous_panel_shape() {
+        let p = Panel::homogeneous(&[0.5, 0.3, 0.2], 5, 0.1, 1);
+        assert_eq!(p.experts().len(), 5);
+        assert_eq!(p.criteria_count(), 3);
+        assert_eq!(p.elicit_all().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one expert")]
+    fn empty_panel_panics() {
+        let _ = Panel::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same criteria")]
+    fn mismatched_experts_panic() {
+        let a = Expert::new("a", vec![1.0, 2.0], 0.0, 1);
+        let b = Expert::new("b", vec![1.0], 0.0, 2);
+        let _ = Panel::new(vec![a, b]);
+    }
+
+    #[test]
+    fn noiseless_panel_reaches_unanimity() {
+        let p = Panel::homogeneous(&[0.6, 0.25, 0.15], 7, 0.0, 2);
+        let w = p.agreement().unwrap();
+        assert!((w - 1.0).abs() < 1e-9, "W = {w}");
+    }
+
+    #[test]
+    fn agreement_decreases_with_noise() {
+        let calm = Panel::homogeneous(&[0.5, 0.27, 0.15, 0.08], 9, 0.05, 3)
+            .agreement()
+            .unwrap();
+        let noisy = Panel::homogeneous(&[0.5, 0.27, 0.15, 0.08], 9, 1.5, 3)
+            .agreement()
+            .unwrap();
+        assert!(calm > noisy, "calm {calm} vs noisy {noisy}");
+    }
+
+    #[test]
+    fn aggregate_recovers_latent_ordering_at_low_noise() {
+        let p = Panel::homogeneous(&[0.55, 0.25, 0.12, 0.08], 9, 0.2, 4);
+        let consensus = p.aggregate().unwrap();
+        let (pv, report) = check(&consensus).unwrap();
+        assert_eq!(pv.ranking()[0], 0);
+        // Aggregation smooths individual inconsistency.
+        assert!(report.is_acceptable(), "CR = {:?}", report.cr);
+    }
+
+    #[test]
+    fn diverse_panel_varies_latents() {
+        let p = Panel::diverse(&[0.5, 0.3, 0.2], 4, 0.5, 0.0, 5);
+        let latents: Vec<Vec<f64>> = p
+            .experts()
+            .iter()
+            .map(|e| e.normalized_latent())
+            .collect();
+        assert_ne!(latents[0], latents[1]);
+        // Zero spread reduces to the homogeneous case.
+        let h = Panel::diverse(&[0.5, 0.3, 0.2], 4, 0.0, 0.0, 5);
+        let hl: Vec<Vec<f64>> = h
+            .experts()
+            .iter()
+            .map(|e| e.normalized_latent())
+            .collect();
+        for l in &hl[1..] {
+            for (a, b) in l.iter().zip(&hl[0]) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn panel_is_deterministic() {
+        let a = Panel::homogeneous(&[0.6, 0.4], 3, 0.3, 9).elicit_all();
+        let b = Panel::homogeneous(&[0.6, 0.4], 3, 0.3, 9).elicit_all();
+        assert_eq!(a, b);
+    }
+}

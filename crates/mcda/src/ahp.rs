@@ -1,0 +1,491 @@
+//! The Analytic Hierarchy Process.
+//!
+//! The validation pipeline of the paper: a goal ("pick the benchmark metric
+//! for this scenario"), criteria (the characteristics of a good metric,
+//! weighted by expert pairwise judgment) and alternatives (the candidate
+//! metrics). Alternatives can be compared pairwise per criterion (classic
+//! AHP) or rated directly with measured attribute scores (ratings mode) —
+//! the experiments use ratings mode with empirically assessed attributes,
+//! expert panels supply the criteria matrix.
+
+use crate::consistency::{check, ConsistencyReport};
+use crate::decision::Direction;
+use crate::pairwise::PairwiseMatrix;
+use crate::ranking::ranking_from_scores;
+use crate::{McdaError, Result};
+use serde::{Deserialize, Serialize};
+
+/// How alternatives are scored under each criterion.
+#[derive(Debug, Clone)]
+enum AlternativeInput {
+    /// One pairwise comparison matrix of alternatives per criterion.
+    Pairwise(Vec<PairwiseMatrix>),
+    /// Direct performance ratings: `values[alt][crit]` plus a direction per
+    /// criterion.
+    Ratings {
+        values: Vec<Vec<f64>>,
+        directions: Vec<Direction>,
+    },
+}
+
+/// A configured AHP hierarchy ready to solve.
+///
+/// ```
+/// use vdbench_mcda::ahp::Ahp;
+/// use vdbench_mcda::pairwise::PairwiseMatrix;
+/// use vdbench_mcda::decision::Direction;
+///
+/// // Two criteria (the first 3x as important), three alternatives rated
+/// // directly.
+/// let mut criteria = PairwiseMatrix::identity(2);
+/// criteria.set(0, 1, 3.0)?;
+/// let ahp = Ahp::with_ratings(
+///     vec!["validity".into(), "simplicity".into()],
+///     criteria,
+///     vec!["PPV".into(), "TPR".into(), "MCC".into()],
+///     vec![vec![0.9, 0.8], vec![0.6, 0.9], vec![0.95, 0.3]],
+///     vec![Direction::Benefit, Direction::Benefit],
+/// )?;
+/// let result = ahp.solve()?;
+/// assert_eq!(result.scores.len(), 3);
+/// # Ok::<(), vdbench_mcda::McdaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ahp {
+    criteria_names: Vec<String>,
+    alternative_names: Vec<String>,
+    criteria_matrix: PairwiseMatrix,
+    alternatives: AlternativeInput,
+}
+
+/// The solved hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AhpResult {
+    /// Criteria weights from the expert judgment matrix.
+    pub criteria_weights: Vec<f64>,
+    /// Consistency of the criteria judgments.
+    pub criteria_consistency: ConsistencyReport,
+    /// Per-criterion consistency of alternative judgments (classic mode
+    /// only; empty in ratings mode).
+    pub alternative_consistency: Vec<ConsistencyReport>,
+    /// Global priority per alternative (sums to 1).
+    pub scores: Vec<f64>,
+    /// Alternative indices ordered best → worst.
+    pub ranking: Vec<usize>,
+}
+
+impl AhpResult {
+    /// Index of the winning alternative.
+    pub fn best(&self) -> usize {
+        self.ranking[0]
+    }
+
+    /// Whether every judgment matrix in the hierarchy met Saaty's 10% rule.
+    pub fn is_consistent(&self) -> bool {
+        self.criteria_consistency.is_acceptable()
+            && self
+                .alternative_consistency
+                .iter()
+                .all(ConsistencyReport::is_acceptable)
+    }
+}
+
+impl Ahp {
+    /// Builds a classic hierarchy with pairwise-compared alternatives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdaError::DimensionMismatch`] when matrix sizes disagree
+    /// with the name lists and [`McdaError::Degenerate`] for empty inputs.
+    pub fn with_pairwise(
+        criteria_names: Vec<String>,
+        criteria_matrix: PairwiseMatrix,
+        alternative_names: Vec<String>,
+        alternative_matrices: Vec<PairwiseMatrix>,
+    ) -> Result<Self> {
+        validate_names(&criteria_names, &alternative_names)?;
+        if criteria_matrix.size() != criteria_names.len() {
+            return Err(McdaError::DimensionMismatch {
+                expected: criteria_names.len(),
+                actual: criteria_matrix.size(),
+            });
+        }
+        if alternative_matrices.len() != criteria_names.len() {
+            return Err(McdaError::DimensionMismatch {
+                expected: criteria_names.len(),
+                actual: alternative_matrices.len(),
+            });
+        }
+        for m in &alternative_matrices {
+            if m.size() != alternative_names.len() {
+                return Err(McdaError::DimensionMismatch {
+                    expected: alternative_names.len(),
+                    actual: m.size(),
+                });
+            }
+        }
+        Ok(Ahp {
+            criteria_names,
+            alternative_names,
+            criteria_matrix,
+            alternatives: AlternativeInput::Pairwise(alternative_matrices),
+        })
+    }
+
+    /// Builds a ratings-mode hierarchy (absolute measurement): alternatives
+    /// are scored directly on each criterion with commensurable intensities
+    /// in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdaError::DimensionMismatch`] for shape disagreements,
+    /// [`McdaError::Degenerate`] for empty inputs and
+    /// [`McdaError::InvalidValue`] for ratings outside `[0, 1]`.
+    pub fn with_ratings(
+        criteria_names: Vec<String>,
+        criteria_matrix: PairwiseMatrix,
+        alternative_names: Vec<String>,
+        ratings: Vec<Vec<f64>>,
+        directions: Vec<Direction>,
+    ) -> Result<Self> {
+        validate_names(&criteria_names, &alternative_names)?;
+        if criteria_matrix.size() != criteria_names.len() {
+            return Err(McdaError::DimensionMismatch {
+                expected: criteria_names.len(),
+                actual: criteria_matrix.size(),
+            });
+        }
+        if ratings.len() != alternative_names.len() {
+            return Err(McdaError::DimensionMismatch {
+                expected: alternative_names.len(),
+                actual: ratings.len(),
+            });
+        }
+        if directions.len() != criteria_names.len() {
+            return Err(McdaError::DimensionMismatch {
+                expected: criteria_names.len(),
+                actual: directions.len(),
+            });
+        }
+        for row in &ratings {
+            if row.len() != criteria_names.len() {
+                return Err(McdaError::DimensionMismatch {
+                    expected: criteria_names.len(),
+                    actual: row.len(),
+                });
+            }
+            for &v in row {
+                if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                    return Err(McdaError::InvalidValue {
+                        name: "rating",
+                        value: v,
+                    });
+                }
+            }
+        }
+        Ok(Ahp {
+            criteria_names,
+            alternative_names,
+            criteria_matrix,
+            alternatives: AlternativeInput::Ratings {
+                values: ratings,
+                directions,
+            },
+        })
+    }
+
+    /// Criteria names.
+    pub fn criteria_names(&self) -> &[String] {
+        &self.criteria_names
+    }
+
+    /// Alternative names.
+    pub fn alternative_names(&self) -> &[String] {
+        &self.alternative_names
+    }
+
+    /// Solves the hierarchy: criteria priorities × per-criterion
+    /// alternative priorities → global scores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates eigenvector solver failures.
+    pub fn solve(&self) -> Result<AhpResult> {
+        let (criteria_pv, criteria_consistency) = check(&self.criteria_matrix)?;
+        let n_alt = self.alternative_names.len();
+        let mut scores = vec![0.0; n_alt];
+        let mut alternative_consistency = Vec::new();
+
+        match &self.alternatives {
+            AlternativeInput::Pairwise(matrices) => {
+                for (c, m) in matrices.iter().enumerate() {
+                    let (pv, report) = check(m)?;
+                    alternative_consistency.push(report);
+                    for (s, w) in scores.iter_mut().zip(&pv.weights) {
+                        *s += criteria_pv.weights[c] * w;
+                    }
+                }
+            }
+            AlternativeInput::Ratings { values, directions } => {
+                for c in 0..self.criteria_names.len() {
+                    let col: Vec<f64> = values.iter().map(|row| row[c]).collect();
+                    let local = orient_ratings(&col, directions[c]);
+                    for (s, w) in scores.iter_mut().zip(&local) {
+                        *s += criteria_pv.weights[c] * w;
+                    }
+                }
+            }
+        }
+
+        // Scores already sum to 1 (convex combination of normalized local
+        // priorities); renormalize defensively against rounding.
+        let total: f64 = scores.iter().sum();
+        if total > 0.0 {
+            for s in scores.iter_mut() {
+                *s /= total;
+            }
+        }
+        let ranking = ranking_from_scores(&scores, true);
+        Ok(AhpResult {
+            criteria_weights: criteria_pv.weights,
+            criteria_consistency,
+            alternative_consistency,
+            scores,
+            ranking,
+        })
+    }
+}
+
+fn validate_names(criteria: &[String], alternatives: &[String]) -> Result<()> {
+    if criteria.is_empty() {
+        return Err(McdaError::Degenerate {
+            reason: "no criteria",
+        });
+    }
+    if alternatives.is_empty() {
+        return Err(McdaError::Degenerate {
+            reason: "no alternatives",
+        });
+    }
+    Ok(())
+}
+
+/// Orients a ratings column as absolute intensities (Saaty's *ratings
+/// mode* / absolute measurement): values are already commensurable scores
+/// in `[0, 1]`, so benefit criteria use them directly and cost criteria use
+/// the complement. No per-column renormalization is applied — relative
+/// normalization would re-weight criteria by the accident of their column
+/// sums and break agreement with direct weighted-sum selection.
+fn orient_ratings(col: &[f64], direction: Direction) -> Vec<f64> {
+    col.iter()
+        .map(|&v| match direction {
+            Direction::Benefit => v,
+            Direction::Cost => 1.0 - v,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn classic_mode_consistent_hierarchy() {
+        // Criteria: quality 3x cost. Alternatives: A beats B on quality,
+        // B beats A on cost, quality dominates → A wins.
+        let mut criteria = PairwiseMatrix::identity(2);
+        criteria.set(0, 1, 3.0).unwrap();
+        let mut quality = PairwiseMatrix::identity(2);
+        quality.set(0, 1, 5.0).unwrap();
+        let mut cost = PairwiseMatrix::identity(2);
+        cost.set(0, 1, 1.0 / 5.0).unwrap();
+        let ahp = Ahp::with_pairwise(
+            names(&["quality", "cost"]),
+            criteria,
+            names(&["A", "B"]),
+            vec![quality, cost],
+        )
+        .unwrap();
+        let r = ahp.solve().unwrap();
+        assert_eq!(r.best(), 0);
+        assert!(r.is_consistent());
+        assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(r.alternative_consistency.len(), 2);
+    }
+
+    #[test]
+    fn ratings_mode_weights_matter() {
+        let mut validity_heavy = PairwiseMatrix::identity(2);
+        validity_heavy.set(0, 1, 9.0).unwrap();
+        let mut simplicity_heavy = PairwiseMatrix::identity(2);
+        simplicity_heavy.set(0, 1, 1.0 / 9.0).unwrap();
+        let ratings = vec![vec![0.95, 0.2], vec![0.5, 0.95]];
+        let mk = |criteria: PairwiseMatrix| {
+            Ahp::with_ratings(
+                names(&["validity", "simplicity"]),
+                criteria,
+                names(&["MCC", "PPV"]),
+                ratings.clone(),
+                vec![Direction::Benefit, Direction::Benefit],
+            )
+            .unwrap()
+        };
+        assert_eq!(mk(validity_heavy).solve().unwrap().best(), 0);
+        assert_eq!(mk(simplicity_heavy).solve().unwrap().best(), 1);
+    }
+
+    #[test]
+    fn ratings_mode_cost_direction() {
+        let criteria = PairwiseMatrix::identity(1);
+        let ahp = Ahp::with_ratings(
+            names(&["undefined-cases"]),
+            criteria,
+            names(&["fragile", "robust"]),
+            vec![vec![0.9], vec![0.1]],
+            vec![Direction::Cost],
+        )
+        .unwrap();
+        assert_eq!(ahp.solve().unwrap().best(), 1);
+    }
+
+    #[test]
+    fn constant_column_is_neutral() {
+        let criteria = PairwiseMatrix::identity(1);
+        let ahp = Ahp::with_ratings(
+            names(&["x"]),
+            criteria,
+            names(&["a", "b"]),
+            vec![vec![0.5], vec![0.5]],
+            vec![Direction::Benefit],
+        )
+        .unwrap();
+        let r = ahp.solve().unwrap();
+        assert!((r.scores[0] - r.scores[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratings_outside_unit_interval_rejected() {
+        let criteria = PairwiseMatrix::identity(1);
+        assert!(Ahp::with_ratings(
+            names(&["x"]),
+            criteria,
+            names(&["a"]),
+            vec![vec![5.0]],
+            vec![Direction::Benefit],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ratings_mode_matches_direct_weighted_sum() {
+        // Absolute-measurement mode must agree with a plain weighted sum of
+        // the same scores under the same weights.
+        let mut criteria = PairwiseMatrix::identity(2);
+        criteria.set(0, 1, 4.0).unwrap(); // weights 0.8 / 0.2
+        let ratings = vec![vec![0.6, 0.9], vec![0.7, 0.2], vec![0.5, 1.0]];
+        let ahp = Ahp::with_ratings(
+            names(&["c1", "c2"]),
+            criteria,
+            names(&["a", "b", "c"]),
+            ratings.clone(),
+            vec![Direction::Benefit; 2],
+        )
+        .unwrap();
+        let r = ahp.solve().unwrap();
+        let direct: Vec<f64> = ratings
+            .iter()
+            .map(|row| 0.8 * row[0] + 0.2 * row[1])
+            .collect();
+        let mut expect: Vec<usize> = (0..3).collect();
+        expect.sort_by(|&a, &b| direct[b].total_cmp(&direct[a]));
+        assert_eq!(r.ranking, expect);
+    }
+
+    #[test]
+    fn inconsistent_criteria_flagged_but_solvable() {
+        let mut criteria = PairwiseMatrix::identity(3);
+        criteria.set(0, 1, 9.0).unwrap();
+        criteria.set(1, 2, 9.0).unwrap();
+        criteria.set(2, 0, 9.0).unwrap();
+        let ahp = Ahp::with_ratings(
+            names(&["a", "b", "c"]),
+            criteria,
+            names(&["x", "y"]),
+            vec![vec![1.0, 0.0, 0.5], vec![0.0, 1.0, 0.5]],
+            vec![Direction::Benefit; 3],
+        )
+        .unwrap();
+        let r = ahp.solve().unwrap();
+        assert!(!r.is_consistent());
+        assert_eq!(r.scores.len(), 2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let m2 = PairwiseMatrix::identity(2);
+        assert!(Ahp::with_ratings(
+            vec![],
+            m2.clone(),
+            names(&["a"]),
+            vec![],
+            vec![]
+        )
+        .is_err());
+        assert!(Ahp::with_ratings(
+            names(&["c1", "c2"]),
+            PairwiseMatrix::identity(3),
+            names(&["a"]),
+            vec![vec![1.0, 1.0]],
+            vec![Direction::Benefit; 2]
+        )
+        .is_err());
+        assert!(Ahp::with_ratings(
+            names(&["c1", "c2"]),
+            m2.clone(),
+            names(&["a"]),
+            vec![vec![1.0]],
+            vec![Direction::Benefit; 2]
+        )
+        .is_err());
+        assert!(Ahp::with_ratings(
+            names(&["c1", "c2"]),
+            m2.clone(),
+            names(&["a"]),
+            vec![vec![1.0, f64::NAN]],
+            vec![Direction::Benefit; 2]
+        )
+        .is_err());
+        assert!(Ahp::with_pairwise(
+            names(&["c1", "c2"]),
+            m2.clone(),
+            names(&["a", "b"]),
+            vec![PairwiseMatrix::identity(2)]
+        )
+        .is_err());
+        assert!(Ahp::with_pairwise(
+            names(&["c1", "c2"]),
+            m2,
+            names(&["a", "b"]),
+            vec![PairwiseMatrix::identity(3), PairwiseMatrix::identity(2)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let ahp = Ahp::with_ratings(
+            names(&["c"]),
+            PairwiseMatrix::identity(1),
+            names(&["a", "b"]),
+            vec![vec![0.4], vec![0.8]],
+            vec![Direction::Benefit],
+        )
+        .unwrap();
+        assert_eq!(ahp.criteria_names(), &["c".to_string()]);
+        assert_eq!(ahp.alternative_names().len(), 2);
+    }
+}

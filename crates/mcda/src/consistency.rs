@@ -1,0 +1,146 @@
+//! Consistency checking for pairwise judgments.
+//!
+//! Saaty's consistency machinery: `CI = (λ_max − n) / (n − 1)`, compared
+//! against the random index `RI(n)` of same-size random reciprocal
+//! matrices; judgments with `CR = CI / RI > 0.1` are conventionally sent
+//! back to the expert for revision.
+
+use crate::pairwise::PairwiseMatrix;
+use crate::priority::{eigenvector_priorities, PriorityVector};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Saaty's random-index table for n = 1..=15 (0-indexed by `n - 1`).
+///
+/// Values for n ≤ 10 are Saaty's classic table; 11–15 follow the commonly
+/// cited extension.
+const RANDOM_INDEX: [f64; 15] = [
+    0.0, 0.0, 0.58, 0.90, 1.12, 1.24, 1.32, 1.41, 1.45, 1.49, 1.51, 1.48, 1.56, 1.57, 1.59,
+];
+
+/// The conventional acceptability threshold for the consistency ratio.
+pub const CR_THRESHOLD: f64 = 0.1;
+
+/// Random index `RI(n)`: the mean consistency index of random reciprocal
+/// matrices of size `n`. Sizes beyond the table saturate at the last entry.
+pub fn random_index(n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    RANDOM_INDEX[(n - 1).min(RANDOM_INDEX.len() - 1)]
+}
+
+/// Consistency index `CI = (λ_max − n) / (n − 1)`; zero for `n ≤ 2`
+/// (2×2 reciprocal matrices are always consistent).
+pub fn consistency_index(lambda_max: f64, n: usize) -> f64 {
+    if n <= 2 {
+        return 0.0;
+    }
+    ((lambda_max - n as f64) / (n as f64 - 1.0)).max(0.0)
+}
+
+/// A full consistency report for one judgment matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsistencyReport {
+    /// Matrix size.
+    pub n: usize,
+    /// Principal eigenvalue estimate.
+    pub lambda_max: f64,
+    /// Consistency index.
+    pub ci: f64,
+    /// Consistency ratio (`None` when `RI(n) = 0`, i.e. `n ≤ 2`, where the
+    /// matrix is consistent by construction).
+    pub cr: Option<f64>,
+}
+
+impl ConsistencyReport {
+    /// Whether the judgments meet Saaty's 10% rule.
+    pub fn is_acceptable(&self) -> bool {
+        match self.cr {
+            Some(cr) => cr <= CR_THRESHOLD,
+            None => true,
+        }
+    }
+}
+
+/// Solves the matrix and evaluates its consistency in one step.
+///
+/// # Errors
+///
+/// Propagates solver errors from [`eigenvector_priorities`].
+pub fn check(m: &PairwiseMatrix) -> Result<(PriorityVector, ConsistencyReport)> {
+    let pv = eigenvector_priorities(m)?;
+    let n = m.size();
+    let ci = consistency_index(pv.lambda_max, n);
+    let ri = random_index(n);
+    let cr = if ri > 0.0 { Some(ci / ri) } else { None };
+    let report = ConsistencyReport {
+        n,
+        lambda_max: pv.lambda_max,
+        ci,
+        cr,
+    };
+    Ok((pv, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_index_table() {
+        assert_eq!(random_index(1), 0.0);
+        assert_eq!(random_index(2), 0.0);
+        assert_eq!(random_index(3), 0.58);
+        assert_eq!(random_index(10), 1.49);
+        assert_eq!(random_index(99), 1.59); // saturates
+        assert_eq!(random_index(0), 0.0);
+    }
+
+    #[test]
+    fn consistent_matrix_passes() {
+        let m = PairwiseMatrix::from_weights(&[0.5, 0.3, 0.2]).unwrap();
+        let (_, report) = check(&m).unwrap();
+        assert!(report.ci.abs() < 1e-9);
+        assert!(report.cr.unwrap() < 1e-9);
+        assert!(report.is_acceptable());
+    }
+
+    #[test]
+    fn two_by_two_always_acceptable() {
+        let mut m = PairwiseMatrix::identity(2);
+        m.set(0, 1, 9.0).unwrap();
+        let (_, report) = check(&m).unwrap();
+        assert_eq!(report.cr, None);
+        assert!(report.is_acceptable());
+        assert_eq!(consistency_index(2.0, 2), 0.0);
+    }
+
+    #[test]
+    fn wildly_inconsistent_matrix_fails() {
+        // 0 ≫ 1, 1 ≫ 2, but 2 ≫ 0 — a preference cycle.
+        let mut m = PairwiseMatrix::identity(3);
+        m.set(0, 1, 9.0).unwrap();
+        m.set(1, 2, 9.0).unwrap();
+        m.set(2, 0, 9.0).unwrap();
+        let (_, report) = check(&m).unwrap();
+        assert!(!report.is_acceptable(), "CR={:?}", report.cr);
+        assert!(report.cr.unwrap() > 1.0);
+    }
+
+    #[test]
+    fn mildly_inconsistent_matrix_passes() {
+        // Transitive but not perfectly cardinal: 0>1 (2x), 1>2 (2x),
+        // 0>2 (3x instead of the consistent 4x).
+        let m = PairwiseMatrix::from_upper_triangle(3, &[2.0, 3.0, 2.0]).unwrap();
+        let (_, report) = check(&m).unwrap();
+        assert!(report.is_acceptable(), "CR={:?}", report.cr);
+        assert!(report.cr.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn ci_is_clamped_non_negative() {
+        // Numerical λ estimates can dip a hair below n.
+        assert_eq!(consistency_index(2.999_999_999, 3), 0.0);
+    }
+}

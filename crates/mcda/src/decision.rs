@@ -1,0 +1,343 @@
+//! Decision matrices shared by the SAW and TOPSIS methods.
+
+use crate::{McdaError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Whether larger criterion values are desirable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Larger is better (a *benefit* criterion).
+    Benefit,
+    /// Smaller is better (a *cost* criterion).
+    Cost,
+}
+
+/// One evaluation criterion: a name, an importance weight and a direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Criterion {
+    /// Display name.
+    pub name: String,
+    /// Non-negative importance weight (normalized internally).
+    pub weight: f64,
+    /// Benefit or cost.
+    pub direction: Direction,
+}
+
+impl Criterion {
+    /// Creates a benefit criterion.
+    pub fn benefit(name: impl Into<String>, weight: f64) -> Self {
+        Criterion {
+            name: name.into(),
+            weight,
+            direction: Direction::Benefit,
+        }
+    }
+
+    /// Creates a cost criterion.
+    pub fn cost(name: impl Into<String>, weight: f64) -> Self {
+        Criterion {
+            name: name.into(),
+            weight,
+            direction: Direction::Cost,
+        }
+    }
+}
+
+/// An `alternatives × criteria` performance table.
+///
+/// ```
+/// use vdbench_mcda::{Criterion, DecisionMatrix};
+///
+/// let dm = DecisionMatrix::new(
+///     vec!["tool-a".into(), "tool-b".into()],
+///     vec![Criterion::benefit("recall", 2.0), Criterion::cost("false alarms", 1.0)],
+///     vec![vec![0.9, 30.0], vec![0.7, 5.0]],
+/// )?;
+/// assert_eq!(dm.alternatives().len(), 2);
+/// # Ok::<(), vdbench_mcda::McdaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionMatrix {
+    alternatives: Vec<String>,
+    criteria: Vec<Criterion>,
+    /// `values[a][c]` = performance of alternative `a` on criterion `c`.
+    values: Vec<Vec<f64>>,
+}
+
+impl DecisionMatrix {
+    /// Creates a decision matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdaError::Degenerate`] for empty alternatives/criteria,
+    /// [`McdaError::DimensionMismatch`] for ragged rows, and
+    /// [`McdaError::InvalidValue`] for non-finite values or negative
+    /// weights.
+    pub fn new(
+        alternatives: Vec<String>,
+        criteria: Vec<Criterion>,
+        values: Vec<Vec<f64>>,
+    ) -> Result<Self> {
+        if alternatives.is_empty() {
+            return Err(McdaError::Degenerate {
+                reason: "no alternatives",
+            });
+        }
+        if criteria.is_empty() {
+            return Err(McdaError::Degenerate {
+                reason: "no criteria",
+            });
+        }
+        if values.len() != alternatives.len() {
+            return Err(McdaError::DimensionMismatch {
+                expected: alternatives.len(),
+                actual: values.len(),
+            });
+        }
+        for row in &values {
+            if row.len() != criteria.len() {
+                return Err(McdaError::DimensionMismatch {
+                    expected: criteria.len(),
+                    actual: row.len(),
+                });
+            }
+            for &v in row {
+                if !v.is_finite() {
+                    return Err(McdaError::InvalidValue {
+                        name: "value",
+                        value: v,
+                    });
+                }
+            }
+        }
+        let weight_sum: f64 = criteria.iter().map(|c| c.weight).sum();
+        for c in &criteria {
+            if !c.weight.is_finite() || c.weight < 0.0 {
+                return Err(McdaError::InvalidValue {
+                    name: "weight",
+                    value: c.weight,
+                });
+            }
+        }
+        if weight_sum <= 0.0 {
+            return Err(McdaError::InvalidValue {
+                name: "weight_sum",
+                value: weight_sum,
+            });
+        }
+        Ok(DecisionMatrix {
+            alternatives,
+            criteria,
+            values,
+        })
+    }
+
+    /// Alternative names.
+    pub fn alternatives(&self) -> &[String] {
+        &self.alternatives
+    }
+
+    /// Criteria definitions.
+    pub fn criteria(&self) -> &[Criterion] {
+        &self.criteria
+    }
+
+    /// Performance value of alternative `a` on criterion `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn value(&self, a: usize, c: usize) -> f64 {
+        self.values[a][c]
+    }
+
+    /// Criteria weights normalized to sum to one.
+    pub fn normalized_weights(&self) -> Vec<f64> {
+        let sum: f64 = self.criteria.iter().map(|c| c.weight).sum();
+        self.criteria.iter().map(|c| c.weight / sum).collect()
+    }
+
+    /// Column `c` across all alternatives.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        self.values.iter().map(|row| row[c]).collect()
+    }
+
+    /// Min–max normalization to `[0, 1]`, orienting cost criteria so that
+    /// **1 is always best**. Constant columns normalize to 0.5 (no
+    /// discriminating information).
+    pub fn normalize_minmax(&self) -> Vec<Vec<f64>> {
+        let ncols = self.criteria.len();
+        let mut mins = vec![f64::INFINITY; ncols];
+        let mut maxs = vec![f64::NEG_INFINITY; ncols];
+        for row in &self.values {
+            for (c, &v) in row.iter().enumerate() {
+                mins[c] = mins[c].min(v);
+                maxs[c] = maxs[c].max(v);
+            }
+        }
+        self.values
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(c, &v)| {
+                        let span = maxs[c] - mins[c];
+                        let scaled = if span == 0.0 {
+                            0.5
+                        } else {
+                            (v - mins[c]) / span
+                        };
+                        match self.criteria[c].direction {
+                            Direction::Benefit => scaled,
+                            Direction::Cost => {
+                                if span == 0.0 {
+                                    0.5
+                                } else {
+                                    1.0 - scaled
+                                }
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Vector (Euclidean) normalization per column, preserving sign and
+    /// direction; used by TOPSIS. Zero columns stay zero.
+    pub fn normalize_vector(&self) -> Vec<Vec<f64>> {
+        let ncols = self.criteria.len();
+        let norms: Vec<f64> = (0..ncols)
+            .map(|c| {
+                self.values
+                    .iter()
+                    .map(|row| row[c] * row[c])
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect();
+        self.values
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(c, &v)| if norms[c] == 0.0 { 0.0 } else { v / norms[c] })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DecisionMatrix {
+        DecisionMatrix::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                Criterion::benefit("recall", 2.0),
+                Criterion::cost("alarms", 1.0),
+            ],
+            vec![vec![0.9, 30.0], vec![0.7, 5.0], vec![0.5, 0.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(DecisionMatrix::new(vec![], vec![Criterion::benefit("x", 1.0)], vec![]).is_err());
+        assert!(DecisionMatrix::new(vec!["a".into()], vec![], vec![vec![]]).is_err());
+        assert!(DecisionMatrix::new(
+            vec!["a".into()],
+            vec![Criterion::benefit("x", 1.0)],
+            vec![]
+        )
+        .is_err());
+        assert!(DecisionMatrix::new(
+            vec!["a".into()],
+            vec![Criterion::benefit("x", 1.0)],
+            vec![vec![1.0, 2.0]]
+        )
+        .is_err());
+        assert!(DecisionMatrix::new(
+            vec!["a".into()],
+            vec![Criterion::benefit("x", 1.0)],
+            vec![vec![f64::NAN]]
+        )
+        .is_err());
+        assert!(DecisionMatrix::new(
+            vec!["a".into()],
+            vec![Criterion::benefit("x", -1.0)],
+            vec![vec![1.0]]
+        )
+        .is_err());
+        assert!(DecisionMatrix::new(
+            vec!["a".into()],
+            vec![Criterion::benefit("x", 0.0)],
+            vec![vec![1.0]]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let dm = sample();
+        assert_eq!(dm.alternatives().len(), 3);
+        assert_eq!(dm.criteria()[1].direction, Direction::Cost);
+        assert_eq!(dm.value(0, 1), 30.0);
+        assert_eq!(dm.column(0), vec![0.9, 0.7, 0.5]);
+        let w = dm.normalized_weights();
+        assert!((w[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_orients_cost_criteria() {
+        let dm = sample();
+        let norm = dm.normalize_minmax();
+        // Alternative "c" has the fewest alarms → best (1.0) on the cost
+        // criterion after orientation.
+        assert!((norm[2][1] - 1.0).abs() < 1e-12);
+        assert!((norm[0][1]).abs() < 1e-12);
+        // Benefit criterion keeps order.
+        assert!((norm[0][0] - 1.0).abs() < 1e-12);
+        assert!((norm[2][0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_constant_column() {
+        let dm = DecisionMatrix::new(
+            vec!["a".into(), "b".into()],
+            vec![Criterion::benefit("x", 1.0), Criterion::cost("y", 1.0)],
+            vec![vec![5.0, 2.0], vec![5.0, 4.0]],
+        )
+        .unwrap();
+        let norm = dm.normalize_minmax();
+        assert_eq!(norm[0][0], 0.5);
+        assert_eq!(norm[1][0], 0.5);
+    }
+
+    #[test]
+    fn vector_normalization_unit_columns() {
+        let dm = sample();
+        let norm = dm.normalize_vector();
+        for c in 0..2 {
+            let ss: f64 = norm.iter().map(|row| row[c] * row[c]).sum();
+            assert!((ss - 1.0).abs() < 1e-12, "column {c}");
+        }
+    }
+
+    #[test]
+    fn vector_normalization_zero_column() {
+        let dm = DecisionMatrix::new(
+            vec!["a".into(), "b".into()],
+            vec![Criterion::benefit("x", 1.0)],
+            vec![vec![0.0], vec![0.0]],
+        )
+        .unwrap();
+        let norm = dm.normalize_vector();
+        assert_eq!(norm[0][0], 0.0);
+        assert_eq!(norm[1][0], 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Group aggregation of expert judgments.
+//!
+//! Two standard strategies: **AIJ** (aggregation of individual judgments)
+//! takes the element-wise geometric mean of the comparison matrices — the
+//! only aggregator that preserves reciprocity — and **AIP** (aggregation of
+//! individual priorities) averages the solved priority vectors.
+
+use crate::pairwise::PairwiseMatrix;
+use crate::priority::{eigenvector_priorities, PriorityVector};
+use crate::{McdaError, Result};
+
+/// Element-wise weighted geometric mean of several judgment matrices (AIJ).
+///
+/// `weights` are per-expert influence weights; pass `None` for an equal
+/// panel.
+///
+/// # Errors
+///
+/// Returns [`McdaError::Degenerate`] for an empty panel,
+/// [`McdaError::DimensionMismatch`] for size disagreements, and
+/// [`McdaError::InvalidValue`] for bad weights.
+pub fn aggregate_judgments(
+    matrices: &[PairwiseMatrix],
+    weights: Option<&[f64]>,
+) -> Result<PairwiseMatrix> {
+    if matrices.is_empty() {
+        return Err(McdaError::Degenerate {
+            reason: "empty expert panel",
+        });
+    }
+    let n = matrices[0].size();
+    for m in matrices {
+        if m.size() != n {
+            return Err(McdaError::DimensionMismatch {
+                expected: n,
+                actual: m.size(),
+            });
+        }
+    }
+    let w = normalized_panel_weights(matrices.len(), weights)?;
+    let mut out = PairwiseMatrix::identity(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let log_mean: f64 = matrices
+                .iter()
+                .zip(&w)
+                .map(|(m, wk)| wk * m.get(i, j).ln())
+                .sum();
+            out.set(i, j, log_mean.exp())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Weighted arithmetic mean of solved priority vectors (AIP), renormalized.
+///
+/// # Errors
+///
+/// Same validation as [`aggregate_judgments`]; additionally propagates
+/// solver errors.
+pub fn aggregate_priorities(
+    matrices: &[PairwiseMatrix],
+    weights: Option<&[f64]>,
+) -> Result<PriorityVector> {
+    if matrices.is_empty() {
+        return Err(McdaError::Degenerate {
+            reason: "empty expert panel",
+        });
+    }
+    let n = matrices[0].size();
+    for m in matrices {
+        if m.size() != n {
+            return Err(McdaError::DimensionMismatch {
+                expected: n,
+                actual: m.size(),
+            });
+        }
+    }
+    let w = normalized_panel_weights(matrices.len(), weights)?;
+    let mut acc = vec![0.0; n];
+    let mut lambda = 0.0;
+    for (m, wk) in matrices.iter().zip(&w) {
+        let pv = eigenvector_priorities(m)?;
+        for (a, v) in acc.iter_mut().zip(&pv.weights) {
+            *a += wk * v;
+        }
+        lambda += wk * pv.lambda_max;
+    }
+    let sum: f64 = acc.iter().sum();
+    for a in acc.iter_mut() {
+        *a /= sum;
+    }
+    Ok(PriorityVector {
+        weights: acc,
+        lambda_max: lambda,
+    })
+}
+
+fn normalized_panel_weights(count: usize, weights: Option<&[f64]>) -> Result<Vec<f64>> {
+    match weights {
+        None => Ok(vec![1.0 / count as f64; count]),
+        Some(w) => {
+            if w.len() != count {
+                return Err(McdaError::DimensionMismatch {
+                    expected: count,
+                    actual: w.len(),
+                });
+            }
+            let mut sum = 0.0;
+            for &x in w {
+                if !x.is_finite() || x < 0.0 {
+                    return Err(McdaError::InvalidValue {
+                        name: "panel_weight",
+                        value: x,
+                    });
+                }
+                sum += x;
+            }
+            if sum <= 0.0 {
+                return Err(McdaError::InvalidValue {
+                    name: "panel_weight_sum",
+                    value: sum,
+                });
+            }
+            Ok(w.iter().map(|x| x / sum).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aij_preserves_reciprocity() {
+        let mut a = PairwiseMatrix::identity(3);
+        a.set(0, 1, 3.0).unwrap();
+        a.set(0, 2, 5.0).unwrap();
+        a.set(1, 2, 2.0).unwrap();
+        let mut b = PairwiseMatrix::identity(3);
+        b.set(0, 1, 5.0).unwrap();
+        b.set(0, 2, 7.0).unwrap();
+        b.set(1, 2, 1.0).unwrap();
+        let g = aggregate_judgments(&[a, b], None).unwrap();
+        assert!(g.is_reciprocal());
+        assert!((g.get(0, 1) - 15.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aij_of_identical_matrices_is_identity_op() {
+        let m = PairwiseMatrix::from_weights(&[0.5, 0.3, 0.2]).unwrap();
+        let g = aggregate_judgments(&[m.clone(), m.clone(), m.clone()], None).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g.get(i, j) - m.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_aij_tilts_toward_heavy_expert() {
+        let mut a = PairwiseMatrix::identity(2);
+        a.set(0, 1, 9.0).unwrap();
+        let mut b = PairwiseMatrix::identity(2);
+        b.set(0, 1, 1.0).unwrap();
+        let skewed =
+            aggregate_judgments(&[a.clone(), b.clone()], Some(&[0.9, 0.1])).unwrap();
+        let even = aggregate_judgments(&[a, b], None).unwrap();
+        assert!(skewed.get(0, 1) > even.get(0, 1));
+    }
+
+    #[test]
+    fn aip_of_opposed_experts_is_balanced() {
+        let a = PairwiseMatrix::from_weights(&[0.75, 0.25]).unwrap();
+        let b = PairwiseMatrix::from_weights(&[0.25, 0.75]).unwrap();
+        let pv = aggregate_priorities(&[a, b], None).unwrap();
+        assert!((pv.weights[0] - 0.5).abs() < 1e-9);
+        assert!((pv.weights[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aip_weights_sum_to_one() {
+        let a = PairwiseMatrix::from_weights(&[0.6, 0.3, 0.1]).unwrap();
+        let b = PairwiseMatrix::from_weights(&[0.2, 0.5, 0.3]).unwrap();
+        let pv = aggregate_priorities(&[a, b], Some(&[2.0, 1.0])).unwrap();
+        assert!((pv.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Heavier weight on expert a keeps element 0 in front.
+        assert_eq!(pv.best(), 0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(aggregate_judgments(&[], None).is_err());
+        let a = PairwiseMatrix::identity(2);
+        let b = PairwiseMatrix::identity(3);
+        assert!(aggregate_judgments(&[a.clone(), b.clone()], None).is_err());
+        assert!(aggregate_priorities(&[a.clone(), b], None).is_err());
+        assert!(aggregate_judgments(std::slice::from_ref(&a), Some(&[1.0, 2.0])).is_err());
+        assert!(aggregate_judgments(std::slice::from_ref(&a), Some(&[-1.0])).is_err());
+        assert!(aggregate_judgments(&[a], Some(&[0.0])).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Multi-criteria decision analysis for the metric-selection study.
+//!
+//! Stage 3 of Antunes & Vieira (DSN 2015) validates the analytical metric
+//! selection by running "an MCDA algorithm together with experts' judgment".
+//! This crate provides that machinery in full:
+//!
+//! * [`pairwise::PairwiseMatrix`] — Saaty reciprocal comparison matrices;
+//! * [`priority`] — priority-vector extraction (geometric-mean and principal
+//!   eigenvector methods);
+//! * [`consistency`] — consistency index/ratio with Saaty's random-index
+//!   table;
+//! * [`ahp::Ahp`] — the full goal → criteria → alternatives hierarchy, with
+//!   either pairwise-compared or directly-rated alternatives;
+//! * [`decision`], [`saw`], [`topsis`] — decision matrices and the two
+//!   ablation MCDA methods, used to show conclusions are not AHP-specific;
+//! * [`ranking`] — Borda, Copeland and exact Kemeny rank aggregation;
+//! * [`group`] — aggregation of individual judgments (AIJ) and priorities
+//!   (AIP) across an expert panel;
+//! * [`sensitivity`] — weight-sensitivity analysis of additive rankings
+//!   (how much must a criterion weight move to flip the winner?).
+//!
+//! # Example: a tiny AHP
+//!
+//! ```
+//! use vdbench_mcda::pairwise::PairwiseMatrix;
+//! use vdbench_mcda::priority::eigenvector_priorities;
+//!
+//! // Two criteria, the first 3x as important.
+//! let mut m = PairwiseMatrix::identity(2);
+//! m.set(0, 1, 3.0)?;
+//! let solved = eigenvector_priorities(&m)?;
+//! assert!((solved.weights[0] - 0.75).abs() < 1e-9);
+//! # Ok::<(), vdbench_mcda::McdaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ahp;
+pub mod consistency;
+pub mod decision;
+pub mod group;
+pub mod pairwise;
+pub mod priority;
+pub mod ranking;
+pub mod saw;
+pub mod scale;
+pub mod sensitivity;
+pub mod topsis;
+
+pub use ahp::Ahp;
+pub use decision::{Criterion, DecisionMatrix, Direction};
+pub use pairwise::PairwiseMatrix;
+pub use scale::SaatyScale;
+
+use std::fmt;
+
+/// Errors produced by MCDA routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McdaError {
+    /// A judgment or weight was outside its domain.
+    InvalidValue {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Matrix/vector dimensions do not line up.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The container size.
+        size: usize,
+    },
+    /// An iterative solver failed to converge.
+    NoConvergence {
+        /// The routine that failed.
+        routine: &'static str,
+    },
+    /// The problem is degenerate (e.g. no alternatives).
+    Degenerate {
+        /// Human-readable description.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for McdaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McdaError::InvalidValue { name, value } => {
+                write!(f, "invalid value for `{name}`: {value}")
+            }
+            McdaError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            McdaError::IndexOutOfBounds { index, size } => {
+                write!(f, "index {index} out of bounds for size {size}")
+            }
+            McdaError::NoConvergence { routine } => {
+                write!(f, "routine `{routine}` failed to converge")
+            }
+            McdaError::Degenerate { reason } => write!(f, "degenerate problem: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for McdaError {}
+
+/// Crate-wide result alias.
+pub type Result<T, E = McdaError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages() {
+        let e = McdaError::DimensionMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(McdaError::NoConvergence { routine: "power" }
+            .to_string()
+            .contains("power"));
+        assert!(McdaError::Degenerate { reason: "empty" }
+            .to_string()
+            .contains("empty"));
+        assert!(McdaError::IndexOutOfBounds { index: 5, size: 3 }
+            .to_string()
+            .contains('5'));
+        assert!(McdaError::InvalidValue {
+            name: "judgment",
+            value: -1.0
+        }
+        .to_string()
+        .contains("judgment"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Reciprocal pairwise-comparison matrices.
+
+use crate::{McdaError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A positive reciprocal matrix of pairwise judgments: `a[i][j]` states how
+/// many times more important element `i` is than element `j`, and
+/// `a[j][i] = 1 / a[i][j]` is maintained automatically.
+///
+/// ```
+/// use vdbench_mcda::PairwiseMatrix;
+///
+/// let mut m = PairwiseMatrix::identity(3);
+/// m.set(0, 1, 3.0)?; // element 0 moderately more important than 1
+/// m.set(0, 2, 5.0)?;
+/// m.set(1, 2, 2.0)?;
+/// assert_eq!(m.get(1, 0), 1.0 / 3.0);
+/// # Ok::<(), vdbench_mcda::McdaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairwiseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl PairwiseMatrix {
+    /// Creates the `n × n` identity judgment matrix (everything equally
+    /// important).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn identity(n: usize) -> Self {
+        assert!(n > 0, "pairwise matrix needs at least one element");
+        let mut data = vec![1.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    data[i * n + j] = 1.0;
+                }
+            }
+        }
+        PairwiseMatrix { n, data }
+    }
+
+    /// Builds the perfectly consistent matrix implied by a weight vector:
+    /// `a[i][j] = w[i] / w[j]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdaError::Degenerate`] on empty input and
+    /// [`McdaError::InvalidValue`] for non-positive weights.
+    pub fn from_weights(weights: &[f64]) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(McdaError::Degenerate {
+                reason: "no weights",
+            });
+        }
+        for &w in weights {
+            if !w.is_finite() || w <= 0.0 {
+                return Err(McdaError::InvalidValue {
+                    name: "weight",
+                    value: w,
+                });
+            }
+        }
+        let n = weights.len();
+        let mut m = PairwiseMatrix::identity(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.data[i * n + j] = weights[i] / weights[j];
+            }
+        }
+        Ok(m)
+    }
+
+    /// Builds a matrix from upper-triangle judgments listed row-major:
+    /// `judgments[k]` is the comparison of `i` vs `j` for successive
+    /// `(i, j), i < j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdaError::DimensionMismatch`] when the judgment count is
+    /// not `n(n−1)/2` and [`McdaError::InvalidValue`] for non-positive
+    /// entries.
+    pub fn from_upper_triangle(n: usize, judgments: &[f64]) -> Result<Self> {
+        let expected = n * (n - 1) / 2;
+        if judgments.len() != expected {
+            return Err(McdaError::DimensionMismatch {
+                expected,
+                actual: judgments.len(),
+            });
+        }
+        let mut m = PairwiseMatrix::identity(n);
+        let mut k = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(i, j, judgments[k])?;
+                k += 1;
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of compared elements.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Reads judgment `a[i][j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "pairwise index out of bounds");
+        self.data[i * self.n + j]
+    }
+
+    /// Sets judgment `a[i][j] = value` and `a[j][i] = 1 / value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdaError::IndexOutOfBounds`] for bad indices,
+    /// [`McdaError::InvalidValue`] for non-positive/non-finite values, and
+    /// [`McdaError::Degenerate`] when `i == j` and `value != 1`.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) -> Result<()> {
+        if i >= self.n {
+            return Err(McdaError::IndexOutOfBounds {
+                index: i,
+                size: self.n,
+            });
+        }
+        if j >= self.n {
+            return Err(McdaError::IndexOutOfBounds {
+                index: j,
+                size: self.n,
+            });
+        }
+        if !value.is_finite() || value <= 0.0 {
+            return Err(McdaError::InvalidValue {
+                name: "judgment",
+                value,
+            });
+        }
+        if i == j {
+            if (value - 1.0).abs() > f64::EPSILON {
+                return Err(McdaError::Degenerate {
+                    reason: "diagonal judgments must be 1",
+                });
+            }
+            return Ok(());
+        }
+        self.data[i * self.n + j] = value;
+        self.data[j * self.n + i] = 1.0 / value;
+        Ok(())
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-bounds row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n, "row index out of bounds");
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Verifies the reciprocal property within floating-point tolerance.
+    pub fn is_reciprocal(&self) -> bool {
+        for i in 0..self.n {
+            if (self.get(i, i) - 1.0).abs() > 1e-12 {
+                return false;
+            }
+            for j in (i + 1)..self.n {
+                if (self.get(i, j) * self.get(j, i) - 1.0).abs() > 1e-9 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the matrix is perfectly (cardinally) consistent:
+    /// `a[i][k] = a[i][j] · a[j][k]` for all triples, within tolerance.
+    pub fn is_consistent(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                for k in 0..self.n {
+                    let direct = self.get(i, k);
+                    let via = self.get(i, j) * self.get(j, k);
+                    if (direct - via).abs() > tol * direct.abs().max(1.0) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Multiplies the matrix by a vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdaError::DimensionMismatch`] when the vector length is
+    /// not `n`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.n {
+            return Err(McdaError::DimensionMismatch {
+                expected: self.n,
+                actual: v.len(),
+            });
+        }
+        Ok((0..self.n)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+}
+
+impl fmt::Display for PairwiseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if j > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:7.3}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_shape() {
+        let m = PairwiseMatrix::identity(3);
+        assert_eq!(m.size(), 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), 1.0);
+            }
+        }
+        assert!(m.is_reciprocal());
+        assert!(m.is_consistent(1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_size_panics() {
+        let _ = PairwiseMatrix::identity(0);
+    }
+
+    #[test]
+    fn set_maintains_reciprocity() {
+        let mut m = PairwiseMatrix::identity(4);
+        m.set(0, 3, 7.0).unwrap();
+        assert_eq!(m.get(3, 0), 1.0 / 7.0);
+        m.set(3, 0, 2.0).unwrap();
+        assert_eq!(m.get(0, 3), 0.5);
+        assert!(m.is_reciprocal());
+    }
+
+    #[test]
+    fn set_validation() {
+        let mut m = PairwiseMatrix::identity(2);
+        assert!(m.set(0, 1, 0.0).is_err());
+        assert!(m.set(0, 1, -3.0).is_err());
+        assert!(m.set(0, 1, f64::NAN).is_err());
+        assert!(m.set(2, 0, 1.0).is_err());
+        assert!(m.set(0, 2, 1.0).is_err());
+        assert!(m.set(0, 0, 2.0).is_err());
+        assert!(m.set(0, 0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn from_weights_is_consistent() {
+        let m = PairwiseMatrix::from_weights(&[0.5, 0.3, 0.2]).unwrap();
+        assert!(m.is_reciprocal());
+        assert!(m.is_consistent(1e-12));
+        assert!((m.get(0, 1) - 0.5 / 0.3).abs() < 1e-12);
+        assert!(PairwiseMatrix::from_weights(&[]).is_err());
+        assert!(PairwiseMatrix::from_weights(&[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn from_upper_triangle_layout() {
+        // n=3: judgments are (0,1), (0,2), (1,2)
+        let m = PairwiseMatrix::from_upper_triangle(3, &[3.0, 5.0, 2.0]).unwrap();
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(0, 2), 5.0);
+        assert_eq!(m.get(1, 2), 2.0);
+        assert_eq!(m.get(2, 1), 0.5);
+        assert!(PairwiseMatrix::from_upper_triangle(3, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn inconsistency_detected() {
+        // 0>1 (3x), 1>2 (3x), but 0 vs 2 judged equal — intransitive
+        // intensity.
+        let m = PairwiseMatrix::from_upper_triangle(3, &[3.0, 1.0, 3.0]).unwrap();
+        assert!(m.is_reciprocal());
+        assert!(!m.is_consistent(0.1));
+    }
+
+    #[test]
+    fn mul_vec_works() {
+        let m = PairwiseMatrix::from_weights(&[2.0, 1.0]).unwrap();
+        let out = m.mul_vec(&[1.0, 1.0]).unwrap();
+        assert_eq!(out, vec![3.0, 1.5]);
+        assert!(m.mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let m = PairwiseMatrix::identity(2);
+        let s = m.to_string();
+        assert_eq!(s.lines().count(), 2);
+    }
+}

@@ -1,0 +1,275 @@
+//! Rank construction and aggregation.
+//!
+//! Helpers for turning score vectors into rankings and for aggregating
+//! several rankings (e.g. one per expert, or one per MCDA method) into a
+//! consensus: Borda count, Copeland pairwise majority, and exact Kemeny
+//! (brute force over permutations, suitable for the ≤ 8 alternatives the
+//! experiments use).
+
+use crate::{McdaError, Result};
+
+/// Orders item indices best → worst by score.
+///
+/// `higher_is_better = false` flips the order (cost-style scores). Ties are
+/// broken by index for determinism.
+pub fn ranking_from_scores(scores: &[f64], higher_is_better: bool) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let ord = scores[b].total_cmp(&scores[a]);
+        let ord = if higher_is_better { ord } else { ord.reverse() };
+        ord.then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Converts a best→worst ordering into per-item rank positions (0 = best).
+pub fn positions_from_ranking(ranking: &[usize]) -> Vec<usize> {
+    let mut pos = vec![0usize; ranking.len()];
+    for (rank, &item) in ranking.iter().enumerate() {
+        pos[item] = rank;
+    }
+    pos
+}
+
+fn validate_rankings(rankings: &[Vec<usize>]) -> Result<usize> {
+    if rankings.is_empty() {
+        return Err(McdaError::Degenerate {
+            reason: "no rankings to aggregate",
+        });
+    }
+    let n = rankings[0].len();
+    if n == 0 {
+        return Err(McdaError::Degenerate {
+            reason: "rankings over zero items",
+        });
+    }
+    for r in rankings {
+        if r.len() != n {
+            return Err(McdaError::DimensionMismatch {
+                expected: n,
+                actual: r.len(),
+            });
+        }
+        let mut seen = vec![false; n];
+        for &item in r {
+            if item >= n {
+                return Err(McdaError::IndexOutOfBounds {
+                    index: item,
+                    size: n,
+                });
+            }
+            if seen[item] {
+                return Err(McdaError::Degenerate {
+                    reason: "ranking repeats an item",
+                });
+            }
+            seen[item] = true;
+        }
+    }
+    Ok(n)
+}
+
+/// Borda count: item scores `n − 1 − position`, summed over rankings.
+/// Returns the consensus ordering (ties broken by index).
+///
+/// # Errors
+///
+/// Returns [`McdaError`] variants for empty, ragged or non-permutation
+/// input.
+pub fn borda(rankings: &[Vec<usize>]) -> Result<Vec<usize>> {
+    let n = validate_rankings(rankings)?;
+    let mut scores = vec![0.0; n];
+    for r in rankings {
+        for (pos, &item) in r.iter().enumerate() {
+            scores[item] += (n - 1 - pos) as f64;
+        }
+    }
+    Ok(ranking_from_scores(&scores, true))
+}
+
+/// Copeland method: an item scores +1 for every item it beats in pairwise
+/// majority and −1 for every item it loses to.
+///
+/// # Errors
+///
+/// Same input validation as [`borda`].
+pub fn copeland(rankings: &[Vec<usize>]) -> Result<Vec<usize>> {
+    let n = validate_rankings(rankings)?;
+    let positions: Vec<Vec<usize>> = rankings.iter().map(|r| positions_from_ranking(r)).collect();
+    let mut scores = vec![0.0; n];
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let a_wins = positions.iter().filter(|p| p[a] < p[b]).count();
+            let b_wins = positions.len() - a_wins;
+            match a_wins.cmp(&b_wins) {
+                std::cmp::Ordering::Greater => {
+                    scores[a] += 1.0;
+                    scores[b] -= 1.0;
+                }
+                std::cmp::Ordering::Less => {
+                    scores[b] += 1.0;
+                    scores[a] -= 1.0;
+                }
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+    }
+    Ok(ranking_from_scores(&scores, true))
+}
+
+/// Exact Kemeny-optimal consensus: the ordering minimizing the total number
+/// of pairwise disagreements with the input rankings, found by exhaustive
+/// permutation search.
+///
+/// # Errors
+///
+/// Returns [`McdaError::Degenerate`] when the item count exceeds 8 (the
+/// factorial search would be impractical) plus the usual input validation.
+pub fn kemeny(rankings: &[Vec<usize>]) -> Result<Vec<usize>> {
+    let n = validate_rankings(rankings)?;
+    if n > 8 {
+        return Err(McdaError::Degenerate {
+            reason: "exact Kemeny limited to 8 items; use borda/copeland",
+        });
+    }
+    // Pairwise preference counts: pref[a][b] = how many rankings place a
+    // above b.
+    let positions: Vec<Vec<usize>> = rankings.iter().map(|r| positions_from_ranking(r)).collect();
+    let mut pref = vec![vec![0usize; n]; n];
+    for p in &positions {
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && p[a] < p[b] {
+                    pref[a][b] += 1;
+                }
+            }
+        }
+    }
+    // Cost of an ordering: for each ordered pair (x above y), the number of
+    // rankings preferring y over x.
+    let mut best: Option<(usize, Vec<usize>)> = None;
+    let mut items: Vec<usize> = (0..n).collect();
+    permute(&mut items, 0, &mut |perm| {
+        let mut cost = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                cost += pref[perm[j]][perm[i]];
+            }
+        }
+        match &best {
+            Some((c, _)) if *c <= cost => {}
+            _ => best = Some((cost, perm.to_vec())),
+        }
+    });
+    Ok(best.expect("n >= 1 guarantees at least one permutation").1)
+}
+
+fn permute<F: FnMut(&[usize])>(items: &mut Vec<usize>, k: usize, visit: &mut F) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_to_ranking() {
+        assert_eq!(ranking_from_scores(&[0.1, 0.9, 0.5], true), vec![1, 2, 0]);
+        assert_eq!(ranking_from_scores(&[0.1, 0.9, 0.5], false), vec![0, 2, 1]);
+        // Deterministic tie-break by index.
+        assert_eq!(ranking_from_scores(&[0.5, 0.5], true), vec![0, 1]);
+    }
+
+    #[test]
+    fn positions_round_trip() {
+        let ranking = vec![2, 0, 1];
+        let pos = positions_from_ranking(&ranking);
+        assert_eq!(pos, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn borda_unanimous() {
+        let rankings = vec![vec![1, 0, 2], vec![1, 0, 2], vec![1, 0, 2]];
+        assert_eq!(borda(&rankings).unwrap(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn borda_majority() {
+        let rankings = vec![vec![0, 1, 2], vec![0, 1, 2], vec![2, 1, 0]];
+        assert_eq!(borda(&rankings).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn copeland_matches_borda_on_clean_majorities() {
+        let rankings = vec![vec![0, 1, 2], vec![0, 2, 1], vec![1, 0, 2]];
+        assert_eq!(
+            copeland(&rankings).unwrap()[0],
+            borda(&rankings).unwrap()[0]
+        );
+    }
+
+    #[test]
+    fn kemeny_recovers_unanimity_and_majority() {
+        let rankings = vec![vec![2, 1, 0], vec![2, 1, 0]];
+        assert_eq!(kemeny(&rankings).unwrap(), vec![2, 1, 0]);
+        let rankings = vec![vec![0, 1, 2], vec![0, 1, 2], vec![1, 2, 0]];
+        assert_eq!(kemeny(&rankings).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn kemeny_minimizes_disagreement() {
+        // Condorcet-cycle style input; Kemeny must pick one of the three
+        // minimum-cost orderings, all of which cost 4 here.
+        let rankings = vec![vec![0, 1, 2], vec![1, 2, 0], vec![2, 0, 1]];
+        let consensus = kemeny(&rankings).unwrap();
+        let positions: Vec<Vec<usize>> =
+            rankings.iter().map(|r| positions_from_ranking(r)).collect();
+        let cons_pos = positions_from_ranking(&consensus);
+        let mut cost = 0;
+        for p in &positions {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    if (p[a] < p[b]) != (cons_pos[a] < cons_pos[b]) {
+                        cost += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(cost, 4);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(borda(&[]).is_err());
+        assert!(borda(&[vec![]]).is_err());
+        assert!(borda(&[vec![0, 1], vec![0]]).is_err());
+        assert!(borda(&[vec![0, 0]]).is_err());
+        assert!(borda(&[vec![0, 5]]).is_err());
+        let big: Vec<usize> = (0..9).collect();
+        assert!(kemeny(&[big]).is_err());
+    }
+
+    #[test]
+    fn aggregators_agree_on_strong_consensus() {
+        let rankings = vec![
+            vec![3, 1, 0, 2],
+            vec![3, 1, 2, 0],
+            vec![3, 0, 1, 2],
+            vec![1, 3, 0, 2],
+        ];
+        let b = borda(&rankings).unwrap();
+        let c = copeland(&rankings).unwrap();
+        let k = kemeny(&rankings).unwrap();
+        assert_eq!(b[0], 3);
+        assert_eq!(c[0], 3);
+        assert_eq!(k[0], 3);
+    }
+}

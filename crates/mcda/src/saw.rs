@@ -1,0 +1,130 @@
+//! Simple additive weighting (SAW / weighted-sum model).
+
+use crate::decision::DecisionMatrix;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Result of a SAW evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SawResult {
+    /// Aggregate score per alternative, in input order; higher is better.
+    pub scores: Vec<f64>,
+    /// Alternative indices ordered best → worst.
+    pub ranking: Vec<usize>,
+}
+
+/// Evaluates a decision matrix by min–max normalization followed by a
+/// weighted sum.
+///
+/// # Errors
+///
+/// Never fails for a valid [`DecisionMatrix`]; the `Result` mirrors the
+/// other MCDA entry points.
+///
+/// ```
+/// use vdbench_mcda::{Criterion, DecisionMatrix};
+/// use vdbench_mcda::saw::evaluate;
+///
+/// let dm = DecisionMatrix::new(
+///     vec!["good".into(), "bad".into()],
+///     vec![Criterion::benefit("quality", 1.0)],
+///     vec![vec![0.9], vec![0.2]],
+/// )?;
+/// let r = evaluate(&dm)?;
+/// assert_eq!(r.ranking[0], 0);
+/// # Ok::<(), vdbench_mcda::McdaError>(())
+/// ```
+pub fn evaluate(dm: &DecisionMatrix) -> Result<SawResult> {
+    let norm = dm.normalize_minmax();
+    let weights = dm.normalized_weights();
+    let scores: Vec<f64> = norm
+        .iter()
+        .map(|row| row.iter().zip(&weights).map(|(v, w)| v * w).sum())
+        .collect();
+    let mut ranking: Vec<usize> = (0..scores.len()).collect();
+    ranking.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    Ok(SawResult { scores, ranking })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::Criterion;
+
+    #[test]
+    fn dominant_alternative_wins() {
+        let dm = DecisionMatrix::new(
+            vec!["dominated".into(), "dominant".into(), "middle".into()],
+            vec![
+                Criterion::benefit("recall", 1.0),
+                Criterion::cost("alarms", 1.0),
+            ],
+            vec![vec![0.2, 50.0], vec![0.9, 1.0], vec![0.5, 20.0]],
+        )
+        .unwrap();
+        let r = evaluate(&dm).unwrap();
+        assert_eq!(r.ranking, vec![1, 2, 0]);
+        assert!(r.scores[1] > r.scores[2]);
+    }
+
+    #[test]
+    fn weights_shift_the_winner() {
+        // Alternative 0: high recall, many alarms. Alternative 1: the
+        // opposite. Recall-weighted SAW picks 0; alarm-weighted picks 1.
+        let values = vec![vec![0.95, 100.0], vec![0.55, 2.0]];
+        let recall_heavy = DecisionMatrix::new(
+            vec!["chatty".into(), "quiet".into()],
+            vec![
+                Criterion::benefit("recall", 10.0),
+                Criterion::cost("alarms", 1.0),
+            ],
+            values.clone(),
+        )
+        .unwrap();
+        let alarm_heavy = DecisionMatrix::new(
+            vec!["chatty".into(), "quiet".into()],
+            vec![
+                Criterion::benefit("recall", 1.0),
+                Criterion::cost("alarms", 10.0),
+            ],
+            values,
+        )
+        .unwrap();
+        assert_eq!(evaluate(&recall_heavy).unwrap().ranking[0], 0);
+        assert_eq!(evaluate(&alarm_heavy).unwrap().ranking[0], 1);
+    }
+
+    #[test]
+    fn scores_bounded_by_unit_interval() {
+        let dm = DecisionMatrix::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                Criterion::benefit("x", 3.0),
+                Criterion::benefit("y", 1.0),
+                Criterion::cost("z", 2.0),
+            ],
+            vec![
+                vec![1.0, 10.0, 3.0],
+                vec![2.0, 20.0, 2.0],
+                vec![3.0, 5.0, 1.0],
+            ],
+        )
+        .unwrap();
+        let r = evaluate(&dm).unwrap();
+        for s in &r.scores {
+            assert!((0.0..=1.0).contains(s));
+        }
+    }
+
+    #[test]
+    fn single_alternative() {
+        let dm = DecisionMatrix::new(
+            vec!["only".into()],
+            vec![Criterion::benefit("x", 1.0)],
+            vec![vec![42.0]],
+        )
+        .unwrap();
+        let r = evaluate(&dm).unwrap();
+        assert_eq!(r.ranking, vec![0]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Saaty's fundamental 1–9 comparison scale.
+
+use serde::{Deserialize, Serialize};
+
+/// The verbal anchors of Saaty's fundamental scale for pairwise judgments.
+///
+/// Intermediate even values (2, 4, 6, 8) express compromises between
+/// adjacent anchors; [`SaatyScale::snap`] maps an arbitrary intensity ratio
+/// onto the nearest admissible scale value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SaatyScale {
+    /// Both elements contribute equally (1).
+    Equal,
+    /// Weak preference for the first element (3).
+    Moderate,
+    /// Strong preference (5).
+    Strong,
+    /// Very strong, demonstrated preference (7).
+    VeryStrong,
+    /// The strongest affirmable preference (9).
+    Extreme,
+}
+
+impl SaatyScale {
+    /// The numeric judgment value.
+    pub fn value(self) -> f64 {
+        match self {
+            SaatyScale::Equal => 1.0,
+            SaatyScale::Moderate => 3.0,
+            SaatyScale::Strong => 5.0,
+            SaatyScale::VeryStrong => 7.0,
+            SaatyScale::Extreme => 9.0,
+        }
+    }
+
+    /// All anchors in increasing order.
+    pub fn all() -> [SaatyScale; 5] {
+        [
+            SaatyScale::Equal,
+            SaatyScale::Moderate,
+            SaatyScale::Strong,
+            SaatyScale::VeryStrong,
+            SaatyScale::Extreme,
+        ]
+    }
+
+    /// Snaps an arbitrary positive intensity ratio to the nearest value on
+    /// the full 1–9 scale (including intermediate integers), returning the
+    /// reciprocal form for ratios below one.
+    ///
+    /// Used by the expert-simulation layer: a latent preference ratio is
+    /// what the expert *feels*; the snapped value is what they can *say*
+    /// on the questionnaire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not strictly positive and finite.
+    pub fn snap(ratio: f64) -> f64 {
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "intensity ratio must be positive and finite"
+        );
+        let (inverted, r) = if ratio < 1.0 {
+            (true, 1.0 / ratio)
+        } else {
+            (false, ratio)
+        };
+        // Choose the admissible integer 1..=9 minimizing log-distance, which
+        // is the right geometry for ratio judgments.
+        let mut best = 1.0f64;
+        let mut best_d = f64::INFINITY;
+        for k in 1..=9 {
+            let d = (r.ln() - (k as f64).ln()).abs();
+            if d < best_d {
+                best_d = d;
+                best = k as f64;
+            }
+        }
+        if inverted {
+            1.0 / best
+        } else {
+            best
+        }
+    }
+}
+
+impl From<SaatyScale> for f64 {
+    fn from(s: SaatyScale) -> f64 {
+        s.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values() {
+        assert_eq!(SaatyScale::Equal.value(), 1.0);
+        assert_eq!(SaatyScale::Extreme.value(), 9.0);
+        let vals: Vec<f64> = SaatyScale::all().iter().map(|s| s.value()).collect();
+        assert_eq!(vals, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+        assert_eq!(f64::from(SaatyScale::Strong), 5.0);
+    }
+
+    #[test]
+    fn snap_exact_integers() {
+        for k in 1..=9 {
+            assert_eq!(SaatyScale::snap(k as f64), k as f64);
+            assert_eq!(SaatyScale::snap(1.0 / k as f64), 1.0 / k as f64);
+        }
+    }
+
+    #[test]
+    fn snap_rounds_in_log_space() {
+        assert_eq!(SaatyScale::snap(1.38), 1.0);
+        assert_eq!(SaatyScale::snap(2.9), 3.0);
+        assert_eq!(SaatyScale::snap(20.0), 9.0); // saturates
+        assert_eq!(SaatyScale::snap(0.05), 1.0 / 9.0);
+    }
+
+    #[test]
+    fn snap_reciprocal_symmetry() {
+        for &r in &[0.13, 0.4, 1.0, 2.3, 6.7] {
+            let a = SaatyScale::snap(r);
+            let b = SaatyScale::snap(1.0 / r);
+            assert!((a * b - 1.0).abs() < 1e-12, "snap({r})={a}, snap(1/{r})={b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn snap_rejects_nonpositive() {
+        let _ = SaatyScale::snap(0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Weight-sensitivity analysis for weighted-sum rankings.
+//!
+//! After an MCDA run, the natural follow-up question is *how robust is the
+//! winner?* — by how much would one criterion's weight have to change to
+//! flip the top two alternatives? (Triantaphyllou-style absolute-change
+//! analysis for additive models.) Small thresholds flag photo-finish
+//! decisions that deserve a second look; this is exactly the situation the
+//! audit scenario's precision-vs-accuracy race produces.
+
+use crate::ranking::ranking_from_scores;
+use crate::{McdaError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Sensitivity of the top-two ordering to one criterion's weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightSensitivity {
+    /// Criterion index.
+    pub criterion: usize,
+    /// Current weight of the criterion.
+    pub weight: f64,
+    /// The absolute weight change that would tie the top two alternatives
+    /// (`None` when no finite change can flip them along this criterion,
+    /// i.e. they perform identically on it).
+    pub flip_delta: Option<f64>,
+}
+
+impl WeightSensitivity {
+    /// Relative change (`|Δ| / weight`) needed to flip; `None` when a flip
+    /// is impossible or the weight is zero.
+    pub fn relative_flip(&self) -> Option<f64> {
+        match self.flip_delta {
+            Some(d) if self.weight > 0.0 => Some(d.abs() / self.weight),
+            _ => None,
+        }
+    }
+}
+
+/// Computes, for every criterion, the absolute weight change that would
+/// tie the winner with the runner-up in an additive (weighted-sum /
+/// ratings-mode AHP) model.
+///
+/// `weights[c]` are the criteria weights and `ratings[alt][c]` the
+/// alternatives' scores. The model's ranking is scale-invariant in the
+/// weight vector, so the deltas are reported against the given
+/// (conventionally normalized) weights.
+///
+/// # Errors
+///
+/// Returns [`McdaError::Degenerate`] with fewer than two alternatives and
+/// [`McdaError::DimensionMismatch`] for ragged input.
+pub fn top_pair_sensitivity(
+    weights: &[f64],
+    ratings: &[Vec<f64>],
+) -> Result<Vec<WeightSensitivity>> {
+    if ratings.len() < 2 {
+        return Err(McdaError::Degenerate {
+            reason: "sensitivity needs at least two alternatives",
+        });
+    }
+    for row in ratings {
+        if row.len() != weights.len() {
+            return Err(McdaError::DimensionMismatch {
+                expected: weights.len(),
+                actual: row.len(),
+            });
+        }
+    }
+    let scores: Vec<f64> = ratings
+        .iter()
+        .map(|row| row.iter().zip(weights).map(|(r, w)| r * w).sum())
+        .collect();
+    let order = ranking_from_scores(&scores, true);
+    let (winner, runner_up) = (order[0], order[1]);
+    let lead = scores[winner] - scores[runner_up];
+
+    Ok(weights
+        .iter()
+        .enumerate()
+        .map(|(c, &w)| {
+            let d = ratings[winner][c] - ratings[runner_up][c];
+            // Adding Δ to w_c changes the lead by Δ·d; the tie is at
+            // Δ = −lead / d. Only report physically meaningful flips
+            // (resulting weight must stay non-negative).
+            let flip = if d.abs() < 1e-15 {
+                None
+            } else {
+                let delta = -lead / d;
+                (w + delta >= 0.0).then_some(delta)
+            };
+            WeightSensitivity {
+                criterion: c,
+                weight: w,
+                flip_delta: flip,
+            }
+        })
+        .collect())
+}
+
+/// The smallest relative weight change (over all criteria) that flips the
+/// winner — a single-number robustness summary. `None` when no criterion
+/// can flip the decision.
+pub fn min_relative_flip(sensitivities: &[WeightSensitivity]) -> Option<f64> {
+    sensitivities
+        .iter()
+        .filter_map(WeightSensitivity::relative_flip)
+        .min_by(f64::total_cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_winner_needs_large_changes() {
+        // Alternative 0 dominates on both criteria: no non-negative weight
+        // change can flip it.
+        let weights = [0.6, 0.4];
+        let ratings = vec![vec![0.9, 0.9], vec![0.2, 0.2]];
+        let s = top_pair_sensitivity(&weights, &ratings).unwrap();
+        assert_eq!(s.len(), 2);
+        for ws in &s {
+            // Flipping would need a negative criterion weight.
+            assert_eq!(ws.flip_delta, None, "{ws:?}");
+        }
+        assert_eq!(min_relative_flip(&s), None);
+    }
+
+    #[test]
+    fn photo_finish_flips_easily() {
+        // Winner leads by a hair and loses on criterion 1: a small weight
+        // shift flips the decision.
+        let weights = [0.5, 0.5];
+        let ratings = vec![vec![0.80, 0.50], vec![0.70, 0.58]];
+        let scores0 = 0.5 * 0.80 + 0.5 * 0.50;
+        let scores1 = 0.5 * 0.70 + 0.5 * 0.58;
+        assert!(scores0 > scores1);
+        let s = top_pair_sensitivity(&weights, &ratings).unwrap();
+        // Criterion 1 favours the runner-up (d = -0.08): increasing its
+        // weight by lead/0.08 = 0.01/0.08 = 0.125 ties them.
+        let c1 = s[1];
+        let delta = c1.flip_delta.unwrap();
+        assert!((delta - 0.125).abs() < 1e-9, "delta {delta}");
+        assert!((c1.relative_flip().unwrap() - 0.25).abs() < 1e-9);
+        // Criterion 0 favours the winner: flipping along it means taking
+        // weight away (negative delta), still feasible while ≥ 0.
+        let c0 = s[0];
+        assert!(c0.flip_delta.unwrap() < 0.0);
+        let min = min_relative_flip(&s).unwrap();
+        assert!((min - 0.2).abs() < 1e-9, "min {min}"); // 0.1/0.5 along c0
+    }
+
+    #[test]
+    fn tie_on_a_criterion_cannot_flip_along_it() {
+        let weights = [0.5, 0.5];
+        let ratings = vec![vec![0.8, 0.6], vec![0.5, 0.6]];
+        let s = top_pair_sensitivity(&weights, &ratings).unwrap();
+        assert_eq!(s[1].flip_delta, None);
+        assert!(s[0].flip_delta.is_some());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(top_pair_sensitivity(&[0.5], &[vec![1.0]]).is_err());
+        assert!(top_pair_sensitivity(&[0.5, 0.5], &[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn flip_actually_flips() {
+        // Apply the reported delta and verify the ranking reverses (or
+        // ties) in the additive model.
+        let weights = [0.4, 0.6];
+        let ratings = vec![vec![0.9, 0.40], vec![0.3, 0.75]];
+        let s = top_pair_sensitivity(&weights, &ratings).unwrap();
+        for ws in &s {
+            let Some(delta) = ws.flip_delta else { continue };
+            let mut w2 = weights.to_vec();
+            w2[ws.criterion] += delta;
+            let score = |row: &Vec<f64>| -> f64 {
+                row.iter().zip(&w2).map(|(r, w)| r * w).sum()
+            };
+            let diff: f64 = score(&ratings[0]) - score(&ratings[1]);
+            assert!(diff.abs() < 1e-9, "criterion {}: diff {diff}", ws.criterion);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! TOPSIS: Technique for Order of Preference by Similarity to Ideal
+//! Solution.
+//!
+//! Ranks alternatives by relative closeness to the ideal (best value on
+//! every criterion) versus the anti-ideal. Included as an ablation MCDA
+//! method: Table 6's conclusions should not depend on the choice of AHP.
+
+use crate::decision::{DecisionMatrix, Direction};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Result of a TOPSIS evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopsisResult {
+    /// Closeness coefficient per alternative in `[0, 1]`; higher is better.
+    pub closeness: Vec<f64>,
+    /// Alternative indices ordered best → worst.
+    pub ranking: Vec<usize>,
+}
+
+/// Runs TOPSIS with vector normalization.
+///
+/// # Errors
+///
+/// Never fails for a valid [`DecisionMatrix`]; mirrors the other MCDA entry
+/// points.
+pub fn evaluate(dm: &DecisionMatrix) -> Result<TopsisResult> {
+    let norm = dm.normalize_vector();
+    let weights = dm.normalized_weights();
+    let n_alt = norm.len();
+    let n_crit = weights.len();
+
+    // Weighted normalized matrix.
+    let weighted: Vec<Vec<f64>> = norm
+        .iter()
+        .map(|row| row.iter().zip(&weights).map(|(v, w)| v * w).collect())
+        .collect();
+
+    // Ideal and anti-ideal per criterion, respecting direction.
+    let mut ideal = vec![0.0; n_crit];
+    let mut anti = vec![0.0; n_crit];
+    for c in 0..n_crit {
+        let col: Vec<f64> = weighted.iter().map(|row| row[c]).collect();
+        let max = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = col.iter().copied().fold(f64::INFINITY, f64::min);
+        match dm.criteria()[c].direction {
+            Direction::Benefit => {
+                ideal[c] = max;
+                anti[c] = min;
+            }
+            Direction::Cost => {
+                ideal[c] = min;
+                anti[c] = max;
+            }
+        }
+    }
+
+    let dist = |row: &[f64], target: &[f64]| -> f64 {
+        row.iter()
+            .zip(target)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    };
+
+    let closeness: Vec<f64> = (0..n_alt)
+        .map(|a| {
+            let d_plus = dist(&weighted[a], &ideal);
+            let d_minus = dist(&weighted[a], &anti);
+            if d_plus + d_minus == 0.0 {
+                // All alternatives identical on every criterion.
+                0.5
+            } else {
+                d_minus / (d_plus + d_minus)
+            }
+        })
+        .collect();
+
+    let mut ranking: Vec<usize> = (0..n_alt).collect();
+    ranking.sort_by(|&a, &b| closeness[b].total_cmp(&closeness[a]));
+    Ok(TopsisResult { closeness, ranking })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::Criterion;
+
+    #[test]
+    fn dominant_alternative_has_closeness_one() {
+        let dm = DecisionMatrix::new(
+            vec!["best".into(), "worst".into()],
+            vec![
+                Criterion::benefit("recall", 1.0),
+                Criterion::cost("alarms", 1.0),
+            ],
+            vec![vec![0.9, 1.0], vec![0.1, 50.0]],
+        )
+        .unwrap();
+        let r = evaluate(&dm).unwrap();
+        assert_eq!(r.ranking, vec![0, 1]);
+        assert!((r.closeness[0] - 1.0).abs() < 1e-12);
+        assert!(r.closeness[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_alternatives_tie_at_half() {
+        let dm = DecisionMatrix::new(
+            vec!["a".into(), "b".into()],
+            vec![Criterion::benefit("x", 1.0)],
+            vec![vec![3.0], vec![3.0]],
+        )
+        .unwrap();
+        let r = evaluate(&dm).unwrap();
+        assert_eq!(r.closeness, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn agrees_with_saw_on_clear_orderings() {
+        let dm = DecisionMatrix::new(
+            vec!["low".into(), "mid".into(), "high".into()],
+            vec![
+                Criterion::benefit("x", 2.0),
+                Criterion::benefit("y", 1.0),
+            ],
+            vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]],
+        )
+        .unwrap();
+        let t = evaluate(&dm).unwrap();
+        let s = crate::saw::evaluate(&dm).unwrap();
+        assert_eq!(t.ranking, s.ranking);
+        assert_eq!(t.ranking, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn closeness_in_unit_interval() {
+        let dm = DecisionMatrix::new(
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            vec![
+                Criterion::benefit("x", 1.0),
+                Criterion::cost("y", 3.0),
+                Criterion::benefit("z", 2.0),
+            ],
+            vec![
+                vec![0.1, 9.0, 4.0],
+                vec![0.8, 2.0, 1.0],
+                vec![0.4, 5.0, 8.0],
+                vec![0.9, 1.0, 0.5],
+            ],
+        )
+        .unwrap();
+        let r = evaluate(&dm).unwrap();
+        for c in &r.closeness {
+            assert!((0.0..=1.0).contains(c));
+        }
+        assert_eq!(r.ranking.len(), 4);
+    }
+
+    #[test]
+    fn cost_direction_respected() {
+        // Only criterion is a cost: fewer alarms must win.
+        let dm = DecisionMatrix::new(
+            vec!["noisy".into(), "quiet".into()],
+            vec![Criterion::cost("alarms", 1.0)],
+            vec![vec![100.0], vec![3.0]],
+        )
+        .unwrap();
+        let r = evaluate(&dm).unwrap();
+        assert_eq!(r.ranking[0], 1);
+    }
+}

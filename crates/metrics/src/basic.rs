@@ -1,0 +1,499 @@
+//! The elementary rate metrics: one marginal ratio each.
+//!
+//! These are the metrics "traditionally used" that the paper examines first:
+//! precision, recall and their complements/duals. Each is a unit struct
+//! implementing [`Metric`].
+
+use crate::catalog::MetricId;
+use crate::confusion::ConfusionMatrix;
+use crate::metric::{fraction, require_nonempty, Metric, MetricError};
+use crate::properties::{MetricProperties, Monotonicity};
+
+/// Positive predictive value: `TP / (TP + FP)` — of everything the tool
+/// reported, how much was real.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Precision;
+
+impl Metric for Precision {
+    fn id(&self) -> MetricId {
+        MetricId::Precision
+    }
+    fn name(&self) -> &'static str {
+        "Precision (positive predictive value)"
+    }
+    fn abbrev(&self) -> &'static str {
+        "PPV"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        fraction(
+            cm.tp as f64,
+            cm.predicted_positive() as f64,
+            "tool reported no units (TP + FP = 0)",
+        )
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            simplicity: 5,
+            uses_both_error_types: false,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, prevalence: f64, _report_rate: f64) -> Option<f64> {
+        Some(prevalence)
+    }
+}
+
+/// Recall (sensitivity, true-positive rate): `TP / (TP + FN)` — of the real
+/// vulnerabilities, how many the tool found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Recall;
+
+impl Metric for Recall {
+    fn id(&self) -> MetricId {
+        MetricId::Recall
+    }
+    fn name(&self) -> &'static str {
+        "Recall (sensitivity, true-positive rate)"
+    }
+    fn abbrev(&self) -> &'static str {
+        "TPR"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        fraction(
+            cm.tp as f64,
+            cm.actual_positive() as f64,
+            "workload has no vulnerable units (TP + FN = 0)",
+        )
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            simplicity: 5,
+            prevalence_invariant: true,
+            uses_both_error_types: false,
+            monotone_fpr: Monotonicity::Independent,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, _prevalence: f64, report_rate: f64) -> Option<f64> {
+        Some(report_rate)
+    }
+}
+
+/// Specificity (true-negative rate): `TN / (TN + FP)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Specificity;
+
+impl Metric for Specificity {
+    fn id(&self) -> MetricId {
+        MetricId::Specificity
+    }
+    fn name(&self) -> &'static str {
+        "Specificity (true-negative rate)"
+    }
+    fn abbrev(&self) -> &'static str {
+        "TNR"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        fraction(
+            cm.tn as f64,
+            cm.actual_negative() as f64,
+            "workload has no clean units (TN + FP = 0)",
+        )
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            simplicity: 4,
+            prevalence_invariant: true,
+            uses_both_error_types: false,
+            monotone_tpr: Monotonicity::Independent,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, _prevalence: f64, report_rate: f64) -> Option<f64> {
+        Some(1.0 - report_rate)
+    }
+}
+
+/// Negative predictive value: `TN / (TN + FN)` — confidence in a clean
+/// verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Npv;
+
+impl Metric for Npv {
+    fn id(&self) -> MetricId {
+        MetricId::Npv
+    }
+    fn name(&self) -> &'static str {
+        "Negative predictive value"
+    }
+    fn abbrev(&self) -> &'static str {
+        "NPV"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        fraction(
+            cm.tn as f64,
+            cm.predicted_negative() as f64,
+            "tool reported every unit (TN + FN = 0)",
+        )
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            simplicity: 4,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, prevalence: f64, _report_rate: f64) -> Option<f64> {
+        Some(1.0 - prevalence)
+    }
+}
+
+/// Accuracy: `(TP + TN) / total`. Famously degenerate at low prevalence —
+/// the "always say clean" tool scores `1 - prevalence`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Accuracy;
+
+impl Metric for Accuracy {
+    fn id(&self) -> MetricId {
+        MetricId::Accuracy
+    }
+    fn name(&self) -> &'static str {
+        "Accuracy"
+    }
+    fn abbrev(&self) -> &'static str {
+        "ACC"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        Ok((cm.tp + cm.tn) as f64 / cm.total() as f64)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            simplicity: 5,
+            defined_everywhere: true,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, prevalence: f64, report_rate: f64) -> Option<f64> {
+        Some(prevalence * report_rate + (1.0 - prevalence) * (1.0 - report_rate))
+    }
+}
+
+/// Fallout (false-positive rate): `FP / (FP + TN)`. Lower is better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fallout;
+
+impl Metric for Fallout {
+    fn id(&self) -> MetricId {
+        MetricId::Fallout
+    }
+    fn name(&self) -> &'static str {
+        "Fallout (false-positive rate)"
+    }
+    fn abbrev(&self) -> &'static str {
+        "FPR"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        fraction(
+            cm.fp as f64,
+            cm.actual_negative() as f64,
+            "workload has no clean units (TN + FP = 0)",
+        )
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            simplicity: 4,
+            prevalence_invariant: true,
+            uses_both_error_types: false,
+            monotone_tpr: Monotonicity::Independent,
+            monotone_fpr: Monotonicity::Increasing,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn higher_is_better(&self) -> bool {
+        false
+    }
+    fn chance_level(&self, _prevalence: f64, report_rate: f64) -> Option<f64> {
+        Some(report_rate)
+    }
+}
+
+/// Miss rate (false-negative rate): `FN / (TP + FN)`. Lower is better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MissRate;
+
+impl Metric for MissRate {
+    fn id(&self) -> MetricId {
+        MetricId::MissRate
+    }
+    fn name(&self) -> &'static str {
+        "Miss rate (false-negative rate)"
+    }
+    fn abbrev(&self) -> &'static str {
+        "FNR"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        fraction(
+            cm.fn_ as f64,
+            cm.actual_positive() as f64,
+            "workload has no vulnerable units (TP + FN = 0)",
+        )
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            simplicity: 4,
+            prevalence_invariant: true,
+            uses_both_error_types: false,
+            monotone_tpr: Monotonicity::Decreasing,
+            monotone_fpr: Monotonicity::Independent,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn higher_is_better(&self) -> bool {
+        false
+    }
+    fn chance_level(&self, _prevalence: f64, report_rate: f64) -> Option<f64> {
+        Some(1.0 - report_rate)
+    }
+}
+
+/// False discovery rate: `FP / (TP + FP)` = 1 − precision. Lower is better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FalseDiscoveryRate;
+
+impl Metric for FalseDiscoveryRate {
+    fn id(&self) -> MetricId {
+        MetricId::Fdr
+    }
+    fn name(&self) -> &'static str {
+        "False discovery rate"
+    }
+    fn abbrev(&self) -> &'static str {
+        "FDR"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        fraction(
+            cm.fp as f64,
+            cm.predicted_positive() as f64,
+            "tool reported no units (TP + FP = 0)",
+        )
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            simplicity: 4,
+            uses_both_error_types: false,
+            monotone_tpr: Monotonicity::Decreasing,
+            monotone_fpr: Monotonicity::Increasing,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn higher_is_better(&self) -> bool {
+        false
+    }
+    fn chance_level(&self, prevalence: f64, _report_rate: f64) -> Option<f64> {
+        Some(1.0 - prevalence)
+    }
+}
+
+/// False omission rate: `FN / (FN + TN)` = 1 − NPV. Lower is better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FalseOmissionRate;
+
+impl Metric for FalseOmissionRate {
+    fn id(&self) -> MetricId {
+        MetricId::ForRate
+    }
+    fn name(&self) -> &'static str {
+        "False omission rate"
+    }
+    fn abbrev(&self) -> &'static str {
+        "FOR"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        fraction(
+            cm.fn_ as f64,
+            cm.predicted_negative() as f64,
+            "tool reported every unit (TN + FN = 0)",
+        )
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            simplicity: 3,
+            monotone_tpr: Monotonicity::Decreasing,
+            monotone_fpr: Monotonicity::Increasing,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn higher_is_better(&self) -> bool {
+        false
+    }
+    fn chance_level(&self, prevalence: f64, _report_rate: f64) -> Option<f64> {
+        Some(prevalence)
+    }
+}
+
+/// Detected-vulnerabilities count normalized by workload positives —
+/// included as the "coverage" metric some benchmarks report; numerically
+/// identical to recall but kept as a distinct catalog row with its own
+/// identity so selection tables mirror the paper's gathered list.
+pub type Coverage = Recall;
+
+/// Range check shared by the test suite: every basic metric stays inside
+/// its declared range on any non-degenerate matrix.
+#[cfg(test)]
+pub(crate) fn all_basic() -> Vec<Box<dyn Metric>> {
+    vec![
+        Box::new(Precision),
+        Box::new(Recall),
+        Box::new(Specificity),
+        Box::new(Npv),
+        Box::new(Accuracy),
+        Box::new(Fallout),
+        Box::new(MissRate),
+        Box::new(FalseDiscoveryRate),
+        Box::new(FalseOmissionRate),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::MetricExt;
+
+    fn cm() -> ConfusionMatrix {
+        ConfusionMatrix::new(40, 10, 20, 130)
+    }
+
+    #[test]
+    fn values_match_hand_computation() {
+        let cm = cm();
+        assert!((Precision.compute(&cm).unwrap() - 0.8).abs() < 1e-12);
+        assert!((Recall.compute(&cm).unwrap() - 40.0 / 60.0).abs() < 1e-12);
+        assert!((Specificity.compute(&cm).unwrap() - 130.0 / 140.0).abs() < 1e-12);
+        assert!((Npv.compute(&cm).unwrap() - 130.0 / 150.0).abs() < 1e-12);
+        assert!((Accuracy.compute(&cm).unwrap() - 170.0 / 200.0).abs() < 1e-12);
+        assert!((Fallout.compute(&cm).unwrap() - 10.0 / 140.0).abs() < 1e-12);
+        assert!((MissRate.compute(&cm).unwrap() - 20.0 / 60.0).abs() < 1e-12);
+        assert!((FalseDiscoveryRate.compute(&cm).unwrap() - 0.2).abs() < 1e-12);
+        assert!((FalseOmissionRate.compute(&cm).unwrap() - 20.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complements() {
+        let cm = cm();
+        let p = Precision.compute(&cm).unwrap();
+        let fdr = FalseDiscoveryRate.compute(&cm).unwrap();
+        assert!((p + fdr - 1.0).abs() < 1e-12);
+        let r = Recall.compute(&cm).unwrap();
+        let miss = MissRate.compute(&cm).unwrap();
+        assert!((r + miss - 1.0).abs() < 1e-12);
+        let s = Specificity.compute(&cm).unwrap();
+        let f = Fallout.compute(&cm).unwrap();
+        assert!((s + f - 1.0).abs() < 1e-12);
+        let n = Npv.compute(&cm).unwrap();
+        let fo = FalseOmissionRate.compute(&cm).unwrap();
+        assert!((n + fo - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_in_declared_range() {
+        let matrices = [
+            ConfusionMatrix::new(1, 1, 1, 1),
+            ConfusionMatrix::new(10, 0, 0, 10),
+            ConfusionMatrix::new(0, 10, 10, 0),
+            ConfusionMatrix::new(3, 7, 2, 88),
+        ];
+        for m in super::all_basic() {
+            for cm in &matrices {
+                if let Ok(v) = m.compute(cm) {
+                    assert!(
+                        m.properties().range.contains(v),
+                        "{} out of range on {cm}: {v}",
+                        m.abbrev()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn undefined_cases() {
+        let nothing_reported = ConfusionMatrix::new(0, 0, 5, 5);
+        assert!(Precision.compute(&nothing_reported).is_err());
+        assert!(FalseDiscoveryRate.compute(&nothing_reported).is_err());
+        let everything_reported = ConfusionMatrix::new(5, 5, 0, 0);
+        assert!(Npv.compute(&everything_reported).is_err());
+        assert!(FalseOmissionRate.compute(&everything_reported).is_err());
+        let no_positives = ConfusionMatrix::new(0, 5, 0, 5);
+        assert!(Recall.compute(&no_positives).is_err());
+        assert!(MissRate.compute(&no_positives).is_err());
+        let no_negatives = ConfusionMatrix::new(5, 0, 5, 0);
+        assert!(Specificity.compute(&no_negatives).is_err());
+        assert!(Fallout.compute(&no_negatives).is_err());
+        for m in super::all_basic() {
+            assert_eq!(
+                m.compute(&ConfusionMatrix::empty()).unwrap_err(),
+                MetricError::EmptyMatrix
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_tool_scores() {
+        let perfect = ConfusionMatrix::new(10, 0, 0, 90);
+        assert_eq!(Precision.compute(&perfect).unwrap(), 1.0);
+        assert_eq!(Recall.compute(&perfect).unwrap(), 1.0);
+        assert_eq!(Accuracy.compute(&perfect).unwrap(), 1.0);
+        assert_eq!(Fallout.compute(&perfect).unwrap(), 0.0);
+        assert_eq!(MissRate.compute(&perfect).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn chance_levels() {
+        // Random tool reporting 30% of units on a 10%-prevalent workload.
+        let pi = 0.1;
+        let r = 0.3;
+        assert_eq!(Precision.chance_level(pi, r), Some(0.1));
+        assert_eq!(Recall.chance_level(pi, r), Some(0.3));
+        assert_eq!(Specificity.chance_level(pi, r), Some(0.7));
+        let acc = Accuracy.chance_level(pi, r).unwrap();
+        assert!((acc - (0.1 * 0.3 + 0.9 * 0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_flags() {
+        assert!(Precision.higher_is_better());
+        assert!(!Fallout.higher_is_better());
+        assert!(!MissRate.higher_is_better());
+        assert!(!FalseDiscoveryRate.higher_is_better());
+        assert!(!FalseOmissionRate.higher_is_better());
+    }
+
+    #[test]
+    fn accuracy_degenerates_at_low_prevalence() {
+        // The "always clean" tool on a 1%-prevalent workload.
+        let silent = ConfusionMatrix::new(0, 0, 10, 990);
+        assert!((Accuracy.compute(&silent).unwrap() - 0.99).abs() < 1e-12);
+        // ...yet it found nothing: recall is 0.
+        assert_eq!(Recall.compute(&silent).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn oriented_scores_rank_better_tools_higher() {
+        let good = ConfusionMatrix::new(9, 1, 1, 89);
+        let bad = ConfusionMatrix::new(5, 5, 5, 85);
+        for m in super::all_basic() {
+            let (g, b) = (m.oriented(&good), m.oriented(&bad));
+            if let (Ok(g), Ok(b)) = (g, b) {
+                assert!(g >= b, "{} ranked bad tool above good", m.abbrev());
+            }
+        }
+    }
+}

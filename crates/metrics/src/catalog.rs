@@ -1,0 +1,254 @@
+//! The gathered metric catalog (paper Table 1).
+//!
+//! [`standard_catalog`] assembles every metric in the suite with stable
+//! [`MetricId`]s for use in tables, rankings and serialized experiment
+//! output.
+
+use crate::basic::{
+    Accuracy, Fallout, FalseDiscoveryRate, FalseOmissionRate, MissRate, Npv, Precision, Recall,
+    Specificity,
+};
+use crate::chance::CohenKappa;
+use crate::composite::{
+    BalancedAccuracy, DiagnosticOddsRatio, FMeasure, FowlkesMallows, GMean, Informedness, Jaccard,
+    Lift, Markedness, Mcc, PrevalenceThreshold,
+};
+use crate::cost::{CostSavings, ExpectedCost};
+use crate::metric::Metric;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier for each catalog metric.
+///
+/// Serialized into experiment output; the variant order defines the catalog
+/// presentation order (basic rates, composites, chance-corrected, cost
+/// models).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[allow(missing_docs)] // Variant meanings are documented by the metric types.
+pub enum MetricId {
+    Precision,
+    Recall,
+    Specificity,
+    Npv,
+    Accuracy,
+    Fallout,
+    MissRate,
+    Fdr,
+    ForRate,
+    F1,
+    F2,
+    FHalf,
+    FBetaOther,
+    GMean,
+    BalancedAccuracy,
+    Jaccard,
+    FowlkesMallows,
+    Informedness,
+    Markedness,
+    Mcc,
+    Kappa,
+    Dor,
+    Lift,
+    PrevalenceThreshold,
+    CostBalanced,
+    CostFnHeavy,
+    CostFpHeavy,
+    CostSavings,
+}
+
+impl MetricId {
+    /// Every identifier instantiable by [`standard_catalog`], in catalog
+    /// order.
+    pub fn all() -> &'static [MetricId] {
+        &[
+            MetricId::Precision,
+            MetricId::Recall,
+            MetricId::Specificity,
+            MetricId::Npv,
+            MetricId::Accuracy,
+            MetricId::Fallout,
+            MetricId::MissRate,
+            MetricId::Fdr,
+            MetricId::ForRate,
+            MetricId::F1,
+            MetricId::F2,
+            MetricId::FHalf,
+            MetricId::GMean,
+            MetricId::BalancedAccuracy,
+            MetricId::Jaccard,
+            MetricId::FowlkesMallows,
+            MetricId::Informedness,
+            MetricId::Markedness,
+            MetricId::Mcc,
+            MetricId::Kappa,
+            MetricId::Dor,
+            MetricId::Lift,
+            MetricId::PrevalenceThreshold,
+            MetricId::CostBalanced,
+            MetricId::CostFnHeavy,
+            MetricId::CostFpHeavy,
+            MetricId::CostSavings,
+        ]
+    }
+
+    /// Instantiates the metric for this identifier.
+    ///
+    /// Returns `None` only for [`MetricId::FBetaOther`], which stands for
+    /// user-constructed `FMeasure` instances with non-standard β and has no
+    /// canonical parameterization.
+    pub fn instantiate(self) -> Option<Box<dyn Metric>> {
+        Some(match self {
+            MetricId::Precision => Box::new(Precision),
+            MetricId::Recall => Box::new(Recall),
+            MetricId::Specificity => Box::new(Specificity),
+            MetricId::Npv => Box::new(Npv),
+            MetricId::Accuracy => Box::new(Accuracy),
+            MetricId::Fallout => Box::new(Fallout),
+            MetricId::MissRate => Box::new(MissRate),
+            MetricId::Fdr => Box::new(FalseDiscoveryRate),
+            MetricId::ForRate => Box::new(FalseOmissionRate),
+            MetricId::F1 => Box::new(FMeasure::f1()),
+            MetricId::F2 => Box::new(FMeasure::f2()),
+            MetricId::FHalf => Box::new(FMeasure::f_half()),
+            MetricId::FBetaOther => return None,
+            MetricId::GMean => Box::new(GMean),
+            MetricId::BalancedAccuracy => Box::new(BalancedAccuracy),
+            MetricId::Jaccard => Box::new(Jaccard),
+            MetricId::FowlkesMallows => Box::new(FowlkesMallows),
+            MetricId::Informedness => Box::new(Informedness),
+            MetricId::Markedness => Box::new(Markedness),
+            MetricId::Mcc => Box::new(Mcc),
+            MetricId::Kappa => Box::new(CohenKappa),
+            MetricId::Dor => Box::new(DiagnosticOddsRatio),
+            MetricId::Lift => Box::new(Lift),
+            MetricId::PrevalenceThreshold => Box::new(PrevalenceThreshold),
+            MetricId::CostBalanced => Box::new(ExpectedCost::balanced()),
+            MetricId::CostFnHeavy => Box::new(ExpectedCost::fn_heavy()),
+            MetricId::CostFpHeavy => Box::new(ExpectedCost::fp_heavy()),
+            MetricId::CostSavings => Box::new(CostSavings::audit()),
+        })
+    }
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.instantiate() {
+            Some(m) => f.write_str(m.abbrev()),
+            None => f.write_str("Fb"),
+        }
+    }
+}
+
+/// The full gathered catalog: 27 metrics spanning basic rates, composites,
+/// chance-corrected measures and cost models.
+///
+/// ```
+/// use vdbench_metrics::standard_catalog;
+/// let catalog = standard_catalog();
+/// assert!(catalog.len() >= 25);
+/// ```
+pub fn standard_catalog() -> Vec<Box<dyn Metric>> {
+    MetricId::all()
+        .iter()
+        .filter_map(|id| id.instantiate())
+        .collect()
+}
+
+/// Looks a metric up in the standard catalog by its short label
+/// (case-insensitive), e.g. `"PPV"` or `"mcc"`.
+pub fn by_abbrev(abbrev: &str) -> Option<Box<dyn Metric>> {
+    standard_catalog()
+        .into_iter()
+        .find(|m| m.abbrev().eq_ignore_ascii_case(abbrev))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confusion::ConfusionMatrix;
+    use crate::metric::MetricExt;
+
+    #[test]
+    fn catalog_is_complete_and_unique() {
+        let catalog = standard_catalog();
+        assert_eq!(catalog.len(), MetricId::all().len());
+        let mut ids: Vec<MetricId> = catalog.iter().map(|m| m.id()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), catalog.len(), "duplicate metric ids in catalog");
+        let mut abbrevs: Vec<&str> = catalog.iter().map(|m| m.abbrev()).collect();
+        abbrevs.sort_unstable();
+        abbrevs.dedup();
+        assert_eq!(abbrevs.len(), catalog.len(), "duplicate abbreviations");
+    }
+
+    #[test]
+    fn instantiate_round_trips_ids() {
+        for &id in MetricId::all() {
+            let m = id.instantiate().expect("all() ids instantiate");
+            assert_eq!(m.id(), id, "{id:?} instantiated as {:?}", m.id());
+        }
+        assert!(MetricId::FBetaOther.instantiate().is_none());
+    }
+
+    #[test]
+    fn every_metric_defined_on_generic_matrix() {
+        let cm = ConfusionMatrix::new(40, 10, 20, 130);
+        for m in standard_catalog() {
+            let v = m
+                .compute(&cm)
+                .unwrap_or_else(|e| panic!("{} undefined on generic matrix: {e}", m.abbrev()));
+            assert!(v.is_finite(), "{} returned non-finite {v}", m.abbrev());
+            assert!(
+                m.properties().range.contains(v),
+                "{} out of declared range: {v}",
+                m.abbrev()
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_abbrev() {
+        assert_eq!(by_abbrev("PPV").unwrap().id(), MetricId::Precision);
+        assert_eq!(by_abbrev("mcc").unwrap().id(), MetricId::Mcc);
+        assert_eq!(by_abbrev("nec-fn").unwrap().id(), MetricId::CostFnHeavy);
+        assert!(by_abbrev("nope").is_none());
+    }
+
+    #[test]
+    fn display_uses_abbrev() {
+        assert_eq!(MetricId::Precision.to_string(), "PPV");
+        assert_eq!(MetricId::Informedness.to_string(), "INF");
+        assert_eq!(MetricId::FBetaOther.to_string(), "Fb");
+    }
+
+    #[test]
+    fn ok_path_never_returns_nan() {
+        // Metric contract: NaN must surface as Err, never Ok(NaN).
+        let tricky = [
+            ConfusionMatrix::new(0, 0, 5, 5),
+            ConfusionMatrix::new(5, 5, 0, 0),
+            ConfusionMatrix::new(0, 5, 0, 5),
+            ConfusionMatrix::new(5, 0, 5, 0),
+            ConfusionMatrix::new(0, 0, 0, 10),
+            ConfusionMatrix::new(10, 0, 0, 0),
+            ConfusionMatrix::empty(),
+        ];
+        for m in standard_catalog() {
+            for cm in &tricky {
+                if let Ok(v) = m.compute(cm) {
+                    assert!(!v.is_nan(), "{} returned Ok(NaN) on {cm}", m.abbrev());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_or_nan_is_total() {
+        for m in standard_catalog() {
+            let _ = m.compute_or_nan(&ConfusionMatrix::empty());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Chance-agreement-corrected metrics.
+//!
+//! Cohen's κ compares observed agreement between the tool and the ground
+//! truth against the agreement expected if the tool's report rate were
+//! independent of the truth. It complements the operating-point-based
+//! corrections (informedness, MCC) in the catalog.
+
+use crate::catalog::MetricId;
+use crate::confusion::ConfusionMatrix;
+use crate::metric::{require_nonempty, Metric, MetricError};
+use crate::properties::{MetricProperties, ValueRange};
+
+/// Cohen's kappa: `(p_o − p_e) / (1 − p_e)` where `p_o` is observed accuracy
+/// and `p_e` the accuracy expected by chance given the marginals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CohenKappa;
+
+impl CohenKappa {
+    /// Observed agreement `p_o` (plain accuracy).
+    pub fn observed_agreement(cm: &ConfusionMatrix) -> f64 {
+        (cm.tp + cm.tn) as f64 / cm.total() as f64
+    }
+
+    /// Expected agreement `p_e` under marginal independence.
+    pub fn expected_agreement(cm: &ConfusionMatrix) -> f64 {
+        let t = cm.total() as f64;
+        let yes = (cm.predicted_positive() as f64 / t) * (cm.actual_positive() as f64 / t);
+        let no = (cm.predicted_negative() as f64 / t) * (cm.actual_negative() as f64 / t);
+        yes + no
+    }
+}
+
+impl Metric for CohenKappa {
+    fn id(&self) -> MetricId {
+        MetricId::Kappa
+    }
+    fn name(&self) -> &'static str {
+        "Cohen's kappa"
+    }
+    fn abbrev(&self) -> &'static str {
+        "κ"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        let po = Self::observed_agreement(cm);
+        let pe = Self::expected_agreement(cm);
+        if (1.0 - pe).abs() < f64::EPSILON {
+            return Err(MetricError::Undefined {
+                reason: "expected agreement is 1 (degenerate marginals)",
+            });
+        }
+        Ok((po - pe) / (1.0 - pe))
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            range: ValueRange::SIGNED_UNIT,
+            simplicity: 2,
+            chance_corrected: true,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, _prevalence: f64, _report_rate: f64) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement() {
+        let cm = ConfusionMatrix::new(10, 0, 0, 90);
+        assert!((CohenKappa.compute(&cm).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_tool_scores_near_zero() {
+        let cm = ConfusionMatrix::from_rates(0.3, 0.3, 10_000, 90_000);
+        assert!(CohenKappa.compute(&cm).unwrap().abs() < 1e-6);
+    }
+
+    #[test]
+    fn known_value() {
+        // Classic 2x2 kappa example: po = 0.7, pe = 0.5 → κ = 0.4
+        let cm = ConfusionMatrix::new(35, 15, 15, 35);
+        let k = CohenKappa.compute(&cm).unwrap();
+        assert!((k - 0.4).abs() < 1e-12, "k={k}");
+    }
+
+    #[test]
+    fn degenerate_marginals_undefined() {
+        // Tool reports nothing on an all-clean workload: pe = 1.
+        let cm = ConfusionMatrix::new(0, 0, 0, 100);
+        assert!(CohenKappa.compute(&cm).is_err());
+        assert!(CohenKappa.compute(&ConfusionMatrix::empty()).is_err());
+    }
+
+    #[test]
+    fn agreement_helpers() {
+        let cm = ConfusionMatrix::new(35, 15, 15, 35);
+        assert!((CohenKappa::observed_agreement(&cm) - 0.7).abs() < 1e-12);
+        assert!((CohenKappa::expected_agreement(&cm) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_kappa_for_inverted_tool() {
+        let cm = ConfusionMatrix::new(5, 45, 45, 5);
+        assert!(CohenKappa.compute(&cm).unwrap() < 0.0);
+    }
+}

@@ -1,0 +1,736 @@
+//! Composite metrics combining several marginals.
+//!
+//! This family contains both the popular aggregates (F-measure) and the
+//! "alternative metrics that are seldom used in the benchmarking area" the
+//! paper ultimately recommends for several scenarios: informedness,
+//! markedness, Matthews correlation and friends.
+
+use crate::catalog::MetricId;
+use crate::confusion::ConfusionMatrix;
+use crate::metric::{require_nonempty, Metric, MetricError};
+use crate::properties::{MetricProperties, Monotonicity, ValueRange};
+
+/// F-measure: the weighted harmonic mean of precision and recall.
+///
+/// `F_β = (1 + β²) · P · R / (β² · P + R)`; β > 1 weights recall higher,
+/// β < 1 weights precision higher.
+///
+/// ```
+/// use vdbench_metrics::{ConfusionMatrix, Metric};
+/// use vdbench_metrics::composite::FMeasure;
+///
+/// let cm = ConfusionMatrix::new(80, 20, 20, 880);
+/// // P = R = 0.8, so every F_β equals 0.8.
+/// for f in [FMeasure::f1(), FMeasure::f2(), FMeasure::f_half()] {
+///     assert!((f.compute(&cm).unwrap() - 0.8).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FMeasure {
+    beta: f64,
+}
+
+impl FMeasure {
+    /// Creates an F-measure with the given β weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is not strictly positive and finite.
+    pub fn new(beta: f64) -> Self {
+        assert!(
+            beta.is_finite() && beta > 0.0,
+            "F-measure beta must be positive and finite"
+        );
+        FMeasure { beta }
+    }
+
+    /// The balanced F1 measure.
+    pub fn f1() -> Self {
+        FMeasure::new(1.0)
+    }
+
+    /// F2 — recall-weighted (β = 2).
+    pub fn f2() -> Self {
+        FMeasure::new(2.0)
+    }
+
+    /// F0.5 — precision-weighted (β = 0.5).
+    pub fn f_half() -> Self {
+        FMeasure::new(0.5)
+    }
+
+    /// The β weight.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl Metric for FMeasure {
+    fn id(&self) -> MetricId {
+        if self.beta == 1.0 {
+            MetricId::F1
+        } else if self.beta == 2.0 {
+            MetricId::F2
+        } else if self.beta == 0.5 {
+            MetricId::FHalf
+        } else {
+            MetricId::FBetaOther
+        }
+    }
+    fn name(&self) -> &'static str {
+        if self.beta == 1.0 {
+            "F-measure (balanced, F1)"
+        } else if self.beta > 1.0 {
+            "F-measure (recall-weighted)"
+        } else {
+            "F-measure (precision-weighted)"
+        }
+    }
+    fn abbrev(&self) -> &'static str {
+        if self.beta == 1.0 {
+            "F1"
+        } else if self.beta == 2.0 {
+            "F2"
+        } else if self.beta == 0.5 {
+            "F0.5"
+        } else {
+            "Fb"
+        }
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        if cm.actual_positive() == 0 {
+            return Err(MetricError::Undefined {
+                reason: "workload has no vulnerable units (TP + FN = 0)",
+            });
+        }
+        if cm.predicted_positive() == 0 {
+            return Err(MetricError::Undefined {
+                reason: "tool reported no units (TP + FP = 0)",
+            });
+        }
+        let b2 = self.beta * self.beta;
+        let tp = cm.tp as f64;
+        // Direct count form avoids the 0/0 when TP = 0 but FP, FN > 0.
+        let denom = (1.0 + b2) * tp + b2 * cm.fn_ as f64 + cm.fp as f64;
+        Ok((1.0 + b2) * tp / denom)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            simplicity: if self.beta == 1.0 { 4 } else { 3 },
+            needs_parameters: self.beta != 1.0,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, prevalence: f64, report_rate: f64) -> Option<f64> {
+        let b2 = self.beta * self.beta;
+        let denom = b2 * prevalence + report_rate;
+        if denom == 0.0 {
+            None
+        } else {
+            Some((1.0 + b2) * prevalence * report_rate / denom)
+        }
+    }
+}
+
+/// Geometric mean of recall and specificity: `sqrt(TPR · TNR)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GMean;
+
+impl Metric for GMean {
+    fn id(&self) -> MetricId {
+        MetricId::GMean
+    }
+    fn name(&self) -> &'static str {
+        "Geometric mean of recall and specificity"
+    }
+    fn abbrev(&self) -> &'static str {
+        "G-mean"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        let tpr = cm.tpr();
+        let tnr = cm.tnr();
+        if tpr.is_nan() || tnr.is_nan() {
+            return Err(MetricError::Undefined {
+                reason: "workload lacks a class (needs both vulnerable and clean units)",
+            });
+        }
+        Ok((tpr * tnr).sqrt())
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            simplicity: 3,
+            prevalence_invariant: true,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, _prevalence: f64, report_rate: f64) -> Option<f64> {
+        Some((report_rate * (1.0 - report_rate)).sqrt())
+    }
+}
+
+/// Balanced accuracy: `(TPR + TNR) / 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BalancedAccuracy;
+
+impl Metric for BalancedAccuracy {
+    fn id(&self) -> MetricId {
+        MetricId::BalancedAccuracy
+    }
+    fn name(&self) -> &'static str {
+        "Balanced accuracy"
+    }
+    fn abbrev(&self) -> &'static str {
+        "BA"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        let tpr = cm.tpr();
+        let tnr = cm.tnr();
+        if tpr.is_nan() || tnr.is_nan() {
+            return Err(MetricError::Undefined {
+                reason: "workload lacks a class (needs both vulnerable and clean units)",
+            });
+        }
+        Ok((tpr + tnr) / 2.0)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            simplicity: 4,
+            prevalence_invariant: true,
+            chance_corrected: true,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, _prevalence: f64, _report_rate: f64) -> Option<f64> {
+        Some(0.5)
+    }
+}
+
+/// Jaccard index (critical success index): `TP / (TP + FP + FN)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Jaccard;
+
+impl Metric for Jaccard {
+    fn id(&self) -> MetricId {
+        MetricId::Jaccard
+    }
+    fn name(&self) -> &'static str {
+        "Jaccard index (critical success index)"
+    }
+    fn abbrev(&self) -> &'static str {
+        "CSI"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        let denom = (cm.tp + cm.fp + cm.fn_) as f64;
+        if denom == 0.0 {
+            return Err(MetricError::Undefined {
+                reason: "no vulnerable units and no reports (TP + FP + FN = 0)",
+            });
+        }
+        Ok(cm.tp as f64 / denom)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            simplicity: 3,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, prevalence: f64, report_rate: f64) -> Option<f64> {
+        let denom = prevalence + report_rate - prevalence * report_rate;
+        if denom == 0.0 {
+            None
+        } else {
+            Some(prevalence * report_rate / denom)
+        }
+    }
+}
+
+/// Fowlkes–Mallows index: `sqrt(PPV · TPR)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FowlkesMallows;
+
+impl Metric for FowlkesMallows {
+    fn id(&self) -> MetricId {
+        MetricId::FowlkesMallows
+    }
+    fn name(&self) -> &'static str {
+        "Fowlkes–Mallows index"
+    }
+    fn abbrev(&self) -> &'static str {
+        "FM"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        let ppv = cm.ppv();
+        let tpr = cm.tpr();
+        if ppv.is_nan() || tpr.is_nan() {
+            return Err(MetricError::Undefined {
+                reason: "needs at least one report and one vulnerable unit",
+            });
+        }
+        Ok((ppv * tpr).sqrt())
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            simplicity: 2,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, prevalence: f64, report_rate: f64) -> Option<f64> {
+        Some((prevalence * report_rate).sqrt())
+    }
+}
+
+/// Informedness (Youden's J): `TPR + TNR − 1`.
+///
+/// One of the paper's headline "seldom used" alternatives: it is
+/// chance-corrected (random tools score 0) and prevalence-invariant, making
+/// it suited to cross-workload tool comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Informedness;
+
+impl Metric for Informedness {
+    fn id(&self) -> MetricId {
+        MetricId::Informedness
+    }
+    fn name(&self) -> &'static str {
+        "Informedness (Youden's J)"
+    }
+    fn abbrev(&self) -> &'static str {
+        "INF"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        let tpr = cm.tpr();
+        let tnr = cm.tnr();
+        if tpr.is_nan() || tnr.is_nan() {
+            return Err(MetricError::Undefined {
+                reason: "workload lacks a class (needs both vulnerable and clean units)",
+            });
+        }
+        Ok(tpr + tnr - 1.0)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            range: ValueRange::SIGNED_UNIT,
+            simplicity: 3,
+            prevalence_invariant: true,
+            chance_corrected: true,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, _prevalence: f64, _report_rate: f64) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// Markedness: `PPV + NPV − 1` — the predictive-value dual of
+/// informedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Markedness;
+
+impl Metric for Markedness {
+    fn id(&self) -> MetricId {
+        MetricId::Markedness
+    }
+    fn name(&self) -> &'static str {
+        "Markedness"
+    }
+    fn abbrev(&self) -> &'static str {
+        "MRK"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        let ppv = cm.ppv();
+        let npv = cm.npv();
+        if ppv.is_nan() || npv.is_nan() {
+            return Err(MetricError::Undefined {
+                reason: "needs both a reported and an unreported unit",
+            });
+        }
+        Ok(ppv + npv - 1.0)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            range: ValueRange::SIGNED_UNIT,
+            simplicity: 2,
+            chance_corrected: true,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, _prevalence: f64, _report_rate: f64) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// Matthews correlation coefficient — the geometric mean of informedness
+/// and markedness; a full-matrix correlation that is zero for any random
+/// tool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Mcc;
+
+impl Metric for Mcc {
+    fn id(&self) -> MetricId {
+        MetricId::Mcc
+    }
+    fn name(&self) -> &'static str {
+        "Matthews correlation coefficient"
+    }
+    fn abbrev(&self) -> &'static str {
+        "MCC"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        let tp = cm.tp as f64;
+        let fp = cm.fp as f64;
+        let fn_ = cm.fn_ as f64;
+        let tn = cm.tn as f64;
+        let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        if denom == 0.0 {
+            return Err(MetricError::Undefined {
+                reason: "a confusion-matrix marginal is zero",
+            });
+        }
+        Ok((tp * tn - fp * fn_) / denom)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            range: ValueRange::SIGNED_UNIT,
+            simplicity: 2,
+            chance_corrected: true,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, _prevalence: f64, _report_rate: f64) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// Diagnostic odds ratio: `(TP · TN) / (FP · FN)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiagnosticOddsRatio;
+
+impl Metric for DiagnosticOddsRatio {
+    fn id(&self) -> MetricId {
+        MetricId::Dor
+    }
+    fn name(&self) -> &'static str {
+        "Diagnostic odds ratio"
+    }
+    fn abbrev(&self) -> &'static str {
+        "DOR"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        let denom = (cm.fp * cm.fn_) as f64;
+        if denom == 0.0 {
+            return Err(MetricError::Undefined {
+                reason: "no errors of one type (FP · FN = 0) makes the odds ratio infinite",
+            });
+        }
+        Ok((cm.tp * cm.tn) as f64 / denom)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            range: ValueRange::NON_NEGATIVE,
+            simplicity: 2,
+            prevalence_invariant: true,
+            chance_corrected: true,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, _prevalence: f64, _report_rate: f64) -> Option<f64> {
+        Some(1.0)
+    }
+}
+
+/// Lift: `PPV / prevalence` — how much better than blind sampling the
+/// tool's reports are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Lift;
+
+impl Metric for Lift {
+    fn id(&self) -> MetricId {
+        MetricId::Lift
+    }
+    fn name(&self) -> &'static str {
+        "Lift over random triage"
+    }
+    fn abbrev(&self) -> &'static str {
+        "LIFT"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        let ppv = cm.ppv();
+        let prev = cm.prevalence();
+        if ppv.is_nan() {
+            return Err(MetricError::Undefined {
+                reason: "tool reported no units (TP + FP = 0)",
+            });
+        }
+        if prev == 0.0 {
+            return Err(MetricError::Undefined {
+                reason: "workload has no vulnerable units",
+            });
+        }
+        Ok(ppv / prev)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            range: ValueRange::NON_NEGATIVE,
+            simplicity: 3,
+            chance_corrected: true,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, _prevalence: f64, _report_rate: f64) -> Option<f64> {
+        Some(1.0)
+    }
+}
+
+/// Prevalence threshold: `sqrt(FPR) / (sqrt(TPR) + sqrt(FPR))` — the
+/// prevalence below which positive reports are more likely false than true.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrevalenceThreshold;
+
+impl Metric for PrevalenceThreshold {
+    fn id(&self) -> MetricId {
+        MetricId::PrevalenceThreshold
+    }
+    fn name(&self) -> &'static str {
+        "Prevalence threshold"
+    }
+    fn abbrev(&self) -> &'static str {
+        "PT"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        let tpr = cm.tpr();
+        let fpr = cm.fpr();
+        if tpr.is_nan() || fpr.is_nan() {
+            return Err(MetricError::Undefined {
+                reason: "workload lacks a class (needs both vulnerable and clean units)",
+            });
+        }
+        let denom = tpr.sqrt() + fpr.sqrt();
+        if denom == 0.0 {
+            return Err(MetricError::Undefined {
+                reason: "tool reports nothing (TPR = FPR = 0)",
+            });
+        }
+        Ok(fpr.sqrt() / denom)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            simplicity: 1,
+            prevalence_invariant: true,
+            monotone_tpr: Monotonicity::Decreasing,
+            monotone_fpr: Monotonicity::Increasing,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn higher_is_better(&self) -> bool {
+        false
+    }
+    fn chance_level(&self, _prevalence: f64, _report_rate: f64) -> Option<f64> {
+        Some(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm() -> ConfusionMatrix {
+        ConfusionMatrix::new(40, 10, 20, 130)
+    }
+
+    #[test]
+    fn f1_matches_harmonic_mean() {
+        let cm = cm();
+        let p = 0.8;
+        let r = 40.0 / 60.0;
+        let expect = 2.0 * p * r / (p + r);
+        assert!((FMeasure::f1().compute(&cm).unwrap() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f2_weights_recall() {
+        // High precision, low recall: F2 should be below F0.5.
+        let cm = ConfusionMatrix::new(10, 0, 40, 50);
+        let f2 = FMeasure::f2().compute(&cm).unwrap();
+        let f_half = FMeasure::f_half().compute(&cm).unwrap();
+        assert!(f2 < f_half);
+        // Low precision, high recall: the opposite.
+        let cm = ConfusionMatrix::new(50, 40, 0, 10);
+        let f2 = FMeasure::f2().compute(&cm).unwrap();
+        let f_half = FMeasure::f_half().compute(&cm).unwrap();
+        assert!(f2 > f_half);
+    }
+
+    #[test]
+    fn f_measure_zero_tp_is_zero_not_undefined() {
+        // Tool reported something, workload has positives, but all reports
+        // were wrong: F should be 0, not an error.
+        let cm = ConfusionMatrix::new(0, 5, 5, 90);
+        assert_eq!(FMeasure::f1().compute(&cm).unwrap(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be positive")]
+    fn f_measure_rejects_bad_beta() {
+        let _ = FMeasure::new(0.0);
+    }
+
+    #[test]
+    fn informedness_and_markedness() {
+        let cm = cm();
+        let inf = Informedness.compute(&cm).unwrap();
+        let expect = 40.0 / 60.0 + 130.0 / 140.0 - 1.0;
+        assert!((inf - expect).abs() < 1e-12);
+        let mrk = Markedness.compute(&cm).unwrap();
+        let expect = 0.8 + 130.0 / 150.0 - 1.0;
+        assert!((mrk - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcc_is_geometric_mean_of_inf_and_mrk() {
+        let cm = cm();
+        let mcc = Mcc.compute(&cm).unwrap();
+        let inf = Informedness.compute(&cm).unwrap();
+        let mrk = Markedness.compute(&cm).unwrap();
+        assert!((mcc - (inf * mrk).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chance_corrected_metrics_score_zero_for_random_tools() {
+        // A perfectly random tool: TPR == FPR == 0.3 at any prevalence.
+        let cm = ConfusionMatrix::from_rates(0.3, 0.3, 1000, 9000);
+        assert!(Informedness.compute(&cm).unwrap().abs() < 1e-9);
+        assert!(Mcc.compute(&cm).unwrap().abs() < 1e-9);
+        assert!(Markedness.compute(&cm).unwrap().abs() < 1e-9);
+        assert!((DiagnosticOddsRatio.compute(&cm).unwrap() - 1.0).abs() < 1e-9);
+        assert!((Lift.compute(&cm).unwrap() - 1.0).abs() < 1e-9);
+        // ...while accuracy still looks flattering.
+        let acc = crate::basic::Accuracy.compute(&cm).unwrap();
+        assert!(acc > 0.6);
+    }
+
+    #[test]
+    fn perfect_tool_extremes() {
+        let perfect = ConfusionMatrix::new(100, 0, 0, 900);
+        assert_eq!(Informedness.compute(&perfect).unwrap(), 1.0);
+        assert_eq!(Mcc.compute(&perfect).unwrap(), 1.0);
+        assert_eq!(GMean.compute(&perfect).unwrap(), 1.0);
+        assert_eq!(BalancedAccuracy.compute(&perfect).unwrap(), 1.0);
+        assert_eq!(Jaccard.compute(&perfect).unwrap(), 1.0);
+        assert_eq!(FowlkesMallows.compute(&perfect).unwrap(), 1.0);
+        assert_eq!(PrevalenceThreshold.compute(&perfect).unwrap(), 0.0);
+        // Inverted tool.
+        let inverted = ConfusionMatrix::new(0, 900, 100, 0);
+        assert_eq!(Informedness.compute(&inverted).unwrap(), -1.0);
+        assert_eq!(Mcc.compute(&inverted).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn dor_undefined_without_errors() {
+        let perfect = ConfusionMatrix::new(10, 0, 0, 90);
+        assert!(DiagnosticOddsRatio.compute(&perfect).is_err());
+        let cm = ConfusionMatrix::new(8, 2, 2, 88);
+        let dor = DiagnosticOddsRatio.compute(&cm).unwrap();
+        assert!((dor - (8.0 * 88.0) / (2.0 * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lift_interpretation() {
+        // PPV 0.8 on a 10% prevalent workload: reports are 8x denser in
+        // vulnerabilities than the workload.
+        let cm = ConfusionMatrix::new(80, 20, 20, 880);
+        let lift = Lift.compute(&cm).unwrap();
+        assert!((lift - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prevalence_threshold_matches_formula() {
+        let cm = ConfusionMatrix::from_rates(0.9, 0.1, 100, 900);
+        let pt = PrevalenceThreshold.compute(&cm).unwrap();
+        let expect = 0.1f64.sqrt() / (0.9f64.sqrt() + 0.1f64.sqrt());
+        assert!((pt - expect).abs() < 1e-9);
+        assert!(!PrevalenceThreshold.higher_is_better());
+    }
+
+    #[test]
+    fn undefined_on_single_class_workloads() {
+        let only_pos = ConfusionMatrix::new(5, 0, 5, 0);
+        let only_neg = ConfusionMatrix::new(0, 5, 0, 5);
+        for m in [
+            Box::new(GMean) as Box<dyn Metric>,
+            Box::new(BalancedAccuracy),
+            Box::new(Informedness),
+            Box::new(PrevalenceThreshold),
+        ] {
+            assert!(m.compute(&only_pos).is_err(), "{}", m.abbrev());
+            assert!(m.compute(&only_neg).is_err(), "{}", m.abbrev());
+        }
+    }
+
+    #[test]
+    fn ranges_hold() {
+        let matrices = [
+            ConfusionMatrix::new(1, 1, 1, 1),
+            ConfusionMatrix::new(3, 7, 2, 88),
+            ConfusionMatrix::new(50, 1, 1, 50),
+        ];
+        let metrics: Vec<Box<dyn Metric>> = vec![
+            Box::new(FMeasure::f1()),
+            Box::new(GMean),
+            Box::new(BalancedAccuracy),
+            Box::new(Jaccard),
+            Box::new(FowlkesMallows),
+            Box::new(Informedness),
+            Box::new(Markedness),
+            Box::new(Mcc),
+            Box::new(DiagnosticOddsRatio),
+            Box::new(Lift),
+            Box::new(PrevalenceThreshold),
+        ];
+        for m in &metrics {
+            for cm in &matrices {
+                if let Ok(v) = m.compute(cm) {
+                    assert!(
+                        m.properties().range.contains(v),
+                        "{} out of range on {cm}: {v}",
+                        m.abbrev()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chance_levels_consistent_with_simulated_random_tool() {
+        let pi = 0.2;
+        let r = 0.4;
+        let cm = ConfusionMatrix::from_rates(r, r, 20_000, 80_000);
+        let checks: Vec<(Box<dyn Metric>, f64)> = vec![
+            (Box::new(FMeasure::f1()), FMeasure::f1().chance_level(pi, r).unwrap()),
+            (Box::new(GMean), GMean.chance_level(pi, r).unwrap()),
+            (Box::new(Jaccard), Jaccard.chance_level(pi, r).unwrap()),
+            (
+                Box::new(FowlkesMallows),
+                FowlkesMallows.chance_level(pi, r).unwrap(),
+            ),
+        ];
+        for (m, expected) in checks {
+            let actual = m.compute(&cm).unwrap();
+            assert!(
+                (actual - expected).abs() < 0.01,
+                "{}: simulated {actual} vs closed form {expected}",
+                m.abbrev()
+            );
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! The binary confusion matrix.
+//!
+//! Vulnerability detection over a workload of code units with known ground
+//! truth reduces every tool run to four counts: true positives (reported and
+//! vulnerable), false positives (reported but not vulnerable), false
+//! negatives (missed vulnerabilities) and true negatives. All metrics in the
+//! catalog are functions of this table.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// A 2×2 contingency table of detection outcomes.
+///
+/// ```
+/// use vdbench_metrics::ConfusionMatrix;
+///
+/// let cm = ConfusionMatrix::new(80, 20, 10, 890);
+/// assert_eq!(cm.total(), 1000);
+/// assert!((cm.prevalence() - 0.09).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Vulnerable units correctly reported.
+    pub tp: u64,
+    /// Clean units incorrectly reported.
+    pub fp: u64,
+    /// Vulnerable units missed.
+    pub fn_: u64,
+    /// Clean units correctly passed.
+    pub tn: u64,
+}
+
+impl ConfusionMatrix {
+    /// Creates a matrix from raw counts in `(tp, fp, fn, tn)` order.
+    pub fn new(tp: u64, fp: u64, fn_: u64, tn: u64) -> Self {
+        ConfusionMatrix { tp, fp, fn_, tn }
+    }
+
+    /// The empty matrix (all counts zero).
+    pub fn empty() -> Self {
+        ConfusionMatrix::default()
+    }
+
+    /// Accumulates one labelled outcome.
+    ///
+    /// `reported` is the tool's verdict, `vulnerable` the ground truth.
+    pub fn record(&mut self, reported: bool, vulnerable: bool) {
+        match (reported, vulnerable) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Builds a matrix from paired (reported, vulnerable) outcomes.
+    pub fn from_outcomes<I>(outcomes: I) -> Self
+    where
+        I: IntoIterator<Item = (bool, bool)>,
+    {
+        let mut cm = ConfusionMatrix::empty();
+        for (reported, vulnerable) in outcomes {
+            cm.record(reported, vulnerable);
+        }
+        cm
+    }
+
+    /// Total number of units.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Actually vulnerable units (`TP + FN`).
+    pub fn actual_positive(&self) -> u64 {
+        self.tp + self.fn_
+    }
+
+    /// Actually clean units (`FP + TN`).
+    pub fn actual_negative(&self) -> u64 {
+        self.fp + self.tn
+    }
+
+    /// Units the tool reported (`TP + FP`).
+    pub fn predicted_positive(&self) -> u64 {
+        self.tp + self.fp
+    }
+
+    /// Units the tool passed (`FN + TN`).
+    pub fn predicted_negative(&self) -> u64 {
+        self.fn_ + self.tn
+    }
+
+    /// Fraction of vulnerable units in the workload (`P / (P + N)`);
+    /// `NaN` when empty.
+    pub fn prevalence(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            f64::NAN
+        } else {
+            self.actual_positive() as f64 / total as f64
+        }
+    }
+
+    /// True-positive rate (recall, sensitivity); `NaN` with no positives.
+    pub fn tpr(&self) -> f64 {
+        ratio(self.tp, self.actual_positive())
+    }
+
+    /// False-positive rate (fallout); `NaN` with no negatives.
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.actual_negative())
+    }
+
+    /// True-negative rate (specificity); `NaN` with no negatives.
+    pub fn tnr(&self) -> f64 {
+        ratio(self.tn, self.actual_negative())
+    }
+
+    /// False-negative rate (miss rate); `NaN` with no positives.
+    pub fn fnr(&self) -> f64 {
+        ratio(self.fn_, self.actual_positive())
+    }
+
+    /// Positive predictive value (precision); `NaN` with no predictions.
+    pub fn ppv(&self) -> f64 {
+        ratio(self.tp, self.predicted_positive())
+    }
+
+    /// Negative predictive value; `NaN` with no negative predictions.
+    pub fn npv(&self) -> f64 {
+        ratio(self.tn, self.predicted_negative())
+    }
+
+    /// Synthesizes a matrix from an operating point and a workload shape.
+    ///
+    /// `positives` vulnerable and `negatives` clean units are split
+    /// according to `tpr`/`fpr` with round-to-nearest; the prevalence-sweep
+    /// analyses use this to hold tool behaviour fixed while the workload mix
+    /// varies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tpr` or `fpr` lies outside `[0, 1]`.
+    pub fn from_rates(tpr: f64, fpr: f64, positives: u64, negatives: u64) -> Self {
+        assert!((0.0..=1.0).contains(&tpr), "tpr must be in [0,1]");
+        assert!((0.0..=1.0).contains(&fpr), "fpr must be in [0,1]");
+        let tp = (tpr * positives as f64).round() as u64;
+        let fp = (fpr * negatives as f64).round() as u64;
+        ConfusionMatrix {
+            tp: tp.min(positives),
+            fp: fp.min(negatives),
+            fn_: positives - tp.min(positives),
+            tn: negatives - fp.min(negatives),
+        }
+    }
+
+    /// Exact fractional outcome proportions `(tp, fp, fn, tn)` — useful for
+    /// expressing metrics over expected (non-integral) outcome masses.
+    pub fn proportions(&self) -> [f64; 4] {
+        let t = self.total() as f64;
+        if t == 0.0 {
+            return [f64::NAN; 4];
+        }
+        [
+            self.tp as f64 / t,
+            self.fp as f64 / t,
+            self.fn_ as f64 / t,
+            self.tn as f64 / t,
+        ]
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        f64::NAN
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl Add for ConfusionMatrix {
+    type Output = ConfusionMatrix;
+
+    /// Pools two matrices (micro-averaging across workload partitions).
+    fn add(self, rhs: ConfusionMatrix) -> ConfusionMatrix {
+        ConfusionMatrix {
+            tp: self.tp + rhs.tp,
+            fp: self.fp + rhs.fp,
+            fn_: self.fn_ + rhs.fn_,
+            tn: self.tn + rhs.tn,
+        }
+    }
+}
+
+impl std::iter::Sum for ConfusionMatrix {
+    fn sum<I: Iterator<Item = ConfusionMatrix>>(iter: I) -> Self {
+        iter.fold(ConfusionMatrix::empty(), Add::add)
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TP={} FP={} FN={} TN={}",
+            self.tp, self.fp, self.fn_, self.tn
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_margins() {
+        let cm = ConfusionMatrix::new(5, 3, 2, 10);
+        assert_eq!(cm.total(), 20);
+        assert_eq!(cm.actual_positive(), 7);
+        assert_eq!(cm.actual_negative(), 13);
+        assert_eq!(cm.predicted_positive(), 8);
+        assert_eq!(cm.predicted_negative(), 12);
+    }
+
+    #[test]
+    fn rates() {
+        let cm = ConfusionMatrix::new(8, 2, 2, 8);
+        assert!((cm.tpr() - 0.8).abs() < 1e-12);
+        assert!((cm.fpr() - 0.2).abs() < 1e-12);
+        assert!((cm.tnr() - 0.8).abs() < 1e-12);
+        assert!((cm.fnr() - 0.2).abs() < 1e-12);
+        assert!((cm.ppv() - 0.8).abs() < 1e-12);
+        assert!((cm.npv() - 0.8).abs() < 1e-12);
+        assert!((cm.prevalence() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_rates_are_nan() {
+        let empty = ConfusionMatrix::empty();
+        assert!(empty.prevalence().is_nan());
+        assert!(empty.tpr().is_nan());
+        let no_pos = ConfusionMatrix::new(0, 3, 0, 7);
+        assert!(no_pos.tpr().is_nan());
+        assert!(no_pos.fnr().is_nan());
+        assert!(!no_pos.fpr().is_nan());
+        let no_pred = ConfusionMatrix::new(0, 0, 4, 6);
+        assert!(no_pred.ppv().is_nan());
+    }
+
+    #[test]
+    fn record_and_from_outcomes() {
+        let outcomes = [(true, true), (true, false), (false, true), (false, false)];
+        let cm = ConfusionMatrix::from_outcomes(outcomes);
+        assert_eq!(cm, ConfusionMatrix::new(1, 1, 1, 1));
+    }
+
+    #[test]
+    fn pooling() {
+        let a = ConfusionMatrix::new(1, 2, 3, 4);
+        let b = ConfusionMatrix::new(10, 20, 30, 40);
+        assert_eq!(a + b, ConfusionMatrix::new(11, 22, 33, 44));
+        let pooled: ConfusionMatrix = [a, b].into_iter().sum();
+        assert_eq!(pooled, ConfusionMatrix::new(11, 22, 33, 44));
+    }
+
+    #[test]
+    fn from_rates_round_trip() {
+        let cm = ConfusionMatrix::from_rates(0.8, 0.1, 100, 900);
+        assert_eq!(cm.tp, 80);
+        assert_eq!(cm.fn_, 20);
+        assert_eq!(cm.fp, 90);
+        assert_eq!(cm.tn, 810);
+        assert!((cm.tpr() - 0.8).abs() < 1e-12);
+        assert!((cm.fpr() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_rates_extremes() {
+        let cm = ConfusionMatrix::from_rates(1.0, 0.0, 10, 90);
+        assert_eq!(cm, ConfusionMatrix::new(10, 0, 0, 90));
+        let cm = ConfusionMatrix::from_rates(0.0, 1.0, 10, 90);
+        assert_eq!(cm, ConfusionMatrix::new(0, 90, 10, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "tpr must be in")]
+    fn from_rates_validates() {
+        let _ = ConfusionMatrix::from_rates(1.2, 0.0, 1, 1);
+    }
+
+    #[test]
+    fn proportions_sum_to_one() {
+        let cm = ConfusionMatrix::new(5, 3, 2, 10);
+        let p = cm.proportions();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(ConfusionMatrix::empty().proportions()[0].is_nan());
+    }
+
+    #[test]
+    fn display_format() {
+        let cm = ConfusionMatrix::new(1, 2, 3, 4);
+        assert_eq!(cm.to_string(), "TP=1 FP=2 FN=3 TN=4");
+    }
+}

@@ -1,0 +1,328 @@
+//! Cost-model metrics.
+//!
+//! Several use scenarios weight the two error types very differently: a
+//! missed vulnerability in a business-critical service costs orders of
+//! magnitude more than an analyst-hour wasted on a false alarm, while a
+//! CI gate that cries wolf gets disabled. Expected-cost metrics make that
+//! trade-off explicit — they are among the "seldom used" alternatives the
+//! paper finds necessary for such scenarios.
+
+use crate::catalog::MetricId;
+use crate::confusion::ConfusionMatrix;
+use crate::metric::{require_nonempty, Metric, MetricError};
+use crate::properties::{MetricProperties, Monotonicity, ValueRange};
+
+/// Normalized expected cost per unit:
+/// `(c_fp · FP + c_fn · FN) / (max(c_fp, c_fn) · total)`.
+///
+/// The normalization keeps the metric in `[0, 1]` so it can be compared and
+/// tabulated alongside rate metrics; lower is better.
+///
+/// ```
+/// use vdbench_metrics::{ConfusionMatrix, Metric};
+/// use vdbench_metrics::cost::ExpectedCost;
+///
+/// let cm = ConfusionMatrix::new(8, 4, 2, 86);
+/// let fn_heavy = ExpectedCost::fn_heavy();   // missing a vuln costs 10x
+/// let fp_heavy = ExpectedCost::fp_heavy();   // a false alarm costs 10x
+/// // The same matrix is judged very differently by the two cost models.
+/// assert!(fn_heavy.compute(&cm).unwrap() != fp_heavy.compute(&cm).unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpectedCost {
+    fp_cost: f64,
+    fn_cost: f64,
+}
+
+impl ExpectedCost {
+    /// Creates a cost metric with explicit per-error costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both costs are finite, non-negative and not both zero.
+    pub fn new(fp_cost: f64, fn_cost: f64) -> Self {
+        assert!(
+            fp_cost.is_finite() && fn_cost.is_finite() && fp_cost >= 0.0 && fn_cost >= 0.0,
+            "costs must be finite and non-negative"
+        );
+        assert!(
+            fp_cost > 0.0 || fn_cost > 0.0,
+            "at least one cost must be positive"
+        );
+        ExpectedCost { fp_cost, fn_cost }
+    }
+
+    /// Both error types cost the same (cost ratio 1:1); equals the plain
+    /// error rate `(FP + FN) / total`.
+    pub fn balanced() -> Self {
+        ExpectedCost::new(1.0, 1.0)
+    }
+
+    /// Missing a vulnerability costs 10× a false alarm — the
+    /// business-critical / deployment-gate cost model.
+    pub fn fn_heavy() -> Self {
+        ExpectedCost::new(1.0, 10.0)
+    }
+
+    /// A false alarm costs 10× a miss — the high-volume triage / CI-filter
+    /// cost model where analyst attention is the scarce resource.
+    pub fn fp_heavy() -> Self {
+        ExpectedCost::new(10.0, 1.0)
+    }
+
+    /// The false-positive unit cost.
+    pub fn fp_cost(&self) -> f64 {
+        self.fp_cost
+    }
+
+    /// The false-negative unit cost.
+    pub fn fn_cost(&self) -> f64 {
+        self.fn_cost
+    }
+
+    /// Raw (unnormalized) total cost on a matrix.
+    pub fn total_cost(&self, cm: &ConfusionMatrix) -> f64 {
+        self.fp_cost * cm.fp as f64 + self.fn_cost * cm.fn_ as f64
+    }
+}
+
+impl Metric for ExpectedCost {
+    fn id(&self) -> MetricId {
+        if self.fp_cost == self.fn_cost {
+            MetricId::CostBalanced
+        } else if self.fn_cost > self.fp_cost {
+            MetricId::CostFnHeavy
+        } else {
+            MetricId::CostFpHeavy
+        }
+    }
+    fn name(&self) -> &'static str {
+        if self.fp_cost == self.fn_cost {
+            "Normalized expected cost (balanced)"
+        } else if self.fn_cost > self.fp_cost {
+            "Normalized expected cost (miss-dominated)"
+        } else {
+            "Normalized expected cost (false-alarm-dominated)"
+        }
+    }
+    fn abbrev(&self) -> &'static str {
+        if self.fp_cost == self.fn_cost {
+            "NEC"
+        } else if self.fn_cost > self.fp_cost {
+            "NEC-fn"
+        } else {
+            "NEC-fp"
+        }
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        let scale = self.fp_cost.max(self.fn_cost) * cm.total() as f64;
+        Ok(self.total_cost(cm) / scale)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            range: ValueRange::UNIT,
+            simplicity: 3,
+            defined_everywhere: true,
+            needs_parameters: true,
+            monotone_tpr: Monotonicity::Decreasing,
+            monotone_fpr: Monotonicity::Increasing,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn higher_is_better(&self) -> bool {
+        false
+    }
+    fn chance_level(&self, prevalence: f64, report_rate: f64) -> Option<f64> {
+        let scale = self.fp_cost.max(self.fn_cost);
+        Some(
+            (self.fp_cost * (1.0 - prevalence) * report_rate
+                + self.fn_cost * prevalence * (1.0 - report_rate))
+                / scale,
+        )
+    }
+}
+
+/// Cost-weighted *savings* relative to doing nothing: how much of the
+/// do-nothing cost (every vulnerability missed) the tool eliminates, net of
+/// false-alarm cost. Positive means the tool pays for itself under the cost
+/// model; higher is better.
+///
+/// `savings = (c_fn · P − cost(tool)) / (c_fn · P)`
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostSavings {
+    inner: ExpectedCost,
+}
+
+impl CostSavings {
+    /// Creates a savings metric with explicit per-error costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fn_cost` is not strictly positive (the do-nothing
+    /// baseline would be free, making savings meaningless) or `fp_cost` is
+    /// negative/non-finite.
+    pub fn new(fp_cost: f64, fn_cost: f64) -> Self {
+        assert!(
+            fn_cost.is_finite() && fn_cost > 0.0,
+            "fn_cost must be positive for a meaningful do-nothing baseline"
+        );
+        CostSavings {
+            inner: ExpectedCost::new(fp_cost, fn_cost),
+        }
+    }
+
+    /// The default audit cost model (miss costs 10× a false alarm).
+    pub fn audit() -> Self {
+        CostSavings::new(1.0, 10.0)
+    }
+}
+
+impl Metric for CostSavings {
+    fn id(&self) -> MetricId {
+        MetricId::CostSavings
+    }
+    fn name(&self) -> &'static str {
+        "Cost savings vs. doing nothing"
+    }
+    fn abbrev(&self) -> &'static str {
+        "SAV"
+    }
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        require_nonempty(cm)?;
+        let baseline = self.inner.fn_cost() * cm.actual_positive() as f64;
+        if baseline == 0.0 {
+            return Err(MetricError::Undefined {
+                reason: "workload has no vulnerable units, so doing nothing is free",
+            });
+        }
+        Ok((baseline - self.inner.total_cost(cm)) / baseline)
+    }
+    fn properties(&self) -> MetricProperties {
+        MetricProperties {
+            // Unbounded below: enough false alarms make savings arbitrarily
+            // negative.
+            range: ValueRange {
+                min: f64::NEG_INFINITY,
+                max: 1.0,
+            },
+            simplicity: 3,
+            needs_parameters: true,
+            ..MetricProperties::unit_rate()
+        }
+    }
+    fn chance_level(&self, prevalence: f64, report_rate: f64) -> Option<f64> {
+        if prevalence == 0.0 {
+            return None;
+        }
+        let baseline = self.inner.fn_cost() * prevalence;
+        let cost = self.inner.fp_cost() * (1.0 - prevalence) * report_rate
+            + self.inner.fn_cost() * prevalence * (1.0 - report_rate);
+        Some((baseline - cost) / baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_cost_is_error_rate() {
+        let cm = ConfusionMatrix::new(8, 4, 2, 86);
+        let nec = ExpectedCost::balanced().compute(&cm).unwrap();
+        assert!((nec - 6.0 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_tool_costs_nothing() {
+        let cm = ConfusionMatrix::new(10, 0, 0, 90);
+        for c in [
+            ExpectedCost::balanced(),
+            ExpectedCost::fn_heavy(),
+            ExpectedCost::fp_heavy(),
+        ] {
+            assert_eq!(c.compute(&cm).unwrap(), 0.0);
+        }
+        let sav = CostSavings::audit().compute(&cm).unwrap();
+        assert_eq!(sav, 1.0);
+    }
+
+    #[test]
+    fn cost_models_diverge_on_asymmetric_tools() {
+        // Recall-oriented tool: few misses, many false alarms.
+        let chatty = ConfusionMatrix::new(10, 30, 0, 60);
+        // Precision-oriented tool: no false alarms, several misses.
+        let quiet = ConfusionMatrix::new(5, 0, 5, 90);
+        let fn_heavy = ExpectedCost::fn_heavy();
+        let fp_heavy = ExpectedCost::fp_heavy();
+        // Under miss-dominated costs the chatty tool wins (lower cost).
+        assert!(fn_heavy.compute(&chatty).unwrap() < fn_heavy.compute(&quiet).unwrap());
+        // Under alarm-dominated costs the quiet tool wins.
+        assert!(fp_heavy.compute(&quiet).unwrap() < fp_heavy.compute(&chatty).unwrap());
+    }
+
+    #[test]
+    fn normalization_keeps_unit_range() {
+        let worst_fn = ConfusionMatrix::new(0, 0, 100, 0);
+        assert_eq!(ExpectedCost::fn_heavy().compute(&worst_fn).unwrap(), 1.0);
+        let worst_fp = ConfusionMatrix::new(0, 100, 0, 0);
+        assert_eq!(ExpectedCost::fp_heavy().compute(&worst_fp).unwrap(), 1.0);
+        // Cross terms stay below 1.
+        assert!(ExpectedCost::fn_heavy().compute(&worst_fp).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn ids_reflect_cost_shape() {
+        assert_eq!(ExpectedCost::balanced().id(), MetricId::CostBalanced);
+        assert_eq!(ExpectedCost::fn_heavy().id(), MetricId::CostFnHeavy);
+        assert_eq!(ExpectedCost::fp_heavy().id(), MetricId::CostFpHeavy);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cost")]
+    fn zero_costs_rejected() {
+        let _ = ExpectedCost::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn savings_negative_for_noisy_tool_under_fp_costs() {
+        // 2 vulnerabilities, both found, but 50 false alarms at fp_cost 1,
+        // fn_cost 1: baseline = 2, cost = 50 → savings = -24.
+        let cm = ConfusionMatrix::new(2, 50, 0, 48);
+        let sav = CostSavings::new(1.0, 1.0).compute(&cm).unwrap();
+        assert!((sav - (2.0 - 50.0) / 2.0).abs() < 1e-12);
+        assert!(sav < 0.0);
+    }
+
+    #[test]
+    fn savings_undefined_without_positives() {
+        let cm = ConfusionMatrix::new(0, 5, 0, 95);
+        assert!(CostSavings::audit().compute(&cm).is_err());
+    }
+
+    #[test]
+    fn chance_levels_match_simulation() {
+        let pi = 0.1;
+        let r = 0.25;
+        let cm = ConfusionMatrix::from_rates(r, r, 10_000, 90_000);
+        for c in [
+            ExpectedCost::balanced(),
+            ExpectedCost::fn_heavy(),
+            ExpectedCost::fp_heavy(),
+        ] {
+            let expected = c.chance_level(pi, r).unwrap();
+            let actual = c.compute(&cm).unwrap();
+            assert!(
+                (actual - expected).abs() < 1e-6,
+                "{}: {actual} vs {expected}",
+                c.abbrev()
+            );
+        }
+    }
+
+    #[test]
+    fn direction() {
+        assert!(!ExpectedCost::balanced().higher_is_better());
+        assert!(CostSavings::audit().higher_is_better());
+    }
+}

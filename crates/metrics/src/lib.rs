@@ -1,0 +1,48 @@
+//! Confusion-matrix metrics for vulnerability detection benchmarking.
+//!
+//! This crate implements **stage 1** of Antunes & Vieira (DSN 2015): a large
+//! catalog of candidate metrics for benchmarking vulnerability detection
+//! tools, each with the analytical metadata ("characteristics of a good
+//! metric") the paper uses to reason about adequacy.
+//!
+//! * [`confusion::ConfusionMatrix`] — the TP/FP/FN/TN contingency table every
+//!   metric is computed from;
+//! * [`metric::Metric`] — the object-safe trait all metrics implement;
+//! * [`basic`], [`composite`], [`chance`], [`cost`] — the metric families;
+//! * [`catalog`] — the standard catalog with lookup by [`catalog::MetricId`];
+//! * [`roc`] — operating points (TPR/FPR) and conversions used by the
+//!   prevalence-sweep analyses.
+//!
+//! # Example
+//!
+//! ```
+//! use vdbench_metrics::confusion::ConfusionMatrix;
+//! use vdbench_metrics::metric::Metric;
+//! use vdbench_metrics::basic::{Precision, Recall};
+//! use vdbench_metrics::composite::FMeasure;
+//!
+//! let cm = ConfusionMatrix::new(80, 20, 10, 890);
+//! assert!((Precision.compute(&cm).unwrap() - 0.8).abs() < 1e-12);
+//! assert!((Recall.compute(&cm).unwrap() - 80.0 / 90.0).abs() < 1e-12);
+//! let f1 = FMeasure::f1().compute(&cm).unwrap();
+//! assert!(f1 > 0.8 && f1 < 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod basic;
+pub mod catalog;
+pub mod chance;
+pub mod composite;
+pub mod confusion;
+pub mod cost;
+pub mod metric;
+pub mod properties;
+pub mod roc;
+
+pub use catalog::{standard_catalog, MetricId};
+pub use confusion::ConfusionMatrix;
+pub use metric::{Metric, MetricError};
+pub use properties::MetricProperties;
+pub use roc::OperatingPoint;

@@ -1,0 +1,170 @@
+//! The [`Metric`] trait and its error type.
+
+use crate::catalog::MetricId;
+use crate::confusion::ConfusionMatrix;
+use crate::properties::MetricProperties;
+use std::fmt;
+
+/// Why a metric could not be computed on a given confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricError {
+    /// The metric's denominator vanishes on this matrix (e.g. precision
+    /// when the tool reports nothing).
+    Undefined {
+        /// Which marginal was empty.
+        reason: &'static str,
+    },
+    /// The matrix contains no observations at all.
+    EmptyMatrix,
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::Undefined { reason } => {
+                write!(f, "metric undefined on this matrix: {reason}")
+            }
+            MetricError::EmptyMatrix => write!(f, "confusion matrix is empty"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+/// A benchmarking metric computed from a binary confusion matrix.
+///
+/// The trait is object-safe so the catalog can be handled as
+/// `Vec<Box<dyn Metric>>`. Implementations are stateless value types (or
+/// small parameterized structs like `FMeasure`); the analytical metadata the
+/// selection study consumes lives in [`MetricProperties`].
+///
+/// # Example
+///
+/// ```
+/// use vdbench_metrics::{ConfusionMatrix, Metric};
+/// use vdbench_metrics::basic::Recall;
+///
+/// let cm = ConfusionMatrix::new(9, 5, 1, 85);
+/// let r = Recall.compute(&cm)?;
+/// assert!((r - 0.9).abs() < 1e-12);
+/// # Ok::<(), vdbench_metrics::MetricError>(())
+/// ```
+pub trait Metric: fmt::Debug + Send + Sync {
+    /// Stable identifier used in catalogs, tables and serialized reports.
+    fn id(&self) -> MetricId;
+
+    /// Full human-readable name ("Positive predictive value (precision)").
+    fn name(&self) -> &'static str;
+
+    /// Short label for table columns ("PPV").
+    fn abbrev(&self) -> &'static str;
+
+    /// Computes the metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError`] when the metric is undefined on `cm` (empty
+    /// matrix or vanishing denominator). Implementations must never return
+    /// `NaN` through the `Ok` path.
+    fn compute(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError>;
+
+    /// Analytical metadata used by the metric-selection study.
+    fn properties(&self) -> MetricProperties;
+
+    /// Whether larger values indicate a better tool. Cost-style metrics
+    /// return `false`.
+    fn higher_is_better(&self) -> bool {
+        true
+    }
+
+    /// Expected value for a *random* tool that reports each unit
+    /// independently with probability `report_rate`, on a workload with the
+    /// given `prevalence` — the reference point for chance correction.
+    ///
+    /// Returns `None` when no closed form exists or the value is undefined
+    /// for those parameters.
+    fn chance_level(&self, prevalence: f64, report_rate: f64) -> Option<f64>;
+}
+
+/// Extension helpers available on every metric.
+pub trait MetricExt: Metric {
+    /// Computes the metric, mapping undefined cases to `NaN`. Useful when
+    /// assembling tables where gaps are rendered as `—`.
+    fn compute_or_nan(&self, cm: &ConfusionMatrix) -> f64 {
+        self.compute(cm).unwrap_or(f64::NAN)
+    }
+
+    /// Orientation-normalized score: negated for metrics where lower is
+    /// better, so "bigger is always better" holds for ranking code.
+    fn oriented(&self, cm: &ConfusionMatrix) -> Result<f64, MetricError> {
+        let v = self.compute(cm)?;
+        Ok(if self.higher_is_better() { v } else { -v })
+    }
+}
+
+impl<M: Metric + ?Sized> MetricExt for M {}
+
+/// Guard helper shared by implementations: errors on an empty matrix.
+pub(crate) fn require_nonempty(cm: &ConfusionMatrix) -> Result<(), MetricError> {
+    if cm.total() == 0 {
+        Err(MetricError::EmptyMatrix)
+    } else {
+        Ok(())
+    }
+}
+
+/// Guard helper: errors when `den == 0` with the given reason.
+pub(crate) fn fraction(num: f64, den: f64, reason: &'static str) -> Result<f64, MetricError> {
+    if den == 0.0 {
+        Err(MetricError::Undefined { reason })
+    } else {
+        Ok(num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::{Precision, Recall};
+
+    #[test]
+    fn error_display() {
+        let e = MetricError::Undefined {
+            reason: "no predicted positives",
+        };
+        assert!(e.to_string().contains("no predicted positives"));
+        assert!(MetricError::EmptyMatrix.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn compute_or_nan_maps_undefined() {
+        let cm = ConfusionMatrix::new(0, 0, 4, 6); // nothing reported
+        assert!(Precision.compute(&cm).is_err());
+        assert!(Precision.compute_or_nan(&cm).is_nan());
+        assert!(!Recall.compute_or_nan(&cm).is_nan());
+    }
+
+    #[test]
+    fn oriented_respects_direction() {
+        use crate::cost::ExpectedCost;
+        let cm = ConfusionMatrix::new(8, 2, 2, 88);
+        let recall = Recall.oriented(&cm).unwrap();
+        assert!(recall > 0.0);
+        let cost = ExpectedCost::balanced();
+        assert!(!cost.higher_is_better());
+        let oriented = cost.oriented(&cm).unwrap();
+        let raw = cost.compute(&cm).unwrap();
+        assert_eq!(oriented, -raw);
+    }
+
+    #[test]
+    fn metric_is_object_safe() {
+        let metrics: Vec<Box<dyn Metric>> = vec![Box::new(Precision), Box::new(Recall)];
+        let cm = ConfusionMatrix::new(1, 1, 1, 1);
+        for m in &metrics {
+            assert!(m.compute(&cm).is_ok());
+            assert!(!m.name().is_empty());
+            assert!(!m.abbrev().is_empty());
+        }
+    }
+}

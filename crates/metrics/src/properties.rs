@@ -1,0 +1,138 @@
+//! Analytical metadata: the *characteristics of a good metric*.
+//!
+//! The paper's first stage assesses each gathered metric against the
+//! attributes a benchmarking metric should have. The *analytical* half of
+//! that assessment — facts derivable from the metric's formula — is encoded
+//! here; the *empirical* half (prevalence sweeps, discriminative power,
+//! bootstrap stability) lives in `vdbench-core::attributes`.
+
+use serde::{Deserialize, Serialize};
+
+/// Closed interval of attainable metric values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValueRange {
+    /// Smallest attainable value (possibly `-inf` for odds-ratio style
+    /// metrics in log space).
+    pub min: f64,
+    /// Largest attainable value (possibly `+inf`).
+    pub max: f64,
+}
+
+impl ValueRange {
+    /// The unit interval `[0, 1]`, home of most rate metrics.
+    pub const UNIT: ValueRange = ValueRange { min: 0.0, max: 1.0 };
+    /// The signed unit interval `[-1, 1]` (MCC, informedness, κ…).
+    pub const SIGNED_UNIT: ValueRange = ValueRange {
+        min: -1.0,
+        max: 1.0,
+    };
+    /// Non-negative unbounded `[0, ∞)` (DOR, lift).
+    pub const NON_NEGATIVE: ValueRange = ValueRange {
+        min: 0.0,
+        max: f64::INFINITY,
+    };
+
+    /// Whether the range is bounded on both sides.
+    pub fn is_bounded(&self) -> bool {
+        self.min.is_finite() && self.max.is_finite()
+    }
+
+    /// Width of the range (`inf` when unbounded).
+    pub fn width(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Whether `v` falls inside the range (inclusive).
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.min && v <= self.max
+    }
+}
+
+/// How a metric responds, analytically, to a change in one underlying rate
+/// while everything else is held fixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Monotonicity {
+    /// Strictly increasing in the rate.
+    Increasing,
+    /// Strictly decreasing in the rate.
+    Decreasing,
+    /// Direction depends on the rest of the matrix.
+    Mixed,
+    /// The metric does not depend on the rate at all.
+    Independent,
+}
+
+/// Analytical property sheet for one metric.
+///
+/// Every field answers a question the selection study asks when matching
+/// metrics to scenarios; `simplicity` is the ordinal "ease of computing and
+/// explaining" judgment the paper attributes to benchmark users.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricProperties {
+    /// Attainable values.
+    pub range: ValueRange,
+    /// Whether the metric's value for a random tool is a fixed constant
+    /// (rather than drifting with prevalence or report rate) — i.e. whether
+    /// the metric is *chance-corrected*.
+    pub chance_corrected: bool,
+    /// Whether the metric's value at a fixed operating point (TPR, FPR) is
+    /// analytically independent of workload prevalence.
+    pub prevalence_invariant: bool,
+    /// Whether the metric is defined for every non-empty confusion matrix.
+    pub defined_everywhere: bool,
+    /// Response to increasing TPR with all else fixed.
+    pub monotone_tpr: Monotonicity,
+    /// Response to increasing FPR with all else fixed.
+    pub monotone_fpr: Monotonicity,
+    /// Whether the metric reflects *both* error types (FP and FN); a metric
+    /// that ignores one of them can be gamed by trivial tools.
+    pub uses_both_error_types: bool,
+    /// Ordinal simplicity/interpretability for benchmark consumers:
+    /// 1 (opaque) … 5 (immediately interpretable).
+    pub simplicity: u8,
+    /// Whether the metric requires a cost model or other scenario-specific
+    /// parameters beyond the confusion matrix.
+    pub needs_parameters: bool,
+}
+
+impl MetricProperties {
+    /// Conservative defaults for a `[0, 1]` rate metric; individual metrics
+    /// override the fields that differ.
+    pub fn unit_rate() -> Self {
+        MetricProperties {
+            range: ValueRange::UNIT,
+            chance_corrected: false,
+            prevalence_invariant: false,
+            defined_everywhere: false,
+            monotone_tpr: Monotonicity::Increasing,
+            monotone_fpr: Monotonicity::Decreasing,
+            uses_both_error_types: true,
+            simplicity: 4,
+            needs_parameters: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_helpers() {
+        assert!(ValueRange::UNIT.is_bounded());
+        assert!(!ValueRange::NON_NEGATIVE.is_bounded());
+        assert_eq!(ValueRange::SIGNED_UNIT.width(), 2.0);
+        assert!(ValueRange::UNIT.contains(0.0));
+        assert!(ValueRange::UNIT.contains(1.0));
+        assert!(!ValueRange::UNIT.contains(1.1));
+        assert!(ValueRange::NON_NEGATIVE.contains(1e12));
+    }
+
+    #[test]
+    fn default_sheet_is_sane() {
+        let p = MetricProperties::unit_rate();
+        assert_eq!(p.range, ValueRange::UNIT);
+        assert!(!p.chance_corrected);
+        assert!(p.simplicity >= 1 && p.simplicity <= 5);
+    }
+}

@@ -1,0 +1,322 @@
+//! Operating points in ROC space.
+//!
+//! A detection tool's intrinsic behaviour is summarized by its operating
+//! point `(TPR, FPR)`; the workload contributes prevalence and size. Keeping
+//! the two separate is what lets the attribute-assessment engine sweep
+//! prevalence while holding the tool fixed (Fig. 1) and walk a grid of
+//! hypothetical tools (monotonicity analysis).
+
+use crate::confusion::ConfusionMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A point in ROC space: true-positive rate vs false-positive rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// True-positive rate in `[0, 1]`.
+    pub tpr: f64,
+    /// False-positive rate in `[0, 1]`.
+    pub fpr: f64,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both rates lie in `[0, 1]`.
+    pub fn new(tpr: f64, fpr: f64) -> Self {
+        assert!((0.0..=1.0).contains(&tpr), "tpr must be in [0,1]");
+        assert!((0.0..=1.0).contains(&fpr), "fpr must be in [0,1]");
+        OperatingPoint { tpr, fpr }
+    }
+
+    /// The perfect tool: finds everything, flags nothing clean.
+    pub fn perfect() -> Self {
+        OperatingPoint::new(1.0, 0.0)
+    }
+
+    /// A random tool reporting each unit with probability `rate`.
+    pub fn random(rate: f64) -> Self {
+        OperatingPoint::new(rate.clamp(0.0, 1.0), rate.clamp(0.0, 1.0))
+    }
+
+    /// The silent tool that reports nothing.
+    pub fn silent() -> Self {
+        OperatingPoint::new(0.0, 0.0)
+    }
+
+    /// Whether the point lies above the chance diagonal (better than
+    /// random).
+    pub fn better_than_chance(&self) -> bool {
+        self.tpr > self.fpr
+    }
+
+    /// Youden's J at this point — distance above the chance diagonal.
+    pub fn informedness(&self) -> f64 {
+        self.tpr - self.fpr
+    }
+
+    /// Realizes the operating point as integer counts on a workload with
+    /// `positives` vulnerable and `negatives` clean units.
+    pub fn to_confusion(&self, positives: u64, negatives: u64) -> ConfusionMatrix {
+        ConfusionMatrix::from_rates(self.tpr, self.fpr, positives, negatives)
+    }
+
+    /// Realizes the operating point on a workload of `total` units with the
+    /// given vulnerability `prevalence` (rounded to whole units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prevalence` lies outside `[0, 1]`.
+    pub fn to_confusion_with_prevalence(&self, total: u64, prevalence: f64) -> ConfusionMatrix {
+        assert!(
+            (0.0..=1.0).contains(&prevalence),
+            "prevalence must be in [0,1]"
+        );
+        let positives = (total as f64 * prevalence).round() as u64;
+        let positives = positives.min(total);
+        self.to_confusion(positives, total - positives)
+    }
+
+    /// Extracts the empirical operating point of a confusion matrix, when
+    /// both classes are present.
+    pub fn from_confusion(cm: &ConfusionMatrix) -> Option<OperatingPoint> {
+        let tpr = cm.tpr();
+        let fpr = cm.fpr();
+        if tpr.is_nan() || fpr.is_nan() {
+            None
+        } else {
+            Some(OperatingPoint::new(tpr, fpr))
+        }
+    }
+}
+
+/// The empirical ROC curve of a *scored* detector: each case carries the
+/// tool's confidence score and its ground-truth label. Sweeping the
+/// decision threshold over the scores traces the curve.
+///
+/// Points are returned in increasing-FPR order, starting at `(0, 0)` and
+/// ending at `(1, 1)`. Ties in score move along the curve jointly (the
+/// standard step construction).
+///
+/// # Errors
+///
+/// Returns [`crate::MetricError::Undefined`] when either class is absent.
+pub fn roc_curve(cases: &[(f64, bool)]) -> Result<Vec<(f64, f64)>, crate::MetricError> {
+    let positives = cases.iter().filter(|(_, p)| *p).count() as f64;
+    let negatives = cases.len() as f64 - positives;
+    if positives == 0.0 || negatives == 0.0 {
+        return Err(crate::MetricError::Undefined {
+            reason: "ROC needs both vulnerable and clean cases",
+        });
+    }
+    let mut sorted: Vec<&(f64, bool)> = cases.iter().collect();
+    sorted.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut points = vec![(0.0, 0.0)];
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let score = sorted[i].0;
+        // Consume the whole tie group before emitting a point.
+        while i < sorted.len() && sorted[i].0 == score {
+            if sorted[i].1 {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        points.push((fp / negatives, tp / positives));
+    }
+    Ok(points)
+}
+
+/// Area under the empirical ROC curve via the rank-sum (Mann–Whitney)
+/// formulation with mid-rank tie handling: the probability that a random
+/// vulnerable case scores above a random clean one (+ half the tie mass).
+///
+/// # Errors
+///
+/// Returns [`crate::MetricError::Undefined`] when either class is absent.
+///
+/// ```
+/// use vdbench_metrics::roc::auc;
+/// // A perfectly discriminating scorer.
+/// let cases = [(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+/// assert!((auc(&cases).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn auc(cases: &[(f64, bool)]) -> Result<f64, crate::MetricError> {
+    let n_pos = cases.iter().filter(|(_, p)| *p).count();
+    let n_neg = cases.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Err(crate::MetricError::Undefined {
+            reason: "AUC needs both vulnerable and clean cases",
+        });
+    }
+    // Mid-ranks over the pooled scores.
+    let mut idx: Vec<usize> = (0..cases.len()).collect();
+    idx.sort_by(|&a, &b| cases[a].0.total_cmp(&cases[b].0));
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && cases[idx[j + 1]].0 == cases[idx[i]].0 {
+            j += 1;
+        }
+        let mid_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            if cases[k].1 {
+                rank_sum_pos += mid_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let n_pos_f = n_pos as f64;
+    let u = rank_sum_pos - n_pos_f * (n_pos_f + 1.0) / 2.0;
+    Ok(u / (n_pos_f * n_neg as f64))
+}
+
+/// A uniform grid over ROC space, excluding the degenerate edges, used by
+/// the monotonicity checks.
+///
+/// Yields `steps × steps` points with TPR and FPR in `(0, 1)`.
+pub fn roc_grid(steps: usize) -> Vec<OperatingPoint> {
+    let mut out = Vec::with_capacity(steps * steps);
+    for i in 1..=steps {
+        for j in 1..=steps {
+            let tpr = i as f64 / (steps + 1) as f64;
+            let fpr = j as f64 / (steps + 1) as f64;
+            out.push(OperatingPoint::new(tpr, fpr));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(OperatingPoint::perfect().informedness(), 1.0);
+        assert_eq!(OperatingPoint::random(0.3).informedness(), 0.0);
+        assert_eq!(OperatingPoint::silent().tpr, 0.0);
+        assert!(OperatingPoint::new(0.9, 0.1).better_than_chance());
+        assert!(!OperatingPoint::random(0.5).better_than_chance());
+    }
+
+    #[test]
+    #[should_panic(expected = "tpr must be in")]
+    fn rejects_out_of_range() {
+        let _ = OperatingPoint::new(1.5, 0.0);
+    }
+
+    #[test]
+    fn confusion_round_trip() {
+        let op = OperatingPoint::new(0.8, 0.1);
+        let cm = op.to_confusion(100, 900);
+        let back = OperatingPoint::from_confusion(&cm).unwrap();
+        assert!((back.tpr - 0.8).abs() < 1e-12);
+        assert!((back.fpr - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prevalence_realization() {
+        let op = OperatingPoint::new(0.5, 0.5);
+        let cm = op.to_confusion_with_prevalence(1000, 0.1);
+        assert_eq!(cm.actual_positive(), 100);
+        assert_eq!(cm.actual_negative(), 900);
+        // All-positive workload edge.
+        let cm = op.to_confusion_with_prevalence(10, 1.0);
+        assert_eq!(cm.actual_negative(), 0);
+    }
+
+    #[test]
+    fn from_confusion_requires_both_classes() {
+        assert!(OperatingPoint::from_confusion(&ConfusionMatrix::new(1, 0, 1, 0)).is_none());
+        assert!(OperatingPoint::from_confusion(&ConfusionMatrix::new(0, 1, 0, 1)).is_none());
+        assert!(OperatingPoint::from_confusion(&ConfusionMatrix::new(1, 1, 1, 1)).is_some());
+    }
+
+    #[test]
+    fn roc_curve_shape() {
+        let cases = [
+            (0.9, true),
+            (0.8, false),
+            (0.7, true),
+            (0.3, false),
+            (0.1, false),
+        ];
+        let curve = roc_curve(&cases).unwrap();
+        assert_eq!(curve.first(), Some(&(0.0, 0.0)));
+        assert_eq!(curve.last(), Some(&(1.0, 1.0)));
+        // Monotone non-decreasing in both coordinates.
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1, "{curve:?}");
+        }
+        assert!(roc_curve(&[(0.5, true)]).is_err());
+        assert!(roc_curve(&[]).is_err());
+    }
+
+    #[test]
+    fn roc_curve_groups_ties() {
+        let cases = [(0.5, true), (0.5, false), (0.1, false)];
+        let curve = roc_curve(&cases).unwrap();
+        // The tie group moves diagonally in one step.
+        assert_eq!(curve[1], (0.5, 1.0));
+    }
+
+    #[test]
+    fn auc_reference_values() {
+        // Perfect scorer.
+        let perfect = [(0.9, true), (0.8, true), (0.2, false)];
+        assert!((auc(&perfect).unwrap() - 1.0).abs() < 1e-12);
+        // Inverted scorer.
+        let inverted = [(0.1, true), (0.9, false)];
+        assert!(auc(&inverted).unwrap().abs() < 1e-12);
+        // Uninformative constant scorer → 0.5 by tie handling.
+        let flat = [(0.5, true), (0.5, false), (0.5, true), (0.5, false)];
+        assert!((auc(&flat).unwrap() - 0.5).abs() < 1e-12);
+        assert!(auc(&[(0.5, true)]).is_err());
+    }
+
+    #[test]
+    fn auc_matches_pairwise_probability() {
+        // Hand-computable mix: positives {0.9, 0.4}, negatives {0.6, 0.2}.
+        // Pairs: (0.9 beats both) + (0.4 beats 0.2) = 3 of 4 → 0.75.
+        let cases = [(0.9, true), (0.4, true), (0.6, false), (0.2, false)];
+        assert!((auc(&cases).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_equals_trapezoid_area_of_curve() {
+        let cases = [
+            (0.95, true),
+            (0.9, false),
+            (0.85, true),
+            (0.6, true),
+            (0.5, false),
+            (0.3, false),
+            (0.2, true),
+            (0.1, false),
+        ];
+        let a = auc(&cases).unwrap();
+        let curve = roc_curve(&cases).unwrap();
+        let mut area = 0.0;
+        for w in curve.windows(2) {
+            area += (w[1].0 - w[0].0) * (w[1].1 + w[0].1) / 2.0;
+        }
+        assert!((a - area).abs() < 1e-12, "auc {a} vs trapezoid {area}");
+    }
+
+    #[test]
+    fn grid_shape_and_interior() {
+        let grid = roc_grid(5);
+        assert_eq!(grid.len(), 25);
+        for p in &grid {
+            assert!(p.tpr > 0.0 && p.tpr < 1.0);
+            assert!(p.fpr > 0.0 && p.fpr < 1.0);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! ASCII line charts for terminal-rendered figures.
+
+use crate::series::Series;
+use crate::{ReportError, Result};
+use std::fmt::Write as _;
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// A multi-series ASCII line chart on a character grid.
+///
+/// Good enough to eyeball the *shape* of every figure straight from the
+/// terminal; the exact data goes to CSV via [`crate::csv`].
+///
+/// ```
+/// use vdbench_report::{AsciiChart, Series};
+///
+/// let s = Series::from_points("linear", (0..10).map(|i| (i as f64, i as f64)).collect());
+/// let chart = AsciiChart::new(40, 10).with_title("demo");
+/// let text = chart.render(&[s]).unwrap();
+/// assert!(text.contains("demo"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    title: Option<String>,
+    y_bounds: Option<(f64, f64)>,
+}
+
+impl AsciiChart {
+    /// Creates a chart with the given plot-area size in characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "chart must be at least 2x2");
+        AsciiChart {
+            width,
+            height,
+            title: None,
+            y_bounds: None,
+        }
+    }
+
+    /// Adds a title line.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Fixes the y axis instead of auto-scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn with_y_bounds(mut self, lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "y bounds must be increasing");
+        self.y_bounds = Some((lo, hi));
+        self
+    }
+
+    /// Renders the chart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportError::Empty`] when no series contains a finite
+    /// point.
+    pub fn render(&self, series: &[Series]) -> Result<String> {
+        let mut x_lo = f64::INFINITY;
+        let mut x_hi = f64::NEG_INFINITY;
+        let mut y_lo = f64::INFINITY;
+        let mut y_hi = f64::NEG_INFINITY;
+        for s in series {
+            if let Some((lo, hi)) = s.x_range() {
+                x_lo = x_lo.min(lo);
+                x_hi = x_hi.max(hi);
+            }
+            if let Some((lo, hi)) = s.y_range() {
+                y_lo = y_lo.min(lo);
+                y_hi = y_hi.max(hi);
+            }
+        }
+        if x_lo > x_hi {
+            return Err(ReportError::Empty);
+        }
+        if let Some((lo, hi)) = self.y_bounds {
+            y_lo = lo;
+            y_hi = hi;
+        }
+        if x_hi == x_lo {
+            x_hi = x_lo + 1.0;
+        }
+        if y_hi == y_lo {
+            y_hi = y_lo + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, s) in series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = (((x - x_lo) / (x_hi - x_lo)) * (self.width - 1) as f64).round() as usize;
+                let cy_f = ((y - y_lo) / (y_hi - y_lo)) * (self.height - 1) as f64;
+                if !(0.0..=(self.height - 1) as f64).contains(&cy_f) {
+                    continue; // outside fixed bounds
+                }
+                let cy = self.height - 1 - cy_f.round() as usize;
+                if cx < self.width && cy < self.height {
+                    grid[cy][cx] = glyph;
+                }
+            }
+        }
+
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let _ = writeln!(out, "{t}");
+        }
+        let _ = writeln!(out, "{:>9.3} ┤", y_hi);
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == self.height - 1 {
+                format!("{y_lo:>9.3} ┤")
+            } else {
+                " ".repeat(10) + "│"
+            };
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{label}{line}");
+        }
+        let _ = writeln!(
+            out,
+            "{}└{}",
+            " ".repeat(10),
+            "─".repeat(self.width)
+        );
+        let _ = writeln!(
+            out,
+            "{}{:<12.3}{:>width$.3}",
+            " ".repeat(11),
+            x_lo,
+            x_hi,
+            width = self.width.saturating_sub(12)
+        );
+        for (si, s) in series.iter().enumerate() {
+            let _ = writeln!(out, "  {} {}", GLYPHS[si % GLYPHS.len()], s.name);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear(name: &str, slope: f64) -> Series {
+        Series::from_points(
+            name,
+            (0..20).map(|i| (i as f64, slope * i as f64)).collect(),
+        )
+    }
+
+    #[test]
+    fn renders_title_and_legend() {
+        let chart = AsciiChart::new(30, 8).with_title("Figure 1");
+        let out = chart.render(&[linear("up", 1.0)]).unwrap();
+        assert!(out.contains("Figure 1"));
+        assert!(out.contains("* up"));
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_glyphs() {
+        let chart = AsciiChart::new(30, 8);
+        let out = chart
+            .render(&[linear("a", 1.0), linear("b", 0.5)])
+            .unwrap();
+        assert!(out.contains("* a"));
+        assert!(out.contains("o b"));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        let chart = AsciiChart::new(10, 4);
+        assert_eq!(chart.render(&[]).unwrap_err(), ReportError::Empty);
+        let nan_series = Series::from_points("nan", vec![(f64::NAN, f64::NAN)]);
+        assert_eq!(chart.render(&[nan_series]).unwrap_err(), ReportError::Empty);
+    }
+
+    #[test]
+    fn constant_series_renders() {
+        let s = Series::from_points("flat", vec![(0.0, 1.0), (5.0, 1.0)]);
+        let out = AsciiChart::new(20, 5).render(&[s]).unwrap();
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn fixed_bounds_clip() {
+        let s = Series::from_points("spike", vec![(0.0, 0.5), (1.0, 100.0)]);
+        let out = AsciiChart::new(20, 5)
+            .with_y_bounds(0.0, 1.0)
+            .render(&[s])
+            .unwrap();
+        // The in-range point renders; the spike is clipped without panicking.
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn tiny_chart_panics() {
+        let _ = AsciiChart::new(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn inverted_bounds_panic() {
+        let _ = AsciiChart::new(10, 5).with_y_bounds(1.0, 0.0);
+    }
+}

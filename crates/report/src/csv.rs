@@ -1,0 +1,92 @@
+//! CSV export of figure data series.
+
+use crate::series::Series;
+use std::fmt::Write as _;
+
+/// Serializes several series into a long-format CSV
+/// (`series,x,y` per row) — the layout plotting tools ingest directly.
+pub fn series_long(series: &[Series]) -> String {
+    let mut out = String::from("series,x,y\n");
+    for s in series {
+        for &(x, y) in &s.points {
+            let _ = writeln!(out, "{},{},{}", escape(&s.name), num(x), num(y));
+        }
+    }
+    out
+}
+
+/// Serializes series sharing an x grid into wide format
+/// (`x,<name1>,<name2>,…`). Series are sampled by position; rows stop at
+/// the shortest series.
+pub fn series_wide(series: &[Series]) -> String {
+    let mut out = String::from("x");
+    for s in series {
+        out.push(',');
+        out.push_str(&escape(&s.name));
+    }
+    out.push('\n');
+    if series.is_empty() {
+        return out;
+    }
+    let rows = series.iter().map(|s| s.len()).min().unwrap_or(0);
+    for i in 0..rows {
+        let _ = write!(out, "{}", num(series[0].points[i].0));
+        for s in series {
+            let _ = write!(out, ",{}", num(s.points[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn num(v: f64) -> String {
+    if v.is_nan() {
+        String::new() // empty cell, the CSV convention for missing data
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_format() {
+        let s = vec![
+            Series::from_points("a", vec![(1.0, 2.0)]),
+            Series::from_points("b,c", vec![(3.0, f64::NAN)]),
+        ];
+        let csv = series_long(&s);
+        assert!(csv.starts_with("series,x,y\n"));
+        assert!(csv.contains("a,1,2\n"));
+        assert!(csv.contains("\"b,c\",3,\n"));
+    }
+
+    #[test]
+    fn wide_format() {
+        let s = vec![
+            Series::from_points("a", vec![(1.0, 2.0), (2.0, 3.0)]),
+            Series::from_points("b", vec![(1.0, 5.0), (2.0, 6.0), (3.0, 7.0)]),
+        ];
+        let csv = series_wide(&s);
+        assert!(csv.starts_with("x,a,b\n"));
+        // Truncates to shortest series (2 rows).
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("1,2,5"));
+        assert!(csv.contains("2,3,6"));
+    }
+
+    #[test]
+    fn wide_format_empty() {
+        assert_eq!(series_wide(&[]), "x\n");
+    }
+}

@@ -1,0 +1,89 @@
+//! Value formatting helpers shared by tables and charts.
+
+/// Formats a metric value with sensible precision: 3 decimal places for
+/// small magnitudes, fewer for large ones, `—` for NaN (the conventional
+/// rendering of an undefined metric in the paper's tables) and `∞` for
+/// infinities.
+pub fn metric(v: f64) -> String {
+    if v.is_nan() {
+        return "—".to_string();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 { "∞" } else { "-∞" }.to_string();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else if a >= 10.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a value in `[0, 1]` as a percentage with one decimal.
+pub fn percent(v: f64) -> String {
+    if v.is_nan() {
+        "—".to_string()
+    } else {
+        format!("{:.1}%", v * 100.0)
+    }
+}
+
+/// Formats an interval as `mid [lo, hi]`.
+pub fn interval(point: f64, lo: f64, hi: f64) -> String {
+    format!("{} [{}, {}]", metric(point), metric(lo), metric(hi))
+}
+
+/// Left-pads or truncates a string to exactly `width` display columns
+/// (best-effort for ASCII content, which is all the tables emit).
+pub fn fit(s: &str, width: usize) -> String {
+    let len = s.chars().count();
+    if len >= width {
+        s.chars().take(width).collect()
+    } else {
+        format!("{s}{}", " ".repeat(width - len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_precision_tiers() {
+        assert_eq!(metric(0.123456), "0.123");
+        assert_eq!(metric(12.3456), "12.35");
+        assert_eq!(metric(123.456), "123.5");
+        assert_eq!(metric(1234.56), "1235");
+        assert_eq!(metric(-0.5), "-0.500");
+    }
+
+    #[test]
+    fn metric_special_values() {
+        assert_eq!(metric(f64::NAN), "—");
+        assert_eq!(metric(f64::INFINITY), "∞");
+        assert_eq!(metric(f64::NEG_INFINITY), "-∞");
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.1234), "12.3%");
+        assert_eq!(percent(1.0), "100.0%");
+        assert_eq!(percent(f64::NAN), "—");
+    }
+
+    #[test]
+    fn interval_formatting() {
+        assert_eq!(interval(0.5, 0.4, 0.6), "0.500 [0.400, 0.600]");
+    }
+
+    #[test]
+    fn fit_pads_and_truncates() {
+        assert_eq!(fit("ab", 4), "ab  ");
+        assert_eq!(fit("abcdef", 4), "abcd");
+        assert_eq!(fit("", 2), "  ");
+    }
+}

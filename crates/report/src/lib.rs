@@ -1,0 +1,76 @@
+//! Rendering of experiment output: tables, ASCII charts and CSV series.
+//!
+//! Every table and figure binary in `vdbench-bench` renders through this
+//! crate so the suite's output is uniform: [`table::Table`] for the paper's
+//! tables (ASCII, Markdown and CSV renderings), [`chart::AsciiChart`] for
+//! quick terminal figures, and [`series::Series`] / [`csv`] for the raw
+//! figure data a plotting pipeline would consume.
+//!
+//! ```
+//! use vdbench_report::table::Table;
+//!
+//! let mut t = Table::new(vec!["tool", "recall"]);
+//! t.push_row(vec!["taint".into(), "0.91".into()]).unwrap();
+//! let ascii = t.render_ascii();
+//! assert!(ascii.contains("taint"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod csv;
+pub mod format;
+pub mod series;
+pub mod table;
+
+pub use chart::AsciiChart;
+pub use series::Series;
+pub use table::Table;
+
+use std::fmt;
+
+/// Errors produced while assembling report artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// A row had a different number of cells than the header.
+    RowWidthMismatch {
+        /// Expected cell count (header width).
+        expected: usize,
+        /// Provided cell count.
+        actual: usize,
+    },
+    /// A chart or series was given no data.
+    Empty,
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::RowWidthMismatch { expected, actual } => {
+                write!(f, "row has {actual} cells, header has {expected}")
+            }
+            ReportError::Empty => write!(f, "no data to render"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+/// Crate-wide result alias.
+pub type Result<T, E = ReportError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = ReportError::RowWidthMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("2 cells"));
+        assert!(ReportError::Empty.to_string().contains("no data"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Named data series — the raw content of a figure.
+
+use serde::{Deserialize, Serialize};
+
+/// A named sequence of `(x, y)` points, one line of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Creates a series from points.
+    pub fn from_points(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Minimum and maximum y over finite points; `None` when there are no
+    /// finite points.
+    pub fn y_range(&self) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &(_, y) in &self.points {
+            if y.is_finite() {
+                lo = lo.min(y);
+                hi = hi.max(y);
+            }
+        }
+        if lo <= hi {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    }
+
+    /// Minimum and maximum x over finite points.
+    pub fn x_range(&self) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &(x, _) in &self.points {
+            if x.is_finite() {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+        }
+        if lo <= hi {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    }
+}
+
+impl Extend<(f64, f64)> for Series {
+    fn extend<I: IntoIterator<Item = (f64, f64)>>(&mut self, iter: I) {
+        self.points.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_ranges() {
+        let mut s = Series::new("recall");
+        assert!(s.is_empty());
+        assert_eq!(s.y_range(), None);
+        s.push(1.0, 0.5);
+        s.push(2.0, 0.9);
+        s.extend([(3.0, 0.7)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.y_range(), Some((0.5, 0.9)));
+        assert_eq!(s.x_range(), Some((1.0, 3.0)));
+    }
+
+    #[test]
+    fn non_finite_points_ignored_in_ranges() {
+        let s = Series::from_points("x", vec![(0.0, f64::NAN), (1.0, 2.0)]);
+        assert_eq!(s.y_range(), Some((2.0, 2.0)));
+        let all_nan = Series::from_points("y", vec![(f64::NAN, f64::NAN)]);
+        assert_eq!(all_nan.y_range(), None);
+        assert_eq!(all_nan.x_range(), None);
+    }
+}

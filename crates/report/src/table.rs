@@ -1,0 +1,237 @@
+//! Width-aware text tables.
+
+use crate::{ReportError, Result};
+use std::fmt::Write as _;
+
+/// A simple rectangular table with a header row, rendering to ASCII box
+/// drawing, Markdown or CSV.
+///
+/// ```
+/// use vdbench_report::Table;
+///
+/// let mut t = Table::new(vec!["metric", "S1", "S2"]);
+/// t.push_row(vec!["PPV".into(), "0.91".into(), "0.44".into()]).unwrap();
+/// t.push_row(vec!["TPR".into(), "0.62".into(), "0.97".into()]).unwrap();
+/// let md = t.render_markdown();
+/// assert!(md.starts_with("| metric"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        assert!(!header.is_empty(), "table needs at least one column");
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a caption rendered above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportError::RowWidthMismatch`] when the cell count
+    /// differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) -> Result<()> {
+        if row.len() != self.header.len() {
+            return Err(ReportError::RowWidthMismatch {
+                expected: self.header.len(),
+                actual: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.header.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Renders as an ASCII box table.
+    pub fn render_ascii(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let _ = writeln!(out, "{t}");
+        }
+        let sep: String = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let render_row = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (cell, w) in cells.iter().zip(&widths) {
+                let pad = w - cell.chars().count();
+                s.push(' ');
+                s.push_str(cell);
+                s.push_str(&" ".repeat(pad + 1));
+                s.push('|');
+            }
+            s
+        };
+        let _ = writeln!(out, "{sep}");
+        let _ = writeln!(out, "{}", render_row(&self.header));
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row));
+        }
+        let _ = writeln!(out, "{sep}");
+        out
+    }
+
+    /// Renders as GitHub-flavoured Markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let _ = writeln!(out, "**{t}**");
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders as RFC-4180-ish CSV (quotes cells containing separators).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["name", "value"]).with_title("Table X");
+        t.push_row(vec!["alpha".into(), "1".into()]).unwrap();
+        t.push_row(vec!["b".into(), "22".into()]).unwrap();
+        t
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_header_panics() {
+        let _ = Table::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn row_width_enforced() {
+        let mut t = Table::new(vec!["a", "b"]);
+        assert_eq!(
+            t.push_row(vec!["x".into()]).unwrap_err(),
+            ReportError::RowWidthMismatch {
+                expected: 2,
+                actual: 1
+            }
+        );
+        assert!(t.push_row(vec!["x".into(), "y".into()]).is_ok());
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.column_count(), 2);
+    }
+
+    #[test]
+    fn ascii_rendering_aligns() {
+        let s = sample().render_ascii();
+        assert!(s.contains("Table X"));
+        let lines: Vec<&str> = s.lines().skip(1).collect(); // skip title
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{s}");
+        assert!(s.contains("| alpha |"));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().render_markdown();
+        assert!(md.contains("**Table X**"));
+        assert!(md.contains("| name | value |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| alpha | 1 |"));
+    }
+
+    #[test]
+    fn csv_rendering_and_escaping() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["has,comma".into(), "has\"quote".into()])
+            .unwrap();
+        let csv = t.render_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    fn unicode_width_handling() {
+        let mut t = Table::new(vec!["κ"]);
+        t.push_row(vec!["0.95".into()]).unwrap();
+        let s = t.render_ascii();
+        assert!(s.contains("0.95"));
+    }
+}

@@ -1,0 +1,367 @@
+//! Bootstrap resampling.
+//!
+//! Metric values on a benchmark workload are statistics of a finite sample
+//! of code units; the bootstrap gives distribution-free interval estimates
+//! and powers the *discriminative power* and *ranking stability* experiments
+//! (Fig. 2, Fig. 3).
+
+use crate::descriptive::quantile_sorted;
+use crate::rng::SeededRng;
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapCi {
+    /// Lower percentile endpoint.
+    pub lower: f64,
+    /// Upper percentile endpoint.
+    pub upper: f64,
+    /// Statistic evaluated on the original sample.
+    pub point: f64,
+    /// Bootstrap standard error (std-dev of the replicate distribution).
+    pub std_error: f64,
+}
+
+impl BootstrapCi {
+    /// Whether the interval contains `value`.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Configurable bootstrap engine.
+///
+/// ```
+/// use vdbench_stats::{Bootstrap, SeededRng};
+///
+/// let data: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+/// let mut rng = SeededRng::new(42);
+/// let ci = Bootstrap::new(500)
+///     .percentile_ci(&data, 0.95, |s| s.iter().sum::<f64>() / s.len() as f64, &mut rng)
+///     .unwrap();
+/// assert!(ci.contains(4.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bootstrap {
+    replicates: usize,
+}
+
+impl Bootstrap {
+    /// Creates an engine performing `replicates` resamples per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicates == 0`.
+    pub fn new(replicates: usize) -> Self {
+        assert!(replicates > 0, "bootstrap requires at least one replicate");
+        Bootstrap { replicates }
+    }
+
+    /// Number of replicates per call.
+    pub fn replicates(&self) -> usize {
+        self.replicates
+    }
+
+    /// Draws the raw replicate distribution of `statistic` over resamples of
+    /// `data` (with replacement, same size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when `data` is empty.
+    pub fn replicate_distribution<T, F>(
+        &self,
+        data: &[T],
+        mut statistic: F,
+        rng: &mut SeededRng,
+    ) -> Result<Vec<f64>>
+    where
+        T: Clone,
+        F: FnMut(&[T]) -> f64,
+    {
+        if data.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let n = data.len();
+        let mut scratch: Vec<T> = Vec::with_capacity(n);
+        let mut out = Vec::with_capacity(self.replicates);
+        for _ in 0..self.replicates {
+            scratch.clear();
+            for _ in 0..n {
+                scratch.push(data[rng.index(n)].clone());
+            }
+            out.push(statistic(&scratch));
+        }
+        Ok(out)
+    }
+
+    /// Percentile bootstrap confidence interval for an arbitrary statistic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for empty data and
+    /// [`StatsError::InvalidParameter`] for a level outside `(0, 1)`.
+    pub fn percentile_ci<T, F>(
+        &self,
+        data: &[T],
+        level: f64,
+        mut statistic: F,
+        rng: &mut SeededRng,
+    ) -> Result<BootstrapCi>
+    where
+        T: Clone,
+        F: FnMut(&[T]) -> f64,
+    {
+        if !(0.0..1.0).contains(&level) || level <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "level",
+                value: level,
+            });
+        }
+        let point = if data.is_empty() {
+            return Err(StatsError::EmptyInput);
+        } else {
+            statistic(data)
+        };
+        let mut reps = self.replicate_distribution(data, statistic, rng)?;
+        reps.sort_by(|a, b| a.total_cmp(b));
+        let alpha = 1.0 - level;
+        let lower = quantile_sorted(&reps, alpha / 2.0);
+        let upper = quantile_sorted(&reps, 1.0 - alpha / 2.0);
+        let mean = reps.iter().sum::<f64>() / reps.len() as f64;
+        let var = reps.iter().map(|r| (r - mean).powi(2)).sum::<f64>()
+            / (reps.len().saturating_sub(1).max(1)) as f64;
+        Ok(BootstrapCi {
+            lower,
+            upper,
+            point,
+            std_error: var.sqrt(),
+        })
+    }
+
+    /// Probability, under resampling, that `statistic(sample_a) >
+    /// statistic(sample_b)` — the engine behind the *discriminative power*
+    /// analysis: how often does a metric correctly order two tools whose
+    /// true quality differs?
+    ///
+    /// Both samples are resampled independently each replicate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if either sample is empty.
+    pub fn superiority_probability<T, F>(
+        &self,
+        sample_a: &[T],
+        sample_b: &[T],
+        mut statistic: F,
+        rng: &mut SeededRng,
+    ) -> Result<f64>
+    where
+        T: Clone,
+        F: FnMut(&[T]) -> f64,
+    {
+        if sample_a.is_empty() || sample_b.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let mut wins = 0usize;
+        let mut scratch_a: Vec<T> = Vec::with_capacity(sample_a.len());
+        let mut scratch_b: Vec<T> = Vec::with_capacity(sample_b.len());
+        for _ in 0..self.replicates {
+            scratch_a.clear();
+            for _ in 0..sample_a.len() {
+                scratch_a.push(sample_a[rng.index(sample_a.len())].clone());
+            }
+            scratch_b.clear();
+            for _ in 0..sample_b.len() {
+                scratch_b.push(sample_b[rng.index(sample_b.len())].clone());
+            }
+            if statistic(&scratch_a) > statistic(&scratch_b) {
+                wins += 1;
+            }
+        }
+        Ok(wins as f64 / self.replicates as f64)
+    }
+
+    /// Subsample (without replacement) a fraction of the data and evaluate
+    /// the statistic, once per replicate — used by the ranking-stability
+    /// experiment (Fig. 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for empty data and
+    /// [`StatsError::InvalidParameter`] for a fraction outside `(0, 1]`.
+    pub fn subsample_distribution<T, F>(
+        &self,
+        data: &[T],
+        fraction: f64,
+        mut statistic: F,
+        rng: &mut SeededRng,
+    ) -> Result<Vec<f64>>
+    where
+        T: Clone,
+        F: FnMut(&[T]) -> f64,
+    {
+        if data.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "fraction",
+                value: fraction,
+            });
+        }
+        let k = ((data.len() as f64 * fraction).round() as usize).clamp(1, data.len());
+        let mut out = Vec::with_capacity(self.replicates);
+        let mut scratch: Vec<T> = Vec::with_capacity(k);
+        for _ in 0..self.replicates {
+            let idx = rng.sample_without_replacement(data.len(), k);
+            scratch.clear();
+            scratch.extend(idx.into_iter().map(|i| data[i].clone()));
+            out.push(statistic(&scratch));
+        }
+        Ok(out)
+    }
+}
+
+impl Default for Bootstrap {
+    /// 1000 replicates, the suite-wide default.
+    fn default() -> Self {
+        Bootstrap::new(1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_stat(s: &[f64]) -> f64 {
+        s.iter().sum::<f64>() / s.len() as f64
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replicate")]
+    fn zero_replicates_panics() {
+        let _ = Bootstrap::new(0);
+    }
+
+    #[test]
+    fn ci_covers_true_mean() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 7919) % 100) as f64).collect();
+        let truth = mean_stat(&data);
+        let mut rng = SeededRng::new(1);
+        let ci = Bootstrap::new(800)
+            .percentile_ci(&data, 0.95, mean_stat, &mut rng)
+            .unwrap();
+        assert!(ci.contains(truth));
+        assert!((ci.point - truth).abs() < 1e-12);
+        assert!(ci.std_error > 0.0);
+        assert!(ci.width() > 0.0);
+    }
+
+    #[test]
+    fn ci_narrows_with_sample_size() {
+        let small: Vec<f64> = (0..30).map(|i| (i % 10) as f64).collect();
+        let large: Vec<f64> = (0..3000).map(|i| (i % 10) as f64).collect();
+        let mut rng = SeededRng::new(2);
+        let b = Bootstrap::new(500);
+        let ci_small = b.percentile_ci(&small, 0.95, mean_stat, &mut rng).unwrap();
+        let ci_large = b.percentile_ci(&large, 0.95, mean_stat, &mut rng).unwrap();
+        assert!(ci_large.width() < ci_small.width() / 2.0);
+    }
+
+    #[test]
+    fn empty_data_rejected() {
+        let mut rng = SeededRng::new(3);
+        let empty: Vec<f64> = vec![];
+        assert!(Bootstrap::default()
+            .percentile_ci(&empty, 0.95, mean_stat, &mut rng)
+            .is_err());
+        assert!(Bootstrap::default()
+            .replicate_distribution(&empty, mean_stat, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn bad_level_rejected() {
+        let mut rng = SeededRng::new(3);
+        let data = [1.0, 2.0];
+        assert!(Bootstrap::default()
+            .percentile_ci(&data, 1.5, mean_stat, &mut rng)
+            .is_err());
+        assert!(Bootstrap::default()
+            .percentile_ci(&data, 0.0, mean_stat, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn superiority_detects_clear_difference() {
+        let high: Vec<f64> = (0..200).map(|i| 10.0 + (i % 5) as f64).collect();
+        let low: Vec<f64> = (0..200).map(|i| (i % 5) as f64).collect();
+        let mut rng = SeededRng::new(4);
+        let p = Bootstrap::new(300)
+            .superiority_probability(&high, &low, mean_stat, &mut rng)
+            .unwrap();
+        assert_eq!(p, 1.0);
+        let p = Bootstrap::new(300)
+            .superiority_probability(&low, &high, mean_stat, &mut rng)
+            .unwrap();
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn superiority_near_half_for_identical_distributions() {
+        let a: Vec<f64> = (0..300).map(|i| (i % 7) as f64).collect();
+        let mut rng = SeededRng::new(5);
+        let p = Bootstrap::new(2000)
+            .superiority_probability(&a, &a, mean_stat, &mut rng)
+            .unwrap();
+        assert!((p - 0.5).abs() < 0.08, "p={p}");
+    }
+
+    #[test]
+    fn subsample_distribution_shape() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut rng = SeededRng::new(6);
+        let reps = Bootstrap::new(200)
+            .subsample_distribution(&data, 0.5, mean_stat, &mut rng)
+            .unwrap();
+        assert_eq!(reps.len(), 200);
+        let m = mean_stat(&reps);
+        assert!((m - 49.5).abs() < 2.0, "m={m}");
+        assert!(Bootstrap::new(10)
+            .subsample_distribution(&data, 0.0, mean_stat, &mut rng)
+            .is_err());
+        assert!(Bootstrap::new(10)
+            .subsample_distribution(&data, 1.1, mean_stat, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn subsample_full_fraction_is_permutation_invariant_mean() {
+        let data = [1.0, 2.0, 3.0];
+        let mut rng = SeededRng::new(7);
+        let reps = Bootstrap::new(10)
+            .subsample_distribution(&data, 1.0, mean_stat, &mut rng)
+            .unwrap();
+        for r in reps {
+            assert!((r - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let run = |seed| {
+            let mut rng = SeededRng::new(seed);
+            Bootstrap::new(100)
+                .percentile_ci(&data, 0.9, mean_stat, &mut rng)
+                .unwrap()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

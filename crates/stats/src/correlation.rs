@@ -1,0 +1,331 @@
+//! Correlation and rank-agreement statistics.
+//!
+//! The metric-selection study compares *rankings*: rankings of tools induced
+//! by different metrics (Table 5), and rankings of metrics produced
+//! analytically vs by the MCDA + experts pipeline (Table 6, Fig. 4). The
+//! agreement measures live here: Pearson r, Spearman ρ, Kendall τ-b (tie
+//! aware) and Kendall's coefficient of concordance W for whole panels.
+
+use crate::{Result, StatsError};
+
+fn check_paired(x: &[f64], y: &[f64]) -> Result<()> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::EmptyInput);
+    }
+    Ok(())
+}
+
+/// Pearson product-moment correlation coefficient.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] / [`StatsError::EmptyInput`] for
+/// malformed input and [`StatsError::Undefined`] when either sample is
+/// constant.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
+    check_paired(x, y)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::Undefined {
+            reason: "correlation of a constant sample",
+        });
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Mid-ranks of a sample (average rank for ties), 1-based.
+pub fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Average of 1-based ranks i+1 ..= j+1.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation ρ (Pearson on mid-ranks, so tie-aware).
+///
+/// # Errors
+///
+/// Same failure modes as [`pearson`].
+///
+/// ```
+/// use vdbench_stats::correlation::spearman;
+/// let rho = spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]).unwrap();
+/// assert!((rho - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64> {
+    check_paired(x, y)?;
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Kendall τ-b rank correlation (tie-corrected).
+///
+/// O(n²) pair enumeration — exact, and fast enough for the ranking sizes in
+/// this suite (tools and metrics number in the tens).
+///
+/// # Errors
+///
+/// Returns [`StatsError::Undefined`] when either input is entirely tied,
+/// plus the usual input-shape errors.
+pub fn kendall_tau(x: &[f64], y: &[f64]) -> Result<f64> {
+    check_paired(x, y)?;
+    let n = x.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            if dx == 0.0 && dy == 0.0 {
+                // Joint tie contributes to neither denominator term.
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if (dx > 0.0) == (dy > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    // Count joint ties into both tie totals for the τ-b denominator.
+    let joint = n0 - concordant - discordant - ties_x - ties_y;
+    let tx = ties_x + joint;
+    let ty = ties_y + joint;
+    let denom = (((n0 - tx) as f64) * ((n0 - ty) as f64)).sqrt();
+    if denom == 0.0 {
+        return Err(StatsError::Undefined {
+            reason: "kendall tau over fully tied data",
+        });
+    }
+    Ok((concordant - discordant) as f64 / denom)
+}
+
+/// Kendall's coefficient of concordance `W` across `m` raters ranking `n`
+/// items; `W = 1` means all raters agree perfectly, `W ≈ 0` means no
+/// agreement. Tie-corrected.
+///
+/// `ratings[r][i]` is rater `r`'s score for item `i` (higher = better);
+/// scores are converted to ranks internally.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] when there are no raters or fewer than
+/// two items, [`StatsError::LengthMismatch`] for ragged input, and
+/// [`StatsError::Undefined`] when every rater ties every item.
+pub fn kendall_w(ratings: &[Vec<f64>]) -> Result<f64> {
+    if ratings.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let n = ratings[0].len();
+    if n < 2 {
+        return Err(StatsError::EmptyInput);
+    }
+    for row in ratings {
+        if row.len() != n {
+            return Err(StatsError::LengthMismatch {
+                left: n,
+                right: row.len(),
+            });
+        }
+    }
+    let m = ratings.len() as f64;
+    let mut rank_sums = vec![0.0; n];
+    let mut tie_correction = 0.0;
+    for row in ratings {
+        let r = ranks(row);
+        for (s, v) in rank_sums.iter_mut().zip(&r) {
+            *s += v;
+        }
+        // Tie correction term: sum over tie groups of (t^3 - t).
+        let mut sorted = row.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && sorted[j + 1] == sorted[i] {
+                j += 1;
+            }
+            let t = (j - i + 1) as f64;
+            tie_correction += t * t * t - t;
+            i = j + 1;
+        }
+    }
+    let mean_rank = m * (n as f64 + 1.0) / 2.0;
+    let s: f64 = rank_sums.iter().map(|r| (r - mean_rank).powi(2)).sum();
+    let nf = n as f64;
+    let denom = m * m * (nf * nf * nf - nf) - m * tie_correction;
+    if denom == 0.0 {
+        return Err(StatsError::Undefined {
+            reason: "kendall W over fully tied ratings",
+        });
+    }
+    Ok(12.0 * s / denom)
+}
+
+/// Agreement between two rankings expressed as permutations of item ids:
+/// converts ranks to scores and delegates to [`kendall_tau`]. Convenience
+/// wrapper used throughout the ranking analyses.
+///
+/// Both slices must contain each item's *rank position* (0 = best).
+///
+/// # Errors
+///
+/// Propagates [`kendall_tau`] errors.
+pub fn kendall_tau_ranks(a: &[usize], b: &[usize]) -> Result<f64> {
+    let fa: Vec<f64> = a.iter().map(|&v| v as f64).collect();
+    let fb: Vec<f64> = b.iter().map(|&v| v as f64).collect();
+    kendall_tau(&fa, &fb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_errors() {
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(matches!(
+            pearson(&[1.0, 1.0], &[1.0, 2.0]),
+            Err(StatsError::Undefined { .. })
+        ));
+    }
+
+    #[test]
+    fn ranks_with_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        let r = ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r, vec![2.0, 2.0, 2.0]);
+        let r = ranks(&[3.0, 1.0, 2.0]);
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_perfect_and_reversed() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert!((kendall_tau(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let rev = [40.0, 30.0, 20.0, 10.0];
+        assert!((kendall_tau(&x, &rev).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_known_value() {
+        // Classic example: tau = 2(C-D)/(n(n-1))
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [3.0, 4.0, 1.0, 2.0, 5.0];
+        // pairs: C=6? compute: expected tau = 0.2 (known example)
+        let tau = kendall_tau(&x, &y).unwrap();
+        assert!((tau - 0.2).abs() < 1e-12, "tau={tau}");
+    }
+
+    #[test]
+    fn kendall_with_ties_stays_bounded() {
+        let x = [1.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        let tau = kendall_tau(&x, &y).unwrap();
+        assert!(tau > 0.0 && tau <= 1.0);
+    }
+
+    #[test]
+    fn kendall_fully_tied_is_undefined() {
+        assert!(matches!(
+            kendall_tau(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::Undefined { .. })
+        ));
+    }
+
+    #[test]
+    fn kendall_tau_ranks_wrapper() {
+        let a = [0usize, 1, 2, 3];
+        let b = [3usize, 2, 1, 0];
+        assert!((kendall_tau_ranks(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+        assert!((kendall_tau_ranks(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_w_unanimous() {
+        let ratings = vec![
+            vec![3.0, 2.0, 1.0],
+            vec![30.0, 20.0, 10.0],
+            vec![0.9, 0.5, 0.1],
+        ];
+        assert!((kendall_w(&ratings).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_w_disagreement_lower() {
+        let agree = vec![vec![3.0, 2.0, 1.0], vec![3.0, 2.0, 1.0]];
+        let disagree = vec![vec![3.0, 2.0, 1.0], vec![1.0, 2.0, 3.0]];
+        assert!(kendall_w(&agree).unwrap() > kendall_w(&disagree).unwrap());
+    }
+
+    #[test]
+    fn kendall_w_errors() {
+        assert!(kendall_w(&[]).is_err());
+        assert!(kendall_w(&[vec![1.0]]).is_err());
+        assert!(kendall_w(&[vec![1.0, 2.0], vec![1.0]]).is_err());
+        assert!(matches!(
+            kendall_w(&[vec![1.0, 1.0], vec![2.0, 2.0]]),
+            Err(StatsError::Undefined { .. })
+        ));
+    }
+
+    #[test]
+    fn kendall_w_ties_handled() {
+        let ratings = vec![vec![1.0, 1.0, 2.0, 3.0], vec![1.0, 2.0, 2.0, 3.0]];
+        let w = kendall_w(&ratings).unwrap();
+        assert!(w > 0.5 && w <= 1.0, "w={w}");
+    }
+}

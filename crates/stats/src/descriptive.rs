@@ -1,0 +1,428 @@
+//! Descriptive statistics over `f64` samples.
+//!
+//! [`Summary`] accumulates moments with Welford's numerically stable online
+//! algorithm and keeps the sorted data needed for order statistics lazily.
+
+use crate::{Result, StatsError};
+
+/// A one-pass summary of a sample: count, mean, variance, extrema, and
+/// (on demand) order statistics.
+///
+/// ```
+/// use vdbench_stats::Summary;
+///
+/// let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert_eq!(s.len(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    data: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            data: Vec::new(),
+        }
+    }
+
+    /// Builds a summary from a slice in one pass.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut s = Summary::new();
+        s.extend(values.iter().copied());
+        s
+    }
+
+    /// Adds one observation (Welford update).
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.data.push(x);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the summary holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sample mean. Returns `NaN` when empty (matching the convention of
+    /// `f64` aggregate operations).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`n - 1` denominator). `NaN` for fewer than
+    /// two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count as f64 - 1.0)
+        }
+    }
+
+    /// Population variance (`n` denominator). `NaN` when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Standard error of the mean (`s / sqrt(n)`).
+    pub fn std_error(&self) -> f64 {
+        self.sample_std_dev() / (self.count as f64).sqrt()
+    }
+
+    /// Smallest observation, `NaN` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, `NaN` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Range (`max - min`), `NaN` when empty.
+    pub fn range(&self) -> f64 {
+        self.max() - self.min()
+    }
+
+    /// Coefficient of variation (`std_dev / mean`); `NaN` when the mean is
+    /// zero or data is insufficient.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            f64::NAN
+        } else {
+            self.sample_std_dev() / m
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) using linear interpolation between
+    /// closest ranks (type-7, the R/NumPy default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] on an empty summary and
+    /// [`StatsError::InvalidParameter`] for `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Result<f64> {
+        if self.count == 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        if !(0.0..=1.0).contains(&q) || !q.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "q",
+                value: q,
+            });
+        }
+        let mut sorted = self.data.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Ok(quantile_sorted(&sorted, q))
+    }
+
+    /// Sample median.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] on an empty summary.
+    pub fn median(&self) -> Result<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Interquartile range (Q3 − Q1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] on an empty summary.
+    pub fn iqr(&self) -> Result<f64> {
+        Ok(self.quantile(0.75)? - self.quantile(0.25)?)
+    }
+
+    /// Immutable view of the raw observations in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Type-7 quantile of **already sorted** data.
+///
+/// Callers must ensure `sorted` is in ascending order; this is the hot-path
+/// primitive behind [`Summary::quantile`] and the bootstrap machinery.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let h = (sorted.len() as f64 - 1.0) * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Arithmetic mean of a slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] on an empty slice.
+pub fn mean(values: &[f64]) -> Result<f64> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    Ok(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Weighted arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] for mismatched inputs,
+/// [`StatsError::EmptyInput`] when empty, and
+/// [`StatsError::InvalidParameter`] when weights are negative or sum to zero.
+pub fn weighted_mean(values: &[f64], weights: &[f64]) -> Result<f64> {
+    if values.len() != weights.len() {
+        return Err(StatsError::LengthMismatch {
+            left: values.len(),
+            right: weights.len(),
+        });
+    }
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&v, &w) in values.iter().zip(weights) {
+        if w < 0.0 || !w.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "weight",
+                value: w,
+            });
+        }
+        num += v * w;
+        den += w;
+    }
+    if den == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "weight_sum",
+            value: 0.0,
+        });
+    }
+    Ok(num / den)
+}
+
+/// Geometric mean of strictly positive values.
+///
+/// Used for aggregating expert pairwise judgments (AIJ) where the geometric
+/// mean is the only consistency-preserving aggregator.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for empty input and
+/// [`StatsError::InvalidParameter`] for non-positive entries.
+pub fn geometric_mean(values: &[f64]) -> Result<f64> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mut acc = 0.0;
+    for &v in values {
+        if v <= 0.0 || !v.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "value",
+                value: v,
+            });
+        }
+        acc += v.ln();
+    }
+    Ok((acc / values.len() as f64).exp())
+}
+
+/// Harmonic mean of strictly positive values.
+///
+/// This is the aggregation underlying the F-measure, included so the metric
+/// catalog can be expressed in terms of reusable primitives.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for empty input and
+/// [`StatsError::InvalidParameter`] for non-positive entries.
+pub fn harmonic_mean(values: &[f64]) -> Result<f64> {
+    if values.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mut acc = 0.0;
+    for &v in values {
+        if v <= 0.0 || !v.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "value",
+                value: v,
+            });
+        }
+        acc += 1.0 / v;
+    }
+    Ok(values.len() as f64 / acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_behaviour() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert!(s.mean().is_nan());
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+        assert!(s.median().is_err());
+        assert_eq!(s.median().unwrap_err(), StatsError::EmptyInput);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::from_slice(&[42.0]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+        assert_eq!(s.median().unwrap(), 42.0);
+        assert!(s.sample_variance().is_nan());
+        assert_eq!(s.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let s = Summary::from_slice(&data);
+        let m = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (data.len() as f64 - 1.0);
+        assert!((s.mean() - m).abs() < 1e-10);
+        assert!((s.sample_variance() - var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn quantiles_type7() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.quantile(0.0).unwrap(), 1.0);
+        assert_eq!(s.quantile(1.0).unwrap(), 4.0);
+        assert!((s.median().unwrap() - 2.5).abs() < 1e-12);
+        assert!((s.quantile(0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert!((s.iqr().unwrap() - 1.5).abs() < 1e-12);
+        assert!(s.quantile(1.5).is_err());
+        assert!(s.quantile(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let s = Summary::from_slice(&[9.0, 1.0, 5.0, 3.0, 7.0]);
+        assert_eq!(s.median().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let s: Summary = vec![1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        let mut s2 = Summary::new();
+        s2.extend([4.0, 5.0]);
+        assert_eq!(s2.len(), 2);
+        assert_eq!(s2.range(), 1.0);
+    }
+
+    #[test]
+    fn mean_helpers() {
+        assert!(mean(&[]).is_err());
+        assert_eq!(mean(&[1.0, 3.0]).unwrap(), 2.0);
+        assert_eq!(
+            weighted_mean(&[1.0, 3.0], &[1.0, 3.0]).unwrap(),
+            2.5
+        );
+        assert!(weighted_mean(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(weighted_mean(&[1.0], &[-1.0]).is_err());
+        assert!(weighted_mean(&[1.0, 2.0], &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn geometric_and_harmonic() {
+        assert!((geometric_mean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(geometric_mean(&[]).is_err());
+        // harmonic mean of p and r is exactly F1's core.
+        assert!((harmonic_mean(&[1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[0.5, 1.0]).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(harmonic_mean(&[-1.0]).is_err());
+    }
+
+    #[test]
+    fn coefficient_of_variation() {
+        let s = Summary::from_slice(&[10.0, 10.0, 10.0]);
+        assert!((s.coefficient_of_variation()).abs() < 1e-12);
+        let s = Summary::from_slice(&[0.0, 0.0]);
+        assert!(s.coefficient_of_variation().is_nan());
+    }
+}

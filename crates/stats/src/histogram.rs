@@ -1,0 +1,188 @@
+//! Fixed-bin histograms for diagnostic output and figure data.
+
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A histogram with equal-width bins over a fixed range.
+///
+/// Out-of-range observations are counted in saturating edge bins so no data
+/// is silently dropped.
+///
+/// ```
+/// use vdbench_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+/// for &x in &[0.1, 0.3, 0.3, 0.9] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.counts()[1], 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `lo >= hi`, the bounds
+    /// are not finite, or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(StatsError::InvalidParameter {
+                name: "range",
+                value: hi - lo,
+            });
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+        })
+    }
+
+    /// Records one observation. Non-finite values are counted as
+    /// out-of-range (below for `-inf`/NaN, above for `+inf`).
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() || x < self.lo {
+            self.below += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.above += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let bin = ((x - self.lo) / width) as usize;
+        let bin = bin.min(self.counts.len() - 1);
+        self.counts[bin] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the range (including NaN).
+    pub fn underflow(&self) -> u64 {
+        self.below
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.above
+    }
+
+    /// Total observations recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.below + self.above
+    }
+
+    /// Centre of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// Normalized bin densities (fractions of in-range observations). An
+    /// empty histogram yields all zeros.
+    pub fn densities(&self) -> Vec<f64> {
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / in_range as f64)
+            .collect()
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Histogram::new(1.0, 0.0, 4).is_err());
+        assert!(Histogram::new(0.0, 0.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        assert!(h.counts().iter().all(|&c| c == 1));
+        assert_eq!(h.total(), 10);
+    }
+
+    #[test]
+    fn out_of_range_and_nan() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(-0.1);
+        h.record(1.0); // upper bound is exclusive
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts(), &[0, 0]);
+    }
+
+    #[test]
+    fn bin_centers_and_densities() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        assert_eq!(h.bin_center(0), 0.5);
+        assert_eq!(h.bin_center(3), 3.5);
+        h.extend([0.5, 0.6, 2.5, 3.9]);
+        let d = h.densities();
+        assert!((d[0] - 0.5).abs() < 1e-12);
+        assert!((d[2] - 0.25).abs() < 1e-12);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_densities_are_zero() {
+        let h = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(h.densities(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bin_center_bounds() {
+        let h = Histogram::new(0.0, 1.0, 2).unwrap();
+        let _ = h.bin_center(2);
+    }
+}

@@ -1,0 +1,448 @@
+//! Hypothesis tests used when comparing detection tools.
+//!
+//! Two tools run on the *same* workload produce paired binary outcomes per
+//! code unit, so the right significance test for "tool A detects more than
+//! tool B" is McNemar's test on the discordant pairs. A permutation test on
+//! arbitrary statistics and a two-proportion z-test round out the toolkit.
+
+use crate::rng::SeededRng;
+use crate::special::{binomial_cdf, binomial_pmf, chi_square_cdf, normal_cdf};
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestResult {
+    /// Value of the test statistic.
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Whether the null hypothesis is rejected at significance `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// McNemar's test on paired binary outcomes.
+///
+/// `b` = units where only tool A succeeded, `c` = units where only tool B
+/// succeeded. Uses the exact binomial test when `b + c < 26` and the
+/// continuity-corrected chi-square approximation otherwise.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Undefined`] when there are no discordant pairs
+/// (the test carries no information).
+///
+/// ```
+/// use vdbench_stats::hypothesis::mcnemar;
+/// let r = mcnemar(30, 5).unwrap();
+/// assert!(r.p_value < 0.01); // strongly asymmetric discordance
+/// ```
+pub fn mcnemar(b: u64, c: u64) -> Result<TestResult> {
+    let n = b + c;
+    if n == 0 {
+        return Err(StatsError::Undefined {
+            reason: "mcnemar with zero discordant pairs",
+        });
+    }
+    if n < 26 {
+        // Exact two-sided binomial test at p = 1/2.
+        let k = b.min(c);
+        let mut tail = binomial_cdf(n, k, 0.5)?;
+        // Two-sided: double the smaller tail (capped at 1); subtract the
+        // double-counted centre term when b == c.
+        if b == c {
+            tail -= binomial_pmf(n, k, 0.5) / 2.0;
+        }
+        let p = (2.0 * tail).min(1.0);
+        Ok(TestResult {
+            statistic: k as f64,
+            p_value: p,
+        })
+    } else {
+        let diff = (b as f64 - c as f64).abs() - 1.0; // continuity correction
+        let stat = (diff.max(0.0)).powi(2) / n as f64;
+        let p = 1.0 - chi_square_cdf(stat, 1.0)?;
+        Ok(TestResult {
+            statistic: stat,
+            p_value: p,
+        })
+    }
+}
+
+/// Two-proportion z-test (pooled) for `k1/n1` vs `k2/n2`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] when either trial count is zero,
+/// [`StatsError::InvalidParameter`] when successes exceed trials and
+/// [`StatsError::Undefined`] when the pooled proportion is degenerate
+/// (0 or 1, which makes the variance zero).
+pub fn two_proportion_z(k1: u64, n1: u64, k2: u64, n2: u64) -> Result<TestResult> {
+    if n1 == 0 || n2 == 0 {
+        return Err(StatsError::EmptyInput);
+    }
+    if k1 > n1 {
+        return Err(StatsError::InvalidParameter {
+            name: "k1",
+            value: k1 as f64,
+        });
+    }
+    if k2 > n2 {
+        return Err(StatsError::InvalidParameter {
+            name: "k2",
+            value: k2 as f64,
+        });
+    }
+    let p1 = k1 as f64 / n1 as f64;
+    let p2 = k2 as f64 / n2 as f64;
+    let pooled = (k1 + k2) as f64 / (n1 + n2) as f64;
+    let var = pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64);
+    if var == 0.0 {
+        return Err(StatsError::Undefined {
+            reason: "two-proportion z with degenerate pooled proportion",
+        });
+    }
+    let z = (p1 - p2) / var.sqrt();
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    Ok(TestResult {
+        statistic: z,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Exact binomial test of `k` successes in `n` trials against success
+/// probability `p0` (two-sided, by doubling the smaller tail).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for `n == 0` and
+/// [`StatsError::InvalidParameter`] for `k > n` or `p0` outside `[0, 1]`.
+pub fn binomial_test(k: u64, n: u64, p0: f64) -> Result<TestResult> {
+    if n == 0 {
+        return Err(StatsError::EmptyInput);
+    }
+    if k > n {
+        return Err(StatsError::InvalidParameter {
+            name: "k",
+            value: k as f64,
+        });
+    }
+    if !(0.0..=1.0).contains(&p0) {
+        return Err(StatsError::InvalidParameter {
+            name: "p0",
+            value: p0,
+        });
+    }
+    let lower = binomial_cdf(n, k, p0)?;
+    let upper = if k == 0 {
+        1.0
+    } else {
+        1.0 - binomial_cdf(n, k - 1, p0)?
+    };
+    let p = (2.0 * lower.min(upper)).min(1.0);
+    Ok(TestResult {
+        statistic: k as f64,
+        p_value: p,
+    })
+}
+
+/// Permutation test for a difference in means between two independent
+/// samples (two-sided). Exactly distribution-free; `rounds` label
+/// permutations are drawn uniformly.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if either sample is empty.
+pub fn permutation_test_mean_diff(
+    a: &[f64],
+    b: &[f64],
+    rounds: usize,
+    rng: &mut SeededRng,
+) -> Result<TestResult> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let observed = mean(a) - mean(b);
+    let mut pooled: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+    let na = a.len();
+    let mut extreme = 0usize;
+    for _ in 0..rounds {
+        rng.shuffle(&mut pooled);
+        let m1 = pooled[..na].iter().sum::<f64>() / na as f64;
+        let m2 = pooled[na..].iter().sum::<f64>() / (pooled.len() - na) as f64;
+        if (m1 - m2).abs() >= observed.abs() - 1e-15 {
+            extreme += 1;
+        }
+    }
+    // Add-one smoothing keeps the p-value away from an impossible zero.
+    let p = (extreme + 1) as f64 / (rounds + 1) as f64;
+    Ok(TestResult {
+        statistic: observed,
+        p_value: p.min(1.0),
+    })
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Friedman test for `k` related samples: are the tools ranked
+/// consistently different across `n` blocks (workloads)?
+///
+/// `scores[block][treatment]` holds each tool's score on each workload;
+/// higher is better (only ranks matter). Uses mid-ranks within blocks and
+/// the chi-square approximation with `k − 1` degrees of freedom.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] with fewer than two blocks or two
+/// treatments, [`StatsError::LengthMismatch`] for ragged input and
+/// [`StatsError::Undefined`] when every block ties all treatments.
+pub fn friedman(scores: &[Vec<f64>]) -> Result<TestResult> {
+    if scores.len() < 2 {
+        return Err(StatsError::EmptyInput);
+    }
+    let k = scores[0].len();
+    if k < 2 {
+        return Err(StatsError::EmptyInput);
+    }
+    for row in scores {
+        if row.len() != k {
+            return Err(StatsError::LengthMismatch {
+                left: k,
+                right: row.len(),
+            });
+        }
+    }
+    let n = scores.len() as f64;
+    let kf = k as f64;
+    let mut rank_sums = vec![0.0; k];
+    let mut tie_correction = 0.0;
+    for row in scores {
+        let r = crate::correlation::ranks(row);
+        for (s, v) in rank_sums.iter_mut().zip(&r) {
+            *s += v;
+        }
+        // Tie term Σ(t³ − t) within the block.
+        let mut sorted = row.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut i = 0;
+        while i < sorted.len() {
+            let mut j = i;
+            while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+                j += 1;
+            }
+            let t = (j - i + 1) as f64;
+            tie_correction += t * t * t - t;
+            i = j + 1;
+        }
+    }
+    let mean_rank = n * (kf + 1.0) / 2.0;
+    let s: f64 = rank_sums.iter().map(|r| (r - mean_rank).powi(2)).sum();
+    let denom = n * kf * (kf + 1.0) - tie_correction / (kf - 1.0);
+    if denom <= 0.0 {
+        return Err(StatsError::Undefined {
+            reason: "friedman over fully tied blocks",
+        });
+    }
+    let stat = 12.0 * s / denom;
+    let p = 1.0 - chi_square_cdf(stat, kf - 1.0)?;
+    Ok(TestResult {
+        statistic: stat,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Cliff's delta effect size: `P(x > y) − P(x < y)` for independent
+/// samples, in `[-1, 1]`. The standard non-parametric companion to the
+/// significance tests above ("the tools differ — by how much?").
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if either sample is empty.
+pub fn cliffs_delta(x: &[f64], y: &[f64]) -> Result<f64> {
+    if x.is_empty() || y.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mut greater = 0i64;
+    let mut less = 0i64;
+    for &a in x {
+        for &b in y {
+            if a > b {
+                greater += 1;
+            } else if a < b {
+                less += 1;
+            }
+        }
+    }
+    Ok((greater - less) as f64 / (x.len() * y.len()) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcnemar_balanced_not_significant() {
+        let r = mcnemar(10, 10).unwrap();
+        assert!(r.p_value > 0.5, "p={}", r.p_value);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn mcnemar_asymmetric_significant() {
+        let r = mcnemar(30, 5).unwrap();
+        assert!(r.significant_at(0.01), "p={}", r.p_value);
+        // Large-sample branch.
+        let r = mcnemar(300, 50).unwrap();
+        assert!(r.p_value < 1e-10);
+    }
+
+    #[test]
+    fn mcnemar_exact_small_sample() {
+        // b+c = 6 < 26 triggers the exact branch; 6 vs 0 has
+        // p = 2 * (1/2)^6 = 0.03125.
+        let r = mcnemar(6, 0).unwrap();
+        assert!((r.p_value - 0.03125).abs() < 1e-10, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn mcnemar_no_discordance_undefined() {
+        assert!(matches!(
+            mcnemar(0, 0),
+            Err(StatsError::Undefined { .. })
+        ));
+    }
+
+    #[test]
+    fn mcnemar_symmetry() {
+        let r1 = mcnemar(20, 8).unwrap();
+        let r2 = mcnemar(8, 20).unwrap();
+        assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_proportion_basics() {
+        let r = two_proportion_z(90, 100, 60, 100).unwrap();
+        assert!(r.significant_at(0.01));
+        assert!(r.statistic > 0.0);
+        let r = two_proportion_z(50, 100, 52, 100).unwrap();
+        assert!(!r.significant_at(0.05));
+        assert!(two_proportion_z(5, 0, 1, 10).is_err());
+        assert!(two_proportion_z(11, 10, 1, 10).is_err());
+        assert!(matches!(
+            two_proportion_z(0, 10, 0, 10),
+            Err(StatsError::Undefined { .. })
+        ));
+    }
+
+    #[test]
+    fn binomial_test_fair_coin() {
+        let r = binomial_test(5, 10, 0.5).unwrap();
+        assert!(r.p_value > 0.9);
+        let r = binomial_test(10, 10, 0.5).unwrap();
+        assert!(r.p_value < 0.01);
+        let r = binomial_test(0, 10, 0.5).unwrap();
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn binomial_test_domain() {
+        assert!(binomial_test(1, 0, 0.5).is_err());
+        assert!(binomial_test(5, 4, 0.5).is_err());
+        assert!(binomial_test(1, 4, 1.5).is_err());
+    }
+
+    #[test]
+    fn permutation_test_detects_shift() {
+        let a: Vec<f64> = (0..60).map(|i| 5.0 + (i % 3) as f64).collect();
+        let b: Vec<f64> = (0..60).map(|i| (i % 3) as f64).collect();
+        let mut rng = SeededRng::new(12);
+        let r = permutation_test_mean_diff(&a, &b, 500, &mut rng).unwrap();
+        assert!(r.significant_at(0.01), "p={}", r.p_value);
+        assert!((r.statistic - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permutation_test_null_is_uniformish() {
+        let a: Vec<f64> = (0..40).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..40).map(|i| ((i + 3) % 7) as f64).collect();
+        let mut rng = SeededRng::new(13);
+        let r = permutation_test_mean_diff(&a, &b, 500, &mut rng).unwrap();
+        assert!(r.p_value > 0.05, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn permutation_test_empty_rejected() {
+        let mut rng = SeededRng::new(1);
+        assert!(permutation_test_mean_diff(&[], &[1.0], 10, &mut rng).is_err());
+        assert!(permutation_test_mean_diff(&[1.0], &[], 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn friedman_detects_consistent_ordering() {
+        // Tool 2 always best, tool 0 always worst, across 8 workloads.
+        let scores: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![0.1 + i as f64 * 0.01, 0.5, 0.9 - i as f64 * 0.01])
+            .collect();
+        let r = friedman(&scores).unwrap();
+        assert!(r.significant_at(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn friedman_null_when_orderings_rotate() {
+        // Each tool wins equally often: no consistent difference.
+        let scores = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 3.0, 1.0],
+            vec![3.0, 1.0, 2.0],
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 3.0, 1.0],
+            vec![3.0, 1.0, 2.0],
+        ];
+        let r = friedman(&scores).unwrap();
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn friedman_input_validation() {
+        assert!(friedman(&[]).is_err());
+        assert!(friedman(&[vec![1.0, 2.0]]).is_err());
+        assert!(friedman(&[vec![1.0], vec![2.0]]).is_err());
+        assert!(friedman(&[vec![1.0, 2.0], vec![1.0]]).is_err());
+        assert!(matches!(
+            friedman(&[vec![1.0, 1.0], vec![2.0, 2.0]]),
+            Err(StatsError::Undefined { .. })
+        ));
+    }
+
+    #[test]
+    fn friedman_handles_ties() {
+        let scores = vec![
+            vec![1.0, 1.0, 3.0],
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 2.0, 3.0],
+            vec![1.0, 2.0, 3.0],
+            vec![1.0, 1.5, 3.0],
+        ];
+        let r = friedman(&scores).unwrap();
+        assert!(r.statistic > 0.0);
+        assert!(r.significant_at(0.1), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn cliffs_delta_reference_values() {
+        assert_eq!(cliffs_delta(&[2.0, 3.0], &[0.0, 1.0]).unwrap(), 1.0);
+        assert_eq!(cliffs_delta(&[0.0], &[1.0]).unwrap(), -1.0);
+        assert_eq!(cliffs_delta(&[1.0, 2.0], &[1.0, 2.0]).unwrap(), 0.0);
+        // Partial overlap: x={1,3}, y={2}: (3>2) and (1<2) → 0.
+        assert_eq!(cliffs_delta(&[1.0, 3.0], &[2.0]).unwrap(), 0.0);
+        assert!(cliffs_delta(&[], &[1.0]).is_err());
+        assert!(cliffs_delta(&[1.0], &[]).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! Confidence intervals for binomial proportions.
+//!
+//! Vulnerability-detection metrics such as recall and precision are binomial
+//! proportions estimated on finite workloads; comparing tools honestly
+//! requires interval estimates, not just point values. This module provides
+//! the Wald (normal), Wilson score, Agresti–Coull and exact Clopper–Pearson
+//! intervals.
+
+use crate::special::{beta_inc_inv, normal_quantile};
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A confidence level in `(0, 1)`, e.g. `0.95`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Confidence(f64);
+
+impl Confidence {
+    /// The conventional 95% level.
+    pub const P95: Confidence = Confidence(0.95);
+    /// The 99% level.
+    pub const P99: Confidence = Confidence(0.99);
+    /// The 90% level.
+    pub const P90: Confidence = Confidence(0.90);
+
+    /// Creates a confidence level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `0 < level < 1`.
+    pub fn new(level: f64) -> Result<Self> {
+        if !level.is_finite() || level <= 0.0 || level >= 1.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "level",
+                value: level,
+            });
+        }
+        Ok(Confidence(level))
+    }
+
+    /// The level as a fraction, e.g. `0.95`.
+    pub fn level(self) -> f64 {
+        self.0
+    }
+
+    /// Two-sided tail mass `α = 1 - level`.
+    pub fn alpha(self) -> f64 {
+        1.0 - self.0
+    }
+
+    /// The standard normal critical value `z_{1-α/2}`.
+    pub fn z_value(self) -> f64 {
+        // Confidence is validated on construction, so the quantile is
+        // always defined.
+        normal_quantile(1.0 - self.alpha() / 2.0).expect("validated level")
+    }
+}
+
+impl Default for Confidence {
+    fn default() -> Self {
+        Confidence::P95
+    }
+}
+
+/// A two-sided interval estimate `[lower, upper]` for a proportion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinomialInterval {
+    /// Lower endpoint, clamped to `[0, 1]`.
+    pub lower: f64,
+    /// Upper endpoint, clamped to `[0, 1]`.
+    pub upper: f64,
+    /// Point estimate `successes / trials`.
+    pub estimate: f64,
+}
+
+impl BinomialInterval {
+    /// Interval half-width (`(upper - lower) / 2`).
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Whether the interval contains `p`.
+    pub fn contains(&self, p: f64) -> bool {
+        p >= self.lower && p <= self.upper
+    }
+
+    /// Whether two intervals are disjoint — the crude but conservative
+    /// criterion used to call two tools "distinguishable" on a workload.
+    pub fn disjoint_from(&self, other: &BinomialInterval) -> bool {
+        self.upper < other.lower || other.upper < self.lower
+    }
+}
+
+fn validate(successes: u64, trials: u64) -> Result<()> {
+    if trials == 0 {
+        return Err(StatsError::EmptyInput);
+    }
+    if successes > trials {
+        return Err(StatsError::InvalidParameter {
+            name: "successes",
+            value: successes as f64,
+        });
+    }
+    Ok(())
+}
+
+/// Wald (simple normal approximation) interval. Included for completeness
+/// and for demonstrating its poor coverage at extreme proportions; prefer
+/// [`wilson`] in analysis code.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] when `trials == 0` and
+/// [`StatsError::InvalidParameter`] when `successes > trials`.
+pub fn wald(successes: u64, trials: u64, conf: Confidence) -> Result<BinomialInterval> {
+    validate(successes, trials)?;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = conf.z_value();
+    let half = z * (p * (1.0 - p) / n).sqrt();
+    Ok(BinomialInterval {
+        lower: (p - half).max(0.0),
+        upper: (p + half).min(1.0),
+        estimate: p,
+    })
+}
+
+/// Wilson score interval — good coverage across the whole `[0, 1]` range,
+/// the workhorse interval of the suite.
+///
+/// # Errors
+///
+/// Same domain errors as [`wald`].
+///
+/// ```
+/// use vdbench_stats::intervals::{wilson, Confidence};
+/// let iv = wilson(8, 10, Confidence::P95).unwrap();
+/// assert!(iv.lower > 0.4 && iv.upper < 1.0);
+/// assert!(iv.contains(0.8));
+/// ```
+pub fn wilson(successes: u64, trials: u64, conf: Confidence) -> Result<BinomialInterval> {
+    validate(successes, trials)?;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = conf.z_value();
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    // Snap endpoints at the boundary counts so floating-point slack never
+    // excludes the point estimate itself.
+    let lower = if successes == 0 { 0.0 } else { (center - half).max(0.0) };
+    let upper = if successes == trials { 1.0 } else { (center + half).min(1.0) };
+    Ok(BinomialInterval { lower, upper, estimate: p })
+}
+
+/// Agresti–Coull "add z²/2 successes and failures" interval.
+///
+/// # Errors
+///
+/// Same domain errors as [`wald`].
+pub fn agresti_coull(successes: u64, trials: u64, conf: Confidence) -> Result<BinomialInterval> {
+    validate(successes, trials)?;
+    let z = conf.z_value();
+    let z2 = z * z;
+    let n_tilde = trials as f64 + z2;
+    let p_tilde = (successes as f64 + z2 / 2.0) / n_tilde;
+    let half = z * (p_tilde * (1.0 - p_tilde) / n_tilde).sqrt();
+    let lower = if successes == 0 { 0.0 } else { (p_tilde - half).max(0.0) };
+    let upper = if successes == trials { 1.0 } else { (p_tilde + half).min(1.0) };
+    Ok(BinomialInterval {
+        lower,
+        upper,
+        estimate: successes as f64 / trials as f64,
+    })
+}
+
+/// Exact Clopper–Pearson interval via beta quantiles.
+///
+/// Guaranteed coverage at the cost of conservatism; used when an experiment
+/// needs a defensible worst-case bound.
+///
+/// # Errors
+///
+/// Same domain errors as [`wald`]; also propagates numerical errors from the
+/// incomplete-beta inversion.
+pub fn clopper_pearson(
+    successes: u64,
+    trials: u64,
+    conf: Confidence,
+) -> Result<BinomialInterval> {
+    validate(successes, trials)?;
+    let alpha = conf.alpha();
+    let n = trials;
+    let k = successes;
+    let lower = if k == 0 {
+        0.0
+    } else {
+        beta_inc_inv(k as f64, (n - k) as f64 + 1.0, alpha / 2.0)?
+    };
+    let upper = if k == n {
+        1.0
+    } else {
+        beta_inc_inv(k as f64 + 1.0, (n - k) as f64, 1.0 - alpha / 2.0)?
+    };
+    Ok(BinomialInterval {
+        lower,
+        upper,
+        estimate: k as f64 / n as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_construction() {
+        assert!(Confidence::new(0.95).is_ok());
+        assert!(Confidence::new(0.0).is_err());
+        assert!(Confidence::new(1.0).is_err());
+        assert!(Confidence::new(f64::NAN).is_err());
+        assert!((Confidence::P95.z_value() - 1.96).abs() < 0.001);
+        assert!((Confidence::default().level() - 0.95).abs() < 1e-12);
+        assert!((Confidence::P99.alpha() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_trials_rejected_everywhere() {
+        for f in [wald, wilson, agresti_coull, clopper_pearson] {
+            assert_eq!(f(0, 0, Confidence::P95).unwrap_err(), StatsError::EmptyInput);
+        }
+    }
+
+    #[test]
+    fn successes_exceeding_trials_rejected() {
+        assert!(wilson(5, 3, Confidence::P95).is_err());
+    }
+
+    #[test]
+    fn intervals_contain_estimate_and_are_ordered() {
+        for &(k, n) in &[(0u64, 10u64), (1, 10), (5, 10), (9, 10), (10, 10), (50, 1000)] {
+            for f in [wald, wilson, agresti_coull, clopper_pearson] {
+                let iv = f(k, n, Confidence::P95).unwrap();
+                assert!(iv.lower <= iv.upper, "k={k} n={n}");
+                assert!(iv.lower >= 0.0 && iv.upper <= 1.0);
+                // The Wald interval degenerates at the boundary but still
+                // contains the point estimate.
+                assert!(iv.contains(iv.estimate), "k={k} n={n} iv={iv:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wilson_known_value() {
+        // Wilson 95% for 8/10: approx [0.4902, 0.9433]
+        let iv = wilson(8, 10, Confidence::P95).unwrap();
+        assert!((iv.lower - 0.4902).abs() < 0.002, "lower {}", iv.lower);
+        assert!((iv.upper - 0.9433).abs() < 0.002, "upper {}", iv.upper);
+    }
+
+    #[test]
+    fn clopper_pearson_known_value() {
+        // Exact 95% for 8/10: approx [0.4439, 0.9748]
+        let iv = clopper_pearson(8, 10, Confidence::P95).unwrap();
+        assert!((iv.lower - 0.4439).abs() < 0.002, "lower {}", iv.lower);
+        assert!((iv.upper - 0.9748).abs() < 0.002, "upper {}", iv.upper);
+    }
+
+    #[test]
+    fn clopper_pearson_boundaries() {
+        let iv = clopper_pearson(0, 20, Confidence::P95).unwrap();
+        assert_eq!(iv.lower, 0.0);
+        // "Rule of three"-ish upper bound near 3/n * ln-scale.
+        assert!(iv.upper > 0.1 && iv.upper < 0.2);
+        let iv = clopper_pearson(20, 20, Confidence::P95).unwrap();
+        assert_eq!(iv.upper, 1.0);
+        assert!(iv.lower > 0.8);
+    }
+
+    #[test]
+    fn widths_shrink_with_n() {
+        let small = wilson(10, 20, Confidence::P95).unwrap();
+        let large = wilson(500, 1000, Confidence::P95).unwrap();
+        assert!(large.half_width() < small.half_width() / 3.0);
+    }
+
+    #[test]
+    fn clopper_contains_wilson_typically() {
+        // Clopper–Pearson is conservative: it should (almost always) enclose
+        // the Wilson interval.
+        for &(k, n) in &[(3u64, 25u64), (12, 40), (70, 100)] {
+            let cp = clopper_pearson(k, n, Confidence::P95).unwrap();
+            let wi = wilson(k, n, Confidence::P95).unwrap();
+            assert!(cp.lower <= wi.lower + 1e-9, "k={k} n={n}");
+            assert!(cp.upper >= wi.upper - 1e-9, "k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = wilson(90, 100, Confidence::P95).unwrap();
+        let b = wilson(10, 100, Confidence::P95).unwrap();
+        assert!(a.disjoint_from(&b));
+        assert!(b.disjoint_from(&a));
+        let c = wilson(85, 100, Confidence::P95).unwrap();
+        assert!(!a.disjoint_from(&c));
+    }
+
+    #[test]
+    fn higher_confidence_wider() {
+        let p90 = wilson(30, 60, Confidence::P90).unwrap();
+        let p99 = wilson(30, 60, Confidence::P99).unwrap();
+        assert!(p99.half_width() > p90.half_width());
+    }
+}

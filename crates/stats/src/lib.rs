@@ -1,0 +1,130 @@
+//! Statistics substrate for the `vdbench` benchmarking suite.
+//!
+//! This crate provides the numerical machinery used throughout the
+//! reproduction of *"On the Metrics for Benchmarking Vulnerability Detection
+//! Tools"* (Antunes & Vieira, DSN 2015): descriptive statistics, special
+//! functions, binomial confidence intervals, bootstrap resampling, rank
+//! correlation and hypothesis tests.
+//!
+//! Everything is implemented from first principles on top of `std` and
+//! [`rand`], so the whole workspace stays within the approved dependency set.
+//!
+//! # Quick example
+//!
+//! ```
+//! use vdbench_stats::{Summary, correlation};
+//!
+//! let xs = [1.0, 2.0, 3.0, 4.0];
+//! let ys = [1.1, 2.2, 2.9, 4.3];
+//! let summary = Summary::from_slice(&xs);
+//! assert!((summary.mean() - 2.5).abs() < 1e-12);
+//! let tau = correlation::kendall_tau(&xs, &ys).unwrap();
+//! assert!((tau - 1.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod correlation;
+pub mod descriptive;
+pub mod histogram;
+pub mod hypothesis;
+pub mod intervals;
+pub mod rng;
+pub mod special;
+
+pub use bootstrap::{Bootstrap, BootstrapCi};
+pub use descriptive::Summary;
+pub use histogram::Histogram;
+pub use intervals::{BinomialInterval, Confidence};
+pub use rng::SeededRng;
+
+use std::fmt;
+
+/// Errors produced by statistical routines in this crate.
+///
+/// All public fallible functions return [`Result<T, StatsError>`]; the
+/// variants carry enough context to produce an actionable message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// The input slice was empty but the statistic requires data.
+    EmptyInput,
+    /// Two paired inputs had different lengths.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// A parameter was outside its mathematical domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was rejected.
+        value: f64,
+    },
+    /// An iterative numerical routine failed to converge.
+    NoConvergence {
+        /// Name of the routine that failed.
+        routine: &'static str,
+    },
+    /// The statistic is undefined for the given input (for example a rank
+    /// correlation over constant data).
+    Undefined {
+        /// Human-readable description of the degeneracy.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input data is empty"),
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "paired inputs differ in length ({left} vs {right})")
+            }
+            StatsError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` is out of domain (value {value})")
+            }
+            StatsError::NoConvergence { routine } => {
+                write!(f, "numerical routine `{routine}` failed to converge")
+            }
+            StatsError::Undefined { reason } => {
+                write!(f, "statistic undefined: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Crate-wide result alias.
+pub type Result<T, E = StatsError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = StatsError::LengthMismatch { left: 3, right: 5 };
+        assert_eq!(e.to_string(), "paired inputs differ in length (3 vs 5)");
+        let e = StatsError::InvalidParameter {
+            name: "alpha",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("alpha"));
+        assert!(StatsError::EmptyInput.to_string().contains("empty"));
+        let e = StatsError::NoConvergence { routine: "betainc" };
+        assert!(e.to_string().contains("betainc"));
+        let e = StatsError::Undefined { reason: "constant" };
+        assert!(e.to_string().contains("constant"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

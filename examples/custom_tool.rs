@@ -1,0 +1,97 @@
+//! Benchmark **your own** detection tool: implement [`Detector`], drop it
+//! into the standard benchmark, and read its row next to the built-in
+//! tools — the downstream-adoption path for this library.
+//!
+//! The example implements a tiny "sink allowlist" tool: it reports any
+//! SQL or shell sink whose argument is not entirely literal, and ignores
+//! everything else.
+//!
+//! ```sh
+//! cargo run --release --example custom_tool
+//! ```
+
+use vdbench::core::Benchmark;
+use vdbench::corpus::{Corpus, Expr, SinkKind, Unit};
+use vdbench::detectors::Finding;
+use vdbench::metrics::basic::{Precision, Recall};
+use vdbench::metrics::composite::Informedness;
+use vdbench::prelude::*;
+
+/// A deliberately simple third-party tool.
+#[derive(Debug)]
+struct SinkAllowlist;
+
+impl Detector for SinkAllowlist {
+    fn name(&self) -> String {
+        "my-allowlist".into()
+    }
+
+    fn analyze(&self, _corpus: &Corpus, unit: &Unit) -> Vec<Finding> {
+        unit.sinks()
+            .into_iter()
+            .filter(|(kind, arg, _)| {
+                matches!(kind, SinkKind::SqlQuery | SinkKind::ShellExec)
+                    && !is_all_literal(arg)
+            })
+            .map(|(_, _, site)| {
+                Finding::new(site, None, 0.5, "non-literal argument at a critical sink")
+            })
+            .collect()
+    }
+}
+
+fn is_all_literal(e: &Expr) -> bool {
+    match e {
+        Expr::Int(_) | Expr::Str(_) | Expr::Bool(_) => true,
+        Expr::Concat(a, b) => is_all_literal(a) && is_all_literal(b),
+        Expr::Sanitize { arg, .. } => is_all_literal(arg),
+        Expr::BinOp { lhs, rhs, .. } => is_all_literal(lhs) && is_all_literal(rhs),
+        Expr::Var(_) | Expr::Source { .. } | Expr::StoreRead { .. } => false,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = CorpusBuilder::new()
+        .units(300)
+        .vulnerability_density(0.3)
+        .seed(2026)
+        .build();
+
+    let report = Benchmark::new(corpus)
+        .tool(Box::new(SinkAllowlist))
+        .tool(Box::new(TaintAnalyzer::precise()))
+        .tool(Box::new(DynamicScanner::thorough()))
+        .metric(Box::new(Precision))
+        .metric(Box::new(Recall))
+        .metric(Box::new(Informedness))
+        .run()?;
+
+    println!(
+        "{}",
+        report
+            .to_table("Your tool vs the built-in roster")
+            .render_ascii()
+    );
+    println!(
+        "{}",
+        report
+            .to_interval_table("…with 95% Wilson intervals", Confidence::P95)
+            .render_ascii()
+    );
+
+    // Is the difference to the taint analyzer statistically real?
+    let mine = &report.outcomes()[0];
+    let taint = &report.outcomes()[1];
+    let (b, c) = mine.discordance(taint);
+    let test = vdbench::stats::hypothesis::mcnemar(b, c)?;
+    println!(
+        "McNemar vs taint-d3-precise: b = {b}, c = {c}, p = {:.4} → {}",
+        test.p_value,
+        if test.significant_at(0.05) {
+            "the taint analyzer is genuinely better on this workload"
+        } else {
+            "not distinguishable on this workload"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! The prevalence pitfall: the same two tools, benchmarked on workloads
+//! that differ only in vulnerability density, swap places under precision
+//! while informedness stays put — the S3 procurement scenario in action.
+//!
+//! ```sh
+//! cargo run --example prevalence_pitfall
+//! ```
+
+use vdbench::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Tool A: better detector overall. Tool B: quieter but blinder.
+    let tool_a = ProfileTool::new("tool-A", 0.85, 0.10, 1);
+    let tool_b = ProfileTool::new("tool-B", 0.55, 0.02, 2);
+    let precision = Precision;
+    let informedness = vdbench::metrics::composite::Informedness;
+
+    println!("{:>12} {:>10} {:>22} {:>22}", "density", "winner by", "PPV (A vs B)", "INF (A vs B)");
+    for &density in &[0.02, 0.05, 0.1, 0.3, 0.5] {
+        let corpus = CorpusBuilder::new()
+            .units(2000)
+            .vulnerability_density(density)
+            .seed(31)
+            .build();
+        let a = score_detector(&tool_a, &corpus);
+        let b = score_detector(&tool_b, &corpus);
+        let (ca, cb) = (a.confusion(), b.confusion());
+        let ppv = (precision.compute(&ca)?, precision.compute(&cb)?);
+        let inf = (informedness.compute(&ca)?, informedness.compute(&cb)?);
+        let ppv_winner = if ppv.0 > ppv.1 { "A" } else { "B" };
+        println!(
+            "{:>11.0}% {:>10} {:>10.3} vs {:>7.3} {:>10.3} vs {:>7.3}",
+            density * 100.0,
+            format!("PPV: {ppv_winner}"),
+            ppv.0,
+            ppv.1,
+            inf.0,
+            inf.1,
+        );
+    }
+    println!(
+        "\nPrecision's verdict depends on the workload mix; informedness \
+         (Youden's J)\nranks tool A first at every density — which is why the \
+         procurement scenario\n(S3) selects a prevalence-invariant, \
+         chance-corrected metric."
+    );
+    Ok(())
+}

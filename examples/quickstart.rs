@@ -1,0 +1,54 @@
+//! Quickstart: generate a workload, run two real detection tools, and see
+//! why the metric choice decides the winner.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use vdbench::prelude::*;
+use vdbench::metrics::cost::ExpectedCost;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A synthetic-but-principled workload: 200 web-handler code units,
+    //    30% of them vulnerable, with ground truth known by construction.
+    let corpus = CorpusBuilder::new()
+        .units(200)
+        .vulnerability_density(0.3)
+        .seed(2015)
+        .build();
+    let stats = corpus.stats();
+    println!(
+        "workload: {} units, {} vulnerable ({:.1}% prevalence)\n",
+        stats.units,
+        stats.vulnerable_sites,
+        stats.prevalence * 100.0
+    );
+
+    // 2. Two real tools with opposite personalities: a static taint
+    //    analyzer (finds almost everything, flags dead code) and a dynamic
+    //    scanner (proves every exploit, misses gated flows).
+    let taint = TaintAnalyzer::precise();
+    let pentest = DynamicScanner::thorough();
+    let taint_outcome = score_detector(&taint, &corpus);
+    let pentest_outcome = score_detector(&pentest, &corpus);
+
+    for outcome in [&taint_outcome, &pentest_outcome] {
+        let cm = outcome.confusion();
+        println!("{:18} {}", outcome.tool(), cm);
+    }
+
+    // 3. The paper's point: ask two reasonable metrics who won and get two
+    //    different answers.
+    let recall = Recall;
+    let audit_cost = ExpectedCost::fp_heavy(); // false alarms cost 10x
+    let by_recall = rank_by_metric(
+        &[taint_outcome.clone(), pentest_outcome.clone()],
+        &recall,
+    )?;
+    let by_cost = rank_by_metric(&[taint_outcome, pentest_outcome], &audit_cost)?;
+    println!("\nwinner by recall:        {}", by_recall.winner());
+    println!("winner by audit cost:    {}", by_cost.winner());
+    println!("\n→ the right metric depends on the usage scenario; see the");
+    println!("  tool_selection example for the full selection pipeline.");
+    Ok(())
+}

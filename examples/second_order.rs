@@ -1,0 +1,82 @@
+//! Second-order (stored) injection: why single-request scanning is
+//! structurally blind, and what it takes from each tool family to catch a
+//! flow that crosses a persistence boundary.
+//!
+//! ```sh
+//! cargo run --release --example second_order
+//! ```
+
+use vdbench::corpus::pretty::unit_to_string;
+use vdbench::corpus::{FlowShape, Interpreter, VulnClass};
+use vdbench::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A corpus where every vulnerable flow is second-order: the payload is
+    // written to the store by a `action=save` request and reaches the sink
+    // when a later request reads it back.
+    let corpus = CorpusBuilder::new()
+        .units(120)
+        .vulnerability_density(0.5)
+        .stored_rate(1.0)
+        .decoy_rate(0.0)
+        .classes(vec![VulnClass::SqlInjection, VulnClass::Xss])
+        .seed(77)
+        .build();
+
+    let info = corpus
+        .sites()
+        .find(|s| s.shape == FlowShape::Stored)
+        .expect("stored flows exist");
+    let unit = corpus.unit_of(info.site).unwrap();
+    println!("a stored-injection unit:\n\n{}", unit_to_string(unit));
+
+    // Replay the two-phase witness attack.
+    let witness = info.witness.as_ref().unwrap();
+    let interp = Interpreter::default();
+    println!("--- session: save payload, then trigger ---");
+    for obs in interp.run_session(unit, witness)? {
+        println!(
+            "  [{}] {:?} tainted={}",
+            obs.kind.keyword(),
+            obs.rendered,
+            obs.tainted
+        );
+    }
+    println!("--- the trigger request alone (fresh store) ---");
+    for obs in interp.run(unit, &witness[1])? {
+        println!(
+            "  [{}] {:?} tainted={}",
+            obs.kind.keyword(),
+            obs.rendered,
+            obs.tainted
+        );
+    }
+
+    // Tool-family comparison on the stored shape.
+    println!("\ntool behaviour on stored flows:");
+    let tools: Vec<Box<dyn Detector>> = vec![
+        Box::new(DynamicScanner::thorough()),
+        Box::new(DynamicScanner::stateful()),
+        Box::new(TaintAnalyzer::precise()),
+        Box::new(TaintAnalyzer::precise().track_store(false)),
+        Box::new(PatternScanner::aggressive()),
+    ];
+    for tool in &tools {
+        let outcome = score_detector(tool.as_ref(), &corpus);
+        let stored = outcome.confusion_for_shape(FlowShape::Stored);
+        let literal = outcome.confusion_for_shape(FlowShape::StoredLiteral);
+        println!(
+            "  {:28} stored TPR {:>5.2}   stored-literal FPR {:>5.2}",
+            tool.name(),
+            stored.tpr(),
+            if literal.total() > 0 { literal.fpr() } else { f64::NAN },
+        );
+    }
+    println!(
+        "\n→ the single-request scanner scores 0 by construction; the stateful\n\
+         scanner and the heap-tracking taint analysis recover the flows; the\n\
+         aggressive pattern scanner catches them too but false-alarms on\n\
+         stored literals."
+    );
+    Ok(())
+}

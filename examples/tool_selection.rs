@@ -1,0 +1,49 @@
+//! The full metric-selection pipeline: assess candidate metrics against
+//! the characteristics of a good metric, pick the best metric for each
+//! usage scenario, then use the *selected* metric to pick the best tool.
+//!
+//! ```sh
+//! cargo run --release --example tool_selection
+//! ```
+
+use vdbench::core::attributes::AssessmentConfig;
+use vdbench::core::campaign::run_case_study;
+use vdbench::core::scenario::standard_scenarios;
+use vdbench::core::selection::{default_candidates, MetricSelector};
+use vdbench::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = AssessmentConfig::default();
+    println!("assessing {} candidate metrics…\n", default_candidates().len());
+    let selector = MetricSelector::new(default_candidates(), cfg)?;
+
+    for scenario in standard_scenarios() {
+        // Analytical selection: attribute scores × scenario requirements.
+        let (scores, ranking) = selector.analytical(&scenario);
+        let best = &selector.candidates()[ranking[0]];
+        println!(
+            "{} — {}\n  selected metric: {} (score {:.3})",
+            scenario.id,
+            scenario.name,
+            best.abbrev(),
+            scores[ranking[0]],
+        );
+
+        // Validate with an expert panel + AHP.
+        let panel = Panel::homogeneous(&scenario.weight_vector(), 7, 0.2, 42);
+        let outcome = selector.select(&scenario, &panel)?;
+        println!(
+            "  MCDA validation:  {} (τ = {:.2}, winners {})",
+            selector.candidates()[outcome.mcda_ranking[0]].abbrev(),
+            outcome.agreement_tau,
+            if outcome.top1_agree { "agree" } else { "differ" },
+        );
+
+        // Now run the actual tool case study and rank tools with the
+        // scenario's selected metric.
+        let report = run_case_study(&scenario, 2015)?;
+        let table = rank_by_metric(report.outcomes(), best.as_ref())?;
+        println!("  best tool under {}: {}\n", best.abbrev(), table.winner());
+    }
+    Ok(())
+}

@@ -1,0 +1,339 @@
+//! The `vdbench` command-line interface.
+//!
+//! A thin, dependency-free front-end over the library for downstream users
+//! who want results without writing Rust:
+//!
+//! ```sh
+//! vdbench generate --units 50 --density 0.3 --seed 7 --show 2
+//! vdbench scan --tool taint --units 200 --density 0.3
+//! vdbench bench --scenario S3
+//! vdbench select --noise 0.25
+//! vdbench consistency
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use vdbench::core::campaign::{run_case_study, standard_tools};
+use vdbench::core::consistency::{cross_workload_consistency, ConsistencyConfig};
+use vdbench::core::scenario::standard_scenarios;
+use vdbench::core::selection::{default_candidates, MetricSelector};
+use vdbench::core::AssessmentConfig;
+use vdbench::corpus::pretty::unit_to_string;
+use vdbench::prelude::*;
+
+const USAGE: &str = "\
+vdbench — benchmarking vulnerability detection tools (DSN'15 reproduction)
+
+USAGE:
+    vdbench <command> [--flag value]...
+
+COMMANDS:
+    generate     Generate a MiniWeb corpus and print its statistics
+                 (--units N, --density F, --seed N, --stored-rate F,
+                  --show K: pretty-print the first K units,
+                  --out FILE: also save the corpus as JSON)
+    scan         Run one detection tool over a corpus
+                 (--tool pattern|pattern-cons|taint|taint-shallow|
+                  pentest|pentest-quick|pentest-stateful,
+                  --units N, --density F, --seed N,
+                  --corpus FILE: scan a saved corpus instead of generating)
+    bench        Run the full scenario case study (--scenario S1|S2|S3|S4,
+                  --seed N)
+    select       Per-scenario metric selection + MCDA validation
+                 (--noise F, --experts N, --seed N)
+    consistency  Cross-workload ranking-consistency study (--units N,
+                  --seed N)
+    report       Full campaign report as Markdown on stdout (--seed N)
+    recommend    Recommend a benchmark metric for YOUR scenario
+                 (--fp-cost F, --fn-cost F, --prevalence F)
+    help         Show this message
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "scan" => cmd_scan(&flags),
+        "bench" => cmd_bench(&flags),
+        "select" => cmd_select(&flags),
+        "consistency" => cmd_consistency(&flags),
+        "report" => cmd_report(&flags),
+        "recommend" => cmd_recommend(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--key value` pairs; rejects stray positionals and dangling keys.
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{key}` (flags are --key value)"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("flag --{name} is missing a value"));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn flag_usize(flags: &BTreeMap<String, String>, name: &str, default: usize) -> Result<usize, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+    }
+}
+
+fn flag_u64(flags: &BTreeMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+    }
+}
+
+fn flag_f64(flags: &BTreeMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+    }
+}
+
+/// Loads a corpus from `--corpus FILE` when given, otherwise generates one
+/// from the numeric flags.
+fn load_or_build_corpus(
+    flags: &BTreeMap<String, String>,
+) -> Result<vdbench::corpus::Corpus, String> {
+    if let Some(path) = flags.get("corpus") {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read corpus file {path}: {e}"))?;
+        return serde_json::from_str(&json)
+            .map_err(|e| format!("cannot parse corpus file {path}: {e}"));
+    }
+    build_corpus(flags)
+}
+
+fn build_corpus(flags: &BTreeMap<String, String>) -> Result<vdbench::corpus::Corpus, String> {
+    let units = flag_usize(flags, "units", 200)?;
+    let density = flag_f64(flags, "density", 0.3)?;
+    let seed = flag_u64(flags, "seed", 2015)?;
+    let stored_rate = flag_f64(flags, "stored-rate", 0.12)?;
+    if !(0.0..=1.0).contains(&density) {
+        return Err("--density must be in [0, 1]".into());
+    }
+    if !(0.0..=1.0).contains(&stored_rate) {
+        return Err("--stored-rate must be in [0, 1]".into());
+    }
+    Ok(CorpusBuilder::new()
+        .units(units)
+        .vulnerability_density(density)
+        .stored_rate(stored_rate)
+        .seed(seed)
+        .build())
+}
+
+fn cmd_generate(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let corpus = build_corpus(flags)?;
+    let show = flag_usize(flags, "show", 0)?;
+    if let Some(path) = flags.get("out") {
+        let json = serde_json::to_string(&corpus)
+            .map_err(|e| format!("cannot serialize corpus: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("corpus saved to {path}");
+    }
+    let stats = corpus.stats();
+    println!(
+        "corpus: {} units / {} sites, {} vulnerable ({:.1}% prevalence), {} statements, seed {:#x}",
+        stats.units,
+        stats.sites,
+        stats.vulnerable_sites,
+        stats.prevalence * 100.0,
+        stats.total_statements,
+        corpus.seed(),
+    );
+    println!("\nby class:");
+    for (class, count) in &stats.by_class {
+        println!(
+            "  {:32} {:>4} sites, {:>3} vulnerable",
+            class.to_string(),
+            count.total,
+            count.vulnerable
+        );
+    }
+    println!("\nby flow shape:");
+    for (shape, count) in &stats.by_shape {
+        println!("  {shape:?}: {count}");
+    }
+    for unit in corpus.units().iter().take(show) {
+        println!("\n{}", unit_to_string(unit));
+    }
+    Ok(())
+}
+
+fn tool_by_name(name: &str) -> Result<Box<dyn Detector>, String> {
+    Ok(match name {
+        "pattern" => Box::new(PatternScanner::aggressive()),
+        "pattern-cons" => Box::new(PatternScanner::conservative()),
+        "taint" => Box::new(TaintAnalyzer::precise()),
+        "taint-shallow" => Box::new(TaintAnalyzer::shallow()),
+        "pentest" => Box::new(DynamicScanner::thorough()),
+        "pentest-quick" => Box::new(DynamicScanner::quick()),
+        "pentest-stateful" => Box::new(DynamicScanner::stateful()),
+        other => return Err(format!("unknown tool `{other}` (see `vdbench help`)")),
+    })
+}
+
+fn cmd_scan(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let tool_name = flags
+        .get("tool")
+        .ok_or("scan needs --tool (see `vdbench help`)")?;
+    let tool = tool_by_name(tool_name)?;
+    let corpus = load_or_build_corpus(flags)?;
+    let outcome = score_detector(tool.as_ref(), &corpus);
+    let cm = outcome.confusion();
+    println!("{} on {} cases: {}", outcome.tool(), corpus.site_count(), cm);
+    for metric in default_candidates() {
+        use vdbench::metrics::metric::MetricExt;
+        let v = metric.compute_or_nan(&cm);
+        println!("  {:8} {}", metric.abbrev(), vdbench::report::format::metric(v));
+    }
+    // Show a couple of findings with their rationale.
+    let findings = tool.analyze_corpus(&corpus);
+    println!("\n{} findings; first three:", findings.len());
+    for f in findings.iter().take(3) {
+        println!("  {} [{}] {}", f.site, f.class.map(|c| c.name()).unwrap_or("?"), f.rationale);
+    }
+    Ok(())
+}
+
+fn cmd_bench(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let seed = flag_u64(flags, "seed", 2015)?;
+    let wanted = flags.get("scenario").map(String::as_str);
+    for scenario in standard_scenarios() {
+        if let Some(w) = wanted {
+            if !scenario.id.label().eq_ignore_ascii_case(w) {
+                continue;
+            }
+        }
+        let report = run_case_study(&scenario, seed).map_err(|e| e.to_string())?;
+        println!(
+            "{}",
+            report
+                .to_table(&format!("{} — {}", scenario.id, scenario.name))
+                .render_ascii()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_select(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let noise = flag_f64(flags, "noise", 0.25)?;
+    let experts = flag_usize(flags, "experts", 7)?;
+    let seed = flag_u64(flags, "seed", 2015)?;
+    let selector = MetricSelector::new(default_candidates(), AssessmentConfig::default())
+        .map_err(|e| e.to_string())?;
+    for scenario in standard_scenarios() {
+        let panel = Panel::homogeneous(&scenario.weight_vector(), experts, noise, seed);
+        let outcome = selector.select(&scenario, &panel).map_err(|e| e.to_string())?;
+        let names: Vec<&str> = selector
+            .candidates()
+            .iter()
+            .map(|m| m.abbrev())
+            .collect();
+        println!(
+            "{}: analytical {} | MCDA {} (τ {:.2}, CR {})",
+            scenario.id,
+            names[outcome.analytical_ranking[0]],
+            names[outcome.mcda_ranking[0]],
+            outcome.agreement_tau,
+            outcome
+                .consistency_ratio
+                .map(|c| format!("{c:.3}"))
+                .unwrap_or_else(|| "—".into()),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_recommend(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let fp_cost = flag_f64(flags, "fp-cost", 1.0)?;
+    let fn_cost = flag_f64(flags, "fn-cost", 5.0)?;
+    let prevalence = flag_f64(flags, "prevalence", 0.2)?;
+    if fp_cost <= 0.0 || fn_cost <= 0.0 {
+        return Err("--fp-cost and --fn-cost must be positive".into());
+    }
+    if !(prevalence > 0.0 && prevalence < 1.0) {
+        return Err("--prevalence must be in (0, 1)".into());
+    }
+    let scenario = vdbench::core::Scenario::custom(fp_cost, fn_cost, prevalence);
+    println!("{}\n", scenario.description);
+    let selector = MetricSelector::new(default_candidates(), AssessmentConfig::default())
+        .map_err(|e| e.to_string())?;
+    let (scores, ranking) = selector.analytical(&scenario);
+    println!("recommended metrics (best first):");
+    for (rank, &i) in ranking.iter().take(5).enumerate() {
+        let m = &selector.candidates()[i];
+        println!("  {}. {:8} (score {:.3}) — {}", rank + 1, m.abbrev(), scores[i], m.name());
+    }
+    Ok(())
+}
+
+fn cmd_report(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let seed = flag_u64(flags, "seed", 2015)?;
+    let report = vdbench::core::campaign::markdown_report(seed).map_err(|e| e.to_string())?;
+    println!("{report}");
+    Ok(())
+}
+
+fn cmd_consistency(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let units = flag_usize(flags, "units", 400)?;
+    let seed = flag_u64(flags, "seed", 2015)?;
+    let cfg = ConsistencyConfig {
+        units,
+        seed,
+        ..ConsistencyConfig::default()
+    };
+    let tools = standard_tools(seed);
+    let metrics = default_candidates();
+    let results = cross_workload_consistency(&tools, &metrics, &cfg).map_err(|e| e.to_string())?;
+    println!("cross-workload consistency over densities {:?}:", cfg.densities);
+    for r in results {
+        println!(
+            "  {:8} W = {:.3}  (Friedman p = {:.4}, {} workloads)",
+            r.metric.to_string(),
+            r.kendall_w,
+            r.friedman_p,
+            r.defined_workloads
+        );
+    }
+    Ok(())
+}

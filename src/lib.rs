@@ -1,0 +1,72 @@
+//! # vdbench — benchmarking vulnerability detection tools
+//!
+//! Facade crate for the `vdbench` workspace, a production-quality Rust
+//! reproduction of *"On the Metrics for Benchmarking Vulnerability Detection
+//! Tools"* (N. Antunes and M. Vieira, DSN 2015).
+//!
+//! The workspace answers the paper's question — *which metric should a
+//! vulnerability-detection benchmark report?* — with runnable machinery:
+//!
+//! * [`metrics`] — confusion matrices and a 25+ entry metric catalog;
+//! * [`corpus`] — the `MiniWeb` synthetic vulnerable-code workload generator;
+//! * [`detectors`] — real detection tools (pattern, taint dataflow, dynamic
+//!   pentesting) plus parameterized tool-profile emulation;
+//! * [`core`] — the benchmark runner, the *characteristics of a good metric*
+//!   assessment engine, usage scenarios and per-scenario metric selection;
+//! * [`mcda`] + [`experts`] — the AHP/SAW/TOPSIS machinery and simulated
+//!   expert panels used to validate the analytical selection;
+//! * [`stats`] and [`report`] — statistics and output rendering substrates.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vdbench::prelude::*;
+//!
+//! // Generate a workload, run a real analyzer, and score it.
+//! let corpus = CorpusBuilder::new()
+//!     .units(50)
+//!     .vulnerability_density(0.3)
+//!     .seed(7)
+//!     .build();
+//! let tool = TaintAnalyzer::default();
+//! let outcome = score_detector(&tool, &corpus);
+//! let cm = outcome.confusion();
+//! let recall = Recall.compute(&cm).unwrap();
+//! assert!(recall > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vdbench_core as core;
+pub use vdbench_corpus as corpus;
+pub use vdbench_detectors as detectors;
+pub use vdbench_experts as experts;
+pub use vdbench_mcda as mcda;
+pub use vdbench_metrics as metrics;
+pub use vdbench_report as report;
+pub use vdbench_stats as stats;
+
+/// Convenience re-exports covering the most common entry points.
+pub mod prelude {
+    pub use vdbench_core::{
+        attributes::AttributeAssessment,
+        benchmark::{Benchmark, BenchmarkReport},
+        ranking::{rank_by_metric, RankingTable},
+        scenario::{Scenario, ScenarioId},
+        selection::{MetricSelector, SelectionOutcome},
+    };
+    pub use vdbench_corpus::{Corpus, CorpusBuilder, VulnClass};
+    pub use vdbench_detectors::{
+        score_detector, Detector, DynamicScanner, PatternScanner, ProfileTool, TaintAnalyzer,
+    };
+    pub use vdbench_experts::{Expert, Panel};
+    pub use vdbench_mcda::{ahp::Ahp, pairwise::PairwiseMatrix};
+    pub use vdbench_metrics::{
+        catalog::{standard_catalog, MetricId},
+        confusion::ConfusionMatrix,
+        metric::Metric,
+        basic::{Precision, Recall},
+    };
+    pub use vdbench_stats::{Bootstrap, Confidence, SeededRng, Summary};
+}

@@ -1,0 +1,175 @@
+//! Fuzzing the language substrate: for *arbitrary* MiniWeb programs (not
+//! just generator output), the interpreter, the taint analyzer and the
+//! pattern scanner must never panic — they may reject programs with
+//! errors, loop-bound out, or report nothing, but they must stay total.
+
+use proptest::prelude::*;
+use vdbench::corpus::{
+    Corpus, Expr, Function, Interpreter, Request, SiteId, Stmt, Unit,
+};
+use vdbench::corpus::{SanitizerKind, SinkKind, SourceKind};
+use vdbench::detectors::{Detector, PatternScanner, TaintAnalyzer};
+
+fn arb_source_kind() -> impl Strategy<Value = SourceKind> {
+    prop_oneof![
+        Just(SourceKind::HttpParam),
+        Just(SourceKind::HttpHeader),
+        Just(SourceKind::Cookie),
+    ]
+}
+
+fn arb_sink_kind() -> impl Strategy<Value = SinkKind> {
+    prop_oneof![
+        Just(SinkKind::SqlQuery),
+        Just(SinkKind::HtmlOutput),
+        Just(SinkKind::ShellExec),
+        Just(SinkKind::FileOpen),
+        Just(SinkKind::Authenticate),
+        Just(SinkKind::CryptoHash),
+    ]
+}
+
+fn arb_sanitizer() -> impl Strategy<Value = SanitizerKind> {
+    prop_oneof![
+        Just(SanitizerKind::EscapeSql),
+        Just(SanitizerKind::EscapeHtml),
+        Just(SanitizerKind::ShellQuote),
+        Just(SanitizerKind::NormalizePath),
+        Just(SanitizerKind::ValidateInt),
+        Just(SanitizerKind::WhitelistCheck),
+    ]
+}
+
+/// Small identifier pool so programs actually reference each other's
+/// variables (both defined and undefined reads occur).
+fn arb_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("x".to_string()),
+        Just("id".to_string()),
+        Just("key".to_string()),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Expr::Int),
+        "[ -~]{0,12}".prop_map(Expr::Str),
+        any::<bool>().prop_map(Expr::Bool),
+        arb_name().prop_map(Expr::Var),
+        (arb_source_kind(), arb_name()).prop_map(|(kind, name)| Expr::Source { kind, name }),
+        arb_name().prop_map(|key| Expr::StoreRead { key }),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Concat(Box::new(a), Box::new(b))),
+            (arb_sanitizer(), inner.clone()).prop_map(|(kind, arg)| Expr::Sanitize {
+                kind,
+                arg: Box::new(arg)
+            }),
+            (inner.clone(), inner).prop_map(|(lhs, rhs)| Expr::BinOp {
+                op: vdbench::corpus::ast::BinOp::Add,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            }),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (arb_name(), arb_expr()).prop_map(|(var, expr)| Stmt::Let { var, expr }),
+        (arb_name(), arb_expr()).prop_map(|(var, expr)| Stmt::Assign { var, expr }),
+        (arb_sink_kind(), arb_expr(), 0u32..4).prop_map(|(kind, arg, sink)| Stmt::Sink {
+            kind,
+            arg,
+            site: SiteId { unit: 0, sink },
+        }),
+        (arb_name(), arb_expr()).prop_map(|(key, expr)| Stmt::StoreWrite { key, expr }),
+        arb_expr().prop_map(Stmt::Return),
+        // Calls to a possibly-unknown helper with wrong arity are allowed:
+        // they must produce errors, not panics.
+        (arb_name(), proptest::collection::vec(arb_expr(), 0..3)).prop_map(|(func, args)| {
+            Stmt::Call {
+                var: Some("r".to_string()),
+                func,
+                args,
+            }
+        }),
+    ];
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        prop_oneof![
+            (
+                arb_expr(),
+                proptest::collection::vec(inner.clone(), 0..3),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(cond, then_branch, else_branch)| Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                }),
+            (arb_expr(), proptest::collection::vec(inner, 0..3))
+                .prop_map(|(cond, body)| Stmt::While { cond, body }),
+        ]
+    })
+}
+
+fn arb_unit() -> impl Strategy<Value = Unit> {
+    (
+        proptest::collection::vec(arb_stmt(), 0..8),
+        proptest::collection::vec(arb_stmt(), 0..4),
+    )
+        .prop_map(|(body, helper_body)| Unit {
+            id: 0,
+            handler: Function::new("handler", vec![], body),
+            helpers: vec![Function::new("x", vec!["p".to_string()], helper_body)],
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The interpreter is total on arbitrary programs: Ok or a structured
+    /// ExecError, never a panic, even across multi-request sessions with
+    /// hostile inputs.
+    #[test]
+    fn interpreter_never_panics(unit in arb_unit()) {
+        let interp = Interpreter::with_limits(20_000, 64, 8);
+        let hostile = Request::new()
+            .with_param("id", "x' OR '1'='1")
+            .with_param("a", "<script>")
+            .with_header("key", "../../etc")
+            .with_cookie("b", "; rm -rf /");
+        let _ = interp.run(&unit, &Request::new());
+        let _ = interp.run_session(&unit, &[hostile.clone(), Request::new(), hostile]);
+    }
+
+    /// Static analyzers are total on arbitrary programs.
+    #[test]
+    fn analyzers_never_panic(unit in arb_unit()) {
+        let corpus = Corpus::from_parts(vec![unit.clone()], vec![], 0);
+        for tool in [
+            Box::new(TaintAnalyzer::precise()) as Box<dyn Detector>,
+            Box::new(TaintAnalyzer::shallow()),
+            Box::new(PatternScanner::aggressive()),
+            Box::new(PatternScanner::conservative()),
+        ] {
+            let findings = tool.analyze(&corpus, &unit);
+            // Findings must point at sinks that exist in the unit.
+            let sinks: Vec<SiteId> = unit.sinks().iter().map(|(_, _, s)| *s).collect();
+            for f in findings {
+                prop_assert!(sinks.contains(&f.site), "{} invented a site", tool.name());
+            }
+        }
+    }
+
+    /// The pretty printer renders any program without panicking.
+    #[test]
+    fn pretty_printer_is_total(unit in arb_unit()) {
+        let text = vdbench::corpus::pretty::unit_to_string(&unit);
+        prop_assert!(text.contains("fn handler"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Integration tests for the `vdbench` CLI binary.
+
+use std::process::Command;
+
+fn vdbench(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_vdbench"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (stdout, _, ok) = vdbench(&["help"]);
+    assert!(ok);
+    for cmd in ["generate", "scan", "bench", "select", "consistency", "report", "recommend"] {
+        assert!(stdout.contains(cmd), "{cmd} missing from help");
+    }
+}
+
+#[test]
+fn generate_prints_stats_and_code() {
+    let (stdout, _, ok) = vdbench(&[
+        "generate", "--units", "12", "--density", "0.5", "--seed", "4", "--show", "1",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("corpus: 12 units"));
+    assert!(stdout.contains("by class:"));
+    assert!(stdout.contains("fn handler_0"));
+}
+
+#[test]
+fn scan_reports_metrics_and_findings() {
+    let (stdout, _, ok) = vdbench(&[
+        "scan", "--tool", "taint", "--units", "40", "--density", "0.4", "--seed", "9",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("taint-d3-precise on 40 cases"));
+    assert!(stdout.contains("TPR"));
+    assert!(stdout.contains("findings"));
+}
+
+#[test]
+fn unknown_command_and_bad_flags_fail_cleanly() {
+    let (_, stderr, ok) = vdbench(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (_, stderr, ok) = vdbench(&["scan", "--tool", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown tool"));
+
+    let (_, stderr, ok) = vdbench(&["generate", "--units"]);
+    assert!(!ok);
+    assert!(stderr.contains("missing a value"));
+
+    let (_, stderr, ok) = vdbench(&["generate", "--density", "2.0"]);
+    assert!(!ok);
+    assert!(stderr.contains("must be in [0, 1]"));
+
+    let (_, stderr, ok) = vdbench(&["generate", "positional"]);
+    assert!(!ok);
+    assert!(stderr.contains("unexpected argument"));
+
+    let (_, stderr, ok) = vdbench(&["scan"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs --tool"));
+}
+
+#[test]
+fn recommend_follows_the_cost_model() {
+    let (miss_heavy, _, ok) = vdbench(&[
+        "recommend", "--fp-cost", "1", "--fn-cost", "25", "--prevalence", "0.1",
+    ]);
+    assert!(ok);
+    assert!(miss_heavy.contains("closest standard profile: S2"));
+    // The top recommendation must be recall-flavoured, never precision.
+    let first = miss_heavy
+        .lines()
+        .find(|l| l.trim_start().starts_with("1."))
+        .unwrap();
+    assert!(
+        first.contains("INF") || first.contains("NEC-fn") || first.contains("TPR"),
+        "{first}"
+    );
+
+    let (_, stderr, ok) = vdbench(&["recommend", "--prevalence", "1.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("prevalence"));
+}
+
+#[test]
+fn corpus_export_import_round_trip() {
+    let dir = std::env::temp_dir().join("vdbench-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corpus.json");
+    let path_str = path.to_str().unwrap();
+
+    let (_, _, ok) = vdbench(&[
+        "generate", "--units", "30", "--density", "0.4", "--seed", "5", "--out", path_str,
+    ]);
+    assert!(ok);
+
+    // Scanning the saved corpus gives the same result as scanning the
+    // equivalent generated one.
+    let (from_file, _, ok) = vdbench(&["scan", "--tool", "taint", "--corpus", path_str]);
+    assert!(ok);
+    let (from_gen, _, ok) = vdbench(&[
+        "scan", "--tool", "taint", "--units", "30", "--density", "0.4", "--seed", "5",
+    ]);
+    assert!(ok);
+    assert_eq!(from_file, from_gen);
+
+    // Malformed file fails cleanly.
+    std::fs::write(&path, "not json").unwrap();
+    let (_, stderr, ok) = vdbench(&["scan", "--tool", "taint", "--corpus", path_str]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot parse"));
+    let (_, stderr, ok) = vdbench(&["scan", "--tool", "taint", "--corpus", "/nope/missing.json"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn generate_is_deterministic_across_invocations() {
+    let (a, _, _) = vdbench(&["generate", "--units", "25", "--seed", "77"]);
+    let (b, _, _) = vdbench(&["generate", "--units", "25", "--seed", "77"]);
+    assert_eq!(a, b);
+    let (c, _, _) = vdbench(&["generate", "--units", "25", "--seed", "78"]);
+    assert_ne!(a, c);
+}

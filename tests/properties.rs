@@ -1,0 +1,327 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants, spanning crates.
+
+use proptest::prelude::*;
+use vdbench::metrics::basic::{
+    Accuracy, Fallout, FalseDiscoveryRate, MissRate, Precision, Recall, Specificity,
+};
+use vdbench::metrics::composite::{FMeasure, Informedness, Markedness, Mcc};
+use vdbench::metrics::metric::{Metric, MetricExt};
+use vdbench::metrics::{standard_catalog, ConfusionMatrix};
+use vdbench::stats::correlation::{kendall_tau, ranks, spearman};
+use vdbench::stats::descriptive::quantile_sorted;
+use vdbench::stats::intervals::{clopper_pearson, wilson, Confidence};
+use vdbench::stats::Summary;
+
+fn arb_matrix() -> impl Strategy<Value = ConfusionMatrix> {
+    (0u64..500, 0u64..500, 0u64..500, 0u64..500)
+        .prop_map(|(tp, fp, fn_, tn)| ConfusionMatrix::new(tp, fp, fn_, tn))
+}
+
+proptest! {
+    /// Every catalog metric stays inside its declared range whenever it is
+    /// defined, and never returns NaN through the Ok path.
+    #[test]
+    fn metrics_respect_declared_ranges(cm in arb_matrix()) {
+        for m in standard_catalog() {
+            if let Ok(v) = m.compute(&cm) {
+                prop_assert!(!v.is_nan(), "{} returned NaN", m.abbrev());
+                prop_assert!(
+                    m.properties().range.contains(v),
+                    "{} out of range on {cm}: {v}",
+                    m.abbrev()
+                );
+            }
+        }
+    }
+
+    /// Complementary metric pairs always sum to one where both are defined.
+    #[test]
+    fn complement_identities(cm in arb_matrix()) {
+        let pairs: [(Box<dyn Metric>, Box<dyn Metric>); 3] = [
+            (Box::new(Precision), Box::new(FalseDiscoveryRate)),
+            (Box::new(Recall), Box::new(MissRate)),
+            (Box::new(Specificity), Box::new(Fallout)),
+        ];
+        for (a, b) in pairs {
+            if let (Ok(x), Ok(y)) = (a.compute(&cm), b.compute(&cm)) {
+                prop_assert!((x + y - 1.0).abs() < 1e-9, "{}+{}", a.abbrev(), b.abbrev());
+            }
+        }
+    }
+
+    /// MCC is the geometric mean of informedness and markedness (with the
+    /// matching sign).
+    #[test]
+    fn mcc_geometric_identity(cm in arb_matrix()) {
+        if let (Ok(mcc), Ok(inf), Ok(mrk)) = (
+            Mcc.compute(&cm),
+            Informedness.compute(&cm),
+            Markedness.compute(&cm),
+        ) {
+            // |MCC| = sqrt(|INF·MRK|); INF and MRK share MCC's sign
+            // whenever all three are defined.
+            prop_assert!((mcc.abs() - (inf * mrk).abs().sqrt()).abs() < 1e-9);
+            if mcc.abs() > 1e-9 {
+                prop_assert!(inf.signum() == mcc.signum() || inf == 0.0);
+                prop_assert!(mrk.signum() == mcc.signum() || mrk == 0.0);
+            }
+        }
+    }
+
+    /// F1 lies between precision and recall.
+    #[test]
+    fn f1_between_precision_and_recall(cm in arb_matrix()) {
+        if let (Ok(f1), Ok(p), Ok(r)) = (
+            FMeasure::f1().compute(&cm),
+            Precision.compute(&cm),
+            Recall.compute(&cm),
+        ) {
+            let lo = p.min(r) - 1e-9;
+            let hi = p.max(r) + 1e-9;
+            prop_assert!(f1 >= lo && f1 <= hi, "f1 {f1} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Accuracy is invariant under swapping the class labels AND the
+    /// predictions (tp↔tn, fp↔fn).
+    #[test]
+    fn accuracy_label_swap_invariance(cm in arb_matrix()) {
+        let swapped = ConfusionMatrix::new(cm.tn, cm.fn_, cm.fp, cm.tp);
+        if let (Ok(a), Ok(b)) = (Accuracy.compute(&cm), Accuracy.compute(&swapped)) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Pooling two matrices never decreases any cell, and metric totals add.
+    #[test]
+    fn pooling_adds(a in arb_matrix(), b in arb_matrix()) {
+        let sum = a + b;
+        prop_assert_eq!(sum.total(), a.total() + b.total());
+        prop_assert_eq!(sum.tp, a.tp + b.tp);
+        prop_assert_eq!(sum.actual_positive(), a.actual_positive() + b.actual_positive());
+    }
+
+    /// Oriented scores are antitone in FP and FN: adding errors never helps.
+    #[test]
+    fn adding_errors_never_helps(cm in arb_matrix(), extra in 1u64..50) {
+        let more_fp = ConfusionMatrix::new(cm.tp, cm.fp + extra, cm.fn_, cm.tn);
+        let more_fn = ConfusionMatrix::new(cm.tp, cm.fp, cm.fn_ + extra, cm.tn);
+        for m in [
+            Box::new(Precision) as Box<dyn Metric>,
+            Box::new(Accuracy),
+            Box::new(FMeasure::f1()),
+            Box::new(Informedness),
+        ] {
+            if let (Ok(base), Ok(worse)) = (m.oriented(&cm), m.oriented(&more_fp)) {
+                prop_assert!(worse <= base + 1e-9, "{} improved with extra FP", m.abbrev());
+            }
+            if let (Ok(base), Ok(worse)) = (m.oriented(&cm), m.oriented(&more_fn)) {
+                prop_assert!(worse <= base + 1e-9, "{} improved with extra FN", m.abbrev());
+            }
+        }
+    }
+
+    /// Wilson and Clopper–Pearson intervals are ordered, contain the point
+    /// estimate, and CP (exact) contains Wilson's endpoints directionally.
+    #[test]
+    fn binomial_intervals_are_sane(k in 0u64..200, extra in 0u64..200) {
+        let n = k + extra + 1;
+        for f in [wilson, clopper_pearson] {
+            let iv = f(k, n, Confidence::P95).unwrap();
+            prop_assert!(iv.lower <= iv.estimate + 1e-12);
+            prop_assert!(iv.upper >= iv.estimate - 1e-12);
+            prop_assert!(iv.lower >= 0.0 && iv.upper <= 1.0);
+        }
+    }
+
+    /// Mid-ranks are a permutation-respecting assignment: they sum to
+    /// n(n+1)/2 regardless of ties.
+    #[test]
+    fn ranks_sum_invariant(values in proptest::collection::vec(-100i32..100, 1..60)) {
+        let floats: Vec<f64> = values.iter().map(|&v| f64::from(v)).collect();
+        let r = ranks(&floats);
+        let n = floats.len() as f64;
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    /// Rank correlations are symmetric, bounded, and exactly 1 on self.
+    #[test]
+    fn correlation_properties(values in proptest::collection::vec(-1000i32..1000, 3..40)) {
+        let x: Vec<f64> = values.iter().map(|&v| f64::from(v)).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * 2.0 + 1.0).collect();
+        if let Ok(tau) = kendall_tau(&x, &y) {
+            prop_assert!((tau - 1.0).abs() < 1e-9, "monotone transform: tau {tau}");
+        }
+        if let Ok(rho) = spearman(&x, &y) {
+            prop_assert!((rho - 1.0).abs() < 1e-9);
+        }
+        let neg: Vec<f64> = x.iter().map(|v| -v).collect();
+        if let Ok(tau) = kendall_tau(&x, &neg) {
+            prop_assert!((tau + 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Summary quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..80)) {
+        let s = Summary::from_slice(&values);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = s.quantile(q).unwrap();
+            prop_assert!(v >= prev - 1e-9, "quantile not monotone at {q}");
+            prop_assert!(v >= s.min() - 1e-9 && v <= s.max() + 1e-9);
+            prev = v;
+        }
+    }
+
+    /// quantile_sorted interpolates within neighbouring order statistics.
+    #[test]
+    fn quantile_sorted_bounds(values in proptest::collection::vec(0f64..1e3, 2..50), q in 0f64..1f64) {
+        let mut sorted = values;
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let v = quantile_sorted(&sorted, q);
+        prop_assert!(v >= sorted[0] && v <= sorted[sorted.len() - 1]);
+    }
+}
+
+mod mcda_props {
+    use super::*;
+    use vdbench::mcda::consistency::check;
+    use vdbench::mcda::priority::{eigenvector_priorities, geometric_mean_priorities};
+    use vdbench::mcda::PairwiseMatrix;
+
+    fn arb_weights() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(0.05f64..20.0, 2..7)
+    }
+
+    proptest! {
+        /// Priorities from a perfectly consistent matrix recover the
+        /// generating weights (up to normalization) with CR ≈ 0.
+        #[test]
+        fn consistent_matrices_recover_weights(weights in arb_weights()) {
+            let m = PairwiseMatrix::from_weights(&weights).unwrap();
+            let total: f64 = weights.iter().sum();
+            for solver in [eigenvector_priorities, geometric_mean_priorities] {
+                let pv = solver(&m).unwrap();
+                for (w, t) in pv.weights.iter().zip(&weights) {
+                    prop_assert!((w - t / total).abs() < 1e-6);
+                }
+            }
+            let (_, report) = check(&m).unwrap();
+            prop_assert!(report.is_acceptable());
+        }
+
+        /// Reciprocity is preserved by arbitrary judgment updates, and
+        /// priority vectors always normalize.
+        #[test]
+        fn reciprocity_and_normalization(
+            judgments in proptest::collection::vec(0.12f64..9.0, 6),
+        ) {
+            let m = PairwiseMatrix::from_upper_triangle(4, &judgments).unwrap();
+            prop_assert!(m.is_reciprocal());
+            let pv = eigenvector_priorities(&m).unwrap();
+            prop_assert!((pv.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(pv.weights.iter().all(|w| *w > 0.0));
+            prop_assert!(pv.lambda_max >= 4.0 - 1e-6, "λmax {}", pv.lambda_max);
+        }
+    }
+}
+
+mod corpus_props {
+    use super::*;
+    use vdbench::corpus::{CorpusBuilder, Interpreter};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// For ANY seed and density, generator ground truth is verified by
+        /// the reference interpreter at every witnessed site.
+        #[test]
+        fn ground_truth_always_verified(seed in 0u64..10_000, density in 0.0f64..1.0) {
+            let corpus = CorpusBuilder::new()
+                .units(40)
+                .vulnerability_density(density)
+                .seed(seed)
+                .build();
+            let interp = Interpreter::default();
+            for info in corpus.sites() {
+                let Some(witness) = &info.witness else { continue };
+                let unit = corpus.unit_of(info.site).unwrap();
+                let obs = interp.run_session(unit, witness).unwrap();
+                let at_site: Vec<_> = obs.iter().filter(|o| o.site == info.site).collect();
+                prop_assert!(!at_site.is_empty(), "witness missed sink {}", info.site);
+                if info.class.is_taint_based() {
+                    prop_assert_eq!(
+                        at_site.iter().any(|o| o.tainted),
+                        info.vulnerable,
+                        "label mismatch at {} ({:?})", info.site, info.shape
+                    );
+                }
+            }
+        }
+
+        /// Generation is a pure function of the builder configuration.
+        #[test]
+        fn generation_deterministic(seed in 0u64..1000) {
+            let a = CorpusBuilder::new().units(15).seed(seed).build();
+            let b = CorpusBuilder::new().units(15).seed(seed).build();
+            prop_assert_eq!(a, b);
+        }
+
+        /// The dynamic scanner's proof-of-exploit oracle is *sound*: on any
+        /// corpus, every site it reports is genuinely vulnerable (perfect
+        /// precision against ground truth). Its errors are always misses.
+        #[test]
+        fn dynamic_scanner_never_false_alarms(seed in 0u64..5_000, density in 0.0f64..1.0) {
+            use vdbench::detectors::{score_detector, DynamicScanner};
+            let corpus = CorpusBuilder::new()
+                .units(30)
+                .vulnerability_density(density)
+                .seed(seed)
+                .build();
+            for scanner in [DynamicScanner::quick(), DynamicScanner::thorough(), DynamicScanner::stateful()] {
+                let cm = score_detector(&scanner, &corpus).confusion();
+                prop_assert_eq!(cm.fp, 0, "scanner {} false-alarmed", scanner.request_budget());
+            }
+        }
+
+        /// Every real tool is a pure function of (corpus, configuration):
+        /// scoring twice gives identical records.
+        #[test]
+        fn detectors_are_deterministic(seed in 0u64..2_000) {
+            use vdbench::detectors::{score_detector, DynamicScanner, PatternScanner, TaintAnalyzer};
+            let corpus = CorpusBuilder::new().units(20).seed(seed).build();
+            for tool in [
+                Box::new(TaintAnalyzer::precise()) as Box<dyn vdbench::detectors::Detector>,
+                Box::new(PatternScanner::aggressive()),
+                Box::new(DynamicScanner::quick()),
+            ] {
+                let a = score_detector(tool.as_ref(), &corpus);
+                let b = score_detector(tool.as_ref(), &corpus);
+                prop_assert_eq!(a.records(), b.records());
+            }
+        }
+
+        /// The precise taint analyzer is *complete* on taint-class sites:
+        /// it never misses a vulnerable taint flow (its errors are always
+        /// false positives, from path-insensitivity).
+        #[test]
+        fn precise_taint_never_misses_taint_flows(seed in 0u64..5_000, density in 0.0f64..1.0) {
+            use vdbench::detectors::{score_detector, TaintAnalyzer};
+            let corpus = CorpusBuilder::new()
+                .units(30)
+                .vulnerability_density(density)
+                .seed(seed)
+                .build();
+            let outcome = score_detector(&TaintAnalyzer::precise(), &corpus);
+            for rec in outcome.records() {
+                if rec.class.is_taint_based() && rec.vulnerable {
+                    prop_assert!(rec.reported, "missed {} ({:?})", rec.site, rec.shape);
+                }
+            }
+        }
+    }
+}

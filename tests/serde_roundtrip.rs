@@ -1,0 +1,108 @@
+//! Serialization round-trips: every data structure a benchmark campaign
+//! would persist (corpora, ground truth, outcomes, reports, selections)
+//! survives JSON serialization losslessly.
+
+use vdbench::core::scenario::standard_scenarios;
+use vdbench::core::selection::{default_candidates, MetricSelector};
+use vdbench::core::AssessmentConfig;
+use vdbench::corpus::{Corpus, SiteInfo};
+use vdbench::detectors::DetectionOutcome;
+use vdbench::prelude::*;
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn confusion_matrix_roundtrips() {
+    let cm = ConfusionMatrix::new(12, 3, 5, 80);
+    assert_eq!(roundtrip(&cm), cm);
+}
+
+#[test]
+fn corpus_and_ground_truth_roundtrip() {
+    let corpus = CorpusBuilder::new()
+        .units(40)
+        .vulnerability_density(0.4)
+        .stored_rate(0.3)
+        .seed(99)
+        .build();
+    let back: Corpus = roundtrip(&corpus);
+    assert_eq!(back, corpus);
+    // Site records (including witness sessions) individually too.
+    for info in corpus.sites() {
+        let b: SiteInfo = roundtrip(info);
+        assert_eq!(&b, info);
+    }
+}
+
+#[test]
+fn detection_outcomes_roundtrip() {
+    let corpus = CorpusBuilder::new().units(30).seed(7).build();
+    let outcome = score_detector(&TaintAnalyzer::precise(), &corpus);
+    let back: DetectionOutcome = roundtrip(&outcome);
+    assert_eq!(back, outcome);
+    assert_eq!(back.confusion(), outcome.confusion());
+}
+
+#[test]
+fn scenarios_roundtrip() {
+    for scenario in standard_scenarios() {
+        let back: Scenario = roundtrip(&scenario);
+        assert_eq!(back, scenario);
+        assert_eq!(back.weight_vector(), scenario.weight_vector());
+    }
+}
+
+#[test]
+fn selection_outcome_roundtrips() {
+    let cfg = AssessmentConfig {
+        workload_size: 150,
+        reference_prevalence: 0.2,
+        tool_sample: 30,
+        replicates: 60,
+        seed: 3,
+    };
+    let selector = MetricSelector::new(default_candidates(), cfg).unwrap();
+    let scenario = standard_scenarios().remove(1);
+    let panel = Panel::homogeneous(&scenario.weight_vector(), 3, 0.1, 5);
+    let outcome = selector.select(&scenario, &panel).unwrap();
+    let back = roundtrip(&outcome);
+    assert_eq!(back, outcome);
+    assert_eq!(back.mcda_best(), outcome.mcda_best());
+}
+
+#[test]
+fn pairwise_matrix_roundtrips_and_stays_reciprocal() {
+    let mut m = PairwiseMatrix::identity(4);
+    m.set(0, 1, 3.0).unwrap();
+    m.set(1, 3, 7.0).unwrap();
+    m.set(2, 3, 0.5).unwrap();
+    let back: PairwiseMatrix = roundtrip(&m);
+    assert_eq!(back, m);
+    assert!(back.is_reciprocal());
+}
+
+#[test]
+fn requests_and_findings_roundtrip() {
+    use vdbench::corpus::Request;
+    use vdbench::detectors::Finding;
+    let req = Request::new()
+        .with_param("id", "x' OR '1'='1")
+        .with_header("ua", "scanner")
+        .with_cookie("sid", "42");
+    let back: Request = roundtrip(&req);
+    assert_eq!(back, req);
+    let finding = Finding::new(
+        vdbench::corpus::SiteId { unit: 3, sink: 0 },
+        Some(VulnClass::Xss),
+        0.8,
+        "evidence",
+    );
+    let back: Finding = roundtrip(&finding);
+    assert_eq!(back, finding);
+}
