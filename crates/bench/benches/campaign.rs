@@ -1,0 +1,52 @@
+//! Criterion benchmarks: the parallel campaign engine.
+//!
+//! Measures one small end-to-end case study (scenario workload → tool
+//! roster scan → metric table) serial vs parallel, plus the campaign-cache
+//! hit path. On a multi-core machine the `parallel` timing should sit well
+//! below `serial`; on a single hardware thread the two coincide (the
+//! worker pool degenerates to the serial path).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vdbench_core::campaign::run_case_study;
+use vdbench_core::scenario::{Scenario, ScenarioId};
+use vdbench_core::{cache, cached_case_study};
+
+const SEED: u64 = 0xBE7C4;
+
+/// A scaled-down S1 case study: full roster and metric set on a small
+/// workload, so the benchmark stays in the tens of milliseconds.
+fn small_scenario() -> Scenario {
+    let mut scenario = Scenario::standard(ScenarioId::S1Audit);
+    scenario.workload_units = 60;
+    scenario
+}
+
+fn bench_case_study_serial_vs_parallel(c: &mut Criterion) {
+    let scenario = small_scenario();
+    c.bench_function("campaign/case-study-serial", |b| {
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        b.iter(|| black_box(run_case_study(black_box(&scenario), SEED).unwrap()));
+        std::env::remove_var("RAYON_NUM_THREADS");
+    });
+    c.bench_function("campaign/case-study-parallel", |b| {
+        // Default thread count: the machine's available parallelism.
+        b.iter(|| black_box(run_case_study(black_box(&scenario), SEED).unwrap()));
+    });
+}
+
+fn bench_case_study_cache_hit(c: &mut Criterion) {
+    let scenario = small_scenario();
+    cache::clear();
+    // Warm the entry once; every iteration below is a pure hit.
+    let _ = cached_case_study(&scenario, SEED).unwrap();
+    c.bench_function("campaign/case-study-cache-hit", |b| {
+        b.iter(|| black_box(cached_case_study(black_box(&scenario), SEED).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_case_study_serial_vs_parallel,
+    bench_case_study_cache_hit
+);
+criterion_main!(benches);

@@ -31,7 +31,10 @@ fn bench_interpretation(c: &mut Criterion) {
         b.iter(|| {
             let mut sinks = 0usize;
             for unit in corpus.units() {
-                sinks += interp.run(black_box(unit), &request).map(|o| o.len()).unwrap_or(0);
+                sinks += interp
+                    .run(black_box(unit), &request)
+                    .map(|o| o.len())
+                    .unwrap_or(0);
             }
             black_box(sinks)
         })

@@ -2,9 +2,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use vdbench_corpus::CorpusBuilder;
-use vdbench_detectors::{
-    score_detector, Detector, DynamicScanner, PatternScanner, TaintAnalyzer,
-};
+use vdbench_detectors::{score_detector, Detector, DynamicScanner, PatternScanner, TaintAnalyzer};
 
 fn bench_tools(c: &mut Criterion) {
     let corpus = CorpusBuilder::new()

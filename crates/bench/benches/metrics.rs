@@ -33,9 +33,7 @@ fn bench_full_catalog(c: &mut Criterion) {
 }
 
 fn bench_confusion_from_outcomes(c: &mut Criterion) {
-    let outcomes: Vec<(bool, bool)> = (0..10_000)
-        .map(|i| (i % 3 == 0, i % 7 == 0))
-        .collect();
+    let outcomes: Vec<(bool, bool)> = (0..10_000).map(|i| (i % 3 == 0, i % 7 == 0)).collect();
     c.bench_function("metric/confusion-from-10k-outcomes", |b| {
         b.iter(|| black_box(ConfusionMatrix::from_outcomes(outcomes.iter().copied())))
     });

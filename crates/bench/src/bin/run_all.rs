@@ -1,20 +1,77 @@
-//! Regenerates every table and figure in sequence.
-//! `cargo run -p vdbench-bench --release --bin run_all`
+//! Regenerates every table and figure of the evaluation.
+//! `cargo run -p vdbench-bench --release --bin run_all [-- --timings]`
+//!
+//! The 15 artifacts are evaluated concurrently on the worker pool and
+//! printed buffered, in the original (serial) order — stdout is
+//! byte-identical whether the campaign runs on one thread
+//! (`RAYON_NUM_THREADS=1`) or many, and whether `--timings` is passed or
+//! not. Expensive intermediates (scenario case studies, the attribute
+//! assessment) are shared across artifacts through the process-wide
+//! campaign cache, so each is computed exactly once per run.
+//!
+//! `--timings` prints a per-stage wall-clock + cache-counter breakdown to
+//! **stderr** and writes the same record as JSON to `BENCH_campaign.json`.
+
+use rayon::prelude::*;
+use vdbench_bench::timing::{time_stage, CampaignTiming, StageTiming};
+use vdbench_bench::{figures, tables, EXPERIMENT_SEED};
+
+/// One campaign artifact: display name plus its renderer.
+type Artifact = (&'static str, fn() -> String);
+
+/// The campaign artifacts in output order.
+fn artifacts() -> Vec<Artifact> {
+    vec![
+        ("preamble", tables::preamble as fn() -> String),
+        ("table1", tables::table1),
+        ("table2", tables::table2),
+        ("table3", tables::table3),
+        ("table4", tables::table4),
+        ("table5", tables::table5),
+        ("table6", tables::table6),
+        ("table7", tables::table7),
+        ("table8", tables::table8),
+        ("table9", tables::table9),
+        ("fig1", figures::fig1),
+        ("fig2", figures::fig2),
+        ("fig3", figures::fig3),
+        ("fig4", figures::fig4),
+        ("fig5", figures::fig5),
+        ("fig6", figures::fig6),
+    ]
+}
+
 fn main() {
-    println!("{}", vdbench_bench::tables::preamble());
-    println!("{}", vdbench_bench::tables::table1());
-    println!("{}", vdbench_bench::tables::table2());
-    println!("{}", vdbench_bench::tables::table3());
-    println!("{}", vdbench_bench::tables::table4());
-    println!("{}", vdbench_bench::tables::table5());
-    println!("{}", vdbench_bench::tables::table6());
-    println!("{}", vdbench_bench::tables::table7());
-    println!("{}", vdbench_bench::tables::table8());
-    println!("{}", vdbench_bench::tables::table9());
-    println!("{}", vdbench_bench::figures::fig1());
-    println!("{}", vdbench_bench::figures::fig2());
-    println!("{}", vdbench_bench::figures::fig3());
-    println!("{}", vdbench_bench::figures::fig4());
-    println!("{}", vdbench_bench::figures::fig5());
-    println!("{}", vdbench_bench::figures::fig6());
+    let timings_requested = std::env::args().skip(1).any(|a| a == "--timings");
+    let campaign_start = std::time::Instant::now();
+
+    // Fan the artifacts out across the pool; `collect` preserves input
+    // order, so the buffered output below matches the historical serial
+    // transcript byte for byte.
+    let staged: Vec<(String, StageTiming)> = artifacts()
+        .par_iter()
+        .map(|(name, f)| time_stage(name, f))
+        .collect();
+
+    let mut stages = Vec::with_capacity(staged.len());
+    for (text, stage) in staged {
+        println!("{text}");
+        stages.push(stage);
+    }
+
+    if timings_requested {
+        let record = CampaignTiming {
+            seed: EXPERIMENT_SEED,
+            threads: rayon::current_num_threads(),
+            stages,
+            total_millis: campaign_start.elapsed().as_secs_f64() * 1e3,
+            cache: vdbench_core::cache::stats().into(),
+        };
+        eprint!("{}", record.render());
+        let path = "BENCH_campaign.json";
+        match std::fs::write(path, record.to_json()) {
+            Ok(()) => eprintln!("timing record written to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
 }

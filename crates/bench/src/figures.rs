@@ -4,7 +4,7 @@ use crate::{experiment_config, EXPERIMENT_SEED};
 use std::fmt::Write as _;
 use vdbench_core::attributes::discrimination::separation_probability;
 use vdbench_core::attributes::prevalence::{sweep, DENSITY_GRID};
-use vdbench_core::campaign::run_case_study;
+use vdbench_core::cache::cached_case_study;
 use vdbench_core::ranking::subsample_stability;
 use vdbench_core::scenario::standard_scenarios;
 use vdbench_core::selection::{default_candidates, MetricSelector};
@@ -70,8 +70,7 @@ pub fn fig2() -> String {
             let pts = sizes
                 .iter()
                 .map(|&n| {
-                    let p =
-                        separation_probability(m.as_ref(), n, prevalence, replicates, &mut rng);
+                    let p = separation_probability(m.as_ref(), n, prevalence, replicates, &mut rng);
                     (n as f64, p)
                 })
                 .collect();
@@ -98,7 +97,7 @@ pub fn fig3() -> String {
         .into_iter()
         .find(|s| s.id == vdbench_core::ScenarioId::S3Procurement)
         .expect("S3 exists");
-    let report = run_case_study(&scenario, EXPERIMENT_SEED).expect("standard roster");
+    let report = cached_case_study(&scenario, EXPERIMENT_SEED).expect("standard roster");
     let fractions = [0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
     let replicates = 80;
     let series: Vec<Series> = default_candidates()
@@ -108,14 +107,9 @@ pub fn fig3() -> String {
             let pts = fractions
                 .iter()
                 .map(|&f| {
-                    let tau = subsample_stability(
-                        report.outcomes(),
-                        m.as_ref(),
-                        f,
-                        replicates,
-                        &mut rng,
-                    )
-                    .unwrap_or(f64::NAN);
+                    let tau =
+                        subsample_stability(report.outcomes(), m.as_ref(), f, replicates, &mut rng)
+                            .unwrap_or(f64::NAN);
                     (f, tau)
                 })
                 .collect();
@@ -363,7 +357,11 @@ mod tests {
             "full decoys, path-insensitive FPs everywhere: {}",
             last[2]
         );
-        assert!(last[3] < 0.01, "dynamic analysis never flags dead code: {}", last[3]);
+        assert!(
+            last[3] < 0.01,
+            "dynamic analysis never flags dead code: {}",
+            last[3]
+        );
     }
 
     #[test]

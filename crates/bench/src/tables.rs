@@ -7,8 +7,9 @@
 
 use crate::{experiment_config, EXPERIMENT_SEED};
 use std::fmt::Write as _;
-use vdbench_core::attributes::{assess_catalog, MetricAttribute};
-use vdbench_core::campaign::{run_case_study, standard_tools};
+use vdbench_core::attributes::MetricAttribute;
+use vdbench_core::cache::{cached_assessment, cached_case_study};
+use vdbench_core::campaign::standard_tools;
 use vdbench_core::ranking::{rank_by_metric, ranking_disagreement};
 use vdbench_core::scenario::{standard_scenarios, Scenario};
 use vdbench_core::selection::{default_candidates, MetricSelector};
@@ -31,8 +32,18 @@ fn mono(m: Monotonicity) -> &'static str {
 /// **Table 1** — the gathered metric catalog with analytical properties.
 pub fn table1() -> String {
     let mut table = Table::new(vec![
-        "abbrev", "name", "range", "dir", "∂TPR", "∂FPR", "chance-corr", "prev-inv",
-        "total", "both-errors", "simplicity", "params",
+        "abbrev",
+        "name",
+        "range",
+        "dir",
+        "∂TPR",
+        "∂FPR",
+        "chance-corr",
+        "prev-inv",
+        "total",
+        "both-errors",
+        "simplicity",
+        "params",
     ])
     .with_title("Table 1: gathered metrics and their analytical properties");
     for m in standard_catalog() {
@@ -70,7 +81,7 @@ fn yn(b: bool) -> String {
 pub fn table2() -> String {
     let catalog = standard_catalog();
     let cfg = experiment_config();
-    let sheets = assess_catalog(&catalog, &cfg);
+    let sheets = cached_assessment(&catalog, &cfg);
     let mut header = vec!["metric".to_string()];
     header.extend(
         MetricAttribute::all()
@@ -82,7 +93,7 @@ pub fn table2() -> String {
         "Table 2: empirical good-metric attribute scores (0–1, higher is better; \
          cost alignment is scenario-specific and reported in Table 6)",
     );
-    for (m, sheet) in catalog.iter().zip(&sheets) {
+    for (m, sheet) in catalog.iter().zip(sheets.iter()) {
         let mut row = vec![m.abbrev().to_string()];
         for attr in MetricAttribute::all() {
             if *attr == MetricAttribute::CostAlignment {
@@ -139,23 +150,21 @@ pub fn table3() -> String {
 pub fn table4() -> String {
     let mut out = String::new();
     for scenario in standard_scenarios() {
-        let report = run_case_study(&scenario, EXPERIMENT_SEED).expect("standard roster");
+        let report = cached_case_study(&scenario, EXPERIMENT_SEED).expect("standard roster");
         let corpus_prev = report.outcomes()[0]
             .records()
             .iter()
             .filter(|r| r.vulnerable)
             .count() as f64
             / report.outcomes()[0].records().len() as f64;
-        let mut table = Table::new(vec![
-            "tool", "TP", "FP", "FN", "TN", "TPR", "FPR", "PPV",
-        ])
-        .with_title(format!(
-            "Table 4 ({}): tool outcomes on the {} workload ({} cases, {} prevalence)",
-            scenario.id,
-            scenario.name,
-            report.outcomes()[0].records().len(),
-            format::percent(corpus_prev),
-        ));
+        let mut table = Table::new(vec!["tool", "TP", "FP", "FN", "TN", "TPR", "FPR", "PPV"])
+            .with_title(format!(
+                "Table 4 ({}): tool outcomes on the {} workload ({} cases, {} prevalence)",
+                scenario.id,
+                scenario.name,
+                report.outcomes()[0].records().len(),
+                format::percent(corpus_prev),
+            ));
         for outcome in report.outcomes() {
             let cm = outcome.confusion();
             table
@@ -183,7 +192,7 @@ pub fn table5() -> String {
     let candidates = default_candidates();
     let mut out = String::new();
     for scenario in standard_scenarios() {
-        let report = run_case_study(&scenario, EXPERIMENT_SEED).expect("standard roster");
+        let report = cached_case_study(&scenario, EXPERIMENT_SEED).expect("standard roster");
         out.push_str(
             &report
                 .to_table(&format!(
@@ -198,10 +207,13 @@ pub fn table5() -> String {
             scenario.id
         ));
         for metric in &candidates {
-            let ranking = rank_by_metric(report.outcomes(), metric.as_ref())
-                .expect("outcomes non-empty");
+            let ranking =
+                rank_by_metric(report.outcomes(), metric.as_ref()).expect("outcomes non-empty");
             winners
-                .push_row(vec![metric.abbrev().to_string(), ranking.winner().to_string()])
+                .push_row(vec![
+                    metric.abbrev().to_string(),
+                    ranking.winner().to_string(),
+                ])
                 .expect("row width");
         }
         out.push_str(&winners.render_ascii());
@@ -214,9 +226,8 @@ pub fn table5() -> String {
         .into_iter()
         .find(|s| s.id == vdbench_core::ScenarioId::S3Procurement)
         .expect("S3 exists");
-    let report = run_case_study(&scenario, EXPERIMENT_SEED).expect("standard roster");
-    let matrix =
-        ranking_disagreement(report.outcomes(), &candidates).expect("≥2 tools");
+    let report = cached_case_study(&scenario, EXPERIMENT_SEED).expect("standard roster");
+    let matrix = ranking_disagreement(report.outcomes(), &candidates).expect("≥2 tools");
     let mut header = vec!["τ".to_string()];
     header.extend(candidates.iter().map(|m| m.abbrev().to_string()));
     let mut table = Table::new(header).with_title(
@@ -237,8 +248,7 @@ pub fn table5() -> String {
 pub fn table6() -> String {
     let cfg = experiment_config();
     let selector = MetricSelector::new(default_candidates(), cfg).expect("candidates");
-    let outcomes =
-        validate_all_scenarios(&selector, 7, 0.25, EXPERIMENT_SEED).expect("selection");
+    let outcomes = validate_all_scenarios(&selector, 7, 0.25, EXPERIMENT_SEED).expect("selection");
 
     let names: Vec<String> = selector
         .candidates()
@@ -328,11 +338,9 @@ pub fn table6() -> String {
     );
     for (scenario, outcome) in standard_scenarios().iter().zip(&outcomes) {
         let ratings = selector.ratings_for(scenario);
-        let sens = vdbench_mcda::sensitivity::top_pair_sensitivity(
-            &outcome.criteria_weights,
-            &ratings,
-        )
-        .expect("valid ratings");
+        let sens =
+            vdbench_mcda::sensitivity::top_pair_sensitivity(&outcome.criteria_weights, &ratings)
+                .expect("valid ratings");
         let min = vdbench_mcda::sensitivity::min_relative_flip(&sens);
         let most_sensitive = sens
             .iter()
@@ -420,11 +428,7 @@ pub fn table8() -> String {
         .seed(EXPERIMENT_SEED ^ 0x5708ED)
         .build();
     let stats = corpus.stats();
-    let stored_total = stats
-        .by_shape
-        .get(&FlowShape::Stored)
-        .copied()
-        .unwrap_or(0);
+    let stored_total = stats.by_shape.get(&FlowShape::Stored).copied().unwrap_or(0);
     let tools: Vec<Box<dyn Detector>> = vec![
         Box::new(PatternScanner::aggressive()),
         Box::new(PatternScanner::conservative()),

@@ -1,0 +1,162 @@
+//! Wall-clock instrumentation for the campaign engine.
+//!
+//! `run_all --timings` records per-artifact wall-clock plus the campaign
+//! cache counters, prints a human-readable breakdown to **stderr** (stdout
+//! stays byte-identical with and without the flag) and serializes the
+//! whole record to `BENCH_campaign.json` for machine consumption.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Wall-clock of one campaign stage (one table/figure artifact).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (artifact binary name: "table4", "fig3", …).
+    pub name: String,
+    /// Wall-clock milliseconds spent producing the artifact.
+    pub millis: f64,
+}
+
+/// Campaign-cache counters in serializable form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Case-study requests served from the cache.
+    pub case_study_hits: u64,
+    /// Case-study requests that ran the benchmark.
+    pub case_study_misses: u64,
+    /// Assessment requests served from the cache.
+    pub assessment_hits: u64,
+    /// Assessment requests that ran the simulations.
+    pub assessment_misses: u64,
+}
+
+impl From<vdbench_core::CacheStats> for CacheCounters {
+    fn from(s: vdbench_core::CacheStats) -> Self {
+        CacheCounters {
+            case_study_hits: s.case_study_hits,
+            case_study_misses: s.case_study_misses,
+            assessment_hits: s.assessment_hits,
+            assessment_misses: s.assessment_misses,
+        }
+    }
+}
+
+/// The full timing record of one `run_all` campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignTiming {
+    /// The experiment seed.
+    pub seed: u64,
+    /// Worker threads a parallel call uses (`RAYON_NUM_THREADS` or the
+    /// machine's available parallelism).
+    pub threads: usize,
+    /// Per-artifact wall-clock, in campaign order.
+    pub stages: Vec<StageTiming>,
+    /// End-to-end campaign wall-clock in milliseconds (less than the sum
+    /// of the stages when they overlap on the pool).
+    pub total_millis: f64,
+    /// Campaign-cache hit/miss counters at campaign end.
+    pub cache: CacheCounters,
+}
+
+impl CampaignTiming {
+    /// Renders the human-readable breakdown printed to stderr.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign timings (seed {:#x}, {} worker thread{}):",
+            self.seed,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" }
+        );
+        for s in &self.stages {
+            let _ = writeln!(out, "  {:<8} {:>9.1} ms", s.name, s.millis);
+        }
+        let busy: f64 = self.stages.iter().map(|s| s.millis).sum();
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>9.1} ms wall ({busy:.1} ms of stage work)",
+            "total", self.total_millis
+        );
+        let _ = writeln!(
+            out,
+            "campaign cache: case studies {} hit / {} miss, assessments {} hit / {} miss",
+            self.cache.case_study_hits,
+            self.cache.case_study_misses,
+            self.cache.assessment_hits,
+            self.cache.assessment_misses
+        );
+        out
+    }
+
+    /// Serializes the record as pretty JSON (the `BENCH_campaign.json`
+    /// payload).
+    ///
+    /// # Panics
+    ///
+    /// Never: the record contains no non-serializable values.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("timing record serializes")
+    }
+}
+
+/// Runs `f`, returning its output together with the elapsed wall-clock.
+pub fn time_stage<T>(name: &str, f: impl FnOnce() -> T) -> (T, StageTiming) {
+    let start = Instant::now();
+    let out = f();
+    let timing = StageTiming {
+        name: name.to_string(),
+        millis: start.elapsed().as_secs_f64() * 1e3,
+    };
+    (out, timing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_timer_measures_and_returns() {
+        let (value, t) = time_stage("demo", || 6 * 7);
+        assert_eq!(value, 42);
+        assert_eq!(t.name, "demo");
+        assert!(t.millis >= 0.0);
+    }
+
+    #[test]
+    fn record_renders_and_serializes() {
+        let record = CampaignTiming {
+            seed: 0xD5_2015,
+            threads: 4,
+            stages: vec![
+                StageTiming {
+                    name: "table1".into(),
+                    millis: 1.5,
+                },
+                StageTiming {
+                    name: "fig6".into(),
+                    millis: 250.0,
+                },
+            ],
+            total_millis: 251.5,
+            cache: CacheCounters {
+                case_study_hits: 6,
+                case_study_misses: 4,
+                assessment_hits: 1,
+                assessment_misses: 2,
+            },
+        };
+        let text = record.render();
+        assert!(text.contains("table1"));
+        assert!(text.contains("6 hit / 4 miss"));
+        let json = record.to_json();
+        assert!(json.contains("\"case_study_hits\": 6"));
+        assert!(json.contains("\"name\": \"fig6\""));
+        // Valid JSON round-trip through the vendored parser.
+        let parsed: CampaignTiming = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, record);
+    }
+}

@@ -9,7 +9,9 @@ fn table1_catalog_properties() {
     let t = tables::table1();
     // The traditional metrics and the "seldom used" alternatives are all
     // gathered.
-    for abbrev in ["PPV", "TPR", "ACC", "F1", "INF", "MRK", "MCC", "NEC-fn", "DOR", "κ"] {
+    for abbrev in [
+        "PPV", "TPR", "ACC", "F1", "INF", "MRK", "MCC", "NEC-fn", "DOR", "κ",
+    ] {
         assert!(t.contains(abbrev), "{abbrev} missing from Table 1");
     }
     // Informedness is marked chance-corrected and prevalence-invariant.
@@ -33,7 +35,10 @@ fn table2_attribute_scores_are_unit_bounded() {
             floats += 1;
         }
     }
-    assert!(floats > 100, "expected a dense score table, saw {floats} values");
+    assert!(
+        floats > 100,
+        "expected a dense score table, saw {floats} values"
+    );
 }
 
 #[test]
@@ -90,12 +95,43 @@ fn fig1_shows_invariant_and_bending_metrics() {
     // precision is not.
     let csv: Vec<&str> = f.lines().filter(|l| l.starts_with("TPR,")).collect();
     assert!(!csv.is_empty());
-    let first: f64 = csv.first().unwrap().split(',').nth(2).unwrap().parse().unwrap();
-    let last: f64 = csv.last().unwrap().split(',').nth(2).unwrap().parse().unwrap();
-    assert!((first - last).abs() < 1e-9, "recall must be flat: {first} vs {last}");
+    let first: f64 = csv
+        .first()
+        .unwrap()
+        .split(',')
+        .nth(2)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let last: f64 = csv
+        .last()
+        .unwrap()
+        .split(',')
+        .nth(2)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        (first - last).abs() < 1e-9,
+        "recall must be flat: {first} vs {last}"
+    );
     let ppv: Vec<&str> = f.lines().filter(|l| l.starts_with("PPV,")).collect();
-    let first: f64 = ppv.first().unwrap().split(',').nth(2).unwrap().parse().unwrap();
-    let last: f64 = ppv.last().unwrap().split(',').nth(2).unwrap().parse().unwrap();
+    let first: f64 = ppv
+        .first()
+        .unwrap()
+        .split(',')
+        .nth(2)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let last: f64 = ppv
+        .last()
+        .unwrap()
+        .split(',')
+        .nth(2)
+        .unwrap()
+        .parse()
+        .unwrap();
     assert!(last - first > 0.3, "precision must bend: {first} → {last}");
 }
 
@@ -111,7 +147,11 @@ fn fig2_probability_grows_with_workload() {
     let inf_col = header.iter().position(|h| *h == "INF").expect("INF series");
     let rows: Vec<Vec<f64>> = lines
         .filter(|l| !l.trim().is_empty())
-        .map(|l| l.split(',').map(|c| c.parse().unwrap_or(f64::NAN)).collect())
+        .map(|l| {
+            l.split(',')
+                .map(|c| c.parse().unwrap_or(f64::NAN))
+                .collect()
+        })
         .collect();
     let first = rows.first().unwrap()[inf_col];
     let last = rows.last().unwrap()[inf_col];
@@ -129,7 +169,10 @@ fn fig4_low_noise_panels_agree() {
     // every scenario's whole-ranking agreement is high, and the clear-cut
     // scenarios (S2–S4) also reproduce the exact winner.
     let mut checked = 0;
-    for line in f.lines().filter(|l| l.starts_with('S') && l.contains(",0,")) {
+    for line in f
+        .lines()
+        .filter(|l| l.starts_with('S') && l.contains(",0,"))
+    {
         let cells: Vec<&str> = line.split(',').collect();
         if cells[1] != "0" {
             continue;

@@ -7,17 +7,27 @@ fn main() {
     let sel = MetricSelector::new(default_candidates(), cfg).unwrap();
     for scenario in standard_scenarios() {
         let ratings = sel.ratings_for(&scenario);
-        println!("== {} (fp {}, fn {}, prev {})", scenario.id, scenario.fp_cost, scenario.fn_cost, scenario.typical_prevalence);
+        println!(
+            "== {} (fp {}, fn {}, prev {})",
+            scenario.id, scenario.fp_cost, scenario.fn_cost, scenario.typical_prevalence
+        );
         print!("{:10}", "metric");
-        for a in MetricAttribute::all() { print!(" {:>8}", a.label()); }
+        for a in MetricAttribute::all() {
+            print!(" {:>8}", a.label());
+        }
         println!(" {:>8}", "score");
         let (scores, ranking) = sel.analytical(&scenario);
         for (i, m) in sel.candidates().iter().enumerate() {
             print!("{:10}", m.abbrev());
-            for v in &ratings[i] { print!(" {:8.3}", v); }
+            for v in &ratings[i] {
+                print!(" {:8.3}", v);
+            }
             println!(" {:8.3}", scores[i]);
         }
-        let names: Vec<&str> = ranking.iter().map(|&i| sel.candidates()[i].abbrev()).collect();
+        let names: Vec<&str> = ranking
+            .iter()
+            .map(|&i| sel.candidates()[i].abbrev())
+            .collect();
         println!("ranking: {:?}\n", names);
     }
 }

@@ -102,10 +102,7 @@ mod tests {
     fn specificity_cannot_see_a_recall_difference() {
         let cfg = AssessmentConfig::default();
         let s = score(&Specificity, &cfg);
-        assert!(
-            s < 0.65,
-            "specificity is blind to TPR changes: {s}"
-        );
+        assert!(s < 0.65, "specificity is blind to TPR changes: {s}");
     }
 
     #[test]

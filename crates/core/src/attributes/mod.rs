@@ -26,6 +26,7 @@ pub mod prevalence;
 pub mod stability;
 pub mod validity;
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -141,18 +142,21 @@ impl AttributeAssessment {
 ///
 /// Scenario-specific cost alignment is added by callers via
 /// [`cost_alignment`] so the expensive generic work is done once.
+///
+/// Metrics are assessed in parallel on the rayon pool. Every attribute
+/// scorer seeds its own RNG from `cfg.seed` (never from shared state), so
+/// the sheet computed for each metric — and therefore the whole returned
+/// vector, which preserves catalog order — is bit-identical to the serial
+/// evaluation regardless of thread count.
 pub fn assess_catalog(
     metrics: &[Box<dyn Metric>],
     cfg: &AssessmentConfig,
 ) -> Vec<AttributeAssessment> {
     metrics
-        .iter()
+        .par_iter()
         .map(|m| {
             let mut scores = BTreeMap::new();
-            scores.insert(
-                MetricAttribute::Validity,
-                validity::score(m.as_ref(), cfg),
-            );
+            scores.insert(MetricAttribute::Validity, validity::score(m.as_ref(), cfg));
             scores.insert(
                 MetricAttribute::PrevalenceInvariance,
                 prevalence::score(m.as_ref(), cfg),
@@ -169,10 +173,7 @@ pub fn assess_catalog(
                 MetricAttribute::Stability,
                 stability::score(m.as_ref(), cfg),
             );
-            scores.insert(
-                MetricAttribute::Definedness,
-                definedness::score(m.as_ref()),
-            );
+            scores.insert(MetricAttribute::Definedness, definedness::score(m.as_ref()));
             scores.insert(
                 MetricAttribute::Simplicity,
                 f64::from(m.properties().simplicity) / 5.0,
@@ -334,7 +335,10 @@ mod tests {
             matched >= acc,
             "matched cost metric at least as aligned (matched {matched}, acc {acc})"
         );
-        assert!(matched > 0.95, "matched cost metric near-perfect: {matched}");
+        assert!(
+            matched > 0.95,
+            "matched cost metric near-perfect: {matched}"
+        );
         assert!(
             recall < acc - 0.1,
             "recall ignores the dominant error type (recall {recall}, acc {acc})"

@@ -35,9 +35,7 @@ impl AxisReport {
         match self.claimed {
             Monotonicity::Increasing => self.decreasing_fraction <= TOL,
             Monotonicity::Decreasing => self.increasing_fraction <= TOL,
-            Monotonicity::Independent => {
-                self.constant_fraction >= 1.0 - TOL
-            }
+            Monotonicity::Independent => self.constant_fraction >= 1.0 - TOL,
             Monotonicity::Mixed => true,
         }
     }

@@ -54,10 +54,7 @@ mod tests {
     #[test]
     fn informative_metrics_have_high_validity() {
         let cfg = AssessmentConfig::default();
-        for m in [
-            Box::new(Informedness) as Box<dyn Metric>,
-            Box::new(Mcc),
-        ] {
+        for m in [Box::new(Informedness) as Box<dyn Metric>, Box::new(Mcc)] {
             let s = score(m.as_ref(), &cfg);
             assert!(s > 0.85, "{} validity {s}", m.abbrev());
         }

@@ -104,8 +104,11 @@ impl Benchmark {
                 .collect()
         });
         let metric_ids: Vec<MetricId> = self.metrics.iter().map(|m| m.id()).collect();
-        let metric_labels: Vec<String> =
-            self.metrics.iter().map(|m| m.abbrev().to_string()).collect();
+        let metric_labels: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|m| m.abbrev().to_string())
+            .collect();
         let values: Vec<Vec<f64>> = outcomes
             .iter()
             .map(|o| {
@@ -225,10 +228,7 @@ mod tests {
 
     #[test]
     fn empty_configuration_rejected() {
-        assert!(matches!(
-            base().run(),
-            Err(CoreError::InvalidConfig { .. })
-        ));
+        assert!(matches!(base().run(), Err(CoreError::InvalidConfig { .. })));
         assert!(base()
             .tool(Box::new(PatternScanner::aggressive()))
             .run()

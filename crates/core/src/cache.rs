@@ -1,0 +1,339 @@
+//! Campaign-level memoization: each expensive artifact is computed once.
+//!
+//! The table/figure binaries in `vdbench-bench` all draw from the same two
+//! expensive computations — the per-scenario case studies
+//! ([`crate::campaign::run_case_study`]) and the generic metric-attribute
+//! assessment ([`crate::attributes::assess_catalog`]). Run stand-alone,
+//! each binary recomputes them from scratch; run together (`run_all`),
+//! that is a 15× waste. This module provides process-wide, content-keyed
+//! memoization so every consumer in the process shares one copy of each
+//! result:
+//!
+//! * **Case studies** are keyed on `(scenario id, workload size,
+//!   prevalence bits, seed, roster fingerprint)` — everything the report
+//!   is a function of. The roster fingerprint hashes the tool names and
+//!   metric identities of the standard campaign roster, so a change to
+//!   [`crate::campaign::standard_tools`] invalidates the key instead of
+//!   silently serving stale reports.
+//! * **Attribute assessments** are keyed on every field of
+//!   [`AssessmentConfig`] plus a fingerprint of the assessed metric
+//!   catalog.
+//!
+//! Values are stored behind [`Arc`], so cache hits are pointer clones.
+//! Each map entry is a per-key [`OnceLock`] cell: concurrent requests for
+//! the *same* key block on one computation (each case study is computed
+//! exactly once per process), while requests for *different* keys proceed
+//! in parallel — the global map mutex is only held for the entry lookup,
+//! never during computation.
+//!
+//! Hit/miss counters feed the `run_all --timings` instrumentation and the
+//! determinism regression tests; [`clear`] resets the whole cache for
+//! tests that need cold-start behaviour.
+
+use crate::attributes::{assess_catalog, AssessmentConfig, AttributeAssessment};
+use crate::benchmark::BenchmarkReport;
+use crate::campaign;
+use crate::error::Result;
+use crate::scenario::{Scenario, ScenarioId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use vdbench_detectors::Detector;
+use vdbench_metrics::metric::Metric;
+
+/// 64-bit FNV-1a over a byte string, continuing from `state`.
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// FNV-1a offset basis — the starting state for fingerprints.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Content fingerprint of a benchmark roster: tool names plus metric
+/// identities, order-sensitive. Two rosters with the same fingerprint
+/// produce the same [`BenchmarkReport`] on the same workload.
+#[must_use]
+pub fn roster_fingerprint(tools: &[Box<dyn Detector>], metrics: &[Box<dyn Metric>]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for t in tools {
+        h = fnv1a(h, t.name().as_bytes());
+        h = fnv1a(h, b"\x1f");
+    }
+    h = fnv1a(h, b"\x1e");
+    h = fnv1a(h, metrics_fingerprint(metrics).to_le_bytes().as_slice());
+    h
+}
+
+/// Content fingerprint of a metric catalog (identity + column label,
+/// order-sensitive).
+#[must_use]
+pub fn metrics_fingerprint(metrics: &[Box<dyn Metric>]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for m in metrics {
+        h = fnv1a(h, format!("{:?}", m.id()).as_bytes());
+        h = fnv1a(h, m.abbrev().as_bytes());
+        h = fnv1a(h, b"\x1f");
+    }
+    h
+}
+
+/// Everything a standard case-study report is a function of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CaseStudyKey {
+    scenario: ScenarioId,
+    workload_units: usize,
+    prevalence_bits: u64,
+    seed: u64,
+    roster: u64,
+}
+
+/// Everything a generic attribute assessment is a function of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct AssessmentKey {
+    workload_size: u64,
+    prevalence_bits: u64,
+    tool_sample: usize,
+    replicates: usize,
+    seed: u64,
+    metrics: u64,
+}
+
+type CaseCell = Arc<OnceLock<Result<Arc<BenchmarkReport>>>>;
+type AssessCell = Arc<OnceLock<Arc<Vec<AttributeAssessment>>>>;
+
+static CASE_STUDIES: OnceLock<Mutex<HashMap<CaseStudyKey, CaseCell>>> = OnceLock::new();
+static ASSESSMENTS: OnceLock<Mutex<HashMap<AssessmentKey, AssessCell>>> = OnceLock::new();
+
+static CASE_HITS: AtomicU64 = AtomicU64::new(0);
+static CASE_MISSES: AtomicU64 = AtomicU64::new(0);
+static ASSESS_HITS: AtomicU64 = AtomicU64::new(0);
+static ASSESS_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn case_map() -> &'static Mutex<HashMap<CaseStudyKey, CaseCell>> {
+    CASE_STUDIES.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn assess_map() -> &'static Mutex<HashMap<AssessmentKey, AssessCell>> {
+    ASSESSMENTS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Snapshot of the cache hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Case-study requests served from the cache.
+    pub case_study_hits: u64,
+    /// Case-study requests that ran the benchmark.
+    pub case_study_misses: u64,
+    /// Assessment requests served from the cache.
+    pub assessment_hits: u64,
+    /// Assessment requests that ran the simulations.
+    pub assessment_misses: u64,
+}
+
+impl CacheStats {
+    /// Total requests served from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.case_study_hits + self.assessment_hits
+    }
+
+    /// Total requests that had to compute.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.case_study_misses + self.assessment_misses
+    }
+}
+
+/// Current hit/miss counters (process-wide, monotonic until [`clear`]).
+#[must_use]
+pub fn stats() -> CacheStats {
+    CacheStats {
+        case_study_hits: CASE_HITS.load(Ordering::Relaxed),
+        case_study_misses: CASE_MISSES.load(Ordering::Relaxed),
+        assessment_hits: ASSESS_HITS.load(Ordering::Relaxed),
+        assessment_misses: ASSESS_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Empties both caches and zeroes the counters (for tests and benchmarks
+/// that need cold-start behaviour). In-flight computations finish on their
+/// own cells and are simply not retained.
+pub fn clear() {
+    case_map().lock().expect("campaign cache poisoned").clear();
+    assess_map()
+        .lock()
+        .expect("campaign cache poisoned")
+        .clear();
+    CASE_HITS.store(0, Ordering::Relaxed);
+    CASE_MISSES.store(0, Ordering::Relaxed);
+    ASSESS_HITS.store(0, Ordering::Relaxed);
+    ASSESS_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Memoized [`campaign::run_case_study`]: the standard case study for a
+/// scenario, computed at most once per `(scenario, seed, roster)` per
+/// process and shared behind an [`Arc`].
+///
+/// # Errors
+///
+/// Propagates (and caches) benchmark configuration errors — impossible
+/// with the standard roster.
+pub fn cached_case_study(scenario: &Scenario, seed: u64) -> Result<Arc<BenchmarkReport>> {
+    let key = CaseStudyKey {
+        scenario: scenario.id,
+        workload_units: scenario.workload_units,
+        prevalence_bits: scenario.typical_prevalence.to_bits(),
+        seed,
+        roster: roster_fingerprint(
+            &campaign::standard_tools(seed),
+            &campaign::standard_metrics(),
+        ),
+    };
+    let cell = {
+        let mut map = case_map().lock().expect("campaign cache poisoned");
+        map.entry(key).or_default().clone()
+    };
+    let mut computed = false;
+    let result = cell.get_or_init(|| {
+        computed = true;
+        campaign::run_case_study(scenario, seed).map(Arc::new)
+    });
+    if computed {
+        CASE_MISSES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        CASE_HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    result.clone()
+}
+
+/// Memoized [`assess_catalog`]: the generic attribute sheets for a metric
+/// catalog under a configuration, computed at most once per process and
+/// shared behind an [`Arc`].
+#[must_use]
+pub fn cached_assessment(
+    metrics: &[Box<dyn Metric>],
+    cfg: &AssessmentConfig,
+) -> Arc<Vec<AttributeAssessment>> {
+    let key = AssessmentKey {
+        workload_size: cfg.workload_size,
+        prevalence_bits: cfg.reference_prevalence.to_bits(),
+        tool_sample: cfg.tool_sample,
+        replicates: cfg.replicates,
+        seed: cfg.seed,
+        metrics: metrics_fingerprint(metrics),
+    };
+    let cell = {
+        let mut map = assess_map().lock().expect("campaign cache poisoned");
+        map.entry(key).or_default().clone()
+    };
+    let mut computed = false;
+    let sheets = cell.get_or_init(|| {
+        computed = true;
+        Arc::new(assess_catalog(metrics, cfg))
+    });
+    if computed {
+        ASSESS_MISSES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        ASSESS_HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    sheets.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{standard_scenarios, Scenario, ScenarioId};
+    use crate::selection::default_candidates;
+
+    /// Serializes the tests in this module: [`clear`] must not run while a
+    /// sibling test is asserting `Arc::ptr_eq` on live entries.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().expect("cache test lock poisoned")
+    }
+
+    fn quick_cfg(seed: u64) -> AssessmentConfig {
+        AssessmentConfig {
+            workload_size: 60,
+            reference_prevalence: 0.2,
+            tool_sample: 10,
+            replicates: 20,
+            seed,
+        }
+    }
+
+    #[test]
+    fn assessment_cache_hits_on_repeat_and_distinguishes_configs() {
+        let _guard = test_lock();
+        let catalog = default_candidates();
+        // Unique seeds so other tests in the binary cannot collide with
+        // the per-key behaviour under observation.
+        let cfg_a = quick_cfg(0x00CA_C4EA);
+        let cfg_b = quick_cfg(0x00CA_C4EB);
+        let before = stats();
+        let first = cached_assessment(&catalog, &cfg_a);
+        let second = cached_assessment(&catalog, &cfg_a);
+        assert!(Arc::ptr_eq(&first, &second), "repeat must share the Arc");
+        let other = cached_assessment(&catalog, &cfg_b);
+        assert!(!Arc::ptr_eq(&first, &other), "different seed, new entry");
+        let after = stats();
+        // ≥ rather than ==: unrelated tests in this binary may also use
+        // the (process-global) cache concurrently.
+        assert!(after.assessment_misses >= before.assessment_misses + 2);
+        assert!(after.assessment_hits > before.assessment_hits);
+        // The cached sheets match a direct computation exactly.
+        assert_eq!(*first, assess_catalog(&catalog, &cfg_a));
+    }
+
+    #[test]
+    fn case_study_cache_is_keyed_on_workload_shape() {
+        let _guard = test_lock();
+        let mut scenario = Scenario::standard(ScenarioId::S1Audit);
+        scenario.workload_units = 40;
+        let seed = 0x00CA_C4EC;
+        let first = cached_case_study(&scenario, seed).unwrap();
+        let again = cached_case_study(&scenario, seed).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        // A different workload size is a different key.
+        scenario.workload_units = 44;
+        let other = cached_case_study(&scenario, seed).unwrap();
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert!(
+            other.outcomes()[0].records().len() > first.outcomes()[0].records().len(),
+            "larger workload, more cases"
+        );
+    }
+
+    #[test]
+    fn fingerprints_are_order_sensitive() {
+        let catalog = default_candidates();
+        let mut reversed = default_candidates();
+        reversed.reverse();
+        assert_ne!(
+            metrics_fingerprint(&catalog),
+            metrics_fingerprint(&reversed)
+        );
+        let tools = campaign::standard_tools(1);
+        let fp1 = roster_fingerprint(&tools, &catalog);
+        let fp2 = roster_fingerprint(&campaign::standard_tools(1), &catalog);
+        assert_eq!(fp1, fp2, "fingerprint is content-based, not identity-based");
+        assert_ne!(fp1, roster_fingerprint(&tools, &reversed));
+    }
+
+    #[test]
+    fn clear_resets_counters_and_entries() {
+        let _guard = test_lock();
+        let _ = standard_scenarios();
+        clear();
+        let s = stats();
+        assert_eq!(s, CacheStats::default());
+        assert_eq!(s.hits(), 0);
+        assert_eq!(s.misses(), 0);
+    }
+}

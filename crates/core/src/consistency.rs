@@ -169,8 +169,7 @@ mod tests {
             Box::new(Precision),
             Box::new(Accuracy),
         ];
-        let results =
-            cross_workload_consistency(&tools(), &metrics, &quick_cfg()).unwrap();
+        let results = cross_workload_consistency(&tools(), &metrics, &quick_cfg()).unwrap();
         assert_eq!(results.len(), 4);
         let by_id = |id: MetricId| results.iter().find(|r| r.metric == id).unwrap();
         let recall = by_id(MetricId::Recall);

@@ -18,13 +18,16 @@
 //!
 //! [`campaign`] packages the standard experiment configuration (scenario
 //! workloads + tool roster) used by every table/figure binary in
-//! `vdbench-bench`.
+//! `vdbench-bench`; [`cache`] memoizes the expensive campaign artifacts
+//! (case studies, attribute assessments) so the whole suite computes each
+//! one exactly once per process.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attributes;
 pub mod benchmark;
+pub mod cache;
 pub mod campaign;
 pub mod consistency;
 pub mod error;
@@ -35,6 +38,7 @@ pub mod validation;
 
 pub use attributes::{assess_catalog, AssessmentConfig, AttributeAssessment, MetricAttribute};
 pub use benchmark::{Benchmark, BenchmarkReport};
+pub use cache::{cached_assessment, cached_case_study, CacheStats};
 pub use error::CoreError;
 pub use ranking::{rank_by_metric, RankingTable};
 pub use scenario::{Scenario, ScenarioId};

@@ -61,10 +61,7 @@ impl RankingTable {
 /// # Errors
 ///
 /// Returns [`CoreError::NoData`] for an empty outcome slice.
-pub fn rank_by_metric(
-    outcomes: &[DetectionOutcome],
-    metric: &dyn Metric,
-) -> Result<RankingTable> {
+pub fn rank_by_metric(outcomes: &[DetectionOutcome], metric: &dyn Metric) -> Result<RankingTable> {
     if outcomes.is_empty() {
         return Err(CoreError::NoData {
             reason: "no tool outcomes to rank",
@@ -114,7 +111,10 @@ pub fn ranking_disagreement(
         .iter()
         .map(|m| {
             rank_by_metric(outcomes, m.as_ref()).map(|t| {
-                t.positions().iter().map(|&p| p as f64).collect::<Vec<f64>>()
+                t.positions()
+                    .iter()
+                    .map(|&p| p as f64)
+                    .collect::<Vec<f64>>()
             })
         })
         .collect::<Result<_>>()?;
@@ -184,11 +184,10 @@ pub fn subsample_stability(
             })
             .collect();
         let sub_ranking = ranking_from_scores(&oriented, true);
-        let sub_pos: Vec<f64> =
-            vdbench_mcda::ranking::positions_from_ranking(&sub_ranking)
-                .iter()
-                .map(|&p| p as f64)
-                .collect();
+        let sub_pos: Vec<f64> = vdbench_mcda::ranking::positions_from_ranking(&sub_ranking)
+            .iter()
+            .map(|&p| p as f64)
+            .collect();
         if let Ok(tau) = kendall_tau(&full_pos, &sub_pos) {
             taus.push(tau);
         }

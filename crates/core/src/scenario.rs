@@ -203,7 +203,7 @@ pub fn standard_scenarios() -> Vec<Scenario> {
                 // Reviewers compare tool scores against the cost of random
                 // triage, so a metric that flatters chance-level reporting
                 // (accuracy at moderate prevalence) misleads the audit.
-                (A::ChanceCorrection, 3.0),
+                (A::ChanceCorrection, 4.0),
                 (A::Stability, 3.0),
                 (A::Definedness, 2.0),
                 (A::DiscriminativePower, 2.0),
@@ -310,7 +310,11 @@ mod tests {
         for s in standard_scenarios() {
             let v = s.weight_vector();
             assert_eq!(v.len(), MetricAttribute::all().len());
-            assert!(v.iter().all(|w| *w > 0.0), "{}: all attributes weighted", s.id);
+            assert!(
+                v.iter().all(|w| *w > 0.0),
+                "{}: all attributes weighted",
+                s.id
+            );
         }
     }
 

@@ -7,9 +7,8 @@
 //! weights, runs the hierarchy in ratings mode over the same attribute
 //! scores, and reports the agreement between the two rankings.
 
-use crate::attributes::{
-    assess_catalog, cost_alignment, AssessmentConfig, AttributeAssessment, MetricAttribute,
-};
+use crate::attributes::{cost_alignment, AssessmentConfig, AttributeAssessment, MetricAttribute};
+use crate::cache::cached_assessment;
 use crate::error::{CoreError, Result};
 use crate::scenario::{Scenario, ScenarioId};
 use serde::{Deserialize, Serialize};
@@ -81,8 +80,7 @@ impl SelectionOutcome {
 
     /// Overlap size of the two rankings' top-`k` sets.
     pub fn top_k_overlap(&self, k: usize) -> usize {
-        let a: std::collections::BTreeSet<_> =
-            self.analytical_ranking.iter().take(k).collect();
+        let a: std::collections::BTreeSet<_> = self.analytical_ranking.iter().take(k).collect();
         self.mcda_ranking
             .iter()
             .take(k)
@@ -94,12 +92,15 @@ impl SelectionOutcome {
 /// The metric-selection engine: candidates + their assessed attributes.
 pub struct MetricSelector {
     candidates: Vec<Box<dyn Metric>>,
-    assessments: Vec<AttributeAssessment>,
+    assessments: std::sync::Arc<Vec<AttributeAssessment>>,
     cfg: AssessmentConfig,
 }
 
 impl MetricSelector {
     /// Builds a selector, running the (generic) attribute assessment once.
+    /// The assessment is served from the process-wide campaign cache
+    /// ([`crate::cache`]), so repeated selectors over the same catalog and
+    /// configuration share one computation.
     ///
     /// # Errors
     ///
@@ -110,7 +111,7 @@ impl MetricSelector {
                 reason: "no candidate metrics".into(),
             });
         }
-        let assessments = assess_catalog(&candidates, &cfg);
+        let assessments = cached_assessment(&candidates, &cfg);
         Ok(MetricSelector {
             candidates,
             assessments,
@@ -134,7 +135,7 @@ impl MetricSelector {
     pub fn ratings_for(&self, scenario: &Scenario) -> Vec<Vec<f64>> {
         self.candidates
             .iter()
-            .zip(&self.assessments)
+            .zip(self.assessments.iter())
             .map(|(metric, sheet)| {
                 MetricAttribute::all()
                     .iter()
@@ -160,13 +161,7 @@ impl MetricSelector {
         let total: f64 = weights.iter().sum();
         let scores: Vec<f64> = ratings
             .iter()
-            .map(|row| {
-                row.iter()
-                    .zip(&weights)
-                    .map(|(r, w)| r * w)
-                    .sum::<f64>()
-                    / total
-            })
+            .map(|row| row.iter().zip(&weights).map(|(r, w)| r * w).sum::<f64>() / total)
             .collect();
         let ranking = ranking_from_scores(&scores, true);
         (scores, ranking)
@@ -221,11 +216,10 @@ impl MetricSelector {
                 .iter()
                 .map(|&p| p as f64)
                 .collect();
-        let mcda_pos: Vec<f64> =
-            vdbench_mcda::ranking::positions_from_ranking(&result.ranking)
-                .iter()
-                .map(|&p| p as f64)
-                .collect();
+        let mcda_pos: Vec<f64> = vdbench_mcda::ranking::positions_from_ranking(&result.ranking)
+            .iter()
+            .map(|&p| p as f64)
+            .collect();
         let agreement_tau = kendall_tau(&analytical_pos, &mcda_pos).unwrap_or(f64::NAN);
 
         Ok(SelectionOutcome {

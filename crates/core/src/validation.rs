@@ -109,8 +109,7 @@ pub fn method_ablation(
     };
     let ahp_pos = pos(&outcome.mcda_ranking);
     let tau_ahp_saw = kendall_tau(&ahp_pos, &pos(&saw_result.ranking)).unwrap_or(f64::NAN);
-    let tau_ahp_topsis =
-        kendall_tau(&ahp_pos, &pos(&topsis_result.ranking)).unwrap_or(f64::NAN);
+    let tau_ahp_topsis = kendall_tau(&ahp_pos, &pos(&topsis_result.ranking)).unwrap_or(f64::NAN);
 
     Ok(MethodAblation {
         candidates: outcome.candidates.clone(),
@@ -158,12 +157,8 @@ pub fn noise_robustness(
                 use rand::RngCore;
                 rng.next_u64()
             };
-            let panel = Panel::homogeneous(
-                &scenario.weight_vector(),
-                panel_size,
-                noise,
-                panel_seed,
-            );
+            let panel =
+                Panel::homogeneous(&scenario.weight_vector(), panel_size, noise, panel_seed);
             let outcome = selector.select(scenario, &panel)?;
             if outcome.top1_agree {
                 hits += 1;
@@ -214,7 +209,12 @@ mod tests {
         let ids: Vec<ScenarioId> = outcomes.iter().map(|o| o.scenario).collect();
         assert_eq!(ids, ScenarioId::all());
         for o in &outcomes {
-            assert!(o.agreement_tau > 0.3, "{}: tau {}", o.scenario, o.agreement_tau);
+            assert!(
+                o.agreement_tau > 0.3,
+                "{}: tau {}",
+                o.scenario,
+                o.agreement_tau
+            );
         }
     }
 
@@ -241,8 +241,7 @@ mod tests {
     fn robustness_degrades_with_noise() {
         let s = selector();
         let scenario = Scenario::standard(ScenarioId::S3Procurement);
-        let points =
-            noise_robustness(&s, &scenario, &[0.1, 3.0], 12, 5, 17).unwrap();
+        let points = noise_robustness(&s, &scenario, &[0.1, 3.0], 12, 5, 17).unwrap();
         assert_eq!(points.len(), 2);
         // Low-noise panels must reproduce the analytical winner almost
         // always; heavy noise may not (sampling tolerance of one panel).

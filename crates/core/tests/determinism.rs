@@ -1,0 +1,63 @@
+//! Campaign-engine regression tests: thread-count invariance and cache
+//! behaviour.
+//!
+//! The workspace's determinism contract (DESIGN.md, "Concurrency and
+//! caching") is that every result is a pure function of the seed —
+//! independent of the worker-thread count and of whether intermediates
+//! were served from the campaign cache. These tests pin that contract on
+//! the largest composite artifact, [`markdown_report`].
+//!
+//! Everything lives in one `#[test]` because the scenario manipulates the
+//! process-global `RAYON_NUM_THREADS` variable and the process-global
+//! campaign cache; concurrent test threads must not interleave with it.
+
+use vdbench_core::cache;
+use vdbench_core::campaign::markdown_report;
+
+#[test]
+fn markdown_report_is_thread_count_invariant_and_cached() {
+    const SEED: u64 = 0xDE7E12;
+
+    // --- Serial baseline (strictly one worker everywhere). -------------
+    cache::clear();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = markdown_report(SEED).expect("standard configuration");
+    let after_serial = cache::stats();
+    assert!(
+        after_serial.case_study_misses >= 4,
+        "cold cache computes every scenario: {after_serial:?}"
+    );
+    assert!(after_serial.assessment_misses >= 1, "{after_serial:?}");
+
+    // --- Parallel recomputation from a cold cache. ---------------------
+    cache::clear();
+    std::env::set_var("RAYON_NUM_THREADS", "7");
+    let parallel = markdown_report(SEED).expect("standard configuration");
+    assert_eq!(
+        serial, parallel,
+        "campaign output must be byte-identical across thread counts"
+    );
+
+    // --- Warm repeat: pure cache hits, still byte-identical. -----------
+    let warm_before = cache::stats();
+    let repeat = markdown_report(SEED).expect("standard configuration");
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(serial, repeat, "cache hits must not change the output");
+    let warm_after = cache::stats();
+    assert_eq!(
+        warm_after.case_study_misses, warm_before.case_study_misses,
+        "warm render must not recompute any case study"
+    );
+    assert_eq!(
+        warm_after.assessment_misses, warm_before.assessment_misses,
+        "warm render must not recompute the assessment"
+    );
+    assert!(
+        warm_after.case_study_hits >= warm_before.case_study_hits + 4,
+        "every scenario served from cache: {warm_before:?} -> {warm_after:?}"
+    );
+    assert!(
+        warm_after.assessment_hits > warm_before.assessment_hits,
+        "{warm_before:?} -> {warm_after:?}"
+    );
+}

@@ -11,9 +11,7 @@ use std::fmt;
 
 /// Uniquely identifies a sink call site across the corpus: the benchmark
 /// "case" that ground truth labels and tools report on.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SiteId {
     /// Index of the unit within the corpus.
     pub unit: u32,
@@ -143,9 +141,7 @@ impl Expr {
         match self {
             Expr::Sanitize { .. } => true,
             Expr::Concat(a, b) => a.contains_sanitizer() || b.contains_sanitizer(),
-            Expr::BinOp { lhs, rhs, .. } => {
-                lhs.contains_sanitizer() || rhs.contains_sanitizer()
-            }
+            Expr::BinOp { lhs, rhs, .. } => lhs.contains_sanitizer() || rhs.contains_sanitizer(),
             _ => false,
         }
     }
@@ -159,10 +155,9 @@ impl Expr {
 
     fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
-            Expr::Var(v)
-                if !out.contains(&v.as_str()) => {
-                    out.push(v);
-                }
+            Expr::Var(v) if !out.contains(&v.as_str()) => {
+                out.push(v);
+            }
             Expr::Concat(a, b) => {
                 a.collect_vars(out);
                 b.collect_vars(out);
@@ -433,10 +428,7 @@ mod tests {
 
     #[test]
     fn referenced_vars_dedup_and_order() {
-        let e = Expr::concat(
-            Expr::var("a"),
-            Expr::concat(Expr::var("b"), Expr::var("a")),
-        );
+        let e = Expr::concat(Expr::var("a"), Expr::concat(Expr::var("b"), Expr::var("a")));
         assert_eq!(e.referenced_vars(), vec!["a", "b"]);
         let bin = Expr::BinOp {
             op: BinOp::Eq,

@@ -95,10 +95,7 @@ impl CorpusBuilder {
     ///
     /// Panics unless `density` is in `[0, 1]`.
     pub fn vulnerability_density(mut self, density: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&density),
-            "density must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
         self.density = density;
         self
     }
@@ -423,9 +420,9 @@ mod tests {
                 continue;
             };
             let unit = corpus.unit_of(info.site).unwrap();
-            let obs = interp.run_session(unit, witness).unwrap_or_else(|e| {
-                panic!("unit {} failed to execute: {e}", unit.id)
-            });
+            let obs = interp
+                .run_session(unit, witness)
+                .unwrap_or_else(|e| panic!("unit {} failed to execute: {e}", unit.id));
             let at_site: Vec<_> = obs.iter().filter(|o| o.site == info.site).collect();
             assert!(
                 !at_site.is_empty(),

@@ -254,8 +254,8 @@ pub fn vulnerable_recipe(
             }
         }
         FlowShape::SanitizedPartial => {
-            let correct = SanitizerKind::correct_for(sink_kind)
-                .expect("taint sinks have correct sanitizers");
+            let correct =
+                SanitizerKind::correct_for(sink_kind).expect("taint sinks have correct sanitizers");
             // The sanitizing path triggers only on strict=1; the witness
             // leaves `strict` unset, taking the vulnerable path.
             let body = vec![
@@ -763,9 +763,9 @@ mod tests {
         inject_noise(&mut body, 5, &mut rng);
         assert!(body.len() <= 6);
         // The original statement survives.
-        assert!(body.iter().any(
-            |s| matches!(s, Stmt::Let { var, .. } if var == "keep")
-        ));
+        assert!(body
+            .iter()
+            .any(|s| matches!(s, Stmt::Let { var, .. } if var == "keep")));
         // Zero noise is a no-op.
         let mut b2 = body.clone();
         inject_noise(&mut b2, 0, &mut rng);

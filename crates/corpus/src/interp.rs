@@ -135,11 +135,7 @@ impl Value {
     /// Whether the value is dangerous for the given sink: some tag lacks
     /// sanitization for it.
     pub fn tainted_for(&self, sink: SinkKind) -> bool {
-        sink.is_taint_sink()
-            && self
-                .taints
-                .iter()
-                .any(|t| !t.sanitized_for.contains(&sink))
+        sink.is_taint_sink() && self.taints.iter().any(|t| !t.sanitized_for.contains(&sink))
     }
 }
 
@@ -363,12 +359,7 @@ impl<'a> ExecCtx<'a> {
         Ok(Flow::Normal)
     }
 
-    fn exec_stmt(
-        &mut self,
-        stmt: &Stmt,
-        env: &mut Env,
-        depth: usize,
-    ) -> Result<Flow, ExecError> {
+    fn exec_stmt(&mut self, stmt: &Stmt, env: &mut Env, depth: usize) -> Result<Flow, ExecError> {
         self.tick()?;
         match stmt {
             Stmt::Let { var, expr } | Stmt::Assign { var, expr } => {
@@ -1012,7 +1003,9 @@ mod tests {
         assert_eq!(req.get(SourceKind::HttpParam, "k"), "p");
         assert_eq!(req.get(SourceKind::HttpHeader, "k"), "h");
         assert_eq!(req.get(SourceKind::Cookie, "k"), "c");
-        let req2 = Request::new().with_header("ua", "x").with_cookie("sid", "1");
+        let req2 = Request::new()
+            .with_header("ua", "x")
+            .with_cookie("sid", "1");
         assert_eq!(req2.get(SourceKind::HttpHeader, "ua"), "x");
         assert_eq!(req2.get(SourceKind::Cookie, "sid"), "1");
     }

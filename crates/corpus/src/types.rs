@@ -50,10 +50,7 @@ impl VulnClass {
     /// Whether the class is an injection (taint-flow) class, as opposed to
     /// a configuration/pattern class.
     pub fn is_taint_based(self) -> bool {
-        !matches!(
-            self,
-            VulnClass::HardcodedCredentials | VulnClass::WeakHash
-        )
+        !matches!(self, VulnClass::HardcodedCredentials | VulnClass::WeakHash)
     }
 
     /// The sink kind this class manifests at.
@@ -101,7 +98,11 @@ pub enum SourceKind {
 impl SourceKind {
     /// All source kinds.
     pub fn all() -> &'static [SourceKind] {
-        &[SourceKind::HttpParam, SourceKind::HttpHeader, SourceKind::Cookie]
+        &[
+            SourceKind::HttpParam,
+            SourceKind::HttpHeader,
+            SourceKind::Cookie,
+        ]
     }
 
     /// The MiniWeb surface syntax for the source.

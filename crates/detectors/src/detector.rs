@@ -1,6 +1,7 @@
 //! The [`Detector`] trait.
 
 use crate::finding::Finding;
+use rayon::prelude::*;
 use vdbench_corpus::{Corpus, Unit};
 
 /// A vulnerability detection tool.
@@ -17,13 +18,20 @@ pub trait Detector: std::fmt::Debug + Send + Sync {
     /// Analyzes one unit and returns the findings.
     fn analyze(&self, corpus: &Corpus, unit: &Unit) -> Vec<Finding>;
 
-    /// Analyzes a whole corpus (default: unit by unit).
+    /// Analyzes a whole corpus: units are scanned on the rayon pool and
+    /// the findings concatenated in unit order.
+    ///
+    /// Every [`Detector`] in this workspace is a pure function of
+    /// `(corpus, unit, configuration)`, so the parallel scan returns
+    /// exactly the serial result; `RAYON_NUM_THREADS=1` forces the serial
+    /// path (used by the determinism regression tests).
     fn analyze_corpus(&self, corpus: &Corpus) -> Vec<Finding> {
-        corpus
+        let per_unit: Vec<Vec<Finding>> = corpus
             .units()
-            .iter()
-            .flat_map(|u| self.analyze(corpus, u))
-            .collect()
+            .par_iter()
+            .map(|u| self.analyze(corpus, u))
+            .collect();
+        per_unit.into_iter().flatten().collect()
     }
 }
 

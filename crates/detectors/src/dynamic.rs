@@ -17,6 +17,7 @@
 
 use crate::detector::Detector;
 use crate::finding::Finding;
+use rayon::prelude::*;
 use std::collections::BTreeMap;
 use vdbench_corpus::{Corpus, Interpreter, Request, SinkKind, Unit, VulnClass};
 
@@ -41,8 +42,9 @@ const PAYLOADS: [(&str, VulnClass); 4] = [
 
 /// The scanner's dictionary of common gate values (what a wordlist would
 /// try for mode/debug/action parameters).
-const GATE_DICTIONARY: [&str; 9] =
-    ["1", "true", "debug", "admin", "yes", "full", "0", "test", "save"];
+const GATE_DICTIONARY: [&str; 9] = [
+    "1", "true", "debug", "admin", "yes", "full", "0", "test", "save",
+];
 
 /// Budgeted black-box scanner.
 ///
@@ -176,13 +178,40 @@ impl Detector for DynamicScanner {
         format!(
             "pentest-{}{}{}",
             self.request_budget,
-            if self.use_gate_dictionary { "-dict" } else { "" },
+            if self.use_gate_dictionary {
+                "-dict"
+            } else {
+                ""
+            },
             if self.two_phase { "-2ph" } else { "" }
         )
     }
 
     fn analyze(&self, _corpus: &Corpus, unit: &Unit) -> Vec<Finding> {
         let interp = Interpreter::default();
+        self.analyze_with(&interp, unit)
+    }
+
+    /// Scans the whole corpus on the rayon pool, sharing one
+    /// [`Interpreter`] across all units instead of constructing it per
+    /// unit. The interpreter is a stateless bundle of execution limits, so
+    /// sharing it is free and thread-safe; findings are concatenated in
+    /// unit order, identical to the serial scan.
+    fn analyze_corpus(&self, corpus: &Corpus) -> Vec<Finding> {
+        let interp = Interpreter::default();
+        let per_unit: Vec<Vec<Finding>> = corpus
+            .units()
+            .par_iter()
+            .map(|u| self.analyze_with(&interp, u))
+            .collect();
+        per_unit.into_iter().flatten().collect()
+    }
+}
+
+impl DynamicScanner {
+    /// Scans one unit with a caller-provided interpreter (hoisted out of
+    /// the per-unit loop by [`Detector::analyze_corpus`]).
+    fn analyze_with(&self, interp: &Interpreter, unit: &Unit) -> Vec<Finding> {
         let mut confirmed: BTreeMap<_, (&'static str, SinkKind)> = BTreeMap::new();
         for (session, payload) in self.plan(unit) {
             // Execution failures (runaway loops, malformed units) are a
@@ -199,10 +228,7 @@ impl Detector for DynamicScanner {
                     .find(|(p, _)| *p == payload)
                     .map(|(_, c)| *c);
                 let sink_class = class_for_sink(obs.kind);
-                if obs.tainted
-                    && obs.rendered.contains(payload)
-                    && payload_class == sink_class
-                {
+                if obs.tainted && obs.rendered.contains(payload) && payload_class == sink_class {
                     confirmed.entry(obs.site).or_insert((payload, obs.kind));
                 }
             }
@@ -304,7 +330,10 @@ mod tests {
             .build();
         let outcome = score_detector(&DynamicScanner::thorough(), &corpus);
         let gated = outcome.confusion_for_shape(FlowShape::InputGated);
-        assert_eq!(gated.tp, 0, "obscure gates must defeat the scanner: {gated}");
+        assert_eq!(
+            gated.tp, 0,
+            "obscure gates must defeat the scanner: {gated}"
+        );
     }
 
     #[test]
@@ -334,7 +363,10 @@ mod tests {
             .build();
         let outcome = score_detector(&DynamicScanner::thorough(), &corpus);
         let recall = Recall.compute(&outcome.confusion()).unwrap();
-        assert!(recall > 0.9, "disguises don't fool execution: recall {recall}");
+        assert!(
+            recall > 0.9,
+            "disguises don't fool execution: recall {recall}"
+        );
     }
 
     #[test]

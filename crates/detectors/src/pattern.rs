@@ -145,8 +145,7 @@ impl Detector for PatternScanner {
 
     fn analyze(&self, _corpus: &Corpus, unit: &Unit) -> Vec<Finding> {
         let mut findings = Vec::new();
-        let functions =
-            std::iter::once(&unit.handler).chain(unit.helpers.iter());
+        let functions = std::iter::once(&unit.handler).chain(unit.helpers.iter());
         for function in functions {
             let defs = lexical_defs(&function.body);
             let mut sinks = Vec::new();

@@ -92,7 +92,10 @@ impl ProfileTool {
 
     /// The configured sensitivity for a class.
     pub fn tpr_for(&self, class: VulnClass) -> f64 {
-        self.class_tpr.get(&class).copied().unwrap_or(self.default_tpr)
+        self.class_tpr
+            .get(&class)
+            .copied()
+            .unwrap_or(self.default_tpr)
     }
 
     /// The configured false-positive rate.
@@ -106,7 +109,9 @@ impl ProfileTool {
     fn site_draw(&self, site: SiteId) -> f64 {
         let mut h: u64 = self.seed ^ 0x9E37_79B9_7F4A_7C15;
         for byte in self.name.bytes() {
-            h = h.wrapping_mul(0x100_0000_01b3).wrapping_add(u64::from(byte));
+            h = h
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(u64::from(byte));
         }
         h ^= (u64::from(site.unit) << 32) | u64::from(site.sink);
         SeededRng::new(h).uniform()
@@ -131,9 +136,7 @@ impl Detector for ProfileTool {
             };
             if self.site_draw(site) < threshold {
                 // A second independent draw decides the class claim.
-                let mut rng = SeededRng::new(
-                    (self.site_draw(site).to_bits()) ^ self.seed ^ 0xD1A6,
-                );
+                let mut rng = SeededRng::new((self.site_draw(site).to_bits()) ^ self.seed ^ 0xD1A6);
                 let claimed = if rng.uniform() < self.diagnosis_accuracy {
                     info.class
                 } else {
@@ -205,8 +208,7 @@ mod tests {
             .classes(vec![VulnClass::SqlInjection, VulnClass::Xss])
             .seed(54)
             .build();
-        let tool = ProfileTool::new("classy", 0.9, 0.0, 3)
-            .with_class_tpr(VulnClass::Xss, 0.2);
+        let tool = ProfileTool::new("classy", 0.9, 0.0, 3).with_class_tpr(VulnClass::Xss, 0.2);
         assert_eq!(tool.tpr_for(VulnClass::Xss), 0.2);
         assert_eq!(tool.tpr_for(VulnClass::SqlInjection), 0.9);
         assert_eq!(tool.fpr(), 0.0);

@@ -50,9 +50,7 @@ impl DetectionOutcome {
 
     /// Pooled confusion matrix over all cases.
     pub fn confusion(&self) -> ConfusionMatrix {
-        ConfusionMatrix::from_outcomes(
-            self.records.iter().map(|r| (r.reported, r.vulnerable)),
-        )
+        ConfusionMatrix::from_outcomes(self.records.iter().map(|r| (r.reported, r.vulnerable)))
     }
 
     /// Confusion matrix restricted to one vulnerability class.
@@ -302,11 +300,12 @@ mod tests {
         // The dynamic scanner's class-matched oracle (response signature
         // must match the probing payload) makes its diagnosis exact too.
         let dynamic = score_detector(&DynamicScanner::thorough(), &corpus);
-        let acc = dynamic.diagnosis_accuracy().expect("scanner claims classes");
+        let acc = dynamic
+            .diagnosis_accuracy()
+            .expect("scanner claims classes");
         assert!(acc > 0.99, "class-matched oracle: {acc}");
         // A sloppy classifier lands near its configured accuracy.
-        let sloppy = crate::ProfileTool::new("sloppy", 1.0, 0.0, 5)
-            .with_diagnosis_accuracy(0.7);
+        let sloppy = crate::ProfileTool::new("sloppy", 1.0, 0.0, 5).with_diagnosis_accuracy(0.7);
         let acc = score_detector(&sloppy, &corpus)
             .diagnosis_accuracy()
             .expect("profile claims classes");
@@ -357,7 +356,10 @@ mod tests {
         // One class fully detected, one fully missed → macro recall = 0.5
         // regardless of class sizes; micro depends on the mix.
         assert!((macro_ - 0.5).abs() < 1e-9, "macro {macro_}");
-        assert!((micro - macro_).abs() > 0.01, "micro {micro} vs macro {macro_}");
+        assert!(
+            (micro - macro_).abs() > 0.01,
+            "micro {micro} vs macro {macro_}"
+        );
     }
 
     #[test]

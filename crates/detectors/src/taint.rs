@@ -123,7 +123,11 @@ impl Detector for TaintAnalyzer {
         format!(
             "taint-d{}{}{}",
             self.max_call_depth,
-            if self.precise_sanitizers { "-precise" } else { "-naive" },
+            if self.precise_sanitizers {
+                "-precise"
+            } else {
+                "-naive"
+            },
             if self.precise_sanitizers && !self.track_store {
                 "-nostore"
             } else {
@@ -454,7 +458,10 @@ mod tests {
         // The naive model treats any sanitizer as cleansing: it misses all
         // mismatched flows (partial flows still join an unsanitized path).
         let mismatch_cm = naive.confusion_for_shape(FlowShape::SanitizedMismatch);
-        assert_eq!(mismatch_cm.tp, 0, "naive model must be fooled: {mismatch_cm}");
+        assert_eq!(
+            mismatch_cm.tp, 0,
+            "naive model must be fooled: {mismatch_cm}"
+        );
         assert!(mismatch_cm.fn_ > 0);
     }
 

@@ -62,14 +62,17 @@ fn stateful_scanner_exposes_stored_flows() {
 fn taint_heap_abstraction_is_required() {
     let corpus = stored_corpus(1.0, 5);
     let with_store = score_detector(&TaintAnalyzer::precise(), &corpus);
-    let without_store = score_detector(
-        &TaintAnalyzer::precise().track_store(false),
-        &corpus,
-    );
+    let without_store = score_detector(&TaintAnalyzer::precise().track_store(false), &corpus);
     let a = with_store.confusion_for_shape(FlowShape::Stored);
     let b = without_store.confusion_for_shape(FlowShape::Stored);
-    assert_eq!(a.fn_, 0, "heap-tracking taint analysis finds stored flows: {a}");
-    assert_eq!(b.tp, 0, "without the heap abstraction every stored flow is missed: {b}");
+    assert_eq!(
+        a.fn_, 0,
+        "heap-tracking taint analysis finds stored flows: {a}"
+    );
+    assert_eq!(
+        b.tp, 0,
+        "without the heap abstraction every stored flow is missed: {b}"
+    );
 }
 
 #[test]
@@ -79,7 +82,10 @@ fn pattern_scanner_distrusts_the_store_both_ways() {
     let vulnerable = stored_corpus(1.0, 6);
     let aggr = score_detector(&PatternScanner::aggressive(), &vulnerable);
     let stored = aggr.confusion_for_shape(FlowShape::Stored);
-    assert_eq!(stored.fn_, 0, "aggressive pattern catches stored flows: {stored}");
+    assert_eq!(
+        stored.fn_, 0,
+        "aggressive pattern catches stored flows: {stored}"
+    );
 
     let safe = stored_corpus(0.0, 7);
     let aggr_safe = score_detector(&PatternScanner::aggressive(), &safe);

@@ -177,9 +177,8 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 let v = m.get(i, j);
-                let admissible = (1..=9).any(|k| {
-                    (v - k as f64).abs() < 1e-12 || (v - 1.0 / k as f64).abs() < 1e-12
-                });
+                let admissible = (1..=9)
+                    .any(|k| (v - k as f64).abs() < 1e-12 || (v - 1.0 / k as f64).abs() < 1e-12);
                 assert!(admissible, "judgment {v} not on the scale");
             }
         }

@@ -119,11 +119,11 @@ impl Panel {
             .elicit_all()
             .iter()
             .map(|m| {
-                eigenvector_priorities(m)
-                    .map(|pv| pv.weights)
-                    .map_err(|_| StatsError::NoConvergence {
+                eigenvector_priorities(m).map(|pv| pv.weights).map_err(|_| {
+                    StatsError::NoConvergence {
                         routine: "eigenvector_priorities",
-                    })
+                    }
+                })
             })
             .collect::<Result<_, _>>()?;
         kendall_w(&ratings)
@@ -201,19 +201,11 @@ mod tests {
     #[test]
     fn diverse_panel_varies_latents() {
         let p = Panel::diverse(&[0.5, 0.3, 0.2], 4, 0.5, 0.0, 5);
-        let latents: Vec<Vec<f64>> = p
-            .experts()
-            .iter()
-            .map(|e| e.normalized_latent())
-            .collect();
+        let latents: Vec<Vec<f64>> = p.experts().iter().map(|e| e.normalized_latent()).collect();
         assert_ne!(latents[0], latents[1]);
         // Zero spread reduces to the homogeneous case.
         let h = Panel::diverse(&[0.5, 0.3, 0.2], 4, 0.0, 0.0, 5);
-        let hl: Vec<Vec<f64>> = h
-            .experts()
-            .iter()
-            .map(|e| e.normalized_latent())
-            .collect();
+        let hl: Vec<Vec<f64>> = h.experts().iter().map(|e| e.normalized_latent()).collect();
         for l in &hl[1..] {
             for (a, b) in l.iter().zip(&hl[0]) {
                 assert!((a - b).abs() < 1e-12);

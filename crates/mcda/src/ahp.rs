@@ -427,14 +427,7 @@ mod tests {
     #[test]
     fn validation_errors() {
         let m2 = PairwiseMatrix::identity(2);
-        assert!(Ahp::with_ratings(
-            vec![],
-            m2.clone(),
-            names(&["a"]),
-            vec![],
-            vec![]
-        )
-        .is_err());
+        assert!(Ahp::with_ratings(vec![], m2.clone(), names(&["a"]), vec![], vec![]).is_err());
         assert!(Ahp::with_ratings(
             names(&["c1", "c2"]),
             PairwiseMatrix::identity(3),

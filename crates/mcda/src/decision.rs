@@ -248,12 +248,10 @@ mod tests {
     fn construction_validation() {
         assert!(DecisionMatrix::new(vec![], vec![Criterion::benefit("x", 1.0)], vec![]).is_err());
         assert!(DecisionMatrix::new(vec!["a".into()], vec![], vec![vec![]]).is_err());
-        assert!(DecisionMatrix::new(
-            vec!["a".into()],
-            vec![Criterion::benefit("x", 1.0)],
-            vec![]
-        )
-        .is_err());
+        assert!(
+            DecisionMatrix::new(vec!["a".into()], vec![Criterion::benefit("x", 1.0)], vec![])
+                .is_err()
+        );
         assert!(DecisionMatrix::new(
             vec!["a".into()],
             vec![Criterion::benefit("x", 1.0)],

@@ -163,8 +163,7 @@ mod tests {
         a.set(0, 1, 9.0).unwrap();
         let mut b = PairwiseMatrix::identity(2);
         b.set(0, 1, 1.0).unwrap();
-        let skewed =
-            aggregate_judgments(&[a.clone(), b.clone()], Some(&[0.9, 0.1])).unwrap();
+        let skewed = aggregate_judgments(&[a.clone(), b.clone()], Some(&[0.9, 0.1])).unwrap();
         let even = aggregate_judgments(&[a, b], None).unwrap();
         assert!(skewed.get(0, 1) > even.get(0, 1));
     }

@@ -86,11 +86,7 @@ pub fn eigenvector_priorities(m: &PairwiseMatrix) -> Result<PriorityVector> {
         let sum: f64 = next.iter().sum();
         let mut next_norm: Vec<f64> = next.iter().map(|x| x / sum).collect();
         normalize(&mut next_norm);
-        let delta: f64 = next_norm
-            .iter()
-            .zip(&v)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = next_norm.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
         v = next_norm;
         lambda = sum; // Rayleigh-style estimate for a normalized vector.
         if delta < 1e-13 {
@@ -184,7 +180,11 @@ mod tests {
         let pv = eigenvector_priorities(&m).unwrap();
         // Known approximate priorities: ~0.64 / 0.28 / 0.07 (slightly
         // method-dependent); check coarse agreement and ordering.
-        assert!(pv.weights[0] > 0.6 && pv.weights[0] < 0.7, "{:?}", pv.weights);
+        assert!(
+            pv.weights[0] > 0.6 && pv.weights[0] < 0.7,
+            "{:?}",
+            pv.weights
+        );
         assert!(pv.weights[1] > 0.2 && pv.weights[1] < 0.32);
         assert!(pv.weights[2] < 0.11);
         assert!(pv.lambda_max >= 3.0 && pv.lambda_max < 3.2);

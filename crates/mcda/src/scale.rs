@@ -124,7 +124,10 @@ mod tests {
         for &r in &[0.13, 0.4, 1.0, 2.3, 6.7] {
             let a = SaatyScale::snap(r);
             let b = SaatyScale::snap(1.0 / r);
-            assert!((a * b - 1.0).abs() < 1e-12, "snap({r})={a}, snap(1/{r})={b}");
+            assert!(
+                (a * b - 1.0).abs() < 1e-12,
+                "snap({r})={a}, snap(1/{r})={b}"
+            );
         }
     }
 

@@ -175,9 +175,7 @@ mod tests {
             let Some(delta) = ws.flip_delta else { continue };
             let mut w2 = weights.to_vec();
             w2[ws.criterion] += delta;
-            let score = |row: &Vec<f64>| -> f64 {
-                row.iter().zip(&w2).map(|(r, w)| r * w).sum()
-            };
+            let score = |row: &Vec<f64>| -> f64 { row.iter().zip(&w2).map(|(r, w)| r * w).sum() };
             let diff: f64 = score(&ratings[0]) - score(&ratings[1]);
             assert!(diff.abs() < 1e-9, "criterion {}: diff {diff}", ws.criterion);
         }

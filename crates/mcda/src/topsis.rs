@@ -119,10 +119,7 @@ mod tests {
     fn agrees_with_saw_on_clear_orderings() {
         let dm = DecisionMatrix::new(
             vec!["low".into(), "mid".into(), "high".into()],
-            vec![
-                Criterion::benefit("x", 2.0),
-                Criterion::benefit("y", 1.0),
-            ],
+            vec![Criterion::benefit("x", 2.0), Criterion::benefit("y", 1.0)],
             vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]],
         )
         .unwrap();

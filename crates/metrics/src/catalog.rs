@@ -23,9 +23,7 @@ use std::fmt;
 /// Serialized into experiment output; the variant order defines the catalog
 /// presentation order (basic rates, composites, chance-corrected, cost
 /// models).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[allow(missing_docs)] // Variant meanings are documented by the metric types.
 pub enum MetricId {
     Precision,

@@ -716,7 +716,10 @@ mod tests {
         let r = 0.4;
         let cm = ConfusionMatrix::from_rates(r, r, 20_000, 80_000);
         let checks: Vec<(Box<dyn Metric>, f64)> = vec![
-            (Box::new(FMeasure::f1()), FMeasure::f1().chance_level(pi, r).unwrap()),
+            (
+                Box::new(FMeasure::f1()),
+                FMeasure::f1().chance_level(pi, r).unwrap(),
+            ),
             (Box::new(GMean), GMean.chance_level(pi, r).unwrap()),
             (Box::new(Jaccard), Jaccard.chance_level(pi, r).unwrap()),
             (

@@ -129,12 +129,7 @@ impl AsciiChart {
             let line: String = row.iter().collect();
             let _ = writeln!(out, "{label}{line}");
         }
-        let _ = writeln!(
-            out,
-            "{}└{}",
-            " ".repeat(10),
-            "─".repeat(self.width)
-        );
+        let _ = writeln!(out, "{}└{}", " ".repeat(10), "─".repeat(self.width));
         let _ = writeln!(
             out,
             "{}{:<12.3}{:>width$.3}",
@@ -173,9 +168,7 @@ mod tests {
     #[test]
     fn multiple_series_get_distinct_glyphs() {
         let chart = AsciiChart::new(30, 8);
-        let out = chart
-            .render(&[linear("a", 1.0), linear("b", 0.5)])
-            .unwrap();
+        let out = chart.render(&[linear("a", 1.0), linear("b", 0.5)]).unwrap();
         assert!(out.contains("* a"));
         assert!(out.contains("o b"));
     }

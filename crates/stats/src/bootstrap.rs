@@ -4,10 +4,22 @@
 //! of code units; the bootstrap gives distribution-free interval estimates
 //! and powers the *discriminative power* and *ranking stability* experiments
 //! (Fig. 2, Fig. 3).
+//!
+//! # Parallelism and determinism
+//!
+//! Replicates are generated on the rayon pool. Each method draws **one**
+//! base value from the caller's sequential generator, then replicate `i`
+//! samples from its own `SeededRng::new(derive_seed(base, i))` stream (see
+//! [`crate::rng::derive_seed`]). Because the per-replicate stream depends
+//! only on `(base, i)`, the replicate vector is bit-identical whether the
+//! pool runs one thread (`RAYON_NUM_THREADS=1`) or many — and the caller's
+//! generator advances by exactly one draw per call either way.
 
 use crate::descriptive::quantile_sorted;
-use crate::rng::SeededRng;
+use crate::rng::{derive_seed, SeededRng};
 use crate::{Result, StatsError};
+use rand::RngCore;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// A percentile bootstrap confidence interval.
@@ -77,26 +89,29 @@ impl Bootstrap {
     pub fn replicate_distribution<T, F>(
         &self,
         data: &[T],
-        mut statistic: F,
+        statistic: F,
         rng: &mut SeededRng,
     ) -> Result<Vec<f64>>
     where
-        T: Clone,
-        F: FnMut(&[T]) -> f64,
+        T: Clone + Sync,
+        F: Fn(&[T]) -> f64 + Sync,
     {
         if data.is_empty() {
             return Err(StatsError::EmptyInput);
         }
         let n = data.len();
-        let mut scratch: Vec<T> = Vec::with_capacity(n);
-        let mut out = Vec::with_capacity(self.replicates);
-        for _ in 0..self.replicates {
-            scratch.clear();
-            for _ in 0..n {
-                scratch.push(data[rng.index(n)].clone());
-            }
-            out.push(statistic(&scratch));
-        }
+        let base = rng.next_u64();
+        let out: Vec<f64> = (0..self.replicates)
+            .into_par_iter()
+            .map(|i| {
+                let mut r = SeededRng::new(derive_seed(base, i as u64));
+                let mut scratch: Vec<T> = Vec::with_capacity(n);
+                for _ in 0..n {
+                    scratch.push(data[r.index(n)].clone());
+                }
+                statistic(&scratch)
+            })
+            .collect();
         Ok(out)
     }
 
@@ -110,12 +125,12 @@ impl Bootstrap {
         &self,
         data: &[T],
         level: f64,
-        mut statistic: F,
+        statistic: F,
         rng: &mut SeededRng,
     ) -> Result<BootstrapCi>
     where
-        T: Clone,
-        F: FnMut(&[T]) -> f64,
+        T: Clone + Sync,
+        F: Fn(&[T]) -> f64 + Sync,
     {
         if !(0.0..1.0).contains(&level) || level <= 0.0 {
             return Err(StatsError::InvalidParameter {
@@ -128,7 +143,7 @@ impl Bootstrap {
         } else {
             statistic(data)
         };
-        let mut reps = self.replicate_distribution(data, statistic, rng)?;
+        let mut reps = self.replicate_distribution(data, &statistic, rng)?;
         reps.sort_by(|a, b| a.total_cmp(b));
         let alpha = 1.0 - level;
         let lower = quantile_sorted(&reps, alpha / 2.0);
@@ -158,32 +173,33 @@ impl Bootstrap {
         &self,
         sample_a: &[T],
         sample_b: &[T],
-        mut statistic: F,
+        statistic: F,
         rng: &mut SeededRng,
     ) -> Result<f64>
     where
-        T: Clone,
-        F: FnMut(&[T]) -> f64,
+        T: Clone + Sync,
+        F: Fn(&[T]) -> f64 + Sync,
     {
         if sample_a.is_empty() || sample_b.is_empty() {
             return Err(StatsError::EmptyInput);
         }
-        let mut wins = 0usize;
-        let mut scratch_a: Vec<T> = Vec::with_capacity(sample_a.len());
-        let mut scratch_b: Vec<T> = Vec::with_capacity(sample_b.len());
-        for _ in 0..self.replicates {
-            scratch_a.clear();
-            for _ in 0..sample_a.len() {
-                scratch_a.push(sample_a[rng.index(sample_a.len())].clone());
-            }
-            scratch_b.clear();
-            for _ in 0..sample_b.len() {
-                scratch_b.push(sample_b[rng.index(sample_b.len())].clone());
-            }
-            if statistic(&scratch_a) > statistic(&scratch_b) {
-                wins += 1;
-            }
-        }
+        let base = rng.next_u64();
+        let wins: usize = (0..self.replicates)
+            .into_par_iter()
+            .map(|i| {
+                let mut r = SeededRng::new(derive_seed(base, i as u64));
+                let resample = |sample: &[T], r: &mut SeededRng| -> Vec<T> {
+                    (0..sample.len())
+                        .map(|_| sample[r.index(sample.len())].clone())
+                        .collect()
+                };
+                let a = resample(sample_a, &mut r);
+                let b = resample(sample_b, &mut r);
+                usize::from(statistic(&a) > statistic(&b))
+            })
+            .collect::<Vec<usize>>()
+            .into_iter()
+            .sum();
         Ok(wins as f64 / self.replicates as f64)
     }
 
@@ -199,12 +215,12 @@ impl Bootstrap {
         &self,
         data: &[T],
         fraction: f64,
-        mut statistic: F,
+        statistic: F,
         rng: &mut SeededRng,
     ) -> Result<Vec<f64>>
     where
-        T: Clone,
-        F: FnMut(&[T]) -> f64,
+        T: Clone + Sync,
+        F: Fn(&[T]) -> f64 + Sync,
     {
         if data.is_empty() {
             return Err(StatsError::EmptyInput);
@@ -216,14 +232,16 @@ impl Bootstrap {
             });
         }
         let k = ((data.len() as f64 * fraction).round() as usize).clamp(1, data.len());
-        let mut out = Vec::with_capacity(self.replicates);
-        let mut scratch: Vec<T> = Vec::with_capacity(k);
-        for _ in 0..self.replicates {
-            let idx = rng.sample_without_replacement(data.len(), k);
-            scratch.clear();
-            scratch.extend(idx.into_iter().map(|i| data[i].clone()));
-            out.push(statistic(&scratch));
-        }
+        let base = rng.next_u64();
+        let out: Vec<f64> = (0..self.replicates)
+            .into_par_iter()
+            .map(|i| {
+                let mut r = SeededRng::new(derive_seed(base, i as u64));
+                let idx = r.sample_without_replacement(data.len(), k);
+                let scratch: Vec<T> = idx.into_iter().map(|j| data[j].clone()).collect();
+                statistic(&scratch)
+            })
+            .collect();
         Ok(out)
     }
 }
@@ -351,6 +369,25 @@ mod tests {
         for r in reps {
             assert!((r - 2.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn parallel_and_serial_replicates_are_bit_identical() {
+        let data: Vec<f64> = (0..120).map(|i| ((i * 31) % 17) as f64).collect();
+        let run = || {
+            let mut rng = SeededRng::new(0xB007);
+            Bootstrap::new(257)
+                .replicate_distribution(&data, mean_stat, &mut rng)
+                .unwrap()
+        };
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let serial = run();
+        std::env::set_var("RAYON_NUM_THREADS", "7");
+        let parallel = run();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let serial_bits: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+        let parallel_bits: Vec<u64> = parallel.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(serial_bits, parallel_bits);
     }
 
     #[test]

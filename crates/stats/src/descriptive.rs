@@ -397,10 +397,7 @@ mod tests {
     fn mean_helpers() {
         assert!(mean(&[]).is_err());
         assert_eq!(mean(&[1.0, 3.0]).unwrap(), 2.0);
-        assert_eq!(
-            weighted_mean(&[1.0, 3.0], &[1.0, 3.0]).unwrap(),
-            2.5
-        );
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[1.0, 3.0]).unwrap(), 2.5);
         assert!(weighted_mean(&[1.0], &[1.0, 2.0]).is_err());
         assert!(weighted_mean(&[1.0], &[-1.0]).is_err());
         assert!(weighted_mean(&[1.0, 2.0], &[0.0, 0.0]).is_err());

@@ -313,10 +313,7 @@ mod tests {
 
     #[test]
     fn mcnemar_no_discordance_undefined() {
-        assert!(matches!(
-            mcnemar(0, 0),
-            Err(StatsError::Undefined { .. })
-        ));
+        assert!(matches!(mcnemar(0, 0), Err(StatsError::Undefined { .. })));
     }
 
     #[test]

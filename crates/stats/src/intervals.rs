@@ -148,9 +148,21 @@ pub fn wilson(successes: u64, trials: u64, conf: Confidence) -> Result<BinomialI
     let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
     // Snap endpoints at the boundary counts so floating-point slack never
     // excludes the point estimate itself.
-    let lower = if successes == 0 { 0.0 } else { (center - half).max(0.0) };
-    let upper = if successes == trials { 1.0 } else { (center + half).min(1.0) };
-    Ok(BinomialInterval { lower, upper, estimate: p })
+    let lower = if successes == 0 {
+        0.0
+    } else {
+        (center - half).max(0.0)
+    };
+    let upper = if successes == trials {
+        1.0
+    } else {
+        (center + half).min(1.0)
+    };
+    Ok(BinomialInterval {
+        lower,
+        upper,
+        estimate: p,
+    })
 }
 
 /// Agresti–Coull "add z²/2 successes and failures" interval.
@@ -165,8 +177,16 @@ pub fn agresti_coull(successes: u64, trials: u64, conf: Confidence) -> Result<Bi
     let n_tilde = trials as f64 + z2;
     let p_tilde = (successes as f64 + z2 / 2.0) / n_tilde;
     let half = z * (p_tilde * (1.0 - p_tilde) / n_tilde).sqrt();
-    let lower = if successes == 0 { 0.0 } else { (p_tilde - half).max(0.0) };
-    let upper = if successes == trials { 1.0 } else { (p_tilde + half).min(1.0) };
+    let lower = if successes == 0 {
+        0.0
+    } else {
+        (p_tilde - half).max(0.0)
+    };
+    let upper = if successes == trials {
+        1.0
+    } else {
+        (p_tilde + half).min(1.0)
+    };
     Ok(BinomialInterval {
         lower,
         upper,
@@ -183,11 +203,7 @@ pub fn agresti_coull(successes: u64, trials: u64, conf: Confidence) -> Result<Bi
 ///
 /// Same domain errors as [`wald`]; also propagates numerical errors from the
 /// incomplete-beta inversion.
-pub fn clopper_pearson(
-    successes: u64,
-    trials: u64,
-    conf: Confidence,
-) -> Result<BinomialInterval> {
+pub fn clopper_pearson(successes: u64, trials: u64, conf: Confidence) -> Result<BinomialInterval> {
     validate(successes, trials)?;
     let alpha = conf.alpha();
     let n = trials;
@@ -227,7 +243,10 @@ mod tests {
     #[test]
     fn zero_trials_rejected_everywhere() {
         for f in [wald, wilson, agresti_coull, clopper_pearson] {
-            assert_eq!(f(0, 0, Confidence::P95).unwrap_err(), StatsError::EmptyInput);
+            assert_eq!(
+                f(0, 0, Confidence::P95).unwrap_err(),
+                StatsError::EmptyInput
+            );
         }
     }
 
@@ -238,7 +257,14 @@ mod tests {
 
     #[test]
     fn intervals_contain_estimate_and_are_ordered() {
-        for &(k, n) in &[(0u64, 10u64), (1, 10), (5, 10), (9, 10), (10, 10), (50, 1000)] {
+        for &(k, n) in &[
+            (0u64, 10u64),
+            (1, 10),
+            (5, 10),
+            (9, 10),
+            (10, 10),
+            (50, 1000),
+        ] {
             for f in [wald, wilson, agresti_coull, clopper_pearson] {
                 let iv = f(k, n, Confidence::P95).unwrap();
                 assert!(iv.lower <= iv.upper, "k={k} n={n}");

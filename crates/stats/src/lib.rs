@@ -38,7 +38,7 @@ pub use bootstrap::{Bootstrap, BootstrapCi};
 pub use descriptive::Summary;
 pub use histogram::Histogram;
 pub use intervals::{BinomialInterval, Confidence};
-pub use rng::SeededRng;
+pub use rng::{derive_seed, SeededRng};
 
 use std::fmt;
 

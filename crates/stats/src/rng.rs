@@ -10,6 +10,23 @@
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+/// Derives the seed of sub-stream `index` from a `base` seed with a
+/// SplitMix64-style finalizer.
+///
+/// This is the primitive behind deterministic *parallel* sampling: a
+/// caller draws one `base` value from its sequential generator, then every
+/// work item `i` builds its own `SeededRng::new(derive_seed(base, i))`.
+/// The result depends only on `(base, index)` — never on which thread ran
+/// the item or in what order — so parallel and serial execution produce
+/// bit-identical output.
+#[must_use]
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A seeded random number generator with statistics-oriented helpers.
 ///
 /// ```
@@ -30,6 +47,14 @@ impl SeededRng {
         SeededRng {
             inner: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Derives an independent generator for a *numbered* sub-stream,
+    /// consuming one draw from this generator for the base. Equivalent to
+    /// `SeededRng::new(derive_seed(self.next_u64(), index))`; see
+    /// [`derive_seed`] for the determinism contract.
+    pub fn split_index(&mut self, index: u64) -> SeededRng {
+        SeededRng::new(derive_seed(self.inner.next_u64(), index))
     }
 
     /// Derives an independent generator for a named sub-stream.
@@ -131,9 +156,7 @@ impl SeededRng {
                 continue;
             }
             let u = self.uniform();
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
                 return d * v * scale;
             }
         }
@@ -218,9 +241,7 @@ impl SeededRng {
             }
         }
         // Floating-point slack: fall back to the last positive weight.
-        weights
-            .iter()
-            .rposition(|w| w.is_finite() && *w > 0.0)
+        weights.iter().rposition(|w| w.is_finite() && *w > 0.0)
     }
 
     /// Raw access to the underlying RNG for interoperating with `rand`

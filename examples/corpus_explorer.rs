@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let unit = corpus.unit_of(info.site).expect("site has a unit");
         println!(
             "=== {} site {} — {:?}, {} ===",
-            if info.vulnerable { "VULNERABLE" } else { "SAFE" },
+            if info.vulnerable {
+                "VULNERABLE"
+            } else {
+                "SAFE"
+            },
             info.site,
             info.shape,
             info.class,
@@ -41,9 +45,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Attack the vulnerable unit with its recorded witness request and
     // observe the sink.
     let unit = corpus.unit_of(vulnerable.site).expect("unit exists");
-    let witness = vulnerable.witness.clone().expect("vulnerable sites have witnesses");
+    let witness = vulnerable
+        .witness
+        .clone()
+        .expect("vulnerable sites have witnesses");
     let interp = Interpreter::default();
-    println!("--- executing the witness attack session ({} request(s)) ---", witness.len());
+    println!(
+        "--- executing the witness attack session ({} request(s)) ---",
+        witness.len()
+    );
     for obs in interp.run_session(unit, &witness)? {
         println!(
             "site {} [{}] received {:?} — tainted: {} (sources: {:?})",
@@ -69,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Corpus-wide statistics.
     let stats = corpus.stats();
-    println!("\ncorpus: {} units, {} statements", stats.units, stats.total_statements);
+    println!(
+        "\ncorpus: {} units, {} statements",
+        stats.units, stats.total_statements
+    );
     for (shape, count) in &stats.by_shape {
         println!("  {shape:?}: {count}");
     }

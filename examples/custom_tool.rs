@@ -30,8 +30,7 @@ impl Detector for SinkAllowlist {
         unit.sinks()
             .into_iter()
             .filter(|(kind, arg, _)| {
-                matches!(kind, SinkKind::SqlQuery | SinkKind::ShellExec)
-                    && !is_all_literal(arg)
+                matches!(kind, SinkKind::SqlQuery | SinkKind::ShellExec) && !is_all_literal(arg)
             })
             .map(|(_, _, site)| {
                 Finding::new(site, None, 0.5, "non-literal argument at a critical sink")

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let precision = Precision;
     let informedness = vdbench::metrics::composite::Informedness;
 
-    println!("{:>12} {:>10} {:>22} {:>22}", "density", "winner by", "PPV (A vs B)", "INF (A vs B)");
+    println!(
+        "{:>12} {:>10} {:>22} {:>22}",
+        "density", "winner by", "PPV (A vs B)", "INF (A vs B)"
+    );
     for &density in &[0.02, 0.05, 0.1, 0.3, 0.5] {
         let corpus = CorpusBuilder::new()
             .units(2000)

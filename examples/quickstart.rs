@@ -5,8 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use vdbench::prelude::*;
 use vdbench::metrics::cost::ExpectedCost;
+use vdbench::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A synthetic-but-principled workload: 200 web-handler code units,
@@ -41,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    different answers.
     let recall = Recall;
     let audit_cost = ExpectedCost::fp_heavy(); // false alarms cost 10x
-    let by_recall = rank_by_metric(
-        &[taint_outcome.clone(), pentest_outcome.clone()],
-        &recall,
-    )?;
+    let by_recall = rank_by_metric(&[taint_outcome.clone(), pentest_outcome.clone()], &recall)?;
     let by_cost = rank_by_metric(&[taint_outcome, pentest_outcome], &audit_cost)?;
     println!("\nwinner by recall:        {}", by_recall.winner());
     println!("winner by audit cost:    {}", by_cost.winner());

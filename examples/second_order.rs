@@ -69,7 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {:28} stored TPR {:>5.2}   stored-literal FPR {:>5.2}",
             tool.name(),
             stored.tpr(),
-            if literal.total() > 0 { literal.fpr() } else { f64::NAN },
+            if literal.total() > 0 {
+                literal.fpr()
+            } else {
+                f64::NAN
+            },
         );
     }
     println!(

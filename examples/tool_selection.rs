@@ -14,7 +14,10 @@ use vdbench::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = AssessmentConfig::default();
-    println!("assessing {} candidate metrics…\n", default_candidates().len());
+    println!(
+        "assessing {} candidate metrics…\n",
+        default_candidates().len()
+    );
     let selector = MetricSelector::new(default_candidates(), cfg)?;
 
     for scenario in standard_scenarios() {
@@ -36,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  MCDA validation:  {} (τ = {:.2}, winners {})",
             selector.candidates()[outcome.mcda_ranking[0]].abbrev(),
             outcome.agreement_tau,
-            if outcome.top1_agree { "agree" } else { "differ" },
+            if outcome.top1_agree {
+                "agree"
+            } else {
+                "differ"
+            },
         );
 
         // Now run the actual tool case study and rank tools with the

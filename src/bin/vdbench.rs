@@ -91,7 +91,9 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
     let mut it = args.iter();
     while let Some(key) = it.next() {
         let Some(name) = key.strip_prefix("--") else {
-            return Err(format!("unexpected argument `{key}` (flags are --key value)"));
+            return Err(format!(
+                "unexpected argument `{key}` (flags are --key value)"
+            ));
         };
         let Some(value) = it.next() else {
             return Err(format!("flag --{name} is missing a value"));
@@ -101,7 +103,11 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
     Ok(flags)
 }
 
-fn flag_usize(flags: &BTreeMap<String, String>, name: &str, default: usize) -> Result<usize, String> {
+fn flag_usize(
+    flags: &BTreeMap<String, String>,
+    name: &str,
+    default: usize,
+) -> Result<usize, String> {
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v
@@ -165,8 +171,8 @@ fn cmd_generate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let corpus = build_corpus(flags)?;
     let show = flag_usize(flags, "show", 0)?;
     if let Some(path) = flags.get("out") {
-        let json = serde_json::to_string(&corpus)
-            .map_err(|e| format!("cannot serialize corpus: {e}"))?;
+        let json =
+            serde_json::to_string(&corpus).map_err(|e| format!("cannot serialize corpus: {e}"))?;
         std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("corpus saved to {path}");
     }
@@ -220,17 +226,31 @@ fn cmd_scan(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let corpus = load_or_build_corpus(flags)?;
     let outcome = score_detector(tool.as_ref(), &corpus);
     let cm = outcome.confusion();
-    println!("{} on {} cases: {}", outcome.tool(), corpus.site_count(), cm);
+    println!(
+        "{} on {} cases: {}",
+        outcome.tool(),
+        corpus.site_count(),
+        cm
+    );
     for metric in default_candidates() {
         use vdbench::metrics::metric::MetricExt;
         let v = metric.compute_or_nan(&cm);
-        println!("  {:8} {}", metric.abbrev(), vdbench::report::format::metric(v));
+        println!(
+            "  {:8} {}",
+            metric.abbrev(),
+            vdbench::report::format::metric(v)
+        );
     }
     // Show a couple of findings with their rationale.
     let findings = tool.analyze_corpus(&corpus);
     println!("\n{} findings; first three:", findings.len());
     for f in findings.iter().take(3) {
-        println!("  {} [{}] {}", f.site, f.class.map(|c| c.name()).unwrap_or("?"), f.rationale);
+        println!(
+            "  {} [{}] {}",
+            f.site,
+            f.class.map(|c| c.name()).unwrap_or("?"),
+            f.rationale
+        );
     }
     Ok(())
 }
@@ -263,12 +283,10 @@ fn cmd_select(flags: &BTreeMap<String, String>) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     for scenario in standard_scenarios() {
         let panel = Panel::homogeneous(&scenario.weight_vector(), experts, noise, seed);
-        let outcome = selector.select(&scenario, &panel).map_err(|e| e.to_string())?;
-        let names: Vec<&str> = selector
-            .candidates()
-            .iter()
-            .map(|m| m.abbrev())
-            .collect();
+        let outcome = selector
+            .select(&scenario, &panel)
+            .map_err(|e| e.to_string())?;
+        let names: Vec<&str> = selector.candidates().iter().map(|m| m.abbrev()).collect();
         println!(
             "{}: analytical {} | MCDA {} (τ {:.2}, CR {})",
             scenario.id,
@@ -302,7 +320,13 @@ fn cmd_recommend(flags: &BTreeMap<String, String>) -> Result<(), String> {
     println!("recommended metrics (best first):");
     for (rank, &i) in ranking.iter().take(5).enumerate() {
         let m = &selector.candidates()[i];
-        println!("  {}. {:8} (score {:.3}) — {}", rank + 1, m.abbrev(), scores[i], m.name());
+        println!(
+            "  {}. {:8} (score {:.3}) — {}",
+            rank + 1,
+            m.abbrev(),
+            scores[i],
+            m.name()
+        );
     }
     Ok(())
 }
@@ -325,7 +349,10 @@ fn cmd_consistency(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let tools = standard_tools(seed);
     let metrics = default_candidates();
     let results = cross_workload_consistency(&tools, &metrics, &cfg).map_err(|e| e.to_string())?;
-    println!("cross-workload consistency over densities {:?}:", cfg.densities);
+    println!(
+        "cross-workload consistency over densities {:?}:",
+        cfg.densities
+    );
     for r in results {
         println!(
             "  {:8} W = {:.3}  (Friedman p = {:.4}, {} workloads)",

@@ -63,10 +63,10 @@ pub mod prelude {
     pub use vdbench_experts::{Expert, Panel};
     pub use vdbench_mcda::{ahp::Ahp, pairwise::PairwiseMatrix};
     pub use vdbench_metrics::{
+        basic::{Precision, Recall},
         catalog::{standard_catalog, MetricId},
         confusion::ConfusionMatrix,
         metric::Metric,
-        basic::{Precision, Recall},
     };
     pub use vdbench_stats::{Bootstrap, Confidence, SeededRng, Summary};
 }

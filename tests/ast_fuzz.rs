@@ -4,9 +4,7 @@
 //! errors, loop-bound out, or report nothing, but they must stay total.
 
 use proptest::prelude::*;
-use vdbench::corpus::{
-    Corpus, Expr, Function, Interpreter, Request, SiteId, Stmt, Unit,
-};
+use vdbench::corpus::{Corpus, Expr, Function, Interpreter, Request, SiteId, Stmt, Unit};
 use vdbench::corpus::{SanitizerKind, SinkKind, SourceKind};
 use vdbench::detectors::{Detector, PatternScanner, TaintAnalyzer};
 

@@ -18,7 +18,15 @@ fn vdbench(args: &[&str]) -> (String, String, bool) {
 fn help_lists_commands() {
     let (stdout, _, ok) = vdbench(&["help"]);
     assert!(ok);
-    for cmd in ["generate", "scan", "bench", "select", "consistency", "report", "recommend"] {
+    for cmd in [
+        "generate",
+        "scan",
+        "bench",
+        "select",
+        "consistency",
+        "report",
+        "recommend",
+    ] {
         assert!(stdout.contains(cmd), "{cmd} missing from help");
     }
 }
@@ -26,7 +34,15 @@ fn help_lists_commands() {
 #[test]
 fn generate_prints_stats_and_code() {
     let (stdout, _, ok) = vdbench(&[
-        "generate", "--units", "12", "--density", "0.5", "--seed", "4", "--show", "1",
+        "generate",
+        "--units",
+        "12",
+        "--density",
+        "0.5",
+        "--seed",
+        "4",
+        "--show",
+        "1",
     ]);
     assert!(ok);
     assert!(stdout.contains("corpus: 12 units"));
@@ -37,7 +53,15 @@ fn generate_prints_stats_and_code() {
 #[test]
 fn scan_reports_metrics_and_findings() {
     let (stdout, _, ok) = vdbench(&[
-        "scan", "--tool", "taint", "--units", "40", "--density", "0.4", "--seed", "9",
+        "scan",
+        "--tool",
+        "taint",
+        "--units",
+        "40",
+        "--density",
+        "0.4",
+        "--seed",
+        "9",
     ]);
     assert!(ok);
     assert!(stdout.contains("taint-d3-precise on 40 cases"));
@@ -75,7 +99,13 @@ fn unknown_command_and_bad_flags_fail_cleanly() {
 #[test]
 fn recommend_follows_the_cost_model() {
     let (miss_heavy, _, ok) = vdbench(&[
-        "recommend", "--fp-cost", "1", "--fn-cost", "25", "--prevalence", "0.1",
+        "recommend",
+        "--fp-cost",
+        "1",
+        "--fn-cost",
+        "25",
+        "--prevalence",
+        "0.1",
     ]);
     assert!(ok);
     assert!(miss_heavy.contains("closest standard profile: S2"));
@@ -102,7 +132,15 @@ fn corpus_export_import_round_trip() {
     let path_str = path.to_str().unwrap();
 
     let (_, _, ok) = vdbench(&[
-        "generate", "--units", "30", "--density", "0.4", "--seed", "5", "--out", path_str,
+        "generate",
+        "--units",
+        "30",
+        "--density",
+        "0.4",
+        "--seed",
+        "5",
+        "--out",
+        path_str,
     ]);
     assert!(ok);
 
@@ -111,7 +149,15 @@ fn corpus_export_import_round_trip() {
     let (from_file, _, ok) = vdbench(&["scan", "--tool", "taint", "--corpus", path_str]);
     assert!(ok);
     let (from_gen, _, ok) = vdbench(&[
-        "scan", "--tool", "taint", "--units", "30", "--density", "0.4", "--seed", "5",
+        "scan",
+        "--tool",
+        "taint",
+        "--units",
+        "30",
+        "--density",
+        "0.4",
+        "--seed",
+        "5",
     ]);
     assert!(ok);
     assert_eq!(from_file, from_gen);

@@ -113,11 +113,19 @@ fn selection_pipeline_matches_paper_narrative() {
     }
     // No single metric wins every scenario.
     let distinct: std::collections::BTreeSet<_> = winners.iter().collect();
-    assert!(distinct.len() >= 2, "one metric won everywhere: {winners:?}");
+    assert!(
+        distinct.len() >= 2,
+        "one metric won everywhere: {winners:?}"
+    );
 
     // MCDA validation backs the analytical selection.
     for o in &outcomes {
-        assert!(o.agreement_tau > 0.4, "{}: τ {}", o.scenario, o.agreement_tau);
+        assert!(
+            o.agreement_tau > 0.4,
+            "{}: τ {}",
+            o.scenario,
+            o.agreement_tau
+        );
         assert!(o.top_k_overlap(3) >= 2, "{}: overlap", o.scenario);
     }
 }

@@ -1,0 +1,216 @@
+//! Offline stand-in for the subset of `criterion` 0.5 used by the
+//! workspace benches.
+//!
+//! Provides [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! simple adaptive loop (warm-up, then timed batches until a wall-clock
+//! budget is spent) reporting mean ns/iteration — no statistics engine,
+//! no plotting, but stable enough to compare serial vs parallel variants
+//! of the same workload on one machine.
+//!
+//! The per-benchmark budget defaults to 200 ms and can be tuned with the
+//! `VDBENCH_BENCH_MS` environment variable (e.g. `VDBENCH_BENCH_MS=50
+//! cargo bench` for a smoke run).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of the std hint).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+fn bench_budget() -> Duration {
+    let ms = std::env::var("VDBENCH_BENCH_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+/// Per-benchmark measurement driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            samples: 0,
+            elapsed: Duration::ZERO,
+            budget,
+        }
+    }
+
+    /// Times the routine: one warm-up call, then batches until the budget
+    /// is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and batch sizing.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let first = warm_start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (self.budget.as_nanos() / 10 / first.as_nanos()).clamp(1, 100_000) as u64;
+
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.elapsed += start.elapsed();
+            self.samples += per_batch;
+        }
+    }
+
+    fn report(&self) -> String {
+        if self.samples == 0 {
+            return "no samples".to_string();
+        }
+        let ns = self.elapsed.as_nanos() as f64 / self.samples as f64;
+        if ns >= 1e9 {
+            format!("{:>10.3} s/iter  ({} iters)", ns / 1e9, self.samples)
+        } else if ns >= 1e6 {
+            format!("{:>10.3} ms/iter ({} iters)", ns / 1e6, self.samples)
+        } else if ns >= 1e3 {
+            format!("{:>10.3} µs/iter ({} iters)", ns / 1e3, self.samples)
+        } else {
+            format!("{:>10.1} ns/iter ({} iters)", ns, self.samples)
+        }
+    }
+}
+
+/// Identifier for parameterized benchmarks.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying just the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(bench_budget());
+        f(&mut b);
+        println!("bench {id:<48} {}", b.report());
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: group_name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(bench_budget());
+        f(&mut b, input);
+        println!(
+            "bench {:<48} {}",
+            format!("{}/{}", self.name, id.id),
+            b.report()
+        );
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function from a list of target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("VDBENCH_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut group = c.benchmark_group("smoke");
+        group.bench_with_input(BenchmarkId::from_parameter(10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        std::env::remove_var("VDBENCH_BENCH_MS");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+        assert_eq!(BenchmarkId::new("gen", 7).id, "gen/7");
+    }
+}

@@ -1,0 +1,676 @@
+//! Offline stand-in for the subset of `proptest` 1.x used by the
+//! workspace tests.
+//!
+//! Provides the [`Strategy`] trait with `prop_map` / `prop_recursive`,
+//! [`Just`], [`any`], numeric-range and char-class string strategies,
+//! `proptest::collection::vec`, uniform unions via [`prop_oneof!`], and
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! There is no shrinking and no persistence: each test runs a fixed
+//! number of cases (default 256, override with `PROPTEST_CASES`) on a
+//! deterministic RNG seeded from the test's module path and case index,
+//! so failures are reproducible run-to-run.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (SplitMix64-seeded xoshiro256++, self-contained)
+// ---------------------------------------------------------------------------
+
+/// Deterministic per-case random number generator.
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// RNG for one test case, seeded from the test name and case index.
+    pub fn deterministic(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut seed = h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut seed);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        TestRng { s }
+    }
+
+    /// Next raw 64-bit value (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform u64 below `bound` (rejection sampling; `bound` > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform i128 in [lo, hi) for the integer range strategies.
+    fn range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        let span = (hi - lo) as u128;
+        debug_assert!(span > 0 && span <= u128::from(u64::MAX));
+        lo + i128::from(self.below(span as u64))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and erased strategies
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> ArcStrategy<U>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        ArcStrategy {
+            f: Arc::new(move |rng| f(self.gen_value(rng))),
+        }
+    }
+
+    /// Builds a bounded recursive strategy: `recurse` receives a clonable
+    /// handle to the strategy built so far and returns a strategy that may
+    /// embed it. The recursion is unrolled `depth` times, with leaves mixed
+    /// in at every level so generated values bottom out.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> ArcStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(ArcStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = ArcStrategy::erase(self);
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = ArcStrategy::erase(recurse(current));
+            // Mix leaves back in so depth (and size) stays bounded in
+            // expectation rather than always saturating.
+            current = ArcStrategy::union(vec![leaf.clone(), deeper]);
+        }
+        current
+    }
+}
+
+/// Clonable type-erased strategy; also the handle passed to
+/// `prop_recursive` closures.
+pub struct ArcStrategy<T> {
+    f: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for ArcStrategy<T> {
+    fn clone(&self) -> Self {
+        ArcStrategy {
+            f: Arc::clone(&self.f),
+        }
+    }
+}
+
+impl<T: 'static> ArcStrategy<T> {
+    /// Erases a concrete strategy.
+    pub fn erase<S>(strategy: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        ArcStrategy {
+            f: Arc::new(move |rng| strategy.gen_value(rng)),
+        }
+    }
+
+    /// A uniform choice between the given strategies (used by
+    /// [`prop_oneof!`]).
+    pub fn union(arms: Vec<ArcStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        ArcStrategy {
+            f: Arc::new(move |rng| {
+                let idx = rng.below(arms.len() as u64) as usize;
+                (arms[idx].f)(rng)
+            }),
+        }
+    }
+}
+
+impl<T> Strategy for ArcStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Basic strategies
+// ---------------------------------------------------------------------------
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        })+
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values spanning many magnitudes; no NaN/inf from `any`.
+        let mag = rng.unit_f64() * 2.0 - 1.0;
+        let exp = (rng.below(61) as i32) - 30;
+        mag * 2f64.powi(exp)
+    }
+}
+
+/// Strategy over the whole domain of `T`.
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.range_i128(self.start as i128, self.end as i128) as $t
+            }
+        })+
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Char-class string strategy: "[a-z0-9]{m,n}"-shaped patterns
+// ---------------------------------------------------------------------------
+
+/// Parsed char class: accepted `(lo, hi)` ranges plus length bounds.
+type CharClass = (Vec<(char, char)>, usize, usize);
+
+fn parse_char_class(pattern: &str) -> Option<CharClass> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let quant = &rest[close + 1..];
+
+    let mut ranges = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            ranges.push((chars[i], chars[i + 2]));
+            i += 3;
+        } else {
+            ranges.push((chars[i], chars[i]));
+            i += 1;
+        }
+    }
+    if ranges.is_empty() {
+        return None;
+    }
+
+    let (lo, hi) = match quant {
+        "" => (1, 1),
+        "*" => (0, 8),
+        "+" => (1, 8),
+        q => {
+            let inner = q.strip_prefix('{')?.strip_suffix('}')?;
+            match inner.split_once(',') {
+                Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+                None => {
+                    let n = inner.trim().parse().ok()?;
+                    (n, n)
+                }
+            }
+        }
+    };
+    Some((ranges, lo, hi))
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let (ranges, lo, hi) = parse_char_class(self).unwrap_or_else(|| {
+            panic!("unsupported string strategy pattern: {self:?} (expected \"[class]{{m,n}}\")")
+        });
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            let (a, b) = ranges[rng.below(ranges.len() as u64) as usize];
+            let span = (b as u32) - (a as u32) + 1;
+            let code = (a as u32) + rng.below(u64::from(span)) as u32;
+            out.push(char::from_u32(code).unwrap_or(a));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies (arity 1–4)
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Element-count specification for [`collection::vec`]: a fixed size or a
+/// half-open range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy producing `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config and macros
+// ---------------------------------------------------------------------------
+
+/// Per-block test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test (still overridable via the
+    /// `PROPTEST_CASES` environment variable).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Resolves the effective case count, honouring `PROPTEST_CASES`.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::ArcStrategy::union(vec![
+            $( $crate::ArcStrategy::erase($arm) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the case rather
+/// than panicking directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}"
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left == right` ({})\n  left: {left:?}\n right: {right:?}",
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Declares a block of property tests. Each `fn name(pat in strategy, ...)`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $($rest:tt)*
+    ) => {
+        $crate::proptest!(
+            @impl ($crate::ProptestConfig::default())
+            $(#[$meta])* fn $($rest)*
+        );
+    };
+    (
+        @impl ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let __strategy = ($($strat,)+);
+                let __cases = __config.effective_cases();
+                for __case in 0..__cases {
+                    let mut __rng = $crate::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        u64::from(__case),
+                    );
+                    let ($($pat,)+) =
+                        $crate::Strategy::gen_value(&__strategy, &mut __rng);
+                    let __result: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__msg) = __result {
+                        panic!("case {__case}/{__cases} failed: {__msg}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{AnyStrategy, ArcStrategy, Just, ProptestConfig, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = TestRng::deterministic("ranges", 0);
+        for _ in 0..200 {
+            let v = (0u64..10).gen_value(&mut rng);
+            assert!(v < 10);
+            let f = (-1.5f64..2.5).gen_value(&mut rng);
+            assert!((-1.5..2.5).contains(&f));
+        }
+        let doubled = (0i32..5).prop_map(|v| v * 2);
+        for _ in 0..50 {
+            let v = doubled.gen_value(&mut rng);
+            assert!(v % 2 == 0 && (0..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_recursive_and_vec() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(i32),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        fn leaf_min(t: &Tree) -> i32 {
+            match t {
+                Tree::Leaf(v) => *v,
+                Tree::Node(a, b) => leaf_min(a).min(leaf_min(b)),
+            }
+        }
+        let leaf = prop_oneof![
+            (0i32..10).prop_map(Tree::Leaf),
+            Just(5).prop_map(Tree::Leaf)
+        ];
+        let strat = leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::deterministic("tree", 1);
+        let mut saw_node = false;
+        for _ in 0..100 {
+            let t = strat.gen_value(&mut rng);
+            assert!(depth(&t) <= 3);
+            assert!((0..10).contains(&leaf_min(&t)), "leaves stay in range");
+            saw_node |= matches!(t, Tree::Node(..));
+        }
+        assert!(saw_node, "recursion never took a deep branch");
+
+        let vecs = collection::vec(0u64..4, 1..5);
+        for _ in 0..50 {
+            let v = vecs.gen_value(&mut rng);
+            assert!((1..=4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+        let fixed = collection::vec(0u64..4, 6usize);
+        assert_eq!(fixed.gen_value(&mut rng).len(), 6);
+    }
+
+    #[test]
+    fn string_pattern_strategy() {
+        let strat = "[ -~]{0,12}";
+        let mut rng = TestRng::deterministic("strings", 2);
+        for _ in 0..100 {
+            let s = Strategy::gen_value(&strat, &mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let strat = (0u64..1_000_000, collection::vec(0i32..100, 2..9));
+        let a: Vec<_> = (0..10)
+            .map(|case| strat.gen_value(&mut TestRng::deterministic("det", case)))
+            .collect();
+        let b: Vec<_> = (0..10)
+            .map(|case| strat.gen_value(&mut TestRng::deterministic("det", case)))
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1], "different cases should differ");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_smoke(x in 0u64..100, ys in collection::vec(0u64..10, 0..4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(x / 100, 0);
+            prop_assert!(ys.len() < 4);
+            for y in ys {
+                prop_assert!(y < 10, "y was {}", y);
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a small data-parallelism layer with rayon's *call-site API shape*:
+//!
+//! ```
+//! use rayon::prelude::*;
+//! let squares: Vec<u64> = (0..100usize).into_par_iter().map(|i| (i * i) as u64).collect();
+//! assert_eq!(squares[7], 49);
+//! let doubled: Vec<i32> = [1, 2, 3].par_iter().map(|x| x * 2).collect();
+//! assert_eq!(doubled, vec![2, 4, 6]);
+//! ```
+//!
+//! Semantics guaranteed (and relied on by the campaign engine's
+//! determinism contract, see DESIGN.md):
+//!
+//! * **Order preservation** — `collect` returns results in input order
+//!   regardless of which worker computed them.
+//! * **Execution-count exactness** — the mapping closure runs exactly once
+//!   per item.
+//! * **`RAYON_NUM_THREADS`** — honored *per call* (value `1` forces the
+//!   strictly serial path, which the determinism regression tests use).
+//!
+//! Work is distributed as contiguous chunks over `std::thread::scope`
+//! workers: no work stealing, which is fine for this workspace's
+//! embarrassingly parallel loops whose per-item cost is roughly uniform.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Number of worker threads a parallel call will use: the
+/// `RAYON_NUM_THREADS` environment variable when set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Order-preserving parallel map over `0..len`, chunked across scoped
+/// threads. The closure receives the item index.
+fn par_map_indices<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut out = Vec::with_capacity(len);
+    let chunks: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..len)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(len);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct SlicePar<'a, T> {
+    slice: &'a [T],
+}
+
+/// Parallel iterator over an index range.
+pub struct RangePar {
+    range: Range<usize>,
+}
+
+/// Lazily mapped slice iterator; realized by [`MapSlicePar::collect`] /
+/// [`MapSlicePar::for_each`].
+pub struct MapSlicePar<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+/// Lazily mapped range iterator; realized by [`MapRangePar::collect`] /
+/// [`MapRangePar::for_each`].
+pub struct MapRangePar<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<'a, T: Sync> SlicePar<'a, T> {
+    /// Maps each item (in parallel at realization time).
+    pub fn map<U, F>(self, f: F) -> MapSlicePar<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        MapSlicePar {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+impl RangePar {
+    /// Maps each index (in parallel at realization time).
+    pub fn map<U, F>(self, f: F) -> MapRangePar<F>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        MapRangePar {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> MapSlicePar<'a, T, F> {
+    /// Runs the map across the worker pool and collects results in input
+    /// order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        let slice = self.slice;
+        let f = &self.f;
+        par_map_indices(slice.len(), |i| f(&slice[i]))
+            .into_iter()
+            .collect()
+    }
+
+    /// Runs the map for its side effects.
+    pub fn for_each(self) {
+        let _: Vec<U> = self.collect();
+    }
+}
+
+impl<U: Send, F: Fn(usize) -> U + Sync> MapRangePar<F> {
+    /// Runs the map across the worker pool and collects results in input
+    /// order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        let f = &self.f;
+        par_map_indices(len, |i| f(start + i)).into_iter().collect()
+    }
+}
+
+/// `par_iter()` entry point for borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: 'a;
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Borrowing parallel iterator (rayon-compatible name).
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+/// `into_par_iter()` entry point for owned iterables.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item;
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Consuming parallel iterator (rayon-compatible name).
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangePar;
+
+    fn into_par_iter(self) -> RangePar {
+        RangePar { range: self }
+    }
+}
+
+pub mod prelude {
+    //! Rayon-style glob import: `use rayon::prelude::*;`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_map_preserves_order() {
+        let data: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_preserves_order() {
+        let out: Vec<usize> = (0..257usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out.len(), 257);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[256], 257);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let out: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        // The env var is honored per call, so flipping it inside one test
+        // process exercises both paths.
+        let compute = || -> Vec<u64> {
+            (0..500usize)
+                .into_par_iter()
+                .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                .collect()
+        };
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let serial = compute();
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let parallel = compute();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(serial, parallel);
+    }
+}
