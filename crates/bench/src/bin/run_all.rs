@@ -1,19 +1,28 @@
 //! Regenerates every table and figure of the evaluation.
-//! `cargo run -p vdbench-bench --release --bin run_all [-- --timings]`
+//! `cargo run -p vdbench-bench --release --bin run_all [-- --timings] [-- --trace-out trace.json]`
 //!
-//! The 15 artifacts are evaluated concurrently on the worker pool and
+//! The 16 artifacts are evaluated concurrently on the worker pool and
 //! printed buffered, in the original (serial) order — stdout is
 //! byte-identical whether the campaign runs on one thread
-//! (`RAYON_NUM_THREADS=1`) or many, and whether `--timings` is passed or
-//! not. Expensive intermediates (scenario case studies, the attribute
+//! (`RAYON_NUM_THREADS=1`) or many, and whatever telemetry flags are
+//! passed. Expensive intermediates (scenario case studies, the attribute
 //! assessment) are shared across artifacts through the process-wide
 //! campaign cache, so each is computed exactly once per run.
 //!
-//! `--timings` prints a per-stage wall-clock + cache-counter breakdown to
-//! **stderr** and writes the same record as JSON to `BENCH_campaign.json`.
+//! Flags (all diagnostics go to **stderr** or files, never stdout):
+//!
+//! * `--timings` — enable telemetry, print the per-stage wall-clock +
+//!   cache-counter breakdown and the span/metric summary to stderr, and
+//!   write the machine-readable record to `BENCH_campaign.json`.
+//! * `--trace-out <path>` — enable telemetry and write the Chrome
+//!   `trace_event` JSON to `<path>` (load it in `chrome://tracing` or
+//!   <https://ui.perfetto.dev> to see the worker schedule).
+//! * `--telemetry-selfcheck` — after the campaign, exit non-zero if any
+//!   span event was recorded while telemetry was supposed to be off: the
+//!   zero-overhead regression guard used by CI.
 
 use rayon::prelude::*;
-use vdbench_bench::timing::{time_stage, CampaignTiming, StageTiming};
+use vdbench_bench::timing::CampaignTiming;
 use vdbench_bench::{figures, tables, EXPERIMENT_SEED};
 
 /// One campaign artifact: display name plus its renderer.
@@ -42,36 +51,74 @@ fn artifacts() -> Vec<Artifact> {
 }
 
 fn main() {
-    let timings_requested = std::env::args().skip(1).any(|a| a == "--timings");
-    let campaign_start = std::time::Instant::now();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let timings_requested = args.iter().any(|a| a == "--timings");
+    let selfcheck = args.iter().any(|a| a == "--telemetry-selfcheck");
+    let trace_out: Option<String> = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1).cloned());
+    let telemetry_on = timings_requested || trace_out.is_some();
+    if telemetry_on {
+        vdbench_telemetry::enable();
+    }
 
     // Fan the artifacts out across the pool; `collect` preserves input
     // order, so the buffered output below matches the historical serial
-    // transcript byte for byte.
-    let staged: Vec<(String, StageTiming)> = artifacts()
-        .par_iter()
-        .map(|(name, f)| time_stage(name, f))
-        .collect();
+    // transcript byte for byte. The whole fan-out is one `bench/campaign`
+    // span; each artifact records its own `bench/artifact` span (with its
+    // campaign index, so the timing view can restore campaign order).
+    let list = artifacts();
+    let staged: Vec<String> = {
+        let _campaign = vdbench_telemetry::span!("bench", "campaign", artifacts = list.len());
+        (0..list.len())
+            .into_par_iter()
+            .map(|i| {
+                let (name, render) = list[i];
+                let _span = vdbench_telemetry::span!("bench", "artifact", name = name, index = i);
+                render()
+            })
+            .collect()
+    };
 
-    let mut stages = Vec::with_capacity(staged.len());
-    for (text, stage) in staged {
+    for text in &staged {
         println!("{text}");
-        stages.push(stage);
     }
 
-    if timings_requested {
-        let record = CampaignTiming {
-            seed: EXPERIMENT_SEED,
-            threads: rayon::current_num_threads(),
-            stages,
-            total_millis: campaign_start.elapsed().as_secs_f64() * 1e3,
-            cache: vdbench_core::cache::stats().into(),
-        };
-        eprint!("{}", record.render());
-        let path = "BENCH_campaign.json";
-        match std::fs::write(path, record.to_json()) {
-            Ok(()) => eprintln!("timing record written to {path}"),
-            Err(e) => eprintln!("could not write {path}: {e}"),
+    if telemetry_on {
+        let trace = vdbench_telemetry::take_trace();
+        let metrics = vdbench_telemetry::registry::global().snapshot();
+        vdbench_telemetry::disable();
+        if timings_requested {
+            let record = CampaignTiming::from_telemetry(EXPERIMENT_SEED, &trace, &metrics);
+            eprint!("{}", record.render());
+            eprint!("{}", vdbench_telemetry::export::summary(&trace, &metrics));
+            let path = "BENCH_campaign.json";
+            match std::fs::write(path, record.to_json()) {
+                Ok(()) => eprintln!("timing record written to {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+        if let Some(path) = trace_out {
+            let json = vdbench_telemetry::export::chrome_trace_json(&trace);
+            match std::fs::write(&path, json) {
+                Ok(()) => eprintln!("chrome trace written to {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+    }
+
+    if selfcheck {
+        // Zero-overhead guard: a campaign that never enabled telemetry
+        // must not have recorded a single span event.
+        let events = vdbench_telemetry::events_recorded();
+        if telemetry_on {
+            eprintln!("telemetry self-check skipped: recording was explicitly enabled");
+        } else if events == 0 {
+            eprintln!("telemetry self-check passed: 0 events recorded while disabled");
+        } else {
+            eprintln!("telemetry self-check FAILED: {events} events recorded while disabled");
+            std::process::exit(1);
         }
     }
 }

@@ -1,14 +1,25 @@
-//! Wall-clock instrumentation for the campaign engine.
+//! Wall-clock instrumentation for the campaign engine — a **derived view**
+//! over the telemetry subsystem.
 //!
-//! `run_all --timings` records per-artifact wall-clock plus the campaign
-//! cache counters, prints a human-readable breakdown to **stderr** (stdout
-//! stays byte-identical with and without the flag) and serializes the
-//! whole record to `BENCH_campaign.json` for machine consumption.
+//! `run_all --timings` enables span recording, runs the campaign, then
+//! builds a [`CampaignTiming`] record *from the trace and the metrics
+//! registry* ([`CampaignTiming::from_telemetry`]): per-artifact wall-clock
+//! comes from the `bench/artifact` spans, the cache counters from the
+//! `cache.*` registry counters, and the requested/realized worker counts
+//! from the rayon shim. The record is printed human-readably to **stderr**
+//! (stdout stays byte-identical with and without the flag) and serialized
+//! to `BENCH_campaign.json` for machine consumption.
+//!
+//! There is deliberately no second, hand-rolled timing path: what the
+//! breakdown reports is exactly what the Chrome trace
+//! (`--trace-out trace.json`) visualizes.
 
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use vdbench_telemetry::registry::MetricsSnapshot;
+use vdbench_telemetry::span::Trace;
 
-/// Wall-clock of one campaign stage (one table/figure artifact).
+/// Wall-clock of one campaign stage (one table/figure artifact), derived
+/// from its `bench/artifact` span.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageTiming {
     /// Stage name (artifact binary name: "table4", "fig3", …).
@@ -17,8 +28,9 @@ pub struct StageTiming {
     pub millis: f64,
 }
 
-/// Campaign-cache counters in serializable form.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Campaign-cache counters in serializable form, read back from the
+/// `cache.case_study.*` / `cache.assessment.*` registry counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct CacheCounters {
     /// Case-study requests served from the cache.
     pub case_study_hits: u64,
@@ -28,6 +40,21 @@ pub struct CacheCounters {
     pub assessment_hits: u64,
     /// Assessment requests that ran the simulations.
     pub assessment_misses: u64,
+}
+
+impl CacheCounters {
+    /// Reads the four cache counters out of a registry snapshot (0 for
+    /// counters that were never touched).
+    #[must_use]
+    pub fn from_snapshot(metrics: &MetricsSnapshot) -> Self {
+        let get = |name: &str| metrics.counters.get(name).copied().unwrap_or(0);
+        CacheCounters {
+            case_study_hits: get("cache.case_study.hits"),
+            case_study_misses: get("cache.case_study.misses"),
+            assessment_hits: get("cache.assessment.hits"),
+            assessment_misses: get("cache.assessment.misses"),
+        }
+    }
 }
 
 impl From<vdbench_core::CacheStats> for CacheCounters {
@@ -46,9 +73,13 @@ impl From<vdbench_core::CacheStats> for CacheCounters {
 pub struct CampaignTiming {
     /// The experiment seed.
     pub seed: u64,
-    /// Worker threads a parallel call uses (`RAYON_NUM_THREADS` or the
-    /// machine's available parallelism).
-    pub threads: usize,
+    /// Worker threads a parallel call *requests* (`RAYON_NUM_THREADS` or
+    /// the machine's available parallelism).
+    pub threads_requested: usize,
+    /// Worker threads any parallel call in this process *actually ran on*
+    /// (the pool's high-water mark — small inputs use fewer workers than
+    /// requested).
+    pub threads_used: usize,
     /// Per-artifact wall-clock, in campaign order.
     pub stages: Vec<StageTiming>,
     /// End-to-end campaign wall-clock in milliseconds (less than the sum
@@ -59,6 +90,45 @@ pub struct CampaignTiming {
 }
 
 impl CampaignTiming {
+    /// Derives the campaign record from telemetry: stages from the
+    /// `bench/artifact` spans (ordered by their `index` argument, i.e.
+    /// campaign order), total wall-clock from the `bench/campaign` span,
+    /// cache counters from the registry snapshot, and thread counts from
+    /// the rayon shim (requested width vs. realized high-water mark).
+    #[must_use]
+    pub fn from_telemetry(seed: u64, trace: &Trace, metrics: &MetricsSnapshot) -> Self {
+        let spans = trace.complete_spans();
+        let mut stages: Vec<(usize, StageTiming)> = spans
+            .iter()
+            .filter(|s| s.cat == "bench" && s.name == "artifact")
+            .map(|s| {
+                let index: usize = s.arg("index").and_then(|v| v.parse().ok()).unwrap_or(0);
+                let name = s.arg("name").unwrap_or("?").to_string();
+                (
+                    index,
+                    StageTiming {
+                        name,
+                        millis: s.millis(),
+                    },
+                )
+            })
+            .collect();
+        stages.sort_by_key(|(index, _)| *index);
+        let total_millis = spans
+            .iter()
+            .find(|s| s.cat == "bench" && s.name == "campaign")
+            .map(vdbench_telemetry::span::CompleteSpan::millis)
+            .unwrap_or_else(|| stages.iter().map(|(_, s)| s.millis).sum());
+        CampaignTiming {
+            seed,
+            threads_requested: rayon::current_num_threads(),
+            threads_used: rayon::max_threads_used().max(1),
+            stages: stages.into_iter().map(|(_, s)| s).collect(),
+            total_millis,
+            cache: CacheCounters::from_snapshot(metrics),
+        }
+    }
+
     /// Renders the human-readable breakdown printed to stderr.
     #[must_use]
     pub fn render(&self) -> String {
@@ -66,10 +136,11 @@ impl CampaignTiming {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "campaign timings (seed {:#x}, {} worker thread{}):",
+            "campaign timings (seed {:#x}, {} worker thread{} requested, {} used):",
             self.seed,
-            self.threads,
-            if self.threads == 1 { "" } else { "s" }
+            self.threads_requested,
+            if self.threads_requested == 1 { "" } else { "s" },
+            self.threads_used
         );
         for s in &self.stages {
             let _ = writeln!(out, "  {:<8} {:>9.1} ms", s.name, s.millis);
@@ -103,34 +174,22 @@ impl CampaignTiming {
     }
 }
 
-/// Runs `f`, returning its output together with the elapsed wall-clock.
-pub fn time_stage<T>(name: &str, f: impl FnOnce() -> T) -> (T, StageTiming) {
-    let start = Instant::now();
-    let out = f();
-    let timing = StageTiming {
-        name: name.to_string(),
-        millis: start.elapsed().as_secs_f64() * 1e3,
-    };
-    (out, timing)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+    use vdbench_telemetry::span;
 
-    #[test]
-    fn stage_timer_measures_and_returns() {
-        let (value, t) = time_stage("demo", || 6 * 7);
-        assert_eq!(value, 42);
-        assert_eq!(t.name, "demo");
-        assert!(t.millis >= 0.0);
-    }
+    /// The telemetry buffers are process-global; tests that record must
+    /// not interleave.
+    static EXCLUSIVE: Mutex<()> = Mutex::new(());
 
     #[test]
     fn record_renders_and_serializes() {
         let record = CampaignTiming {
             seed: 0xD5_2015,
-            threads: 4,
+            threads_requested: 4,
+            threads_used: 3,
             stages: vec![
                 StageTiming {
                     name: "table1".into(),
@@ -152,11 +211,59 @@ mod tests {
         let text = record.render();
         assert!(text.contains("table1"));
         assert!(text.contains("6 hit / 4 miss"));
+        assert!(
+            text.contains("4 worker threads requested, 3 used"),
+            "{text}"
+        );
         let json = record.to_json();
         assert!(json.contains("\"case_study_hits\": 6"));
         assert!(json.contains("\"name\": \"fig6\""));
+        assert!(json.contains("\"threads_requested\": 4"));
         // Valid JSON round-trip through the vendored parser.
         let parsed: CampaignTiming = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn derives_stages_in_campaign_order_from_spans() {
+        let _guard = EXCLUSIVE.lock().expect("telemetry test lock poisoned");
+        vdbench_telemetry::reset();
+        vdbench_telemetry::enable();
+        {
+            let _campaign = span!("bench", "campaign");
+            // Recorded out of campaign order on purpose.
+            for (i, name) in [(1usize, "fig1"), (0usize, "table1")] {
+                let _s = span!("bench", "artifact", name = name, index = i);
+            }
+        }
+        let trace = vdbench_telemetry::take_trace();
+        vdbench_telemetry::disable();
+        let reg = vdbench_telemetry::registry::Registry::new();
+        reg.counter("cache.case_study.hits").add(5);
+        let record = CampaignTiming::from_telemetry(7, &trace, &reg.snapshot());
+        let names: Vec<&str> = record.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["table1", "fig1"],
+            "index arg restores campaign order"
+        );
+        assert_eq!(record.cache.case_study_hits, 5);
+        assert_eq!(record.cache.assessment_misses, 0);
+        assert!(record.total_millis >= 0.0);
+        assert!(record.threads_requested >= 1);
+        assert!(record.threads_used >= 1);
+    }
+
+    #[test]
+    fn cache_counters_convert_from_core_stats() {
+        let stats = vdbench_core::CacheStats {
+            case_study_hits: 1,
+            case_study_misses: 2,
+            assessment_hits: 3,
+            assessment_misses: 4,
+        };
+        let counters: CacheCounters = stats.into();
+        assert_eq!(counters.case_study_misses, 2);
+        assert_eq!(counters.assessment_misses, 4);
     }
 }

@@ -1,0 +1,88 @@
+//! End-to-end telemetry: one small campaign slice records spans from every
+//! instrumented crate, and the trace exports to valid Chrome JSON.
+//!
+//! This is the acceptance test for the observability subsystem: the trace
+//! of a campaign must carry spans from at least the four pipeline layers
+//! (`core`, `detectors`, `stats`, `mcda`), and the Chrome `trace_event`
+//! export must round-trip through the vendored `serde_json`.
+
+use vdbench_core::scenario::{Scenario, ScenarioId};
+use vdbench_mcda::{Ahp, Direction, PairwiseMatrix};
+use vdbench_stats::intervals::{wilson, Confidence};
+use vdbench_stats::{Bootstrap, SeededRng};
+use vdbench_telemetry::export::{chrome_trace_json, RawValue};
+
+#[test]
+fn campaign_slice_traces_four_crates_and_exports_chrome_json() {
+    vdbench_telemetry::reset();
+    vdbench_telemetry::enable();
+
+    // core + detectors: a small standard case study (the benchmark scans
+    // the corpus with every roster tool).
+    let mut scenario = Scenario::standard(ScenarioId::S1Audit);
+    scenario.workload_units = 30;
+    let report = vdbench_core::campaign::run_case_study(&scenario, 11).expect("standard roster");
+    assert_eq!(report.tool_names().len(), 8);
+
+    // stats: a Wilson interval and a bootstrap resampling run.
+    let _ = wilson(8, 10, Confidence::P95).expect("valid counts");
+    let data: Vec<f64> = (0..40).map(|i| (i % 7) as f64).collect();
+    let mut rng = SeededRng::new(3);
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+    let _ = Bootstrap::new(50)
+        .replicate_distribution(&data, mean, &mut rng)
+        .expect("non-empty data");
+
+    // mcda: a tiny ratings-mode AHP solve.
+    let ahp = Ahp::with_ratings(
+        vec!["c1".into(), "c2".into()],
+        PairwiseMatrix::identity(2),
+        vec!["a".into(), "b".into()],
+        vec![vec![0.9, 0.2], vec![0.4, 0.8]],
+        vec![Direction::Benefit, Direction::Benefit],
+    )
+    .expect("well-formed hierarchy");
+    let _ = ahp.solve().expect("consistent identity matrix");
+
+    let trace = vdbench_telemetry::take_trace();
+    vdbench_telemetry::disable();
+
+    let cats = trace.categories();
+    for cat in ["core", "detectors", "stats", "mcda"] {
+        assert!(cats.contains(cat), "missing category {cat:?} in {cats:?}");
+    }
+    assert!(
+        trace.complete_spans().len() >= 4,
+        "at least one span per instrumented crate"
+    );
+    // The per-unit detector spans run on the worker pool.
+    let unit_scans = trace
+        .complete_spans()
+        .iter()
+        .filter(|s| s.name == "scan_unit")
+        .count();
+    assert_eq!(
+        unit_scans,
+        8 * scenario.workload_units,
+        "each roster tool scans every unit"
+    );
+
+    // The Chrome export round-trips through the vendored serde_json and
+    // carries every event.
+    let json = chrome_trace_json(&trace);
+    let RawValue(doc) = serde_json::from_str(&json).expect("valid Chrome trace JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(serde::Value::as_array)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), trace.len());
+
+    // The bootstrap run landed on the registry histogram as well.
+    let metrics = vdbench_telemetry::registry::global().snapshot();
+    let hist = metrics
+        .histograms
+        .get("stats.bootstrap.replicates")
+        .expect("bootstrap histogram registered");
+    assert!(hist.count >= 1);
+    assert!(hist.sum >= 50);
+}

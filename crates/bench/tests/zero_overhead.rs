@@ -1,0 +1,43 @@
+//! Zero-overhead regression guard: with telemetry disabled (the default),
+//! a full campaign slice must not record a single span event.
+//!
+//! This test runs in its own test binary (its own process) so no sibling
+//! test can flip the process-global recording switch underneath it.
+
+use vdbench_core::scenario::{Scenario, ScenarioId};
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    assert!(
+        !vdbench_telemetry::is_enabled(),
+        "telemetry must be off by default"
+    );
+
+    // Exercise every instrumented layer: case study (core + detectors),
+    // intervals and bootstrap (stats), attribute assessment (core again).
+    let mut scenario = Scenario::standard(ScenarioId::S1Audit);
+    scenario.workload_units = 30;
+    let _ = vdbench_core::campaign::run_case_study(&scenario, 5).expect("standard roster");
+    let _ = vdbench_stats::intervals::wilson(3, 9, vdbench_stats::Confidence::P95);
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+    let mut rng = vdbench_stats::SeededRng::new(1);
+    let _ =
+        vdbench_stats::Bootstrap::new(20).replicate_distribution(&[1.0, 2.0, 3.0], mean, &mut rng);
+
+    assert_eq!(
+        vdbench_telemetry::events_recorded(),
+        0,
+        "disabled spans must not record events"
+    );
+    assert!(vdbench_telemetry::take_trace().is_empty());
+
+    // Registry metrics are always-on by design: the cache counters moved
+    // there and must keep counting even with span recording off.
+    let metrics = vdbench_telemetry::registry::global().snapshot();
+    assert!(
+        metrics
+            .histograms
+            .contains_key("stats.bootstrap.replicates"),
+        "always-on registry metrics keep working while spans are off"
+    );
+}

@@ -152,9 +152,11 @@ pub fn assess_catalog(
     metrics: &[Box<dyn Metric>],
     cfg: &AssessmentConfig,
 ) -> Vec<AttributeAssessment> {
+    let _span = vdbench_telemetry::span!("core", "assess_catalog", metrics = metrics.len());
     metrics
         .par_iter()
         .map(|m| {
+            let _span = vdbench_telemetry::span!("core", "assess_metric", metric = m.abbrev());
             let mut scores = BTreeMap::new();
             scores.insert(MetricAttribute::Validity, validity::score(m.as_ref(), cfg));
             scores.insert(

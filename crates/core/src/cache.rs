@@ -36,10 +36,10 @@ use crate::campaign;
 use crate::error::Result;
 use crate::scenario::{Scenario, ScenarioId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use vdbench_detectors::Detector;
 use vdbench_metrics::metric::Metric;
+use vdbench_telemetry::registry::Counter;
 
 /// 64-bit FNV-1a over a byte string, continuing from `state`.
 fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
@@ -110,10 +110,30 @@ type AssessCell = Arc<OnceLock<Arc<Vec<AttributeAssessment>>>>;
 static CASE_STUDIES: OnceLock<Mutex<HashMap<CaseStudyKey, CaseCell>>> = OnceLock::new();
 static ASSESSMENTS: OnceLock<Mutex<HashMap<AssessmentKey, AssessCell>>> = OnceLock::new();
 
-static CASE_HITS: AtomicU64 = AtomicU64::new(0);
-static CASE_MISSES: AtomicU64 = AtomicU64::new(0);
-static ASSESS_HITS: AtomicU64 = AtomicU64::new(0);
-static ASSESS_MISSES: AtomicU64 = AtomicU64::new(0);
+/// The four hit/miss counters live on the process-wide telemetry
+/// [`registry`](vdbench_telemetry::registry): they show up in every
+/// metrics snapshot (`--timings`, the JSON report) for free, and the
+/// per-handle [`OnceLock`]s keep the hot path at one relaxed atomic add
+/// after the first resolution.
+struct CacheCounters {
+    case_hits: Arc<Counter>,
+    case_misses: Arc<Counter>,
+    assess_hits: Arc<Counter>,
+    assess_misses: Arc<Counter>,
+}
+
+fn counters() -> &'static CacheCounters {
+    static COUNTERS: OnceLock<CacheCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = vdbench_telemetry::registry::global();
+        CacheCounters {
+            case_hits: reg.counter("cache.case_study.hits"),
+            case_misses: reg.counter("cache.case_study.misses"),
+            assess_hits: reg.counter("cache.assessment.hits"),
+            assess_misses: reg.counter("cache.assessment.misses"),
+        }
+    })
+}
 
 fn case_map() -> &'static Mutex<HashMap<CaseStudyKey, CaseCell>> {
     CASE_STUDIES.get_or_init(|| Mutex::new(HashMap::new()))
@@ -150,15 +170,31 @@ impl CacheStats {
     }
 }
 
-/// Current hit/miss counters (process-wide, monotonic until [`clear`]).
+/// Current hit/miss counters (process-wide, monotonic until
+/// [`reset_stats`] or [`clear`]).
 #[must_use]
 pub fn stats() -> CacheStats {
+    let c = counters();
     CacheStats {
-        case_study_hits: CASE_HITS.load(Ordering::Relaxed),
-        case_study_misses: CASE_MISSES.load(Ordering::Relaxed),
-        assessment_hits: ASSESS_HITS.load(Ordering::Relaxed),
-        assessment_misses: ASSESS_MISSES.load(Ordering::Relaxed),
+        case_study_hits: c.case_hits.get(),
+        case_study_misses: c.case_misses.get(),
+        assessment_hits: c.assess_hits.get(),
+        assessment_misses: c.assess_misses.get(),
     }
+}
+
+/// Zeroes the hit/miss counters without touching the cached entries.
+///
+/// Tests that assert on *absolute* counter deltas (rather than `≥`
+/// inequalities tolerant of sibling-test traffic) call this immediately
+/// before the section under observation, so the assertion no longer
+/// depends on what ran earlier in the process.
+pub fn reset_stats() {
+    let c = counters();
+    c.case_hits.reset();
+    c.case_misses.reset();
+    c.assess_hits.reset();
+    c.assess_misses.reset();
 }
 
 /// Empties both caches and zeroes the counters (for tests and benchmarks
@@ -170,10 +206,7 @@ pub fn clear() {
         .lock()
         .expect("campaign cache poisoned")
         .clear();
-    CASE_HITS.store(0, Ordering::Relaxed);
-    CASE_MISSES.store(0, Ordering::Relaxed);
-    ASSESS_HITS.store(0, Ordering::Relaxed);
-    ASSESS_MISSES.store(0, Ordering::Relaxed);
+    reset_stats();
 }
 
 /// Memoized [`campaign::run_case_study`]: the standard case study for a
@@ -205,9 +238,9 @@ pub fn cached_case_study(scenario: &Scenario, seed: u64) -> Result<Arc<Benchmark
         campaign::run_case_study(scenario, seed).map(Arc::new)
     });
     if computed {
-        CASE_MISSES.fetch_add(1, Ordering::Relaxed);
+        counters().case_misses.inc();
     } else {
-        CASE_HITS.fetch_add(1, Ordering::Relaxed);
+        counters().case_hits.inc();
     }
     result.clone()
 }
@@ -238,9 +271,9 @@ pub fn cached_assessment(
         Arc::new(assess_catalog(metrics, cfg))
     });
     if computed {
-        ASSESS_MISSES.fetch_add(1, Ordering::Relaxed);
+        counters().assess_misses.inc();
     } else {
-        ASSESS_HITS.fetch_add(1, Ordering::Relaxed);
+        counters().assess_hits.inc();
     }
     sheets.clone()
 }

@@ -52,6 +52,12 @@ pub fn scenario_corpus(scenario: &Scenario, seed: u64) -> Corpus {
 /// Propagates benchmark configuration errors (cannot occur with the
 /// standard roster).
 pub fn run_case_study(scenario: &Scenario, seed: u64) -> Result<BenchmarkReport> {
+    let _span = vdbench_telemetry::span!(
+        "core",
+        "case_study",
+        scenario = scenario.id,
+        units = scenario.workload_units
+    );
     Benchmark::new(scenario_corpus(scenario, seed))
         .tools(standard_tools(seed))
         .metrics(standard_metrics())

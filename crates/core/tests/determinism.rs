@@ -39,25 +39,25 @@ fn markdown_report_is_thread_count_invariant_and_cached() {
     );
 
     // --- Warm repeat: pure cache hits, still byte-identical. -----------
-    let warm_before = cache::stats();
+    // `reset_stats` zeroes the counters without evicting entries, so the
+    // assertions below are *absolute*: they no longer depend on how much
+    // cache traffic happened to precede this section.
+    cache::reset_stats();
     let repeat = markdown_report(SEED).expect("standard configuration");
     std::env::remove_var("RAYON_NUM_THREADS");
     assert_eq!(serial, repeat, "cache hits must not change the output");
-    let warm_after = cache::stats();
+    let warm = cache::stats();
     assert_eq!(
-        warm_after.case_study_misses, warm_before.case_study_misses,
-        "warm render must not recompute any case study"
+        warm.case_study_misses, 0,
+        "warm render must not recompute any case study: {warm:?}"
     );
     assert_eq!(
-        warm_after.assessment_misses, warm_before.assessment_misses,
-        "warm render must not recompute the assessment"
+        warm.assessment_misses, 0,
+        "warm render must not recompute the assessment: {warm:?}"
     );
     assert!(
-        warm_after.case_study_hits >= warm_before.case_study_hits + 4,
-        "every scenario served from cache: {warm_before:?} -> {warm_after:?}"
+        warm.case_study_hits >= 4,
+        "every scenario served from cache: {warm:?}"
     );
-    assert!(
-        warm_after.assessment_hits > warm_before.assessment_hits,
-        "{warm_before:?} -> {warm_after:?}"
-    );
+    assert!(warm.assessment_hits >= 1, "{warm:?}");
 }

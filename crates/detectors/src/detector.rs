@@ -25,11 +25,25 @@ pub trait Detector: std::fmt::Debug + Send + Sync {
     /// `(corpus, unit, configuration)`, so the parallel scan returns
     /// exactly the serial result; `RAYON_NUM_THREADS=1` forces the serial
     /// path (used by the determinism regression tests).
+    ///
+    /// When telemetry recording is on, the whole scan is wrapped in a
+    /// `detectors/scan_corpus` span and each unit in a
+    /// `detectors/scan_unit` span on the worker's own track, so the trace
+    /// shows the per-tool schedule exactly as the pool ran it.
     fn analyze_corpus(&self, corpus: &Corpus) -> Vec<Finding> {
+        let _span = vdbench_telemetry::span!(
+            "detectors",
+            "scan_corpus",
+            tool = self.name(),
+            units = corpus.units().len()
+        );
         let per_unit: Vec<Vec<Finding>> = corpus
             .units()
             .par_iter()
-            .map(|u| self.analyze(corpus, u))
+            .map(|u| {
+                let _span = vdbench_telemetry::span!("detectors", "scan_unit");
+                self.analyze(corpus, u)
+            })
             .collect();
         per_unit.into_iter().flatten().collect()
     }

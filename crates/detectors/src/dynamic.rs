@@ -198,11 +198,20 @@ impl Detector for DynamicScanner {
     /// sharing it is free and thread-safe; findings are concatenated in
     /// unit order, identical to the serial scan.
     fn analyze_corpus(&self, corpus: &Corpus) -> Vec<Finding> {
+        let _span = vdbench_telemetry::span!(
+            "detectors",
+            "scan_corpus",
+            tool = self.name(),
+            units = corpus.units().len()
+        );
         let interp = Interpreter::default();
         let per_unit: Vec<Vec<Finding>> = corpus
             .units()
             .par_iter()
-            .map(|u| self.analyze_with(&interp, u))
+            .map(|u| {
+                let _span = vdbench_telemetry::span!("detectors", "scan_unit");
+                self.analyze_with(&interp, u)
+            })
             .collect();
         per_unit.into_iter().flatten().collect()
     }

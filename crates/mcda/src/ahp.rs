@@ -211,6 +211,12 @@ impl Ahp {
     ///
     /// Propagates eigenvector solver failures.
     pub fn solve(&self) -> Result<AhpResult> {
+        let _span = vdbench_telemetry::span!(
+            "mcda",
+            "ahp_solve",
+            criteria = self.criteria_names.len(),
+            alternatives = self.alternative_names.len()
+        );
         let (criteria_pv, criteria_consistency) = check(&self.criteria_matrix)?;
         let n_alt = self.alternative_names.len();
         let mut scores = vec![0.0; n_alt];

@@ -22,6 +22,21 @@ use rand::RngCore;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+/// Records one resampling run on the `stats.bootstrap.replicates`
+/// histogram (telemetry registry). The handle is resolved once per
+/// process; when recording is disabled the histogram still counts — it is
+/// a plain always-on metric, not a span — but resolution is deferred so
+/// programs that never bootstrap pay nothing.
+fn record_replicates(n: usize) {
+    use std::sync::OnceLock;
+    use vdbench_telemetry::registry::Histogram;
+    static HIST: OnceLock<std::sync::Arc<Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| {
+        vdbench_telemetry::registry::global().histogram("stats.bootstrap.replicates")
+    })
+    .record(n as u64);
+}
+
 /// A percentile bootstrap confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BootstrapCi {
@@ -99,6 +114,13 @@ impl Bootstrap {
         if data.is_empty() {
             return Err(StatsError::EmptyInput);
         }
+        let _span = vdbench_telemetry::span!(
+            "stats",
+            "bootstrap_replicates",
+            replicates = self.replicates,
+            n = data.len()
+        );
+        record_replicates(self.replicates);
         let n = data.len();
         let base = rng.next_u64();
         let out: Vec<f64> = (0..self.replicates)
@@ -183,6 +205,12 @@ impl Bootstrap {
         if sample_a.is_empty() || sample_b.is_empty() {
             return Err(StatsError::EmptyInput);
         }
+        let _span = vdbench_telemetry::span!(
+            "stats",
+            "bootstrap_superiority",
+            replicates = self.replicates
+        );
+        record_replicates(self.replicates);
         let base = rng.next_u64();
         let wins: usize = (0..self.replicates)
             .into_par_iter()
@@ -231,6 +259,13 @@ impl Bootstrap {
                 value: fraction,
             });
         }
+        let _span = vdbench_telemetry::span!(
+            "stats",
+            "bootstrap_subsample",
+            replicates = self.replicates,
+            fraction = fraction
+        );
+        record_replicates(self.replicates);
         let k = ((data.len() as f64 * fraction).round() as usize).clamp(1, data.len());
         let base = rng.next_u64();
         let out: Vec<f64> = (0..self.replicates)

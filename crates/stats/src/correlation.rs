@@ -83,6 +83,7 @@ pub fn ranks(values: &[f64]) -> Vec<f64> {
 /// assert!((rho - 1.0).abs() < 1e-12);
 /// ```
 pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64> {
+    let _span = vdbench_telemetry::span!("stats", "spearman", n = x.len());
     check_paired(x, y)?;
     pearson(&ranks(x), &ranks(y))
 }
@@ -97,6 +98,7 @@ pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64> {
 /// Returns [`StatsError::Undefined`] when either input is entirely tied,
 /// plus the usual input-shape errors.
 pub fn kendall_tau(x: &[f64], y: &[f64]) -> Result<f64> {
+    let _span = vdbench_telemetry::span!("stats", "kendall_tau", n = x.len());
     check_paired(x, y)?;
     let n = x.len();
     let mut concordant = 0i64;

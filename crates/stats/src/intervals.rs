@@ -138,6 +138,7 @@ pub fn wald(successes: u64, trials: u64, conf: Confidence) -> Result<BinomialInt
 /// assert!(iv.contains(0.8));
 /// ```
 pub fn wilson(successes: u64, trials: u64, conf: Confidence) -> Result<BinomialInterval> {
+    let _span = vdbench_telemetry::span!("stats", "wilson_interval", trials = trials);
     validate(successes, trials)?;
     let n = trials as f64;
     let p = successes as f64 / n;

@@ -1,0 +1,298 @@
+//! Hierarchical spans recorded into per-thread buffers.
+//!
+//! Every thread that records gets its own buffer (registered globally on
+//! first use), so a span open/close only ever locks the recording
+//! thread's *own* mutex — uncontended except while a collector drains.
+//! [`drain`] stitches all buffers, including those of threads that have
+//! already exited, into one chronologically merged [`Trace`].
+//!
+//! Within a thread, spans nest strictly (guards drop in reverse open
+//! order), so per-thread event streams are balanced begin/end sequences —
+//! the invariant the Chrome `trace_event` exporter and
+//! [`Trace::complete_spans`] rely on.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Begin/end marker of a span event (`B`/`E` in the Chrome trace format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span opened.
+    Begin,
+    /// Span closed.
+    End,
+}
+
+/// One recorded span boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// [`Phase::Begin`] or [`Phase::End`].
+    pub phase: Phase,
+    /// Category — by convention the short crate name ("core", "stats", …).
+    pub cat: &'static str,
+    /// Span name within the category.
+    pub name: &'static str,
+    /// Nanoseconds since the process's telemetry epoch.
+    pub ts_nanos: u64,
+    /// Telemetry thread ordinal (dense, assigned at first record).
+    pub tid: u32,
+    /// `Display`-formatted span arguments (begin events only).
+    pub args: Vec<(String, String)>,
+}
+
+/// One thread's event buffer. The `Arc` is held by both the thread-local
+/// slot and the global registry, so events survive thread exit.
+struct ThreadBuf {
+    tid: u32,
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+fn buffers() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static BUFFERS: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    BUFFERS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<ThreadBuf>>> = const { RefCell::new(None) };
+}
+
+/// This thread's buffer, registering it globally on first use.
+fn local_buf() -> Arc<ThreadBuf> {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if let Some(buf) = slot.as_ref() {
+            return Arc::clone(buf);
+        }
+        let buf = Arc::new(ThreadBuf {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            events: Mutex::new(Vec::new()),
+        });
+        buffers()
+            .lock()
+            .expect("telemetry buffer registry poisoned")
+            .push(Arc::clone(&buf));
+        *slot = Some(Arc::clone(&buf));
+        buf
+    })
+}
+
+fn record(phase: Phase, cat: &'static str, name: &'static str, args: Vec<(String, String)>) {
+    let buf = local_buf();
+    let event = SpanEvent {
+        phase,
+        cat,
+        name,
+        ts_nanos: crate::now_nanos(),
+        tid: buf.tid,
+        args,
+    };
+    buf.events
+        .lock()
+        .expect("telemetry thread buffer poisoned")
+        .push(event);
+    crate::note_event();
+}
+
+/// RAII guard for one span: records the begin event on construction (when
+/// recording is enabled) and the end event on drop.
+///
+/// Deliberately `!Send`: begin and end must land in the same thread
+/// buffer for per-thread streams to stay balanced.
+#[derive(Debug)]
+pub struct SpanGuard {
+    open: Option<(&'static str, &'static str)>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// Opens a span (prefer the [`crate::span!`] macro). `make_args` is
+    /// only invoked — and only allocates — when recording is enabled;
+    /// otherwise the call costs one relaxed atomic load.
+    #[inline]
+    pub fn open(
+        cat: &'static str,
+        name: &'static str,
+        make_args: impl FnOnce() -> Vec<(String, String)>,
+    ) -> SpanGuard {
+        if !crate::is_enabled() {
+            return SpanGuard {
+                open: None,
+                _not_send: PhantomData,
+            };
+        }
+        record(Phase::Begin, cat, name, make_args());
+        SpanGuard {
+            open: Some((cat, name)),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Whether this guard recorded a begin event (recording was enabled).
+    pub fn is_recording(&self) -> bool {
+        self.open.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((cat, name)) = self.open.take() {
+            // Recorded even if telemetry was disabled mid-span: balance
+            // beats completeness for the per-thread stream invariant.
+            record(Phase::End, cat, name, Vec::new());
+        }
+    }
+}
+
+/// A closed span reconstructed from a balanced begin/end pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompleteSpan {
+    /// Category (short crate name).
+    pub cat: &'static str,
+    /// Span name.
+    pub name: &'static str,
+    /// Recording thread's telemetry ordinal.
+    pub tid: u32,
+    /// Begin-event arguments.
+    pub args: Vec<(String, String)>,
+    /// Start, nanoseconds since the telemetry epoch.
+    pub start_nanos: u64,
+    /// Duration in nanoseconds.
+    pub dur_nanos: u64,
+}
+
+impl CompleteSpan {
+    /// Duration in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.dur_nanos as f64 / 1e6
+    }
+
+    /// The value of one begin-event argument, if present.
+    pub fn arg(&self, key: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Aggregate statistics of all completed spans sharing a `(cat, name)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSummary {
+    /// Category (short crate name).
+    pub cat: &'static str,
+    /// Span name.
+    pub name: &'static str,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Summed duration in nanoseconds.
+    pub total_nanos: u64,
+    /// Longest single span in nanoseconds.
+    pub max_nanos: u64,
+}
+
+/// The process-wide trace: every thread's events, merged chronologically
+/// (per-thread order preserved — timestamps are monotonic within a thread
+/// and the merge sort is stable).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Merged span events.
+    pub events: Vec<SpanEvent>,
+}
+
+impl Trace {
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The distinct categories present — instrumented crates show up here.
+    pub fn categories(&self) -> BTreeSet<&'static str> {
+        self.events.iter().map(|e| e.cat).collect()
+    }
+
+    /// The distinct telemetry thread ordinals present.
+    pub fn thread_ids(&self) -> BTreeSet<u32> {
+        self.events.iter().map(|e| e.tid).collect()
+    }
+
+    /// Reconstructs completed spans by matching begin/end pairs on a
+    /// per-thread stack (spans nest within a thread). Unbalanced events —
+    /// an end without a begin, a begin never closed, or a mismatched name
+    /// from a guard dropped on a foreign thread — are skipped. The result
+    /// is sorted by start time, then thread.
+    pub fn complete_spans(&self) -> Vec<CompleteSpan> {
+        let mut stacks: BTreeMap<u32, Vec<&SpanEvent>> = BTreeMap::new();
+        let mut out = Vec::new();
+        for event in &self.events {
+            match event.phase {
+                Phase::Begin => stacks.entry(event.tid).or_default().push(event),
+                Phase::End => {
+                    let Some(begin) = stacks.entry(event.tid).or_default().pop() else {
+                        continue; // end without begin: dropped
+                    };
+                    if begin.name != event.name || begin.cat != event.cat {
+                        continue; // malformed pair: dropped
+                    }
+                    out.push(CompleteSpan {
+                        cat: begin.cat,
+                        name: begin.name,
+                        tid: begin.tid,
+                        args: begin.args.clone(),
+                        start_nanos: begin.ts_nanos,
+                        dur_nanos: event.ts_nanos.saturating_sub(begin.ts_nanos),
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|s| (s.start_nanos, s.tid));
+        out
+    }
+
+    /// Per-`(cat, name)` aggregates over [`Trace::complete_spans`],
+    /// sorted by descending total duration.
+    pub fn summaries(&self) -> Vec<SpanSummary> {
+        let mut agg: BTreeMap<(&'static str, &'static str), SpanSummary> = BTreeMap::new();
+        for span in self.complete_spans() {
+            let entry = agg.entry((span.cat, span.name)).or_insert(SpanSummary {
+                cat: span.cat,
+                name: span.name,
+                count: 0,
+                total_nanos: 0,
+                max_nanos: 0,
+            });
+            entry.count += 1;
+            entry.total_nanos += span.dur_nanos;
+            entry.max_nanos = entry.max_nanos.max(span.dur_nanos);
+        }
+        let mut out: Vec<SpanSummary> = agg.into_values().collect();
+        out.sort_by_key(|s| std::cmp::Reverse(s.total_nanos));
+        out
+    }
+}
+
+/// Drains all thread buffers into one merged [`Trace`] (see
+/// [`crate::take_trace`]).
+pub(crate) fn drain() -> Trace {
+    let mut events = Vec::new();
+    {
+        let bufs = buffers()
+            .lock()
+            .expect("telemetry buffer registry poisoned");
+        for buf in bufs.iter() {
+            events.append(&mut buf.events.lock().expect("telemetry thread buffer poisoned"));
+        }
+    }
+    // Stable: preserves per-thread order under equal timestamps.
+    events.sort_by_key(|e| e.ts_nanos);
+    Trace { events }
+}

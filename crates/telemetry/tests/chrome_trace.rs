@@ -1,0 +1,125 @@
+//! Property test: any interleaving of span opens/closes — across any
+//! number of worker threads — serializes to valid Chrome `trace_event`
+//! JSON whose per-thread event streams are balanced B/E pairs.
+//!
+//! Scripts are arbitrary byte strings interpreted as open/close walks
+//! (closes below depth zero are ignored, leftovers close at scope exit),
+//! so every generated input is realizable with real [`SpanGuard`]s; the
+//! guards themselves enforce the LIFO discipline the format requires.
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+use vdbench_telemetry::export::{chrome_trace_json, RawValue};
+use vdbench_telemetry::span::SpanGuard;
+
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+const NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// Interprets a byte script on the current thread: even bytes open a span
+/// (name chosen by the byte), odd bytes close the innermost open span.
+/// Any leftover guards close in LIFO order on return.
+fn run_script(script: &[u8]) {
+    let mut guards: Vec<SpanGuard> = Vec::new();
+    for &b in script {
+        if b % 2 == 0 {
+            let name = NAMES[(b as usize / 2) % NAMES.len()];
+            guards.push(SpanGuard::open("prop", name, Vec::new));
+        } else {
+            drop(guards.pop());
+        }
+    }
+    while let Some(guard) = guards.pop() {
+        drop(guard);
+    }
+}
+
+/// Validates a parsed Chrome trace document: required fields on every
+/// event, and per-tid streams that are stack-balanced B/E pairs with
+/// matching names.
+fn assert_valid_chrome_doc(doc: &serde::Value, expected_events: usize) {
+    let events = doc
+        .get("traceEvents")
+        .and_then(serde::Value::as_array)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), expected_events);
+    assert_eq!(
+        doc.get("displayTimeUnit"),
+        Some(&serde::Value::Str("ms".into()))
+    );
+    let mut stacks: std::collections::BTreeMap<i64, Vec<String>> =
+        std::collections::BTreeMap::new();
+    let mut last_ts: std::collections::BTreeMap<i64, f64> = std::collections::BTreeMap::new();
+    for event in events {
+        let name = match event.get("name") {
+            Some(serde::Value::Str(s)) => s.clone(),
+            other => panic!("event name must be a string, got {other:?}"),
+        };
+        assert_eq!(
+            event.get("cat"),
+            Some(&serde::Value::Str("prop".into())),
+            "category survives export"
+        );
+        let tid = match event.get("tid") {
+            Some(serde::Value::Int(i)) => *i,
+            Some(serde::Value::UInt(u)) => *u as i64,
+            other => panic!("tid must be an integer, got {other:?}"),
+        };
+        let ts = match event.get("ts") {
+            Some(serde::Value::Float(f)) => *f,
+            Some(serde::Value::Int(i)) => *i as f64,
+            Some(serde::Value::UInt(u)) => *u as f64,
+            other => panic!("ts must be a number, got {other:?}"),
+        };
+        assert!(ts >= 0.0, "timestamps are epoch-relative");
+        let prev = last_ts.entry(tid).or_insert(0.0);
+        assert!(ts >= *prev, "per-thread timestamps are monotonic");
+        *prev = ts;
+        assert!(event.get("pid").is_some(), "pid present");
+        let stack = stacks.entry(tid).or_default();
+        match event.get("ph") {
+            Some(serde::Value::Str(ph)) if ph == "B" => stack.push(name),
+            Some(serde::Value::Str(ph)) if ph == "E" => {
+                let open = stack.pop().unwrap_or_else(|| {
+                    panic!("E event for {name:?} on tid {tid} without a matching B")
+                });
+                assert_eq!(open, name, "B/E pair names match (LIFO)");
+            }
+            other => panic!("ph must be \"B\" or \"E\", got {other:?}"),
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "tid {tid} left spans open: {stack:?}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn any_interleaving_exports_balanced_chrome_json(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(0u8..255, 0..40),
+            1..5,
+        )
+    ) {
+        let _guard = EXCLUSIVE.lock().expect("telemetry test lock poisoned");
+        vdbench_telemetry::reset();
+        vdbench_telemetry::enable();
+        // One scoped worker per script: the threads interleave freely.
+        std::thread::scope(|scope| {
+            for script in &scripts {
+                scope.spawn(move || run_script(script));
+            }
+        });
+        let trace = vdbench_telemetry::take_trace();
+        vdbench_telemetry::disable();
+
+        // Every recorded event is a begin or an end of a completed span.
+        let completed = trace.complete_spans().len();
+        prop_assert_eq!(trace.len(), 2 * completed, "balanced in memory");
+
+        let json = chrome_trace_json(&trace);
+        let RawValue(doc) = serde_json::from_str(&json)
+            .expect("chrome trace round-trips through serde_json");
+        assert_valid_chrome_doc(&doc, trace.len());
+    }
+}

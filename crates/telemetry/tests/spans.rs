@@ -1,0 +1,142 @@
+//! Span nesting and cross-thread stitching.
+//!
+//! These tests flip the process-global recording switch, so they
+//! serialize on one lock and reset the buffers before each scenario.
+
+use std::sync::Mutex;
+use vdbench_telemetry::span::{Phase, Trace};
+use vdbench_telemetry::{span, take_trace};
+
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with recording enabled on clean buffers, returning the trace
+/// it produced.
+fn traced(f: impl FnOnce()) -> Trace {
+    let _guard = EXCLUSIVE.lock().expect("telemetry test lock poisoned");
+    vdbench_telemetry::reset();
+    vdbench_telemetry::enable();
+    f();
+    let trace = take_trace();
+    vdbench_telemetry::disable();
+    trace
+}
+
+#[test]
+fn spans_nest_within_a_thread() {
+    let trace = traced(|| {
+        let _outer = span!("test", "outer", label = "root");
+        {
+            let _inner = span!("test", "inner");
+        }
+        let _sibling = span!("test", "sibling");
+    });
+    assert_eq!(trace.len(), 6, "three begin/end pairs");
+    let spans = trace.complete_spans();
+    assert_eq!(spans.len(), 3);
+    let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+    assert_eq!(outer.arg("label"), Some("root"));
+    // Sorted by start time: nothing starts before the outer span.
+    assert!(spans.iter().all(|s| s.start_nanos >= outer.start_nanos));
+    let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+    // The inner span is contained in the outer one.
+    assert!(inner.start_nanos >= outer.start_nanos);
+    assert!(
+        inner.start_nanos + inner.dur_nanos <= outer.start_nanos + outer.dur_nanos,
+        "inner must close before outer"
+    );
+    // All on one thread.
+    assert_eq!(trace.thread_ids().len(), 1);
+    assert_eq!(trace.categories().into_iter().collect::<Vec<_>>(), ["test"]);
+}
+
+#[test]
+fn disabled_spans_record_nothing() {
+    let _guard = EXCLUSIVE.lock().expect("telemetry test lock poisoned");
+    vdbench_telemetry::reset();
+    assert!(!vdbench_telemetry::is_enabled());
+    // Argument expressions must not even be evaluated when recording is
+    // off.
+    fn boom() -> String {
+        unreachable!("disabled span must not format its args")
+    }
+    {
+        let s = span!("test", "ghost", expensive = boom());
+        assert!(!s.is_recording());
+    }
+    assert_eq!(vdbench_telemetry::events_recorded(), 0);
+    assert!(take_trace().is_empty());
+}
+
+#[test]
+fn threads_stitch_into_one_trace() {
+    const WORKERS: usize = 4;
+    let trace = traced(|| {
+        let _campaign = span!("test", "campaign");
+        std::thread::scope(|scope| {
+            for worker in 0..WORKERS {
+                scope.spawn(move || {
+                    let _outer = span!("test", "worker", index = worker);
+                    let _inner = span!("test", "unit");
+                });
+            }
+        });
+    });
+    // 1 campaign + WORKERS × (worker + unit) spans, all balanced even
+    // though the worker threads exited before the trace was taken.
+    let spans = trace.complete_spans();
+    assert_eq!(spans.len(), 1 + 2 * WORKERS);
+    assert_eq!(trace.len(), 2 * spans.len());
+    assert!(
+        trace.thread_ids().len() >= WORKERS,
+        "each worker records on its own track: {:?}",
+        trace.thread_ids()
+    );
+    // Every worker span carries its index argument and contains one unit.
+    let worker_spans: Vec<_> = spans.iter().filter(|s| s.name == "worker").collect();
+    assert_eq!(worker_spans.len(), WORKERS);
+    let mut indices: Vec<String> = worker_spans
+        .iter()
+        .map(|s| s.arg("index").expect("index arg").to_string())
+        .collect();
+    indices.sort();
+    assert_eq!(indices, ["0", "1", "2", "3"]);
+    for w in worker_spans {
+        let unit = spans
+            .iter()
+            .find(|s| s.name == "unit" && s.tid == w.tid)
+            .expect("each worker ran one unit");
+        assert!(unit.start_nanos >= w.start_nanos);
+    }
+    // The summary aggregates by (cat, name).
+    let summaries = trace.summaries();
+    let unit_summary = summaries.iter().find(|s| s.name == "unit").unwrap();
+    assert_eq!(unit_summary.count, WORKERS as u64);
+    assert!(unit_summary.max_nanos <= unit_summary.total_nanos);
+}
+
+#[test]
+fn take_trace_drains() {
+    let first = traced(|| {
+        let _s = span!("test", "once");
+    });
+    assert_eq!(first.complete_spans().len(), 1);
+    // A second take without new activity sees nothing.
+    let _guard = EXCLUSIVE.lock().expect("telemetry test lock poisoned");
+    assert!(take_trace().is_empty());
+}
+
+#[test]
+fn begin_and_end_phases_alternate_per_thread() {
+    let trace = traced(|| {
+        let _a = span!("test", "a");
+        let _b = span!("test", "b");
+    });
+    let phases: Vec<Phase> = trace.events.iter().map(|e| e.phase).collect();
+    assert_eq!(
+        phases,
+        [Phase::Begin, Phase::Begin, Phase::End, Phase::End],
+        "guards close in reverse open order"
+    );
+    let names: Vec<&str> = trace.events.iter().map(|e| e.name).collect();
+    assert_eq!(names, ["a", "b", "b", "a"]);
+}

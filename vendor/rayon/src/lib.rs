@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads a parallel call will use: the
 /// `RAYON_NUM_THREADS` environment variable when set to a positive
@@ -44,6 +45,24 @@ pub fn current_num_threads() -> usize {
         })
 }
 
+/// High-water mark of workers any single parallel call has actually run
+/// on. [`current_num_threads`] is the *requested* width; small inputs use
+/// fewer workers (one chunk each), and the serial path uses exactly one.
+static MAX_THREADS_USED: AtomicUsize = AtomicUsize::new(0);
+
+/// The largest number of workers any parallel call in this process has
+/// actually used so far (0 before the first call). Instrumentation reads
+/// this back to report requested vs. realized parallelism.
+pub fn max_threads_used() -> usize {
+    MAX_THREADS_USED.load(Ordering::Relaxed)
+}
+
+/// Resets the [`max_threads_used`] watermark (tests and per-campaign
+/// instrumentation).
+pub fn reset_max_threads_used() {
+    MAX_THREADS_USED.store(0, Ordering::Relaxed);
+}
+
 /// Order-preserving parallel map over `0..len`, chunked across scoped
 /// threads. The closure receives the item index.
 fn par_map_indices<U, F>(len: usize, f: F) -> Vec<U>
@@ -53,9 +72,12 @@ where
 {
     let threads = current_num_threads().min(len.max(1));
     if threads <= 1 || len <= 1 {
+        MAX_THREADS_USED.fetch_max(len.min(1), Ordering::Relaxed);
         return (0..len).map(f).collect();
     }
     let chunk = len.div_ceil(threads);
+    // The workers actually spawned: one per chunk, ≤ the requested width.
+    MAX_THREADS_USED.fetch_max(len.div_ceil(chunk), Ordering::Relaxed);
     let mut out = Vec::with_capacity(len);
     let chunks: Vec<Vec<U>> = std::thread::scope(|scope| {
         let f = &f;
@@ -237,6 +259,18 @@ mod tests {
         assert!(out.is_empty());
         let out: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_watermark_is_recorded() {
+        let _: Vec<usize> = (0..64usize).into_par_iter().map(|i| i).collect();
+        // Sibling tests share the process-wide watermark, so only the
+        // invariant is asserted: at least one worker ran, and the reset
+        // hook exists.
+        assert!(super::max_threads_used() >= 1);
+        super::reset_max_threads_used();
+        let _: Vec<usize> = (0..4usize).into_par_iter().map(|i| i).collect();
+        assert!(super::max_threads_used() >= 1);
     }
 
     #[test]
