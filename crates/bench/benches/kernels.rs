@@ -1,0 +1,288 @@
+//! Criterion kernel-bench suite: old-vs-new timings for the hot kernels.
+//!
+//! Four groups, one per optimized kernel family:
+//!
+//! * `kendall`  — Knight's O(n log n) τ-b vs the retained O(n²) oracle;
+//! * `bootstrap` — streaming per-worker-scratch replicates vs the retained
+//!   materializing oracle, plus `select_nth` quantiles vs clone-and-sort;
+//! * `interp`   — slot-compiled MiniWeb execution vs the tree-walking
+//!   reference interpreter;
+//! * `scan`     — the dynamic scanner's whole-corpus path (compiled units,
+//!   pooled scratch, per-worker fold), new implementation only (the old
+//!   path no longer exists at this granularity).
+//!
+//! Unlike the other bench targets this one has a custom `main`: after the
+//! groups run it collects every measurement from the criterion driver and
+//! writes `BENCH_kernels.json` at the workspace root, including computed
+//! old/new speedups where both sides survive. That file is committed, so
+//! the repo carries its perf trajectory, and CI re-emits it (in `--test`
+//! smoke mode, samples=1) as a build artifact.
+
+use criterion::{black_box, BenchResult, BenchmarkId, Criterion};
+use serde::Serialize;
+use vdbench_corpus::{CompiledUnit, CorpusBuilder, InterpScratch, Interpreter, Request, Unit};
+use vdbench_detectors::{Detector, DynamicScanner};
+use vdbench_stats::correlation::{kendall_tau, kendall_tau_naive};
+use vdbench_stats::descriptive::{quantile_sorted, quantile_unsorted};
+use vdbench_stats::{Bootstrap, SeededRng};
+
+/// Tie-heavy paired data (the regime rank statistics actually see: metric
+/// scores quantized by small confusion-matrix counts).
+fn tied_series(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let x: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+    let y: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 23) as f64).collect();
+    (x, y)
+}
+
+fn bench_kendall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kendall");
+    for n in [128usize, 512, 2048] {
+        let (x, y) = tied_series(n);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(kendall_tau_naive(black_box(&x), black_box(&y)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("knight", n), &n, |b, _| {
+            b.iter(|| black_box(kendall_tau(black_box(&x), black_box(&y)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    // Pin to one thread so the comparison isolates the allocation
+    // behaviour of the replicate kernel, not pool scheduling.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let data: Vec<f64> = (0..400).map(|i| (i % 10) as f64).collect();
+    let boot = Bootstrap::new(1000);
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+    c.bench_function("bootstrap/materialized-400x1000", |b| {
+        b.iter(|| {
+            let mut rng = SeededRng::new(11);
+            black_box(
+                boot.replicate_distribution_materialized(black_box(&data), mean, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("bootstrap/streaming-400x1000", |b| {
+        b.iter(|| {
+            let mut rng = SeededRng::new(11);
+            black_box(
+                boot.replicate_distribution(black_box(&data), mean, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    // Small resamples are the shape `run_all` actually draws (per-scenario
+    // metric vectors): here the per-replicate allocation is a visible
+    // fraction of the kernel, which is what the streaming path removes.
+    let small: Vec<f64> = (0..64).map(|i| (i % 7) as f64).collect();
+    let boot_small = Bootstrap::new(4000);
+    c.bench_function("bootstrap/materialized-64x4000", |b| {
+        b.iter(|| {
+            let mut rng = SeededRng::new(13);
+            black_box(
+                boot_small
+                    .replicate_distribution_materialized(black_box(&small), mean, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("bootstrap/streaming-64x4000", |b| {
+        b.iter(|| {
+            let mut rng = SeededRng::new(13);
+            black_box(
+                boot_small
+                    .replicate_distribution(black_box(&small), mean, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    // Percentile endpoints: full clone-and-sort vs select_nth partition.
+    let mut rng = SeededRng::new(5);
+    let reps: Vec<f64> = (0..4096).map(|_| rng.uniform()).collect();
+    c.bench_function("bootstrap/quantile-sort-4096", |b| {
+        b.iter(|| {
+            let mut v = reps.clone();
+            v.sort_by(f64::total_cmp);
+            black_box(quantile_sorted(&v, 0.025) + quantile_sorted(&v, 0.975))
+        })
+    });
+    c.bench_function("bootstrap/quantile-select-4096", |b| {
+        b.iter(|| {
+            let mut v = reps.clone();
+            let lo = quantile_unsorted(&mut v, 0.025);
+            let hi = quantile_unsorted(&mut v, 0.975);
+            black_box(lo + hi)
+        })
+    });
+}
+
+/// One attack-shaped request per unit: every discovered input set to a
+/// recognizable payload (what the scanner's spray phase does).
+fn attack_request(unit: &Unit) -> Request {
+    let mut req = Request::new();
+    for (kind, name) in unit.referenced_sources() {
+        req.set(kind, name, "x' OR '1'='1");
+    }
+    req
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let corpus = CorpusBuilder::new()
+        .units(20)
+        .vulnerability_density(0.5)
+        .seed(7)
+        .build();
+    let interp = Interpreter::default();
+    let requests: Vec<[Request; 1]> = corpus.units().iter().map(|u| [attack_request(u)]).collect();
+    // Per iteration: every unit executes an 8-session batch — the shape of
+    // a scanner attack run. Compilation is hoisted like the scanner hoists
+    // it (once per unit per `analyze_with`, amortized over the whole
+    // batch; `thorough` runs up to 96 sessions per compile, so charging it
+    // here would *overstate* its cost). The treewalk pays name lookups and
+    // body clones per session; the compiled path runs slot frames recycled
+    // through one scratch.
+    c.bench_function("interp/treewalk-20units-x8", |b| {
+        b.iter(|| {
+            let mut sinks = 0usize;
+            for (u, session) in corpus.units().iter().zip(&requests) {
+                for _ in 0..8 {
+                    sinks += interp
+                        .run_session_treewalk(u, session)
+                        .map_or(0, |o| o.len());
+                }
+            }
+            black_box(sinks)
+        })
+    });
+    let compiled: Vec<CompiledUnit> = corpus.units().iter().map(CompiledUnit::compile).collect();
+    c.bench_function("interp/compiled-20units-x8", |b| {
+        let mut scratch = InterpScratch::new();
+        b.iter(|| {
+            let mut sinks = 0usize;
+            for (cu, session) in compiled.iter().zip(&requests) {
+                for _ in 0..8 {
+                    sinks += interp
+                        .run_compiled(cu, session, &mut scratch)
+                        .map_or(0, |o| o.len());
+                }
+            }
+            black_box(sinks)
+        })
+    });
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let corpus = CorpusBuilder::new()
+        .units(60)
+        .vulnerability_density(0.35)
+        .seed(41)
+        .build();
+    let scanner = DynamicScanner::thorough();
+    c.bench_function("scan/pentest-96-dict-60units", |b| {
+        b.iter(|| black_box(scanner.analyze_corpus(black_box(&corpus)).len()))
+    });
+}
+
+/// Serialized form of one measurement.
+#[derive(Serialize)]
+struct JsonResult {
+    id: String,
+    mean_ns: f64,
+    samples: u64,
+}
+
+/// Old-vs-new ratio for a kernel where both implementations survive.
+#[derive(Serialize)]
+struct JsonSpeedup {
+    kernel: String,
+    old_id: String,
+    new_id: String,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct JsonReport {
+    generated_by: String,
+    test_mode: bool,
+    results: Vec<JsonResult>,
+    speedups: Vec<JsonSpeedup>,
+}
+
+fn mean_of(results: &[BenchResult], id: &str) -> Option<f64> {
+    results.iter().find(|r| r.id == id).map(|r| r.mean_ns)
+}
+
+fn write_report(criterion: &Criterion) {
+    let results = criterion.results();
+    let pairs: [(&str, &str, &str); 7] = [
+        ("kendall-128", "kendall/naive/128", "kendall/knight/128"),
+        ("kendall-512", "kendall/naive/512", "kendall/knight/512"),
+        ("kendall-2048", "kendall/naive/2048", "kendall/knight/2048"),
+        (
+            "bootstrap-replicates",
+            "bootstrap/materialized-400x1000",
+            "bootstrap/streaming-400x1000",
+        ),
+        (
+            "bootstrap-replicates-small",
+            "bootstrap/materialized-64x4000",
+            "bootstrap/streaming-64x4000",
+        ),
+        (
+            "bootstrap-quantiles",
+            "bootstrap/quantile-sort-4096",
+            "bootstrap/quantile-select-4096",
+        ),
+        (
+            "interp-session",
+            "interp/treewalk-20units-x8",
+            "interp/compiled-20units-x8",
+        ),
+    ];
+    let speedups = pairs
+        .iter()
+        .filter_map(|(kernel, old_id, new_id)| {
+            let old = mean_of(results, old_id)?;
+            let new = mean_of(results, new_id)?;
+            Some(JsonSpeedup {
+                kernel: (*kernel).to_string(),
+                old_id: (*old_id).to_string(),
+                new_id: (*new_id).to_string(),
+                speedup: old / new,
+            })
+        })
+        .collect();
+    let report = JsonReport {
+        generated_by: "cargo bench -p vdbench-bench --bench kernels".to_string(),
+        test_mode: criterion::test_mode(),
+        results: results
+            .iter()
+            .map(|r| JsonResult {
+                id: r.id.clone(),
+                mean_ns: r.mean_ns,
+                samples: r.samples,
+            })
+            .collect(),
+        speedups,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, json + "\n").expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+    for s in &report.speedups {
+        println!("speedup {:<24} {:>8.2}x", s.kernel, s.speedup);
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_kendall(&mut criterion);
+    bench_bootstrap(&mut criterion);
+    bench_interp(&mut criterion);
+    bench_scan(&mut criterion);
+    write_report(&criterion);
+}

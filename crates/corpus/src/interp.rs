@@ -79,7 +79,7 @@ pub struct TaintTag {
 
 /// Runtime data.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Data {
+pub(crate) enum Data {
     Int(i64),
     Str(String),
     Bool(bool),
@@ -88,12 +88,12 @@ enum Data {
 /// A runtime value: data plus taint labels.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Value {
-    data: Data,
-    taints: Vec<TaintTag>,
+    pub(crate) data: Data,
+    pub(crate) taints: Vec<TaintTag>,
 }
 
 impl Value {
-    fn untainted(data: Data) -> Value {
+    pub(crate) fn untainted(data: Data) -> Value {
         Value {
             data,
             taints: Vec::new(),
@@ -111,7 +111,7 @@ impl Value {
     }
 
     /// Truthiness: `false`/`0`/`""` are false, everything else true.
-    fn truthy(&self) -> bool {
+    pub(crate) fn truthy(&self) -> bool {
         match &self.data {
             Data::Bool(b) => *b,
             Data::Int(i) => *i != 0,
@@ -119,7 +119,7 @@ impl Value {
         }
     }
 
-    fn as_int(&self) -> i64 {
+    pub(crate) fn as_int(&self) -> i64 {
         match &self.data {
             Data::Int(i) => *i,
             Data::Bool(b) => i64::from(*b),
@@ -201,7 +201,7 @@ impl fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// Control-flow signal inside a function body.
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Return(Value),
 }
@@ -221,9 +221,9 @@ enum Flow {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interpreter {
-    max_steps: usize,
-    max_loop_iters: usize,
-    max_call_depth: usize,
+    pub(crate) max_steps: usize,
+    pub(crate) max_loop_iters: usize,
+    pub(crate) max_call_depth: usize,
 }
 
 impl Default for Interpreter {
@@ -273,11 +273,36 @@ impl Interpreter {
     /// request, trigger it in the next). Observations from all requests
     /// are returned in execution order.
     ///
+    /// Internally the unit is first lowered to a [`crate::compile::
+    /// CompiledUnit`] (variable names interned to dense environment slots)
+    /// and then executed; callers running many sessions against the same
+    /// unit should compile once and use [`Interpreter::run_compiled`]
+    /// directly to amortize compilation and reuse execution scratch.
+    ///
     /// # Errors
     ///
     /// Same failure modes as [`Interpreter::run`]; the step budget applies
     /// per request.
     pub fn run_session(
+        &self,
+        unit: &Unit,
+        requests: &[Request],
+    ) -> Result<Vec<SinkObservation>, ExecError> {
+        let compiled = crate::compile::CompiledUnit::compile(unit);
+        let mut scratch = crate::compile::InterpScratch::new();
+        self.run_compiled(&compiled, requests, &mut scratch)
+    }
+
+    /// Reference tree-walking implementation of [`Interpreter::run_session`]
+    /// (the historical interpreter, evaluating the AST directly with
+    /// `BTreeMap` environments). Kept as the semantics oracle: the compiled
+    /// slot-based interpreter must agree with it observation-for-observation
+    /// and error-for-error, and the equivalence tests cross-check the two.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Interpreter::run_session`].
+    pub fn run_session_treewalk(
         &self,
         unit: &Unit,
         requests: &[Request],
@@ -509,7 +534,7 @@ impl<'a> ExecCtx<'a> {
 }
 
 /// The transformation each sanitizer performs plus its taint effect.
-fn apply_sanitizer(kind: SanitizerKind, v: Value) -> Value {
+pub(crate) fn apply_sanitizer(kind: SanitizerKind, v: Value) -> Value {
     match kind {
         SanitizerKind::ValidateInt => {
             // Strict parse; non-integers are rejected to a safe default.
@@ -558,7 +583,7 @@ fn transform(v: Value, protected: SinkKind, f: impl Fn(&str) -> String) -> Value
     }
 }
 
-fn eval_binop(op: BinOp, a: Value, b: Value) -> Value {
+pub(crate) fn eval_binop(op: BinOp, a: Value, b: Value) -> Value {
     let mut taints = a.taints.clone();
     for t in &b.taints {
         if !taints.contains(t) {

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod compile;
 pub mod corpus;
 pub mod generator;
 pub mod interp;
@@ -47,6 +48,7 @@ pub mod pretty;
 pub mod types;
 
 pub use ast::{Expr, Function, SiteId, Stmt, Unit};
+pub use compile::{CompiledUnit, InterpScratch};
 pub use corpus::{AttackSession, Corpus, CorpusStats, SiteInfo};
 pub use generator::CorpusBuilder;
 pub use interp::{Interpreter, Request, SinkObservation};

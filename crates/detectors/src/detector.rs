@@ -26,6 +26,12 @@ pub trait Detector: std::fmt::Debug + Send + Sync {
     /// exactly the serial result; `RAYON_NUM_THREADS=1` forces the serial
     /// path (used by the determinism regression tests).
     ///
+    /// Findings are folded into **one accumulator per worker** and the
+    /// per-worker vectors concatenated in chunk order — the old
+    /// `Vec<Vec<Finding>>` intermediate (one allocation per unit, most of
+    /// them empty) is gone, and because workers own contiguous unit
+    /// ranges the concatenation preserves unit order exactly.
+    ///
     /// When telemetry recording is on, the whole scan is wrapped in a
     /// `detectors/scan_corpus` span and each unit in a
     /// `detectors/scan_unit` span on the worker's own track, so the trace
@@ -37,15 +43,18 @@ pub trait Detector: std::fmt::Debug + Send + Sync {
             tool = self.name(),
             units = corpus.units().len()
         );
-        let per_unit: Vec<Vec<Finding>> = corpus
+        corpus
             .units()
             .par_iter()
-            .map(|u| {
+            .fold(Vec::new, |mut acc: Vec<Finding>, u| {
                 let _span = vdbench_telemetry::span!("detectors", "scan_unit");
-                self.analyze(corpus, u)
+                acc.extend(self.analyze(corpus, u));
+                acc
             })
-            .collect();
-        per_unit.into_iter().flatten().collect()
+            .reduce(Vec::new, |mut a, b| {
+                a.extend(b);
+                a
+            })
     }
 }
 

@@ -19,7 +19,9 @@ use crate::detector::Detector;
 use crate::finding::Finding;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
-use vdbench_corpus::{Corpus, Interpreter, Request, SinkKind, Unit, VulnClass};
+use vdbench_corpus::{
+    CompiledUnit, Corpus, InterpScratch, Interpreter, Request, SinkKind, Unit, VulnClass,
+};
 
 /// The vulnerability class a sink's response signature indicates.
 fn class_for_sink(kind: SinkKind) -> Option<VulnClass> {
@@ -189,14 +191,19 @@ impl Detector for DynamicScanner {
 
     fn analyze(&self, _corpus: &Corpus, unit: &Unit) -> Vec<Finding> {
         let interp = Interpreter::default();
-        self.analyze_with(&interp, unit)
+        let mut scratch = InterpScratch::new();
+        self.analyze_with(&interp, unit, &mut scratch)
     }
 
     /// Scans the whole corpus on the rayon pool, sharing one
-    /// [`Interpreter`] across all units instead of constructing it per
-    /// unit. The interpreter is a stateless bundle of execution limits, so
-    /// sharing it is free and thread-safe; findings are concatenated in
-    /// unit order, identical to the serial scan.
+    /// [`Interpreter`] across all units and one [`InterpScratch`] per
+    /// worker. The interpreter is a stateless bundle of execution limits,
+    /// so sharing it is free and thread-safe; the scratch (pooled
+    /// environment frames plus the session store) is carried across the
+    /// worker's whole contiguous run of units, so steady-state scanning
+    /// performs no environment allocation at all. Findings are folded
+    /// per worker and concatenated in unit order, identical to the serial
+    /// scan.
     fn analyze_corpus(&self, corpus: &Corpus) -> Vec<Finding> {
         let _span = vdbench_telemetry::span!(
             "detectors",
@@ -205,27 +212,47 @@ impl Detector for DynamicScanner {
             units = corpus.units().len()
         );
         let interp = Interpreter::default();
-        let per_unit: Vec<Vec<Finding>> = corpus
+        corpus
             .units()
             .par_iter()
-            .map(|u| {
-                let _span = vdbench_telemetry::span!("detectors", "scan_unit");
-                self.analyze_with(&interp, u)
-            })
-            .collect();
-        per_unit.into_iter().flatten().collect()
+            .fold(
+                || (Vec::new(), InterpScratch::new()),
+                |(mut acc, mut scratch): (Vec<Finding>, InterpScratch), u| {
+                    let _span = vdbench_telemetry::span!("detectors", "scan_unit");
+                    acc.extend(self.analyze_with(&interp, u, &mut scratch));
+                    (acc, scratch)
+                },
+            )
+            .reduce(
+                || (Vec::new(), InterpScratch::new()),
+                |(mut a, scratch), (b, _)| {
+                    a.extend(b);
+                    (a, scratch)
+                },
+            )
+            .0
     }
 }
 
 impl DynamicScanner {
-    /// Scans one unit with a caller-provided interpreter (hoisted out of
-    /// the per-unit loop by [`Detector::analyze_corpus`]).
-    fn analyze_with(&self, interp: &Interpreter, unit: &Unit) -> Vec<Finding> {
+    /// Scans one unit with a caller-provided interpreter and execution
+    /// scratch (both hoisted out of the per-unit loop by
+    /// [`Detector::analyze_corpus`]). The unit is compiled **once** and
+    /// the whole attack batch runs against the compiled form, so per-
+    /// session cost is pure execution: no name lookups, no body clones,
+    /// no environment allocation (frames recycle through `scratch`).
+    fn analyze_with(
+        &self,
+        interp: &Interpreter,
+        unit: &Unit,
+        scratch: &mut InterpScratch,
+    ) -> Vec<Finding> {
+        let compiled = CompiledUnit::compile(unit);
         let mut confirmed: BTreeMap<_, (&'static str, SinkKind)> = BTreeMap::new();
         for (session, payload) in self.plan(unit) {
             // Execution failures (runaway loops, malformed units) are a
             // scanner non-result, not a crash.
-            let Ok(observations) = interp.run_session(unit, &session) else {
+            let Ok(observations) = interp.run_compiled(&compiled, &session, scratch) else {
                 continue;
             };
             for obs in observations {

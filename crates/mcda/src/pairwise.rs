@@ -206,15 +206,31 @@ impl PairwiseMatrix {
     /// Returns [`McdaError::DimensionMismatch`] when the vector length is
     /// not `n`.
     pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.n);
+        self.mul_vec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Multiplies the matrix by a vector into a caller-provided buffer —
+    /// the allocation-free form used by the power iteration in
+    /// [`crate::priority::eigenvector_priorities`], which would otherwise
+    /// allocate a fresh `Vec` per iteration. Performs exactly the same
+    /// row-dot-product operations (same order) as [`Self::mul_vec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McdaError::DimensionMismatch`] when the vector length is
+    /// not `n`.
+    pub fn mul_vec_into(&self, v: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if v.len() != self.n {
             return Err(McdaError::DimensionMismatch {
                 expected: self.n,
                 actual: v.len(),
             });
         }
-        Ok((0..self.n)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        out.clear();
+        out.extend((0..self.n).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum::<f64>()));
+        Ok(())
     }
 }
 

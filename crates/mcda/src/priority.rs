@@ -66,6 +66,24 @@ pub fn geometric_mean_priorities(m: &PairwiseMatrix) -> Result<PriorityVector> {
 
 /// Principal-eigenvector priorities via power iteration.
 ///
+/// The loop is allocation-free after setup: the matrix-vector product goes
+/// through [`PairwiseMatrix::mul_vec_into`] into a reused buffer that is
+/// ping-ponged with the iterate via `mem::swap` (the old loop allocated two
+/// fresh `Vec`s per round). Convergence is detected by **either** of two
+/// checks evaluated each round:
+///
+/// * the successive-iterate delta `Σ|v' − v| < 1e-13` (the historical
+///   criterion, unchanged), or
+/// * the eigen-residual `‖A·v − λv‖∞ < 1e-13·λ` with `λ` the Rayleigh
+///   estimate — this fires as soon as `(λ, v)` is already an eigenpair to
+///   working precision, typically one round before the delta settles, so
+///   near-consistent matrices (the common case after expert aggregation)
+///   exit early.
+///
+/// The arithmetic producing `v` and `λ` is operation-for-operation the same
+/// as before, so when the two exit criteria fire on the same round the
+/// result is bit-identical to the historical implementation.
+///
 /// # Errors
 ///
 /// Returns [`McdaError::NoConvergence`] if the iteration fails to settle
@@ -80,25 +98,32 @@ pub fn eigenvector_priorities(m: &PairwiseMatrix) -> Result<PriorityVector> {
         });
     }
     let mut v = vec![1.0 / n as f64; n];
-    let mut lambda = n as f64;
+    let mut next = Vec::with_capacity(n);
     for _ in 0..10_000 {
-        let next = m.mul_vec(&v)?;
+        m.mul_vec_into(&v, &mut next)?;
         let sum: f64 = next.iter().sum();
-        let mut next_norm: Vec<f64> = next.iter().map(|x| x / sum).collect();
-        normalize(&mut next_norm);
-        let delta: f64 = next_norm.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
-        v = next_norm;
-        lambda = sum; // Rayleigh-style estimate for a normalized vector.
-        if delta < 1e-13 {
+        // Residual before normalization: `v` is normalized, so `next` is
+        // A·v and `sum` is the Rayleigh estimate of λ_max.
+        let residual = next
+            .iter()
+            .zip(&v)
+            .map(|(a, b)| (a - sum * b).abs())
+            .fold(0.0f64, f64::max);
+        for x in next.iter_mut() {
+            *x /= sum;
+        }
+        normalize(&mut next);
+        let delta: f64 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut v, &mut next);
+        if delta < 1e-13 || residual < 1e-13 * sum {
             return Ok(PriorityVector {
                 weights: v,
-                lambda_max: lambda,
+                lambda_max: sum,
             });
         }
     }
     // Power iteration on a positive matrix converges; reaching here means
     // pathological floating-point behaviour.
-    let _ = lambda;
     Err(McdaError::NoConvergence {
         routine: "eigenvector_priorities",
     })

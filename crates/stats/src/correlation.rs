@@ -51,10 +51,29 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
 
 /// Mid-ranks of a sample (average rank for ties), 1-based.
 pub fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx = Vec::new();
+    let mut out = Vec::new();
+    ranks_with_scratch(values, &mut idx, &mut out);
+    out
+}
+
+/// Mid-ranks written into `out`, reusing `idx` as the argsort scratch —
+/// the hot-loop form of [`ranks`] used by [`kendall_w`] and the Friedman
+/// test, which rank one row per rater/block and would otherwise allocate a
+/// fresh index permutation and rank vector per call.
+///
+/// Returns the tie-correction term `Σ (t³ − t)` over the tie groups of
+/// `values` (exact: every addend and partial sum is an integer below
+/// 2⁵³), which is precisely the quantity the callers used to recompute
+/// with a clone-and-sort pass.
+pub fn ranks_with_scratch(values: &[f64], idx: &mut Vec<usize>, out: &mut Vec<f64>) -> f64 {
     let n = values.len();
-    let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
-    let mut out = vec![0.0; n];
+    idx.clear();
+    idx.extend(0..n);
+    idx.sort_unstable_by(|&a, &b| values[a].total_cmp(&values[b]));
+    out.clear();
+    out.resize(n, 0.0);
+    let mut tie_correction = 0.0;
     let mut i = 0;
     while i < n {
         let mut j = i;
@@ -66,9 +85,11 @@ pub fn ranks(values: &[f64]) -> Vec<f64> {
         for &k in &idx[i..=j] {
             out[k] = avg;
         }
+        let t = (j - i + 1) as f64;
+        tie_correction += t * t * t - t;
         i = j + 1;
     }
-    out
+    tie_correction
 }
 
 /// Spearman rank correlation ρ (Pearson on mid-ranks, so tie-aware).
@@ -88,10 +109,28 @@ pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64> {
     pearson(&ranks(x), &ranks(y))
 }
 
-/// Kendall τ-b rank correlation (tie-corrected).
+/// Kendall τ-b rank correlation (tie-corrected), computed with Knight's
+/// O(n log n) merge-sort algorithm (W. R. Knight, JASA 1966).
 ///
-/// O(n²) pair enumeration — exact, and fast enough for the ranking sizes in
-/// this suite (tools and metrics number in the tens).
+/// The pairs are never enumerated. Instead:
+///
+/// 1. argsort by `(x, y)` lexicographically;
+/// 2. count `T_x = Σ t(t−1)/2` over the x-tie groups and the *joint* ties
+///    `Σ u(u−1)/2` over the (x, y)-tie groups in that order;
+/// 3. merge-sort the y-sequence (taken in x-sorted order) counting strict
+///    inversions — each inversion is exactly one discordant pair `D`
+///    (pairs inside an x-tie group are pre-sorted by y, so they can never
+///    invert, and equal y values merge stably without counting);
+/// 4. read `T_y` off the now-sorted y-sequence;
+/// 5. recover `C = n0 − T_x − T_y + joint − D` where `n0 = n(n−1)/2`.
+///
+/// The tie-correction terms match the τ-b denominator definition: `T_x`
+/// counts every pair tied on x (including joint ties) and `T_y` every pair
+/// tied on y, so `τ_b = (C − D) / √((n0 − T_x)(n0 − T_y))`. All counts are
+/// exact `i64`s and the final expression performs the *same* float
+/// operations as the retained O(n²) oracle [`kendall_tau_naive`], so the two
+/// agree bit-for-bit on NaN-free input (equivalence is proptested; `±0.0`
+/// keys are canonicalized so `total_cmp` grouping matches `==` grouping).
 ///
 /// # Errors
 ///
@@ -99,6 +138,114 @@ pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64> {
 /// plus the usual input-shape errors.
 pub fn kendall_tau(x: &[f64], y: &[f64]) -> Result<f64> {
     let _span = vdbench_telemetry::span!("stats", "kendall_tau", n = x.len());
+    check_paired(x, y)?;
+    let n = x.len();
+    // Canonicalize -0.0 to +0.0 (IEEE: -0.0 + 0.0 == +0.0) so that
+    // `total_cmp` sorting groups exactly the values `==` considers tied.
+    let kx: Vec<f64> = x.iter().map(|&v| v + 0.0).collect();
+    let ky: Vec<f64> = y.iter().map(|&v| v + 0.0).collect();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_unstable_by(|&a, &b| kx[a].total_cmp(&kx[b]).then(ky[a].total_cmp(&ky[b])));
+
+    // T_x and joint ties from the x-sorted order.
+    let mut tx = 0i64;
+    let mut joint = 0i64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && kx[idx[j + 1]] == kx[idx[i]] {
+            j += 1;
+        }
+        let t = (j - i + 1) as i64;
+        tx += t * (t - 1) / 2;
+        let mut a = i;
+        while a <= j {
+            let mut b = a;
+            while b < j && ky[idx[b + 1]] == ky[idx[a]] {
+                b += 1;
+            }
+            let u = (b - a + 1) as i64;
+            joint += u * (u - 1) / 2;
+            a = b + 1;
+        }
+        i = j + 1;
+    }
+
+    // Discordant pairs = strict inversions of the y-sequence in x-order.
+    let mut ys: Vec<f64> = idx.iter().map(|&k| ky[k]).collect();
+    let mut buf = vec![0.0; n];
+    let discordant = merge_count_inversions(&mut ys, &mut buf);
+
+    // T_y from the now fully sorted y-sequence.
+    let mut ty = 0i64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && ys[j + 1] == ys[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as i64;
+        ty += t * (t - 1) / 2;
+        i = j + 1;
+    }
+
+    let n0 = (n * (n - 1) / 2) as i64;
+    let concordant = n0 - tx - ty + joint - discordant;
+    let denom = (((n0 - tx) as f64) * ((n0 - ty) as f64)).sqrt();
+    if denom == 0.0 {
+        return Err(StatsError::Undefined {
+            reason: "kendall tau over fully tied data",
+        });
+    }
+    Ok((concordant - discordant) as f64 / denom)
+}
+
+/// Bottom-up merge sort of `data` counting strict inversions (`data[i] >
+/// data[j]` with `i < j`). Equal elements merge stably (left first) and are
+/// never counted. `buf` must have the same length as `data`.
+fn merge_count_inversions(data: &mut [f64], buf: &mut [f64]) -> i64 {
+    let n = data.len();
+    debug_assert_eq!(buf.len(), n);
+    let mut inversions = 0i64;
+    let mut width = 1;
+    while width < n {
+        let mut lo = 0;
+        while lo + width < n {
+            let mid = lo + width;
+            let hi = (lo + 2 * width).min(n);
+            let (mut i, mut j, mut k) = (lo, mid, lo);
+            while i < mid && j < hi {
+                if data[i] <= data[j] {
+                    buf[k] = data[i];
+                    i += 1;
+                } else {
+                    buf[k] = data[j];
+                    j += 1;
+                    inversions += (mid - i) as i64;
+                }
+                k += 1;
+            }
+            buf[k..k + (mid - i)].copy_from_slice(&data[i..mid]);
+            k += mid - i;
+            buf[k..k + (hi - j)].copy_from_slice(&data[j..hi]);
+            data[lo..hi].copy_from_slice(&buf[lo..hi]);
+            lo += 2 * width;
+        }
+        width *= 2;
+    }
+    inversions
+}
+
+/// The original O(n²) pair-enumeration Kendall τ-b, retained verbatim as
+/// the test oracle for [`kendall_tau`]: the proptest suite asserts the two
+/// agree *bit-for-bit* on arbitrary NaN-free input (including heavy ties),
+/// and the criterion kernel bench reports old-vs-new throughput against it.
+/// Not used by any production path.
+///
+/// # Errors
+///
+/// Same failure modes as [`kendall_tau`].
+pub fn kendall_tau_naive(x: &[f64], y: &[f64]) -> Result<f64> {
     check_paired(x, y)?;
     let n = x.len();
     let mut concordant = 0i64;
@@ -167,23 +314,18 @@ pub fn kendall_w(ratings: &[Vec<f64>]) -> Result<f64> {
     let m = ratings.len() as f64;
     let mut rank_sums = vec![0.0; n];
     let mut tie_correction = 0.0;
+    // Scratch hoisted out of the per-rater loop: one argsort permutation and
+    // one rank buffer, reused for every row instead of two fresh allocations
+    // (plus a clone-and-sort for the tie term) per rater. The tie-correction
+    // sum `Σ (t³ − t)` returned by `ranks_with_scratch` is exact integer
+    // arithmetic in f64, so regrouping the per-row additions is bit-identical
+    // to the old group-at-a-time accumulation.
+    let mut idx_scratch = Vec::with_capacity(n);
+    let mut rank_scratch = Vec::with_capacity(n);
     for row in ratings {
-        let r = ranks(row);
-        for (s, v) in rank_sums.iter_mut().zip(&r) {
+        tie_correction += ranks_with_scratch(row, &mut idx_scratch, &mut rank_scratch);
+        for (s, v) in rank_sums.iter_mut().zip(&rank_scratch) {
             *s += v;
-        }
-        // Tie correction term: sum over tie groups of (t^3 - t).
-        let mut sorted = row.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let mut i = 0;
-        while i < n {
-            let mut j = i;
-            while j + 1 < n && sorted[j + 1] == sorted[i] {
-                j += 1;
-            }
-            let t = (j - i + 1) as f64;
-            tie_correction += t * t * t - t;
-            i = j + 1;
         }
     }
     let mean_rank = m * (n as f64 + 1.0) / 2.0;
@@ -322,6 +464,71 @@ mod tests {
             kendall_w(&[vec![1.0, 1.0], vec![2.0, 2.0]]),
             Err(StatsError::Undefined { .. })
         ));
+    }
+
+    #[test]
+    fn kendall_fast_matches_naive_bitwise() {
+        let cases: &[(&[f64], &[f64])] = &[
+            (&[1.0, 2.0, 3.0, 4.0, 5.0], &[3.0, 4.0, 1.0, 2.0, 5.0]),
+            (&[1.0, 1.0, 2.0, 3.0], &[1.0, 2.0, 2.0, 3.0]),
+            (&[2.0, 2.0, 2.0, 1.0], &[5.0, 5.0, 1.0, 1.0]),
+            (&[-0.0, 0.0, 1.0, -1.0], &[0.0, -0.0, 2.0, 2.0]),
+            (
+                &[0.1, 0.2, 0.2, 0.2, 0.1, 0.3],
+                &[9.0, 8.0, 8.0, 7.0, 9.0, 1.0],
+            ),
+        ];
+        for (x, y) in cases {
+            let fast = kendall_tau(x, y).unwrap();
+            let naive = kendall_tau_naive(x, y).unwrap();
+            assert_eq!(fast.to_bits(), naive.to_bits(), "x={x:?} y={y:?}");
+        }
+    }
+
+    #[test]
+    fn kendall_fast_and_naive_agree_on_undefined() {
+        assert!(matches!(
+            kendall_tau(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::Undefined { .. })
+        ));
+        assert!(matches!(
+            kendall_tau_naive(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::Undefined { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_count_inversions_known_values() {
+        let mut v = [3.0, 1.0, 2.0];
+        let mut buf = vec![0.0; 3];
+        assert_eq!(merge_count_inversions(&mut v, &mut buf), 2);
+        assert_eq!(v, [1.0, 2.0, 3.0]);
+
+        let mut v = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let mut buf = vec![0.0; 5];
+        assert_eq!(merge_count_inversions(&mut v, &mut buf), 10);
+
+        // Equal elements are not inversions.
+        let mut v = [2.0, 2.0, 2.0, 1.0];
+        let mut buf = vec![0.0; 4];
+        assert_eq!(merge_count_inversions(&mut v, &mut buf), 3);
+
+        let mut v: [f64; 0] = [];
+        let mut buf = vec![];
+        assert_eq!(merge_count_inversions(&mut v, &mut buf), 0);
+    }
+
+    #[test]
+    fn ranks_with_scratch_reuse_and_tie_term() {
+        let mut idx = Vec::new();
+        let mut out = Vec::new();
+        let t1 = ranks_with_scratch(&[10.0, 20.0, 20.0, 30.0], &mut idx, &mut out);
+        assert_eq!(out, vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(t1, 6.0); // one tie group of 2: 2³−2
+                             // Reuse the same buffers for a second, differently sized call.
+        let t2 = ranks_with_scratch(&[5.0, 5.0, 5.0], &mut idx, &mut out);
+        assert_eq!(out, vec![2.0, 2.0, 2.0]);
+        assert_eq!(t2, 24.0); // 3³−3
     }
 
     #[test]

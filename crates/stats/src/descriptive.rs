@@ -162,9 +162,11 @@ impl Summary {
                 value: q,
             });
         }
-        let mut sorted = self.data.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        Ok(quantile_sorted(&sorted, q))
+        // One clone is unavoidable behind `&self`, but the full
+        // O(n log n) sort is not: a quickselect gets the two endpoint
+        // order statistics in expected O(n).
+        let mut scratch = self.data.clone();
+        Ok(quantile_unsorted(&mut scratch, q))
     }
 
     /// Sample median.
@@ -223,6 +225,45 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
         sorted[lo]
     } else {
         sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Type-7 quantile of **unsorted** data without sorting it: the two
+/// closest-rank order statistics are found with `select_nth_unstable_by`
+/// (expected O(n), vs the O(n log n) clone-and-sort this replaces in
+/// [`Summary::quantile`] and the bootstrap percentile endpoints).
+///
+/// `data` is reordered (partially partitioned) but remains a permutation of
+/// the input, so repeated calls on the same buffer stay correct. The result
+/// is **bit-identical** to `quantile_sorted(&fully_sorted_data, q)`: the
+/// selected order statistics are the same values a `total_cmp` sort would
+/// place at those positions, and the interpolation expression is the same.
+///
+/// # Panics
+///
+/// Debug-asserts non-empty input; `q` must be in `[0, 1]` (callers
+/// validate, matching [`quantile_sorted`]'s contract).
+pub fn quantile_unsorted(data: &mut [f64], q: f64) -> f64 {
+    debug_assert!(!data.is_empty());
+    if data.len() == 1 {
+        return data[0];
+    }
+    let h = (data.len() as f64 - 1.0) * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let (_, lo_ref, rest) = data.select_nth_unstable_by(lo, |a, b| a.total_cmp(b));
+    let lo_val = *lo_ref;
+    if lo == hi {
+        lo_val
+    } else {
+        // hi == lo + 1: the smallest element of the right partition is
+        // exactly what a full sort would place at index `hi`.
+        let hi_val = rest
+            .iter()
+            .copied()
+            .min_by(|a, b| a.total_cmp(b))
+            .expect("right partition non-empty when lo < hi");
+        lo_val + (h - lo as f64) * (hi_val - lo_val)
     }
 }
 
@@ -381,6 +422,26 @@ mod tests {
     fn quantile_unsorted_input() {
         let s = Summary::from_slice(&[9.0, 1.0, 5.0, 3.0, 7.0]);
         assert_eq!(s.median().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn quantile_unsorted_matches_sorted_bitwise() {
+        let data: Vec<f64> = (0..97)
+            .map(|i| ((i * 37) % 23) as f64 * 0.13 - 1.0)
+            .collect();
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.0, 0.025, 0.25, 0.5, 0.75, 0.9, 0.975, 1.0] {
+            let mut scratch = data.clone();
+            let fast = quantile_unsorted(&mut scratch, q);
+            let slow = quantile_sorted(&sorted, q);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "q={q}");
+            // Scratch stays a permutation: a second call still works.
+            let again = quantile_unsorted(&mut scratch, q);
+            assert_eq!(again.to_bits(), slow.to_bits(), "q={q} (reuse)");
+        }
+        let mut one = [7.5];
+        assert_eq!(quantile_unsorted(&mut one, 0.3), 7.5);
     }
 
     #[test]

@@ -223,23 +223,17 @@ pub fn friedman(scores: &[Vec<f64>]) -> Result<TestResult> {
     let kf = k as f64;
     let mut rank_sums = vec![0.0; k];
     let mut tie_correction = 0.0;
+    // Rank scratch hoisted out of the per-block loop; the returned tie term
+    // Σ(t³ − t) is exact integer arithmetic in f64, so accumulating it
+    // per-block is bit-identical to the old clone-and-sort group-at-a-time
+    // pass this replaces.
+    let mut idx_scratch = Vec::with_capacity(k);
+    let mut rank_scratch = Vec::with_capacity(k);
     for row in scores {
-        let r = crate::correlation::ranks(row);
-        for (s, v) in rank_sums.iter_mut().zip(&r) {
+        tie_correction +=
+            crate::correlation::ranks_with_scratch(row, &mut idx_scratch, &mut rank_scratch);
+        for (s, v) in rank_sums.iter_mut().zip(&rank_scratch) {
             *s += v;
-        }
-        // Tie term Σ(t³ − t) within the block.
-        let mut sorted = row.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let mut i = 0;
-        while i < sorted.len() {
-            let mut j = i;
-            while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
-                j += 1;
-            }
-            let t = (j - i + 1) as f64;
-            tie_correction += t * t * t - t;
-            i = j + 1;
         }
     }
     let mean_rank = n * (kf + 1.0) / 2.0;

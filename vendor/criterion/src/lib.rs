@@ -24,12 +24,23 @@ pub fn black_box<T>(value: T) -> T {
 }
 
 fn bench_budget() -> Duration {
+    if test_mode() {
+        return Duration::ZERO;
+    }
     let ms = std::env::var("VDBENCH_BENCH_MS")
         .ok()
         .and_then(|v| v.trim().parse::<u64>().ok())
         .filter(|&ms| ms > 0)
         .unwrap_or(200);
     Duration::from_millis(ms)
+}
+
+/// Whether the bench binary was invoked in criterion's `--test` mode
+/// (`cargo bench -- --test`): every routine runs exactly once, as a smoke
+/// test, with no timed batches. CI uses this to validate bench targets
+/// cheaply.
+pub fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
 }
 
 /// Per-benchmark measurement driver handed to the closure of
@@ -50,12 +61,18 @@ impl Bencher {
     }
 
     /// Times the routine: one warm-up call, then batches until the budget
-    /// is exhausted.
+    /// is exhausted. In [`test_mode`] (zero budget) the routine runs
+    /// exactly once and the warm-up timing is the reported sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm-up and batch sizing.
         let warm_start = Instant::now();
         black_box(routine());
         let first = warm_start.elapsed().max(Duration::from_nanos(1));
+        if self.budget.is_zero() {
+            self.samples = 1;
+            self.elapsed = first;
+            return;
+        }
         let per_batch = (self.budget.as_nanos() / 10 / first.as_nanos()).clamp(1, 100_000) as u64;
 
         let deadline = Instant::now() + self.budget;
@@ -66,6 +83,16 @@ impl Bencher {
             }
             self.elapsed += start.elapsed();
             self.samples += per_batch;
+        }
+    }
+
+    /// Mean nanoseconds per iteration measured so far (`NaN` before any
+    /// sample).
+    fn mean_ns(&self) -> f64 {
+        if self.samples == 0 {
+            f64::NAN
+        } else {
+            self.elapsed.as_nanos() as f64 / self.samples as f64
         }
     }
 
@@ -107,9 +134,24 @@ impl BenchmarkId {
     }
 }
 
+/// One completed measurement: benchmark id plus the mean ns/iteration.
+/// Custom bench mains (e.g. the kernel suite's `BENCH_kernels.json`
+/// emitter) read these back via [`Criterion::results`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark id as printed.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Number of timed iterations behind the mean.
+    pub samples: u64,
+}
+
 /// The top-level benchmark driver.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
 
 impl Criterion {
     /// Runs one named benchmark.
@@ -120,21 +162,31 @@ impl Criterion {
         let mut b = Bencher::new(bench_budget());
         f(&mut b);
         println!("bench {id:<48} {}", b.report());
+        self.results.push(BenchResult {
+            id: id.to_string(),
+            mean_ns: b.mean_ns(),
+            samples: b.samples,
+        });
         self
     }
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name: group_name.to_string(),
         }
+    }
+
+    /// Every measurement this driver has completed, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 }
 
 /// A group of related benchmarks sharing a name prefix.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
 }
 
@@ -151,11 +203,13 @@ impl BenchmarkGroup<'_> {
     {
         let mut b = Bencher::new(bench_budget());
         f(&mut b, input);
-        println!(
-            "bench {:<48} {}",
-            format!("{}/{}", self.name, id.id),
-            b.report()
-        );
+        let full_id = format!("{}/{}", self.name, id.id);
+        println!("bench {:<48} {}", full_id, b.report());
+        self.criterion.results.push(BenchResult {
+            id: full_id,
+            mean_ns: b.mean_ns(),
+            samples: b.samples,
+        });
         self
     }
 
@@ -206,6 +260,24 @@ mod tests {
         });
         group.finish();
         std::env::remove_var("VDBENCH_BENCH_MS");
+    }
+
+    #[test]
+    fn results_are_collected() {
+        std::env::set_var("VDBENCH_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("collect/one", |b| b.iter(|| black_box(3u64) * 7));
+        let mut group = c.benchmark_group("collect");
+        group.bench_with_input(BenchmarkId::from_parameter(2), &2u64, |b, &n| {
+            b.iter(|| n + 1)
+        });
+        group.finish();
+        std::env::remove_var("VDBENCH_BENCH_MS");
+        let results = c.results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "collect/one");
+        assert_eq!(results[1].id, "collect/2");
+        assert!(results.iter().all(|r| r.mean_ns > 0.0 && r.samples > 0));
     }
 
     #[test]

@@ -99,6 +99,48 @@ where
     out
 }
 
+/// Order-preserving parallel *chunk fold* over `0..len`: each worker folds
+/// its contiguous index chunk into one accumulator seeded by `init`, and
+/// the per-chunk accumulators are returned in chunk order (left to right).
+///
+/// This is the engine behind both [`MapRangePar::map_init`]-style per-worker
+/// scratch reuse and [`FoldSlicePar::reduce`]: the per-item closure runs
+/// exactly once per index, chunks are contiguous, and combining the chunk
+/// accumulators left-to-right is equivalent to a serial fold whenever the
+/// fold operation is associative over concatenation.
+fn par_fold_chunks<A, ID, F>(len: usize, init: ID, fold: F) -> Vec<A>
+where
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(A, usize) -> A + Sync,
+{
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        MAX_THREADS_USED.fetch_max(len.min(1), Ordering::Relaxed);
+        if len == 0 {
+            return Vec::new();
+        }
+        return vec![(0..len).fold(init(), &fold)];
+    }
+    let chunk = len.div_ceil(threads);
+    MAX_THREADS_USED.fetch_max(len.div_ceil(chunk), Ordering::Relaxed);
+    std::thread::scope(|scope| {
+        let init = &init;
+        let fold = &fold;
+        let handles: Vec<_> = (0..len)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(len);
+                scope.spawn(move || (start..end).fold(init(), fold))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
 /// Borrowed parallel iterator over a slice.
 pub struct SlicePar<'a, T> {
     slice: &'a [T],
@@ -135,6 +177,110 @@ impl<'a, T: Sync> SlicePar<'a, T> {
             f,
         }
     }
+
+    /// Folds items into per-worker accumulators (rayon's `fold`): each
+    /// worker's contiguous chunk is folded left-to-right into one
+    /// accumulator seeded by `identity`. Combine the chunk accumulators
+    /// with [`FoldSlicePar::reduce`]. Compared to `map(..).collect::<Vec<
+    /// Vec<_>>>()` + flatten, this materializes one accumulator per
+    /// *worker*, not one per *item*.
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> FoldSlicePar<'a, T, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, &'a T) -> A + Sync,
+    {
+        FoldSlicePar {
+            slice: self.slice,
+            identity,
+            fold_op,
+        }
+    }
+}
+
+/// Deferred per-worker fold over a slice; realized by
+/// [`FoldSlicePar::reduce`].
+pub struct FoldSlicePar<'a, T, ID, F> {
+    slice: &'a [T],
+    identity: ID,
+    fold_op: F,
+}
+
+impl<'a, T: Sync, A: Send, ID: Fn() -> A + Sync, F: Fn(A, &'a T) -> A + Sync>
+    FoldSlicePar<'a, T, ID, F>
+{
+    /// Combines the per-worker accumulators **left-to-right in chunk
+    /// order** with `reduce_op`, starting from `identity()`. Because chunks
+    /// are contiguous and ordered, an associative, order-respecting
+    /// `reduce_op` (e.g. `Vec::extend` concatenation) yields exactly the
+    /// serial fold result regardless of worker count.
+    pub fn reduce<RID, R>(self, identity: RID, reduce_op: R) -> A
+    where
+        RID: Fn() -> A,
+        R: Fn(A, A) -> A,
+    {
+        let slice = self.slice;
+        let fold_op = &self.fold_op;
+        let chunks = par_fold_chunks(slice.len(), &self.identity, |acc, i| {
+            fold_op(acc, &slice[i])
+        });
+        chunks.into_iter().fold(identity(), reduce_op)
+    }
+}
+
+/// Lazily mapped range iterator with per-worker state; realized by
+/// [`MapInitRangePar::collect`].
+pub struct MapInitRangePar<INIT, F> {
+    range: Range<usize>,
+    init: INIT,
+    f: F,
+}
+
+impl<S, U: Send, INIT: Fn() -> S + Sync, F: Fn(&mut S, usize) -> U + Sync>
+    MapInitRangePar<INIT, F>
+{
+    /// Runs the map across the worker pool, initializing one state per
+    /// worker chunk, and collects results in input order.
+    ///
+    /// The state is created *inside* each worker and dropped there — it
+    /// never crosses a thread boundary, so `S` needs no `Send` bound (a
+    /// scratch buffer over `!Send` contents still works).
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        let init = &self.init;
+        let f = &self.f;
+        let threads = current_num_threads().min(len.max(1));
+        if threads <= 1 || len <= 1 {
+            MAX_THREADS_USED.fetch_max(len.min(1), Ordering::Relaxed);
+            if len == 0 {
+                return std::iter::empty().collect();
+            }
+            let mut state = init();
+            return (0..len).map(|i| f(&mut state, start + i)).collect();
+        }
+        let chunk = len.div_ceil(threads);
+        MAX_THREADS_USED.fetch_max(len.div_ceil(chunk), Ordering::Relaxed);
+        let chunks: Vec<Vec<U>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..len)
+                .step_by(chunk)
+                .map(|chunk_start| {
+                    let end = (chunk_start + chunk).min(len);
+                    scope.spawn(move || {
+                        let mut state = init();
+                        (chunk_start..end)
+                            .map(|i| f(&mut state, start + i))
+                            .collect::<Vec<U>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        chunks.into_iter().flatten().collect()
+    }
 }
 
 impl RangePar {
@@ -146,6 +292,25 @@ impl RangePar {
     {
         MapRangePar {
             range: self.range,
+            f,
+        }
+    }
+
+    /// Maps each index with **per-worker state** (rayon's `map_init`): the
+    /// `init` closure runs once per worker chunk and the resulting state is
+    /// threaded by `&mut` through every item that worker processes. The
+    /// canonical use is a reusable scratch buffer — the mapped output must
+    /// not depend on state left behind by previous items, which is what
+    /// keeps results identical at any `RAYON_NUM_THREADS`.
+    pub fn map_init<S, U, INIT, F>(self, init: INIT, f: F) -> MapInitRangePar<INIT, F>
+    where
+        U: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> U + Sync,
+    {
+        MapInitRangePar {
+            range: self.range,
+            init,
             f,
         }
     }
@@ -271,6 +436,61 @@ mod tests {
         super::reset_max_threads_used();
         let _: Vec<usize> = (0..4usize).into_par_iter().map(|i| i).collect();
         assert!(super::max_threads_used() >= 1);
+    }
+
+    #[test]
+    fn map_init_state_is_scratch_only() {
+        // Output must be independent of worker count even though each
+        // worker reuses one scratch buffer across its whole chunk.
+        let compute = || -> Vec<u64> {
+            (0..333usize)
+                .into_par_iter()
+                .map_init(Vec::<u64>::new, |scratch, i| {
+                    scratch.clear();
+                    scratch.extend((0..=i as u64).take(8));
+                    scratch.iter().sum()
+                })
+                .collect()
+        };
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let serial = compute();
+        std::env::set_var("RAYON_NUM_THREADS", "5");
+        let parallel = compute();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 333);
+    }
+
+    #[test]
+    fn fold_reduce_concatenation_preserves_order() {
+        let data: Vec<usize> = (0..1013).collect();
+        let folded: Vec<usize> = data
+            .par_iter()
+            .fold(Vec::new, |mut acc, &x| {
+                acc.push(x * 3);
+                acc
+            })
+            .reduce(Vec::new, |mut a, b| {
+                a.extend(b);
+                a
+            });
+        assert_eq!(folded, (0..1013).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_reduce_empty_slice() {
+        let empty: Vec<u8> = Vec::new();
+        let folded: Vec<u8> = empty
+            .par_iter()
+            .fold(Vec::new, |mut acc, &x| {
+                acc.push(x);
+                acc
+            })
+            .reduce(Vec::new, |mut a, b| {
+                a.extend(b);
+                a
+            });
+        assert!(folded.is_empty());
     }
 
     #[test]
