@@ -20,10 +20,27 @@
 //! * `--telemetry-selfcheck` — after the campaign, exit non-zero if any
 //!   span event was recorded while telemetry was supposed to be off: the
 //!   zero-overhead regression guard used by CI.
+//! * `--fault-profile <none|flaky|hostile>` — wrap every roster tool in
+//!   the deterministic fault-injection proxy and run the case studies
+//!   through the resilient engine (retries, step budgets, graceful
+//!   degradation; DESIGN.md §12). `none` (the default) bypasses the
+//!   fault layer entirely: stdout is byte-identical to a run without the
+//!   flag. Active profiles append a seventeenth `availability` artifact.
+//! * `--fault-seed <u64>` — base seed of the fault decision streams
+//!   (default `0xFA2015`), independent of the experiment seed. Two runs
+//!   with the same profile and fault seed are byte-identical at any
+//!   thread count.
 
 use rayon::prelude::*;
 use vdbench_bench::timing::CampaignTiming;
 use vdbench_bench::{figures, tables, EXPERIMENT_SEED};
+use vdbench_detectors::{FaultConfig, FaultProfile};
+
+/// Default base seed of the fault decision streams (see
+/// `vdbench_detectors::fault`): fixed so CI transcripts are reproducible,
+/// distinct from `EXPERIMENT_SEED` so faults and workloads vary
+/// independently.
+const DEFAULT_FAULT_SEED: u64 = 0xFA_2015;
 
 /// One campaign artifact: display name plus its renderer.
 type Artifact = (&'static str, fn() -> String);
@@ -58,9 +75,49 @@ fn main() {
         .iter()
         .position(|a| a == "--trace-out")
         .and_then(|i| args.get(i + 1).cloned());
+    let fault_profile: FaultProfile = match args
+        .iter()
+        .position(|a| a == "--fault-profile")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(value) => match value.parse() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("run_all: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => FaultProfile::None,
+    };
+    let fault_seed: u64 = match args
+        .iter()
+        .position(|a| a == "--fault-seed")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(value) => match value.parse() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("run_all: invalid --fault-seed '{value}': {e}");
+                std::process::exit(2);
+            }
+        },
+        None => DEFAULT_FAULT_SEED,
+    };
     let telemetry_on = timings_requested || trace_out.is_some();
     if telemetry_on {
         vdbench_telemetry::enable();
+    }
+    let faults_on = fault_profile != FaultProfile::None;
+    if faults_on {
+        // Ambient configuration: every cached case study from here on
+        // runs the resilient engine with fault-wrapped tools. Diagnostics
+        // to stderr only — stdout layout stays position-for-position
+        // comparable across profiles.
+        vdbench_core::set_fault_injection(Some(FaultConfig::new(fault_profile, fault_seed)));
+        eprintln!(
+            "fault injection active: profile {fault_profile}, fault seed {fault_seed:#x} \
+             (resilient engine, 3 attempts per scan)"
+        );
     }
 
     // Fan the artifacts out across the pool; `collect` preserves input
@@ -68,7 +125,13 @@ fn main() {
     // transcript byte for byte. The whole fan-out is one `bench/campaign`
     // span; each artifact records its own `bench/artifact` span (with its
     // campaign index, so the timing view can restore campaign order).
-    let list = artifacts();
+    let mut list = artifacts();
+    if faults_on {
+        // The seventeenth artifact discloses per-tool scan outcomes; it
+        // exists only under an active profile so the fault-free
+        // transcript stays byte-identical to the historical output.
+        list.push(("availability", tables::availability));
+    }
     let staged: Vec<String> = {
         let _campaign = vdbench_telemetry::span!("bench", "campaign", artifacts = list.len());
         (0..list.len())

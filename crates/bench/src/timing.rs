@@ -15,6 +15,7 @@
 //! (`--trace-out trace.json`) visualizes.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use vdbench_telemetry::registry::MetricsSnapshot;
 use vdbench_telemetry::span::Trace;
 
@@ -87,6 +88,11 @@ pub struct CampaignTiming {
     pub total_millis: f64,
     /// Campaign-cache hit/miss counters at campaign end.
     pub cache: CacheCounters,
+    /// Fault-injection and resilient-scan counters at campaign end
+    /// (`fault.injected.*`, `scan.attempts` / `scan.retries` /
+    /// `scan.failed`). Empty in fault-free runs: the counters only exist
+    /// when the fault layer or the resilient engine fired.
+    pub resilience: BTreeMap<String, u64>,
 }
 
 impl CampaignTiming {
@@ -126,6 +132,11 @@ impl CampaignTiming {
             stages: stages.into_iter().map(|(_, s)| s).collect(),
             total_millis,
             cache: CacheCounters::from_snapshot(metrics),
+            resilience: {
+                let mut r = metrics.counters_with_prefix("fault.");
+                r.extend(metrics.counters_with_prefix("scan."));
+                r
+            },
         }
     }
 
@@ -159,6 +170,14 @@ impl CampaignTiming {
             self.cache.assessment_hits,
             self.cache.assessment_misses
         );
+        if !self.resilience.is_empty() {
+            let line: Vec<String> = self
+                .resilience
+                .iter()
+                .map(|(name, value)| format!("{name}={value}"))
+                .collect();
+            let _ = writeln!(out, "campaign resilience: {}", line.join(" "));
+        }
         out
     }
 
@@ -207,10 +226,20 @@ mod tests {
                 assessment_hits: 1,
                 assessment_misses: 2,
             },
+            resilience: [
+                ("fault.injected.crash".to_string(), 3u64),
+                ("scan.failed".to_string(), 1u64),
+            ]
+            .into_iter()
+            .collect(),
         };
         let text = record.render();
         assert!(text.contains("table1"));
         assert!(text.contains("6 hit / 4 miss"));
+        assert!(
+            text.contains("campaign resilience: fault.injected.crash=3 scan.failed=1"),
+            "{text}"
+        );
         assert!(
             text.contains("4 worker threads requested, 3 used"),
             "{text}"
@@ -240,6 +269,9 @@ mod tests {
         vdbench_telemetry::disable();
         let reg = vdbench_telemetry::registry::Registry::new();
         reg.counter("cache.case_study.hits").add(5);
+        reg.counter("fault.injected.timeout").add(2);
+        reg.counter("scan.retries").add(4);
+        reg.counter("scan.failed"); // zero: stays out of the section
         let record = CampaignTiming::from_telemetry(7, &trace, &reg.snapshot());
         let names: Vec<&str> = record.stages.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
@@ -249,6 +281,9 @@ mod tests {
         );
         assert_eq!(record.cache.case_study_hits, 5);
         assert_eq!(record.cache.assessment_misses, 0);
+        assert_eq!(record.resilience.len(), 2, "zero counters elided");
+        assert_eq!(record.resilience["fault.injected.timeout"], 2);
+        assert_eq!(record.resilience["scan.retries"], 4);
         assert!(record.total_millis >= 0.0);
         assert!(record.threads_requested >= 1);
         assert!(record.threads_used >= 1);

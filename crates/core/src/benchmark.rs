@@ -2,7 +2,9 @@
 
 use crate::error::{CoreError, Result};
 use vdbench_corpus::Corpus;
-use vdbench_detectors::{score_detector, DetectionOutcome, Detector};
+use vdbench_detectors::{
+    score_detector, score_detector_resilient, DetectionOutcome, Detector, ScanOutcome, ScanPolicy,
+};
 use vdbench_metrics::metric::{Metric, MetricExt};
 use vdbench_metrics::MetricId;
 use vdbench_report::Table;
@@ -78,16 +80,7 @@ impl Benchmark {
     /// Returns [`CoreError::InvalidConfig`] when no tools or metrics were
     /// added.
     pub fn run(self) -> Result<BenchmarkReport> {
-        if self.tools.is_empty() {
-            return Err(CoreError::InvalidConfig {
-                reason: "benchmark has no tools".into(),
-            });
-        }
-        if self.metrics.is_empty() {
-            return Err(CoreError::InvalidConfig {
-                reason: "benchmark has no metrics".into(),
-            });
-        }
+        self.validate()?;
         // Tools are independent: fan their runs out across scoped threads.
         // Detector: Send + Sync by trait bound; the corpus is shared
         // read-only.
@@ -103,6 +96,104 @@ impl Benchmark {
                 .map(|h| h.join().expect("detector threads do not panic"))
                 .collect()
         });
+        // An infallible run is a resilient run in which every scan
+        // completed on its first attempt with no backoff.
+        let scans = outcomes
+            .iter()
+            .map(|o| ScanRecord {
+                tool: o.tool().to_string(),
+                attempts: 1,
+                backoff_ms: 0,
+                error: None,
+            })
+            .collect();
+        Ok(self.finish(outcomes, scans))
+    }
+
+    /// Runs every tool through the resilient scan engine
+    /// ([`score_detector_resilient`]): each scan gets the policy's retry
+    /// and step budgets, and a scan that exhausts its attempts degrades
+    /// into an empty [`DetectionOutcome`] plus a failure record instead of
+    /// aborting the benchmark.
+    ///
+    /// The report's [`BenchmarkReport::scans`] records attempts, recorded
+    /// backoff and the terminal error per tool;
+    /// [`BenchmarkReport::availability`] summarizes them. With fault-free
+    /// tools this returns exactly what [`Benchmark::run`] returns (every
+    /// scan completes on attempt 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when no tools or metrics were
+    /// added. Scan failures are **not** errors — they are data.
+    pub fn run_resilient(self, policy: &ScanPolicy) -> Result<BenchmarkReport> {
+        self.validate()?;
+        let corpus = &self.corpus;
+        let scan_outcomes: Vec<ScanOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .tools
+                .iter()
+                .map(|t| scope.spawn(move || score_detector_resilient(t.as_ref(), corpus, policy)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("detector threads do not panic"))
+                .collect()
+        });
+        let mut outcomes = Vec::with_capacity(scan_outcomes.len());
+        let mut scans = Vec::with_capacity(scan_outcomes.len());
+        for so in scan_outcomes {
+            match so {
+                ScanOutcome::Completed {
+                    outcome,
+                    attempts,
+                    backoff_ms,
+                } => {
+                    scans.push(ScanRecord {
+                        tool: outcome.tool().to_string(),
+                        attempts,
+                        backoff_ms,
+                        error: None,
+                    });
+                    outcomes.push(outcome);
+                }
+                ScanOutcome::Failed {
+                    tool,
+                    attempts,
+                    backoff_ms,
+                    error,
+                } => {
+                    scans.push(ScanRecord {
+                        tool: tool.clone(),
+                        attempts,
+                        backoff_ms,
+                        error: Some(error.to_string()),
+                    });
+                    // An unavailable tool contributes an empty outcome:
+                    // its confusion matrix is empty and every metric is
+                    // honestly NaN, not zero.
+                    outcomes.push(DetectionOutcome::empty(tool));
+                }
+            }
+        }
+        Ok(self.finish(outcomes, scans))
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.tools.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "benchmark has no tools".into(),
+            });
+        }
+        if self.metrics.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "benchmark has no metrics".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn finish(self, outcomes: Vec<DetectionOutcome>, scans: Vec<ScanRecord>) -> BenchmarkReport {
         let metric_ids: Vec<MetricId> = self.metrics.iter().map(|m| m.id()).collect();
         let metric_labels: Vec<String> = self
             .metrics
@@ -116,20 +207,50 @@ impl Benchmark {
                 self.metrics.iter().map(|m| m.compute_or_nan(&cm)).collect()
             })
             .collect();
-        Ok(BenchmarkReport {
+        BenchmarkReport {
             outcomes,
+            scans,
             metric_ids,
             metric_labels,
             values,
-        })
+        }
+    }
+}
+
+/// The resilience record of one tool's scan within a benchmark run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanRecord {
+    /// Tool name.
+    pub tool: String,
+    /// Attempts made (1 = the first try succeeded).
+    pub attempts: u32,
+    /// Total virtual backoff recorded between attempts, in milliseconds.
+    pub backoff_ms: u64,
+    /// The terminal error, when every attempt failed.
+    pub error: Option<String>,
+}
+
+impl ScanRecord {
+    /// Whether the scan ultimately failed.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Retries beyond the first attempt.
+    #[must_use]
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
     }
 }
 
 /// The results of a benchmark run: per-tool outcomes plus the metric value
-/// table (`values[tool][metric]`, `NaN` where undefined).
+/// table (`values[tool][metric]`, `NaN` where undefined) and the per-tool
+/// resilience records (one [`ScanRecord`] per tool, roster order).
 #[derive(Debug, Clone)]
 pub struct BenchmarkReport {
     outcomes: Vec<DetectionOutcome>,
+    scans: Vec<ScanRecord>,
     metric_ids: Vec<MetricId>,
     metric_labels: Vec<String>,
     values: Vec<Vec<f64>>,
@@ -149,6 +270,53 @@ impl BenchmarkReport {
     /// Raw per-tool detection outcomes.
     pub fn outcomes(&self) -> &[DetectionOutcome] {
         &self.outcomes
+    }
+
+    /// Per-tool resilience records, parallel to [`Self::outcomes`].
+    pub fn scans(&self) -> &[ScanRecord] {
+        &self.scans
+    }
+
+    /// Whether any tool's scan failed (its row is an empty outcome).
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.scans.iter().any(ScanRecord::failed)
+    }
+
+    /// Fraction of tools whose scans completed (1.0 = fully available,
+    /// also for an empty roster).
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        self.availability_stats().ratio()
+    }
+
+    /// Completed/failed scan counts as an
+    /// [`Availability`](vdbench_metrics::Availability) tally —
+    /// mergeable across scenarios for campaign-level roll-ups.
+    #[must_use]
+    pub fn availability_stats(&self) -> vdbench_metrics::Availability {
+        let mut tally = vdbench_metrics::Availability::new();
+        for s in &self.scans {
+            tally.record(!s.failed());
+        }
+        tally
+    }
+
+    /// Converts a degraded report into a hard error — for callers that
+    /// must not silently analyze partial data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ScanFailed`] for the first failed scan.
+    pub fn require_complete(self) -> Result<Self> {
+        if let Some(s) = self.scans.iter().find(|s| s.failed()) {
+            return Err(CoreError::ScanFailed {
+                tool: s.tool.clone(),
+                attempts: s.attempts,
+                reason: s.error.clone().unwrap_or_default(),
+            });
+        }
+        Ok(self)
     }
 
     /// Metric value for one tool/metric pair.
@@ -180,7 +348,13 @@ impl BenchmarkReport {
             format!("PPV [{:.0}% CI]", confidence.level() * 100.0),
         ])
         .with_title(title);
-        for o in &self.outcomes {
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if self.scan_failed(i) {
+                table
+                    .push_row(vec![o.tool().to_string(), "✗".into(), "✗".into()])
+                    .expect("row width matches header");
+                continue;
+            }
             let cm = o.confusion();
             let tpr = wilson(cm.tp, cm.actual_positive(), confidence)
                 .map(|iv| vdbench_report::format::interval(iv.estimate, iv.lower, iv.upper))
@@ -195,17 +369,52 @@ impl BenchmarkReport {
         table
     }
 
-    /// Renders the report as a table (tools × metrics).
+    /// Renders the report as a table (tools × metrics). Rows of tools
+    /// whose scans failed render `✗` cells — distinguishing "tool was
+    /// unavailable" from "metric undefined on this matrix" (`—`).
     pub fn to_table(&self, title: &str) -> Table {
         let mut header = vec!["tool".to_string()];
         header.extend(self.metric_labels.iter().cloned());
         let mut table = Table::new(header).with_title(title);
-        for (o, row) in self.outcomes.iter().zip(&self.values) {
+        for (i, (o, row)) in self.outcomes.iter().zip(&self.values).enumerate() {
             let mut cells = vec![o.tool().to_string()];
-            cells.extend(row.iter().map(|v| vdbench_report::format::metric(*v)));
+            if self.scan_failed(i) {
+                cells.extend((0..row.len()).map(|_| "✗".to_string()));
+            } else {
+                cells.extend(row.iter().map(|v| vdbench_report::format::metric(*v)));
+            }
             table.push_row(cells).expect("row width matches header");
         }
         table
+    }
+
+    /// Renders the per-tool availability table: status, attempts,
+    /// recorded backoff and the terminal error of each scan.
+    pub fn to_availability_table(&self, title: &str) -> Table {
+        let mut table = Table::new(vec![
+            "tool".to_string(),
+            "status".to_string(),
+            "attempts".to_string(),
+            "backoff (ms)".to_string(),
+            "error".to_string(),
+        ])
+        .with_title(title);
+        for s in &self.scans {
+            table
+                .push_row(vec![
+                    s.tool.clone(),
+                    if s.failed() { "failed" } else { "ok" }.to_string(),
+                    s.attempts.to_string(),
+                    s.backoff_ms.to_string(),
+                    s.error.clone().unwrap_or_else(|| "—".into()),
+                ])
+                .expect("row width matches header");
+        }
+        table
+    }
+
+    fn scan_failed(&self, tool: usize) -> bool {
+        self.scans.get(tool).is_some_and(ScanRecord::failed)
     }
 }
 

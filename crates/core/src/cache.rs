@@ -10,11 +10,13 @@
 //! result:
 //!
 //! * **Case studies** are keyed on `(scenario id, workload size,
-//!   prevalence bits, seed, roster fingerprint)` — everything the report
-//!   is a function of. The roster fingerprint hashes the tool names and
-//!   metric identities of the standard campaign roster, so a change to
-//!   [`crate::campaign::standard_tools`] invalidates the key instead of
-//!   silently serving stale reports.
+//!   prevalence bits, seed, roster fingerprint, fault fingerprint)` —
+//!   everything the report is a function of. The roster fingerprint
+//!   hashes the tool names and metric identities of the standard campaign
+//!   roster, so a change to [`crate::campaign::standard_tools`]
+//!   invalidates the key instead of silently serving stale reports; the
+//!   fault fingerprint (0 without fault injection) keeps degraded reports
+//!   from aliasing clean ones.
 //! * **Attribute assessments** are keyed on every field of
 //!   [`AssessmentConfig`] plus a fingerprint of the assessed metric
 //!   catalog.
@@ -91,6 +93,10 @@ struct CaseStudyKey {
     prevalence_bits: u64,
     seed: u64,
     roster: u64,
+    /// Fingerprint of the ambient fault-injection configuration — `0`
+    /// when no faults are injected, so degraded reports never alias
+    /// clean ones (see [`campaign::set_fault_injection`]).
+    fault: u64,
 }
 
 /// Everything a generic attribute assessment is a function of.
@@ -227,6 +233,7 @@ pub fn cached_case_study(scenario: &Scenario, seed: u64) -> Result<Arc<Benchmark
             &campaign::standard_tools(seed),
             &campaign::standard_metrics(),
         ),
+        fault: campaign::fault_injection().map_or(0, |c| c.fingerprint()),
     };
     let cell = {
         let mut map = case_map().lock().expect("campaign cache poisoned");

@@ -6,9 +6,41 @@
 use crate::benchmark::{Benchmark, BenchmarkReport};
 use crate::error::Result;
 use crate::scenario::Scenario;
+use std::sync::RwLock;
 use vdbench_corpus::{Corpus, CorpusBuilder};
-use vdbench_detectors::{Detector, DynamicScanner, PatternScanner, ProfileTool, TaintAnalyzer};
+use vdbench_detectors::{
+    Detector, DynamicScanner, FaultConfig, FaultPlan, FaultProfile, FaultyDetector, PatternScanner,
+    ProfileTool, ScanPolicy, TaintAnalyzer,
+};
 use vdbench_metrics::metric::Metric;
+
+/// The process-wide fault-injection configuration (see
+/// [`set_fault_injection`]). `None` — the default — means the campaign
+/// runs the plain infallible engine and produces byte-identical output to
+/// a build without the fault layer.
+static FAULT_INJECTION: RwLock<Option<FaultConfig>> = RwLock::new(None);
+
+/// Installs (or clears, with `None`) the process-wide fault-injection
+/// configuration consulted by [`run_case_study`].
+///
+/// The configuration is ambient rather than threaded through every
+/// table/figure entry point so the sixteen `run_all` artifacts keep their
+/// uniform `fn() -> String` shape; the campaign cache keys on the
+/// configuration's fingerprint, so reports computed under different
+/// configurations never alias (see [`crate::cache`]).
+pub fn set_fault_injection(config: Option<FaultConfig>) {
+    *FAULT_INJECTION
+        .write()
+        .expect("fault-injection config lock poisoned") = config;
+}
+
+/// The currently installed fault-injection configuration, if any.
+#[must_use]
+pub fn fault_injection() -> Option<FaultConfig> {
+    *FAULT_INJECTION
+        .read()
+        .expect("fault-injection config lock poisoned")
+}
 
 /// The standard tool roster: two signature scanners, two taint analyzers,
 /// two dynamic scanners and two emulated commercial tools — mirroring the
@@ -47,21 +79,68 @@ pub fn scenario_corpus(scenario: &Scenario, seed: u64) -> Corpus {
 /// Runs the full case study for one scenario: standard workload, standard
 /// tools, standard metrics.
 ///
+/// When a fault-injection configuration is installed (see
+/// [`set_fault_injection`]) the run is delegated to
+/// [`run_case_study_faulty`]; otherwise the plain infallible engine runs
+/// and the output is byte-identical to a build without the fault layer.
+///
 /// # Errors
 ///
 /// Propagates benchmark configuration errors (cannot occur with the
 /// standard roster).
 pub fn run_case_study(scenario: &Scenario, seed: u64) -> Result<BenchmarkReport> {
+    match fault_injection() {
+        Some(cfg) if cfg.profile != FaultProfile::None => {
+            run_case_study_faulty(scenario, seed, cfg)
+        }
+        _ => {
+            let _span = vdbench_telemetry::span!(
+                "core",
+                "case_study",
+                scenario = scenario.id,
+                units = scenario.workload_units
+            );
+            Benchmark::new(scenario_corpus(scenario, seed))
+                .tools(standard_tools(seed))
+                .metrics(standard_metrics())
+                .run()
+        }
+    }
+}
+
+/// Runs one scenario's case study with every roster tool wrapped in a
+/// [`FaultyDetector`] under `config`, through the resilient engine with
+/// the default [`ScanPolicy`] (three attempts, four steps per unit of
+/// budget, 50 ms base backoff).
+///
+/// Failed scans surface as empty outcomes plus
+/// [`crate::benchmark::ScanRecord`]s on the report — the campaign
+/// completes and renders regardless of how hostile the profile is.
+///
+/// # Errors
+///
+/// Propagates benchmark configuration errors (cannot occur with the
+/// standard roster). Scan failures are recorded, not raised.
+pub fn run_case_study_faulty(
+    scenario: &Scenario,
+    seed: u64,
+    config: FaultConfig,
+) -> Result<BenchmarkReport> {
     let _span = vdbench_telemetry::span!(
         "core",
-        "case_study",
+        "case_study_faulty",
         scenario = scenario.id,
-        units = scenario.workload_units
+        units = scenario.workload_units,
+        profile = config.profile.label()
     );
+    let tools: Vec<Box<dyn Detector>> = standard_tools(seed)
+        .into_iter()
+        .map(|t| Box::new(FaultyDetector::new(t, FaultPlan::new(config))) as Box<dyn Detector>)
+        .collect();
     Benchmark::new(scenario_corpus(scenario, seed))
-        .tools(standard_tools(seed))
+        .tools(tools)
         .metrics(standard_metrics())
-        .run()
+        .run_resilient(&ScanPolicy::default())
 }
 
 /// Renders a complete campaign report as Markdown: per-scenario case
@@ -110,6 +189,23 @@ pub fn markdown_report(seed: u64) -> Result<String> {
                 .render_markdown(),
         );
         out.push('\n');
+
+        // Degraded runs disclose exactly which tools were unavailable;
+        // fault-free runs add nothing, keeping the transcript
+        // byte-identical to pre-fault-layer builds.
+        if report.degraded() {
+            let _ = writeln!(
+                out,
+                "**Degraded run**: tool availability {:.0}% under fault injection.\n",
+                report.availability() * 100.0
+            );
+            out.push_str(
+                &report
+                    .to_availability_table("Per-tool scan availability")
+                    .render_markdown(),
+            );
+            out.push('\n');
+        }
 
         // Metric selection for this scenario (7-expert panel, σ = 0.25).
         let panel = vdbench_experts::Panel::homogeneous(

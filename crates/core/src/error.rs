@@ -24,6 +24,17 @@ pub enum CoreError {
         /// What was missing.
         reason: &'static str,
     },
+    /// A tool's scan failed after exhausting its retry budget and the
+    /// caller demanded a complete report
+    /// (see `BenchmarkReport::require_complete`).
+    ScanFailed {
+        /// The tool whose scan failed.
+        tool: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The terminal scan error, rendered.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -34,6 +45,14 @@ impl fmt::Display for CoreError {
             CoreError::Mcda(e) => write!(f, "mcda error: {e}"),
             CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             CoreError::NoData { reason } => write!(f, "no data: {reason}"),
+            CoreError::ScanFailed {
+                tool,
+                attempts,
+                reason,
+            } => write!(
+                f,
+                "scan failed: {tool} gave up after {attempts} attempt(s): {reason}"
+            ),
         }
     }
 }
@@ -91,5 +110,28 @@ mod tests {
         assert!(e.source().is_none());
         let e = CoreError::NoData { reason: "empty" };
         assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn scan_failed_renders_tool_attempts_and_reason() {
+        let e = CoreError::ScanFailed {
+            tool: "taint-d3-precise".into(),
+            attempts: 3,
+            reason: "crash at unit 17: injected fault".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("taint-d3-precise"), "{text}");
+        assert!(text.contains("3 attempt(s)"), "{text}");
+        assert!(text.contains("unit 17"), "{text}");
+        assert!(e.source().is_none());
+        // Scan failures compare structurally like every other variant.
+        assert_eq!(
+            e,
+            CoreError::ScanFailed {
+                tool: "taint-d3-precise".into(),
+                attempts: 3,
+                reason: "crash at unit 17: injected fault".into(),
+            }
+        );
     }
 }

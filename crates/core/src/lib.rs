@@ -37,8 +37,9 @@ pub mod selection;
 pub mod validation;
 
 pub use attributes::{assess_catalog, AssessmentConfig, AttributeAssessment, MetricAttribute};
-pub use benchmark::{Benchmark, BenchmarkReport};
+pub use benchmark::{Benchmark, BenchmarkReport, ScanRecord};
 pub use cache::{cached_assessment, cached_case_study, CacheStats};
+pub use campaign::{fault_injection, run_case_study_faulty, set_fault_injection};
 pub use error::CoreError;
 pub use ranking::{rank_by_metric, RankingTable};
 pub use scenario::{Scenario, ScenarioId};

@@ -161,7 +161,22 @@ pub fn subsample_stability(
             reason: "zero replicates".into(),
         });
     }
-    let cases = outcomes[0].records().len();
+    // Degraded campaigns can hand this function a mix of full and empty
+    // outcomes (failed scans score as empty records): size the subsample
+    // on the largest record set — `confusion_for_indices` ignores
+    // out-of-range indices on the shorter ones — and refuse outright when
+    // no tool produced enough cases to subsample (the old
+    // `clamp(2, cases)` paniced on `cases < 2`).
+    let cases = outcomes
+        .iter()
+        .map(|o| o.records().len())
+        .max()
+        .unwrap_or(0);
+    if cases < 2 {
+        return Err(CoreError::NoData {
+            reason: "fewer than two scored cases to subsample",
+        });
+    }
     let k = ((cases as f64 * fraction).round() as usize).clamp(2, cases);
     let full = rank_by_metric(outcomes, metric)?;
     let full_pos: Vec<f64> = full.positions().iter().map(|&p| p as f64).collect();

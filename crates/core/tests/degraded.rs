@@ -1,0 +1,178 @@
+//! Degraded-campaign flow: fault-wrapped rosters must complete, report
+//! honest availability, and render everywhere a clean campaign renders.
+//!
+//! The ambient fault-injection configuration and the campaign cache are
+//! process-global, so every test here serializes on one lock.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use vdbench_core::campaign::{self, run_case_study_faulty};
+use vdbench_core::scenario::{Scenario, ScenarioId};
+use vdbench_core::{cached_case_study, set_fault_injection, Benchmark, CoreError};
+use vdbench_detectors::{
+    DetectionOutcome, Detector, FaultConfig, FaultPlan, FaultProfile, FaultRates, FaultyDetector,
+    ScanPolicy,
+};
+use vdbench_metrics::basic::Recall;
+use vdbench_stats::SeededRng;
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().expect("degraded test lock poisoned")
+}
+
+fn small_scenario(units: usize) -> Scenario {
+    let mut s = Scenario::standard(ScenarioId::S1Audit);
+    s.workload_units = units;
+    s
+}
+
+/// Wraps the standard roster so every tool crashes on its first unit,
+/// every attempt.
+fn doomed_roster(seed: u64) -> Vec<Box<dyn Detector>> {
+    campaign::standard_tools(seed)
+        .into_iter()
+        .map(|t| {
+            Box::new(FaultyDetector::new(
+                t,
+                FaultPlan::with_rates(5, FaultRates::always_crash()),
+            )) as Box<dyn Detector>
+        })
+        .collect()
+}
+
+#[test]
+fn always_crashing_roster_degrades_gracefully() {
+    let _guard = lock();
+    let corpus = campaign::scenario_corpus(&small_scenario(40), 11);
+    let report = Benchmark::new(corpus)
+        .tools(doomed_roster(11))
+        .metric(Box::new(Recall))
+        .run_resilient(&ScanPolicy::default())
+        .expect("a fully-crashing roster is degraded data, not an error");
+
+    assert!(report.degraded());
+    assert_eq!(report.availability(), 0.0);
+    assert_eq!(report.scans().len(), 8);
+    for scan in report.scans() {
+        assert!(scan.failed());
+        assert_eq!(scan.attempts, 3, "default policy exhausts 3 attempts");
+        assert_eq!(scan.retries(), 2);
+        assert_eq!(scan.backoff_ms, 150, "50 + 100 ms of virtual backoff");
+        let err = scan.error.as_deref().expect("failed scans carry errors");
+        assert!(err.contains("crash"), "{err}");
+    }
+    // Failed tools score as *empty* outcomes — metrics are NaN, not 0.
+    for outcome in report.outcomes() {
+        assert!(outcome.records().is_empty());
+        assert!(report.value(0, 0).is_nan());
+    }
+    // Unavailable rows render as ✗ (distinct from — for undefined).
+    assert!(report.to_table("degraded").render_ascii().contains('✗'));
+    let availability = report
+        .to_availability_table("availability")
+        .render_markdown();
+    assert!(availability.contains("failed"), "{availability}");
+    assert!(availability.contains("150"), "{availability}");
+    // Strict callers turn degradation into a typed error.
+    match report.require_complete() {
+        Err(CoreError::ScanFailed { attempts, tool, .. }) => {
+            assert_eq!(attempts, 3);
+            assert!(!tool.is_empty());
+        }
+        other => panic!("expected ScanFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn faulty_case_study_is_deterministic() {
+    let _guard = lock();
+    let scenario = small_scenario(60);
+    let cfg = FaultConfig::new(FaultProfile::Hostile, 0xFEED);
+    let first = run_case_study_faulty(&scenario, 5, cfg).unwrap();
+    let second = run_case_study_faulty(&scenario, 5, cfg).unwrap();
+    assert_eq!(first.scans(), second.scans());
+    assert_eq!(first.outcomes(), second.outcomes());
+    assert_eq!(
+        first.to_table("t").render_ascii(),
+        second.to_table("t").render_ascii()
+    );
+    assert_eq!(first.scans().len(), 8, "whole roster scanned");
+    // A different fault seed redraws every decision stream.
+    let reseeded = run_case_study_faulty(
+        &scenario,
+        5,
+        FaultConfig::new(FaultProfile::Hostile, 0xFEEE),
+    )
+    .unwrap();
+    assert_ne!(
+        (first.scans(), first.outcomes()),
+        (reseeded.scans(), reseeded.outcomes()),
+        "hostile faults under a different seed must differ"
+    );
+}
+
+#[test]
+fn ambient_fault_config_reroutes_cached_case_studies() {
+    let _guard = lock();
+    let scenario = small_scenario(50);
+    let seed = 0xC0_FE;
+    set_fault_injection(None);
+    let clean = cached_case_study(&scenario, seed).unwrap();
+    assert!(!clean.degraded());
+    assert_eq!(clean.availability(), 1.0);
+
+    set_fault_injection(Some(FaultConfig::new(FaultProfile::Hostile, 3)));
+    let faulty = cached_case_study(&scenario, seed).unwrap();
+    assert!(
+        !Arc::ptr_eq(&clean, &faulty),
+        "fault fingerprint must split the cache key"
+    );
+    let again = cached_case_study(&scenario, seed).unwrap();
+    assert!(Arc::ptr_eq(&faulty, &again), "same config is a cache hit");
+
+    set_fault_injection(None);
+    let clean_again = cached_case_study(&scenario, seed).unwrap();
+    assert!(
+        Arc::ptr_eq(&clean, &clean_again),
+        "clearing the config restores the clean entry"
+    );
+}
+
+#[test]
+fn markdown_report_discloses_degraded_availability() {
+    let _guard = lock();
+    set_fault_injection(Some(FaultConfig::new(FaultProfile::Hostile, 0xFA_2015)));
+    let text = campaign::markdown_report(0xD5_2015);
+    set_fault_injection(None);
+    let text = text.expect("hostile campaign still renders");
+    assert!(text.contains("# vdbench campaign report"));
+    assert!(text.contains("Degraded run"), "availability note missing");
+    assert!(text.contains("Per-tool scan availability"));
+    assert!(text.contains("failed"));
+    assert!(
+        text.contains("Selected metric"),
+        "selection must still run on degraded data"
+    );
+}
+
+#[test]
+fn subsample_stability_handles_empty_and_mixed_outcomes() {
+    let _guard = lock();
+    // All-empty: typed NoData, not a clamp panic.
+    let empty = vec![DetectionOutcome::empty("a"), DetectionOutcome::empty("b")];
+    let mut rng = SeededRng::new(1);
+    let err = vdbench_core::ranking::subsample_stability(&empty, &Recall, 0.5, 4, &mut rng)
+        .expect_err("no scored cases to subsample");
+    assert!(matches!(err, CoreError::NoData { .. }), "{err}");
+
+    // Mixed full/empty (a degraded campaign's shape): computes without
+    // panicking, the empty tool simply ranks last in every subsample.
+    let corpus = campaign::scenario_corpus(&small_scenario(40), 9);
+    let scored =
+        vdbench_detectors::score_detector(campaign::standard_tools(9)[0].as_ref(), &corpus);
+    let mixed = vec![scored, DetectionOutcome::empty("dead-tool")];
+    let mut rng = SeededRng::new(2);
+    let tau = vdbench_core::ranking::subsample_stability(&mixed, &Recall, 0.5, 8, &mut rng)
+        .expect("mixed outcomes subsample fine");
+    assert!(tau.is_finite());
+}

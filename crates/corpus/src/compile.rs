@@ -22,7 +22,7 @@
 //! * **Call resolution** — callee names resolve to function indices at
 //!   compile time using the same handler-first, first-match rule as
 //!   [`Unit::function`]. Unresolvable names are *not* a compile error:
-//!   they lower to [`CallTarget::Undefined`] and raise
+//!   they lower to `CallTarget::Undefined` and raise
 //!   [`ExecError::UndefinedFunction`] only if the call executes, matching
 //!   the reference interpreter (a call behind a dead guard must not fail).
 //!   Arity is likewise checked at call execution time.

@@ -1,8 +1,21 @@
 //! The [`Detector`] trait.
 
 use crate::finding::Finding;
+use crate::resilient::ScanError;
 use rayon::prelude::*;
 use vdbench_corpus::{Corpus, Unit};
+
+/// Context of one fallible scan attempt (see
+/// [`Detector::try_analyze_corpus`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanContext {
+    /// 1-based attempt number; retries re-roll deterministic fault
+    /// decisions through it.
+    pub attempt: u32,
+    /// Virtual step budget for this attempt (a nominal unit scan costs
+    /// one step).
+    pub step_budget: u64,
+}
 
 /// A vulnerability detection tool.
 ///
@@ -56,6 +69,35 @@ pub trait Detector: std::fmt::Debug + Send + Sync {
                 a
             })
     }
+
+    /// Fallible whole-corpus scan — the resilient engine's entry point.
+    ///
+    /// The default implementation charges one virtual step per unit
+    /// against the context's budget and otherwise delegates to
+    /// [`Detector::analyze_corpus`]: an honest in-process tool cannot
+    /// crash, and only times out when the budget is set below one step
+    /// per unit. [`crate::FaultyDetector`] overrides this to inject
+    /// timeouts, crashes, slowdowns and result corruption
+    /// deterministically (see [`crate::fault`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError`] when the attempt times out or the tool
+    /// crashes.
+    fn try_analyze_corpus(
+        &self,
+        corpus: &Corpus,
+        cx: &ScanContext,
+    ) -> Result<Vec<Finding>, ScanError> {
+        let spent = corpus.units().len() as u64;
+        if spent > cx.step_budget {
+            return Err(ScanError::Timeout {
+                budget: cx.step_budget,
+                spent,
+            });
+        }
+        Ok(self.analyze_corpus(corpus))
+    }
 }
 
 #[cfg(test)]
@@ -88,5 +130,32 @@ mod tests {
     fn detector_is_object_safe() {
         let tools: Vec<Box<dyn Detector>> = vec![Box::new(Silent)];
         assert_eq!(tools[0].name(), "silent");
+    }
+
+    #[test]
+    fn default_fallible_scan_charges_one_step_per_unit() {
+        let corpus = CorpusBuilder::new().units(10).seed(2).build();
+        let ok = Silent.try_analyze_corpus(
+            &corpus,
+            &ScanContext {
+                attempt: 1,
+                step_budget: 10,
+            },
+        );
+        assert_eq!(ok.unwrap(), Vec::new());
+        let starved = Silent.try_analyze_corpus(
+            &corpus,
+            &ScanContext {
+                attempt: 1,
+                step_budget: 9,
+            },
+        );
+        assert!(matches!(
+            starved,
+            Err(ScanError::Timeout {
+                budget: 9,
+                spent: 10
+            })
+        ));
     }
 }

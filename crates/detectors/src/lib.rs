@@ -20,6 +20,13 @@
 //! Tools implement [`Detector`]; [`score::score_detector`] runs one over a
 //! corpus and scores it against ground truth into confusion matrices.
 //!
+//! Real tools also time out, crash and return flaky results. [`fault`]
+//! injects those behaviours deterministically into any tool through the
+//! [`FaultyDetector`] proxy, and [`resilient`] runs scans with retries,
+//! step budgets and explicit [`ScanOutcome`] failure records — the
+//! building blocks of the campaign engine's graceful degradation (see
+//! DESIGN.md §12).
+//!
 //! ```
 //! use vdbench_corpus::CorpusBuilder;
 //! use vdbench_detectors::{score_detector, TaintAnalyzer, PatternScanner, Detector};
@@ -36,16 +43,20 @@
 
 pub mod detector;
 pub mod dynamic;
+pub mod fault;
 pub mod finding;
 pub mod pattern;
 pub mod profile;
+pub mod resilient;
 pub mod score;
 pub mod taint;
 
-pub use detector::Detector;
+pub use detector::{Detector, ScanContext};
 pub use dynamic::DynamicScanner;
+pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultProfile, FaultRates, FaultyDetector};
 pub use finding::Finding;
 pub use pattern::PatternScanner;
 pub use profile::ProfileTool;
-pub use score::{score_detector, DetectionOutcome, SiteOutcome};
+pub use resilient::{score_detector_resilient, ScanError, ScanOutcome, ScanPolicy};
+pub use score::{score_detector, score_findings, DetectionOutcome, SiteOutcome};
 pub use taint::TaintAnalyzer;

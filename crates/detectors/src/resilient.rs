@@ -1,0 +1,370 @@
+//! Resilient scan execution: retry, budgets, and explicit failure.
+//!
+//! [`score_detector_resilient`] is the fault-tolerant counterpart of
+//! [`crate::score_detector`]: it drives a [`Detector`] through up to
+//! [`ScanPolicy::max_attempts`] fallible scan attempts, applies a
+//! deterministic exponential backoff schedule between attempts, and
+//! returns an explicit [`ScanOutcome`] — `Completed` with the scored
+//! [`DetectionOutcome`], or `Failed` with the terminal [`ScanError`] —
+//! instead of assuming every scan succeeds.
+//!
+//! # Determinism
+//!
+//! The backoff schedule is *virtual*: `base_backoff_ms << (attempt-1)`
+//! milliseconds are **recorded**, not slept. Sleeping would only slow the
+//! benchmark down without changing any result, and recording keeps the
+//! engine a pure function of its inputs — two runs of the same campaign
+//! report identical backoff totals at any thread count.
+//!
+//! # Telemetry
+//!
+//! Every call feeds three always-live registry counters: `scan.attempts`
+//! (one per attempt executed), `scan.retries` (attempts after the first)
+//! and `scan.failed` (scans whose retry budget was exhausted). When span
+//! recording is on, each attempt is visible in the Chrome trace through
+//! the `detectors/scan_corpus` span (with its `attempt` argument) and
+//! injected faults as `faults/inject` events.
+
+use crate::detector::{Detector, ScanContext};
+use crate::score::{score_findings, DetectionOutcome};
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+use vdbench_corpus::Corpus;
+use vdbench_telemetry::registry::Counter;
+
+/// Why a scan attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanError {
+    /// The attempt exceeded its virtual step budget (injected outright,
+    /// or emergent from slowdown faults).
+    Timeout {
+        /// The step budget the attempt was given.
+        budget: u64,
+        /// The steps the attempt had consumed when it was killed.
+        spent: u64,
+    },
+    /// The tool died mid-scan.
+    Crash {
+        /// Index of the unit being scanned when the tool died.
+        unit: usize,
+        /// Tool-reported (or harness-synthesized) crash message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanError::Timeout { budget, spent } => {
+                write!(
+                    f,
+                    "scan timed out: {spent} steps spent of {budget} budgeted"
+                )
+            }
+            ScanError::Crash { unit, message } => {
+                write!(f, "tool crashed at unit {unit}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// Retry and budget policy for resilient scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanPolicy {
+    /// Maximum scan attempts per tool (≥ 1); `attempts - 1` retries.
+    pub max_attempts: u32,
+    /// Virtual step budget per attempt, in steps **per corpus unit**: a
+    /// nominal unit scan costs 1 step, a slowed one
+    /// [`crate::fault::SLOWDOWN_COST`].
+    pub steps_per_unit: u64,
+    /// Base of the exponential backoff schedule, in virtual
+    /// milliseconds: attempt `k` (1-based) is preceded by
+    /// `base << (k - 2)` ms for `k ≥ 2`.
+    pub base_backoff_ms: u64,
+}
+
+impl Default for ScanPolicy {
+    fn default() -> Self {
+        ScanPolicy {
+            max_attempts: 3,
+            steps_per_unit: 4,
+            base_backoff_ms: 50,
+        }
+    }
+}
+
+impl ScanPolicy {
+    /// The step budget one attempt over `units` corpus units receives.
+    #[must_use]
+    pub fn step_budget(&self, units: usize) -> u64 {
+        self.steps_per_unit.saturating_mul(units as u64)
+    }
+
+    /// Virtual backoff before attempt `attempt` (1-based): 0 before the
+    /// first attempt, then doubling from [`ScanPolicy::base_backoff_ms`].
+    #[must_use]
+    pub fn backoff_before(&self, attempt: u32) -> u64 {
+        if attempt <= 1 {
+            0
+        } else {
+            self.base_backoff_ms << (attempt - 2).min(32)
+        }
+    }
+}
+
+/// The outcome of one resilient scan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanOutcome {
+    /// The scan completed (possibly after retries) and was scored.
+    Completed {
+        /// The scored run.
+        outcome: DetectionOutcome,
+        /// Attempts executed (1 = first try succeeded).
+        attempts: u32,
+        /// Total virtual backoff milliseconds spent before the
+        /// successful attempt.
+        backoff_ms: u64,
+    },
+    /// Every attempt failed; the scan is reported as unavailable.
+    Failed {
+        /// The tool whose scan failed.
+        tool: String,
+        /// Attempts executed (= the policy's `max_attempts`).
+        attempts: u32,
+        /// Total virtual backoff milliseconds spent across retries.
+        backoff_ms: u64,
+        /// The terminal attempt's error.
+        error: ScanError,
+    },
+}
+
+impl ScanOutcome {
+    /// The tool this outcome belongs to.
+    #[must_use]
+    pub fn tool(&self) -> &str {
+        match self {
+            ScanOutcome::Completed { outcome, .. } => outcome.tool(),
+            ScanOutcome::Failed { tool, .. } => tool,
+        }
+    }
+
+    /// Attempts executed.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        match self {
+            ScanOutcome::Completed { attempts, .. } | ScanOutcome::Failed { attempts, .. } => {
+                *attempts
+            }
+        }
+    }
+
+    /// Retries executed (attempts after the first).
+    #[must_use]
+    pub fn retries(&self) -> u32 {
+        self.attempts().saturating_sub(1)
+    }
+
+    /// Total virtual backoff milliseconds.
+    #[must_use]
+    pub fn backoff_ms(&self) -> u64 {
+        match self {
+            ScanOutcome::Completed { backoff_ms, .. } | ScanOutcome::Failed { backoff_ms, .. } => {
+                *backoff_ms
+            }
+        }
+    }
+
+    /// Whether the scan ultimately failed.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        matches!(self, ScanOutcome::Failed { .. })
+    }
+
+    /// The scored run, when the scan completed.
+    #[must_use]
+    pub fn as_completed(&self) -> Option<&DetectionOutcome> {
+        match self {
+            ScanOutcome::Completed { outcome, .. } => Some(outcome),
+            ScanOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// The `scan.*` counters on the process-wide telemetry registry.
+struct ScanCounters {
+    attempts: Arc<Counter>,
+    retries: Arc<Counter>,
+    failed: Arc<Counter>,
+}
+
+fn counters() -> &'static ScanCounters {
+    static COUNTERS: OnceLock<ScanCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = vdbench_telemetry::registry::global();
+        ScanCounters {
+            attempts: reg.counter("scan.attempts"),
+            retries: reg.counter("scan.retries"),
+            failed: reg.counter("scan.failed"),
+        }
+    })
+}
+
+/// Runs a detector over a corpus with retries and budgets, scoring the
+/// first successful attempt against ground truth.
+///
+/// The infallible [`crate::score_detector`] is exactly this function
+/// under a policy that cannot fail (infallible tools, any attempt
+/// count); callers with plain detectors keep using it unchanged.
+pub fn score_detector_resilient(
+    tool: &dyn Detector,
+    corpus: &Corpus,
+    policy: &ScanPolicy,
+) -> ScanOutcome {
+    let c = counters();
+    let max_attempts = policy.max_attempts.max(1);
+    let budget = policy.step_budget(corpus.units().len());
+    let mut backoff_ms = 0u64;
+    let mut last_error = None;
+    for attempt in 1..=max_attempts {
+        backoff_ms += policy.backoff_before(attempt);
+        c.attempts.inc();
+        if attempt > 1 {
+            c.retries.inc();
+        }
+        let cx = ScanContext {
+            attempt,
+            step_budget: budget,
+        };
+        match tool.try_analyze_corpus(corpus, &cx) {
+            Ok(findings) => {
+                return ScanOutcome::Completed {
+                    outcome: score_findings(&tool.name(), corpus, &findings),
+                    attempts: attempt,
+                    backoff_ms,
+                };
+            }
+            Err(e) => last_error = Some(e),
+        }
+    }
+    c.failed.inc();
+    ScanOutcome::Failed {
+        tool: tool.name(),
+        attempts: max_attempts,
+        backoff_ms,
+        error: last_error.expect("max_attempts >= 1 ran at least one attempt"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultRates, FaultyDetector};
+    use crate::{score_detector, PatternScanner};
+    use vdbench_corpus::CorpusBuilder;
+
+    #[test]
+    fn infallible_tool_completes_first_try_and_matches_plain_scoring() {
+        let corpus = CorpusBuilder::new().units(50).seed(2).build();
+        let tool = PatternScanner::aggressive();
+        let outcome = score_detector_resilient(&tool, &corpus, &ScanPolicy::default());
+        match &outcome {
+            ScanOutcome::Completed {
+                outcome,
+                attempts,
+                backoff_ms,
+            } => {
+                assert_eq!(*attempts, 1);
+                assert_eq!(*backoff_ms, 0);
+                assert_eq!(outcome, &score_detector(&tool, &corpus));
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert!(!outcome.is_failed());
+        assert_eq!(outcome.retries(), 0);
+        assert_eq!(outcome.tool(), "pattern-aggr");
+        assert!(outcome.as_completed().is_some());
+    }
+
+    #[test]
+    fn always_crashing_tool_exhausts_retries_with_backoff() {
+        let corpus = CorpusBuilder::new().units(10).seed(4).build();
+        let tool = FaultyDetector::new(
+            Box::new(PatternScanner::aggressive()),
+            FaultPlan::with_rates(1, FaultRates::always_crash()),
+        );
+        let policy = ScanPolicy {
+            max_attempts: 4,
+            ..ScanPolicy::default()
+        };
+        let outcome = score_detector_resilient(&tool, &corpus, &policy);
+        match &outcome {
+            ScanOutcome::Failed {
+                tool,
+                attempts,
+                backoff_ms,
+                error,
+            } => {
+                assert_eq!(tool, "pattern-aggr");
+                assert_eq!(*attempts, 4);
+                // 0 + 50 + 100 + 200.
+                assert_eq!(*backoff_ms, 350);
+                assert!(matches!(error, ScanError::Crash { unit: 0, .. }));
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert!(outcome.is_failed());
+        assert_eq!(outcome.retries(), 3);
+        assert!(outcome.as_completed().is_none());
+    }
+
+    #[test]
+    fn counters_track_attempts_retries_and_failures() {
+        let reg = vdbench_telemetry::registry::global();
+        let attempts = reg.counter("scan.attempts");
+        let retries = reg.counter("scan.retries");
+        let failed = reg.counter("scan.failed");
+        let (a0, r0, f0) = (attempts.get(), retries.get(), failed.get());
+        let corpus = CorpusBuilder::new().units(8).seed(6).build();
+        let tool = FaultyDetector::new(
+            Box::new(PatternScanner::aggressive()),
+            FaultPlan::with_rates(2, FaultRates::always_crash()),
+        );
+        let policy = ScanPolicy {
+            max_attempts: 3,
+            ..ScanPolicy::default()
+        };
+        let _ = score_detector_resilient(&tool, &corpus, &policy);
+        assert_eq!(attempts.get() - a0, 3);
+        assert_eq!(retries.get() - r0, 2);
+        assert_eq!(failed.get() - f0, 1);
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_saturating() {
+        let p = ScanPolicy::default();
+        assert_eq!(p.backoff_before(1), 0);
+        assert_eq!(p.backoff_before(2), 50);
+        assert_eq!(p.backoff_before(3), 100);
+        assert_eq!(p.backoff_before(4), 200);
+        // The shift is clamped; huge attempt numbers do not overflow.
+        let _ = p.backoff_before(200);
+        assert_eq!(p.step_budget(600), 2400);
+    }
+
+    #[test]
+    fn scan_error_display() {
+        let t = ScanError::Timeout {
+            budget: 80,
+            spent: 99,
+        };
+        assert!(t.to_string().contains("99 steps spent of 80"));
+        let c = ScanError::Crash {
+            unit: 7,
+            message: "boom".into(),
+        };
+        assert!(c.to_string().contains("unit 7"));
+        assert!(c.to_string().contains("boom"));
+    }
+}

@@ -1,6 +1,7 @@
 //! Scoring detector output against corpus ground truth.
 
 use crate::detector::Detector;
+use crate::finding::Finding;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use vdbench_corpus::{Corpus, FlowShape, SiteId, VulnClass};
@@ -154,6 +155,21 @@ impl DetectionOutcome {
     }
 }
 
+impl DetectionOutcome {
+    /// The outcome of a scan that never produced results (a failed
+    /// resilient scan): no records at all — *not* "nothing reported",
+    /// which would silently count every vulnerable case as a miss.
+    /// Metrics computed on it are undefined (`NaN`), the honest value
+    /// for an unavailable tool.
+    #[must_use]
+    pub fn empty(tool: impl Into<String>) -> Self {
+        DetectionOutcome {
+            tool: tool.into(),
+            records: Vec::new(),
+        }
+    }
+}
+
 /// Runs a detector over a corpus and scores every case.
 ///
 /// A case counts as *reported* when the tool emitted at least one finding
@@ -161,11 +177,19 @@ impl DetectionOutcome {
 /// benchmarks score detection, not classification).
 pub fn score_detector(tool: &dyn Detector, corpus: &Corpus) -> DetectionOutcome {
     let findings = tool.analyze_corpus(corpus);
+    score_findings(&tool.name(), corpus, &findings)
+}
+
+/// Scores an already-collected finding list against a corpus's ground
+/// truth — the shared back half of [`score_detector`] and the resilient
+/// engine ([`crate::resilient::score_detector_resilient`]), which must
+/// score whichever attempt succeeded.
+pub fn score_findings(tool: &str, corpus: &Corpus, findings: &[Finding]) -> DetectionOutcome {
     let reported: BTreeSet<SiteId> = findings.iter().map(|f| f.site).collect();
     // First class claim per site (tools may emit several findings).
     let mut claims: std::collections::BTreeMap<SiteId, VulnClass> =
         std::collections::BTreeMap::new();
-    for f in &findings {
+    for f in findings {
         if let Some(class) = f.class {
             claims.entry(f.site).or_insert(class);
         }
@@ -182,7 +206,7 @@ pub fn score_detector(tool: &dyn Detector, corpus: &Corpus) -> DetectionOutcome 
         })
         .collect();
     DetectionOutcome {
-        tool: tool.name(),
+        tool: tool.to_string(),
         records,
     }
 }

@@ -1,0 +1,147 @@
+//! Scan availability: the operational health of a benchmarked tool.
+//!
+//! The paper's detection metrics assume every tool produced a scan
+//! result. Real campaigns are messier: tools time out, crash and exhaust
+//! their step budgets. [`Availability`] counts completed versus failed
+//! scans and summarizes them as a ratio, so the campaign engine can report
+//! *how much* of the roster actually ran alongside the detection metrics
+//! of the scans that did (see the resilient engine in `vdbench-core` and
+//! DESIGN.md §12).
+//!
+//! ```
+//! use vdbench_metrics::availability::Availability;
+//!
+//! let mut a = Availability::new();
+//! for ok in [true, true, false, true] {
+//!     a.record(ok);
+//! }
+//! assert_eq!(a.completed(), 3);
+//! assert_eq!(a.failed(), 1);
+//! assert!((a.ratio() - 0.75).abs() < 1e-12);
+//! assert!(a.is_degraded());
+//! assert_eq!(a.to_string(), "3/4 (75%)");
+//! ```
+
+use std::fmt;
+
+/// Completed/failed scan counts and the availability ratio they induce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Availability {
+    completed: u64,
+    failed: u64,
+}
+
+impl Availability {
+    /// An empty tally (vacuously fully available).
+    #[must_use]
+    pub fn new() -> Self {
+        Availability::default()
+    }
+
+    /// Builds a tally directly from counts.
+    #[must_use]
+    pub fn from_counts(completed: u64, failed: u64) -> Self {
+        Availability { completed, failed }
+    }
+
+    /// Records one scan outcome.
+    pub fn record(&mut self, completed: bool) {
+        if completed {
+            self.completed += 1;
+        } else {
+            self.failed += 1;
+        }
+    }
+
+    /// Scans that completed (possibly after retries).
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Scans that exhausted their retry budget.
+    #[must_use]
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// All scans counted.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.completed + self.failed
+    }
+
+    /// Completed / total. An empty tally is vacuously `1.0` — "no scans
+    /// failed", the identity under [`Availability::merge`].
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            self.completed as f64 / total as f64
+        }
+    }
+
+    /// Whether any scan failed.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.failed > 0
+    }
+
+    /// Folds another tally into this one (campaign-level roll-up over
+    /// scenarios).
+    pub fn merge(&mut self, other: Availability) {
+        self.completed += other.completed;
+        self.failed += other.failed;
+    }
+}
+
+impl fmt::Display for Availability {
+    /// `completed/total (percent%)`, percent rounded to the nearest
+    /// integer.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} ({:.0}%)",
+            self.completed,
+            self.total(),
+            self.ratio() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tally_is_vacuously_available() {
+        let a = Availability::new();
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.ratio(), 1.0);
+        assert!(!a.is_degraded());
+        assert_eq!(a.to_string(), "0/0 (100%)");
+    }
+
+    #[test]
+    fn counts_ratio_and_display() {
+        let mut a = Availability::from_counts(30, 2);
+        assert_eq!(a.total(), 32);
+        assert!((a.ratio() - 30.0 / 32.0).abs() < 1e-12);
+        assert!(a.is_degraded());
+        assert_eq!(a.to_string(), "30/32 (94%)");
+        a.record(true);
+        a.record(false);
+        assert_eq!((a.completed(), a.failed()), (31, 3));
+    }
+
+    #[test]
+    fn merge_is_count_addition_with_empty_identity() {
+        let mut total = Availability::new();
+        total.merge(Availability::from_counts(7, 1));
+        total.merge(Availability::from_counts(8, 0));
+        total.merge(Availability::new());
+        assert_eq!(total, Availability::from_counts(15, 1));
+    }
+}

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod availability;
 pub mod basic;
 pub mod catalog;
 pub mod chance;
@@ -41,6 +42,7 @@ pub mod metric;
 pub mod properties;
 pub mod roc;
 
+pub use availability::Availability;
 pub use catalog::{standard_catalog, MetricId};
 pub use confusion::ConfusionMatrix;
 pub use metric::{Metric, MetricError};

@@ -203,6 +203,20 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
+impl MetricsSnapshot {
+    /// All **non-zero** counters whose names start with `prefix`, in name
+    /// order — the extraction primitive behind the `BENCH_campaign.json`
+    /// resilience section (`fault.injected.*`, `scan.*`).
+    #[must_use]
+    pub fn counters_with_prefix(&self, prefix: &str) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .filter(|(name, value)| name.starts_with(prefix) && **value > 0)
+            .map(|(name, value)| (name.clone(), *value))
+            .collect()
+    }
+}
+
 /// A named collection of metrics. Use [`global`] for the process-wide
 /// instance; fresh registries are only for tests.
 #[derive(Debug, Default)]
@@ -365,6 +379,22 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.snapshot().buckets, Vec::new());
+    }
+
+    #[test]
+    fn prefix_extraction_keeps_nonzero_matching_counters() {
+        let reg = Registry::new();
+        reg.counter("fault.injected.crash").add(2);
+        reg.counter("fault.injected.flip").add(9);
+        reg.counter("fault.injected.timeout"); // registered but zero
+        reg.counter("scan.failed").add(1);
+        let snap = reg.snapshot();
+        let faults = snap.counters_with_prefix("fault.");
+        assert_eq!(faults.len(), 2, "zero counters are elided");
+        assert_eq!(faults["fault.injected.crash"], 2);
+        assert_eq!(faults["fault.injected.flip"], 9);
+        assert_eq!(snap.counters_with_prefix("scan.")["scan.failed"], 1);
+        assert!(snap.counters_with_prefix("nope.").is_empty());
     }
 
     #[test]

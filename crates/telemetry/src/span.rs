@@ -3,7 +3,7 @@
 //! Every thread that records gets its own buffer (registered globally on
 //! first use), so a span open/close only ever locks the recording
 //! thread's *own* mutex — uncontended except while a collector drains.
-//! [`drain`] stitches all buffers, including those of threads that have
+//! `drain` stitches all buffers, including those of threads that have
 //! already exited, into one chronologically merged [`Trace`].
 //!
 //! Within a thread, spans nest strictly (guards drop in reverse open

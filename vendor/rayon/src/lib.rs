@@ -158,8 +158,7 @@ pub struct MapSlicePar<'a, T, F> {
     f: F,
 }
 
-/// Lazily mapped range iterator; realized by [`MapRangePar::collect`] /
-/// [`MapRangePar::for_each`].
+/// Lazily mapped range iterator; realized by [`MapRangePar::collect`].
 pub struct MapRangePar<F> {
     range: Range<usize>,
     f: F,
