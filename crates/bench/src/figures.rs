@@ -180,8 +180,9 @@ pub fn fig4() -> String {
 /// dictionary. Coverage saturates once the guessable gates are exhausted;
 /// obscure gates and stored flows bound the single-request ceiling.
 pub fn fig5() -> String {
+    use vdbench_core::cache::cached_scan;
     use vdbench_corpus::CorpusBuilder;
-    use vdbench_detectors::{score_detector, DynamicScanner};
+    use vdbench_detectors::DynamicScanner;
 
     // A gate-heavy workload makes the budget trade-off visible: most
     // vulnerable flows hide behind input gates, two-thirds of them
@@ -199,10 +200,10 @@ pub fn fig5() -> String {
     let mut with_dict = Series::new("with gate dictionary");
     let mut without_dict = Series::new("sprays only");
     for &budget in &budgets {
-        let yes = score_detector(&DynamicScanner::with_budget(budget, true), &corpus)
+        let yes = cached_scan(&DynamicScanner::with_budget(budget, true), &corpus)
             .confusion()
             .tpr();
-        let no = score_detector(&DynamicScanner::with_budget(budget, false), &corpus)
+        let no = cached_scan(&DynamicScanner::with_budget(budget, false), &corpus)
             .confusion()
             .tpr();
         with_dict.push(budget as f64, yes);
@@ -238,10 +239,9 @@ pub fn fig5() -> String {
 /// does. Together they demonstrate that the corpus knobs control exactly
 /// the error mechanisms they claim to.
 pub fn fig6() -> String {
+    use vdbench_core::cache::cached_scan;
     use vdbench_corpus::{CorpusBuilder, VulnClass};
-    use vdbench_detectors::{
-        score_detector, Detector, DynamicScanner, PatternScanner, TaintAnalyzer,
-    };
+    use vdbench_detectors::{Detector, DynamicScanner, PatternScanner, TaintAnalyzer};
     let tools: Vec<Box<dyn Detector>> = vec![
         Box::new(PatternScanner::aggressive()),
         Box::new(TaintAnalyzer::precise()),
@@ -269,7 +269,7 @@ pub fn fig6() -> String {
             .seed(EXPERIMENT_SEED ^ 0xF166)
             .build();
         for (tool, series) in tools.iter().zip(&mut recall_series) {
-            let tpr = score_detector(tool.as_ref(), &corpus).confusion().tpr();
+            let tpr = cached_scan(tool.as_ref(), &corpus).confusion().tpr();
             series.push(rate, tpr);
         }
     }
@@ -295,7 +295,7 @@ pub fn fig6() -> String {
             .seed(EXPERIMENT_SEED ^ 0xF167)
             .build();
         for (tool, series) in tools.iter().zip(&mut fpr_series) {
-            let fpr = score_detector(tool.as_ref(), &corpus).confusion().fpr();
+            let fpr = cached_scan(tool.as_ref(), &corpus).confusion().fpr();
             series.push(rate, fpr);
         }
     }

@@ -425,10 +425,9 @@ pub fn table7() -> String {
 /// **Table 8** (extension) — the second-order (stored) injection study:
 /// how each tool family handles flows that cross a persistence boundary.
 pub fn table8() -> String {
+    use vdbench_core::cache::cached_scan;
     use vdbench_corpus::{CorpusBuilder, FlowShape, VulnClass};
-    use vdbench_detectors::{
-        score_detector, Detector, DynamicScanner, PatternScanner, TaintAnalyzer,
-    };
+    use vdbench_detectors::{Detector, DynamicScanner, PatternScanner, TaintAnalyzer};
     let corpus = CorpusBuilder::new()
         .units(500)
         .vulnerability_density(0.4)
@@ -461,7 +460,7 @@ pub fn table8() -> String {
         stored_total
     ));
     for tool in &tools {
-        let outcome = score_detector(tool.as_ref(), &corpus);
+        let outcome = cached_scan(tool.as_ref(), &corpus);
         let cm = outcome.confusion();
         let stored = outcome.confusion_for_shape(FlowShape::Stored);
         let literal = outcome.confusion_for_shape(FlowShape::StoredLiteral);
@@ -493,8 +492,8 @@ pub fn table8() -> String {
 /// pattern matching owns the configuration classes, execution owns the
 /// disguised injections.
 pub fn table9() -> String {
+    use vdbench_core::cache::cached_scan;
     use vdbench_corpus::{CorpusBuilder, VulnClass};
-    use vdbench_detectors::score_detector;
     let corpus = CorpusBuilder::new()
         .units(900)
         .vulnerability_density(0.5)
@@ -503,7 +502,7 @@ pub fn table9() -> String {
     let tools = standard_tools(EXPERIMENT_SEED);
     let outcomes: Vec<_> = tools
         .iter()
-        .map(|t| score_detector(t.as_ref(), &corpus))
+        .map(|t| cached_scan(t.as_ref(), &corpus))
         .collect();
 
     let mut header = vec!["class".to_string()];

@@ -1,6 +1,7 @@
 //! The benchmark runner: workload × tools × metrics.
 
 use crate::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
 use vdbench_corpus::Corpus;
 use vdbench_detectors::{
     score_detector, score_detector_resilient, DetectionOutcome, Detector, ScanOutcome, ScanPolicy,
@@ -218,7 +219,7 @@ impl Benchmark {
 }
 
 /// The resilience record of one tool's scan within a benchmark run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScanRecord {
     /// Tool name.
     pub tool: String,
@@ -247,7 +248,14 @@ impl ScanRecord {
 /// The results of a benchmark run: per-tool outcomes plus the metric value
 /// table (`values[tool][metric]`, `NaN` where undefined) and the per-tool
 /// resilience records (one [`ScanRecord`] per tool, roster order).
-#[derive(Debug, Clone)]
+///
+/// Serializable so the campaign cache's disk tier
+/// ([`crate::cache::cached_case_study`]) can persist whole reports as
+/// content-addressed blobs: every field round-trips losslessly through
+/// the vendored JSON codec (`f64` via shortest-round-trip formatting,
+/// `NaN` via `null`), so a report replayed from disk renders
+/// byte-identically to one computed in-process.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchmarkReport {
     outcomes: Vec<DetectionOutcome>,
     scans: Vec<ScanRecord>,

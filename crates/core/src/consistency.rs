@@ -8,10 +8,11 @@
 //! a Friedman test on the metric's tool scores (does the metric see *any*
 //! consistent tool differences at all?).
 
+use crate::cache::cached_scan;
 use crate::error::{CoreError, Result};
 use serde::{Deserialize, Serialize};
 use vdbench_corpus::CorpusBuilder;
-use vdbench_detectors::{score_detector, Detector};
+use vdbench_detectors::Detector;
 use vdbench_metrics::metric::{Metric, MetricExt};
 use vdbench_metrics::MetricId;
 use vdbench_stats::correlation::kendall_w;
@@ -84,9 +85,12 @@ pub fn cross_workload_consistency(
             .vulnerability_density(density)
             .seed(cfg.seed ^ ((w as u64 + 1) * 0x9E37))
             .build();
+        // Cached scans: within a process the sweep shares outcomes with
+        // any sibling artifact on the same `(tool, corpus)`; across
+        // processes the disk tier replays them without re-scanning.
         let row: Vec<_> = tools
             .iter()
-            .map(|t| score_detector(t.as_ref(), &corpus).confusion())
+            .map(|t| cached_scan(t.as_ref(), &corpus).confusion())
             .collect();
         confusions.push(row);
     }

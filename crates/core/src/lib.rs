@@ -19,8 +19,10 @@
 //! [`campaign`] packages the standard experiment configuration (scenario
 //! workloads + tool roster) used by every table/figure binary in
 //! `vdbench-bench`; [`cache`] memoizes the expensive campaign artifacts
-//! (case studies, attribute assessments) so the whole suite computes each
-//! one exactly once per process.
+//! (case studies, attribute assessments, raw tool scans) so the whole
+//! suite computes each one exactly once per process — and, with the
+//! persistent disk tier enabled ([`cache::set_disk_cache`]), exactly once
+//! per workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,7 +40,10 @@ pub mod validation;
 
 pub use attributes::{assess_catalog, AssessmentConfig, AttributeAssessment, MetricAttribute};
 pub use benchmark::{Benchmark, BenchmarkReport, ScanRecord};
-pub use cache::{cached_assessment, cached_case_study, CacheStats};
+pub use cache::{
+    cached_artifact, cached_assessment, cached_case_study, cached_scan, disk_cache_dir,
+    set_disk_cache, CacheStats, CACHE_SCHEMA_VERSION,
+};
 pub use campaign::{fault_injection, run_case_study_faulty, set_fault_injection};
 pub use error::CoreError;
 pub use ranking::{rank_by_metric, RankingTable};

@@ -53,6 +53,41 @@ impl Request {
         map.insert(name.into(), value.into());
     }
 
+    /// Stable 64-bit content fingerprint of the request: every
+    /// `(surface, name, value)` triple, surface- and name-ordered (the
+    /// maps are `BTreeMap`s), folded through FNV-1a with field
+    /// separators. Two requests fingerprint equal **iff** an interpreter
+    /// run observes them identically — the primitive behind the dynamic
+    /// scanner's attack-session deduplication: sprayed sessions that
+    /// collapse to the same requests execute once.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+            // Field separator: distinguishes ("ab","c") from ("a","bc").
+            h ^= 0x1f;
+            h = h.wrapping_mul(PRIME);
+        };
+        for (tag, map) in [
+            (b'p', &self.params),
+            (b'h', &self.headers),
+            (b'c', &self.cookies),
+        ] {
+            eat(&[tag]);
+            for (name, value) in map {
+                eat(name.as_bytes());
+                eat(value.as_bytes());
+            }
+        }
+        h
+    }
+
     /// Reads an input; absent inputs read as the empty string (as a web
     /// framework would deliver a missing parameter).
     pub fn get(&self, kind: SourceKind, name: &str) -> &str {
@@ -1033,5 +1068,31 @@ mod tests {
             .with_cookie("sid", "1");
         assert_eq!(req2.get(SourceKind::HttpHeader, "ua"), "x");
         assert_eq!(req2.get(SourceKind::Cookie, "sid"), "1");
+    }
+
+    #[test]
+    fn request_fingerprint_is_content_addressed() {
+        let mut a = Request::new();
+        a.set(SourceKind::HttpParam, "q", "1");
+        a.set(SourceKind::HttpParam, "mode", "debug");
+        // Same content, different insertion order: identical fingerprint.
+        let mut b = Request::new();
+        b.set(SourceKind::HttpParam, "mode", "debug");
+        b.set(SourceKind::HttpParam, "q", "1");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        // Any differing value, name or surface changes it.
+        let mut c = a.clone();
+        c.set(SourceKind::HttpParam, "q", "2");
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = Request::new();
+        d.set(SourceKind::HttpHeader, "q", "1");
+        d.set(SourceKind::HttpHeader, "mode", "debug");
+        assert_ne!(a.fingerprint(), d.fingerprint(), "surface matters");
+        // Name/value boundaries are separated: ("ab","c") != ("a","bc").
+        let e = Request::new().with_param("ab", "c");
+        let f = Request::new().with_param("a", "bc");
+        assert_ne!(e.fingerprint(), f.fingerprint());
+        assert_ne!(Request::new().fingerprint(), 0, "empty request hashes");
     }
 }

@@ -19,9 +19,21 @@ use crate::detector::Detector;
 use crate::finding::Finding;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 use vdbench_corpus::{
-    CompiledUnit, Corpus, InterpScratch, Interpreter, Request, SinkKind, Unit, VulnClass,
+    CompiledUnit, Corpus, InterpScratch, Interpreter, Request, SinkKind, SinkObservation, Unit,
+    VulnClass,
 };
+use vdbench_telemetry::registry::Counter;
+
+/// Always-live counter of attack sessions that collapsed onto an earlier
+/// identical session and were therefore never re-executed
+/// (`scan.sessions.deduped` in the telemetry registry — surfaces in
+/// `run_all --timings` and `BENCH_campaign.json` for free).
+fn deduped_counter() -> &'static Arc<Counter> {
+    static COUNTER: OnceLock<Arc<Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| vdbench_telemetry::registry::global().counter("scan.sessions.deduped"))
+}
 
 /// The vulnerability class a sink's response signature indicates.
 fn class_for_sink(kind: SinkKind) -> Option<VulnClass> {
@@ -117,10 +129,15 @@ impl DynamicScanner {
         self.request_budget
     }
 
-    /// Builds the attack plan for one unit, in priority order. Each entry
-    /// is a session (one request, or attack + plain trigger in stateful
-    /// mode); the budget counts individual requests.
-    fn plan(&self, unit: &Unit) -> Vec<(Vec<Request>, &'static str)> {
+    /// Builds the deduplicated attack plan for one unit, in priority
+    /// order. Sprayed attacks that collapse to identical sessions (the
+    /// gate-dictionary phase re-derives the payload sprays whenever a
+    /// unit's surface is small) are planned **once**: they execute one
+    /// interpreter trace, carry every payload probe that mapped onto
+    /// them, and are charged against the request budget exactly once —
+    /// `request_budget` bounds requests actually *sent*, not probes
+    /// sprayed.
+    fn plan(&self, unit: &Unit) -> AttackPlan {
         let surface = unit.referenced_sources();
         let mut attacks: Vec<(Request, &'static str)> = Vec::new();
         // Phase 1: spray each payload across the whole surface.
@@ -147,25 +164,64 @@ impl DynamicScanner {
                 }
             }
         }
-        // Realize the budget in requests, expanding to two-request
-        // sessions (attack, then plain trigger) in stateful mode.
+        // Realize the budget in *unique* sessions, expanding to
+        // two-request sessions (attack, then plain trigger) in stateful
+        // mode. A session whose fingerprint matches an already-planned
+        // one merges its probe for free; a novel session is admitted only
+        // while the budget holds (later duplicates of admitted sessions
+        // still merge — they cost nothing to observe).
         let per_session = if self.two_phase { 2 } else { 1 };
-        let mut plan = Vec::new();
-        let mut spent = 0usize;
+        let mut plan = AttackPlan::default();
+        let mut index_by_fingerprint: BTreeMap<u64, usize> = BTreeMap::new();
         for (req, payload) in attacks {
-            if spent + per_session > self.request_budget {
-                break;
-            }
-            spent += per_session;
             let session = if self.two_phase {
                 vec![req, Request::new()]
             } else {
                 vec![req]
             };
-            plan.push((session, payload));
+            let fingerprint = session_fingerprint(&session);
+            if let Some(&index) = index_by_fingerprint.get(&fingerprint) {
+                plan.deduped += 1;
+                plan.probes.push((index, payload));
+            } else if plan.charged_requests + per_session <= self.request_budget {
+                let index = plan.sessions.len();
+                index_by_fingerprint.insert(fingerprint, index);
+                plan.sessions.push(session);
+                plan.charged_requests += per_session;
+                plan.probes.push((index, payload));
+            }
         }
         plan
     }
+}
+
+/// Stable fingerprint of a whole attack session: the per-request content
+/// fingerprints ([`Request::fingerprint`]) folded in order.
+fn session_fingerprint(session: &[Request]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for req in session {
+        h ^= req.fingerprint();
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The deduplicated attack plan for one unit.
+#[derive(Debug, Default)]
+struct AttackPlan {
+    /// Unique attack sessions in first-appearance (priority) order; each
+    /// executes exactly one interpreter trace.
+    sessions: Vec<Vec<Request>>,
+    /// Payload probes in original spray order: `(session index, payload)`.
+    /// Several probes may share one session — they all read the same
+    /// memoized trace.
+    probes: Vec<(usize, &'static str)>,
+    /// Requests charged against the budget (unique sessions × requests
+    /// per session) — what the scanner would actually send on the wire.
+    charged_requests: usize,
+    /// Sprayed sessions that collapsed onto an earlier identical session.
+    deduped: usize,
 }
 
 impl Default for DynamicScanner {
@@ -237,10 +293,14 @@ impl Detector for DynamicScanner {
 impl DynamicScanner {
     /// Scans one unit with a caller-provided interpreter and execution
     /// scratch (both hoisted out of the per-unit loop by
-    /// [`Detector::analyze_corpus`]). The unit is compiled **once** and
-    /// the whole attack batch runs against the compiled form, so per-
-    /// session cost is pure execution: no name lookups, no body clones,
-    /// no environment allocation (frames recycle through `scratch`).
+    /// [`Detector::analyze_corpus`]). The unit is compiled **once**, the
+    /// attack plan is deduplicated ([`DynamicScanner::plan`]), and each
+    /// *unique* session executes exactly one interpreter trace; every
+    /// payload probe — including the sprays that collapsed onto a shared
+    /// session — then reads its memoized trace. Per-session cost is pure
+    /// execution: no name lookups, no body clones, no environment
+    /// allocation (frames recycle through `scratch`), and never the same
+    /// session twice.
     fn analyze_with(
         &self,
         interp: &Interpreter,
@@ -248,11 +308,21 @@ impl DynamicScanner {
         scratch: &mut InterpScratch,
     ) -> Vec<Finding> {
         let compiled = CompiledUnit::compile(unit);
+        let plan = self.plan(unit);
+        if plan.deduped > 0 {
+            deduped_counter().add(plan.deduped as u64);
+        }
+        // Memoized traces, one per unique session (plan order). Execution
+        // failures (runaway loops, malformed units) are a scanner
+        // non-result, not a crash: their probes simply observe nothing.
+        let traces: Vec<Option<Vec<SinkObservation>>> = plan
+            .sessions
+            .iter()
+            .map(|session| interp.run_compiled(&compiled, session, scratch).ok())
+            .collect();
         let mut confirmed: BTreeMap<_, (&'static str, SinkKind)> = BTreeMap::new();
-        for (session, payload) in self.plan(unit) {
-            // Execution failures (runaway loops, malformed units) are a
-            // scanner non-result, not a crash.
-            let Ok(observations) = interp.run_compiled(&compiled, &session, scratch) else {
+        for (index, payload) in plan.probes {
+            let Some(observations) = &traces[index] else {
                 continue;
             };
             for obs in observations {
@@ -402,6 +472,66 @@ mod tests {
         assert!(
             recall > 0.9,
             "disguises don't fool execution: recall {recall}"
+        );
+    }
+
+    #[test]
+    fn duplicate_sessions_plan_once_and_ride_free() {
+        let corpus = CorpusBuilder::new().units(80).seed(47).build();
+        let scanner = DynamicScanner::thorough();
+        let unit = corpus
+            .units()
+            .iter()
+            .find(|u| u.referenced_sources().len() == 1)
+            .expect("the generator produces single-input units");
+        let plan = scanner.plan(unit);
+        // A single-input surface makes the gate-dictionary phase re-derive
+        // the same request for every payload: duplicates must merge.
+        assert!(plan.deduped > 0, "single-input units collapse sprays");
+        // Unique sessions are pairwise distinct by fingerprint.
+        let fingerprints: std::collections::BTreeSet<u64> = plan
+            .sessions
+            .iter()
+            .map(|s| session_fingerprint(s))
+            .collect();
+        assert_eq!(fingerprints.len(), plan.sessions.len());
+        // Every probe points at a planned session; merged probes keep
+        // their payload oracles without re-executing anything.
+        assert!(plan.probes.iter().all(|(i, _)| *i < plan.sessions.len()));
+        assert_eq!(plan.probes.len(), plan.sessions.len() + plan.deduped);
+    }
+
+    #[test]
+    fn budget_charges_deduplicated_sessions_once() {
+        let corpus = CorpusBuilder::new().units(40).seed(48).build();
+        for unit in corpus.units() {
+            // Single-request modes: the charge is exactly the number of
+            // unique sessions, and it never exceeds the budget.
+            for scanner in [
+                DynamicScanner::quick(),
+                DynamicScanner::thorough(),
+                DynamicScanner::with_budget(2, true),
+            ] {
+                let plan = scanner.plan(unit);
+                assert_eq!(plan.charged_requests, plan.sessions.len());
+                assert!(plan.charged_requests <= scanner.request_budget());
+            }
+            // Stateful mode charges two requests (attack + trigger) per
+            // unique session.
+            let plan = DynamicScanner::stateful().plan(unit);
+            assert_eq!(plan.charged_requests, 2 * plan.sessions.len());
+            assert!(plan.charged_requests <= DynamicScanner::stateful().request_budget());
+        }
+    }
+
+    #[test]
+    fn dedup_counter_increments_on_scan() {
+        let before = deduped_counter().get();
+        let corpus = CorpusBuilder::new().units(50).seed(49).build();
+        let _ = score_detector(&DynamicScanner::thorough(), &corpus);
+        assert!(
+            deduped_counter().get() > before,
+            "a 50-unit corpus must contain at least one collapsible spray"
         );
     }
 
