@@ -1,12 +1,14 @@
 //! Criterion kernel-bench suite: old-vs-new timings for the hot kernels.
 //!
-//! Four groups, one per optimized kernel family:
+//! Five groups, one per optimized kernel family:
 //!
 //! * `kendall`  — Knight's O(n log n) τ-b vs the retained O(n²) oracle;
 //! * `bootstrap` — streaming per-worker-scratch replicates vs the retained
 //!   materializing oracle, plus `select_nth` quantiles vs clone-and-sort;
-//! * `interp`   — slot-compiled MiniWeb execution vs the tree-walking
-//!   reference interpreter;
+//! * `interp`   — all three MiniWeb execution tiers over the same corpus:
+//!   tree-walking reference, slot-compiled walker, bytecode register VM;
+//! * `vm`       — per-opcode-class microbenches isolating each bytecode
+//!   superinstruction family (slotwalk vs bytecode);
 //! * `scan`     — the dynamic scanner's whole-corpus path (compiled units,
 //!   pooled scratch, per-worker fold), new implementation only (the old
 //!   path no longer exists at this granularity).
@@ -14,13 +16,20 @@
 //! Unlike the other bench targets this one has a custom `main`: after the
 //! groups run it collects every measurement from the criterion driver and
 //! writes `BENCH_kernels.json` at the workspace root, including computed
-//! old/new speedups where both sides survive. That file is committed, so
-//! the repo carries its perf trajectory, and CI re-emits it (in `--test`
-//! smoke mode, samples=1) as a build artifact.
+//! old/new speedups where both sides survive (paired "new" entries also
+//! carry the ratio inline as `speedup`). In a full run it additionally
+//! rewrites the README's speedup table between the `BENCH_TABLE` markers,
+//! so the published numbers are always the measured ones. That file is
+//! committed, so the repo carries its perf trajectory, and CI re-emits it
+//! (in `--test` smoke mode, samples=1) as a build artifact.
 
 use criterion::{black_box, BenchResult, BenchmarkId, Criterion};
 use serde::Serialize;
-use vdbench_corpus::{CompiledUnit, CorpusBuilder, InterpScratch, Interpreter, Request, Unit};
+use vdbench_corpus::ast::BinOp;
+use vdbench_corpus::{
+    CompiledUnit, CorpusBuilder, Expr, Function, InterpScratch, Interpreter, Request, SinkKind,
+    SiteId, SourceKind, Stmt, Unit,
+};
 use vdbench_detectors::{Detector, DynamicScanner};
 use vdbench_stats::correlation::{kendall_tau, kendall_tau_naive};
 use vdbench_stats::descriptive::{quantile_sorted, quantile_unsorted};
@@ -159,7 +168,21 @@ fn bench_interp(c: &mut Criterion) {
         })
     });
     let compiled: Vec<CompiledUnit> = corpus.units().iter().map(CompiledUnit::compile).collect();
-    c.bench_function("interp/compiled-20units-x8", |b| {
+    c.bench_function("interp/slotwalk-20units-x8", |b| {
+        let mut scratch = InterpScratch::new();
+        b.iter(|| {
+            let mut sinks = 0usize;
+            for (cu, session) in compiled.iter().zip(&requests) {
+                for _ in 0..8 {
+                    sinks += interp
+                        .run_compiled_slotwalk(cu, session, &mut scratch)
+                        .map_or(0, |o| o.len());
+                }
+            }
+            black_box(sinks)
+        })
+    });
+    c.bench_function("interp/vm-20units-x8", |b| {
         let mut scratch = InterpScratch::new();
         b.iter(|| {
             let mut sinks = 0usize;
@@ -175,6 +198,199 @@ fn bench_interp(c: &mut Criterion) {
     });
 }
 
+/// One handler-only unit around the given body.
+fn vm_unit(body: Vec<Stmt>, helpers: Vec<Function>) -> Unit {
+    Unit {
+        id: 0,
+        handler: Function::new("handler", vec![], body),
+        helpers,
+    }
+}
+
+fn src(kind: SourceKind, name: &str) -> Expr {
+    Expr::Source {
+        kind,
+        name: name.into(),
+    }
+}
+
+/// Per-opcode-class microbenches: each unit isolates one superinstruction
+/// family of the bytecode tier (fused compare-branch, accumulator concat,
+/// n-ary concat into a sink, inline-cached calls, counting-loop
+/// summarization), measured slotwalk vs bytecode over the same sessions.
+fn bench_vm(c: &mut Criterion) {
+    let site = SiteId { unit: 0, sink: 0 };
+    let cases: Vec<(&str, Unit)> = vec![
+        (
+            "guard-gate",
+            vm_unit(
+                vec![Stmt::If {
+                    cond: Expr::BinOp {
+                        op: BinOp::Eq,
+                        lhs: Box::new(src(SourceKind::HttpParam, "mode")),
+                        rhs: Box::new(Expr::str("debug")),
+                    },
+                    then_branch: vec![Stmt::Sink {
+                        kind: SinkKind::HtmlOutput,
+                        arg: Expr::str("<!-- debug -->"),
+                        site,
+                    }],
+                    else_branch: vec![],
+                }],
+                vec![],
+            ),
+        ),
+        (
+            "concat-chain",
+            vm_unit(
+                vec![
+                    Stmt::Let {
+                        var: "acc".into(),
+                        expr: Expr::str("ids:"),
+                    },
+                    Stmt::Let {
+                        var: "i".into(),
+                        expr: Expr::Int(0),
+                    },
+                    Stmt::While {
+                        cond: Expr::BinOp {
+                            op: BinOp::Lt,
+                            lhs: Box::new(Expr::var("i")),
+                            rhs: Box::new(Expr::Int(8)),
+                        },
+                        body: vec![
+                            Stmt::Assign {
+                                var: "acc".into(),
+                                expr: Expr::concat(
+                                    Expr::concat(Expr::var("acc"), Expr::str(",")),
+                                    src(SourceKind::HttpParam, "id"),
+                                ),
+                            },
+                            Stmt::Assign {
+                                var: "i".into(),
+                                expr: Expr::BinOp {
+                                    op: BinOp::Add,
+                                    lhs: Box::new(Expr::var("i")),
+                                    rhs: Box::new(Expr::Int(1)),
+                                },
+                            },
+                        ],
+                    },
+                    Stmt::Sink {
+                        kind: SinkKind::HtmlOutput,
+                        arg: Expr::var("acc"),
+                        site,
+                    },
+                ],
+                vec![],
+            ),
+        ),
+        (
+            "query-sink",
+            vm_unit(
+                vec![Stmt::Sink {
+                    kind: SinkKind::SqlQuery,
+                    arg: Expr::concat(
+                        Expr::concat(
+                            Expr::str("SELECT * FROM t WHERE id = '"),
+                            src(SourceKind::HttpParam, "id"),
+                        ),
+                        Expr::str("'"),
+                    ),
+                    site,
+                }],
+                vec![],
+            ),
+        ),
+        (
+            "call-helper",
+            vm_unit(
+                vec![
+                    Stmt::Call {
+                        var: Some("q".into()),
+                        func: "prepare".into(),
+                        args: vec![src(SourceKind::HttpParam, "id")],
+                    },
+                    Stmt::Sink {
+                        kind: SinkKind::SqlQuery,
+                        arg: Expr::var("q"),
+                        site,
+                    },
+                ],
+                vec![Function::new(
+                    "prepare",
+                    vec!["raw".into()],
+                    vec![Stmt::Return(Expr::concat(
+                        Expr::str("SELECT * FROM records WHERE key = '"),
+                        Expr::var("raw"),
+                    ))],
+                )],
+            ),
+        ),
+        (
+            "loop-count",
+            vm_unit(
+                vec![
+                    Stmt::Let {
+                        var: "c0".into(),
+                        expr: Expr::Int(0),
+                    },
+                    Stmt::While {
+                        cond: Expr::BinOp {
+                            op: BinOp::Lt,
+                            lhs: Box::new(Expr::var("c0")),
+                            rhs: Box::new(Expr::Int(24)),
+                        },
+                        body: vec![Stmt::Assign {
+                            var: "c0".into(),
+                            expr: Expr::BinOp {
+                                op: BinOp::Add,
+                                lhs: Box::new(Expr::var("c0")),
+                                rhs: Box::new(Expr::Int(1)),
+                            },
+                        }],
+                    },
+                    Stmt::Sink {
+                        kind: SinkKind::CryptoHash,
+                        arg: Expr::str("sha256"),
+                        site,
+                    },
+                ],
+                vec![],
+            ),
+        ),
+    ];
+    let interp = Interpreter::default();
+    for (name, unit) in &cases {
+        let session = [attack_request(unit)];
+        let cu = CompiledUnit::compile(unit);
+        c.bench_function(&format!("vm/slotwalk-{name}-x64"), |b| {
+            let mut scratch = InterpScratch::new();
+            b.iter(|| {
+                let mut sinks = 0usize;
+                for _ in 0..64 {
+                    sinks += interp
+                        .run_compiled_slotwalk(&cu, &session, &mut scratch)
+                        .map_or(0, |o| o.len());
+                }
+                black_box(sinks)
+            })
+        });
+        c.bench_function(&format!("vm/bytecode-{name}-x64"), |b| {
+            let mut scratch = InterpScratch::new();
+            b.iter(|| {
+                let mut sinks = 0usize;
+                for _ in 0..64 {
+                    sinks += interp
+                        .run_compiled(&cu, &session, &mut scratch)
+                        .map_or(0, |o| o.len());
+                }
+                black_box(sinks)
+            })
+        });
+    }
+}
+
 fn bench_scan(c: &mut Criterion) {
     let corpus = CorpusBuilder::new()
         .units(60)
@@ -187,12 +403,30 @@ fn bench_scan(c: &mut Criterion) {
     });
 }
 
-/// Serialized form of one measurement.
-#[derive(Serialize)]
+/// Serialized form of one measurement. Entries that are the "new" side of
+/// an old/new pair carry the computed speedup inline (the README table is
+/// rendered from exactly these fields); unpaired entries omit the field
+/// entirely, hence the hand-rolled impl (the vendored serde has no
+/// `skip_serializing_if`).
 struct JsonResult {
     id: String,
     mean_ns: f64,
     samples: u64,
+    speedup: Option<f64>,
+}
+
+impl Serialize for JsonResult {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("id".to_string(), self.id.to_value()),
+            ("mean_ns".to_string(), self.mean_ns.to_value()),
+            ("samples".to_string(), self.samples.to_value()),
+        ];
+        if let Some(s) = self.speedup {
+            fields.push(("speedup".to_string(), s.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 /// Old-vs-new ratio for a kernel where both implementations survive.
@@ -216,34 +450,139 @@ fn mean_of(results: &[BenchResult], id: &str) -> Option<f64> {
     results.iter().find(|r| r.id == id).map(|r| r.mean_ns)
 }
 
+/// The old/new kernel pairs the report and the README table are built
+/// from: `(kernel, old_id, new_id)`.
+const PAIRS: [(&str, &str, &str); 13] = [
+    ("kendall-128", "kendall/naive/128", "kendall/knight/128"),
+    ("kendall-512", "kendall/naive/512", "kendall/knight/512"),
+    ("kendall-2048", "kendall/naive/2048", "kendall/knight/2048"),
+    (
+        "bootstrap-replicates",
+        "bootstrap/materialized-400x1000",
+        "bootstrap/streaming-400x1000",
+    ),
+    (
+        "bootstrap-replicates-small",
+        "bootstrap/materialized-64x4000",
+        "bootstrap/streaming-64x4000",
+    ),
+    (
+        "bootstrap-quantiles",
+        "bootstrap/quantile-sort-4096",
+        "bootstrap/quantile-select-4096",
+    ),
+    (
+        "interp-slotwalk",
+        "interp/treewalk-20units-x8",
+        "interp/slotwalk-20units-x8",
+    ),
+    (
+        "interp-session",
+        "interp/treewalk-20units-x8",
+        "interp/vm-20units-x8",
+    ),
+    (
+        "vm-guard-gate",
+        "vm/slotwalk-guard-gate-x64",
+        "vm/bytecode-guard-gate-x64",
+    ),
+    (
+        "vm-concat-chain",
+        "vm/slotwalk-concat-chain-x64",
+        "vm/bytecode-concat-chain-x64",
+    ),
+    (
+        "vm-query-sink",
+        "vm/slotwalk-query-sink-x64",
+        "vm/bytecode-query-sink-x64",
+    ),
+    (
+        "vm-call-helper",
+        "vm/slotwalk-call-helper-x64",
+        "vm/bytecode-call-helper-x64",
+    ),
+    (
+        "vm-loop-count",
+        "vm/slotwalk-loop-count-x64",
+        "vm/bytecode-loop-count-x64",
+    ),
+];
+
+/// Human-readable row labels for the README table, keyed by pair kernel
+/// name: `(old description, new description)`.
+fn pair_labels(kernel: &str) -> Option<(&'static str, &'static str)> {
+    Some(match kernel {
+        "kendall-512" => ("O(n²) pair scan", "Knight's O(n log n)"),
+        "kendall-2048" => ("O(n²) pair scan", "Knight's O(n log n)"),
+        "bootstrap-quantiles" => ("clone + full sort", "`select_nth` partition"),
+        "bootstrap-replicates" => ("per-replicate alloc", "streaming scratch"),
+        "interp-slotwalk" => ("treewalk + name maps", "slot-compiled walker"),
+        "interp-session" => ("treewalk + name maps", "bytecode register VM"),
+        "vm-guard-gate" => ("slot-compiled walker", "fused compare-branch"),
+        "vm-concat-chain" => ("slot-compiled walker", "in-place accumulator concat"),
+        "vm-query-sink" => ("slot-compiled walker", "n-ary concat superinsn"),
+        "vm-call-helper" => ("slot-compiled walker", "inline-cached call"),
+        "vm-loop-count" => ("slot-compiled walker", "counting-loop summarization"),
+        _ => return None,
+    })
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Rewrites the README's generated speedup table (between the marker
+/// comments) from the measured pairs. Skipped in `--test` smoke mode:
+/// samples=1 timings would churn the committed file with noise.
+fn render_readme_table(speedups: &[JsonSpeedup], results: &[BenchResult]) {
+    const START: &str = "<!-- BENCH_TABLE_START";
+    const END: &str = "<!-- BENCH_TABLE_END";
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let Ok(readme) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let (Some(start), Some(end)) = (readme.find(START), readme.find(END)) else {
+        return;
+    };
+    let head = &readme[..readme[..start].rfind('\n').map_or(start, |i| i + 1)];
+    let tail = &readme[end..];
+    let mut table = String::from(
+        "<!-- BENCH_TABLE_START — generated by `cargo bench -p vdbench-bench \
+         --bench kernels`; do not edit by hand -->\n\
+         | Kernel | Before (oracle) | After (optimized) | Speedup |\n\
+         |--------|-----------------|-------------------|--------:|\n",
+    );
+    for s in speedups {
+        let Some((old_label, new_label)) = pair_labels(&s.kernel) else {
+            continue;
+        };
+        let (Some(old), Some(new)) = (mean_of(results, &s.old_id), mean_of(results, &s.new_id))
+        else {
+            continue;
+        };
+        table.push_str(&format!(
+            "| {} | {}, {} | {}, {} | {:.1}× |\n",
+            s.kernel,
+            old_label,
+            fmt_ns(old),
+            new_label,
+            fmt_ns(new),
+            s.speedup
+        ));
+    }
+    std::fs::write(path, format!("{head}{table}{tail}")).expect("rewrite README table");
+    println!("rendered README speedup table ({} rows)", speedups.len());
+}
+
 fn write_report(criterion: &Criterion) {
     let results = criterion.results();
-    let pairs: [(&str, &str, &str); 7] = [
-        ("kendall-128", "kendall/naive/128", "kendall/knight/128"),
-        ("kendall-512", "kendall/naive/512", "kendall/knight/512"),
-        ("kendall-2048", "kendall/naive/2048", "kendall/knight/2048"),
-        (
-            "bootstrap-replicates",
-            "bootstrap/materialized-400x1000",
-            "bootstrap/streaming-400x1000",
-        ),
-        (
-            "bootstrap-replicates-small",
-            "bootstrap/materialized-64x4000",
-            "bootstrap/streaming-64x4000",
-        ),
-        (
-            "bootstrap-quantiles",
-            "bootstrap/quantile-sort-4096",
-            "bootstrap/quantile-select-4096",
-        ),
-        (
-            "interp-session",
-            "interp/treewalk-20units-x8",
-            "interp/compiled-20units-x8",
-        ),
-    ];
-    let speedups = pairs
+    let speedups: Vec<JsonSpeedup> = PAIRS
         .iter()
         .filter_map(|(kernel, old_id, new_id)| {
             let old = mean_of(results, old_id)?;
@@ -265,6 +604,10 @@ fn write_report(criterion: &Criterion) {
                 id: r.id.clone(),
                 mean_ns: r.mean_ns,
                 samples: r.samples,
+                speedup: speedups
+                    .iter()
+                    .find(|s| s.new_id == r.id)
+                    .map(|s| s.speedup),
             })
             .collect(),
         speedups,
@@ -276,6 +619,9 @@ fn write_report(criterion: &Criterion) {
     for s in &report.speedups {
         println!("speedup {:<24} {:>8.2}x", s.kernel, s.speedup);
     }
+    if !criterion::test_mode() {
+        render_readme_table(&report.speedups, results);
+    }
 }
 
 fn main() {
@@ -283,6 +629,7 @@ fn main() {
     bench_kendall(&mut criterion);
     bench_bootstrap(&mut criterion);
     bench_interp(&mut criterion);
+    bench_vm(&mut criterion);
     bench_scan(&mut criterion);
     write_report(&criterion);
 }

@@ -149,6 +149,11 @@ pub struct CampaignTiming {
     /// appear; fault-free campaigns still report the scanner's session
     /// deduplication here.
     pub resilience: BTreeMap<String, u64>,
+    /// Interpreter counters at campaign end (`interp.env.interned_slots`,
+    /// `interp.vm.instructions`, `interp.vm.inline_cache.{hits,misses}`).
+    /// Only counters that fired appear; a campaign that never compiles a
+    /// unit reports an empty map.
+    pub interp: BTreeMap<String, u64>,
 }
 
 impl CampaignTiming {
@@ -197,6 +202,7 @@ impl CampaignTiming {
                 r.extend(metrics.counters_with_prefix("scan."));
                 r
             },
+            interp: metrics.counters_with_prefix("interp."),
         }
     }
 
@@ -281,6 +287,14 @@ impl CampaignTiming {
                 .collect();
             let _ = writeln!(out, "campaign resilience: {}", line.join(" "));
         }
+        if !self.interp.is_empty() {
+            let line: Vec<String> = self
+                .interp
+                .iter()
+                .map(|(name, value)| format!("{name}={value}"))
+                .collect();
+            let _ = writeln!(out, "interpreter: {}", line.join(" "));
+        }
         out
     }
 
@@ -349,6 +363,13 @@ mod tests {
             ]
             .into_iter()
             .collect(),
+            interp: [
+                ("interp.env.interned_slots".to_string(), 180u64),
+                ("interp.vm.instructions".to_string(), 90_000u64),
+                ("interp.vm.inline_cache.hits".to_string(), 64u64),
+            ]
+            .into_iter()
+            .collect(),
         }
     }
 
@@ -363,6 +384,13 @@ mod tests {
             text.contains(
                 "campaign resilience: fault.injected.crash=3 scan.failed=1 \
                  scan.sessions.deduped=120"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "interpreter: interp.env.interned_slots=180 \
+                 interp.vm.inline_cache.hits=64 interp.vm.instructions=90000"
             ),
             "{text}"
         );
@@ -456,6 +484,9 @@ mod tests {
         reg.counter("scan.retries").add(4);
         reg.counter("scan.sessions.deduped").add(9);
         reg.counter("scan.failed"); // zero: stays out of the section
+        reg.counter("interp.vm.instructions").add(1234);
+        reg.counter("interp.env.interned_slots").add(17);
+        reg.counter("interp.vm.inline_cache.misses"); // zero: elided
         let record = CampaignTiming::from_telemetry(7, &trace, &reg.snapshot());
         let names: Vec<&str> = record.stages.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
@@ -474,6 +505,9 @@ mod tests {
         assert_eq!(record.resilience["fault.injected.timeout"], 2);
         assert_eq!(record.resilience["scan.retries"], 4);
         assert_eq!(record.resilience["scan.sessions.deduped"], 9);
+        assert_eq!(record.interp.len(), 2, "zero interp counters elided");
+        assert_eq!(record.interp["interp.vm.instructions"], 1234);
+        assert_eq!(record.interp["interp.env.interned_slots"], 17);
         assert!(record.total_millis >= 0.0);
         assert!(record.threads_requested >= 1);
         assert!(record.threads_used >= 1);

@@ -1,4 +1,5 @@
-//! Slot-compiled MiniWeb units: the interpreter's fast execution form.
+//! Slot-compiled MiniWeb units: name interning, call resolution, and the
+//! mid-tier walker behind the bytecode VM.
 //!
 //! The reference interpreter in [`crate::interp`] walks the AST and keeps
 //! each function's environment in a `BTreeMap<String, Value>`, so every
@@ -8,8 +9,19 @@
 //! thousands of times, which makes those lookups and clones the hottest
 //! code in the workspace.
 //!
-//! Compilation removes both costs while preserving the reference semantics
-//! *exactly*:
+//! Execution now has **three tiers**, each bit-identical to the next:
+//!
+//! 1. [`Interpreter::run_session_treewalk`] — the AST oracle defining the
+//!    semantics;
+//! 2. [`Interpreter::run_compiled_slotwalk`] — the slot-compiled walker in
+//!    this module (retained as the mid-tier oracle for the equivalence
+//!    suite);
+//! 3. [`Interpreter::run_compiled`] — the flat bytecode register VM in
+//!    `crate::bytecode`, the production path compiled from the
+//!    slot-compiled form.
+//!
+//! Compilation removes the lookup and clone costs while preserving the
+//! reference semantics *exactly*:
 //!
 //! * **Name interning** — every variable and parameter name in a function
 //!   is assigned a dense slot index at compile time (parameters first, then
@@ -46,10 +58,10 @@
 use crate::ast::{BinOp, Expr, SiteId, Stmt, Unit};
 use crate::interp::{
     apply_sanitizer, eval_binop, Data, ExecError, Flow, Interpreter, Request, SinkObservation,
-    TaintTag, Value,
+    SinkSet, TaintList, TaintTag, Value,
 };
 use crate::types::{SanitizerKind, SinkKind, SourceKind};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Records interned slots on the process-wide telemetry registry. The
 /// counter handle is resolved once and cached; recording is a single
@@ -194,12 +206,15 @@ pub(crate) struct CompiledFunction {
     pub(crate) body: Vec<CStmt>,
 }
 
-/// A [`Unit`] lowered to slot-compiled form: the handler at index 0
-/// followed by the helpers in declaration order, so name resolution by
-/// first index match reproduces [`Unit::function`] exactly.
+/// A [`Unit`] lowered to executable form: the handler at index 0 followed
+/// by the helpers in declaration order, so name resolution by first index
+/// match reproduces [`Unit::function`] exactly. Each function carries both
+/// its slot-compiled body (`functions`, the mid-tier walker's form) and
+/// its bytecode (`code`, what [`Interpreter::run_compiled`] executes).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledUnit {
     pub(crate) functions: Vec<CompiledFunction>,
+    pub(crate) code: Vec<crate::bytecode::FuncCode>,
 }
 
 /// Per-function symbol table mapping variable names to dense slots.
@@ -261,7 +276,11 @@ impl CompiledUnit {
             });
         }
         record_interned_slots(total_slots);
-        CompiledUnit { functions }
+        let code = functions
+            .iter()
+            .map(|f| crate::bytecode::compile_fn(&functions, f))
+            .collect();
+        CompiledUnit { functions, code }
     }
 
     /// Total environment slots interned across all functions (the amount
@@ -363,8 +382,8 @@ fn compile_expr(expr: &Expr, syms: &mut SymbolTable) -> CExpr {
 /// every session start, so reuse is invisible to semantics).
 #[derive(Debug, Default)]
 pub struct InterpScratch {
-    frames: Vec<Vec<Option<Value>>>,
-    store: BTreeMap<String, Value>,
+    pub(crate) frames: Vec<Vec<Option<Value>>>,
+    pub(crate) store: BTreeMap<String, Value>,
 }
 
 impl InterpScratch {
@@ -382,7 +401,7 @@ impl InterpScratch {
 
 /// Pops a pooled frame (or allocates one) and resets it to `n` empty
 /// slots, retaining capacity.
-fn take_frame(pool: &mut Vec<Vec<Option<Value>>>, n: usize) -> Vec<Option<Value>> {
+pub(crate) fn take_frame(pool: &mut Vec<Vec<Option<Value>>>, n: usize) -> Vec<Option<Value>> {
     let mut f = pool.pop().unwrap_or_default();
     f.clear();
     f.resize_with(n, || None);
@@ -397,10 +416,31 @@ impl Interpreter {
     /// sessions against one unit — the dynamic scanner's attack batches —
     /// compile once and keep the scratch warm.
     ///
+    /// This is the bytecode-VM tier (see `crate::bytecode`); the slot
+    /// walker remains available as
+    /// [`Interpreter::run_compiled_slotwalk`].
+    ///
     /// # Errors
     ///
     /// Same failure modes as [`Interpreter::run_session`].
     pub fn run_compiled(
+        &self,
+        unit: &CompiledUnit,
+        requests: &[Request],
+        scratch: &mut InterpScratch,
+    ) -> Result<Vec<SinkObservation>, ExecError> {
+        crate::bytecode::run_vm(self, unit, requests, scratch)
+    }
+
+    /// Executes a session through the slot-compiled tree walker — the
+    /// mid-tier oracle between [`Interpreter::run_session_treewalk`] and
+    /// the bytecode VM. Kept (and tested) so equivalence failures bisect
+    /// to a single lowering step.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Interpreter::run_session`].
+    pub fn run_compiled_slotwalk(
         &self,
         unit: &CompiledUnit,
         requests: &[Request],
@@ -520,8 +560,8 @@ impl CExecCtx<'_> {
                 let offending = v
                     .taints()
                     .iter()
-                    .filter(|t| !t.sanitized_for.contains(kind))
-                    .map(|t| t.name.clone())
+                    .filter(|t| !t.sanitized_for.contains(*kind))
+                    .map(|t| t.name.to_string())
                     .collect();
                 self.observations.push(SinkObservation {
                     site: *site,
@@ -551,20 +591,17 @@ impl CExecCtx<'_> {
                 }
                 // Parameters occupy slots 0..n_params, so arguments land
                 // directly in their frame positions (same evaluation order
-                // as the tree-walker).
+                // as the tree-walker). The frame goes back to the pool on
+                // every exit path — an early `?` here used to leak it, so
+                // a batch with failing sessions grew a fresh allocation
+                // per failure.
                 let mut frame = take_frame(self.frames, callee.slot_names.len());
-                for (i, arg) in args.iter().enumerate() {
-                    let v = self.eval(fun, arg, env)?;
-                    frame[i] = Some(v);
-                }
-                // No body clone here: the callee is borrowed from `unit`,
-                // which is independent of `&mut self`.
-                let result =
-                    match self.exec_block(unit, callee, &callee.body, &mut frame, depth + 1)? {
-                        Flow::Return(v) => v,
-                        Flow::Normal => Value::untainted(Data::Str(String::new())),
-                    };
+                let flow = self.call_into_frame(unit, fun, callee, args, env, &mut frame, depth);
                 self.frames.push(frame);
+                let result = match flow? {
+                    Flow::Return(v) => v,
+                    Flow::Normal => Value::untainted(Data::Str(String::new())),
+                };
                 if let Some(dst) = dst {
                     env[*dst as usize] = Some(result);
                 }
@@ -580,6 +617,30 @@ impl CExecCtx<'_> {
                 Ok(Flow::Normal)
             }
         }
+    }
+
+    /// Evaluates the arguments into the callee frame and executes the
+    /// body. Factored out of the `Call` arm so the caller can return the
+    /// frame to the pool on *every* exit path, including the error `?`s
+    /// in here.
+    #[allow(clippy::too_many_arguments)] // mirrors the Call arm's state
+    fn call_into_frame(
+        &mut self,
+        unit: &CompiledUnit,
+        fun: &CompiledFunction,
+        callee: &CompiledFunction,
+        args: &[CExpr],
+        env: &[Option<Value>],
+        frame: &mut Vec<Option<Value>>,
+        depth: usize,
+    ) -> Result<Flow, ExecError> {
+        for (i, arg) in args.iter().enumerate() {
+            let v = self.eval(fun, arg, env)?;
+            frame[i] = Some(v);
+        }
+        // No body clone here: the callee is borrowed from `unit`, which
+        // is independent of `&mut self`.
+        self.exec_block(unit, callee, &callee.body, frame, depth + 1)
     }
 
     fn eval(
@@ -600,11 +661,11 @@ impl CExecCtx<'_> {
                 let raw = self.request.get(*kind, name).to_string();
                 Ok(Value {
                     data: Data::Str(raw),
-                    taints: vec![TaintTag {
+                    taints: TaintList::one(TaintTag {
                         kind: *kind,
-                        name: name.clone(),
-                        sanitized_for: BTreeSet::new(),
-                    }],
+                        name: std::sync::Arc::from(name.as_str()),
+                        sanitized_for: SinkSet::new(),
+                    }),
                 })
             }
             CExpr::Concat(a, b) => {

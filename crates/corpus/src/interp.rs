@@ -8,8 +8,9 @@
 use crate::ast::{BinOp, Expr, SiteId, Stmt, Unit};
 use crate::types::{SanitizerKind, SinkKind, SourceKind};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// An HTTP-like request supplying all attacker-controlled inputs.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,16 +101,224 @@ impl Request {
     }
 }
 
+/// A set of [`SinkKind`]s packed into one byte.
+///
+/// [`SinkKind`] has six variants, so the sanitization record fits in a
+/// single bitmask. Taint tags are cloned on every concatenation and
+/// sanitizer application — the hottest path in all three interpreter
+/// tiers — and the historical `BTreeSet<SinkKind>` representation cost a
+/// heap node per non-empty set per clone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SinkSet {
+    bits: u8,
+}
+
+impl SinkSet {
+    /// The empty set.
+    pub const fn new() -> SinkSet {
+        SinkSet { bits: 0 }
+    }
+
+    /// Adds a sink to the set.
+    pub fn insert(&mut self, sink: SinkKind) {
+        self.bits |= 1 << sink as u8;
+    }
+
+    /// Whether the sink is in the set.
+    #[must_use]
+    pub fn contains(self, sink: SinkKind) -> bool {
+        self.bits & (1 << sink as u8) != 0
+    }
+
+    /// The sinks in the set, in declaration order.
+    pub fn iter(self) -> impl Iterator<Item = SinkKind> {
+        [
+            SinkKind::SqlQuery,
+            SinkKind::HtmlOutput,
+            SinkKind::ShellExec,
+            SinkKind::FileOpen,
+            SinkKind::Authenticate,
+            SinkKind::CryptoHash,
+        ]
+        .into_iter()
+        .filter(move |&k| self.contains(k))
+    }
+}
+
+impl Serialize for SinkSet {
+    fn to_value(&self) -> serde::Value {
+        // Wire shape matches the old `BTreeSet<SinkKind>`: a list of kinds
+        // in declaration (= sort) order.
+        serde::Value::Array(self.iter().map(|k| k.to_value()).collect())
+    }
+}
+
+impl Deserialize for SinkSet {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let kinds: Vec<SinkKind> = Deserialize::from_value(value)?;
+        let mut set = SinkSet::new();
+        for kind in kinds {
+            set.insert(kind);
+        }
+        Ok(set)
+    }
+}
+
 /// One taint label: which source the data came from and which sinks it has
 /// been sanitized for since.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaintTag {
     /// Source surface.
     pub kind: SourceKind,
-    /// Source name (parameter/header/cookie name).
-    pub name: String,
+    /// Source name (parameter/header/cookie name). Shared rather than
+    /// owned: tags are cloned wholesale every time a tainted value flows
+    /// through an expression, so the name rides an `Arc` (a clone is a
+    /// refcount bump, not a string allocation).
+    pub name: Arc<str>,
     /// Sinks this datum is now safe for.
-    pub sanitized_for: BTreeSet<SinkKind>,
+    pub sanitized_for: SinkSet,
+}
+
+impl Serialize for TaintTag {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("kind".to_string(), self.kind.to_value()),
+            ("name".to_string(), serde::Value::Str(self.name.to_string())),
+            ("sanitized_for".to_string(), self.sanitized_for.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TaintTag {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| serde::DeError::new(format!("TaintTag: missing field `{name}`")))
+        };
+        let name: String = Deserialize::from_value(field("name")?)?;
+        Ok(TaintTag {
+            kind: Deserialize::from_value(field("kind")?)?,
+            name: Arc::from(name.as_str()),
+            sanitized_for: Deserialize::from_value(field("sanitized_for")?)?,
+        })
+    }
+}
+
+/// The taint tags carried by one value, with the single-tag case inline.
+///
+/// Almost every tainted MiniWeb value carries exactly one tag — one
+/// source reached it — and the historical `Vec<TaintTag>` representation
+/// made that common case a heap allocation per value (and per clone).
+/// `One` keeps the lone tag on the stack; `Many` falls back to a vector
+/// only when flows actually merge. The representation is canonical
+/// (`Many` always holds ≥ 2 tags), so the derived `PartialEq` is sound.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) enum TaintList {
+    /// Untainted.
+    #[default]
+    None,
+    /// Exactly one tag, stored inline.
+    One(TaintTag),
+    /// Two or more tags (kept ≥ 2 by construction).
+    Many(Vec<TaintTag>),
+}
+
+impl TaintList {
+    pub(crate) fn one(tag: TaintTag) -> TaintList {
+        TaintList::One(tag)
+    }
+
+    pub(crate) fn as_slice(&self) -> &[TaintTag] {
+        match self {
+            TaintList::None => &[],
+            TaintList::One(tag) => std::slice::from_ref(tag),
+            TaintList::Many(tags) => tags,
+        }
+    }
+
+    pub(crate) fn iter(&self) -> std::slice::Iter<'_, TaintTag> {
+        self.as_slice().iter()
+    }
+
+    pub(crate) fn contains(&self, tag: &TaintTag) -> bool {
+        self.as_slice().contains(tag)
+    }
+
+    /// Appends a tag, spilling to the heap on the second one.
+    pub(crate) fn push(&mut self, tag: TaintTag) {
+        match self {
+            TaintList::None => *self = TaintList::One(tag),
+            TaintList::One(_) => {
+                let TaintList::One(first) = std::mem::take(self) else {
+                    unreachable!("just matched One");
+                };
+                *self = TaintList::Many(vec![first, tag]);
+            }
+            TaintList::Many(tags) => tags.push(tag),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TaintList {
+    type Item = &'a TaintTag;
+    type IntoIter = std::slice::Iter<'a, TaintTag>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Owned iterator over a [`TaintList`] (no allocation for the inline
+/// variants).
+pub(crate) enum TaintListIntoIter {
+    Inline(Option<TaintTag>),
+    Heap(std::vec::IntoIter<TaintTag>),
+}
+
+impl Iterator for TaintListIntoIter {
+    type Item = TaintTag;
+    fn next(&mut self) -> Option<TaintTag> {
+        match self {
+            TaintListIntoIter::Inline(slot) => slot.take(),
+            TaintListIntoIter::Heap(iter) => iter.next(),
+        }
+    }
+}
+
+impl IntoIterator for TaintList {
+    type Item = TaintTag;
+    type IntoIter = TaintListIntoIter;
+    fn into_iter(self) -> TaintListIntoIter {
+        match self {
+            TaintList::None => TaintListIntoIter::Inline(None),
+            TaintList::One(tag) => TaintListIntoIter::Inline(Some(tag)),
+            TaintList::Many(tags) => TaintListIntoIter::Heap(tags.into_iter()),
+        }
+    }
+}
+
+impl FromIterator<TaintTag> for TaintList {
+    fn from_iter<I: IntoIterator<Item = TaintTag>>(iter: I) -> TaintList {
+        let mut list = TaintList::None;
+        for tag in iter {
+            list.push(tag);
+        }
+        list
+    }
+}
+
+impl Serialize for TaintList {
+    fn to_value(&self) -> serde::Value {
+        // Wire shape matches the old `Vec<TaintTag>`.
+        serde::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Deserialize for TaintList {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let tags: Vec<TaintTag> = Deserialize::from_value(value)?;
+        Ok(tags.into_iter().collect())
+    }
 }
 
 /// Runtime data.
@@ -124,14 +333,14 @@ pub(crate) enum Data {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Value {
     pub(crate) data: Data,
-    pub(crate) taints: Vec<TaintTag>,
+    pub(crate) taints: TaintList,
 }
 
 impl Value {
     pub(crate) fn untainted(data: Data) -> Value {
         Value {
             data,
-            taints: Vec::new(),
+            taints: TaintList::None,
         }
     }
 
@@ -164,13 +373,13 @@ impl Value {
 
     /// Taint tags carried by the value.
     pub fn taints(&self) -> &[TaintTag] {
-        &self.taints
+        self.taints.as_slice()
     }
 
     /// Whether the value is dangerous for the given sink: some tag lacks
     /// sanitization for it.
     pub fn tainted_for(&self, sink: SinkKind) -> bool {
-        sink.is_taint_sink() && self.taints.iter().any(|t| !t.sanitized_for.contains(&sink))
+        sink.is_taint_sink() && self.taints.iter().any(|t| !t.sanitized_for.contains(sink))
     }
 }
 
@@ -459,8 +668,8 @@ impl<'a> ExecCtx<'a> {
                 let offending = v
                     .taints()
                     .iter()
-                    .filter(|t| !t.sanitized_for.contains(kind))
-                    .map(|t| t.name.clone())
+                    .filter(|t| !t.sanitized_for.contains(*kind))
+                    .map(|t| t.name.to_string())
                     .collect();
                 self.observations.push(SinkObservation {
                     site: *site,
@@ -529,11 +738,11 @@ impl<'a> ExecCtx<'a> {
                 let raw = self.request.get(*kind, name).to_string();
                 Ok(Value {
                     data: Data::Str(raw),
-                    taints: vec![TaintTag {
+                    taints: TaintList::one(TaintTag {
                         kind: *kind,
-                        name: name.clone(),
-                        sanitized_for: BTreeSet::new(),
-                    }],
+                        name: Arc::from(name.as_str()),
+                        sanitized_for: SinkSet::new(),
+                    }),
                 })
             }
             Expr::Concat(a, b) => {
@@ -570,42 +779,93 @@ impl<'a> ExecCtx<'a> {
 
 /// The transformation each sanitizer performs plus its taint effect.
 pub(crate) fn apply_sanitizer(kind: SanitizerKind, v: Value) -> Value {
+    let rendered = v.render();
+    apply_sanitizer_raw(kind, &rendered, move || v.taints)
+}
+
+/// Core sanitizer semantics over a borrowed rendering. The bytecode tier
+/// calls this directly for source-operand shapes so the input [`Value`]
+/// (and its rendered clone) is never materialized; `taints` is invoked
+/// lazily because the validating sanitizers discard taints entirely.
+pub(crate) fn apply_sanitizer_raw(
+    kind: SanitizerKind,
+    rendered: &str,
+    taints: impl FnOnce() -> TaintList,
+) -> Value {
     match kind {
         SanitizerKind::ValidateInt => {
             // Strict parse; non-integers are rejected to a safe default.
-            let n: i64 = v.render().trim().parse().unwrap_or(0);
+            let n: i64 = rendered.trim().parse().unwrap_or(0);
             Value::untainted(Data::Int(n))
         }
         SanitizerKind::WhitelistCheck => {
             const WHITELIST: [&str; 4] = ["asc", "desc", "name", "date"];
-            let s = v.render();
-            let safe = if WHITELIST.contains(&s.as_str()) {
-                s
+            let safe = if WHITELIST.contains(&rendered) {
+                rendered.to_string()
             } else {
                 WHITELIST[0].to_string()
             };
             Value::untainted(Data::Str(safe))
         }
-        SanitizerKind::EscapeSql => transform(v, SinkKind::SqlQuery, |s| s.replace('\'', "''")),
-        SanitizerKind::EscapeHtml => transform(v, SinkKind::HtmlOutput, |s| {
-            s.replace('&', "&amp;")
-                .replace('<', "&lt;")
-                .replace('>', "&gt;")
-                .replace('"', "&quot;")
+        SanitizerKind::EscapeSql => transform(rendered, taints, SinkKind::SqlQuery, |s| {
+            s.replace('\'', "''")
         }),
-        SanitizerKind::ShellQuote => transform(v, SinkKind::ShellExec, |s| {
-            format!("'{}'", s.replace('\'', "'\\''"))
+        // Single pass; byte-identical to the chained
+        // `replace('&',"&amp;").replace('<',"&lt;")…` it replaces (the
+        // entities introduce only characters the later stages ignored).
+        SanitizerKind::EscapeHtml => transform(rendered, taints, SinkKind::HtmlOutput, |s| {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '&' => out.push_str("&amp;"),
+                    '<' => out.push_str("&lt;"),
+                    '>' => out.push_str("&gt;"),
+                    '"' => out.push_str("&quot;"),
+                    c => out.push(c),
+                }
+            }
+            out
         }),
-        SanitizerKind::NormalizePath => transform(v, SinkKind::FileOpen, |s| {
-            s.replace("../", "").replace("..\\", "")
+        // Single pass; byte-identical to
+        // `format!("'{}'", s.replace('\'', "'\\''"))`.
+        SanitizerKind::ShellQuote => transform(rendered, taints, SinkKind::ShellExec, |s| {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('\'');
+            for c in s.chars() {
+                match c {
+                    '\'' => out.push_str("'\\''"),
+                    c => out.push(c),
+                }
+            }
+            out.push('\'');
+            out
+        }),
+        // Both replaces run in sequence (removing `../` can expose a new
+        // `..\` and vice versa is handled by the fixed order), but each
+        // pass is skipped when its pattern is absent.
+        SanitizerKind::NormalizePath => transform(rendered, taints, SinkKind::FileOpen, |s| {
+            let first = if s.contains("../") {
+                std::borrow::Cow::Owned(s.replace("../", ""))
+            } else {
+                std::borrow::Cow::Borrowed(s)
+            };
+            if first.contains("..\\") {
+                first.replace("..\\", "")
+            } else {
+                first.into_owned()
+            }
         }),
     }
 }
 
-fn transform(v: Value, protected: SinkKind, f: impl Fn(&str) -> String) -> Value {
-    let s = f(&v.render());
-    let taints = v
-        .taints
+fn transform(
+    rendered: &str,
+    taints: impl FnOnce() -> TaintList,
+    protected: SinkKind,
+    f: impl Fn(&str) -> String,
+) -> Value {
+    let s = f(rendered);
+    let taints = taints()
         .into_iter()
         .map(|mut t| {
             t.sanitized_for.insert(protected);

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub(crate) mod bytecode;
 pub mod compile;
 pub mod corpus;
 pub mod generator;
