@@ -1,0 +1,94 @@
+//! The `BENCH_serve.json` record: what one load-generator run measured
+//! against a `vdbench serve` instance.
+//!
+//! Like [`crate::timing`], this is a **derived view**: the load generator
+//! measures client-side latency itself (exact percentiles over its own
+//! sample vector, not histogram bucket bounds) and reads the server-side
+//! tier counters back over `GET /v1/stats`, so the record pairs what the
+//! client experienced with what the service actually did.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Summary of the seeding pass: every connection walks the whole request
+/// pool once, cold keys get computed and committed, and the deliberate
+/// key collisions between connections exercise the single-flight path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SeedPassRecord {
+    /// Requests issued.
+    pub requests: u64,
+    /// Non-200 responses.
+    pub errors: u64,
+    /// Wall-clock seconds of the pass.
+    pub duration_secs: f64,
+    /// `server.cold_misses` delta over the pass (computations performed).
+    pub cold_misses: u64,
+    /// `server.coalesced` delta over the pass (herd arrivals that reused
+    /// an in-flight computation instead of starting their own).
+    pub coalesced: u64,
+}
+
+/// The full record of one load-generator run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRecord {
+    /// Server address driven.
+    pub addr: String,
+    /// Pool-shuffling seed (fixed seed ⇒ identical request sequence).
+    pub seed: u64,
+    /// Concurrent client connections.
+    pub connections: u64,
+    /// Distinct requests in the pool.
+    pub pool_size: u64,
+    /// Seeding-pass summary (the cold, deduplicating phase).
+    pub seed_pass: SeedPassRecord,
+    /// Measured-phase wall-clock seconds.
+    pub duration_secs: f64,
+    /// Measured-phase requests completed.
+    pub requests: u64,
+    /// Measured-phase non-200 responses.
+    pub errors: u64,
+    /// Measured-phase requests per second.
+    pub throughput_rps: f64,
+    /// Exact client-side median latency, microseconds.
+    pub p50_us: u64,
+    /// Exact client-side 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// `server.warm_hits` / `server.accepted` deltas over the measured
+    /// phase — the fraction of traffic served straight off the blob store.
+    pub warm_hit_ratio: f64,
+    /// Final `server.*` counters (whole server lifetime, not deltas).
+    pub server: BTreeMap<String, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let record = ServeRecord {
+            addr: "127.0.0.1:7071".into(),
+            seed: 2015,
+            connections: 8,
+            pool_size: 68,
+            seed_pass: SeedPassRecord {
+                requests: 544,
+                errors: 0,
+                duration_secs: 1.25,
+                cold_misses: 68,
+                coalesced: 476,
+            },
+            duration_secs: 3.0,
+            requests: 45_000,
+            errors: 0,
+            throughput_rps: 15_000.0,
+            p50_us: 180,
+            p99_us: 900,
+            warm_hit_ratio: 1.0,
+            server: BTreeMap::from([("server.accepted".to_string(), 45_544u64)]),
+        };
+        let json = serde_json::to_string_pretty(&record).unwrap();
+        let back: ServeRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+    }
+}

@@ -110,6 +110,15 @@ fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
 /// FNV-1a offset basis — the starting state for fingerprints.
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 
+/// 64-bit FNV-1a of a byte string from the offset basis — the hash the
+/// whole cache key space is built from, exposed so out-of-crate tiers
+/// (the `vdbench-server` request canonicalizer) can key into the same
+/// store without reimplementing the function.
+#[must_use]
+pub fn fnv1a_key(bytes: &[u8]) -> u64 {
+    fnv1a(FNV_OFFSET, bytes)
+}
+
 /// Content fingerprint of a benchmark roster: tool names plus metric
 /// identities, order-sensitive. Two rosters with the same fingerprint
 /// produce the same [`BenchmarkReport`] on the same workload.
@@ -658,11 +667,7 @@ pub fn cached_scan(tool: &dyn Detector, corpus: &Corpus) -> Arc<DetectionOutcome
 /// `cache.artifact.misses` tick); there is deliberately no memory tier —
 /// each artifact renders at most once per process anyway.
 pub fn cached_artifact(name: &str, seed: u64, render: impl FnOnce() -> String) -> String {
-    let mut h = fnv1a(FNV_OFFSET, name.as_bytes());
-    h = fnv1a(h, b"\x1f");
-    h = fnv1a(h, &seed.to_le_bytes());
-    let fault = campaign::fault_injection().map_or(0, |c| c.fingerprint());
-    h = fnv1a(h, &fault.to_le_bytes());
+    let h = artifact_key(name, seed);
     if let Some(text) = disk_get::<String>("art", h) {
         counters().artifact_hits.inc();
         return text;
@@ -671,6 +676,38 @@ pub fn cached_artifact(name: &str, seed: u64, render: impl FnOnce() -> String) -
     let text = render();
     disk_put("art", h, &text);
     text
+}
+
+/// The disk-store key of one rendered artifact: `(name, seed, ambient
+/// fault fingerprint)` folded through FNV-1a — exactly the key
+/// [`cached_artifact`] files its blob under. Exposed so the campaign
+/// service can probe the store for a warm artifact (kind `"art"`) without
+/// holding the renderer.
+#[must_use]
+pub fn artifact_key(name: &str, seed: u64) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, name.as_bytes());
+    h = fnv1a(h, b"\x1f");
+    h = fnv1a(h, &seed.to_le_bytes());
+    let fault = campaign::fault_injection().map_or(0, |c| c.fingerprint());
+    fnv1a(h, &fault.to_le_bytes())
+}
+
+/// Reads a raw string blob published under `(kind, key)` from the disk
+/// tier, if the tier is enabled and holds a complete, well-formed blob.
+/// This is the warm path of the campaign service: a hit is one
+/// `fs::read` plus a JSON string decode, no computation. Counts
+/// `cache.disk.hits` / `cache.disk.misses` like every other disk read.
+#[must_use]
+pub fn raw_blob_get(kind: &str, key: u64) -> Option<String> {
+    disk_get::<String>(kind, key)
+}
+
+/// Atomically publishes a raw string blob under `(kind, key)`: unique
+/// tmp file + rename, so concurrent readers only ever observe complete
+/// blobs and a crash mid-write leaves at worst an abandoned tmp file
+/// (swept on the next store open). A no-op with the disk tier off.
+pub fn raw_blob_put(kind: &str, key: u64, text: &str) {
+    disk_put(kind, key, text);
 }
 
 #[cfg(test)]

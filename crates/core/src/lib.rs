@@ -41,8 +41,9 @@ pub mod validation;
 pub use attributes::{assess_catalog, AssessmentConfig, AttributeAssessment, MetricAttribute};
 pub use benchmark::{Benchmark, BenchmarkReport, ScanRecord};
 pub use cache::{
-    cached_artifact, cached_assessment, cached_case_study, cached_scan, disk_cache_dir,
-    set_disk_cache, CacheStats, CACHE_SCHEMA_VERSION,
+    artifact_key, cached_artifact, cached_assessment, cached_case_study, cached_scan,
+    disk_cache_dir, fnv1a_key, raw_blob_get, raw_blob_put, set_disk_cache, CacheStats,
+    CACHE_SCHEMA_VERSION,
 };
 pub use campaign::{fault_injection, run_case_study_faulty, set_fault_injection};
 pub use error::CoreError;

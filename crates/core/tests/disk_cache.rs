@@ -13,17 +13,19 @@
 //! * rendered-artifact strings replay losslessly (control characters,
 //!   non-ASCII, quotes and backslashes included) without re-rendering;
 //! * opening a store sweeps blobs of foreign schema versions and
-//!   abandoned tmp files, and nothing else.
+//!   abandoned tmp files, and nothing else;
+//! * threads racing one key perform exactly one computation and publish
+//!   exactly one blob, and concurrent publication never tears a read.
 
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
 use vdbench_core::cache::{clear, reset_stats, stats};
 use vdbench_core::{
-    cached_artifact, cached_case_study, cached_scan, disk_cache_dir, set_disk_cache, Scenario,
-    ScenarioId, CACHE_SCHEMA_VERSION,
+    cached_artifact, cached_case_study, cached_scan, disk_cache_dir, raw_blob_get, raw_blob_put,
+    set_disk_cache, Scenario, ScenarioId, CACHE_SCHEMA_VERSION,
 };
 use vdbench_corpus::CorpusBuilder;
-use vdbench_detectors::{score_detector, DynamicScanner, ProfileTool};
+use vdbench_detectors::{score_detector, DetectionOutcome, DynamicScanner, ProfileTool};
 
 /// Serializes the tests: the disk-store configuration and the cache
 /// counters are process-global.
@@ -217,6 +219,96 @@ fn artifact_strings_replay_losslessly_without_rerendering() {
     assert_eq!(other, "other");
     let renamed = cached_artifact("other-artifact", 0xA47, || "renamed".to_string());
     assert_eq!(renamed, "renamed");
+    drop(store);
+}
+
+#[test]
+fn racing_threads_compute_once_and_publish_one_blob() {
+    let _guard = lock();
+    let store = ScratchStore::open("race");
+    const THREADS: usize = 8;
+    let corpus = CorpusBuilder::new().units(60).seed(0x0000_CED0).build();
+    let scanner = DynamicScanner::quick();
+    let barrier = Barrier::new(THREADS);
+
+    // All threads released at once onto the same cold key: the memory
+    // tier's per-key cell must elect one computer and block the rest.
+    let results: Vec<Arc<DetectionOutcome>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                s.spawn(|| {
+                    barrier.wait();
+                    cached_scan(&scanner, &corpus)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no racing thread panics"))
+            .collect()
+    });
+
+    let s = stats();
+    assert_eq!(s.scan_misses, 1, "exactly one thread computes");
+    assert_eq!(s.scan_hits as usize, THREADS - 1, "the rest attach to it");
+    assert_eq!(s.disk_writes, 1, "the winner publishes exactly once");
+    for other in &results[1..] {
+        assert!(
+            Arc::ptr_eq(&results[0], other),
+            "every racer shares the single computed value"
+        );
+    }
+
+    // Exactly one complete blob landed, and it parses back to the value
+    // the racers got — no torn or duplicate publication.
+    let blobs = store.blobs();
+    assert_eq!(blobs.len(), 1, "one key, one blob: {blobs:?}");
+    let text = std::fs::read_to_string(&blobs[0]).expect("blob readable");
+    let parsed: DetectionOutcome = serde_json::from_str(&text).expect("published blob is whole");
+    assert_eq!(parsed, *results[0]);
+
+    // And once the memory tier empties, the raced key replays from disk.
+    clear();
+    let replayed = cached_scan(&scanner, &corpus);
+    assert_eq!(*replayed, *results[0]);
+    assert!(stats().disk_hits >= 1, "replay must come from the blob");
+    drop(store);
+}
+
+#[test]
+fn concurrent_publication_to_one_key_never_tears_a_read() {
+    let _guard = lock();
+    let store = ScratchStore::open("publish-race");
+    let key = 0xFEED_FACE_u64;
+    // Payloads large enough that a non-atomic writer would be caught
+    // mid-flight, each a pure repetition so any splice of the two is
+    // distinguishable from both.
+    let alpha = "alpha-".repeat(20_000);
+    let beta = "beta-".repeat(24_000);
+    raw_blob_put("scan", key, &alpha);
+
+    std::thread::scope(|s| {
+        for payload in [&alpha, &beta] {
+            s.spawn(move || {
+                for _ in 0..40 {
+                    raw_blob_put("scan", key, payload);
+                }
+            });
+        }
+        // The reader races both writers lock-free: every observation
+        // must be one of the two complete payloads, never a mixture or
+        // a truncation, and never a miss (rename replaces atomically).
+        for round in 0..200 {
+            let text = raw_blob_get("scan", key)
+                .unwrap_or_else(|| panic!("round {round}: published key must stay readable"));
+            assert!(
+                text == alpha || text == beta,
+                "round {round}: torn read, {} bytes starting {:?}",
+                text.len(),
+                &text[..text.len().min(16)]
+            );
+        }
+    });
     drop(store);
 }
 

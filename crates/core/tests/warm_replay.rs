@@ -1,0 +1,178 @@
+//! The warm-replay speedup contract, measured on the cold/warm pair
+//! itself.
+//!
+//! CI used to re-run the whole campaign and eyeball the recorded
+//! `cold_millis` / `warm_millis` quotient in a post-hoc python snippet;
+//! this test owns the contract instead, at the same tier the campaign
+//! leans on. One artifact rendered cold against an empty blob store —
+//! a real stateful scan plus its summary table — must replay from disk
+//! with the memory tier emptied **at least 5× faster** and
+//! byte-identical, without re-rendering at all. The replay is timed
+//! best-of-three so a scheduler hiccup on a loaded CI runner cannot
+//! fail the ratio spuriously; the cold leg is timed once, because noise
+//! only ever *inflates* it.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use vdbench_core::cache::{clear, reset_stats, stats};
+use vdbench_core::{cached_artifact, cached_scan, disk_cache_dir, set_disk_cache};
+use vdbench_corpus::{Corpus, CorpusBuilder};
+use vdbench_detectors::DynamicScanner;
+
+/// Serializes against every other test in this binary (and mirrors the
+/// `disk_cache.rs` idiom): the disk-store configuration and the cache
+/// counters are process-global.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A scratch store under the system temp dir, wiped on entry, detached
+/// and deleted on drop (even on panic).
+struct ScratchStore {
+    dir: PathBuf,
+}
+
+impl ScratchStore {
+    fn open(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "vdbench-warm-replay-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        clear();
+        set_disk_cache(Some(dir.clone()));
+        assert_eq!(disk_cache_dir().as_deref(), Some(dir.as_path()));
+        reset_stats();
+        ScratchStore { dir }
+    }
+
+    /// Blob files of one cache kind currently in the store.
+    fn blobs_of_kind(&self, kind: &str) -> Vec<PathBuf> {
+        let marker = format!("-{kind}-");
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .map(|e| e.path())
+                    .filter(|p| {
+                        p.extension().is_some_and(|ext| ext == "json")
+                            && p.file_name()
+                                .and_then(|n| n.to_str())
+                                .is_some_and(|n| n.contains(&marker))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for ScratchStore {
+    fn drop(&mut self) {
+        set_disk_cache(None);
+        clear();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+const ARTIFACT: &str = "warm-replay-probe";
+const SEED: u64 = 0x00AB_2015;
+
+/// The cold computation: a real stateful scan over a stored-flow
+/// workload, rendered down to the summary text the artifact tier files.
+fn render_probe(corpus: &Corpus) -> String {
+    let outcome = cached_scan(&DynamicScanner::stateful(), corpus);
+    let cm = outcome.confusion();
+    format!(
+        "{} on {} sites: tp={} fp={} fn={} tn={}\n",
+        outcome.tool(),
+        corpus.site_count(),
+        cm.tp,
+        cm.fp,
+        cm.fn_,
+        cm.tn
+    )
+}
+
+#[test]
+fn warm_artifact_replay_is_at_least_5x_faster_than_the_cold_render() {
+    let _guard = lock();
+    let store = ScratchStore::open("pair");
+    let corpus = CorpusBuilder::new()
+        .units(200)
+        .vulnerability_density(0.3)
+        .stored_rate(0.5)
+        .seed(SEED)
+        .build();
+
+    let cold_start = Instant::now();
+    let cold_text = cached_artifact(ARTIFACT, SEED, || render_probe(&corpus));
+    let cold_elapsed = cold_start.elapsed();
+    let after_cold = stats();
+    assert_eq!(after_cold.artifact_misses, 1, "cold render computes");
+    assert!(
+        after_cold.disk_writes >= 2,
+        "cold render must publish the scan blob and the artifact blob"
+    );
+
+    let mut warm_elapsed = Duration::MAX;
+    for round in 0..3 {
+        // `clear` empties the memory tier *and* zeroes the counters, so
+        // each round proves on its own that the blob store answered.
+        clear();
+        let warm_start = Instant::now();
+        let warm = cached_artifact(ARTIFACT, SEED, || {
+            unreachable!("round {round}: warm artifact must replay, not re-render")
+        });
+        warm_elapsed = warm_elapsed.min(warm_start.elapsed());
+        assert_eq!(
+            cold_text, warm,
+            "round {round} must replay byte-identically"
+        );
+        let s = stats();
+        assert!(
+            s.artifact_hits >= 1,
+            "round {round} must hit the artifact tier"
+        );
+        assert!(
+            s.disk_hits >= 1,
+            "round {round} must be served by the blob store"
+        );
+    }
+
+    let ratio = cold_elapsed.as_secs_f64() / warm_elapsed.as_secs_f64().max(1e-9);
+    eprintln!("warm-replay pair: cold {cold_elapsed:?}, best warm {warm_elapsed:?}, {ratio:.1}x");
+    assert!(
+        ratio >= 5.0,
+        "warm replay speedup {ratio:.1}x < contractual 5x \
+         (cold {cold_elapsed:?}, best warm {warm_elapsed:?})"
+    );
+
+    // The tiers really are independent: drop only the artifact blob and
+    // the re-render must replay its *scan* from disk instead of
+    // recomputing it, reproducing the exact cold bytes.
+    let art_blobs = store.blobs_of_kind("art");
+    assert!(!art_blobs.is_empty(), "artifact blob must be on disk");
+    for path in &art_blobs {
+        std::fs::remove_file(path).expect("drop artifact blob");
+    }
+    clear();
+    let rerendered = cached_artifact(ARTIFACT, SEED, || render_probe(&corpus));
+    assert_eq!(
+        rerendered, cold_text,
+        "re-render must reproduce the cold bytes"
+    );
+    let s = stats();
+    assert_eq!(s.artifact_misses, 1, "the artifact itself re-renders");
+    assert_eq!(
+        s.scan_misses, 1,
+        "the scan cell recomputes at most its lookup"
+    );
+    assert!(
+        s.disk_hits >= 1,
+        "…but the scan value replays from its blob"
+    );
+    drop(store);
+}

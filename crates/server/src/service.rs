@@ -1,0 +1,450 @@
+//! The campaign service proper: routing, tiers, admission control,
+//! per-client budgets and single-flight deduplication.
+//!
+//! Every API request resolves to a `(kind, key)` address in the
+//! content-addressed blob store and then walks three tiers:
+//!
+//! 1. **Warm** — the blob is committed on disk: serve its bytes straight
+//!    off the store (microseconds, no locks beyond the page cache).
+//! 2. **Coalesced** — another connection is already computing this exact
+//!    key: attach to its in-flight computation and receive a fan-out copy
+//!    when it lands (the thundering-herd path — one compute, N answers).
+//! 3. **Cold** — nobody has this key: acquire one of the bounded
+//!    in-flight compute slots (or be load-shed with 429), register the
+//!    flight, and compute. The compute itself fans out over the
+//!    workspace's data-parallel layer (scanner scoring, case-study tool
+//!    rosters), so admission control bounds *computations*, not threads.
+//!
+//! Budgets reuse the detectors' step-cost model: a cold compute is priced
+//! at [`vdbench_detectors::ScanPolicy::step_budget`] over the request's
+//! workload units — exactly what a resilient scan attempt of that size
+//! would be billed — while warm and coalesced responses cost a flat
+//! [`WARM_COST_STEPS`]. A client over budget gets 429 with the spent/budget
+//! accounting in the error body.
+//!
+//! Counters (`server.*` on the process-global telemetry registry) and a
+//! log₂ latency histogram make every tier's traffic observable via
+//! `GET /v1/stats`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use vdbench_detectors::{ScanError, ScanPolicy};
+use vdbench_telemetry::registry::{global, Counter, Histogram};
+
+use crate::http::{HttpRequest, HttpResponse};
+use crate::request::ApiRequest;
+
+/// Flat step price of a warm hit or a coalesced fan-out copy. Cold
+/// computes are priced by [`ScanPolicy::step_budget`] instead.
+pub const WARM_COST_STEPS: u64 = 1;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Maximum concurrently *computing* requests; cold arrivals beyond
+    /// this are load-shed with 429 (warm and coalesced traffic is never
+    /// shed — it does no new work).
+    pub max_inflight: usize,
+    /// Per-client lifetime step budget (`None` = unmetered).
+    pub client_budget: Option<u64>,
+    /// The step-cost model cold computes are priced with.
+    pub policy: ScanPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_inflight: 64,
+            client_budget: None,
+            policy: ScanPolicy::default(),
+        }
+    }
+}
+
+/// One in-flight computation other connections can attach to.
+struct Flight {
+    result: Mutex<Option<Result<String, String>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Parks until the leader fills the result, then takes a copy.
+    fn wait(&self) -> Result<String, String> {
+        let mut guard = self.result.lock().expect("flight lock");
+        while guard.is_none() {
+            guard = self.done.wait(guard).expect("flight lock");
+        }
+        guard.clone().expect("checked above")
+    }
+
+    fn fill(&self, result: Result<String, String>) {
+        *self.result.lock().expect("flight lock") = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// `server.*` telemetry handles, resolved once at service construction.
+struct ServeCounters {
+    accepted: Arc<Counter>,
+    warm_hits: Arc<Counter>,
+    cold_misses: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    shed: Arc<Counter>,
+    budget_denied: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+}
+
+impl ServeCounters {
+    fn resolve() -> Self {
+        let r = global();
+        ServeCounters {
+            accepted: r.counter("server.accepted"),
+            warm_hits: r.counter("server.warm_hits"),
+            cold_misses: r.counter("server.cold_misses"),
+            coalesced: r.counter("server.coalesced"),
+            shed: r.counter("server.shed"),
+            budget_denied: r.counter("server.budget_denied"),
+            bytes_out: r.counter("server.bytes_out"),
+            latency_us: r.histogram("server.latency_us"),
+        }
+    }
+}
+
+/// How one request enters the compute tier.
+enum Role {
+    /// This connection owns the computation.
+    Leader(Arc<Flight>),
+    /// Another connection is computing this key; attach and wait.
+    Follower(Arc<Flight>),
+    /// The blob landed between the warm probe and flight registration.
+    Landed(String),
+    /// No compute slot free: load-shed.
+    Shed,
+    /// The client cannot afford the cold compute.
+    OverBudget(ScanError),
+}
+
+/// The stateless compute tier behind `vdbench serve`: all durable state
+/// lives in the content-addressed blob store, so a restarted service
+/// resumes serving every previously committed response warm.
+pub struct Service {
+    cfg: ServiceConfig,
+    counters: ServeCounters,
+    inflight: AtomicUsize,
+    flights: Mutex<HashMap<(&'static str, u64), Arc<Flight>>>,
+    spent: Mutex<HashMap<String, u64>>,
+}
+
+impl Service {
+    /// Builds a service over the process-global telemetry registry and
+    /// whatever disk cache directory [`vdbench_core::set_disk_cache`]
+    /// configured.
+    #[must_use]
+    pub fn new(cfg: ServiceConfig) -> Self {
+        Service {
+            cfg,
+            counters: ServeCounters::resolve(),
+            inflight: AtomicUsize::new(0),
+            flights: Mutex::new(HashMap::new()),
+            spent: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configuration the service runs under.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Handles one parsed HTTP request, fully instrumented: a `server`
+    /// span per request (Chrome-trace exportable like every other
+    /// category), the `server.*` counters, and the latency histogram.
+    pub fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        let _span =
+            vdbench_telemetry::span!("server", "request", method = req.method, path = req.path);
+        let start = Instant::now();
+        let response = self.route(req);
+        self.counters.bytes_out.add(response.body.len() as u64);
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.counters.latency_us.record(micros);
+        response
+    }
+
+    fn route(&self, req: &HttpRequest) -> HttpResponse {
+        const API: [&str; 3] = ["/v1/campaign", "/v1/scan", "/v1/case-study"];
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/v1/healthz") => HttpResponse::ok("text/plain; charset=utf-8", "ok\n"),
+            ("GET", "/v1/stats") => self.stats_response(),
+            ("POST", p) if API.contains(&p) => self.serve_api(p, &req.body),
+            (_, p) if API.contains(&p) || p == "/v1/healthz" || p == "/v1/stats" => {
+                HttpResponse::error(405, "method not allowed")
+            }
+            _ => HttpResponse::error(404, "not found"),
+        }
+    }
+
+    fn serve_api(&self, path: &str, body: &str) -> HttpResponse {
+        self.counters.accepted.inc();
+        let req = match ApiRequest::parse(path, body) {
+            Ok(r) => r,
+            Err(e) => return HttpResponse::error(400, &e),
+        };
+        let kind = req.cache_kind();
+        let key = req.cache_key();
+
+        // Tier 1 — warm: a committed blob answers immediately.
+        if let Some(text) = vdbench_core::raw_blob_get(kind, key) {
+            if let Err(e) = self.charge(req.client(), WARM_COST_STEPS) {
+                self.counters.budget_denied.inc();
+                return HttpResponse::error(429, &budget_message(req.client(), &e));
+            }
+            self.counters.warm_hits.inc();
+            return HttpResponse::ok(req.content_type(), text);
+        }
+
+        // Tiers 2/3 — the leader/follower decision must be atomic with
+        // flight registration, so it happens under the flights lock.
+        match self.enter_flight(&req, kind, key) {
+            Role::Landed(text) => {
+                if let Err(e) = self.charge(req.client(), WARM_COST_STEPS) {
+                    self.counters.budget_denied.inc();
+                    return HttpResponse::error(429, &budget_message(req.client(), &e));
+                }
+                self.counters.warm_hits.inc();
+                HttpResponse::ok(req.content_type(), text)
+            }
+            Role::Follower(flight) => {
+                self.counters.coalesced.inc();
+                if let Err(e) = self.charge(req.client(), WARM_COST_STEPS) {
+                    self.counters.budget_denied.inc();
+                    return HttpResponse::error(429, &budget_message(req.client(), &e));
+                }
+                respond(&req, flight.wait())
+            }
+            Role::Shed => {
+                self.counters.shed.inc();
+                HttpResponse::error(
+                    429,
+                    &format!(
+                        "server at capacity ({} computations in flight); retry",
+                        self.cfg.max_inflight
+                    ),
+                )
+            }
+            Role::OverBudget(e) => {
+                self.counters.budget_denied.inc();
+                HttpResponse::error(429, &budget_message(req.client(), &e))
+            }
+            Role::Leader(flight) => {
+                self.counters.cold_misses.inc();
+                let result = catch_unwind(AssertUnwindSafe(|| req.compute()))
+                    .unwrap_or_else(|_| Err("compute panicked".to_string()));
+                // Commit the blob *before* retiring the flight so there is
+                // never a moment where the key is neither in flight nor on
+                // disk (campaign artifacts publish inside their compute).
+                if let (Ok(text), true) = (&result, req.needs_publish()) {
+                    vdbench_core::raw_blob_put(kind, key, text);
+                }
+                flight.fill(result.clone());
+                self.flights
+                    .lock()
+                    .expect("flights lock")
+                    .remove(&(kind, key));
+                self.inflight.fetch_sub(1, Ordering::SeqCst);
+                respond(&req, result)
+            }
+        }
+    }
+
+    /// Decides, atomically, how this request enters the compute tier.
+    fn enter_flight(&self, req: &ApiRequest, kind: &'static str, key: u64) -> Role {
+        let mut flights = self.flights.lock().expect("flights lock");
+        if let Some(flight) = flights.get(&(kind, key)) {
+            return Role::Follower(Arc::clone(flight));
+        }
+        // A leader may have committed and retired between our warm probe
+        // and this lock: re-probe the store before starting a duplicate
+        // compute.
+        if let Some(text) = vdbench_core::raw_blob_get(kind, key) {
+            return Role::Landed(text);
+        }
+        let admitted = self
+            .inflight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.cfg.max_inflight).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            return Role::Shed;
+        }
+        let cost = self.cfg.policy.step_budget(req.cost_units()).max(1);
+        if let Err(e) = self.charge(req.client(), cost) {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            return Role::OverBudget(e);
+        }
+        let flight = Arc::new(Flight::new());
+        flights.insert((kind, key), Arc::clone(&flight));
+        Role::Leader(flight)
+    }
+
+    /// Charges `steps` against the client's lifetime budget; the denial
+    /// carries the detectors' budget accounting.
+    fn charge(&self, client: &str, steps: u64) -> Result<(), ScanError> {
+        let Some(budget) = self.cfg.client_budget else {
+            return Ok(());
+        };
+        let mut spent = self.spent.lock().expect("spent lock");
+        let entry = spent.entry(client.to_string()).or_insert(0);
+        let next = entry.saturating_add(steps);
+        if next > budget {
+            return Err(ScanError::Timeout {
+                budget,
+                spent: next,
+            });
+        }
+        *entry = next;
+        Ok(())
+    }
+
+    fn stats_response(&self) -> HttpResponse {
+        let snapshot = global().snapshot();
+        let latency = self.counters.latency_us.snapshot();
+        let stats = StatsResponse {
+            server: snapshot.counters_with_prefix("server."),
+            cache: snapshot.counters_with_prefix("cache."),
+            latency: LatencySummary {
+                count: latency.count,
+                p50_us: latency.quantile_upper_bound(0.50),
+                p99_us: latency.quantile_upper_bound(0.99),
+            },
+        };
+        match serde_json::to_string(&stats) {
+            Ok(body) => HttpResponse::ok("application/json", body),
+            Err(e) => HttpResponse::error(500, &e.to_string()),
+        }
+    }
+}
+
+fn respond(req: &ApiRequest, result: Result<String, String>) -> HttpResponse {
+    match result {
+        Ok(text) => HttpResponse::ok(req.content_type(), text),
+        Err(e) => HttpResponse::error(500, &e),
+    }
+}
+
+fn budget_message(client: &str, e: &ScanError) -> String {
+    match e {
+        ScanError::Timeout { budget, spent } => format!(
+            "client `{client}` over request budget: {spent} steps spent of {budget} budgeted"
+        ),
+        other => other.to_string(),
+    }
+}
+
+/// The `GET /v1/stats` document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// `server.*` counters (accepted, warm_hits, cold_misses, coalesced,
+    /// shed, budget_denied, bytes_out).
+    pub server: BTreeMap<String, u64>,
+    /// `cache.*` counters from the blob store underneath.
+    pub cache: BTreeMap<String, u64>,
+    /// Request latency summary off the log₂ histogram.
+    pub latency: LatencySummary,
+}
+
+/// Latency summary: bucket upper bounds, so quantiles are conservative.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: u64,
+    /// Median latency upper bound in microseconds (absent before traffic).
+    pub p50_us: Option<u64>,
+    /// 99th-percentile latency upper bound in microseconds.
+    pub p99_us: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str) -> HttpRequest {
+        HttpRequest {
+            method: "GET".into(),
+            path: path.into(),
+            body: String::new(),
+            keep_alive: true,
+        }
+    }
+
+    fn post(path: &str, body: &str) -> HttpRequest {
+        HttpRequest {
+            method: "POST".into(),
+            path: path.into(),
+            body: body.into(),
+            keep_alive: true,
+        }
+    }
+
+    #[test]
+    fn routing_statuses() {
+        let svc = Service::new(ServiceConfig::default());
+        assert_eq!(svc.handle(&get("/v1/healthz")).status, 200);
+        assert_eq!(svc.handle(&get("/v1/stats")).status, 200);
+        assert_eq!(svc.handle(&get("/v1/scan")).status, 405);
+        assert_eq!(svc.handle(&post("/v1/healthz", "")).status, 405);
+        assert_eq!(svc.handle(&get("/nope")).status, 404);
+        assert_eq!(svc.handle(&post("/v1/scan", "{}")).status, 400);
+    }
+
+    #[test]
+    fn budget_ledger_charges_and_denies() {
+        let svc = Service::new(ServiceConfig {
+            client_budget: Some(10),
+            ..ServiceConfig::default()
+        });
+        assert!(svc.charge("a", 4).is_ok());
+        assert!(svc.charge("a", 6).is_ok());
+        let err = svc.charge("a", 1).unwrap_err();
+        assert!(matches!(
+            err,
+            ScanError::Timeout {
+                budget: 10,
+                spent: 11
+            }
+        ));
+        // Ledgers are per client.
+        assert!(svc.charge("b", 10).is_ok());
+        // Unmetered service never denies.
+        let free = Service::new(ServiceConfig::default());
+        assert!(free.charge("a", u64::MAX).is_ok());
+        assert!(free.charge("a", u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn stats_document_round_trips() {
+        let svc = Service::new(ServiceConfig::default());
+        // Drive one (invalid) API request so `server.accepted` is non-zero:
+        // the stats document only lists counters that have fired.
+        assert_eq!(svc.handle(&post("/v1/scan", "{}")).status, 400);
+        let resp = svc.handle(&get("/v1/stats"));
+        assert_eq!(resp.status, 200);
+        let stats: StatsResponse = serde_json::from_str(&resp.body).unwrap();
+        assert!(*stats.server.get("server.accepted").unwrap_or(&0) > 0);
+        assert!(stats.latency.count > 0, "handled requests were timed");
+        assert!(stats.latency.p50_us.is_some());
+    }
+}

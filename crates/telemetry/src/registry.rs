@@ -192,6 +192,37 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u32, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Upper bound of the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the inclusive
+    /// top of the first bucket whose cumulative count reaches `⌈q·n⌉`.
+    /// With log₂ buckets the bound is within 2× of the true quantile —
+    /// good enough for the service latency summary (`server.latency_us`
+    /// p50/p99); exact client-side percentiles come from the load
+    /// generator's own sample vector. `None` on an empty histogram.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for &(index, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= target {
+                let (lo, hi) = Histogram::bucket_bounds(index as usize);
+                return Some(hi.map_or(u64::MAX, |h| h - 1).max(lo));
+            }
+        }
+        // Unreachable when `count` equals the bucket total, but a
+        // hand-built snapshot may disagree; answer with the top bucket.
+        self.buckets.last().map(|&(index, _)| {
+            Histogram::bucket_bounds(index as usize)
+                .1
+                .map_or(u64::MAX, |h| h - 1)
+        })
+    }
+}
+
 /// Serializable snapshot of the whole registry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct MetricsSnapshot {
@@ -379,6 +410,29 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.snapshot().buckets, Vec::new());
+    }
+
+    #[test]
+    fn histogram_quantile_upper_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile_upper_bound(0.5), None, "empty");
+        // 90 samples in bucket 1 ([1,2)), 10 in bucket 11 ([1024,2048)).
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1500);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile_upper_bound(0.5), Some(1));
+        assert_eq!(snap.quantile_upper_bound(0.9), Some(1));
+        assert_eq!(snap.quantile_upper_bound(0.99), Some(2047));
+        assert_eq!(snap.quantile_upper_bound(1.0), Some(2047));
+        assert_eq!(
+            snap.quantile_upper_bound(0.0),
+            Some(1),
+            "q=0 is the min bucket"
+        );
     }
 
     #[test]

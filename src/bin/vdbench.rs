@@ -7,9 +7,15 @@
 //! vdbench generate --units 50 --density 0.3 --seed 7 --show 2
 //! vdbench scan --tool taint --units 200 --density 0.3
 //! vdbench bench --scenario S3
-//! vdbench select --noise 0.25
-//! vdbench consistency
+//! vdbench serve --addr 127.0.0.1:7071 --cache-dir target/vdbench-cache
+//! vdbench loadgen --duration-secs 3
 //! ```
+//!
+//! The usage table is **generated** from one declarative command table
+//! ([`COMMANDS`]), so a new subcommand or flag shows up in `vdbench help`
+//! by construction. Exit codes follow convention: `0` success, `1`
+//! runtime failure, `2` usage error (unknown command or flag, malformed
+//! flag syntax) — usage errors come with a nearest-match suggestion.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -21,62 +27,282 @@ use vdbench::core::AssessmentConfig;
 use vdbench::corpus::pretty::unit_to_string;
 use vdbench::prelude::*;
 
-const USAGE: &str = "\
-vdbench — benchmarking vulnerability detection tools (DSN'15 reproduction)
+type Flags = BTreeMap<String, String>;
 
-USAGE:
-    vdbench <command> [--flag value]...
+/// One `--flag value` a command accepts.
+struct FlagSpec {
+    name: &'static str,
+    placeholder: &'static str,
+    help: &'static str,
+}
 
-COMMANDS:
-    generate     Generate a MiniWeb corpus and print its statistics
-                 (--units N, --density F, --seed N, --stored-rate F,
-                  --show K: pretty-print the first K units,
-                  --out FILE: also save the corpus as JSON)
-    scan         Run one detection tool over a corpus
-                 (--tool pattern|pattern-cons|taint|taint-shallow|
-                  pentest|pentest-quick|pentest-stateful,
-                  --units N, --density F, --seed N,
-                  --corpus FILE: scan a saved corpus instead of generating)
-    bench        Run the full scenario case study (--scenario S1|S2|S3|S4,
-                  --seed N)
-    select       Per-scenario metric selection + MCDA validation
-                 (--noise F, --experts N, --seed N)
-    consistency  Cross-workload ranking-consistency study (--units N,
-                  --seed N)
-    report       Full campaign report as Markdown on stdout (--seed N)
-    recommend    Recommend a benchmark metric for YOUR scenario
-                 (--fp-cost F, --fn-cost F, --prevalence F)
-    help         Show this message
-";
+/// One subcommand: its summary, accepted flags, and implementation.
+struct CommandSpec {
+    name: &'static str,
+    summary: &'static str,
+    flags: &'static [FlagSpec],
+    run: fn(&Flags) -> Result<(), String>,
+}
+
+macro_rules! flag {
+    ($name:literal, $placeholder:literal, $help:literal) => {
+        FlagSpec {
+            name: $name,
+            placeholder: $placeholder,
+            help: $help,
+        }
+    };
+}
+
+/// The full command table — the single source of the usage text.
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "generate",
+        summary: "Generate a MiniWeb corpus and print its statistics",
+        flags: &[
+            flag!("units", "N", "corpus size in units (default 200)"),
+            flag!(
+                "density",
+                "F",
+                "vulnerability density in [0, 1] (default 0.3)"
+            ),
+            flag!(
+                "stored-rate",
+                "F",
+                "stored-vulnerability rate in [0, 1] (default 0.12)"
+            ),
+            flag!("seed", "N", "generator seed (default 2015)"),
+            flag!("show", "K", "pretty-print the first K units"),
+            flag!("out", "FILE", "also save the corpus as JSON"),
+        ],
+        run: cmd_generate,
+    },
+    CommandSpec {
+        name: "scan",
+        summary: "Run one detection tool over a corpus",
+        flags: &[
+            flag!(
+                "tool",
+                "NAME",
+                "pattern|pattern-cons|taint|taint-shallow|pentest|pentest-quick|pentest-stateful"
+            ),
+            flag!("units", "N", "corpus size in units (default 200)"),
+            flag!(
+                "density",
+                "F",
+                "vulnerability density in [0, 1] (default 0.3)"
+            ),
+            flag!(
+                "stored-rate",
+                "F",
+                "stored-vulnerability rate in [0, 1] (default 0.12)"
+            ),
+            flag!("seed", "N", "generator seed (default 2015)"),
+            flag!(
+                "corpus",
+                "FILE",
+                "scan a saved corpus instead of generating"
+            ),
+        ],
+        run: cmd_scan,
+    },
+    CommandSpec {
+        name: "bench",
+        summary: "Run the full scenario case study",
+        flags: &[
+            flag!("scenario", "ID", "restrict to one scenario: S1|S2|S3|S4"),
+            flag!("seed", "N", "experiment seed (default 2015)"),
+        ],
+        run: cmd_bench,
+    },
+    CommandSpec {
+        name: "select",
+        summary: "Per-scenario metric selection + MCDA validation",
+        flags: &[
+            flag!("noise", "F", "expert-panel noise level (default 0.25)"),
+            flag!("experts", "N", "panel size (default 7)"),
+            flag!("seed", "N", "panel seed (default 2015)"),
+        ],
+        run: cmd_select,
+    },
+    CommandSpec {
+        name: "consistency",
+        summary: "Cross-workload ranking-consistency study",
+        flags: &[
+            flag!("units", "N", "workload size (default 400)"),
+            flag!("seed", "N", "experiment seed (default 2015)"),
+        ],
+        run: cmd_consistency,
+    },
+    CommandSpec {
+        name: "report",
+        summary: "Full campaign report as Markdown on stdout",
+        flags: &[flag!("seed", "N", "experiment seed (default 2015)")],
+        run: cmd_report,
+    },
+    CommandSpec {
+        name: "recommend",
+        summary: "Recommend a benchmark metric for YOUR scenario",
+        flags: &[
+            flag!(
+                "fp-cost",
+                "F",
+                "cost of triaging one false positive (default 1)"
+            ),
+            flag!(
+                "fn-cost",
+                "F",
+                "cost of one missed vulnerability (default 5)"
+            ),
+            flag!(
+                "prevalence",
+                "F",
+                "fraction of vulnerable units in (0, 1) (default 0.2)"
+            ),
+        ],
+        run: cmd_recommend,
+    },
+    CommandSpec {
+        name: "serve",
+        summary: "Serve campaigns over HTTP from the content-addressed blob store",
+        flags: &[
+            flag!("addr", "HOST:PORT", "bind address (default 127.0.0.1:7071)"),
+            flag!(
+                "cache-dir",
+                "DIR",
+                "blob store directory, shared with run_all (default target/vdbench-cache)"
+            ),
+            flag!(
+                "max-inflight",
+                "N",
+                "concurrent cold computations before 429 (default 64)"
+            ),
+            flag!(
+                "client-budget",
+                "N",
+                "per-client step budget (default unmetered)"
+            ),
+        ],
+        run: cmd_serve,
+    },
+    CommandSpec {
+        name: "loadgen",
+        summary: "Drive a running server with seeded mixed traffic, write BENCH_serve.json",
+        flags: &[
+            flag!(
+                "addr",
+                "HOST:PORT",
+                "server to drive (default 127.0.0.1:7071)"
+            ),
+            flag!("duration-secs", "F", "measured-phase duration (default 3)"),
+            flag!(
+                "connections",
+                "N",
+                "concurrent client connections (default 8)"
+            ),
+            flag!("seed", "N", "request-pool seed (default 2015)"),
+            flag!(
+                "pool-scans",
+                "N",
+                "distinct scan requests in the pool (default 64)"
+            ),
+            flag!(
+                "artifacts",
+                "on|off",
+                "include campaign artifacts in the pool (default off)"
+            ),
+            flag!("out", "FILE", "record path (default BENCH_serve.json)"),
+        ],
+        run: cmd_loadgen,
+    },
+];
+
+/// Builds the usage text from [`COMMANDS`].
+fn usage() -> String {
+    let mut text = String::from(
+        "vdbench — benchmarking vulnerability detection tools (DSN'15 reproduction)\n\n\
+         USAGE:\n    vdbench <command> [--flag value]...\n\nCOMMANDS:\n",
+    );
+    for cmd in COMMANDS {
+        text.push_str(&format!("    {:<12} {}\n", cmd.name, cmd.summary));
+        for f in cmd.flags {
+            let flag = format!("--{} {}", f.name, f.placeholder);
+            text.push_str(&format!("        {flag:<24} {}\n", f.help));
+        }
+    }
+    text.push_str("    help         Show this message\n");
+    text
+}
+
+/// Classic Levenshtein edit distance (both inputs are short).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let substitute = prev[j] + usize::from(ca != cb);
+            row.push(substitute.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate within a sane typo distance, if any.
+fn nearest<'a>(input: &str, candidates: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+    candidates
+        .map(|c| (edit_distance(input, c), c))
+        .min()
+        .filter(|&(d, c)| d <= (c.len() / 2).max(2))
+        .map(|(_, c)| c)
+}
+
+/// Exit code for usage errors (unknown command/flag, malformed syntax).
+const USAGE_ERROR: u8 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        eprintln!("{}", usage());
+        return ExitCode::from(USAGE_ERROR);
+    };
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let Some(spec) = COMMANDS.iter().find(|c| c.name == command.as_str()) else {
+        let suggestion = nearest(command, COMMANDS.iter().map(|c| c.name))
+            .map(|n| format!(" (did you mean `{n}`?)"))
+            .unwrap_or_default();
+        eprintln!(
+            "error: unknown command `{command}`{suggestion}\n\n{}",
+            usage()
+        );
+        return ExitCode::from(USAGE_ERROR);
     };
     let flags = match parse_flags(rest) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::from(USAGE_ERROR);
         }
     };
-    let result = match command.as_str() {
-        "generate" => cmd_generate(&flags),
-        "scan" => cmd_scan(&flags),
-        "bench" => cmd_bench(&flags),
-        "select" => cmd_select(&flags),
-        "consistency" => cmd_consistency(&flags),
-        "report" => cmd_report(&flags),
-        "recommend" => cmd_recommend(&flags),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            return ExitCode::SUCCESS;
+    for name in flags.keys() {
+        if !spec.flags.iter().any(|f| f.name == name) {
+            let suggestion = nearest(name, spec.flags.iter().map(|f| f.name))
+                .map(|n| format!(" (did you mean --{n}?)"))
+                .unwrap_or_default();
+            eprintln!(
+                "error: unknown flag --{name} for `{}`{suggestion}\n\
+                 run `vdbench help` for the full flag table",
+                spec.name
+            );
+            return ExitCode::from(USAGE_ERROR);
         }
-        other => Err(format!("unknown command `{other}`")),
-    };
-    match result {
+    }
+    match (spec.run)(&flags) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -86,7 +312,7 @@ fn main() -> ExitCode {
 }
 
 /// Parses `--key value` pairs; rejects stray positionals and dangling keys.
-fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = BTreeMap::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
@@ -103,11 +329,7 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
     Ok(flags)
 }
 
-fn flag_usize(
-    flags: &BTreeMap<String, String>,
-    name: &str,
-    default: usize,
-) -> Result<usize, String> {
+fn flag_usize(flags: &Flags, name: &str, default: usize) -> Result<usize, String> {
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v
@@ -116,7 +338,7 @@ fn flag_usize(
     }
 }
 
-fn flag_u64(flags: &BTreeMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
+fn flag_u64(flags: &Flags, name: &str, default: u64) -> Result<u64, String> {
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v
@@ -125,7 +347,7 @@ fn flag_u64(flags: &BTreeMap<String, String>, name: &str, default: u64) -> Resul
     }
 }
 
-fn flag_f64(flags: &BTreeMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+fn flag_f64(flags: &Flags, name: &str, default: f64) -> Result<f64, String> {
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v
@@ -136,9 +358,7 @@ fn flag_f64(flags: &BTreeMap<String, String>, name: &str, default: f64) -> Resul
 
 /// Loads a corpus from `--corpus FILE` when given, otherwise generates one
 /// from the numeric flags.
-fn load_or_build_corpus(
-    flags: &BTreeMap<String, String>,
-) -> Result<vdbench::corpus::Corpus, String> {
+fn load_or_build_corpus(flags: &Flags) -> Result<vdbench::corpus::Corpus, String> {
     if let Some(path) = flags.get("corpus") {
         let json = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read corpus file {path}: {e}"))?;
@@ -148,7 +368,7 @@ fn load_or_build_corpus(
     build_corpus(flags)
 }
 
-fn build_corpus(flags: &BTreeMap<String, String>) -> Result<vdbench::corpus::Corpus, String> {
+fn build_corpus(flags: &Flags) -> Result<vdbench::corpus::Corpus, String> {
     let units = flag_usize(flags, "units", 200)?;
     let density = flag_f64(flags, "density", 0.3)?;
     let seed = flag_u64(flags, "seed", 2015)?;
@@ -167,7 +387,7 @@ fn build_corpus(flags: &BTreeMap<String, String>) -> Result<vdbench::corpus::Cor
         .build())
 }
 
-fn cmd_generate(flags: &BTreeMap<String, String>) -> Result<(), String> {
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
     let corpus = build_corpus(flags)?;
     let show = flag_usize(flags, "show", 0)?;
     if let Some(path) = flags.get("out") {
@@ -205,24 +425,12 @@ fn cmd_generate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn tool_by_name(name: &str) -> Result<Box<dyn Detector>, String> {
-    Ok(match name {
-        "pattern" => Box::new(PatternScanner::aggressive()),
-        "pattern-cons" => Box::new(PatternScanner::conservative()),
-        "taint" => Box::new(TaintAnalyzer::precise()),
-        "taint-shallow" => Box::new(TaintAnalyzer::shallow()),
-        "pentest" => Box::new(DynamicScanner::thorough()),
-        "pentest-quick" => Box::new(DynamicScanner::quick()),
-        "pentest-stateful" => Box::new(DynamicScanner::stateful()),
-        other => return Err(format!("unknown tool `{other}` (see `vdbench help`)")),
-    })
-}
-
-fn cmd_scan(flags: &BTreeMap<String, String>) -> Result<(), String> {
+fn cmd_scan(flags: &Flags) -> Result<(), String> {
     let tool_name = flags
         .get("tool")
         .ok_or("scan needs --tool (see `vdbench help`)")?;
-    let tool = tool_by_name(tool_name)?;
+    let tool = vdbench::server::tool_by_name(tool_name)
+        .ok_or_else(|| format!("unknown tool `{tool_name}` (see `vdbench help`)"))?;
     let corpus = load_or_build_corpus(flags)?;
     let outcome = score_detector(tool.as_ref(), &corpus);
     let cm = outcome.confusion();
@@ -255,7 +463,7 @@ fn cmd_scan(flags: &BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench(flags: &BTreeMap<String, String>) -> Result<(), String> {
+fn cmd_bench(flags: &Flags) -> Result<(), String> {
     let seed = flag_u64(flags, "seed", 2015)?;
     let wanted = flags.get("scenario").map(String::as_str);
     for scenario in standard_scenarios() {
@@ -275,7 +483,7 @@ fn cmd_bench(flags: &BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_select(flags: &BTreeMap<String, String>) -> Result<(), String> {
+fn cmd_select(flags: &Flags) -> Result<(), String> {
     let noise = flag_f64(flags, "noise", 0.25)?;
     let experts = flag_usize(flags, "experts", 7)?;
     let seed = flag_u64(flags, "seed", 2015)?;
@@ -302,7 +510,7 @@ fn cmd_select(flags: &BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_recommend(flags: &BTreeMap<String, String>) -> Result<(), String> {
+fn cmd_recommend(flags: &Flags) -> Result<(), String> {
     let fp_cost = flag_f64(flags, "fp-cost", 1.0)?;
     let fn_cost = flag_f64(flags, "fn-cost", 5.0)?;
     let prevalence = flag_f64(flags, "prevalence", 0.2)?;
@@ -331,14 +539,14 @@ fn cmd_recommend(flags: &BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_report(flags: &BTreeMap<String, String>) -> Result<(), String> {
+fn cmd_report(flags: &Flags) -> Result<(), String> {
     let seed = flag_u64(flags, "seed", 2015)?;
     let report = vdbench::core::campaign::markdown_report(seed).map_err(|e| e.to_string())?;
     println!("{report}");
     Ok(())
 }
 
-fn cmd_consistency(flags: &BTreeMap<String, String>) -> Result<(), String> {
+fn cmd_consistency(flags: &Flags) -> Result<(), String> {
     let units = flag_usize(flags, "units", 400)?;
     let seed = flag_u64(flags, "seed", 2015)?;
     let cfg = ConsistencyConfig {
@@ -361,6 +569,95 @@ fn cmd_consistency(flags: &BTreeMap<String, String>) -> Result<(), String> {
             r.friedman_p,
             r.defined_workloads
         );
+    }
+    Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7071".to_string());
+    let cache_dir = flags
+        .get("cache-dir")
+        .cloned()
+        .unwrap_or_else(|| "target/vdbench-cache".to_string());
+    let max_inflight = flag_usize(flags, "max-inflight", 64)?;
+    let client_budget = match flags.get("client-budget") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("--client-budget expects an integer, got `{v}`"))?,
+        ),
+    };
+    vdbench::core::set_disk_cache(Some(std::path::PathBuf::from(&cache_dir)));
+    let handle = vdbench::server::start(vdbench::server::ServerConfig {
+        addr,
+        service: vdbench::server::ServiceConfig {
+            max_inflight,
+            client_budget,
+            ..Default::default()
+        },
+    })
+    .map_err(|e| format!("cannot bind server: {e}"))?;
+    println!(
+        "vdbench serve listening on {} (cache {cache_dir}, max-inflight {max_inflight}{})",
+        handle.addr(),
+        client_budget
+            .map(|b| format!(", client-budget {b}"))
+            .unwrap_or_default(),
+    );
+    handle.wait();
+    Ok(())
+}
+
+fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
+    let artifacts = match flags.get("artifacts").map(String::as_str) {
+        None | Some("off") => false,
+        Some("on") => true,
+        Some(v) => return Err(format!("--artifacts expects on|off, got `{v}`")),
+    };
+    let cfg = vdbench::server::LoadgenConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7071".to_string()),
+        duration_secs: flag_f64(flags, "duration-secs", 3.0)?,
+        connections: flag_usize(flags, "connections", 8)?,
+        seed: flag_u64(flags, "seed", 2015)?,
+        pool_scans: flag_usize(flags, "pool-scans", 64)?,
+        artifacts,
+        out: Some(
+            flags
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| "BENCH_serve.json".to_string()),
+        ),
+    };
+    let record = vdbench::server::loadgen::run(&cfg)
+        .map_err(|e| format!("loadgen against {} failed: {e}", cfg.addr))?;
+    println!(
+        "seed pass: {} requests over {} keys in {:.2}s ({} cold, {} coalesced, {} errors)",
+        record.seed_pass.requests,
+        record.pool_size,
+        record.seed_pass.duration_secs,
+        record.seed_pass.cold_misses,
+        record.seed_pass.coalesced,
+        record.seed_pass.errors,
+    );
+    println!(
+        "measured: {} requests in {:.2}s = {:.0} req/s, p50 {}µs, p99 {}µs, \
+         warm-hit ratio {:.3}, {} errors",
+        record.requests,
+        record.duration_secs,
+        record.throughput_rps,
+        record.p50_us,
+        record.p99_us,
+        record.warm_hit_ratio,
+        record.errors,
+    );
+    if let Some(out) = &cfg.out {
+        println!("record written to {out}");
     }
     Ok(())
 }

@@ -15,7 +15,10 @@
 //!   assessment engine, usage scenarios and per-scenario metric selection;
 //! * [`mcda`] + [`experts`] — the AHP/SAW/TOPSIS machinery and simulated
 //!   expert panels used to validate the analytical selection;
-//! * [`stats`] and [`report`] — statistics and output rendering substrates.
+//! * [`stats`] and [`report`] — statistics and output rendering substrates;
+//! * [`server`] — the `vdbench serve` campaign service and its load
+//!   generator, a stateless compute tier over the content-addressed blob
+//!   store.
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@ pub use vdbench_experts as experts;
 pub use vdbench_mcda as mcda;
 pub use vdbench_metrics as metrics;
 pub use vdbench_report as report;
+pub use vdbench_server as server;
 pub use vdbench_stats as stats;
 
 /// Convenience re-exports covering the most common entry points.

@@ -1,8 +1,14 @@
 //! Integration tests for the `vdbench` CLI binary.
+//!
+//! Exit-code contract under test: `0` success, `1` runtime failure
+//! (bad values, missing files), `2` usage error (unknown command or
+//! flag, malformed flag syntax) — usage errors carry a nearest-match
+//! suggestion and the generated usage table lists every command.
 
-use std::process::Command;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Command, Stdio};
 
-fn vdbench(args: &[&str]) -> (String, String, bool) {
+fn vdbench(args: &[&str]) -> (String, String, Option<i32>) {
     let out = Command::new(env!("CARGO_BIN_EXE_vdbench"))
         .args(args)
         .output()
@@ -10,14 +16,14 @@ fn vdbench(args: &[&str]) -> (String, String, bool) {
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
+        out.status.code(),
     )
 }
 
 #[test]
-fn help_lists_commands() {
-    let (stdout, _, ok) = vdbench(&["help"]);
-    assert!(ok);
+fn help_lists_every_command_and_its_flags() {
+    let (stdout, _, code) = vdbench(&["help"]);
+    assert_eq!(code, Some(0));
     for cmd in [
         "generate",
         "scan",
@@ -26,14 +32,27 @@ fn help_lists_commands() {
         "consistency",
         "report",
         "recommend",
+        "serve",
+        "loadgen",
     ] {
         assert!(stdout.contains(cmd), "{cmd} missing from help");
+    }
+    // The table is generated from the command specs, so flags are listed
+    // with their placeholders and help strings.
+    for flag in [
+        "--units N",
+        "--tool NAME",
+        "--max-inflight N",
+        "--duration-secs F",
+        "--cache-dir DIR",
+    ] {
+        assert!(stdout.contains(flag), "{flag} missing from help");
     }
 }
 
 #[test]
 fn generate_prints_stats_and_code() {
-    let (stdout, _, ok) = vdbench(&[
+    let (stdout, _, code) = vdbench(&[
         "generate",
         "--units",
         "12",
@@ -44,7 +63,7 @@ fn generate_prints_stats_and_code() {
         "--show",
         "1",
     ]);
-    assert!(ok);
+    assert_eq!(code, Some(0));
     assert!(stdout.contains("corpus: 12 units"));
     assert!(stdout.contains("by class:"));
     assert!(stdout.contains("fn handler_0"));
@@ -52,7 +71,7 @@ fn generate_prints_stats_and_code() {
 
 #[test]
 fn scan_reports_metrics_and_findings() {
-    let (stdout, _, ok) = vdbench(&[
+    let (stdout, _, code) = vdbench(&[
         "scan",
         "--tool",
         "taint",
@@ -63,42 +82,68 @@ fn scan_reports_metrics_and_findings() {
         "--seed",
         "9",
     ]);
-    assert!(ok);
+    assert_eq!(code, Some(0));
     assert!(stdout.contains("taint-d3-precise on 40 cases"));
     assert!(stdout.contains("TPR"));
     assert!(stdout.contains("findings"));
 }
 
 #[test]
-fn unknown_command_and_bad_flags_fail_cleanly() {
-    let (_, stderr, ok) = vdbench(&["frobnicate"]);
-    assert!(!ok);
+fn usage_errors_exit_2_with_suggestions() {
+    // No command at all: usage on stderr.
+    let (_, stderr, code) = vdbench(&[]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("COMMANDS:"));
+
+    // Unknown command, with a nearest-match suggestion.
+    let (_, stderr, code) = vdbench(&["scann"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("did you mean `scan`?"), "{stderr}");
+
+    let (_, stderr, code) = vdbench(&["frobnicate"]);
+    assert_eq!(code, Some(2));
     assert!(stderr.contains("unknown command"));
 
-    let (_, stderr, ok) = vdbench(&["scan", "--tool", "nope"]);
-    assert!(!ok);
-    assert!(stderr.contains("unknown tool"));
+    // Unknown flag, with a nearest-match suggestion.
+    let (_, stderr, code) = vdbench(&["generate", "--unitz", "5"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown flag --unitz"), "{stderr}");
+    assert!(stderr.contains("did you mean --units?"), "{stderr}");
 
-    let (_, stderr, ok) = vdbench(&["generate", "--units"]);
-    assert!(!ok);
+    // A flag that belongs to a different command is still unknown here.
+    let (_, stderr, code) = vdbench(&["report", "--tool", "taint"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown flag --tool"), "{stderr}");
+
+    // Malformed flag syntax.
+    let (_, stderr, code) = vdbench(&["generate", "--units"]);
+    assert_eq!(code, Some(2));
     assert!(stderr.contains("missing a value"));
 
-    let (_, stderr, ok) = vdbench(&["generate", "--density", "2.0"]);
-    assert!(!ok);
+    let (_, stderr, code) = vdbench(&["generate", "positional"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unexpected argument"));
+}
+
+#[test]
+fn runtime_errors_exit_1() {
+    let (_, stderr, code) = vdbench(&["scan", "--tool", "nope"]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("unknown tool"));
+
+    let (_, stderr, code) = vdbench(&["generate", "--density", "2.0"]);
+    assert_eq!(code, Some(1));
     assert!(stderr.contains("must be in [0, 1]"));
 
-    let (_, stderr, ok) = vdbench(&["generate", "positional"]);
-    assert!(!ok);
-    assert!(stderr.contains("unexpected argument"));
-
-    let (_, stderr, ok) = vdbench(&["scan"]);
-    assert!(!ok);
+    let (_, stderr, code) = vdbench(&["scan"]);
+    assert_eq!(code, Some(1));
     assert!(stderr.contains("needs --tool"));
 }
 
 #[test]
 fn recommend_follows_the_cost_model() {
-    let (miss_heavy, _, ok) = vdbench(&[
+    let (miss_heavy, _, code) = vdbench(&[
         "recommend",
         "--fp-cost",
         "1",
@@ -107,7 +152,7 @@ fn recommend_follows_the_cost_model() {
         "--prevalence",
         "0.1",
     ]);
-    assert!(ok);
+    assert_eq!(code, Some(0));
     assert!(miss_heavy.contains("closest standard profile: S2"));
     // The top recommendation must be recall-flavoured, never precision.
     let first = miss_heavy
@@ -119,8 +164,8 @@ fn recommend_follows_the_cost_model() {
         "{first}"
     );
 
-    let (_, stderr, ok) = vdbench(&["recommend", "--prevalence", "1.5"]);
-    assert!(!ok);
+    let (_, stderr, code) = vdbench(&["recommend", "--prevalence", "1.5"]);
+    assert_eq!(code, Some(1));
     assert!(stderr.contains("prevalence"));
 }
 
@@ -131,7 +176,7 @@ fn corpus_export_import_round_trip() {
     let path = dir.join("corpus.json");
     let path_str = path.to_str().unwrap();
 
-    let (_, _, ok) = vdbench(&[
+    let (_, _, code) = vdbench(&[
         "generate",
         "--units",
         "30",
@@ -142,13 +187,13 @@ fn corpus_export_import_round_trip() {
         "--out",
         path_str,
     ]);
-    assert!(ok);
+    assert_eq!(code, Some(0));
 
     // Scanning the saved corpus gives the same result as scanning the
     // equivalent generated one.
-    let (from_file, _, ok) = vdbench(&["scan", "--tool", "taint", "--corpus", path_str]);
-    assert!(ok);
-    let (from_gen, _, ok) = vdbench(&[
+    let (from_file, _, code) = vdbench(&["scan", "--tool", "taint", "--corpus", path_str]);
+    assert_eq!(code, Some(0));
+    let (from_gen, _, code) = vdbench(&[
         "scan",
         "--tool",
         "taint",
@@ -159,16 +204,16 @@ fn corpus_export_import_round_trip() {
         "--seed",
         "5",
     ]);
-    assert!(ok);
+    assert_eq!(code, Some(0));
     assert_eq!(from_file, from_gen);
 
     // Malformed file fails cleanly.
     std::fs::write(&path, "not json").unwrap();
-    let (_, stderr, ok) = vdbench(&["scan", "--tool", "taint", "--corpus", path_str]);
-    assert!(!ok);
+    let (_, stderr, code) = vdbench(&["scan", "--tool", "taint", "--corpus", path_str]);
+    assert_eq!(code, Some(1));
     assert!(stderr.contains("cannot parse"));
-    let (_, stderr, ok) = vdbench(&["scan", "--tool", "taint", "--corpus", "/nope/missing.json"]);
-    assert!(!ok);
+    let (_, stderr, code) = vdbench(&["scan", "--tool", "taint", "--corpus", "/nope/missing.json"]);
+    assert_eq!(code, Some(1));
     assert!(stderr.contains("cannot read"));
 }
 
@@ -179,4 +224,77 @@ fn generate_is_deterministic_across_invocations() {
     assert_eq!(a, b);
     let (c, _, _) = vdbench(&["generate", "--units", "25", "--seed", "78"]);
     assert_ne!(a, c);
+}
+
+#[test]
+fn serve_and_loadgen_round_trip_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("vdbench-cli-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_dir = dir.join("cache");
+    let record_path = dir.join("BENCH_serve.json");
+
+    // Start the server on an ephemeral port and read the bound address
+    // off its startup line.
+    let mut server = Command::new(env!("CARGO_BIN_EXE_vdbench"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let mut stdout = BufReader::new(server.stdout.take().expect("piped stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("startup line");
+    let addr = banner
+        .split_whitespace()
+        .find(|w| w.starts_with("127.0.0.1:"))
+        .expect("bound address in startup line")
+        .to_string();
+
+    // Raw healthz probe straight over TCP.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(b"GET /v1/healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.ends_with("ok\n"), "{response}");
+
+    // A short loadgen run against it must report a high warm-hit ratio
+    // and write a parsable record.
+    let (stdout, stderr, code) = vdbench(&[
+        "loadgen",
+        "--addr",
+        &addr,
+        "--duration-secs",
+        "0.5",
+        "--connections",
+        "4",
+        "--pool-scans",
+        "8",
+        "--out",
+        record_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "loadgen failed: {stderr}");
+    assert!(stdout.contains("record written to"), "{stdout}");
+    let record: vdbench::server::ServeRecord =
+        serde_json::from_str(&std::fs::read_to_string(&record_path).unwrap()).unwrap();
+    assert_eq!(record.seed_pass.errors, 0);
+    assert_eq!(record.errors, 0);
+    assert!(record.requests > 0);
+    assert!(
+        record.warm_hit_ratio > 0.9,
+        "measured phase must be warm, got {}",
+        record.warm_hit_ratio
+    );
+
+    server.kill().expect("server stops");
+    let _ = server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
 }
