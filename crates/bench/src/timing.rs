@@ -141,6 +141,12 @@ pub struct CampaignTiming {
     /// cache. `None` when the disk tier is off or this run *was* the
     /// cold one.
     pub warm_millis: Option<f64>,
+    /// Process peak RSS (`VmHWM`) at campaign end, in kB; 0 where procfs
+    /// is unavailable.
+    pub peak_rss_kb: u64,
+    /// Shards consumed by streamed/sharded scans (`scan.shards`); 0 for
+    /// campaigns that never took the streaming path.
+    pub shard_count: u64,
     /// Campaign-cache hit/miss counters at campaign end (all tiers).
     pub cache: CacheCounters,
     /// Fault-injection and resilient-scan counters at campaign end
@@ -196,6 +202,8 @@ impl CampaignTiming {
             total_millis,
             cold_millis: None,
             warm_millis: None,
+            peak_rss_kb: vdbench_telemetry::peak_rss_kb().unwrap_or(0),
+            shard_count: metrics.counters.get("scan.shards").copied().unwrap_or(0),
             cache: CacheCounters::from_snapshot(metrics),
             resilience: {
                 let mut r = metrics.counters_with_prefix("fault.");
@@ -342,6 +350,8 @@ mod tests {
             total_millis: 500.0,
             cold_millis: None,
             warm_millis: None,
+            peak_rss_kb: 40_960,
+            shard_count: 12,
             cache: CacheCounters {
                 case_study_hits: 6,
                 case_study_misses: 4,
@@ -406,6 +416,8 @@ mod tests {
         assert!(json.contains("\"name\": \"fig6\""));
         assert!(json.contains("\"threads_requested\": 4"));
         assert!(json.contains("\"cold_millis\": null"));
+        assert!(json.contains("\"peak_rss_kb\": 40960"));
+        assert!(json.contains("\"shard_count\": 12"));
         // Valid JSON round-trip through the vendored parser.
         let parsed: CampaignTiming = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed, record);
@@ -511,6 +523,10 @@ mod tests {
         assert!(record.total_millis >= 0.0);
         assert!(record.threads_requested >= 1);
         assert!(record.threads_used >= 1);
+        assert_eq!(record.shard_count, 0, "no streamed scans ran");
+        if cfg!(target_os = "linux") {
+            assert!(record.peak_rss_kb > 0, "procfs high-water mark captured");
+        }
     }
 
     #[test]

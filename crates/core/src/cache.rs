@@ -378,7 +378,7 @@ fn blob_path(dir: &Path, kind: &str, key: u64) -> PathBuf {
 /// unreadable file, truncated or corrupt JSON, layout drift — is a miss:
 /// the caller recomputes and overwrites. Counts `cache.disk.hits` /
 /// `cache.disk.misses`.
-fn disk_get<T: serde::de::DeserializeOwned>(kind: &str, key: u64) -> Option<T> {
+pub(crate) fn disk_get<T: serde::de::DeserializeOwned>(kind: &str, key: u64) -> Option<T> {
     let dir = disk_cache_dir()?;
     let path = blob_path(&dir, kind, key);
     let value = std::fs::read_to_string(&path)
@@ -396,7 +396,7 @@ fn disk_get<T: serde::de::DeserializeOwned>(kind: &str, key: u64) -> Option<T> {
 /// in the store directory, then `rename` into place — readers only ever
 /// observe complete blobs. I/O failures are silently dropped (the value
 /// stays in the memory tier). Counts `cache.disk.writes`.
-fn disk_put<T: serde::Serialize + ?Sized>(kind: &str, key: u64, value: &T) {
+pub(crate) fn disk_put<T: serde::Serialize + ?Sized>(kind: &str, key: u64, value: &T) {
     let Some(dir) = disk_cache_dir() else { return };
     let path = blob_path(&dir, kind, key);
     let json = match serde_json::to_string(value) {
@@ -710,6 +710,106 @@ pub fn raw_blob_put(kind: &str, key: u64, text: &str) {
     disk_put(kind, key, text);
 }
 
+// ---------------------------------------------------------------------------
+// Store inventory & on-demand GC (`vdbench cache`)
+// ---------------------------------------------------------------------------
+
+/// Per-kind blob census of one store directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlobInventory {
+    /// `(count, bytes)` per blob kind (`case`, `scan`, `art`, `manifest`,
+    /// `srv-scan`, …), current schema version only, sorted by kind.
+    pub kinds: std::collections::BTreeMap<String, (u64, u64)>,
+    /// `(count, bytes)` of blobs written under other schema versions.
+    pub stale: (u64, u64),
+    /// `(count, bytes)` of abandoned tmp files (crashed mid-publish).
+    pub tmp: (u64, u64),
+}
+
+impl BlobInventory {
+    /// Total live blobs (current schema) across all kinds.
+    #[must_use]
+    pub fn live_count(&self) -> u64 {
+        self.kinds.values().map(|(n, _)| n).sum()
+    }
+
+    /// Total live-blob bytes across all kinds.
+    #[must_use]
+    pub fn live_bytes(&self) -> u64 {
+        self.kinds.values().map(|(_, b)| b).sum()
+    }
+}
+
+/// Walks a store directory and classifies every file by kind, without
+/// touching the ambient disk-tier configuration (unlike
+/// [`set_disk_cache`], which sweeps on open — this is a read-only
+/// census, so `vdbench cache stats` can report *before* any sweeping).
+#[must_use]
+pub fn blob_inventory_in(dir: &Path) -> BlobInventory {
+    let mut inv = BlobInventory::default();
+    let current = format!("v{CACHE_SCHEMA_VERSION}-");
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return inv;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+        if name.contains(".tmp-") {
+            inv.tmp.0 += 1;
+            inv.tmp.1 += bytes;
+            continue;
+        }
+        if !name.ends_with(".json") {
+            continue;
+        }
+        let Some(stem) = name
+            .strip_prefix(&current)
+            .and_then(|s| s.strip_suffix(".json"))
+        else {
+            inv.stale.0 += 1;
+            inv.stale.1 += bytes;
+            continue;
+        };
+        // `{kind}-{key:016x}` — the kind itself may contain dashes
+        // ("srv-scan"), so split at the *last* one.
+        let kind = stem.rsplit_once('-').map_or(stem, |(k, _)| k);
+        let slot = inv.kinds.entry(kind.to_string()).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += bytes;
+    }
+    inv
+}
+
+/// Sweeps stale-schema blobs and abandoned tmp files out of `dir` on
+/// demand, returning `(files removed, bytes reclaimed)`. The same policy
+/// [`set_disk_cache`] applies on store open, exposed separately so
+/// `vdbench cache gc` can clean a store it never opens for computation.
+/// Removals are counted as `cache.disk.evictions`.
+pub fn gc_dir(dir: &Path) -> (u64, u64) {
+    let current = format!("v{CACHE_SCHEMA_VERSION}-");
+    let mut removed = (0u64, 0u64);
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return removed;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale_blob = name.ends_with(".json") && !name.starts_with(&current);
+        let abandoned_tmp = name.contains(".tmp-");
+        if !(stale_blob || abandoned_tmp) {
+            continue;
+        }
+        let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+        if std::fs::remove_file(entry.path()).is_ok() {
+            counters().disk_evictions.inc();
+            removed.0 += 1;
+            removed.1 += bytes;
+        }
+    }
+    removed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -859,6 +959,35 @@ mod tests {
         assert_eq!(after.disk_hits, before.disk_hits);
         assert_eq!(after.disk_misses, before.disk_misses);
         assert_eq!(after.disk_writes, before.disk_writes);
+    }
+
+    #[test]
+    fn inventory_and_gc_classify_the_store() {
+        let _guard = test_lock();
+        let dir = std::env::temp_dir().join(format!("vdbench-cache-inv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let live_scan = blob_path(&dir, "scan", 0x1);
+        let live_srv = blob_path(&dir, "srv-scan", 0x2);
+        std::fs::write(&live_scan, "\"x\"").unwrap();
+        std::fs::write(&live_srv, "\"yy\"").unwrap();
+        std::fs::write(dir.join("v0-scan-0000000000000003.json"), "old").unwrap();
+        std::fs::write(dir.join("0000000000000004.tmp-1-0"), "half").unwrap();
+        let inv = blob_inventory_in(&dir);
+        assert_eq!(inv.kinds["scan"], (1, 3));
+        assert_eq!(inv.kinds["srv-scan"], (1, 4));
+        assert_eq!(inv.live_count(), 2);
+        assert_eq!(inv.live_bytes(), 7);
+        assert_eq!(inv.stale.0, 1);
+        assert_eq!(inv.tmp.0, 1);
+        let (files, bytes) = gc_dir(&dir);
+        assert_eq!(files, 2);
+        assert!(bytes > 0);
+        let after = blob_inventory_in(&dir);
+        assert_eq!(after.stale, (0, 0));
+        assert_eq!(after.tmp, (0, 0));
+        assert_eq!(after.live_count(), 2, "gc never touches live blobs");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod campaign;
 pub mod consistency;
 pub mod error;
 pub mod ranking;
+pub mod scale;
 pub mod scenario;
 pub mod selection;
 pub mod validation;
@@ -41,12 +42,15 @@ pub mod validation;
 pub use attributes::{assess_catalog, AssessmentConfig, AttributeAssessment, MetricAttribute};
 pub use benchmark::{Benchmark, BenchmarkReport, ScanRecord};
 pub use cache::{
-    artifact_key, cached_artifact, cached_assessment, cached_case_study, cached_scan,
-    disk_cache_dir, fnv1a_key, raw_blob_get, raw_blob_put, set_disk_cache, CacheStats,
-    CACHE_SCHEMA_VERSION,
+    artifact_key, blob_inventory_in, cached_artifact, cached_assessment, cached_case_study,
+    cached_scan, disk_cache_dir, fnv1a_key, gc_dir, raw_blob_get, raw_blob_put, set_disk_cache,
+    BlobInventory, CacheStats, CACHE_SCHEMA_VERSION,
 };
 pub use campaign::{fault_injection, run_case_study_faulty, set_fault_injection};
 pub use error::CoreError;
 pub use ranking::{rank_by_metric, RankingTable};
+pub use scale::{
+    streamed_scan, ScaleDelta, ScalePoint, ScaleRecord, StreamedScanReport, DEFAULT_SHARD_UNITS,
+};
 pub use scenario::{Scenario, ScenarioId};
 pub use selection::{MetricSelector, SelectionOutcome};

@@ -1,0 +1,422 @@
+//! Million-unit campaigns: streamed generation, fixed-memory sharded
+//! scanning, and incremental delta rescans.
+//!
+//! [`streamed_scan`] drives one detection tool over a
+//! [`CorpusBuilder`]-described corpus **without ever materializing it**:
+//! the [`vdbench_corpus::CorpusStream`] yields bounded shards, each shard
+//! is scanned and scored, and the per-shard confusion partials are folded
+//! into one running [`ConfusionMatrix`] — peak memory is a function of
+//! the shard size, not the corpus size (the `vdbench scale` bench and
+//! the CI `scale-smoke` job assert the resulting flat RSS curve).
+//!
+//! # Incrementality contract
+//!
+//! Each shard persists a *manifest* in the blob store (kind
+//! `"manifest"`): one entry per unit holding the unit's content
+//! fingerprint ([`vdbench_corpus::UnitPlan::fingerprint`] — stable
+//! across corpus growth, moved by any generator-knob or seed change)
+//! together with its scored [`SiteOutcome`]s and raw [`Finding`]s. On a
+//! later run, a unit whose fingerprint matches its manifest entry
+//! *replays* the stored score; only units whose fingerprints changed (or
+//! that are new) are materialized and rescanned. Growing a corpus by `k`
+//! units therefore rescans exactly `k`, and an identical rerun rescans
+//! none — `scan.units.{rescanned,replayed}` on the telemetry registry
+//! (and the [`StreamedScanReport`] fields) count both paths.
+//!
+//! Manifests are addressed per `(tool, fault, shard size, shard index)`,
+//! but matching is **per unit**, so replay/rescan totals are independent
+//! of the shard size used to write the manifest being read — a manifest
+//! written at `--shard-units 512` simply never aliases one written at
+//! `4096`. With the disk tier off, every unit rescans (the stream path
+//! still runs in bounded memory).
+
+use crate::cache::{self, tool_fingerprint};
+use crate::campaign;
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
+use vdbench_corpus::{CorpusBuilder, CorpusStream, UnitPlan};
+use vdbench_detectors::{score_findings, Detector, Finding, SiteOutcome};
+use vdbench_metrics::ConfusionMatrix;
+use vdbench_telemetry::registry::Counter;
+
+/// Default shard size: large enough to saturate the rayon pool per
+/// shard, small enough that a shard of MiniWeb units plus its findings
+/// stays a few tens of MB — the knob behind the flat-RSS guarantee.
+pub const DEFAULT_SHARD_UNITS: usize = 4096;
+
+/// How many findings the report retains verbatim (the CLI preview);
+/// everything else is counted, not kept — the aggregate must stay O(1)
+/// in corpus size.
+const PREVIEW_FINDINGS: usize = 3;
+
+/// The `scan.*` counters on the process-wide telemetry registry.
+struct ScaleCounters {
+    rescanned: Arc<Counter>,
+    replayed: Arc<Counter>,
+    shards: Arc<Counter>,
+}
+
+fn counters() -> &'static ScaleCounters {
+    static COUNTERS: OnceLock<ScaleCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = vdbench_telemetry::registry::global();
+        ScaleCounters {
+            rescanned: reg.counter("scan.units.rescanned"),
+            replayed: reg.counter("scan.units.replayed"),
+            shards: reg.counter("scan.shards"),
+        }
+    })
+}
+
+/// One unit's persisted scan result inside a shard manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct UnitManifestEntry {
+    /// Global unit index.
+    index: u32,
+    /// The unit's content fingerprint at scan time.
+    fingerprint: u64,
+    /// Scored ground-truth records for the unit's sites.
+    outcomes: Vec<SiteOutcome>,
+    /// The tool's raw findings on the unit (site order).
+    findings: Vec<Finding>,
+}
+
+/// Aggregate of one streamed scan — O(1) in corpus size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedScanReport {
+    /// The tool's display name.
+    pub tool: String,
+    /// Units streamed.
+    pub units: u64,
+    /// Ground-truth sites scored.
+    pub sites: u64,
+    /// Shards the stream was consumed in.
+    pub shards: u64,
+    /// Pooled confusion matrix — identical to scoring the whole corpus
+    /// monolithically (per-shard partials merge associatively).
+    pub confusion: ConfusionMatrix,
+    /// Total findings the tool reported.
+    pub findings: u64,
+    /// The first few findings, verbatim (corpus order).
+    pub preview: Vec<Finding>,
+    /// Units materialized and scanned this run.
+    pub rescanned: u64,
+    /// Units replayed from a fingerprint-matching manifest entry.
+    pub replayed: u64,
+}
+
+/// Blob-store key of one shard manifest. The corpus seed and generator
+/// knobs are deliberately *not* part of the address — they live in the
+/// per-unit fingerprints, so a changed workload under the same address
+/// simply fails every fingerprint match and rescans (correct, just
+/// cold) instead of multiplying addresses.
+fn manifest_key(tool_fp: u64, fault_fp: u64, shard_units: usize, shard_index: u64) -> u64 {
+    let mut h = cache::fnv1a_key(b"manifest-v1");
+    for word in [tool_fp, fault_fp, shard_units as u64, shard_index] {
+        let mut bytes = Vec::with_capacity(8);
+        bytes.extend_from_slice(&word.to_le_bytes());
+        h = cache::fnv1a_key(&{
+            let mut acc = h.to_le_bytes().to_vec();
+            acc.extend_from_slice(&bytes);
+            acc
+        });
+    }
+    h
+}
+
+/// Scans the plans of one contiguous run, returning a manifest entry per
+/// unit (plan order).
+fn scan_run(
+    tool: &dyn Detector,
+    stream: &CorpusStream,
+    run: &[UnitPlan],
+) -> Vec<UnitManifestEntry> {
+    let shard = stream.materialize(run);
+    let findings = tool.analyze_corpus(&shard);
+    let outcome = score_findings(&tool.name(), &shard, &findings);
+    let base = run[0].index;
+    let mut entries: Vec<UnitManifestEntry> = run
+        .iter()
+        .map(|p| UnitManifestEntry {
+            index: p.index,
+            fingerprint: p.fingerprint,
+            outcomes: Vec::new(),
+            findings: Vec::new(),
+        })
+        .collect();
+    for rec in outcome.records() {
+        entries[(rec.site.unit - base) as usize]
+            .outcomes
+            .push(rec.clone());
+    }
+    for f in findings {
+        entries[(f.site.unit - base) as usize].findings.push(f);
+    }
+    entries
+}
+
+/// Runs `tool` over the corpus `builder` describes, in shards of
+/// `shard_units`, replaying fingerprint-matching units from the blob
+/// store's shard manifests. See the module docs for the memory and
+/// incrementality contracts.
+///
+/// The returned report's confusion matrix, finding count and preview are
+/// bit-identical to a monolithic `build()` + scan + score at any shard
+/// size; `rescanned`/`replayed` are this run's local counts (the global
+/// `scan.units.*` counters accumulate across runs).
+///
+/// # Panics
+///
+/// Panics if `shard_units` is 0.
+pub fn streamed_scan(
+    tool: &dyn Detector,
+    builder: &CorpusBuilder,
+    shard_units: usize,
+) -> StreamedScanReport {
+    assert!(shard_units > 0, "shard size must be positive");
+    let tool_fp = tool_fingerprint(tool);
+    let fault_fp = campaign::fault_injection().map_or(0, |c| c.fingerprint());
+    let mut stream = builder.stream();
+    let _span = vdbench_telemetry::span!(
+        "core",
+        "streamed_scan",
+        tool = tool.name(),
+        units = stream.total_units(),
+        shard_units = shard_units
+    );
+    let mut report = StreamedScanReport {
+        tool: tool.name(),
+        units: 0,
+        sites: 0,
+        shards: 0,
+        confusion: ConfusionMatrix::default(),
+        findings: 0,
+        preview: Vec::new(),
+        rescanned: 0,
+        replayed: 0,
+    };
+    let mut shard_index: u64 = 0;
+    loop {
+        let plans = stream.next_plans(shard_units);
+        if plans.is_empty() {
+            break;
+        }
+        let _span = vdbench_telemetry::span!(
+            "core",
+            "scan_shard",
+            index = shard_index,
+            units = plans.len()
+        );
+        let key = manifest_key(tool_fp, fault_fp, shard_units, shard_index);
+        let old: std::collections::BTreeMap<u32, UnitManifestEntry> =
+            cache::disk_get::<Vec<UnitManifestEntry>>("manifest", key)
+                .map(|entries| entries.into_iter().map(|e| (e.index, e)).collect())
+                .unwrap_or_default();
+
+        // Walk the shard in unit order, replaying matches and batching
+        // contiguous misses into materialized runs.
+        let mut entries: Vec<UnitManifestEntry> = Vec::with_capacity(plans.len());
+        let mut pending: Vec<UnitPlan> = Vec::new();
+        let mut rescanned_here: u64 = 0;
+        for plan in &plans {
+            match old.get(&plan.index) {
+                Some(e) if e.fingerprint == plan.fingerprint => {
+                    if !pending.is_empty() {
+                        rescanned_here += pending.len() as u64;
+                        entries.extend(scan_run(tool, &stream, &pending));
+                        pending.clear();
+                    }
+                    entries.push(e.clone());
+                    report.replayed += 1;
+                }
+                _ => pending.push(*plan),
+            }
+        }
+        if !pending.is_empty() {
+            rescanned_here += pending.len() as u64;
+            entries.extend(scan_run(tool, &stream, &pending));
+            pending.clear();
+        }
+        report.rescanned += rescanned_here;
+
+        // Absorb the shard into the O(1) aggregate.
+        for e in &entries {
+            report.sites += e.outcomes.len() as u64;
+            report.confusion = report.confusion
+                + ConfusionMatrix::from_outcomes(
+                    e.outcomes.iter().map(|r| (r.reported, r.vulnerable)),
+                );
+            report.findings += e.findings.len() as u64;
+            for f in &e.findings {
+                if report.preview.len() < PREVIEW_FINDINGS {
+                    report.preview.push(f.clone());
+                }
+            }
+        }
+        report.units += plans.len() as u64;
+        report.shards += 1;
+        if rescanned_here > 0 {
+            cache::disk_put("manifest", key, &entries);
+        }
+        shard_index += 1;
+    }
+    let c = counters();
+    c.rescanned.add(report.rescanned);
+    c.replayed.add(report.replayed);
+    c.shards.add(report.shards);
+    report
+}
+
+/// One measured point of the `vdbench scale` curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Corpus size at this point.
+    pub units: u64,
+    /// Ground-truth sites scored.
+    pub sites: u64,
+    /// Shards consumed.
+    pub shards: u64,
+    /// Wall-clock time of the streamed scan.
+    pub wall_ms: u64,
+    /// Process peak RSS (`VmHWM`) after the scan, in kB; 0 where procfs
+    /// is unavailable. Monotonic across points, which is why the scale
+    /// bench measures unit counts in ascending order.
+    pub peak_rss_kb: u64,
+    /// Units materialized and scanned at this point.
+    pub rescanned: u64,
+    /// Units replayed from manifests at this point.
+    pub replayed: u64,
+}
+
+/// The `BENCH_scale.json` document: units-vs-wall-time and peak-RSS
+/// curves for one tool, plus an optional delta-rescan measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleRecord {
+    /// Tool under measurement.
+    pub tool: String,
+    /// Generator seed.
+    pub seed: u64,
+    /// Shard size used throughout.
+    pub shard_units: u64,
+    /// Measured curve, ascending unit counts.
+    pub points: Vec<ScalePoint>,
+    /// Delta rerun: the largest point's corpus grown by `delta_units`,
+    /// rescanned incrementally.
+    pub delta: Option<ScaleDelta>,
+}
+
+/// The delta-rescan measurement of a [`ScaleRecord`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleDelta {
+    /// Corpus size before growth.
+    pub base_units: u64,
+    /// Corpus size after growth.
+    pub grown_units: u64,
+    /// Units actually rescanned (the growth tail — and only it, when the
+    /// base run's manifests are warm).
+    pub rescanned: u64,
+    /// Units replayed from the base run's manifests.
+    pub replayed: u64,
+    /// Wall-clock time of the delta rerun.
+    pub wall_ms: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::set_disk_cache;
+    use std::sync::Mutex;
+    use vdbench_detectors::{score_detector, PatternScanner};
+
+    /// The disk-tier configuration is process-global; serialize the
+    /// tests that repoint it.
+    fn disk_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().expect("scale test lock poisoned")
+    }
+
+    fn tmp_store(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("vdbench-scale-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn streamed_scan_matches_monolithic_at_any_shard_size() {
+        let _guard = disk_lock();
+        set_disk_cache(None);
+        let builder = CorpusBuilder::new().units(150).seed(0x5CA1E).clone();
+        let corpus = builder.build();
+        let tool = PatternScanner::aggressive();
+        let whole = score_detector(&tool, &corpus);
+        let findings = tool.analyze_corpus(&corpus);
+        for shard_units in [1usize, 17, 64, 150, 4096] {
+            let report = streamed_scan(&tool, &builder, shard_units);
+            assert_eq!(report.confusion, whole.confusion(), "shard {shard_units}");
+            assert_eq!(report.units, 150);
+            assert_eq!(report.sites, whole.records().len() as u64);
+            assert_eq!(report.findings, findings.len() as u64);
+            assert_eq!(
+                report.preview.as_slice(),
+                &findings[..PREVIEW_FINDINGS.min(findings.len())]
+            );
+            assert_eq!(report.rescanned, 150, "disk off: every unit rescans");
+            assert_eq!(report.replayed, 0);
+        }
+    }
+
+    #[test]
+    fn identical_rerun_replays_every_unit() {
+        let _guard = disk_lock();
+        let dir = tmp_store("rerun");
+        set_disk_cache(Some(dir.clone()));
+        let builder = CorpusBuilder::new().units(90).seed(0xD1FF).clone();
+        let tool = PatternScanner::aggressive();
+        let cold = streamed_scan(&tool, &builder, 32);
+        assert_eq!(cold.rescanned, 90);
+        assert_eq!(cold.replayed, 0);
+        let warm = streamed_scan(&tool, &builder, 32);
+        assert_eq!(warm.rescanned, 0, "identical rerun rescans nothing");
+        assert_eq!(warm.replayed, 90);
+        assert_eq!(warm.confusion, cold.confusion);
+        assert_eq!(warm.preview, cold.preview);
+        assert_eq!(warm.findings, cold.findings);
+        set_disk_cache(None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn growing_by_k_units_rescans_exactly_k() {
+        let _guard = disk_lock();
+        let dir = tmp_store("delta");
+        set_disk_cache(Some(dir.clone()));
+        let tool = PatternScanner::aggressive();
+        let base = CorpusBuilder::new().units(70).seed(0x9E0).clone();
+        let _ = streamed_scan(&tool, &base, 32);
+        let grown = CorpusBuilder::new().units(95).seed(0x9E0).clone();
+        let delta = streamed_scan(&tool, &grown, 32);
+        assert_eq!(delta.rescanned, 25, "exactly the k new units rescan");
+        assert_eq!(delta.replayed, 70);
+        // The incremental result matches a from-scratch monolithic scan.
+        let whole = score_detector(&tool, &grown.build());
+        assert_eq!(delta.confusion, whole.confusion());
+        set_disk_cache(None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn changed_seed_invalidates_every_manifest_entry() {
+        let _guard = disk_lock();
+        let dir = tmp_store("seedmove");
+        set_disk_cache(Some(dir.clone()));
+        let tool = PatternScanner::aggressive();
+        let a = CorpusBuilder::new().units(40).seed(1).clone();
+        let _ = streamed_scan(&tool, &a, 16);
+        let b = CorpusBuilder::new().units(40).seed(2).clone();
+        let moved = streamed_scan(&tool, &b, 16);
+        assert_eq!(moved.rescanned, 40, "new seed, nothing replays");
+        assert_eq!(moved.replayed, 0);
+        set_disk_cache(None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -30,11 +30,47 @@ pub struct SiteInfo {
 }
 
 /// A complete benchmark workload: units plus per-site ground truth.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Corpus {
     units: Vec<Unit>,
     sites: Vec<SiteInfo>,
     seed: u64,
+    /// Global index of `units[0]` when this corpus is a shard of a larger
+    /// streamed corpus; 0 (and omitted from JSON) for whole corpora, so
+    /// the serialized form — and hence content fingerprints — of existing
+    /// corpora is unchanged.
+    base: u32,
+}
+
+// Hand-written (the vendored serde derive has no `skip_serializing_if`):
+// `base` is omitted when 0 and defaults to 0 when absent, so whole-corpus
+// JSON — and every content fingerprint derived from it — is unchanged.
+impl Serialize for Corpus {
+    fn to_value(&self) -> serde::Value {
+        let mut pairs = vec![
+            ("units".to_string(), self.units.to_value()),
+            ("sites".to_string(), self.sites.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+        ];
+        if self.base != 0 {
+            pairs.push(("base".to_string(), self.base.to_value()));
+        }
+        serde::Value::Object(pairs)
+    }
+}
+
+impl Deserialize for Corpus {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Corpus {
+            units: serde::from_field(value, "units")?,
+            sites: serde::from_field(value, "sites")?,
+            seed: serde::from_field(value, "seed")?,
+            base: match value.get("base") {
+                Some(v) => u32::from_value(v)?,
+                None => 0,
+            },
+        })
+    }
 }
 
 impl Corpus {
@@ -45,14 +81,32 @@ impl Corpus {
     ///
     /// Panics if a site references a unit index outside `units`.
     pub fn from_parts(units: Vec<Unit>, sites: Vec<SiteInfo>, seed: u64) -> Self {
+        Self::from_shard(units, sites, seed, 0)
+    }
+
+    /// Assembles a *shard*: a contiguous window of a larger streamed
+    /// corpus whose first unit has global index `base`. Site ids stay
+    /// global, so findings and ground truth from different shards of the
+    /// same corpus compose without renumbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a site references a unit index outside the window.
+    pub fn from_shard(units: Vec<Unit>, sites: Vec<SiteInfo>, seed: u64, base: u32) -> Self {
         for s in &sites {
+            let local = s.site.unit.checked_sub(base).map(|i| i as usize);
             assert!(
-                (s.site.unit as usize) < units.len(),
+                local.is_some_and(|i| i < units.len()),
                 "site {} references missing unit",
                 s.site
             );
         }
-        Corpus { units, sites, seed }
+        Corpus {
+            units,
+            sites,
+            seed,
+            base,
+        }
     }
 
     /// The code units.
@@ -77,12 +131,18 @@ impl Corpus {
 
     /// The unit containing a site.
     pub fn unit_of(&self, site: SiteId) -> Option<&Unit> {
-        self.units.get(site.unit as usize)
+        let local = site.unit.checked_sub(self.base)?;
+        self.units.get(local as usize)
     }
 
     /// The seed the corpus was generated from.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Global index of the first unit (0 unless this is a shard).
+    pub fn unit_base(&self) -> u32 {
+        self.base
     }
 
     /// Aggregate statistics.
@@ -199,6 +259,63 @@ mod tests {
             }],
             0,
         );
+    }
+
+    #[test]
+    fn shard_lookup_uses_global_site_ids() {
+        let unit = Unit {
+            id: 5,
+            handler: Function::new("h", vec![], vec![]),
+            helpers: vec![],
+        };
+        let site = SiteId { unit: 5, sink: 0 };
+        let shard = Corpus::from_shard(
+            vec![unit],
+            vec![SiteInfo {
+                site,
+                class: VulnClass::Xss,
+                vulnerable: false,
+                shape: FlowShape::LiteralOnly,
+                witness: None,
+            }],
+            7,
+            5,
+        );
+        assert_eq!(shard.unit_base(), 5);
+        assert_eq!(shard.unit_of(site).unwrap().id, 5);
+        assert!(shard.unit_of(SiteId { unit: 4, sink: 0 }).is_none());
+        assert!(shard.unit_of(SiteId { unit: 6, sink: 0 }).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing unit")]
+    fn shard_site_below_base_panics() {
+        let unit = Unit {
+            id: 5,
+            handler: Function::new("h", vec![], vec![]),
+            helpers: vec![],
+        };
+        let _ = Corpus::from_shard(
+            vec![unit],
+            vec![SiteInfo {
+                site: SiteId { unit: 4, sink: 0 },
+                class: VulnClass::Xss,
+                vulnerable: false,
+                shape: FlowShape::LiteralOnly,
+                witness: None,
+            }],
+            7,
+            5,
+        );
+    }
+
+    #[test]
+    fn whole_corpus_json_has_no_base_field() {
+        let c = tiny();
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(!json.contains("\"base\""));
+        let back: Corpus = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! [`recipes`].
 
 pub mod recipes;
+pub mod stream;
 
 use crate::ast::{SiteId, Unit};
 use crate::corpus::{Corpus, SiteInfo};
@@ -221,6 +222,13 @@ impl CorpusBuilder {
             sites.push(info);
         }
         Corpus::from_parts(units, sites, self.seed)
+    }
+
+    /// Streams the same corpus [`build`](Self::build) would produce in
+    /// bounded shards, without materializing it whole. See
+    /// [`stream::CorpusStream`].
+    pub fn stream(&self) -> stream::CorpusStream {
+        stream::CorpusStream::new(self.clone())
     }
 
     fn generate_unit(&self, id: u32, rng: &mut SeededRng) -> (Unit, SiteInfo) {

@@ -1,0 +1,286 @@
+//! Streaming corpus generation.
+//!
+//! [`CorpusStream`] yields the exact unit sequence [`CorpusBuilder::build`]
+//! would produce, in bounded windows, without ever materializing the whole
+//! corpus. The builder's `build` loop draws one parent-RNG value per unit
+//! (`rng.split("unit-{i}")`); the stream replays the same draw sequence and
+//! records each unit's derived seed in a [`UnitPlan`], so materializing any
+//! window — or any single unit — is bit-identical to the monolithic path.
+//!
+//! Each plan also carries a content *fingerprint*:
+//! `derive_seed(config_fp ^ unit_seed, index)`, where `config_fp` folds
+//! every generator knob except the unit count. Growing a corpus therefore
+//! leaves existing fingerprints untouched (only the new tail differs),
+//! which is what makes incremental delta rescans exact.
+
+use super::CorpusBuilder;
+use crate::corpus::Corpus;
+use vdbench_stats::{derive_seed, SeededRng};
+
+/// FNV-1a over a byte string (the repo-wide content-hash primitive).
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Folds every generator knob *except the unit count* into one hash, so a
+/// grown corpus keeps the fingerprints of its existing units.
+fn config_fingerprint(b: &CorpusBuilder) -> u64 {
+    let mut h = fnv1a_64(b"corpus-config-v1");
+    let mut mix = |v: u64| h = derive_seed(h ^ v, 0x5ca1e);
+    mix(b.density.to_bits());
+    mix(fnv1a_64(format!("{:?}", b.classes).as_bytes()));
+    match &b.class_weights {
+        None => mix(0),
+        Some(ws) => {
+            mix(1 + ws.len() as u64);
+            for w in ws {
+                mix(w.to_bits());
+            }
+        }
+    }
+    mix(b.disguise_rate.to_bits());
+    mix(b.decoy_rate.to_bits());
+    mix(b.interproc_rate.to_bits());
+    mix(b.gate_rate.to_bits());
+    mix(b.stored_rate.to_bits());
+    mix(b.gate_obscurity.to_bits());
+    mix(b.noise as u64);
+    h
+}
+
+/// The identity of one not-yet-materialized unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitPlan {
+    /// Global unit index (becomes `Unit::id`).
+    pub index: u32,
+    /// Seed of the unit's private RNG, exactly as `build()` derives it.
+    pub seed: u64,
+    /// Content fingerprint: stable across runs and across corpus growth,
+    /// changed by any generator knob or seed change that affects the unit.
+    pub fingerprint: u64,
+}
+
+/// On-demand generator over a [`CorpusBuilder`]'s unit sequence.
+///
+/// ```
+/// use vdbench_corpus::CorpusBuilder;
+///
+/// let builder = CorpusBuilder::new().units(100).seed(7);
+/// let mut stream = builder.stream();
+/// let mut shards = 0;
+/// let mut units = 0;
+/// while let Some(shard) = stream.next_shard(32) {
+///     shards += 1;
+///     units += shard.units().len();
+/// }
+/// assert_eq!((shards, units), (4, 100));
+/// ```
+#[derive(Debug)]
+pub struct CorpusStream {
+    builder: CorpusBuilder,
+    parent: SeededRng,
+    next: usize,
+    config_fp: u64,
+}
+
+impl CorpusStream {
+    pub(crate) fn new(builder: CorpusBuilder) -> Self {
+        let parent = SeededRng::new(builder.seed);
+        let config_fp = config_fingerprint(&builder);
+        CorpusStream {
+            builder,
+            parent,
+            next: 0,
+            config_fp,
+        }
+    }
+
+    /// Total units the stream will yield.
+    pub fn total_units(&self) -> usize {
+        self.builder.units
+    }
+
+    /// Units not yet yielded.
+    pub fn remaining_units(&self) -> usize {
+        self.builder.units - self.next
+    }
+
+    /// Hash of every generator knob except the unit count (the `base` of
+    /// each unit's fingerprint derivation).
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config_fp
+    }
+
+    /// Yields identities for the next `max` units (fewer at the end of the
+    /// stream; empty when exhausted). Consumes one parent-RNG draw per
+    /// plan, exactly like the monolithic `build()` loop.
+    pub fn next_plans(&mut self, max: usize) -> Vec<UnitPlan> {
+        let take = max.min(self.remaining_units());
+        let mut plans = Vec::with_capacity(take);
+        for _ in 0..take {
+            let i = self.next;
+            let seed = self.parent.split_seed(&format!("unit-{i}"));
+            plans.push(UnitPlan {
+                index: i as u32,
+                seed,
+                fingerprint: derive_seed(self.config_fp ^ seed, i as u64),
+            });
+            self.next += 1;
+        }
+        plans
+    }
+
+    /// Materializes a contiguous run of plans as a shard whose site ids
+    /// stay global ([`Corpus::unit_base`] = the first plan's index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plans are not index-contiguous.
+    pub fn materialize(&self, plans: &[UnitPlan]) -> Corpus {
+        let base = plans.first().map_or(0, |p| p.index);
+        let mut units = Vec::with_capacity(plans.len());
+        let mut sites = Vec::with_capacity(plans.len());
+        for (offset, plan) in plans.iter().enumerate() {
+            assert_eq!(
+                plan.index as usize,
+                base as usize + offset,
+                "materialize requires index-contiguous plans"
+            );
+            let mut rng = SeededRng::new(plan.seed);
+            let (unit, info) = self.builder.generate_unit(plan.index, &mut rng);
+            units.push(unit);
+            sites.push(info);
+        }
+        Corpus::from_shard(units, sites, self.builder.seed, base)
+    }
+
+    /// Yields the next shard of at most `max` units, or `None` when the
+    /// stream is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is 0.
+    pub fn next_shard(&mut self, max: usize) -> Option<Corpus> {
+        assert!(max > 0, "shard size must be positive");
+        let plans = self.next_plans(max);
+        if plans.is_empty() {
+            None
+        } else {
+            Some(self.materialize(&plans))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stream_matches_build_at_any_shard_size() {
+        let builder = CorpusBuilder::new().units(53).seed(41);
+        let whole = builder.build();
+        for shard_size in [1usize, 7, 16, 53, 100] {
+            let mut stream = builder.stream();
+            let mut units = Vec::new();
+            let mut sites = Vec::new();
+            while let Some(shard) = stream.next_shard(shard_size) {
+                units.extend_from_slice(shard.units());
+                sites.extend(shard.sites().cloned());
+            }
+            let glued = Corpus::from_parts(units, sites, whole.seed());
+            assert_eq!(glued, whole, "shard size {shard_size}");
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_under_growth() {
+        let small: Vec<_> = CorpusBuilder::new()
+            .units(20)
+            .seed(9)
+            .stream()
+            .next_plans(20);
+        let big: Vec<_> = CorpusBuilder::new()
+            .units(35)
+            .seed(9)
+            .stream()
+            .next_plans(35);
+        assert_eq!(&big[..20], &small[..]);
+        let other_seed: Vec<_> = CorpusBuilder::new()
+            .units(20)
+            .seed(10)
+            .stream()
+            .next_plans(20);
+        for (a, b) in small.iter().zip(&other_seed) {
+            assert_ne!(a.fingerprint, b.fingerprint, "unit {}", a.index);
+        }
+    }
+
+    #[test]
+    fn knob_changes_move_every_fingerprint() {
+        let base: Vec<_> = CorpusBuilder::new()
+            .units(10)
+            .seed(3)
+            .stream()
+            .next_plans(10);
+        let noisier: Vec<_> = CorpusBuilder::new()
+            .units(10)
+            .seed(3)
+            .noise(9)
+            .stream()
+            .next_plans(10);
+        for (a, b) in base.iter().zip(&noisier) {
+            assert_eq!(a.seed, b.seed, "unit seeds depend only on the seed");
+            assert_ne!(a.fingerprint, b.fingerprint, "unit {}", a.index);
+        }
+    }
+
+    #[test]
+    fn single_unit_materialization_matches_build() {
+        let builder = CorpusBuilder::new().units(12).seed(77);
+        let whole = builder.build();
+        let mut stream = builder.stream();
+        let plans = stream.next_plans(12);
+        for plan in &plans {
+            let one = stream.materialize(std::slice::from_ref(plan));
+            assert_eq!(one.units(), &whole.units()[plan.index as usize..][..1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index-contiguous")]
+    fn non_contiguous_plans_panic() {
+        let mut stream = CorpusBuilder::new().units(4).seed(1).stream();
+        let plans = stream.next_plans(4);
+        let gapped = [plans[0], plans[2]];
+        let _ = stream.materialize(&gapped);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_stream_is_bit_identical_to_build(
+            seed in any::<u64>(),
+            units in 0usize..80,
+            shard in 1usize..33,
+        ) {
+            let builder = CorpusBuilder::new().units(units).seed(seed);
+            let whole = builder.build();
+            let mut stream = builder.stream();
+            let mut all_units = Vec::new();
+            let mut all_sites = Vec::new();
+            while let Some(s) = stream.next_shard(shard) {
+                prop_assert!(s.units().len() <= shard);
+                all_units.extend_from_slice(s.units());
+                all_sites.extend(s.sites().cloned());
+            }
+            let glued = Corpus::from_parts(all_units, all_sites, seed);
+            prop_assert_eq!(glued, whole);
+        }
+    }
+}

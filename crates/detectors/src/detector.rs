@@ -17,6 +17,29 @@ pub struct ScanContext {
     pub step_budget: u64,
 }
 
+/// Scan-wide decisions made once per attempt, before any shard is
+/// visited (see [`Detector::begin_scan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScanPrelude {
+    /// When set, only this prefix fraction of the concatenated findings
+    /// survives the scan (fault-injected result truncation). `None` for
+    /// honest tools.
+    pub keep_fraction: Option<f64>,
+}
+
+/// Result of scanning one shard (see [`Detector::analyze_shard`]).
+#[derive(Debug, Clone)]
+pub struct ShardScan {
+    /// Findings for the shard's units, in unit order.
+    pub findings: Vec<Finding>,
+    /// Virtual steps the shard cost (a nominal unit scan costs one).
+    pub steps: u64,
+    /// A crash observed inside the shard, if any. The driver keeps
+    /// scanning remaining shards (fault bookkeeping must not depend on
+    /// shard boundaries) and reports the crash with the lowest unit index.
+    pub crash: Option<ScanError>,
+}
+
 /// A vulnerability detection tool.
 ///
 /// Tools receive one [`Unit`] at a time plus the owning [`Corpus`] for
@@ -97,6 +120,40 @@ pub trait Detector: std::fmt::Debug + Send + Sync {
             });
         }
         Ok(self.analyze_corpus(corpus))
+    }
+
+    /// Scan-wide decisions made once per attempt, before any shard.
+    ///
+    /// `corpus_seed` identifies the workload ([`Corpus::seed`] — identical
+    /// for every shard of one streamed corpus), so fault decisions keyed
+    /// on it are independent of shard boundaries. Honest tools have no
+    /// scan-wide state; [`crate::FaultyDetector`] overrides this to roll
+    /// its outright-timeout and result-truncation faults exactly as the
+    /// monolithic path does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError`] when the attempt fails before scanning
+    /// (fault-injected outright timeout).
+    fn begin_scan(&self, corpus_seed: u64, cx: &ScanContext) -> Result<ScanPrelude, ScanError> {
+        let _ = (corpus_seed, cx);
+        Ok(ScanPrelude::default())
+    }
+
+    /// Scans one shard of a streamed corpus.
+    ///
+    /// The shard's site ids are global ([`Corpus::unit_base`]), so
+    /// per-unit decisions keyed on `Unit::id` are identical however the
+    /// corpus is sharded. The default implementation is the honest path:
+    /// one step per unit, no crash, findings from
+    /// [`Detector::analyze_corpus`].
+    fn analyze_shard(&self, shard: &Corpus, cx: &ScanContext) -> ShardScan {
+        let _ = cx;
+        ShardScan {
+            findings: self.analyze_corpus(shard),
+            steps: shard.units().len() as u64,
+            crash: None,
+        }
     }
 }
 

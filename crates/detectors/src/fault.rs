@@ -31,7 +31,7 @@
 //! the scan — mirroring how a crashing tool still burned the full scan
 //! before dying, and keeping the observability layer deterministic.
 
-use crate::detector::{Detector, ScanContext};
+use crate::detector::{Detector, ScanContext, ScanPrelude, ShardScan};
 use crate::finding::Finding;
 use crate::resilient::ScanError;
 use rayon::prelude::*;
@@ -296,6 +296,13 @@ fn record_injection(kind: FaultKind, tool: &str, detail: u64) {
     );
 }
 
+/// Records a result-truncation injection (`dropped` findings lost). The
+/// sharded scan driver applies truncation after the last shard, so the
+/// bookkeeping lives here next to its siblings.
+pub(crate) fn record_truncation(tool: &str, dropped: u64) {
+    record_injection(FaultKind::Truncate, tool, dropped);
+}
+
 /// Scan-level fault decisions for one `(tool, attempt)` pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct ScanFaults {
@@ -451,14 +458,10 @@ impl Detector for FaultyDetector {
 
     fn analyze(&self, corpus: &Corpus, unit: &Unit) -> Vec<Finding> {
         let mut findings = self.inner.analyze(corpus, unit);
-        // `analyze` has no unit index; locate it for the decision
-        // stream. Units are scanned from their owning corpus, so the
-        // position lookup is exact.
-        let unit_index = corpus
-            .units()
-            .iter()
-            .position(|u| std::ptr::eq(u, unit))
-            .unwrap_or(0) as u64;
+        // The decision stream is keyed on the unit's *global* id, which
+        // equals its corpus position for whole corpora and stays correct
+        // inside shards ([`Corpus::unit_base`] windows).
+        let unit_index = u64::from(unit.id);
         if self
             .plan
             .unit_faults(
@@ -473,24 +476,14 @@ impl Detector for FaultyDetector {
         findings
     }
 
-    fn try_analyze_corpus(
-        &self,
-        corpus: &Corpus,
-        cx: &ScanContext,
-    ) -> Result<Vec<Finding>, ScanError> {
+    /// Scan-level fault rolls. An outright timeout still "ran" nothing,
+    /// exactly like a tool killed before producing output; a truncate
+    /// roll survives the whole scan in the prelude and is applied to the
+    /// concatenated findings at the end — *after* the last shard — so
+    /// shard boundaries cannot move the cut.
+    fn begin_scan(&self, corpus_seed: u64, cx: &ScanContext) -> Result<ScanPrelude, ScanError> {
         let tool = self.inner.name();
-        let tool_h = FaultPlan::stream_key(&tool, corpus.seed());
-        let units = corpus.units();
-        let _span = vdbench_telemetry::span!(
-            "detectors",
-            "scan_corpus",
-            tool = tool,
-            units = units.len(),
-            attempt = cx.attempt
-        );
-
-        // Scan-level decisions first: an outright timeout still "runs"
-        // nothing, exactly like a tool killed before producing output.
+        let tool_h = FaultPlan::stream_key(&tool, corpus_seed);
         let scan = self.plan.scan_faults(tool_h, cx.attempt);
         if scan.timeout {
             record_injection(FaultKind::Timeout, &tool, u64::from(cx.attempt));
@@ -499,66 +492,88 @@ impl Detector for FaultyDetector {
                 spent: cx.step_budget.saturating_add(1),
             });
         }
+        Ok(ScanPrelude {
+            keep_fraction: scan.keep_fraction,
+        })
+    }
 
-        // Per-unit pass. Every decision is evaluated (and counted) even
-        // when an earlier unit already doomed the attempt, so counters
-        // and downstream state are identical at any thread count.
+    /// Per-unit pass over one shard. Every decision is keyed on the
+    /// unit's *global* id and evaluated (and counted) even when an
+    /// earlier unit already doomed the attempt, so counters and
+    /// downstream state are identical at any thread count and any shard
+    /// size.
+    fn analyze_shard(&self, shard: &Corpus, cx: &ScanContext) -> ShardScan {
+        let tool = self.inner.name();
+        let tool_h = FaultPlan::stream_key(&tool, shard.seed());
+        let units = shard.units();
+        let _span = vdbench_telemetry::span!(
+            "detectors",
+            "scan_corpus",
+            tool = tool,
+            units = units.len(),
+            attempt = cx.attempt
+        );
+
         struct UnitScan {
             steps: u64,
-            crashed: bool,
+            crashed: Option<u64>,
             findings: Vec<Finding>,
         }
         let scans: Vec<UnitScan> = (0..units.len())
             .into_par_iter()
             .map(|i| {
                 let _span = vdbench_telemetry::span!("detectors", "scan_unit");
-                let faults = self.plan.unit_faults(tool_h, cx.attempt, i as u64);
-                let mut findings = self.inner.analyze(corpus, &units[i]);
+                let global = u64::from(units[i].id);
+                let faults = self.plan.unit_faults(tool_h, cx.attempt, global);
+                let mut findings = self.inner.analyze(shard, &units[i]);
                 if faults.flip {
-                    self.apply_flip(&units[i], i as u64, &mut findings);
+                    self.apply_flip(&units[i], global, &mut findings);
                 }
                 let steps = if faults.slowdown {
-                    record_injection(FaultKind::Slowdown, &tool, i as u64);
+                    record_injection(FaultKind::Slowdown, &tool, global);
                     SLOWDOWN_COST
                 } else {
                     1
                 };
                 if faults.crash {
-                    record_injection(FaultKind::Crash, &tool, i as u64);
+                    record_injection(FaultKind::Crash, &tool, global);
                 }
                 UnitScan {
                     steps,
-                    crashed: faults.crash,
+                    crashed: faults.crash.then_some(global),
                     findings,
                 }
             })
             .collect();
 
-        if let Some(unit) = scans.iter().position(|s| s.crashed) {
-            return Err(ScanError::Crash {
-                unit,
+        let crash = scans
+            .iter()
+            .filter_map(|s| s.crashed)
+            .min()
+            .map(|unit| ScanError::Crash {
+                unit: unit as usize,
                 message: format!("injected crash while scanning unit {unit}"),
             });
-        }
-        let spent: u64 = scans.iter().map(|s| s.steps).sum();
-        if spent > cx.step_budget {
-            // Emergent timeout: the slowdowns exhausted the budget.
-            return Err(ScanError::Timeout {
-                budget: cx.step_budget,
-                spent,
-            });
-        }
-
+        let steps: u64 = scans.iter().map(|s| s.steps).sum();
         let mut findings: Vec<Finding> = Vec::new();
         for s in scans {
             findings.extend(s.findings);
         }
-        if let Some(keep) = scan.keep_fraction {
-            let kept = ((findings.len() as f64) * keep).floor() as usize;
-            record_injection(FaultKind::Truncate, &tool, (findings.len() - kept) as u64);
-            findings.truncate(kept);
+        ShardScan {
+            findings,
+            steps,
+            crash,
         }
-        Ok(findings)
+    }
+
+    fn try_analyze_corpus(
+        &self,
+        corpus: &Corpus,
+        cx: &ScanContext,
+    ) -> Result<Vec<Finding>, ScanError> {
+        // The monolithic path is the sharded path with one shard — the
+        // same two hooks, so the two can never drift apart.
+        crate::shard::try_analyze_sharded(self, corpus.seed(), std::iter::once(corpus), cx)
     }
 }
 

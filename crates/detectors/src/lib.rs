@@ -49,9 +49,10 @@ pub mod pattern;
 pub mod profile;
 pub mod resilient;
 pub mod score;
+pub mod shard;
 pub mod taint;
 
-pub use detector::{Detector, ScanContext};
+pub use detector::{Detector, ScanContext, ScanPrelude, ShardScan};
 pub use dynamic::DynamicScanner;
 pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultProfile, FaultRates, FaultyDetector};
 pub use finding::Finding;
@@ -59,4 +60,5 @@ pub use pattern::PatternScanner;
 pub use profile::ProfileTool;
 pub use resilient::{score_detector_resilient, ScanError, ScanOutcome, ScanPolicy};
 pub use score::{score_detector, score_findings, DetectionOutcome, SiteOutcome};
+pub use shard::try_analyze_sharded;
 pub use taint::TaintAnalyzer;

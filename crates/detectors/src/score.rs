@@ -168,6 +168,21 @@ impl DetectionOutcome {
             records: Vec::new(),
         }
     }
+
+    /// Appends another shard's records. Scoring one streamed corpus shard
+    /// by shard and merging in shard order yields record-for-record the
+    /// outcome of scoring the whole corpus at once (records follow site
+    /// order, and shards are contiguous site windows), which is what
+    /// makes per-shard confusion partials merge associatively into the
+    /// monolithic score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcomes belong to different tools.
+    pub fn merge(&mut self, other: DetectionOutcome) {
+        assert_eq!(self.tool, other.tool, "cannot merge outcomes across tools");
+        self.records.extend(other.records);
+    }
 }
 
 /// Runs a detector over a corpus and scores every case.

@@ -22,9 +22,16 @@ use vdbench_core::{Scenario, ScenarioId};
 use vdbench_corpus::{Corpus, CorpusBuilder};
 use vdbench_detectors::{Detector, DynamicScanner, PatternScanner, TaintAnalyzer};
 
-/// Largest corpus a scan request may ask for: bounds worst-case compute
-/// per admitted request (admission control bounds how many run at once).
-pub const MAX_SCAN_UNITS: u64 = 2_000;
+/// Largest corpus a scan request may ask for. Scans run through the
+/// fixed-memory streamed/sharded engine ([`vdbench_core::streamed_scan`]),
+/// so the cap bounds compute time, not memory — million-unit requests are
+/// admissible (admission control bounds how many run at once).
+pub const MAX_SCAN_UNITS: u64 = 1_000_000;
+
+/// Largest workload a case-study request may ask for. Case studies
+/// materialize their corpus and run the full tool roster, so they keep
+/// the original tight bound.
+pub const MAX_CASE_STUDY_UNITS: u64 = 2_000;
 
 /// Default client identity when a request carries none.
 pub const ANON_CLIENT: &str = "anon";
@@ -255,9 +262,9 @@ impl ApiRequest {
                 let scenario = scenario_by_label(&label)
                     .ok_or_else(|| format!("unknown scenario `{label}` (S1, S2, S3 or S4)"))?;
                 let units = wire.units.unwrap_or(scenario.workload_units as u64);
-                if units == 0 || units > MAX_SCAN_UNITS {
+                if units == 0 || units > MAX_CASE_STUDY_UNITS {
                     return Err(format!(
-                        "units must be in 1..={MAX_SCAN_UNITS}, got {units}"
+                        "units must be in 1..={MAX_CASE_STUDY_UNITS}, got {units}"
                     ));
                 }
                 Ok(ApiRequest::CaseStudy(CaseStudyRequest {
@@ -373,9 +380,15 @@ impl ApiRequest {
             }
             ApiRequest::Scan(r) => {
                 let tool = tool_by_name(&r.tool).ok_or("tool vanished")?;
-                let corpus = r.build_corpus();
-                let outcome = vdbench_core::cached_scan(tool.as_ref(), &corpus);
-                let summary = ScanSummary::new(r, &corpus, &outcome);
+                // The streamed/sharded engine: fixed-memory at any corpus
+                // size, and repeat scans of unchanged units replay their
+                // manifest entries instead of recomputing.
+                let report = vdbench_core::streamed_scan(
+                    tool.as_ref(),
+                    &r.corpus_builder(),
+                    vdbench_core::DEFAULT_SHARD_UNITS,
+                );
+                let summary = ScanSummary::from_report(r, &report);
                 serde_json::to_string(&summary).map_err(|e| e.to_string())
             }
             ApiRequest::CaseStudy(r) => {
@@ -392,15 +405,21 @@ impl ApiRequest {
 }
 
 impl ScanRequest {
-    /// The corpus the request describes.
+    /// The generator configuration the request describes.
     #[must_use]
-    pub fn build_corpus(&self) -> Corpus {
+    pub fn corpus_builder(&self) -> CorpusBuilder {
         CorpusBuilder::new()
             .units(self.units as usize)
             .vulnerability_density(self.density)
             .stored_rate(self.stored_rate)
             .seed(self.seed)
-            .build()
+            .clone()
+    }
+
+    /// The corpus the request describes, materialized.
+    #[must_use]
+    pub fn build_corpus(&self) -> Corpus {
+        self.corpus_builder().build()
     }
 }
 
@@ -433,16 +452,12 @@ pub struct ScanSummary {
 }
 
 impl ScanSummary {
-    fn new(
-        request: &ScanRequest,
-        corpus: &Corpus,
-        outcome: &vdbench_detectors::DetectionOutcome,
-    ) -> Self {
-        let cm = outcome.confusion();
+    fn from_report(request: &ScanRequest, report: &vdbench_core::StreamedScanReport) -> Self {
+        let cm = &report.confusion;
         ScanSummary {
             tool: request.tool.clone(),
             units: request.units,
-            sites: corpus.site_count() as u64,
+            sites: report.sites,
             seed: request.seed,
             true_positives: cm.tp,
             false_positives: cm.fp,
@@ -539,6 +554,18 @@ mod tests {
             Scenario::standard(ScenarioId::S3Procurement).workload_units as u64
         );
         assert_eq!(req.cost_units(), r.units as usize);
+    }
+
+    #[test]
+    fn scan_caps_admit_streaming_scale_but_case_studies_stay_bounded() {
+        let ok = ApiRequest::parse("/v1/scan", r#"{"tool":"pattern","units":1000000}"#);
+        assert!(ok.is_ok(), "million-unit scans stream in fixed memory");
+        let too_big =
+            ApiRequest::parse("/v1/scan", r#"{"tool":"pattern","units":1000001}"#).unwrap_err();
+        assert!(too_big.contains("units must be"), "{too_big}");
+        let case =
+            ApiRequest::parse("/v1/case-study", r#"{"scenario":"S1","units":2001}"#).unwrap_err();
+        assert!(case.contains("units must be in 1..=2000"), "{case}");
     }
 
     #[test]

@@ -325,6 +325,7 @@ impl Service {
         let stats = StatsResponse {
             server: snapshot.counters_with_prefix("server."),
             cache: snapshot.counters_with_prefix("cache."),
+            scan: snapshot.counters_with_prefix("scan."),
             latency: LatencySummary {
                 count: latency.count,
                 p50_us: latency.quantile_upper_bound(0.50),
@@ -362,6 +363,11 @@ pub struct StatsResponse {
     pub server: BTreeMap<String, u64>,
     /// `cache.*` counters from the blob store underneath.
     pub cache: BTreeMap<String, u64>,
+    /// `scan.*` counters from the streamed/sharded scan engine
+    /// (`scan.shards`, `scan.units.rescanned`, `scan.units.replayed`) and
+    /// the resilient scanner (`scan.attempts`, …). Only counters that
+    /// fired appear.
+    pub scan: BTreeMap<String, u64>,
     /// Request latency summary off the log₂ histogram.
     pub latency: LatencySummary,
 }
@@ -432,6 +438,22 @@ mod tests {
         let free = Service::new(ServiceConfig::default());
         assert!(free.charge("a", u64::MAX).is_ok());
         assert!(free.charge("a", u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn scan_requests_surface_streaming_counters_in_stats() {
+        let svc = Service::new(ServiceConfig::default());
+        let resp = svc.handle(&post(
+            "/v1/scan",
+            r#"{"tool":"pattern","units":25,"seed":41}"#,
+        ));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let stats: StatsResponse =
+            serde_json::from_str(&svc.handle(&get("/v1/stats")).body).unwrap();
+        assert!(*stats.scan.get("scan.shards").unwrap_or(&0) > 0);
+        let rescanned = *stats.scan.get("scan.units.rescanned").unwrap_or(&0);
+        let replayed = *stats.scan.get("scan.units.replayed").unwrap_or(&0);
+        assert!(rescanned + replayed >= 25, "every unit was accounted");
     }
 
     #[test]

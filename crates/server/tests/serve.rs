@@ -219,7 +219,7 @@ fn thundering_herd_on_one_cold_key_computes_once() {
     let cold_before = counter("server.cold_misses");
     let coalesced_before = counter("server.coalesced");
     let warm_before = counter("server.warm_hits");
-    let scan_misses_before = counter("cache.scan.misses");
+    let rescanned_before = counter("scan.units.rescanned");
 
     const HERD: usize = 8;
     let barrier = Barrier::new(HERD);
@@ -250,9 +250,9 @@ fn thundering_herd_on_one_cold_key_computes_once() {
         "exactly one computation"
     );
     assert_eq!(
-        counter("cache.scan.misses"),
-        scan_misses_before + 1,
-        "the scan itself ran once"
+        counter("scan.units.rescanned"),
+        rescanned_before + 800,
+        "the streamed scan itself ran once (800 units, no repeats)"
     );
     let followers = (counter("server.coalesced") - coalesced_before)
         + (counter("server.warm_hits") - warm_before);

@@ -63,13 +63,20 @@ impl SeededRng {
     /// FNV-1a hash, so sibling streams do not overlap and adding a stream
     /// never perturbs existing ones.
     pub fn split(&mut self, label: &str) -> SeededRng {
+        SeededRng::new(self.split_seed(label))
+    }
+
+    /// Returns the seed [`split`](Self::split) would construct its child
+    /// from, consuming the same single parent draw. Lets callers record a
+    /// sub-stream's identity (e.g. for deferred materialization) without
+    /// instantiating the generator.
+    pub fn split_seed(&mut self, label: &str) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for byte in label.bytes() {
             h ^= u64::from(byte);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        h ^= self.inner.next_u64();
-        SeededRng::new(h)
+        h ^ self.inner.next_u64()
     }
 
     /// Uniform sample in `[0, 1)`.

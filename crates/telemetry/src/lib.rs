@@ -103,6 +103,22 @@ pub fn reset() {
     EVENTS.store(0, Ordering::Relaxed);
 }
 
+/// Peak resident set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable (non-Linux
+/// platforms). The kernel's high-water mark is monotonic over the process
+/// lifetime, so memory curves sampled at increasing workload sizes are
+/// directly comparable — the scale bench relies on this.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm_kb(&status)
+}
+
+/// Parses the `VmHWM:` line out of a `/proc/<pid>/status` document.
+fn parse_vm_hwm_kb(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// The fixed instant all span timestamps are measured from (first use).
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -151,5 +167,21 @@ mod tests {
         let a = now_nanos();
         let b = now_nanos();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn vm_hwm_parses_the_kernel_format() {
+        let doc =
+            "Name:\tvdbench\nVmPeak:\t  123456 kB\nVmHWM:\t   98765 kB\nVmRSS:\t   90000 kB\n";
+        assert_eq!(parse_vm_hwm_kb(doc), Some(98765));
+        assert_eq!(parse_vm_hwm_kb("Name:\tx\n"), None);
+        assert_eq!(parse_vm_hwm_kb("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_is_available_on_linux() {
+        let kb = peak_rss_kb().expect("procfs available");
+        assert!(kb > 0);
     }
 }

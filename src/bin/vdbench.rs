@@ -103,8 +103,75 @@ const COMMANDS: &[CommandSpec] = &[
                 "FILE",
                 "scan a saved corpus instead of generating"
             ),
+            flag!(
+                "shard-units",
+                "N",
+                "stream the corpus in fixed-memory shards of N units"
+            ),
+            flag!(
+                "cache-dir",
+                "DIR",
+                "manifest store for incremental rescans (with --shard-units)"
+            ),
         ],
         run: cmd_scan,
+    },
+    CommandSpec {
+        name: "scale",
+        summary: "Measure streamed-scan wall-time and peak-RSS curves, write BENCH_scale.json",
+        flags: &[
+            flag!(
+                "units",
+                "N,N,..",
+                "ascending corpus sizes to measure (default 10000,100000)"
+            ),
+            flag!(
+                "shard-units",
+                "N",
+                "shard size for the streamed scans (default 4096)"
+            ),
+            flag!("tool", "NAME", "detection tool to drive (default pattern)"),
+            flag!("seed", "N", "generator seed (default 2015)"),
+            flag!(
+                "density",
+                "F",
+                "vulnerability density in [0, 1] (default 0.3)"
+            ),
+            flag!(
+                "delta",
+                "K",
+                "rerun the largest corpus grown by K units, rescanning incrementally"
+            ),
+            flag!(
+                "cache-dir",
+                "DIR",
+                "manifest store (default target/vdbench-scale-cache)"
+            ),
+            flag!("out", "FILE", "record path (default BENCH_scale.json)"),
+            flag!(
+                "assert-flat",
+                "F",
+                "fail if peak RSS grows more than F x across the curve"
+            ),
+        ],
+        run: cmd_scale,
+    },
+    CommandSpec {
+        name: "cache",
+        summary: "Inspect and garbage-collect a blob store directory",
+        flags: &[
+            flag!(
+                "dir",
+                "DIR",
+                "blob store directory (default target/vdbench-cache)"
+            ),
+            flag!(
+                "gc",
+                "on|off",
+                "sweep abandoned tmp files and stale-schema blobs (default off)"
+            ),
+        ],
+        run: cmd_cache,
     },
     CommandSpec {
         name: "bench",
@@ -368,7 +435,8 @@ fn load_or_build_corpus(flags: &Flags) -> Result<vdbench::corpus::Corpus, String
     build_corpus(flags)
 }
 
-fn build_corpus(flags: &Flags) -> Result<vdbench::corpus::Corpus, String> {
+/// Configures a [`CorpusBuilder`] from the numeric generator flags.
+fn corpus_builder(flags: &Flags) -> Result<CorpusBuilder, String> {
     let units = flag_usize(flags, "units", 200)?;
     let density = flag_f64(flags, "density", 0.3)?;
     let seed = flag_u64(flags, "seed", 2015)?;
@@ -384,7 +452,11 @@ fn build_corpus(flags: &Flags) -> Result<vdbench::corpus::Corpus, String> {
         .vulnerability_density(density)
         .stored_rate(stored_rate)
         .seed(seed)
-        .build())
+        .clone())
+}
+
+fn build_corpus(flags: &Flags) -> Result<vdbench::corpus::Corpus, String> {
+    Ok(corpus_builder(flags)?.build())
 }
 
 fn cmd_generate(flags: &Flags) -> Result<(), String> {
@@ -425,40 +497,273 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_scan(flags: &Flags) -> Result<(), String> {
-    let tool_name = flags
-        .get("tool")
-        .ok_or("scan needs --tool (see `vdbench help`)")?;
-    let tool = vdbench::server::tool_by_name(tool_name)
-        .ok_or_else(|| format!("unknown tool `{tool_name}` (see `vdbench help`)"))?;
-    let corpus = load_or_build_corpus(flags)?;
-    let outcome = score_detector(tool.as_ref(), &corpus);
-    let cm = outcome.confusion();
-    println!(
-        "{} on {} cases: {}",
-        outcome.tool(),
-        corpus.site_count(),
-        cm
-    );
+/// Prints a scan summary: confusion line, metric table, findings preview.
+/// The monolithic and streamed scan paths both feed this one printer,
+/// which is what keeps `--shard-units` output byte-identical.
+fn print_scan_report(
+    tool: &str,
+    sites: u64,
+    cm: &ConfusionMatrix,
+    findings_total: u64,
+    preview: &[vdbench::detectors::Finding],
+) {
+    println!("{tool} on {sites} cases: {cm}");
     for metric in default_candidates() {
         use vdbench::metrics::metric::MetricExt;
-        let v = metric.compute_or_nan(&cm);
+        let v = metric.compute_or_nan(cm);
         println!(
             "  {:8} {}",
             metric.abbrev(),
             vdbench::report::format::metric(v)
         );
     }
-    // Show a couple of findings with their rationale.
-    let findings = tool.analyze_corpus(&corpus);
-    println!("\n{} findings; first three:", findings.len());
-    for f in findings.iter().take(3) {
+    println!("\n{findings_total} findings; first three:");
+    for f in preview.iter().take(3) {
         println!(
             "  {} [{}] {}",
             f.site,
             f.class.map(|c| c.name()).unwrap_or("?"),
             f.rationale
         );
+    }
+}
+
+fn cmd_scan(flags: &Flags) -> Result<(), String> {
+    let tool_name = flags
+        .get("tool")
+        .ok_or("scan needs --tool (see `vdbench help`)")?;
+    let tool = vdbench::server::tool_by_name(tool_name)
+        .ok_or_else(|| format!("unknown tool `{tool_name}` (see `vdbench help`)"))?;
+    if let Some(value) = flags.get("shard-units") {
+        // Streamed path: generate and scan in fixed-memory shards.
+        if flags.contains_key("corpus") {
+            return Err(
+                "--shard-units streams a generated corpus; it cannot be combined with --corpus"
+                    .into(),
+            );
+        }
+        let shard_units: usize = value
+            .parse()
+            .map_err(|_| format!("--shard-units expects an integer, got `{value}`"))?;
+        if shard_units == 0 {
+            return Err("--shard-units must be positive".into());
+        }
+        if let Some(dir) = flags.get("cache-dir") {
+            vdbench::core::set_disk_cache(Some(std::path::PathBuf::from(dir)));
+        }
+        let builder = corpus_builder(flags)?;
+        let report = vdbench::core::streamed_scan(tool.as_ref(), &builder, shard_units);
+        print_scan_report(
+            &report.tool,
+            report.sites,
+            &report.confusion,
+            report.findings,
+            &report.preview,
+        );
+        eprintln!(
+            "scan: {} units in {} shards, {} rescanned, {} replayed",
+            report.units, report.shards, report.rescanned, report.replayed
+        );
+        return Ok(());
+    }
+    let corpus = load_or_build_corpus(flags)?;
+    let outcome = score_detector(tool.as_ref(), &corpus);
+    let cm = outcome.confusion();
+    // Show a couple of findings with their rationale.
+    let findings = tool.analyze_corpus(&corpus);
+    print_scan_report(
+        outcome.tool(),
+        corpus.site_count() as u64,
+        &cm,
+        findings.len() as u64,
+        &findings,
+    );
+    Ok(())
+}
+
+fn cmd_scale(flags: &Flags) -> Result<(), String> {
+    use std::time::Instant;
+    use vdbench::core::{streamed_scan, ScaleDelta, ScalePoint, ScaleRecord};
+    let list = flags
+        .get("units")
+        .map(String::as_str)
+        .unwrap_or("10000,100000");
+    let mut sizes: Vec<usize> = Vec::new();
+    for part in list.split(',') {
+        let n: usize = part.trim().parse().map_err(|_| {
+            format!("--units expects a comma-separated list of integers, got `{part}`")
+        })?;
+        if n == 0 {
+            return Err("--units entries must be positive".into());
+        }
+        sizes.push(n);
+    }
+    if !sizes.windows(2).all(|w| w[0] < w[1]) {
+        return Err(
+            "--units must be strictly ascending (the kernel's VmHWM high-water mark is \
+             monotonic, so memory curves are only meaningful over increasing sizes)"
+                .into(),
+        );
+    }
+    let shard_units = flag_usize(flags, "shard-units", vdbench::core::DEFAULT_SHARD_UNITS)?;
+    if shard_units == 0 {
+        return Err("--shard-units must be positive".into());
+    }
+    let tool_name = flags.get("tool").map(String::as_str).unwrap_or("pattern");
+    let tool = vdbench::server::tool_by_name(tool_name)
+        .ok_or_else(|| format!("unknown tool `{tool_name}` (see `vdbench help`)"))?;
+    let seed = flag_u64(flags, "seed", 2015)?;
+    let density = flag_f64(flags, "density", 0.3)?;
+    if !(0.0..=1.0).contains(&density) {
+        return Err("--density must be in [0, 1]".into());
+    }
+    let delta = flag_usize(flags, "delta", 0)?;
+    let cache_dir = flags
+        .get("cache-dir")
+        .cloned()
+        .unwrap_or_else(|| "target/vdbench-scale-cache".to_string());
+    vdbench::core::set_disk_cache(Some(std::path::PathBuf::from(&cache_dir)));
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let assert_flat = match flags.get("assert-flat") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| format!("--assert-flat expects a number, got `{v}`"))?,
+        ),
+    };
+    let builder_for = |units: usize| {
+        CorpusBuilder::new()
+            .units(units)
+            .vulnerability_density(density)
+            .seed(seed)
+            .clone()
+    };
+    // Wall-clock and RSS go to stderr and the JSON record only: stdout is
+    // deterministic, so two runs of the same curve diff byte-identically.
+    let mut points: Vec<ScalePoint> = Vec::new();
+    for &n in &sizes {
+        let start = Instant::now();
+        let report = streamed_scan(tool.as_ref(), &builder_for(n), shard_units);
+        let wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let peak_rss_kb = vdbench::telemetry::peak_rss_kb().unwrap_or(0);
+        let c = &report.confusion;
+        println!(
+            "scale: units={} sites={} tp={} fp={} fn={} tn={} rescanned={} replayed={}",
+            report.units, report.sites, c.tp, c.fp, c.fn_, c.tn, report.rescanned, report.replayed
+        );
+        eprintln!(
+            "  {} shards of {shard_units}: {wall_ms} ms, peak RSS {peak_rss_kb} kB",
+            report.shards
+        );
+        points.push(ScalePoint {
+            units: report.units,
+            sites: report.sites,
+            shards: report.shards,
+            wall_ms,
+            peak_rss_kb,
+            rescanned: report.rescanned,
+            replayed: report.replayed,
+        });
+    }
+    let mut delta_record = None;
+    if delta > 0 {
+        let base = *sizes.last().expect("sizes is non-empty");
+        let grown = base + delta;
+        let start = Instant::now();
+        let report = streamed_scan(tool.as_ref(), &builder_for(grown), shard_units);
+        let wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+        if report.replayed == 0 {
+            return Err(format!(
+                "delta rerun replayed nothing — the base run's manifests were not found \
+                 in {cache_dir}"
+            ));
+        }
+        println!(
+            "scale delta: base={base} grown={grown} rescanned={} replayed={}",
+            report.rescanned, report.replayed
+        );
+        delta_record = Some(ScaleDelta {
+            base_units: base as u64,
+            grown_units: grown as u64,
+            rescanned: report.rescanned,
+            replayed: report.replayed,
+            wall_ms,
+        });
+    }
+    let record = ScaleRecord {
+        tool: tool.name(),
+        seed,
+        shard_units: shard_units as u64,
+        points,
+        delta: delta_record,
+    };
+    let json = serde_json::to_string_pretty(&record)
+        .map_err(|e| format!("cannot serialize scale record: {e}"))?;
+    std::fs::write(&out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("record written to {out}");
+    if let Some(factor) = assert_flat {
+        let (first, last) = (
+            record
+                .points
+                .first()
+                .ok_or("--assert-flat needs at least one point")?,
+            record.points.last().expect("points is non-empty"),
+        );
+        if first.peak_rss_kb > 0 {
+            let ratio = last.peak_rss_kb as f64 / first.peak_rss_kb as f64;
+            if ratio > factor {
+                return Err(format!(
+                    "peak RSS grew {ratio:.2}x from {} to {} units (limit {factor}x)",
+                    first.units, last.units
+                ));
+            }
+            eprintln!(
+                "flat-memory check: peak RSS {ratio:.2}x from {} to {} units (limit {factor}x)",
+                first.units, last.units
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_cache(flags: &Flags) -> Result<(), String> {
+    let dir = flags
+        .get("dir")
+        .cloned()
+        .unwrap_or_else(|| "target/vdbench-cache".to_string());
+    let gc = match flags.get("gc").map(String::as_str) {
+        None | Some("off") => false,
+        Some("on") => true,
+        Some(v) => return Err(format!("--gc expects on|off, got `{v}`")),
+    };
+    let path = std::path::Path::new(&dir);
+    let inv = vdbench::core::blob_inventory_in(path);
+    println!(
+        "blob store {dir}: {} live blobs, {} bytes",
+        inv.live_count(),
+        inv.live_bytes()
+    );
+    for (kind, (count, bytes)) in &inv.kinds {
+        println!("  {kind:<10} {count:>6} blobs {bytes:>12} bytes");
+    }
+    if inv.stale.0 > 0 {
+        println!(
+            "  {:<10} {:>6} blobs {:>12} bytes (older schema)",
+            "stale", inv.stale.0, inv.stale.1
+        );
+    }
+    if inv.tmp.0 > 0 {
+        println!(
+            "  {:<10} {:>6} files {:>12} bytes (abandoned writes)",
+            "tmp", inv.tmp.0, inv.tmp.1
+        );
+    }
+    if gc {
+        let (files, bytes) = vdbench::core::gc_dir(path);
+        println!("gc: removed {files} files, {bytes} bytes reclaimed");
     }
     Ok(())
 }

@@ -50,6 +50,7 @@ pub use vdbench_metrics as metrics;
 pub use vdbench_report as report;
 pub use vdbench_server as server;
 pub use vdbench_stats as stats;
+pub use vdbench_telemetry as telemetry;
 
 /// Convenience re-exports covering the most common entry points.
 pub mod prelude {

@@ -34,6 +34,8 @@ fn help_lists_every_command_and_its_flags() {
         "recommend",
         "serve",
         "loadgen",
+        "scale",
+        "cache",
     ] {
         assert!(stdout.contains(cmd), "{cmd} missing from help");
     }
@@ -45,9 +47,96 @@ fn help_lists_every_command_and_its_flags() {
         "--max-inflight N",
         "--duration-secs F",
         "--cache-dir DIR",
+        "--shard-units N",
+        "--assert-flat F",
+        "--gc on|off",
     ] {
         assert!(stdout.contains(flag), "{flag} missing from help");
     }
+}
+
+#[test]
+fn sharded_scan_stdout_is_byte_identical() {
+    let (mono, _, code) = vdbench(&["scan", "--tool", "pattern", "--units", "90", "--seed", "3"]);
+    assert_eq!(code, Some(0));
+    let (sharded, stderr, code) = vdbench(&[
+        "scan",
+        "--tool",
+        "pattern",
+        "--units",
+        "90",
+        "--seed",
+        "3",
+        "--shard-units",
+        "16",
+    ]);
+    assert_eq!(code, Some(0));
+    assert_eq!(mono, sharded, "streamed path must not move a byte");
+    assert!(stderr.contains("90 units in 6 shards"), "{stderr}");
+    // Streaming regenerates; it cannot apply to a saved corpus file.
+    let (_, stderr, code) = vdbench(&[
+        "scan",
+        "--tool",
+        "pattern",
+        "--corpus",
+        "x.json",
+        "--shard-units",
+        "16",
+    ]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("cannot be combined"), "{stderr}");
+}
+
+#[test]
+fn scale_measures_and_delta_rescans_exactly() {
+    let dir = std::env::temp_dir().join(format!("vdbench-cli-scale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("cache");
+    let out = dir.join("BENCH_scale.json");
+    let (stdout, _, code) = vdbench(&[
+        "scale",
+        "--units",
+        "200,600",
+        "--shard-units",
+        "64",
+        "--delta",
+        "25",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(
+        stdout.contains("scale: units=200") && stdout.contains("scale: units=600"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("scale delta: base=600 grown=625 rescanned=25 replayed=600"),
+        "{stdout}"
+    );
+    let json = std::fs::read_to_string(&out).unwrap();
+    assert!(json.contains("\"shard_units\": 64"), "{json}");
+    // The manifest store is visible to the cache command, and gc leaves
+    // live blobs alone.
+    let (stdout, _, code) = vdbench(&["cache", "--dir", cache.to_str().unwrap(), "--gc", "on"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("manifest"), "{stdout}");
+    assert!(stdout.contains("gc: removed 0 files"), "{stdout}");
+    // VmHWM is monotonic, so non-ascending curves are rejected.
+    let (_, stderr, code) = vdbench(&[
+        "scale",
+        "--units",
+        "600,200",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("ascending"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
