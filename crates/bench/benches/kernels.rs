@@ -624,6 +624,69 @@ fn write_report(criterion: &Criterion) {
     }
 }
 
+/// Appends this run to the perf-history ledger when capture is enabled
+/// (`VDBENCH_PERF_HISTORY`). Gated series are the per-pair old/new speedup
+/// ratios — both sides measured in-process, so the ratio is comparable
+/// across hosts; absolute ns/iter series ride along as advisory context.
+/// Skipped in `--test` smoke mode, whose single-warmup timings are noise.
+fn append_perf_history(criterion: &Criterion) {
+    let Some(dir) = vdbench_perfwatch::env_dir() else {
+        return;
+    };
+    if criterion::test_mode() {
+        return;
+    }
+    let results = criterion.results();
+    let batches = |id: &str| {
+        results
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.batch_means_ns.as_slice())
+    };
+    let mut series = Vec::new();
+    for (kernel, old_id, new_id) in &PAIRS {
+        let (Some(old), Some(new)) = (batches(old_id), batches(new_id)) else {
+            continue;
+        };
+        let ratios: Vec<f64> = old
+            .iter()
+            .zip(new.iter())
+            .filter(|(_, &n)| n > 0.0)
+            .map(|(&o, &n)| o / n)
+            .collect();
+        if !ratios.is_empty() {
+            series.push(vdbench_perfwatch::Series::delta(
+                format!("{kernel}:speedup"),
+                "ratio",
+                "higher",
+                true,
+                ratios,
+            ));
+        }
+    }
+    for r in results {
+        series.push(vdbench_perfwatch::Series::delta(
+            format!("{}:ns", r.id),
+            "ns/iter",
+            "lower",
+            false,
+            r.batch_means_ns.clone(),
+        ));
+    }
+    let entry = vdbench_perfwatch::RunEntry {
+        source: "kernels".to_string(),
+        unix_ms: vdbench_perfwatch::now_ms(),
+        label: "kernels-bench".to_string(),
+        provenance: String::new(),
+        baseline: false,
+        series,
+    };
+    match vdbench_perfwatch::append_entry(&dir, &entry) {
+        Ok(path) => println!("appended perf history to {}", path.display()),
+        Err(e) => eprintln!("perf history append failed: {e}"),
+    }
+}
+
 fn main() {
     let mut criterion = Criterion::default();
     bench_kendall(&mut criterion);
@@ -632,4 +695,5 @@ fn main() {
     bench_vm(&mut criterion);
     bench_scan(&mut criterion);
     write_report(&criterion);
+    append_perf_history(&criterion);
 }

@@ -40,6 +40,12 @@
 //!   pollute clean entries).
 //! * `--no-disk-cache` — disable the persistent tier; only the in-memory
 //!   campaign cache is used (the pre-disk behaviour).
+//! * `--perf-history <dir>` — with `--timings`, also append this run's
+//!   timing series to the perfwatch ledger in `<dir>` (one JSONL line;
+//!   see DESIGN.md §17). Defaults to the `VDBENCH_PERF_HISTORY`
+//!   environment variable; capture is off when neither is set. Skipped
+//!   under an active fault profile, whose timings are not comparable to
+//!   clean runs.
 
 use rayon::prelude::*;
 use std::path::PathBuf;
@@ -58,6 +64,56 @@ const DEFAULT_CACHE_DIR: &str = "target/vdbench-cache";
 /// distinct from `EXPERIMENT_SEED` so faults and workloads vary
 /// independently.
 const DEFAULT_FAULT_SEED: u64 = 0xFA_2015;
+
+/// Appends the campaign timing to the perf-history ledger. The gated
+/// series is `warm_over_cold` — the disk-cache replay ratio measured
+/// in-process against this run's own cold baseline (bound 0.2, the
+/// statistical form of the old "warm must be ≥ 5× faster" floor). The
+/// absolute wall-clock and RSS numbers are advisory: CI hardware differs
+/// from the baseline-recording host.
+fn append_campaign_history(dir: &std::path::Path, record: &CampaignTiming) {
+    use vdbench_perfwatch::Series;
+    let mut series = vec![Series::delta(
+        "total_millis",
+        "ms",
+        "lower",
+        false,
+        vec![record.total_millis],
+    )];
+    if let (Some(cold), Some(warm)) = (record.cold_millis, record.warm_millis) {
+        if cold > 0.0 {
+            series.push(Series::bounded(
+                "warm_over_cold",
+                "ratio",
+                "lower",
+                true,
+                vec![warm / cold],
+                0.2,
+            ));
+        }
+    }
+    if record.peak_rss_kb > 0 {
+        series.push(Series::delta(
+            "peak_rss_kb",
+            "kB",
+            "lower",
+            false,
+            vec![record.peak_rss_kb as f64],
+        ));
+    }
+    let entry = vdbench_perfwatch::RunEntry {
+        source: "campaign".to_string(),
+        unix_ms: vdbench_perfwatch::now_ms(),
+        label: "run_all --timings".to_string(),
+        provenance: String::new(),
+        baseline: false,
+        series,
+    };
+    match vdbench_perfwatch::append_entry(dir, &entry) {
+        Ok(path) => eprintln!("appended perf history to {}", path.display()),
+        Err(e) => eprintln!("perf history append failed: {e}"),
+    }
+}
 
 /// One campaign artifact: display name plus its renderer.
 type Artifact = (&'static str, fn() -> String);
@@ -121,6 +177,12 @@ fn main() {
         None => DEFAULT_FAULT_SEED,
     };
     let no_disk_cache = args.iter().any(|a| a == "--no-disk-cache");
+    let perf_history: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--perf-history")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .or_else(vdbench_perfwatch::env_dir);
     let cache_dir: PathBuf = args
         .iter()
         .position(|a| a == "--cache-dir")
@@ -226,6 +288,15 @@ fn main() {
             match std::fs::write(path, record.to_json()) {
                 Ok(()) => eprintln!("timing record written to {path}"),
                 Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+            if let Some(dir) = &perf_history {
+                if faults_on {
+                    // Faulty campaigns time retries and degradation paths;
+                    // their distribution is not comparable to clean runs.
+                    eprintln!("perf history capture skipped under fault profile {fault_profile}");
+                } else {
+                    append_campaign_history(dir, &record);
+                }
             }
         }
         if let Some(path) = trace_out {

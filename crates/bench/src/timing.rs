@@ -230,7 +230,9 @@ impl CampaignTiming {
             if self.threads_requested == 1 { "" } else { "s" },
             self.threads_used
         );
-        let busy: f64 = self.stages.iter().map(|s| s.millis).sum();
+        // `+ 0.0` normalizes the empty-sum identity (-0.0) so an empty
+        // stage table renders "0.0 ms", not "-0.0 ms".
+        let busy: f64 = self.stages.iter().map(|s| s.millis).sum::<f64>() + 0.0;
         let mut by_cost: Vec<&StageTiming> = self.stages.iter().collect();
         by_cost.sort_by(|a, b| b.millis.total_cmp(&a.millis));
         let mut cumulative = 0.0;
@@ -527,6 +529,72 @@ mod tests {
         if cfg!(target_os = "linux") {
             assert!(record.peak_rss_kb > 0, "procfs high-water mark captured");
         }
+    }
+
+    #[test]
+    fn render_survives_empty_stage_table() {
+        let mut record = sample_record();
+        record.stages.clear();
+        record.total_millis = 0.0;
+        let text = record.render();
+        // No stages means no busy time: the share columns must not divide
+        // by zero, and the total line still closes the table.
+        assert!(
+            text.contains("total          0.0 ms wall (0.0 ms of stage work)"),
+            "{text}"
+        );
+        assert!(!text.contains("NaN"), "{text}");
+        assert!(!text.contains("inf"), "{text}");
+        let parsed: CampaignTiming = serde_json::from_str(&record.to_json()).unwrap();
+        assert!(parsed.stages.is_empty());
+    }
+
+    #[test]
+    fn counter_prefixes_are_dot_terminated() {
+        let _guard = EXCLUSIVE.lock().expect("telemetry test lock poisoned");
+        vdbench_telemetry::reset();
+        let trace = vdbench_telemetry::take_trace();
+        let reg = vdbench_telemetry::registry::Registry::new();
+        // `scandal.oops` shares the first four letters with the `scan.`
+        // family; the trailing dot in the prefix must keep it out.
+        reg.counter("scandal.oops").add(5);
+        reg.counter("scan.retries").add(2);
+        reg.counter("faulty.unit").add(3);
+        reg.counter("fault.injected.flip").add(1);
+        reg.counter("interpolate.x").add(4);
+        reg.counter("interp.vm.instructions").add(6);
+        let record = CampaignTiming::from_telemetry(1, &trace, &reg.snapshot());
+        assert_eq!(
+            record.resilience.keys().collect::<Vec<_>>(),
+            ["fault.injected.flip", "scan.retries"],
+            "lookalike counters must not leak into the resilience section"
+        );
+        assert_eq!(
+            record.interp.keys().collect::<Vec<_>>(),
+            ["interp.vm.instructions"],
+            "`interpolate.*` is not an interpreter counter"
+        );
+        let text = record.render();
+        assert!(!text.contains("scandal"), "{text}");
+        assert!(!text.contains("interpolate"), "{text}");
+    }
+
+    #[test]
+    fn missing_peak_rss_round_trips_as_zero() {
+        // Platforms without procfs report 0; the record must carry it
+        // through JSON unchanged rather than dropping or inventing a
+        // value, so downstream consumers can tell "unknown" from small.
+        let mut record = sample_record();
+        record.peak_rss_kb = 0;
+        let json = record.to_json();
+        assert!(json.contains("\"peak_rss_kb\": 0"), "{json}");
+        let parsed: CampaignTiming = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.peak_rss_kb, 0);
+        // The render never claims an RSS figure, so a zero high-water
+        // mark cannot mislead: the breakdown stays purely wall-clock.
+        let text = record.render();
+        assert!(!text.contains("RSS"), "{text}");
+        assert_eq!(text, sample_record().render(), "render ignores peak RSS");
     }
 
     #[test]

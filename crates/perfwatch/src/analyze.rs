@@ -1,0 +1,786 @@
+//! The statistical decision rule behind `perfwatch check`.
+//!
+//! Every tracked series is classified by its ledger schema:
+//!
+//! - **Delta series** (no bound): pool the baseline-flagged samples and the
+//!   candidate samples, compute the direction-signed relative delta
+//!   `r` (positive = worse), interval it with a two-sample percentile
+//!   bootstrap, and confirm with a permutation test on the raw samples.
+//!   Gated delta series share one Holm–Bonferroni family, so checking
+//!   many kernels does not inflate the false-alarm rate. A regression is
+//!   declared only when *all three* hold: adjusted `p < α`, `r` exceeds
+//!   the minimum effect size, and the CI excludes zero on the bad side.
+//! - **Bound series**: proportions (`successes`/`trials`) are checked with
+//!   a Wilson score interval against the recorded floor/ceiling; sample
+//!   vectors use a bootstrap CI of the mean (point check below `n = 3`).
+//!   A violation is declared only when the whole interval sits on the bad
+//!   side of the bound — the statistical version of the old hand-picked
+//!   threshold greps.
+//! - **Advisory series** (`gate: false`): analyzed and rendered but never
+//!   an exit-code failure; absolute wall-clock numbers land here because
+//!   CI hardware differs from the baseline-recording host.
+//!
+//! All randomness derives from fnv1a hashes of the series identity, so the
+//! verdicts and trend table are byte-identical across reruns and thread
+//! counts (the bootstrap is schedule-independent by construction).
+
+use crate::ledger::RunEntry;
+use std::collections::BTreeMap;
+use vdbench_stats::hypothesis::{holm_bonferroni, permutation_test_mean_diff};
+use vdbench_stats::intervals::wilson;
+use vdbench_stats::{derive_seed, Bootstrap, Confidence, SeededRng};
+
+/// Tunable thresholds for the decision rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Family-wise significance level for the permutation confirmation.
+    pub alpha: f64,
+    /// Minimum direction-signed relative delta to call a regression (noise
+    /// floor; 0.05 = 5%).
+    pub min_effect: f64,
+    /// Bootstrap replicates per series.
+    pub replicates: usize,
+    /// Permutation rounds per series.
+    pub rounds: usize,
+    /// Confidence level for interval estimates.
+    pub level: f64,
+    /// Restrict analysis to one source (ledger file stem), if set.
+    pub source: Option<String>,
+}
+
+impl Default for Config {
+    /// `α = 0.05`, 5% minimum effect, 2000 replicates / rounds, 95% CIs.
+    fn default() -> Self {
+        Config {
+            alpha: 0.05,
+            min_effect: 0.05,
+            replicates: 2000,
+            rounds: 2000,
+            level: 0.95,
+            source: None,
+        }
+    }
+}
+
+/// Outcome for one series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Statistically confirmed regression (gated delta series).
+    Regression,
+    /// Statistically confirmed improvement.
+    Improvement,
+    /// No confirmed change.
+    Stable,
+    /// Whole confidence interval on the bad side of the recorded bound.
+    BoundViolation,
+    /// Bound satisfied (interval not entirely on the bad side).
+    BoundOk,
+    /// Advisory series: reported, never gated.
+    Advisory,
+    /// Not enough data to decide (e.g. baselines only, no candidate runs).
+    Insufficient,
+}
+
+impl Verdict {
+    /// Label as rendered in the trend table.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Regression => "REGRESSION",
+            Verdict::Improvement => "improvement",
+            Verdict::Stable => "stable",
+            Verdict::BoundViolation => "BOUND VIOLATION",
+            Verdict::BoundOk => "bound ok",
+            Verdict::Advisory => "advisory",
+            Verdict::Insufficient => "insufficient",
+        }
+    }
+
+    /// Whether this verdict fails the gate.
+    pub fn fails(&self) -> bool {
+        matches!(self, Verdict::Regression | Verdict::BoundViolation)
+    }
+}
+
+/// Per-series analysis result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesReport {
+    /// Ledger source (file stem).
+    pub source: String,
+    /// Series name.
+    pub name: String,
+    /// Unit label.
+    pub unit: String,
+    /// `"higher"` or `"lower"` is good.
+    pub direction: String,
+    /// Whether the series can fail the gate.
+    pub gate: bool,
+    /// Pooled baseline sample count.
+    pub n_baseline: usize,
+    /// Pooled candidate sample count.
+    pub n_candidate: usize,
+    /// Mean of the pool the verdict was computed on (baseline side).
+    pub baseline_mean: Option<f64>,
+    /// Candidate-side mean (or the bound-checked pool's mean).
+    pub candidate_mean: Option<f64>,
+    /// Direction-signed relative delta in percent (positive = worse).
+    pub delta_pct: Option<f64>,
+    /// Confidence interval on the signed relative delta (delta series) or
+    /// on the bounded quantity (bound series).
+    pub ci: Option<(f64, f64)>,
+    /// Recorded bound, for bound series.
+    pub bound: Option<f64>,
+    /// Raw permutation p-value (delta series with both pools).
+    pub p_raw: Option<f64>,
+    /// Holm-adjusted p-value (gated delta series only).
+    pub p_adj: Option<f64>,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Free-form qualifier (e.g. `point check (n<3)`, `no candidate runs`).
+    pub note: String,
+}
+
+/// Full analysis over a ledger history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Per-series reports, sorted by `(source, name)`.
+    pub reports: Vec<SeriesReport>,
+    /// The configuration the analysis ran under.
+    pub config: Config,
+}
+
+impl Analysis {
+    /// Reports whose verdict fails the gate.
+    pub fn failures(&self) -> Vec<&SeriesReport> {
+        self.reports.iter().filter(|r| r.verdict.fails()).collect()
+    }
+
+    /// Whether `perfwatch check` should exit nonzero.
+    pub fn failed(&self) -> bool {
+        self.reports.iter().any(|r| r.verdict.fails())
+    }
+}
+
+/// Pooled state for one `(source, name)` series across the history.
+#[derive(Debug, Default)]
+struct Pool {
+    unit: String,
+    direction: String,
+    gate: bool,
+    bound: Option<f64>,
+    base_samples: Vec<f64>,
+    cand_samples: Vec<f64>,
+    base_successes: u64,
+    base_trials: u64,
+    cand_successes: u64,
+    cand_trials: u64,
+    is_proportion: bool,
+}
+
+/// 64-bit FNV-1a, the crate's deterministic series → RNG-seed map.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Direction-signed relative delta: positive = candidate worse.
+fn signed_delta(direction: &str, base_mean: f64, cand_mean: f64) -> f64 {
+    if base_mean.abs() < 1e-12 {
+        return 0.0;
+    }
+    match direction {
+        "higher" => (base_mean - cand_mean) / base_mean,
+        _ => (cand_mean - base_mean) / base_mean,
+    }
+}
+
+/// Runs the decision rule over a loaded ledger history.
+pub fn analyze(entries: &[RunEntry], config: &Config) -> Analysis {
+    let mut pools: BTreeMap<(String, String), Pool> = BTreeMap::new();
+    for entry in entries {
+        if let Some(filter) = &config.source {
+            if &entry.source != filter {
+                continue;
+            }
+        }
+        for s in &entry.series {
+            let pool = pools
+                .entry((entry.source.clone(), s.name.clone()))
+                .or_default();
+            // Metadata follows the most recent occurrence so schema tweaks
+            // (unit renames, gate flips) take effect without ledger surgery.
+            pool.unit = s.unit.clone();
+            pool.direction = s.direction.clone();
+            pool.gate = s.gate;
+            pool.bound = s.bound;
+            if let (Some(k), Some(n)) = (s.successes, s.trials) {
+                pool.is_proportion = true;
+                if entry.baseline {
+                    pool.base_successes += k;
+                    pool.base_trials += n;
+                } else {
+                    pool.cand_successes += k;
+                    pool.cand_trials += n;
+                }
+            }
+            if entry.baseline {
+                pool.base_samples.extend_from_slice(&s.samples);
+            } else {
+                pool.cand_samples.extend_from_slice(&s.samples);
+            }
+        }
+    }
+
+    let mut reports: Vec<SeriesReport> = Vec::with_capacity(pools.len());
+    for ((source, name), pool) in &pools {
+        let mut report = SeriesReport {
+            source: source.clone(),
+            name: name.clone(),
+            unit: pool.unit.clone(),
+            direction: pool.direction.clone(),
+            gate: pool.gate,
+            n_baseline: pool.base_samples.len(),
+            n_candidate: pool.cand_samples.len(),
+            baseline_mean: None,
+            candidate_mean: None,
+            delta_pct: None,
+            ci: None,
+            bound: pool.bound,
+            p_raw: None,
+            p_adj: None,
+            verdict: Verdict::Insufficient,
+            note: String::new(),
+        };
+        let series_seed = derive_seed(fnv1a(source.as_bytes()), fnv1a(name.as_bytes()));
+        if let Some(bound) = pool.bound {
+            analyze_bound(pool, bound, series_seed, config, &mut report);
+        } else {
+            analyze_delta(pool, series_seed, config, &mut report);
+        }
+        reports.push(report);
+    }
+
+    // One Holm family across the gated delta series that produced a raw p.
+    let family: Vec<usize> = reports
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.gate && r.bound.is_none() && r.p_raw.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    let raw: Vec<f64> = family
+        .iter()
+        .map(|&i| reports[i].p_raw.expect("filtered on p_raw"))
+        .collect();
+    let adjusted = holm_bonferroni(&raw);
+    for (&i, &p_adj) in family.iter().zip(adjusted.iter()) {
+        let r = &mut reports[i];
+        r.p_adj = Some(p_adj);
+        let delta = r.delta_pct.unwrap_or(0.0) / 100.0;
+        let (lo, hi) = r.ci.unwrap_or((0.0, 0.0));
+        let significant = p_adj < config.alpha;
+        r.verdict = if significant && delta > config.min_effect && lo > 0.0 {
+            Verdict::Regression
+        } else if significant && delta < -config.min_effect && hi < 0.0 {
+            Verdict::Improvement
+        } else {
+            Verdict::Stable
+        };
+    }
+
+    Analysis {
+        reports,
+        config: config.clone(),
+    }
+}
+
+/// Delta rule: fills means, delta, CI and raw p; the verdict is assigned
+/// after Holm adjustment (gated) or immediately (advisory).
+fn analyze_delta(pool: &Pool, series_seed: u64, config: &Config, report: &mut SeriesReport) {
+    if pool.base_samples.is_empty() || pool.cand_samples.is_empty() {
+        report.note = if pool.cand_samples.is_empty() {
+            "no candidate runs".to_string()
+        } else {
+            "no baseline".to_string()
+        };
+        report.verdict = if pool.gate {
+            Verdict::Insufficient
+        } else {
+            Verdict::Advisory
+        };
+        report.baseline_mean = (!pool.base_samples.is_empty()).then(|| mean(&pool.base_samples));
+        report.candidate_mean = (!pool.cand_samples.is_empty()).then(|| mean(&pool.cand_samples));
+        return;
+    }
+    let mb = mean(&pool.base_samples);
+    let mc = mean(&pool.cand_samples);
+    report.baseline_mean = Some(mb);
+    report.candidate_mean = Some(mc);
+    let delta = signed_delta(&pool.direction, mb, mc);
+    report.delta_pct = Some(delta * 100.0);
+
+    let direction = pool.direction.clone();
+    let stat = move |cand: &[f64], base: &[f64]| signed_delta(&direction, mean(base), mean(cand));
+    let mut boot_rng = SeededRng::new(derive_seed(series_seed, 0));
+    if let Ok(ci) = Bootstrap::new(config.replicates).two_sample_ci(
+        &pool.cand_samples,
+        &pool.base_samples,
+        config.level,
+        stat,
+        &mut boot_rng,
+    ) {
+        report.ci = Some((ci.lower, ci.upper));
+    }
+    let mut perm_rng = SeededRng::new(derive_seed(series_seed, 1));
+    if let Ok(test) = permutation_test_mean_diff(
+        &pool.cand_samples,
+        &pool.base_samples,
+        config.rounds,
+        &mut perm_rng,
+    ) {
+        report.p_raw = Some(test.p_value);
+    }
+    if !pool.gate {
+        report.verdict = Verdict::Advisory;
+    }
+    if pool.base_samples.len() < 2 || pool.cand_samples.len() < 2 {
+        report.note = "small n".to_string();
+    }
+}
+
+/// Bound rule: Wilson interval for proportions, bootstrap CI of the mean
+/// for sample vectors (point check below n = 3). The latest pool wins: a
+/// candidate run is checked if present, otherwise the baseline itself.
+fn analyze_bound(
+    pool: &Pool,
+    bound: f64,
+    series_seed: u64,
+    config: &Config,
+    report: &mut SeriesReport,
+) {
+    // `bound` is a floor when higher is better, a ceiling when lower is.
+    let floor = pool.direction == "higher";
+    let violated = |lo: f64, hi: f64| if floor { hi < bound } else { lo > bound };
+    let verdict = |bad: bool| {
+        if !pool.gate {
+            Verdict::Advisory
+        } else if bad {
+            Verdict::BoundViolation
+        } else {
+            Verdict::BoundOk
+        }
+    };
+    if pool.is_proportion {
+        let (k, n, from_baseline) = if pool.cand_trials > 0 {
+            (pool.cand_successes, pool.cand_trials, false)
+        } else {
+            (pool.base_successes, pool.base_trials, true)
+        };
+        report.n_baseline = pool.base_trials as usize;
+        report.n_candidate = pool.cand_trials as usize;
+        if n == 0 {
+            report.note = "no trials".to_string();
+            return;
+        }
+        let conf = Confidence::new(config.level).unwrap_or(Confidence::P95);
+        match wilson(k, n, conf) {
+            Ok(iv) => {
+                let m = Some(iv.estimate);
+                if from_baseline {
+                    report.baseline_mean = m;
+                    report.note = "no candidate runs; bound checked on baseline".to_string();
+                } else {
+                    report.candidate_mean = m;
+                }
+                report.ci = Some((iv.lower, iv.upper));
+                report.verdict = verdict(violated(iv.lower, iv.upper));
+            }
+            Err(e) => report.note = format!("wilson: {e}"),
+        }
+        return;
+    }
+    let (samples, from_baseline) = if pool.cand_samples.is_empty() {
+        (&pool.base_samples, true)
+    } else {
+        (&pool.cand_samples, false)
+    };
+    if samples.is_empty() {
+        report.note = "no samples".to_string();
+        return;
+    }
+    let m = mean(samples);
+    if from_baseline {
+        report.baseline_mean = Some(m);
+        report.note = "no candidate runs; bound checked on baseline".to_string();
+    } else {
+        report.candidate_mean = Some(m);
+    }
+    if samples.len() >= 3 {
+        let mut rng = SeededRng::new(derive_seed(series_seed, 2));
+        if let Ok(ci) =
+            Bootstrap::new(config.replicates).percentile_ci(samples, config.level, mean, &mut rng)
+        {
+            report.ci = Some((ci.lower, ci.upper));
+            report.verdict = verdict(violated(ci.lower, ci.upper));
+            return;
+        }
+    }
+    let note = "point check (n<3)";
+    report.note = if report.note.is_empty() {
+        note.to_string()
+    } else {
+        format!("{}; {note}", report.note)
+    };
+    report.verdict = verdict(if floor { m < bound } else { m > bound });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::{RunEntry, Series};
+
+    fn run(source: &str, baseline: bool, series: Vec<Series>) -> RunEntry {
+        RunEntry {
+            source: source.to_string(),
+            unix_ms: 0,
+            label: String::new(),
+            provenance: String::new(),
+            baseline,
+            series,
+        }
+    }
+
+    fn samples(center: f64, n: usize) -> Vec<f64> {
+        // Small deterministic jitter around `center` (~±1%).
+        (0..n)
+            .map(|i| center * (1.0 + 0.01 * (((i * 7919) % 13) as f64 - 6.0) / 6.0))
+            .collect()
+    }
+
+    #[test]
+    fn injected_slowdown_is_flagged_and_noise_is_not() {
+        let entries = vec![
+            run(
+                "kernels",
+                true,
+                vec![
+                    Series::delta("fast:speedup", "ratio", "higher", true, samples(3.0, 24)),
+                    Series::delta("noisy:speedup", "ratio", "higher", true, samples(2.0, 24)),
+                ],
+            ),
+            run(
+                "kernels",
+                false,
+                vec![
+                    // 20% slowdown on the ratio: 3.0 → 2.4.
+                    Series::delta("fast:speedup", "ratio", "higher", true, samples(2.4, 24)),
+                    // Same distribution: pure noise.
+                    Series::delta("noisy:speedup", "ratio", "higher", true, samples(2.0, 24)),
+                ],
+            ),
+        ];
+        let analysis = analyze(&entries, &Config::default());
+        assert!(analysis.failed());
+        let by_name = |n: &str| {
+            analysis
+                .reports
+                .iter()
+                .find(|r| r.name == n)
+                .expect("series present")
+        };
+        assert_eq!(by_name("fast:speedup").verdict, Verdict::Regression);
+        assert_eq!(by_name("noisy:speedup").verdict, Verdict::Stable);
+        assert!(by_name("fast:speedup").p_adj.expect("adjusted") < 0.05);
+        assert!(by_name("fast:speedup").delta_pct.expect("delta") > 15.0);
+    }
+
+    #[test]
+    fn improvement_is_not_a_failure() {
+        let entries = vec![
+            run(
+                "kernels",
+                true,
+                vec![Series::delta(
+                    "k:speedup",
+                    "ratio",
+                    "higher",
+                    true,
+                    samples(2.0, 24),
+                )],
+            ),
+            run(
+                "kernels",
+                false,
+                vec![Series::delta(
+                    "k:speedup",
+                    "ratio",
+                    "higher",
+                    true,
+                    samples(3.0, 24),
+                )],
+            ),
+        ];
+        let analysis = analyze(&entries, &Config::default());
+        assert!(!analysis.failed());
+        assert_eq!(analysis.reports[0].verdict, Verdict::Improvement);
+    }
+
+    #[test]
+    fn baselines_only_is_insufficient_not_failing() {
+        let entries = vec![run(
+            "kernels",
+            true,
+            vec![Series::delta(
+                "k:speedup",
+                "ratio",
+                "higher",
+                true,
+                samples(2.0, 10),
+            )],
+        )];
+        let analysis = analyze(&entries, &Config::default());
+        assert!(!analysis.failed());
+        assert_eq!(analysis.reports[0].verdict, Verdict::Insufficient);
+        assert_eq!(analysis.reports[0].note, "no candidate runs");
+    }
+
+    #[test]
+    fn advisory_series_never_fail() {
+        let entries = vec![
+            run(
+                "campaign",
+                true,
+                vec![Series::delta(
+                    "total_millis",
+                    "ms",
+                    "lower",
+                    false,
+                    samples(100.0, 8),
+                )],
+            ),
+            run(
+                "campaign",
+                false,
+                // Massive slowdown, but the series is advisory.
+                vec![Series::delta(
+                    "total_millis",
+                    "ms",
+                    "lower",
+                    false,
+                    samples(500.0, 8),
+                )],
+            ),
+        ];
+        let analysis = analyze(&entries, &Config::default());
+        assert!(!analysis.failed());
+        assert_eq!(analysis.reports[0].verdict, Verdict::Advisory);
+        assert!(analysis.reports[0].delta_pct.expect("delta") > 100.0);
+    }
+
+    #[test]
+    fn proportion_bound_gates_with_wilson() {
+        // 98/100 warm hits against a 0.9 floor: clearly satisfied.
+        let good = vec![run(
+            "serve",
+            true,
+            vec![Series::proportion(
+                "warm_hit_ratio",
+                "higher",
+                true,
+                98,
+                100,
+                0.9,
+            )],
+        )];
+        let analysis = analyze(&good, &Config::default());
+        assert_eq!(analysis.reports[0].verdict, Verdict::BoundOk);
+        assert!(!analysis.failed());
+        // 50/100 against 0.9: the whole interval sits below the floor.
+        let bad = vec![
+            run(
+                "serve",
+                true,
+                vec![Series::proportion(
+                    "warm_hit_ratio",
+                    "higher",
+                    true,
+                    98,
+                    100,
+                    0.9,
+                )],
+            ),
+            run(
+                "serve",
+                false,
+                vec![Series::proportion(
+                    "warm_hit_ratio",
+                    "higher",
+                    true,
+                    50,
+                    100,
+                    0.9,
+                )],
+            ),
+        ];
+        let analysis = analyze(&bad, &Config::default());
+        assert_eq!(analysis.reports[0].verdict, Verdict::BoundViolation);
+        assert!(analysis.failed());
+    }
+
+    #[test]
+    fn sample_bound_uses_point_check_for_tiny_n() {
+        let entries = vec![run(
+            "scale",
+            true,
+            vec![Series::bounded(
+                "rss_growth",
+                "ratio",
+                "lower",
+                true,
+                vec![1.1],
+                1.5,
+            )],
+        )];
+        let analysis = analyze(&entries, &Config::default());
+        assert_eq!(analysis.reports[0].verdict, Verdict::BoundOk);
+        assert!(analysis.reports[0].note.contains("point check"));
+        let entries = vec![run(
+            "scale",
+            true,
+            vec![Series::bounded(
+                "rss_growth",
+                "ratio",
+                "lower",
+                true,
+                vec![2.0],
+                1.5,
+            )],
+        )];
+        assert!(analyze(&entries, &Config::default()).failed());
+    }
+
+    #[test]
+    fn source_filter_restricts_family() {
+        let entries = vec![
+            run(
+                "kernels",
+                true,
+                vec![Series::delta(
+                    "k:speedup",
+                    "ratio",
+                    "higher",
+                    true,
+                    samples(2.0, 8),
+                )],
+            ),
+            run(
+                "serve",
+                true,
+                vec![Series::proportion(
+                    "warm_hit_ratio",
+                    "higher",
+                    true,
+                    9,
+                    10,
+                    0.5,
+                )],
+            ),
+        ];
+        let config = Config {
+            source: Some("serve".to_string()),
+            ..Config::default()
+        };
+        let analysis = analyze(&entries, &config);
+        assert_eq!(analysis.reports.len(), 1);
+        assert_eq!(analysis.reports[0].source, "serve");
+    }
+
+    #[test]
+    fn holm_family_suppresses_borderline_single_series() {
+        // A delta just past min_effect with modest evidence: with many
+        // sibling series in the family, Holm must keep it Stable unless
+        // the evidence is strong. Build 6 stable series + 1 borderline.
+        let mut base = Vec::new();
+        let mut cand = Vec::new();
+        for i in 0..6 {
+            let name = format!("k{i}:speedup");
+            base.push(Series::delta(
+                name.clone(),
+                "ratio",
+                "higher",
+                true,
+                samples(2.0, 12),
+            ));
+            cand.push(Series::delta(
+                name,
+                "ratio",
+                "higher",
+                true,
+                samples(2.0, 12),
+            ));
+        }
+        base.push(Series::delta(
+            "edge:speedup",
+            "ratio",
+            "higher",
+            true,
+            samples(2.0, 4),
+        ));
+        cand.push(Series::delta(
+            "edge:speedup",
+            "ratio",
+            "higher",
+            true,
+            samples(1.85, 4),
+        ));
+        let entries = vec![run("kernels", true, base), run("kernels", false, cand)];
+        let analysis = analyze(&entries, &Config::default());
+        let edge = analysis
+            .reports
+            .iter()
+            .find(|r| r.name == "edge:speedup")
+            .expect("present");
+        assert!(edge.p_adj.expect("adjusted") >= edge.p_raw.expect("raw"));
+    }
+
+    #[test]
+    fn analysis_is_deterministic_across_thread_counts() {
+        let entries = vec![
+            run(
+                "kernels",
+                true,
+                vec![Series::delta(
+                    "k:speedup",
+                    "ratio",
+                    "higher",
+                    true,
+                    samples(3.0, 20),
+                )],
+            ),
+            run(
+                "kernels",
+                false,
+                vec![Series::delta(
+                    "k:speedup",
+                    "ratio",
+                    "higher",
+                    true,
+                    samples(2.4, 20),
+                )],
+            ),
+        ];
+        let run_with = |threads: &str| {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            let a = analyze(&entries, &Config::default());
+            std::env::remove_var("RAYON_NUM_THREADS");
+            a
+        };
+        assert_eq!(run_with("1"), run_with("6"));
+    }
+}

@@ -1,0 +1,344 @@
+//! Append-only JSONL perf-history ledger.
+//!
+//! One file per source (`kernels.jsonl`, `campaign.jsonl`, `scale.jsonl`,
+//! `serve.jsonl`), one JSON object per line, one line per bench run. The
+//! committed lines carry `"baseline": true` and form the reference pool;
+//! CI appends candidate lines (never committed) and `perfwatch check`
+//! compares the pools. `perfwatch update` flips the latest run of every
+//! source into the new baseline, recording a provenance note — the
+//! auditable "we re-baselined on purpose" trail the eyeballed thresholds
+//! this subsystem replaces never had.
+//!
+//! Capture is strictly opt-in: writers only append when handed a directory
+//! (via a `--perf-history` flag or the `VDBENCH_PERF_HISTORY` environment
+//! variable, see [`env_dir`]), so ordinary test runs never dirty the
+//! checkout.
+
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// One tracked measurement series within a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series name, unique within its source (e.g. `kendall-512:speedup`).
+    pub name: String,
+    /// Unit label for rendering (`ratio`, `ns/iter`, `ms`, `kB`, …).
+    pub unit: String,
+    /// Which direction is good: `"higher"` or `"lower"`.
+    pub direction: String,
+    /// Whether this series can fail the gate. Ungated series are advisory:
+    /// reported in the trend table, never an exit-code failure. Absolute
+    /// wall-clock series are advisory because CI hardware differs from the
+    /// baseline host; ratios and proportions measured in-process are gated.
+    pub gate: bool,
+    /// Raw per-run samples (batch means, per-request ratios, …).
+    pub samples: Vec<f64>,
+    /// For bound series: the floor (direction `higher`) or ceiling
+    /// (direction `lower`) the series must clear, checked against a
+    /// confidence interval rather than a point estimate. `None` selects
+    /// the baseline-vs-candidate delta rule instead.
+    pub bound: Option<f64>,
+    /// For proportion bound series: successes out of [`Self::trials`]
+    /// (checked with a Wilson interval instead of the bootstrap).
+    pub successes: Option<u64>,
+    /// Trial count behind [`Self::successes`].
+    pub trials: Option<u64>,
+}
+
+impl Series {
+    /// A sample-vector series compared baseline-vs-candidate.
+    pub fn delta(
+        name: impl Into<String>,
+        unit: impl Into<String>,
+        direction: &str,
+        gate: bool,
+        samples: Vec<f64>,
+    ) -> Self {
+        Series {
+            name: name.into(),
+            unit: unit.into(),
+            direction: direction.to_string(),
+            gate,
+            samples,
+            bound: None,
+            successes: None,
+            trials: None,
+        }
+    }
+
+    /// A sample-vector series checked against an absolute bound.
+    pub fn bounded(
+        name: impl Into<String>,
+        unit: impl Into<String>,
+        direction: &str,
+        gate: bool,
+        samples: Vec<f64>,
+        bound: f64,
+    ) -> Self {
+        Series {
+            bound: Some(bound),
+            ..Series::delta(name, unit, direction, gate, samples)
+        }
+    }
+
+    /// A proportion series (`successes / trials`) checked against a bound
+    /// via a Wilson score interval.
+    pub fn proportion(
+        name: impl Into<String>,
+        direction: &str,
+        gate: bool,
+        successes: u64,
+        trials: u64,
+        bound: f64,
+    ) -> Self {
+        Series {
+            bound: Some(bound),
+            successes: Some(successes),
+            trials: Some(trials),
+            ..Series::delta(name, "proportion", direction, gate, Vec::new())
+        }
+    }
+}
+
+/// One ledger line: a single bench run of one source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunEntry {
+    /// Which suite produced the entry: `kernels`, `campaign`, `scale` or
+    /// `serve` (also the ledger file stem).
+    pub source: String,
+    /// Wall-clock capture time, milliseconds since the Unix epoch
+    /// (provenance only — never rendered into gate output).
+    pub unix_ms: u64,
+    /// Short free-form run label (e.g. `quick`, `ci`, `cold+3warm`).
+    pub label: String,
+    /// Provenance note; `perfwatch update` records the operator's
+    /// re-baseline reason here.
+    pub provenance: String,
+    /// Whether this run belongs to the baseline pool.
+    pub baseline: bool,
+    /// The measurement series captured by this run.
+    pub series: Vec<Series>,
+}
+
+/// Milliseconds since the Unix epoch, for [`RunEntry::unix_ms`].
+pub fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// The ledger directory selected by the `VDBENCH_PERF_HISTORY` environment
+/// variable, if set and non-empty. Writers treat `None` as "capture off".
+pub fn env_dir() -> Option<PathBuf> {
+    std::env::var("VDBENCH_PERF_HISTORY")
+        .ok()
+        .filter(|v| !v.trim().is_empty())
+        .map(PathBuf::from)
+}
+
+fn ledger_path(dir: &Path, source: &str) -> PathBuf {
+    dir.join(format!("{source}.jsonl"))
+}
+
+/// Appends one run entry to `<dir>/<source>.jsonl`, creating the directory
+/// as needed. Returns the ledger file path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; serialization of the entry is infallible.
+pub fn append_entry(dir: &Path, entry: &RunEntry) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = ledger_path(dir, &entry.source);
+    let line = serde_json::to_string(entry)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    writeln!(file, "{line}")?;
+    Ok(path)
+}
+
+/// Loads every entry from every `*.jsonl` file in `dir`, in sorted file
+/// order then line order. A missing directory yields an empty history.
+///
+/// # Errors
+///
+/// Fails on unreadable files or unparseable lines, naming the offending
+/// file and line number.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<RunEntry>> {
+    let mut files: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().map(|x| x == "jsonl").unwrap_or(false))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    files.sort();
+    let mut entries = Vec::new();
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry: RunEntry = serde_json::from_str(line).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: {e}", path.display(), lineno + 1),
+                )
+            })?;
+            entries.push(entry);
+        }
+    }
+    Ok(entries)
+}
+
+/// Re-baselines every source ledger in `dir`: clears the baseline flag on
+/// all entries, then marks the **last** entry of each file as the new
+/// baseline carrying `note` as its provenance. Files are rewritten
+/// atomically (tmp + rename). Returns the number of ledger files updated.
+///
+/// # Errors
+///
+/// Propagates filesystem and parse errors; on error no file is replaced
+/// mid-way (each file is swapped only after its tmp write succeeds).
+pub fn rebaseline(dir: &Path, note: &str) -> io::Result<usize> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().map(|x| x == "jsonl").unwrap_or(false))
+        .collect();
+    files.sort();
+    let mut updated = 0usize;
+    for path in &files {
+        let text = fs::read_to_string(path)?;
+        let mut entries: Vec<RunEntry> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            entries.push(serde_json::from_str(line).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{}: {e}", path.display(), lineno + 1),
+                )
+            })?);
+        }
+        if entries.is_empty() {
+            continue;
+        }
+        for e in entries.iter_mut() {
+            e.baseline = false;
+        }
+        let last = entries.last_mut().expect("non-empty");
+        last.baseline = true;
+        last.provenance = note.to_string();
+        let mut out = String::new();
+        for e in &entries {
+            out.push_str(
+                &serde_json::to_string(e)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            );
+            out.push('\n');
+        }
+        let tmp = path.with_extension("jsonl.tmp");
+        fs::write(&tmp, out)?;
+        fs::rename(&tmp, path)?;
+        updated += 1;
+    }
+    Ok(updated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("perfwatch-ledger-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry(source: &str, label: &str, baseline: bool) -> RunEntry {
+        RunEntry {
+            source: source.to_string(),
+            unix_ms: 1_700_000_000_000,
+            label: label.to_string(),
+            provenance: String::new(),
+            baseline,
+            series: vec![
+                Series::delta("alpha:speedup", "ratio", "higher", true, vec![2.0, 2.1]),
+                Series::proportion("warm_hit_ratio", "higher", true, 98, 100, 0.9),
+            ],
+        }
+    }
+
+    #[test]
+    fn append_then_load_roundtrips() {
+        let dir = tmpdir("roundtrip");
+        let a = entry("kernels", "seed", true);
+        let b = entry("campaign", "ci", false);
+        append_entry(&dir, &a).unwrap();
+        append_entry(&dir, &b).unwrap();
+        append_entry(&dir, &a).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        // Sorted file order: campaign.jsonl before kernels.jsonl.
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded[0], b);
+        assert_eq!(loaded[1], a);
+        assert_eq!(loaded[2], a);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_dir_is_empty() {
+        let dir = tmpdir("missing");
+        assert!(load_dir(&dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn load_rejects_garbage_with_location() {
+        let dir = tmpdir("garbage");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("kernels.jsonl"), "not json\n").unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("kernels.jsonl:1"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rebaseline_marks_last_entry_and_records_note() {
+        let dir = tmpdir("rebaseline");
+        append_entry(&dir, &entry("kernels", "seed", true)).unwrap();
+        append_entry(&dir, &entry("kernels", "candidate", false)).unwrap();
+        append_entry(&dir, &entry("serve", "seed", true)).unwrap();
+        let n = rebaseline(&dir, "new hardware").unwrap();
+        assert_eq!(n, 2);
+        let loaded = load_dir(&dir).unwrap();
+        let kernels: Vec<&RunEntry> = loaded.iter().filter(|e| e.source == "kernels").collect();
+        assert!(!kernels[0].baseline);
+        assert!(kernels[1].baseline);
+        assert_eq!(kernels[1].provenance, "new hardware");
+        assert_eq!(kernels[1].label, "candidate");
+        let serve: Vec<&RunEntry> = loaded.iter().filter(|e| e.source == "serve").collect();
+        assert!(serve[0].baseline);
+        assert_eq!(serve[0].provenance, "new hardware");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn env_dir_requires_nonempty() {
+        std::env::remove_var("VDBENCH_PERF_HISTORY");
+        assert!(env_dir().is_none());
+        std::env::set_var("VDBENCH_PERF_HISTORY", "  ");
+        assert!(env_dir().is_none());
+        std::env::set_var("VDBENCH_PERF_HISTORY", "results/perf-history");
+        assert_eq!(env_dir().unwrap(), PathBuf::from("results/perf-history"));
+        std::env::remove_var("VDBENCH_PERF_HISTORY");
+    }
+}

@@ -1,0 +1,29 @@
+//! Self-hosted statistical perf-regression gate.
+//!
+//! The paper's thesis — tool comparisons need principled statistics, not
+//! eyeballed thresholds — applies to this repository's own benchmarks too.
+//! This crate dogfoods the stats substrate on the `BENCH_*` perf suites:
+//! each bench writer appends a run entry (raw sample vectors, not just
+//! means) to a JSONL ledger under `results/perf-history/`, and `vdbench
+//! perfwatch check` decides "did this series regress?" with a bootstrap
+//! percentile CI on the baseline-vs-candidate relative delta, confirmed by
+//! a permutation test with Holm–Bonferroni correction across all gated
+//! series. See DESIGN.md §17 for the architecture and decision rule.
+//!
+//! Layout:
+//!
+//! - [`ledger`] — the append-only run ledger (`<source>.jsonl` files) and
+//!   its entry/series schema, plus the re-baseline rewrite.
+//! - [`mod@analyze`] — the statistical decision rule turning ledger history
+//!   into per-series verdicts.
+//! - [`render`] — the deterministic markdown trend table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod ledger;
+pub mod render;
+
+pub use analyze::{analyze, Analysis, Config, SeriesReport, Verdict};
+pub use ledger::{append_entry, env_dir, load_dir, now_ms, rebaseline, RunEntry, Series};

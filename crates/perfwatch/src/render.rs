@@ -1,0 +1,184 @@
+//! Deterministic markdown rendering of a perfwatch analysis.
+//!
+//! The trend table contains no timestamps, hostnames or float formatting
+//! that could vary between runs — given the same ledger and config it is
+//! byte-identical across reruns and thread counts (golden-tested), so CI
+//! can diff artifacts between jobs.
+
+use crate::analyze::{Analysis, SeriesReport, Verdict};
+use std::fmt::Write as _;
+
+/// Fixed-precision float for table cells: four significant-ish decimals,
+/// stripped of a redundant trailing ".0000" only never — fixed width keeps
+/// diffs clean.
+fn num(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn opt_num(v: Option<f64>) -> String {
+    v.map(num).unwrap_or_else(|| "—".to_string())
+}
+
+fn ci_cell(r: &SeriesReport) -> String {
+    match r.ci {
+        Some((lo, hi)) => format!("[{}, {}]", num(lo), num(hi)),
+        None => "—".to_string(),
+    }
+}
+
+fn p_cell(r: &SeriesReport) -> String {
+    match (r.p_raw, r.p_adj) {
+        (Some(raw), Some(adj)) => format!("{} ({})", num(raw), num(adj)),
+        (Some(raw), None) => num(raw),
+        _ => "—".to_string(),
+    }
+}
+
+fn delta_cell(r: &SeriesReport) -> String {
+    match r.delta_pct {
+        Some(d) => format!("{}{}%", if d >= 0.0 { "+" } else { "" }, num(d)),
+        None => match r.bound {
+            Some(b) => format!(
+                "bound {} {}",
+                if r.direction == "higher" {
+                    "≥"
+                } else {
+                    "≤"
+                },
+                num(b)
+            ),
+            None => "—".to_string(),
+        },
+    }
+}
+
+/// Renders the full markdown trend report.
+pub fn trend_markdown(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    let c = &analysis.config;
+    out.push_str("# perfwatch trend\n\n");
+    let _ = writeln!(
+        out,
+        "Decision rule: bootstrap {}% CI on the direction-signed relative delta \
+         (positive = worse), permutation confirmation at α = {} with \
+         Holm–Bonferroni correction across gated series, minimum effect {}%. \
+         Bounds are checked against the whole interval (Wilson for proportions). \
+         {} replicates, {} rounds.",
+        num(c.level * 100.0),
+        num(c.alpha),
+        num(c.min_effect * 100.0),
+        c.replicates,
+        c.rounds
+    );
+    out.push('\n');
+    out.push_str(
+        "| source | series | unit | gate | baseline | candidate | Δ% (worse > 0) | CI | p (adj) | verdict |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|\n");
+    for r in &analysis.reports {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {}{} |",
+            r.source,
+            r.name,
+            r.unit,
+            if r.gate { "yes" } else { "advisory" },
+            opt_num(r.baseline_mean),
+            opt_num(r.candidate_mean),
+            delta_cell(r),
+            ci_cell(r),
+            p_cell(r),
+            r.verdict.label(),
+            if r.note.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", r.note)
+            },
+        );
+    }
+    out.push('\n');
+    out.push_str(&summary_line(analysis));
+    out.push('\n');
+    out
+}
+
+/// One-line verdict summary (also printed to stdout by the CLI).
+pub fn summary_line(analysis: &Analysis) -> String {
+    let total = analysis.reports.len();
+    let failures = analysis.failures();
+    let regressions = failures
+        .iter()
+        .filter(|r| r.verdict == Verdict::Regression)
+        .count();
+    let violations = failures.len() - regressions;
+    if failures.is_empty() {
+        format!("perfwatch: {total} series checked, no confirmed regressions")
+    } else {
+        let names: Vec<String> = failures
+            .iter()
+            .map(|r| format!("{}/{}", r.source, r.name))
+            .collect();
+        format!(
+            "perfwatch: {total} series checked, {regressions} confirmed regression(s), \
+             {violations} bound violation(s): {}",
+            names.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{analyze, Config};
+    use crate::ledger::{RunEntry, Series};
+
+    #[test]
+    fn trend_table_mentions_every_series_and_summary_counts() {
+        let entries = vec![RunEntry {
+            source: "serve".to_string(),
+            unix_ms: 0,
+            label: String::new(),
+            provenance: String::new(),
+            baseline: true,
+            series: vec![
+                Series::proportion("warm_hit_ratio", "higher", true, 99, 100, 0.9),
+                Series::delta("latency_us", "µs", "lower", false, vec![100.0, 105.0]),
+            ],
+        }];
+        let analysis = analyze(&entries, &Config::default());
+        let md = trend_markdown(&analysis);
+        assert!(md.contains("| serve | warm_hit_ratio |"), "{md}");
+        assert!(md.contains("| serve | latency_us |"), "{md}");
+        assert!(md.contains("bound ≥ 0.9000"), "{md}");
+        assert!(md.contains("no confirmed regressions"), "{md}");
+        // Rendering is a pure function of the analysis.
+        assert_eq!(md, trend_markdown(&analysis));
+    }
+
+    #[test]
+    fn failing_summary_names_the_series() {
+        let entries = vec![RunEntry {
+            source: "serve".to_string(),
+            unix_ms: 0,
+            label: String::new(),
+            provenance: String::new(),
+            baseline: true,
+            series: vec![Series::proportion(
+                "warm_hit_ratio",
+                "higher",
+                true,
+                10,
+                100,
+                0.9,
+            )],
+        }];
+        let analysis = analyze(&entries, &Config::default());
+        let line = summary_line(&analysis);
+        assert!(line.contains("serve/warm_hit_ratio"), "{line}");
+        assert!(line.contains("1 bound violation(s)"), "{line}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Golden-output guarantees for `perfwatch check`: on a fixture history the
+//! verdicts and the rendered trend table are byte-identical across reruns
+//! and rayon thread counts, a synthetic 20% injected regression is flagged,
+//! and a seeded noise-only rerun is not.
+
+use std::path::{Path, PathBuf};
+use vdbench_perfwatch::{analyze, append_entry, load_dir, Config, RunEntry, Series, Verdict};
+
+fn fixture_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("perfwatch-golden-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic jitter around `center`: ±1%, fixed pattern per index.
+fn jitter(center: f64, n: usize, phase: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| center * (1.0 + 0.01 * ((((i + phase) * 7919) % 13) as f64 - 6.0) / 6.0))
+        .collect()
+}
+
+fn entry(source: &str, baseline: bool, label: &str, series: Vec<Series>) -> RunEntry {
+    RunEntry {
+        source: source.to_string(),
+        unix_ms: 1_750_000_000_000,
+        label: label.to_string(),
+        provenance: String::new(),
+        baseline,
+        series,
+    }
+}
+
+/// A fixture history over all four sources: committed-style baselines plus
+/// one candidate run carrying a 20% kernel slowdown and noise elsewhere.
+fn write_fixture(dir: &Path) {
+    append_entry(
+        dir,
+        &entry(
+            "kernels",
+            true,
+            "seed",
+            vec![
+                Series::delta(
+                    "kendall-512:speedup",
+                    "ratio",
+                    "higher",
+                    true,
+                    jitter(3.0, 24, 0),
+                ),
+                Series::delta(
+                    "wilson-4096:speedup",
+                    "ratio",
+                    "higher",
+                    true,
+                    jitter(2.0, 24, 1),
+                ),
+                Series::delta(
+                    "kendall/naive/512",
+                    "ns/iter",
+                    "lower",
+                    false,
+                    jitter(5e6, 10, 2),
+                ),
+            ],
+        ),
+    )
+    .unwrap();
+    append_entry(
+        dir,
+        &entry(
+            "kernels",
+            false,
+            "candidate",
+            vec![
+                // Injected regression: speedup ratio drops 20% (3.0 → 2.4).
+                Series::delta(
+                    "kendall-512:speedup",
+                    "ratio",
+                    "higher",
+                    true,
+                    jitter(2.4, 24, 3),
+                ),
+                // Noise-only: same distribution, different jitter phase.
+                Series::delta(
+                    "wilson-4096:speedup",
+                    "ratio",
+                    "higher",
+                    true,
+                    jitter(2.0, 24, 4),
+                ),
+                Series::delta(
+                    "kendall/naive/512",
+                    "ns/iter",
+                    "lower",
+                    false,
+                    jitter(5.1e6, 10, 5),
+                ),
+            ],
+        ),
+    )
+    .unwrap();
+    append_entry(
+        dir,
+        &entry(
+            "campaign",
+            true,
+            "seed",
+            vec![
+                Series::bounded(
+                    "warm_over_cold",
+                    "ratio",
+                    "lower",
+                    true,
+                    jitter(0.05, 4, 6),
+                    0.2,
+                ),
+                Series::delta("total_millis", "ms", "lower", false, jitter(900.0, 4, 7)),
+            ],
+        ),
+    )
+    .unwrap();
+    append_entry(
+        dir,
+        &entry(
+            "serve",
+            true,
+            "seed",
+            vec![Series::proportion(
+                "warm_hit_ratio",
+                "higher",
+                true,
+                995,
+                1000,
+                0.9,
+            )],
+        ),
+    )
+    .unwrap();
+    append_entry(
+        dir,
+        &entry(
+            "scale",
+            true,
+            "seed",
+            vec![Series::bounded(
+                "rss_growth",
+                "ratio",
+                "lower",
+                true,
+                jitter(1.05, 3, 8),
+                1.5,
+            )],
+        ),
+    )
+    .unwrap();
+}
+
+fn check(dir: &Path) -> (bool, String) {
+    let entries = load_dir(dir).unwrap();
+    let analysis = analyze(&entries, &Config::default());
+    let md = vdbench_perfwatch::render::trend_markdown(&analysis);
+    (analysis.failed(), md)
+}
+
+#[test]
+fn injected_regression_flagged_noise_not_and_output_is_golden() {
+    let dir = fixture_dir("main");
+    write_fixture(&dir);
+
+    let entries = load_dir(&dir).unwrap();
+    let analysis = analyze(&entries, &Config::default());
+    let report = |name: &str| {
+        analysis
+            .reports
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing series {name}"))
+    };
+    // The 20% injected slowdown is a confirmed regression; the noise-only
+    // rerun and the bound/proportion series all pass.
+    assert_eq!(report("kendall-512:speedup").verdict, Verdict::Regression);
+    assert_eq!(report("wilson-4096:speedup").verdict, Verdict::Stable);
+    assert_eq!(report("warm_over_cold").verdict, Verdict::BoundOk);
+    assert_eq!(report("warm_hit_ratio").verdict, Verdict::BoundOk);
+    assert_eq!(report("rss_growth").verdict, Verdict::BoundOk);
+    assert_eq!(report("kendall/naive/512").verdict, Verdict::Advisory);
+    assert!(analysis.failed());
+
+    // Byte-identical across reruns and thread counts.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let (failed_serial, md_serial) = check(&dir);
+    std::env::set_var("RAYON_NUM_THREADS", "7");
+    let (failed_parallel, md_parallel) = check(&dir);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert!(failed_serial && failed_parallel);
+    assert_eq!(md_serial, md_parallel);
+    assert_eq!(md_serial, check(&dir).1);
+    assert!(md_serial.contains("REGRESSION"), "{md_serial}");
+    assert!(md_serial.contains("confirmed regression"), "{md_serial}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn noise_only_history_passes() {
+    let dir = fixture_dir("noise");
+    append_entry(
+        &dir,
+        &entry(
+            "kernels",
+            true,
+            "seed",
+            vec![Series::delta(
+                "k:speedup",
+                "ratio",
+                "higher",
+                true,
+                jitter(2.5, 24, 0),
+            )],
+        ),
+    )
+    .unwrap();
+    append_entry(
+        &dir,
+        &entry(
+            "kernels",
+            false,
+            "rerun",
+            vec![Series::delta(
+                "k:speedup",
+                "ratio",
+                "higher",
+                true,
+                jitter(2.5, 24, 9),
+            )],
+        ),
+    )
+    .unwrap();
+    let (failed, md) = check(&dir);
+    assert!(!failed, "{md}");
+    assert!(md.contains("no confirmed regressions"), "{md}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -287,6 +287,86 @@ impl Bootstrap {
         })
     }
 
+    /// Percentile bootstrap confidence interval for a **two-sample**
+    /// statistic: each replicate resamples `sample_a` and `sample_b`
+    /// independently (with replacement, original sizes) and evaluates
+    /// `statistic(resample_a, resample_b)`. Used by perfwatch to interval
+    /// the baseline-vs-candidate delta of a tracked perf series.
+    ///
+    /// Draw order per replicate matches [`Self::superiority_probability`]
+    /// (resample A fully, then B, from one derive_seed stream), so results
+    /// are bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if either sample is empty and
+    /// [`StatsError::InvalidParameter`] for a level outside `(0, 1)`.
+    pub fn two_sample_ci<T, F>(
+        &self,
+        sample_a: &[T],
+        sample_b: &[T],
+        level: f64,
+        statistic: F,
+        rng: &mut SeededRng,
+    ) -> Result<BootstrapCi>
+    where
+        T: Clone + Sync,
+        F: Fn(&[T], &[T]) -> f64 + Sync,
+    {
+        if !(0.0..1.0).contains(&level) || level <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "level",
+                value: level,
+            });
+        }
+        if sample_a.is_empty() || sample_b.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let _span = vdbench_telemetry::span!(
+            "stats",
+            "bootstrap_two_sample_ci",
+            replicates = self.replicates
+        );
+        record_replicates(self.replicates);
+        let point = statistic(sample_a, sample_b);
+        let base = rng.next_u64();
+        let mut reps: Vec<f64> = (0..self.replicates)
+            .into_par_iter()
+            .map_init(
+                || {
+                    (
+                        ReplicateScratch::<T>::with_capacity(sample_a.len()),
+                        ReplicateScratch::<T>::with_capacity(sample_b.len()),
+                    )
+                },
+                |(state_a, state_b), i| {
+                    let mut r = SeededRng::new(derive_seed(base, i as u64));
+                    let a = state_a.begin_replicate();
+                    for _ in 0..sample_a.len() {
+                        a.push(sample_a[r.index(sample_a.len())].clone());
+                    }
+                    let b = state_b.begin_replicate();
+                    for _ in 0..sample_b.len() {
+                        b.push(sample_b[r.index(sample_b.len())].clone());
+                    }
+                    statistic(a, b)
+                },
+            )
+            .collect();
+        let mean = reps.iter().sum::<f64>() / reps.len() as f64;
+        let var = reps.iter().map(|r| (r - mean).powi(2)).sum::<f64>()
+            / (reps.len().saturating_sub(1).max(1)) as f64;
+        let alpha = 1.0 - level;
+        let lower = quantile_unsorted(&mut reps, alpha / 2.0);
+        let upper = quantile_unsorted(&mut reps, 1.0 - alpha / 2.0);
+        Ok(BootstrapCi {
+            lower,
+            upper,
+            point,
+            std_error: var.sqrt(),
+        })
+    }
+
     /// Probability, under resampling, that `statistic(sample_a) >
     /// statistic(sample_b)` — the engine behind the *discriminative power*
     /// analysis: how often does a metric correctly order two tools whose
@@ -537,6 +617,46 @@ mod tests {
         for r in reps {
             assert!((r - 2.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn two_sample_ci_brackets_mean_shift() {
+        let a: Vec<f64> = (0..200).map(|i| 10.0 + (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..200).map(|i| (i % 5) as f64).collect();
+        let diff = |x: &[f64], y: &[f64]| mean_stat(x) - mean_stat(y);
+        let mut rng = SeededRng::new(21);
+        let ci = Bootstrap::new(600)
+            .two_sample_ci(&a, &b, 0.95, diff, &mut rng)
+            .unwrap();
+        assert!((ci.point - 10.0).abs() < 1e-12);
+        assert!(ci.lower > 9.0 && ci.upper < 11.0, "ci={ci:?}");
+        assert!(!ci.contains(0.0));
+    }
+
+    #[test]
+    fn two_sample_ci_validation_and_determinism() {
+        let data = [1.0, 2.0, 3.0];
+        let diff = |x: &[f64], y: &[f64]| mean_stat(x) - mean_stat(y);
+        let mut rng = SeededRng::new(22);
+        assert!(Bootstrap::default()
+            .two_sample_ci::<f64, _>(&[], &data, 0.95, diff, &mut rng)
+            .is_err());
+        assert!(Bootstrap::default()
+            .two_sample_ci::<f64, _>(&data, &[], 0.95, diff, &mut rng)
+            .is_err());
+        assert!(Bootstrap::default()
+            .two_sample_ci(&data, &data, 1.5, diff, &mut rng)
+            .is_err());
+        let run = |threads: &str| {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            let mut rng = SeededRng::new(0xACE);
+            let ci = Bootstrap::new(301)
+                .two_sample_ci(&data, &data, 0.9, diff, &mut rng)
+                .unwrap();
+            std::env::remove_var("RAYON_NUM_THREADS");
+            (ci.lower.to_bits(), ci.upper.to_bits(), ci.point.to_bits())
+        };
+        assert_eq!(run("1"), run("5"));
     }
 
     #[test]

@@ -191,6 +191,35 @@ fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
+/// Holm–Bonferroni step-down adjustment for a family of p-values.
+///
+/// Returns the adjusted p-values in the input order: sort ascending, scale
+/// the `i`-th smallest by `m − i`, then enforce monotonicity with a running
+/// maximum and cap at 1. Rejecting `adjusted[i] < alpha` controls the
+/// family-wise error rate at `alpha` — uniformly more powerful than plain
+/// Bonferroni, with no independence assumption. An empty slice yields an
+/// empty vector.
+///
+/// ```
+/// use vdbench_stats::hypothesis::holm_bonferroni;
+/// let adj = holm_bonferroni(&[0.01, 0.04, 0.03]);
+/// assert!((adj[0] - 0.03).abs() < 1e-12); // 0.01 * 3
+/// assert!(adj[1] >= adj[2] - 1e-12 || adj[1] <= 1.0);
+/// ```
+pub fn holm_bonferroni(pvalues: &[f64]) -> Vec<f64> {
+    let m = pvalues.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&i, &j| pvalues[i].total_cmp(&pvalues[j]));
+    let mut adjusted = vec![0.0; m];
+    let mut running_max = 0.0f64;
+    for (rank, &idx) in order.iter().enumerate() {
+        let scaled = (pvalues[idx] * (m - rank) as f64).min(1.0);
+        running_max = running_max.max(scaled);
+        adjusted[idx] = running_max;
+    }
+    adjusted
+}
+
 /// Friedman test for `k` related samples: are the tools ranked
 /// consistently different across `n` blocks (workloads)?
 ///
@@ -424,6 +453,37 @@ mod tests {
         let r = friedman(&scores).unwrap();
         assert!(r.statistic > 0.0);
         assert!(r.significant_at(0.1), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn holm_bonferroni_reference_values() {
+        // Classic worked example: sorted p = (0.01, 0.03, 0.04) with m = 3
+        // scales to (0.03, 0.06, 0.06 after monotonicity).
+        let adj = holm_bonferroni(&[0.04, 0.01, 0.03]);
+        assert!((adj[1] - 0.03).abs() < 1e-12, "adj={adj:?}");
+        assert!((adj[2] - 0.06).abs() < 1e-12, "adj={adj:?}");
+        assert!((adj[0] - 0.06).abs() < 1e-12, "adj={adj:?}");
+    }
+
+    #[test]
+    fn holm_bonferroni_monotone_capped_and_empty() {
+        assert!(holm_bonferroni(&[]).is_empty());
+        let adj = holm_bonferroni(&[0.9, 0.8, 0.7]);
+        assert!(adj.iter().all(|&p| p == 1.0), "adj={adj:?}");
+        // A single p-value passes through unchanged.
+        let adj = holm_bonferroni(&[0.2]);
+        assert!((adj[0] - 0.2).abs() < 1e-12);
+        // Adjusted values never undercut a smaller raw p's adjustment.
+        let adj = holm_bonferroni(&[0.001, 0.5, 0.02, 0.02]);
+        let mut pairs: Vec<(f64, f64)> = [0.001, 0.5, 0.02, 0.02]
+            .iter()
+            .copied()
+            .zip(adj.iter().copied())
+            .collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in pairs.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-15, "pairs={pairs:?}");
+        }
     }
 
     #[test]

@@ -36,10 +36,14 @@ struct FlagSpec {
     help: &'static str,
 }
 
-/// One subcommand: its summary, accepted flags, and implementation.
+/// One subcommand: its summary, accepted actions and flags, and
+/// implementation. `actions` is empty for plain commands; when non-empty
+/// the first positional argument must be one of the listed actions and is
+/// handed to `run` under the reserved `action` flag key.
 struct CommandSpec {
     name: &'static str,
     summary: &'static str,
+    actions: &'static [&'static str],
     flags: &'static [FlagSpec],
     run: fn(&Flags) -> Result<(), String>,
 }
@@ -59,6 +63,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "generate",
         summary: "Generate a MiniWeb corpus and print its statistics",
+        actions: &[],
         flags: &[
             flag!("units", "N", "corpus size in units (default 200)"),
             flag!(
@@ -80,6 +85,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "scan",
         summary: "Run one detection tool over a corpus",
+        actions: &[],
         flags: &[
             flag!(
                 "tool",
@@ -119,6 +125,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "scale",
         summary: "Measure streamed-scan wall-time and peak-RSS curves, write BENCH_scale.json",
+        actions: &[],
         flags: &[
             flag!(
                 "units",
@@ -153,12 +160,18 @@ const COMMANDS: &[CommandSpec] = &[
                 "F",
                 "fail if peak RSS grows more than F x across the curve"
             ),
+            flag!(
+                "perf-history",
+                "DIR",
+                "append this run to the perfwatch ledger in DIR"
+            ),
         ],
         run: cmd_scale,
     },
     CommandSpec {
         name: "cache",
         summary: "Inspect and garbage-collect a blob store directory",
+        actions: &[],
         flags: &[
             flag!(
                 "dir",
@@ -176,6 +189,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "bench",
         summary: "Run the full scenario case study",
+        actions: &[],
         flags: &[
             flag!("scenario", "ID", "restrict to one scenario: S1|S2|S3|S4"),
             flag!("seed", "N", "experiment seed (default 2015)"),
@@ -185,6 +199,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "select",
         summary: "Per-scenario metric selection + MCDA validation",
+        actions: &[],
         flags: &[
             flag!("noise", "F", "expert-panel noise level (default 0.25)"),
             flag!("experts", "N", "panel size (default 7)"),
@@ -195,6 +210,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "consistency",
         summary: "Cross-workload ranking-consistency study",
+        actions: &[],
         flags: &[
             flag!("units", "N", "workload size (default 400)"),
             flag!("seed", "N", "experiment seed (default 2015)"),
@@ -204,12 +220,14 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "report",
         summary: "Full campaign report as Markdown on stdout",
+        actions: &[],
         flags: &[flag!("seed", "N", "experiment seed (default 2015)")],
         run: cmd_report,
     },
     CommandSpec {
         name: "recommend",
         summary: "Recommend a benchmark metric for YOUR scenario",
+        actions: &[],
         flags: &[
             flag!(
                 "fp-cost",
@@ -232,6 +250,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "serve",
         summary: "Serve campaigns over HTTP from the content-addressed blob store",
+        actions: &[],
         flags: &[
             flag!("addr", "HOST:PORT", "bind address (default 127.0.0.1:7071)"),
             flag!(
@@ -255,6 +274,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "loadgen",
         summary: "Drive a running server with seeded mixed traffic, write BENCH_serve.json",
+        actions: &[],
         flags: &[
             flag!(
                 "addr",
@@ -279,8 +299,66 @@ const COMMANDS: &[CommandSpec] = &[
                 "include campaign artifacts in the pool (default off)"
             ),
             flag!("out", "FILE", "record path (default BENCH_serve.json)"),
+            flag!(
+                "perf-history",
+                "DIR",
+                "append this run to the perfwatch ledger in DIR"
+            ),
         ],
         run: cmd_loadgen,
+    },
+    CommandSpec {
+        name: "perfwatch",
+        summary: "Statistical perf-regression gate over the BENCH_* history (DESIGN.md §17)",
+        actions: &["check", "update"],
+        flags: &[
+            flag!(
+                "history",
+                "DIR",
+                "perfwatch ledger directory (default results/perf-history)"
+            ),
+            flag!(
+                "source",
+                "NAME",
+                "restrict to one source: kernels|campaign|scale|serve"
+            ),
+            flag!(
+                "alpha",
+                "F",
+                "family-wise significance level (default 0.05)"
+            ),
+            flag!(
+                "min-effect",
+                "F",
+                "minimum relative delta to flag, as a fraction (default 0.05)"
+            ),
+            flag!(
+                "replicates",
+                "N",
+                "bootstrap replicates per series (default 2000)"
+            ),
+            flag!(
+                "rounds",
+                "N",
+                "permutation rounds per series (default 2000)"
+            ),
+            flag!(
+                "level",
+                "F",
+                "confidence level for intervals (default 0.95)"
+            ),
+            flag!(
+                "out",
+                "FILE",
+                "trend table path for `check` (default perfwatch-trend.md)"
+            ),
+            flag!(
+                "note",
+                "TEXT",
+                "provenance note recorded by `update` (why re-baseline?)"
+            ),
+        ],
+        run: cmd_perfwatch,
     },
 ];
 
@@ -292,6 +370,10 @@ fn usage() -> String {
     );
     for cmd in COMMANDS {
         text.push_str(&format!("    {:<12} {}\n", cmd.name, cmd.summary));
+        if !cmd.actions.is_empty() {
+            let action = format!("<{}>", cmd.actions.join("|"));
+            text.push_str(&format!("        {action:<24} required action\n"));
+        }
         for f in cmd.flags {
             let flag = format!("--{} {}", f.name, f.placeholder);
             text.push_str(&format!("        {flag:<24} {}\n", f.help));
@@ -349,7 +431,40 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(USAGE_ERROR);
     };
-    let flags = match parse_flags(rest) {
+    // Commands with actions take one as their first positional argument
+    // (`vdbench perfwatch check --alpha 0.01`); everything after it is
+    // ordinary `--key value` flags.
+    let (action, flag_args) = if spec.actions.is_empty() {
+        (None, rest)
+    } else {
+        match rest.split_first() {
+            Some((a, tail)) if !a.starts_with("--") => {
+                if !spec.actions.contains(&a.as_str()) {
+                    let suggestion = nearest(a, spec.actions.iter().copied())
+                        .map(|n| format!(" (did you mean `{n}`?)"))
+                        .unwrap_or_default();
+                    eprintln!(
+                        "error: unknown action `{a}` for `{}`{suggestion}: \
+                         expected one of {}",
+                        spec.name,
+                        spec.actions.join(", ")
+                    );
+                    return ExitCode::from(USAGE_ERROR);
+                }
+                (Some(a.clone()), tail)
+            }
+            _ => {
+                eprintln!(
+                    "error: `{}` needs an action: {}\n\n{}",
+                    spec.name,
+                    spec.actions.join("|"),
+                    usage()
+                );
+                return ExitCode::from(USAGE_ERROR);
+            }
+        }
+    };
+    let mut flags = match parse_flags(flag_args) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", usage());
@@ -368,6 +483,11 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(USAGE_ERROR);
         }
+    }
+    // Inserted after the unknown-flag sweep: `action` is a reserved key
+    // carrying the validated positional, not a user-facing flag.
+    if let Some(a) = action {
+        flags.insert("action".to_string(), a);
     }
     match (spec.run)(&flags) {
         Ok(()) => ExitCode::SUCCESS,
@@ -704,6 +824,13 @@ fn cmd_scale(flags: &Flags) -> Result<(), String> {
         .map_err(|e| format!("cannot serialize scale record: {e}"))?;
     std::fs::write(&out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     eprintln!("record written to {out}");
+    let perf_dir = flags
+        .get("perf-history")
+        .map(std::path::PathBuf::from)
+        .or_else(vdbench_perfwatch::env_dir);
+    if let Some(dir) = perf_dir {
+        append_scale_history(&dir, &record, assert_flat)?;
+    }
     if let Some(factor) = assert_flat {
         let (first, last) = (
             record
@@ -727,6 +854,124 @@ fn cmd_scale(flags: &Flags) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Append the scale run to the perfwatch ledger. Memory growth across the
+/// curve is the gated series (a ratio is comparable across machines); raw
+/// wall-clock and RSS ride along as advisory context.
+fn append_scale_history(
+    dir: &std::path::Path,
+    record: &vdbench::core::ScaleRecord,
+    assert_flat: Option<f64>,
+) -> Result<(), String> {
+    use vdbench_perfwatch::{append_entry, now_ms, RunEntry, Series};
+    let mut series = Vec::new();
+    if let (Some(first), Some(last)) = (record.points.first(), record.points.last()) {
+        if record.points.len() >= 2 && first.peak_rss_kb > 0 {
+            series.push(Series::bounded(
+                "rss_growth",
+                "ratio",
+                "lower",
+                true,
+                vec![last.peak_rss_kb as f64 / first.peak_rss_kb as f64],
+                assert_flat.unwrap_or(1.5),
+            ));
+        }
+        series.push(Series::delta(
+            "wall_ms",
+            "ms",
+            "lower",
+            false,
+            vec![last.wall_ms as f64],
+        ));
+        if last.peak_rss_kb > 0 {
+            series.push(Series::delta(
+                "peak_rss_kb",
+                "kB",
+                "lower",
+                false,
+                vec![last.peak_rss_kb as f64],
+            ));
+        }
+    }
+    let entry = RunEntry {
+        source: "scale".to_string(),
+        unix_ms: now_ms(),
+        label: "scale".to_string(),
+        provenance: String::new(),
+        baseline: false,
+        series,
+    };
+    let path = append_entry(dir, &entry)
+        .map_err(|e| format!("cannot append perf history in {}: {e}", dir.display()))?;
+    eprintln!("perf history appended to {}", path.display());
+    Ok(())
+}
+
+fn cmd_perfwatch(flags: &Flags) -> Result<(), String> {
+    let action = flags
+        .get("action")
+        .map(String::as_str)
+        .expect("main() always sets the action for perfwatch");
+    let dir = std::path::PathBuf::from(
+        flags
+            .get("history")
+            .cloned()
+            .unwrap_or_else(|| "results/perf-history".to_string()),
+    );
+    match action {
+        "update" => {
+            let note = flags
+                .get("note")
+                .cloned()
+                .unwrap_or_else(|| "re-baselined via vdbench perfwatch update".to_string());
+            let flipped = vdbench_perfwatch::rebaseline(&dir, &note)
+                .map_err(|e| format!("cannot re-baseline {}: {e}", dir.display()))?;
+            if flipped == 0 {
+                return Err(format!("no history to re-baseline in {}", dir.display()));
+            }
+            println!(
+                "re-baselined {flipped} ledger file(s) in {} ({note})",
+                dir.display()
+            );
+            Ok(())
+        }
+        "check" => {
+            let config = vdbench_perfwatch::Config {
+                alpha: flag_f64(flags, "alpha", 0.05)?,
+                min_effect: flag_f64(flags, "min-effect", 0.05)?,
+                replicates: flag_usize(flags, "replicates", 2000)?,
+                rounds: flag_usize(flags, "rounds", 2000)?,
+                level: flag_f64(flags, "level", 0.95)?,
+                source: flags.get("source").cloned(),
+            };
+            let entries = vdbench_perfwatch::load_dir(&dir)
+                .map_err(|e| format!("cannot load perf history from {}: {e}", dir.display()))?;
+            if entries.is_empty() {
+                return Err(format!(
+                    "no perf history in {} — run the benches with --perf-history \
+                     (or VDBENCH_PERF_HISTORY) first",
+                    dir.display()
+                ));
+            }
+            let analysis = vdbench_perfwatch::analyze(&entries, &config);
+            let out = flags
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| "perfwatch-trend.md".to_string());
+            let trend = vdbench_perfwatch::render::trend_markdown(&analysis);
+            std::fs::write(&out, &trend).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("trend table written to {out}");
+            let summary = vdbench_perfwatch::render::summary_line(&analysis);
+            if analysis.failed() {
+                Err(summary)
+            } else {
+                println!("{summary}");
+                Ok(())
+            }
+        }
+        other => Err(format!("unreachable action `{other}`")),
+    }
 }
 
 fn cmd_cache(flags: &Flags) -> Result<(), String> {
@@ -938,6 +1183,10 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), String> {
                 .cloned()
                 .unwrap_or_else(|| "BENCH_serve.json".to_string()),
         ),
+        perf_history: flags
+            .get("perf-history")
+            .cloned()
+            .or_else(|| vdbench_perfwatch::env_dir().map(|p| p.to_string_lossy().into_owned())),
     };
     let record = vdbench::server::loadgen::run(&cfg)
         .map_err(|e| format!("loadgen against {} failed: {e}", cfg.addr))?;

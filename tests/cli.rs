@@ -36,6 +36,7 @@ fn help_lists_every_command_and_its_flags() {
         "loadgen",
         "scale",
         "cache",
+        "perfwatch",
     ] {
         assert!(stdout.contains(cmd), "{cmd} missing from help");
     }
@@ -50,9 +51,15 @@ fn help_lists_every_command_and_its_flags() {
         "--shard-units N",
         "--assert-flat F",
         "--gc on|off",
+        "--history DIR",
+        "--alpha F",
+        "--min-effect F",
+        "--perf-history DIR",
     ] {
         assert!(stdout.contains(flag), "{flag} missing from help");
     }
+    // Commands with a required action render it above their flags.
+    assert!(stdout.contains("<check|update>"), "{stdout}");
 }
 
 #[test]
@@ -213,6 +220,20 @@ fn usage_errors_exit_2_with_suggestions() {
     let (_, stderr, code) = vdbench(&["generate", "positional"]);
     assert_eq!(code, Some(2));
     assert!(stderr.contains("unexpected argument"));
+
+    // Action-taking commands: missing action, misspelled action.
+    let (_, stderr, code) = vdbench(&["perfwatch"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("needs an action: check|update"), "{stderr}");
+
+    let (_, stderr, code) = vdbench(&["perfwatch", "--alpha", "0.01"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("needs an action"), "{stderr}");
+
+    let (_, stderr, code) = vdbench(&["perfwatch", "chceck"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown action `chceck`"), "{stderr}");
+    assert!(stderr.contains("did you mean `check`?"), "{stderr}");
 }
 
 #[test]
@@ -304,6 +325,108 @@ fn corpus_export_import_round_trip() {
     let (_, stderr, code) = vdbench(&["scan", "--tool", "taint", "--corpus", "/nope/missing.json"]);
     assert_eq!(code, Some(1));
     assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn perfwatch_gates_an_injected_regression_end_to_end() {
+    use vdbench_perfwatch::{append_entry, RunEntry, Series};
+    let dir = std::env::temp_dir().join(format!("vdbench-cli-perfwatch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_str = dir.to_str().unwrap();
+    let trend = dir.join("trend.md");
+    let trend_str = trend.to_str().unwrap();
+
+    // Jittered samples around `center` — deterministic, ±1%.
+    let samples = |center: f64| -> Vec<f64> {
+        (0..24)
+            .map(|i| center * (1.0 + 0.01 * (((i * 7919) % 13) as f64 - 6.0) / 6.0))
+            .collect()
+    };
+    let entry = |unix_ms: u64, baseline: bool, speedup: f64| RunEntry {
+        source: "kernels".to_string(),
+        unix_ms,
+        label: if baseline { "seed" } else { "ci" }.to_string(),
+        provenance: String::new(),
+        baseline,
+        series: vec![Series::delta(
+            "kendall-512:speedup",
+            "ratio",
+            "higher",
+            true,
+            samples(speedup),
+        )],
+    };
+    for run in 0..3 {
+        append_entry(&dir, &entry(run, true, 3.0)).unwrap();
+    }
+
+    // Baselines alone: nothing to compare, but nothing failing either.
+    let (stdout, _, code) = vdbench(&[
+        "perfwatch",
+        "check",
+        "--history",
+        dir_str,
+        "--out",
+        trend_str,
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("no confirmed regressions"), "{stdout}");
+
+    // A candidate 20% slower than baseline must fail the gate.
+    append_entry(&dir, &entry(3, false, 2.4)).unwrap();
+    let (_, stderr, code) = vdbench(&[
+        "perfwatch",
+        "check",
+        "--history",
+        dir_str,
+        "--out",
+        trend_str,
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("confirmed regression"), "{stderr}");
+    let table = std::fs::read_to_string(&trend).unwrap();
+    assert!(table.contains("kendall-512:speedup"), "{table}");
+    assert!(table.contains("REGRESSION"), "{table}");
+
+    // Re-baselining on purpose accepts the new level...
+    let (stdout, _, code) = vdbench(&[
+        "perfwatch",
+        "update",
+        "--history",
+        dir_str,
+        "--note",
+        "accepted slower kernel",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("re-baselined 1 ledger file"), "{stdout}");
+    // ...and the recorded provenance note survives in the ledger.
+    let ledger = std::fs::read_to_string(dir.join("kernels.jsonl")).unwrap();
+    assert!(ledger.contains("accepted slower kernel"), "{ledger}");
+    let (stdout, _, code) = vdbench(&[
+        "perfwatch",
+        "check",
+        "--history",
+        dir_str,
+        "--out",
+        trend_str,
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+
+    // An equally-fast candidate against the new baseline stays green.
+    append_entry(&dir, &entry(4, false, 2.4)).unwrap();
+    let (stdout, _, code) = vdbench(&[
+        "perfwatch",
+        "check",
+        "--history",
+        dir_str,
+        "--out",
+        trend_str,
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("no confirmed regressions"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

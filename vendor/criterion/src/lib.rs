@@ -49,6 +49,7 @@ pub struct Bencher {
     samples: u64,
     elapsed: Duration,
     budget: Duration,
+    batch_means_ns: Vec<f64>,
 }
 
 impl Bencher {
@@ -57,12 +58,17 @@ impl Bencher {
             samples: 0,
             elapsed: Duration::ZERO,
             budget,
+            batch_means_ns: Vec::new(),
         }
     }
 
     /// Times the routine: one warm-up call, then batches until the budget
     /// is exhausted. In [`test_mode`] (zero budget) the routine runs
     /// exactly once and the warm-up timing is the reported sample.
+    ///
+    /// Each timed batch also records its own mean ns/iteration into the
+    /// batch-sample vector, giving downstream consumers (the perf-history
+    /// ledger) a raw sample distribution instead of a single pooled mean.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm-up and batch sizing.
         let warm_start = Instant::now();
@@ -71,6 +77,7 @@ impl Bencher {
         if self.budget.is_zero() {
             self.samples = 1;
             self.elapsed = first;
+            self.batch_means_ns.push(first.as_nanos() as f64);
             return;
         }
         let per_batch = (self.budget.as_nanos() / 10 / first.as_nanos()).clamp(1, 100_000) as u64;
@@ -81,8 +88,11 @@ impl Bencher {
             for _ in 0..per_batch {
                 black_box(routine());
             }
-            self.elapsed += start.elapsed();
+            let batch_elapsed = start.elapsed();
+            self.elapsed += batch_elapsed;
             self.samples += per_batch;
+            self.batch_means_ns
+                .push(batch_elapsed.as_nanos() as f64 / per_batch as f64);
         }
     }
 
@@ -145,6 +155,10 @@ pub struct BenchResult {
     pub mean_ns: f64,
     /// Number of timed iterations behind the mean.
     pub samples: u64,
+    /// Per-batch mean ns/iteration, one entry per timed batch (exactly one
+    /// in `--test` mode). The raw sample vector behind `mean_ns`, suitable
+    /// for resampling-based regression checks.
+    pub batch_means_ns: Vec<f64>,
 }
 
 /// The top-level benchmark driver.
@@ -166,6 +180,7 @@ impl Criterion {
             id: id.to_string(),
             mean_ns: b.mean_ns(),
             samples: b.samples,
+            batch_means_ns: b.batch_means_ns,
         });
         self
     }
@@ -209,6 +224,7 @@ impl BenchmarkGroup<'_> {
             id: full_id,
             mean_ns: b.mean_ns(),
             samples: b.samples,
+            batch_means_ns: b.batch_means_ns,
         });
         self
     }
@@ -278,6 +294,9 @@ mod tests {
         assert_eq!(results[0].id, "collect/one");
         assert_eq!(results[1].id, "collect/2");
         assert!(results.iter().all(|r| r.mean_ns > 0.0 && r.samples > 0));
+        assert!(results
+            .iter()
+            .all(|r| !r.batch_means_ns.is_empty() && r.batch_means_ns.iter().all(|&m| m > 0.0)));
     }
 
     #[test]
