@@ -94,7 +94,10 @@ use vdbench_telemetry::registry::Counter;
 /// written under other versions are evicted on store open, so a stale
 /// workspace cache self-invalidates instead of replaying outdated
 /// results.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: shard manifests moved from serde-JSON entry lists to the compact
+/// binary codec in `scale`, and gained the `mhdr` digest-header kind.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a over a byte string, continuing from `state`.
 fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
@@ -117,6 +120,15 @@ const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 #[must_use]
 pub fn fnv1a_key(bytes: &[u8]) -> u64 {
     fnv1a(FNV_OFFSET, bytes)
+}
+
+/// Folds one little-endian `u64` word into an FNV-1a state — the
+/// allocation-free building block for incremental key derivation (shard
+/// manifest addresses, fingerprint digests) that would otherwise
+/// round-trip every word through a temporary byte vector.
+#[must_use]
+pub fn fnv1a_fold_u64(state: u64, word: u64) -> u64 {
+    fnv1a(state, &word.to_le_bytes())
 }
 
 /// Content fingerprint of a benchmark roster: tool names plus metric
@@ -352,6 +364,15 @@ pub fn disk_cache_dir() -> Option<PathBuf> {
         .clone()
 }
 
+/// File extensions the store recognizes as blobs: serde-JSON values and
+/// raw byte blobs (the compact shard-manifest codec).
+const BLOB_EXTENSIONS: [&str; 2] = [".json", ".bin"];
+
+/// Whether a store file name is a blob of either codec.
+fn is_blob_name(name: &str) -> bool {
+    BLOB_EXTENSIONS.iter().any(|ext| name.ends_with(ext))
+}
+
 /// Deletes blobs from other schema versions and abandoned tmp files.
 fn sweep_stale_blobs(dir: &Path) {
     let current = format!("v{CACHE_SCHEMA_VERSION}-");
@@ -361,7 +382,7 @@ fn sweep_stale_blobs(dir: &Path) {
     for entry in entries.flatten() {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        let stale_blob = name.ends_with(".json") && !name.starts_with(&current);
+        let stale_blob = is_blob_name(name) && !name.starts_with(&current);
         let abandoned_tmp = name.contains(".tmp-");
         if (stale_blob || abandoned_tmp) && std::fs::remove_file(entry.path()).is_ok() {
             counters().disk_evictions.inc();
@@ -372,6 +393,11 @@ fn sweep_stale_blobs(dir: &Path) {
 /// Blob path for a `(kind, key hash)` pair under the current schema.
 fn blob_path(dir: &Path, kind: &str, key: u64) -> PathBuf {
     dir.join(format!("v{CACHE_SCHEMA_VERSION}-{kind}-{key:016x}.json"))
+}
+
+/// Byte-blob path for a `(kind, key hash)` pair under the current schema.
+fn bytes_blob_path(dir: &Path, kind: &str, key: u64) -> PathBuf {
+    dir.join(format!("v{CACHE_SCHEMA_VERSION}-{kind}-{key:016x}.bin"))
 }
 
 /// Reads and deserializes a blob. Every failure mode — missing file,
@@ -403,17 +429,51 @@ pub(crate) fn disk_put<T: serde::Serialize + ?Sized>(kind: &str, key: u64, value
         Ok(j) => j,
         Err(_) => return,
     };
+    publish_blob(&dir, &path, key, json.as_bytes());
+}
+
+/// Atomic tmp-file + rename publication shared by both blob codecs.
+fn publish_blob(dir: &Path, path: &Path, key: u64, contents: &[u8]) {
     let tmp = dir.join(format!(
         "{:016x}.tmp-{}-{}",
         key,
         std::process::id(),
         TMP_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
-    if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+    if std::fs::write(&tmp, contents).is_ok() && std::fs::rename(&tmp, path).is_ok() {
         counters().disk_writes.inc();
     } else {
         let _ = std::fs::remove_file(&tmp);
     }
+}
+
+/// Reads a raw byte blob published under `(kind, key)`. Same miss
+/// semantics as `disk_get` — missing or unreadable files are misses,
+/// never errors — but the contents are handed to the caller undecoded:
+/// the shard-manifest codec in `scale` validates them itself, and any
+/// malformed payload likewise degrades to a rescan. Counts
+/// `cache.disk.hits` / `cache.disk.misses`.
+#[must_use]
+pub fn bytes_blob_get(kind: &str, key: u64) -> Option<Vec<u8>> {
+    let dir = disk_cache_dir()?;
+    let path = bytes_blob_path(&dir, kind, key);
+    let value = std::fs::read(&path).ok();
+    if value.is_some() {
+        counters().disk_hits.inc();
+    } else {
+        counters().disk_misses.inc();
+    }
+    value
+}
+
+/// Atomically publishes a raw byte blob under `(kind, key)` — the
+/// non-JSON sibling of `disk_put`, stored with a `.bin` extension so
+/// the sweep/inventory/gc passes classify it like any other blob. A
+/// no-op with the disk tier off. Counts `cache.disk.writes`.
+pub fn bytes_blob_put(kind: &str, key: u64, bytes: &[u8]) {
+    let Some(dir) = disk_cache_dir() else { return };
+    let path = bytes_blob_path(&dir, kind, key);
+    publish_blob(&dir, &path, key, bytes);
 }
 
 // ---------------------------------------------------------------------------
@@ -760,13 +820,15 @@ pub fn blob_inventory_in(dir: &Path) -> BlobInventory {
             inv.tmp.1 += bytes;
             continue;
         }
-        if !name.ends_with(".json") {
+        if !is_blob_name(name) {
             continue;
         }
-        let Some(stem) = name
-            .strip_prefix(&current)
-            .and_then(|s| s.strip_suffix(".json"))
-        else {
+        let Some(stem) = name.strip_prefix(&current).map(|s| {
+            BLOB_EXTENSIONS
+                .iter()
+                .find_map(|ext| s.strip_suffix(ext))
+                .unwrap_or(s)
+        }) else {
             inv.stale.0 += 1;
             inv.stale.1 += bytes;
             continue;
@@ -795,7 +857,7 @@ pub fn gc_dir(dir: &Path) -> (u64, u64) {
     for entry in entries.flatten() {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        let stale_blob = name.ends_with(".json") && !name.starts_with(&current);
+        let stale_blob = is_blob_name(name) && !name.starts_with(&current);
         let abandoned_tmp = name.contains(".tmp-");
         if !(stale_blob || abandoned_tmp) {
             continue;
@@ -969,25 +1031,63 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let live_scan = blob_path(&dir, "scan", 0x1);
         let live_srv = blob_path(&dir, "srv-scan", 0x2);
+        let live_manifest = bytes_blob_path(&dir, "manifest", 0x5);
         std::fs::write(&live_scan, "\"x\"").unwrap();
         std::fs::write(&live_srv, "\"yy\"").unwrap();
+        std::fs::write(&live_manifest, [0u8, 1, 2, 3, 4]).unwrap();
         std::fs::write(dir.join("v0-scan-0000000000000003.json"), "old").unwrap();
+        std::fs::write(dir.join("v0-manifest-0000000000000006.bin"), "oldbin").unwrap();
         std::fs::write(dir.join("0000000000000004.tmp-1-0"), "half").unwrap();
         let inv = blob_inventory_in(&dir);
         assert_eq!(inv.kinds["scan"], (1, 3));
         assert_eq!(inv.kinds["srv-scan"], (1, 4));
-        assert_eq!(inv.live_count(), 2);
-        assert_eq!(inv.live_bytes(), 7);
-        assert_eq!(inv.stale.0, 1);
+        assert_eq!(inv.kinds["manifest"], (1, 5));
+        assert_eq!(inv.live_count(), 3);
+        assert_eq!(inv.live_bytes(), 12);
+        assert_eq!(inv.stale.0, 2, "stale .bin blobs classify like .json");
         assert_eq!(inv.tmp.0, 1);
         let (files, bytes) = gc_dir(&dir);
-        assert_eq!(files, 2);
+        assert_eq!(files, 3);
         assert!(bytes > 0);
         let after = blob_inventory_in(&dir);
         assert_eq!(after.stale, (0, 0));
         assert_eq!(after.tmp, (0, 0));
-        assert_eq!(after.live_count(), 2, "gc never touches live blobs");
+        assert_eq!(after.live_count(), 3, "gc never touches live blobs");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bytes_blobs_roundtrip_and_miss_without_store() {
+        let _guard = test_lock();
+        assert_eq!(bytes_blob_get("manifest", 0xB17), None, "disk tier off");
+        bytes_blob_put("manifest", 0xB17, b"dropped"); // no-op without a store
+        let dir = std::env::temp_dir().join(format!("vdbench-cache-bin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        set_disk_cache(Some(dir.clone()));
+        assert_eq!(bytes_blob_get("manifest", 0xB17), None, "cold store");
+        let payload: Vec<u8> = (0u8..=255).collect();
+        bytes_blob_put("manifest", 0xB17, &payload);
+        assert_eq!(
+            bytes_blob_get("manifest", 0xB17).as_deref(),
+            Some(&payload[..])
+        );
+        // Stale-schema byte blobs are swept on the next store open.
+        std::fs::write(dir.join("v0-manifest-00000000000000aa.bin"), "stale").unwrap();
+        set_disk_cache(Some(dir.clone()));
+        let inv = blob_inventory_in(&dir);
+        assert_eq!(inv.stale, (0, 0));
+        assert_eq!(inv.kinds["manifest"], (1, 256));
+        set_disk_cache(None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv1a_fold_u64_matches_byte_folding() {
+        let h0 = fnv1a_key(b"manifest-v2");
+        let folded = fnv1a_fold_u64(h0, 0xDEAD_BEEF_0BAD_F00D);
+        let byted = fnv1a(h0, &0xDEAD_BEEF_0BAD_F00Du64.to_le_bytes());
+        assert_eq!(folded, byted);
+        assert_ne!(folded, fnv1a_fold_u64(h0, 0xDEAD_BEEF_0BAD_F00E));
     }
 
     #[test]

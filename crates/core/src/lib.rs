@@ -42,15 +42,17 @@ pub mod validation;
 pub use attributes::{assess_catalog, AssessmentConfig, AttributeAssessment, MetricAttribute};
 pub use benchmark::{Benchmark, BenchmarkReport, ScanRecord};
 pub use cache::{
-    artifact_key, blob_inventory_in, cached_artifact, cached_assessment, cached_case_study,
-    cached_scan, disk_cache_dir, fnv1a_key, gc_dir, raw_blob_get, raw_blob_put, set_disk_cache,
-    BlobInventory, CacheStats, CACHE_SCHEMA_VERSION,
+    artifact_key, blob_inventory_in, bytes_blob_get, bytes_blob_put, cached_artifact,
+    cached_assessment, cached_case_study, cached_scan, disk_cache_dir, fnv1a_fold_u64, fnv1a_key,
+    gc_dir, raw_blob_get, raw_blob_put, set_disk_cache, BlobInventory, CacheStats,
+    CACHE_SCHEMA_VERSION,
 };
 pub use campaign::{fault_injection, run_case_study_faulty, set_fault_injection};
 pub use error::CoreError;
 pub use ranking::{rank_by_metric, RankingTable};
 pub use scale::{
-    streamed_scan, ScaleDelta, ScalePoint, ScaleRecord, StreamedScanReport, DEFAULT_SHARD_UNITS,
+    default_scan_threads, streamed_scan, streamed_scan_serial, streamed_scan_with_threads,
+    ScaleDelta, ScalePoint, ScaleRecord, StreamedScanReport, DEFAULT_SHARD_UNITS,
 };
 pub use scenario::{Scenario, ScenarioId};
 pub use selection::{MetricSelector, SelectionOutcome};

@@ -1,40 +1,72 @@
-//! Million-unit campaigns: streamed generation, fixed-memory sharded
-//! scanning, and incremental delta rescans.
+//! Million-unit campaigns: streamed generation, pipelined fixed-memory
+//! sharded scanning, and incremental delta rescans.
 //!
 //! [`streamed_scan`] drives one detection tool over a
 //! [`CorpusBuilder`]-described corpus **without ever materializing it**:
-//! the [`vdbench_corpus::CorpusStream`] yields bounded shards, each shard
-//! is scanned and scored, and the per-shard confusion partials are folded
-//! into one running [`ConfusionMatrix`] — peak memory is a function of
-//! the shard size, not the corpus size (the `vdbench scale` bench and
-//! the CI `scale-smoke` job assert the resulting flat RSS curve).
+//! a plan producer walks the [`vdbench_corpus::CorpusStream`] while a
+//! pool of shard workers materialize, scan and score bounded shards, and
+//! the per-shard confusion partials are folded *in shard order* into one
+//! running [`ConfusionMatrix`] — peak memory is a function of the shard
+//! size times the worker count, not the corpus size (the `vdbench scale`
+//! bench and the CI `scale-smoke` job assert the resulting flat RSS
+//! curve).
+//!
+//! # Pipeline
+//!
+//! ```text
+//!  producer ──sync_channel──▶ workers (×N) ──sync_channel──▶ in-order fold
+//!  next_plans                 process_shard                  reorder buffer
+//! ```
+//!
+//! Both channels are bounded by the thread count and the fold drains a
+//! [`std::collections::BTreeMap`] reorder buffer keyed on shard index, so
+//! at most O(threads) shards are in flight and the aggregate is absorbed
+//! in exactly the serial order. Every per-shard quantity (`rescanned`,
+//! `replayed`, the preview head, the confusion partial) is computed
+//! inside `process_shard` from the shard's own plans — never from
+//! schedule state — so the pipelined report is **byte-identical to the
+//! retained serial oracle** ([`streamed_scan_serial`]) at any thread
+//! count and shard size. `--scan-threads 1` *is* the serial oracle.
 //!
 //! # Incrementality contract
 //!
-//! Each shard persists a *manifest* in the blob store (kind
-//! `"manifest"`): one entry per unit holding the unit's content
-//! fingerprint ([`vdbench_corpus::UnitPlan::fingerprint`] — stable
-//! across corpus growth, moved by any generator-knob or seed change)
-//! together with its scored [`SiteOutcome`]s and raw [`Finding`]s. On a
-//! later run, a unit whose fingerprint matches its manifest entry
-//! *replays* the stored score; only units whose fingerprints changed (or
-//! that are new) are materialized and rescanned. Growing a corpus by `k`
-//! units therefore rescans exactly `k`, and an identical rerun rescans
-//! none — `scan.units.{rescanned,replayed}` on the telemetry registry
-//! (and the [`StreamedScanReport`] fields) count both paths.
+//! Each shard persists two blobs in the store:
+//!
+//! * a *manifest* (kind `"manifest"`, compact binary codec): one entry
+//!   per unit holding the unit's content fingerprint
+//!   ([`vdbench_corpus::UnitPlan::fingerprint`] — stable across corpus
+//!   growth, moved by any generator-knob or seed change) together with
+//!   its scored [`SiteOutcome`]s and raw [`Finding`]s;
+//! * a *header* (kind `"mhdr"`): an FNV fold of the shard's unit
+//!   fingerprints plus the precomputed aggregate (sites, confusion
+//!   partial, finding count, preview head).
+//!
+//! On a later run a shard whose fingerprint digest matches its header
+//! replays **O(1)**: the aggregate folds in from the header alone, with
+//! no per-unit decode and no entry clones. A digest miss falls back to
+//! per-unit fingerprint matching against the manifest — growing a corpus
+//! by `k` units rescans exactly `k` and invalidates only the tail
+//! shard's digest; an identical rerun rescans nothing and decodes
+//! nothing. `scan.units.{rescanned,replayed}` and
+//! `scan.shards.digest_hits` on the telemetry registry (and the
+//! [`StreamedScanReport`] fields) count the paths taken.
 //!
 //! Manifests are addressed per `(tool, fault, shard size, shard index)`,
 //! but matching is **per unit**, so replay/rescan totals are independent
 //! of the shard size used to write the manifest being read — a manifest
 //! written at `--shard-units 512` simply never aliases one written at
-//! `4096`. With the disk tier off, every unit rescans (the stream path
-//! still runs in bounded memory).
+//! `4096`. A corrupt or stale header (or manifest) is a miss, never an
+//! error: the shard degrades to per-unit matching, then to a rescan.
+//! With the disk tier off, every unit rescans (the stream path still
+//! runs in bounded memory).
 
 use crate::cache::{self, tool_fingerprint};
 use crate::campaign;
 use serde::{Deserialize, Serialize};
-use std::sync::{Arc, OnceLock};
-use vdbench_corpus::{CorpusBuilder, CorpusStream, UnitPlan};
+use std::collections::BTreeMap;
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex, OnceLock};
+use vdbench_corpus::{CorpusBuilder, UnitMaterializer, UnitPlan};
 use vdbench_detectors::{score_findings, Detector, Finding, SiteOutcome};
 use vdbench_metrics::ConfusionMatrix;
 use vdbench_telemetry::registry::Counter;
@@ -54,6 +86,7 @@ struct ScaleCounters {
     rescanned: Arc<Counter>,
     replayed: Arc<Counter>,
     shards: Arc<Counter>,
+    digest_hits: Arc<Counter>,
 }
 
 fn counters() -> &'static ScaleCounters {
@@ -64,21 +97,9 @@ fn counters() -> &'static ScaleCounters {
             rescanned: reg.counter("scan.units.rescanned"),
             replayed: reg.counter("scan.units.replayed"),
             shards: reg.counter("scan.shards"),
+            digest_hits: reg.counter("scan.shards.digest_hits"),
         }
     })
-}
-
-/// One unit's persisted scan result inside a shard manifest.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct UnitManifestEntry {
-    /// Global unit index.
-    index: u32,
-    /// The unit's content fingerprint at scan time.
-    fingerprint: u64,
-    /// Scored ground-truth records for the unit's sites.
-    outcomes: Vec<SiteOutcome>,
-    /// The tool's raw findings on the unit (site order).
-    findings: Vec<Finding>,
 }
 
 /// Aggregate of one streamed scan — O(1) in corpus size.
@@ -101,8 +122,11 @@ pub struct StreamedScanReport {
     pub preview: Vec<Finding>,
     /// Units materialized and scanned this run.
     pub rescanned: u64,
-    /// Units replayed from a fingerprint-matching manifest entry.
+    /// Units replayed from a fingerprint-matching manifest entry or a
+    /// digest-matching shard header.
     pub replayed: u64,
+    /// Shards that replayed O(1) from their header digest alone.
+    pub digest_hits: u64,
 }
 
 /// Blob-store key of one shard manifest. The corpus seed and generator
@@ -111,80 +135,555 @@ pub struct StreamedScanReport {
 /// simply fails every fingerprint match and rescans (correct, just
 /// cold) instead of multiplying addresses.
 fn manifest_key(tool_fp: u64, fault_fp: u64, shard_units: usize, shard_index: u64) -> u64 {
-    let mut h = cache::fnv1a_key(b"manifest-v1");
+    let mut h = cache::fnv1a_key(b"manifest-v2");
     for word in [tool_fp, fault_fp, shard_units as u64, shard_index] {
-        let mut bytes = Vec::with_capacity(8);
-        bytes.extend_from_slice(&word.to_le_bytes());
-        h = cache::fnv1a_key(&{
-            let mut acc = h.to_le_bytes().to_vec();
-            acc.extend_from_slice(&bytes);
-            acc
-        });
+        h = cache::fnv1a_fold_u64(h, word);
     }
     h
 }
 
-/// Scans the plans of one contiguous run, returning a manifest entry per
-/// unit (plan order).
-fn scan_run(
-    tool: &dyn Detector,
-    stream: &CorpusStream,
-    run: &[UnitPlan],
-) -> Vec<UnitManifestEntry> {
-    let shard = stream.materialize(run);
-    let findings = tool.analyze_corpus(&shard);
-    let outcome = score_findings(&tool.name(), &shard, &findings);
-    let base = run[0].index;
-    let mut entries: Vec<UnitManifestEntry> = run
-        .iter()
-        .map(|p| UnitManifestEntry {
-            index: p.index,
-            fingerprint: p.fingerprint,
-            outcomes: Vec::new(),
-            findings: Vec::new(),
-        })
-        .collect();
-    for rec in outcome.records() {
-        entries[(rec.site.unit - base) as usize]
-            .outcomes
-            .push(rec.clone());
+/// FNV fold over a shard's unit fingerprints — the identity a header
+/// must match for the O(1) replay path. Any changed, added or removed
+/// unit (including a different plan count) moves the digest.
+fn shard_digest(plans: &[UnitPlan]) -> u64 {
+    let mut d = cache::fnv1a_key(b"shard-digest-v1");
+    for p in plans {
+        d = cache::fnv1a_fold_u64(d, p.fingerprint);
     }
-    for f in findings {
-        entries[(f.site.unit - base) as usize].findings.push(f);
-    }
-    entries
+    d
 }
 
-/// Runs `tool` over the corpus `builder` describes, in shards of
-/// `shard_units`, replaying fingerprint-matching units from the blob
-/// store's shard manifests. See the module docs for the memory and
-/// incrementality contracts.
+/// The O(1) header of one shard manifest (blob kind `"mhdr"`): the
+/// shard's fingerprint digest plus everything the fold needs, so a
+/// digest-matching shard never touches its entry blob.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ShardHeader {
+    /// [`shard_digest`] of the plans the manifest was written for.
+    digest: u64,
+    /// Units in the shard.
+    units: u64,
+    /// Ground-truth sites in the shard.
+    sites: u64,
+    /// The shard's confusion partial.
+    confusion: ConfusionMatrix,
+    /// Findings the tool reported on the shard.
+    findings: u64,
+    /// The shard's first [`PREVIEW_FINDINGS`] findings, verbatim.
+    preview: Vec<Finding>,
+}
+
+// ---------------------------------------------------------------------------
+// Shard manifest entries: columnar layout + compact binary codec
+// ---------------------------------------------------------------------------
+
+/// Per-unit scan results of one shard in columnar form: unit metadata in
+/// parallel vectors, outcomes/findings in two flat pools sliced by
+/// per-unit end offsets. Building a cold shard is three `extend` calls —
+/// no per-unit vector allocations, no record clones — and the layout
+/// maps 1:1 onto the binary manifest codec.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ShardEntries {
+    /// Global unit indices, strictly ascending.
+    indices: Vec<u32>,
+    /// Content fingerprint per unit.
+    fingerprints: Vec<u64>,
+    /// Exclusive end offset of each unit's slice of `outcomes`.
+    outcome_ends: Vec<u32>,
+    /// Exclusive end offset of each unit's slice of `findings`.
+    finding_ends: Vec<u32>,
+    /// All scored records of the shard, unit order.
+    outcomes: Vec<SiteOutcome>,
+    /// All raw findings of the shard, unit order.
+    findings: Vec<Finding>,
+}
+
+impl ShardEntries {
+    fn with_capacity(units: usize) -> Self {
+        ShardEntries {
+            indices: Vec::with_capacity(units),
+            fingerprints: Vec::with_capacity(units),
+            outcome_ends: Vec::with_capacity(units),
+            finding_ends: Vec::with_capacity(units),
+            outcomes: Vec::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Position of a unit by global index (the indices are ascending).
+    fn find(&self, index: u32) -> Option<usize> {
+        self.indices.binary_search(&index).ok()
+    }
+
+    fn outcome_range(&self, i: usize) -> std::ops::Range<usize> {
+        let start = if i == 0 {
+            0
+        } else {
+            self.outcome_ends[i - 1] as usize
+        };
+        start..self.outcome_ends[i] as usize
+    }
+
+    fn finding_range(&self, i: usize) -> std::ops::Range<usize> {
+        let start = if i == 0 {
+            0
+        } else {
+            self.finding_ends[i - 1] as usize
+        };
+        start..self.finding_ends[i] as usize
+    }
+
+    /// Appends unit `i` of `other` (a decoded manifest) as a replayed
+    /// unit of this shard.
+    fn push_replayed(&mut self, other: &ShardEntries, i: usize) {
+        self.indices.push(other.indices[i]);
+        self.fingerprints.push(other.fingerprints[i]);
+        self.outcomes
+            .extend_from_slice(&other.outcomes[other.outcome_range(i)]);
+        self.findings
+            .extend_from_slice(&other.findings[other.finding_range(i)]);
+        self.outcome_ends.push(self.outcomes.len() as u32);
+        self.finding_ends.push(self.findings.len() as u32);
+    }
+}
+
+/// Magic prefix of the binary manifest codec; the trailing digit is the
+/// codec's own version (the file name also carries the store-wide
+/// [`cache::CACHE_SCHEMA_VERSION`]).
+const MANIFEST_MAGIC: [u8; 8] = *b"vdmanif2";
+
+/// Stable wire code of a [`VulnClass`]. Exhaustive match: adding a
+/// variant fails compilation here, forcing a codec (and schema) bump
+/// instead of silently mis-decoding old blobs.
+fn class_code(c: vdbench_corpus::VulnClass) -> u8 {
+    use vdbench_corpus::VulnClass::*;
+    match c {
+        SqlInjection => 0,
+        Xss => 1,
+        CommandInjection => 2,
+        PathTraversal => 3,
+        HardcodedCredentials => 4,
+        WeakHash => 5,
+    }
+}
+
+fn class_from_code(b: u8) -> Option<vdbench_corpus::VulnClass> {
+    use vdbench_corpus::VulnClass::*;
+    Some(match b {
+        0 => SqlInjection,
+        1 => Xss,
+        2 => CommandInjection,
+        3 => PathTraversal,
+        4 => HardcodedCredentials,
+        5 => WeakHash,
+        _ => return None,
+    })
+}
+
+/// Stable wire code of a [`FlowShape`] (same exhaustiveness discipline
+/// as [`class_code`]).
 ///
-/// The returned report's confusion matrix, finding count and preview are
-/// bit-identical to a monolithic `build()` + scan + score at any shard
-/// size; `rescanned`/`replayed` are this run's local counts (the global
-/// `scan.units.*` counters accumulate across runs).
-///
-/// # Panics
-///
-/// Panics if `shard_units` is 0.
-pub fn streamed_scan(
-    tool: &dyn Detector,
-    builder: &CorpusBuilder,
+/// [`FlowShape`]: vdbench_corpus::FlowShape
+fn shape_code(s: vdbench_corpus::FlowShape) -> u8 {
+    use vdbench_corpus::FlowShape::*;
+    match s {
+        Direct => 0,
+        Chained => 1,
+        InputGated => 2,
+        LoopCarried => 3,
+        Interprocedural => 4,
+        SanitizedCorrect => 5,
+        SanitizedMismatch => 6,
+        SanitizedPartial => 7,
+        DeadGuard => 8,
+        LiteralOnly => 9,
+        Stored => 10,
+        StoredLiteral => 11,
+        BadConfiguration => 12,
+        GoodConfiguration => 13,
+    }
+}
+
+fn shape_from_code(b: u8) -> Option<vdbench_corpus::FlowShape> {
+    use vdbench_corpus::FlowShape::*;
+    Some(match b {
+        0 => Direct,
+        1 => Chained,
+        2 => InputGated,
+        3 => LoopCarried,
+        4 => Interprocedural,
+        5 => SanitizedCorrect,
+        6 => SanitizedMismatch,
+        7 => SanitizedPartial,
+        8 => DeadGuard,
+        9 => LiteralOnly,
+        10 => Stored,
+        11 => StoredLiteral,
+        12 => BadConfiguration,
+        13 => GoodConfiguration,
+        _ => return None,
+    })
+}
+
+/// Serializes a shard's entries into the compact binary manifest layout:
+/// fixed-width little-endian columns, length-prefixed rationale strings.
+/// A 4096-unit shard encodes in a few hundred kB where the former
+/// serde-JSON entry list took several MB — manifest I/O, not scanning,
+/// dominated the cold path before this codec.
+fn encode_entries(e: &ShardEntries) -> Vec<u8> {
+    let rationale_bytes: usize = e.findings.iter().map(|f| f.rationale.len()).sum();
+    let mut out = Vec::with_capacity(
+        20 + e.len() * 20 + e.outcomes.len() * 12 + e.findings.len() * 22 + rationale_bytes,
+    );
+    out.extend_from_slice(&MANIFEST_MAGIC);
+    out.extend_from_slice(&(e.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(e.outcomes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(e.findings.len() as u32).to_le_bytes());
+    for i in 0..e.len() {
+        out.extend_from_slice(&e.indices[i].to_le_bytes());
+        out.extend_from_slice(&e.fingerprints[i].to_le_bytes());
+        out.extend_from_slice(&e.outcome_ends[i].to_le_bytes());
+        out.extend_from_slice(&e.finding_ends[i].to_le_bytes());
+    }
+    for r in &e.outcomes {
+        out.extend_from_slice(&r.site.unit.to_le_bytes());
+        out.extend_from_slice(&r.site.sink.to_le_bytes());
+        let mut flags = 0u8;
+        if r.reported {
+            flags |= 1;
+        }
+        if r.vulnerable {
+            flags |= 2;
+        }
+        if r.claimed_class.is_some() {
+            flags |= 4;
+        }
+        out.push(flags);
+        out.push(r.claimed_class.map_or(0, class_code));
+        out.push(class_code(r.class));
+        out.push(shape_code(r.shape));
+    }
+    for f in &e.findings {
+        out.extend_from_slice(&f.site.unit.to_le_bytes());
+        out.extend_from_slice(&f.site.sink.to_le_bytes());
+        out.push(u8::from(f.class.is_some()));
+        out.push(f.class.map_or(0, class_code));
+        out.extend_from_slice(&f.confidence.to_bits().to_le_bytes());
+        out.extend_from_slice(&(f.rationale.len() as u32).to_le_bytes());
+        out.extend_from_slice(f.rationale.as_bytes());
+    }
+    out
+}
+
+/// Bounds-checked little-endian reader over a manifest blob.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Decodes a binary manifest blob. Every malformation — wrong magic,
+/// truncation, trailing bytes, non-monotonic offsets, out-of-range enum
+/// codes, invalid UTF-8 — returns `None`: the shard simply rescans, the
+/// scan never fails on a bad blob.
+fn decode_entries(bytes: &[u8]) -> Option<ShardEntries> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(8)? != MANIFEST_MAGIC {
+        return None;
+    }
+    let n_units = r.u32()? as usize;
+    let n_outcomes = r.u32()? as usize;
+    let n_findings = r.u32()? as usize;
+    // Size sanity before any allocation: a corrupt count must not be
+    // able to request an absurd reservation.
+    if r.remaining() < n_units * 20 + n_outcomes * 12 + n_findings * 18 {
+        return None;
+    }
+    let mut e = ShardEntries::with_capacity(n_units);
+    e.outcomes.reserve(n_outcomes);
+    e.findings.reserve(n_findings);
+    for i in 0..n_units {
+        let index = r.u32()?;
+        let fingerprint = r.u64()?;
+        let outcome_end = r.u32()?;
+        let finding_end = r.u32()?;
+        let ordered = i == 0
+            || (e.indices[i - 1] < index
+                && e.outcome_ends[i - 1] <= outcome_end
+                && e.finding_ends[i - 1] <= finding_end);
+        if !ordered {
+            return None;
+        }
+        e.indices.push(index);
+        e.fingerprints.push(fingerprint);
+        e.outcome_ends.push(outcome_end);
+        e.finding_ends.push(finding_end);
+    }
+    if e.outcome_ends.last().copied().unwrap_or(0) as usize != n_outcomes
+        || e.finding_ends.last().copied().unwrap_or(0) as usize != n_findings
+    {
+        return None;
+    }
+    for _ in 0..n_outcomes {
+        let unit = r.u32()?;
+        let sink = r.u32()?;
+        let flags = r.u8()?;
+        let claimed_code = r.u8()?;
+        let class = class_from_code(r.u8()?)?;
+        let shape = shape_from_code(r.u8()?)?;
+        if flags > 7 {
+            return None;
+        }
+        let claimed_class = if flags & 4 != 0 {
+            Some(class_from_code(claimed_code)?)
+        } else {
+            None
+        };
+        e.outcomes.push(SiteOutcome {
+            site: vdbench_corpus::SiteId { unit, sink },
+            reported: flags & 1 != 0,
+            claimed_class,
+            vulnerable: flags & 2 != 0,
+            class,
+            shape,
+        });
+    }
+    for _ in 0..n_findings {
+        let unit = r.u32()?;
+        let sink = r.u32()?;
+        let has_class = r.u8()?;
+        let class_byte = r.u8()?;
+        let confidence = f64::from_bits(r.u64()?);
+        let rationale_len = r.u32()? as usize;
+        let rationale = std::str::from_utf8(r.take(rationale_len)?).ok()?;
+        let class = match has_class {
+            0 => None,
+            1 => Some(class_from_code(class_byte)?),
+            _ => return None,
+        };
+        e.findings.push(Finding {
+            site: vdbench_corpus::SiteId { unit, sink },
+            class,
+            confidence,
+            rationale: rationale.to_string(),
+        });
+    }
+    if r.remaining() != 0 {
+        return None;
+    }
+    Some(e)
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard processing (shared by the serial oracle and the pipeline)
+// ---------------------------------------------------------------------------
+
+/// Everything a shard worker needs; shared by reference across the
+/// thread scope.
+struct ShardScanContext<'a> {
+    tool: &'a dyn Detector,
+    mat: UnitMaterializer,
+    tool_fp: u64,
+    fault_fp: u64,
     shard_units: usize,
-) -> StreamedScanReport {
-    assert!(shard_units > 0, "shard size must be positive");
-    let tool_fp = tool_fingerprint(tool);
-    let fault_fp = campaign::fault_injection().map_or(0, |c| c.fingerprint());
-    let mut stream = builder.stream();
+}
+
+/// The O(1) result of one shard, in the order-independent form that
+/// flows through the reorder buffer into the fold.
+struct ShardOutcome {
+    units: u64,
+    sites: u64,
+    confusion: ConfusionMatrix,
+    findings: u64,
+    preview: Vec<Finding>,
+    rescanned: u64,
+    replayed: u64,
+    digest_hit: bool,
+}
+
+/// Scans one contiguous run of plans and appends its entries to `out`.
+fn scan_run_into(cx: &ShardScanContext<'_>, run: &[UnitPlan], out: &mut ShardEntries) {
+    let _span = vdbench_telemetry::span!("core", "scan_run", units = run.len());
+    let shard = cx.mat.materialize(run);
+    let findings = cx.tool.analyze_corpus(&shard);
+    let outcome = score_findings(&cx.tool.name(), &shard, &findings);
+    let o_base = out.outcomes.len();
+    let f_base = out.findings.len();
+    out.outcomes.extend(outcome.into_records());
+    out.findings.extend(findings);
+    // Records and findings are both in unit order; one pass over the run
+    // computes every unit's end offsets.
+    let (mut oc, mut fc) = (o_base, f_base);
+    for p in run {
+        while oc < out.outcomes.len() && out.outcomes[oc].site.unit == p.index {
+            oc += 1;
+        }
+        while fc < out.findings.len() && out.findings[fc].site.unit == p.index {
+            fc += 1;
+        }
+        out.indices.push(p.index);
+        out.fingerprints.push(p.fingerprint);
+        out.outcome_ends.push(oc as u32);
+        out.finding_ends.push(fc as u32);
+    }
+    debug_assert_eq!(oc, out.outcomes.len(), "records beyond the run's units");
+    debug_assert_eq!(fc, out.findings.len(), "findings beyond the run's units");
+}
+
+/// Fetch/replay/rescan/publish for one shard. Pure in the pipeline
+/// sense: the outcome depends only on `(plans, shard_index)` and the
+/// blob store, never on which worker runs it or when.
+fn process_shard(cx: &ShardScanContext<'_>, shard_index: u64, plans: &[UnitPlan]) -> ShardOutcome {
     let _span = vdbench_telemetry::span!(
         "core",
-        "streamed_scan",
-        tool = tool.name(),
-        units = stream.total_units(),
-        shard_units = shard_units
+        "scan_shard",
+        index = shard_index,
+        units = plans.len()
     );
-    let mut report = StreamedScanReport {
+    let key = manifest_key(cx.tool_fp, cx.fault_fp, cx.shard_units, shard_index);
+    let digest = shard_digest(plans);
+    let header = cache::disk_get::<ShardHeader>("mhdr", key);
+    if let Some(h) = &header {
+        if h.digest == digest {
+            // O(1) warm replay: the header carries the whole aggregate.
+            return ShardOutcome {
+                units: plans.len() as u64,
+                sites: h.sites,
+                confusion: h.confusion,
+                findings: h.findings,
+                preview: h.preview.clone(),
+                rescanned: 0,
+                replayed: plans.len() as u64,
+                digest_hit: true,
+            };
+        }
+    }
+    let old = cache::bytes_blob_get("manifest", key)
+        .and_then(|bytes| decode_entries(&bytes))
+        .unwrap_or_default();
+
+    // Walk the shard in unit order, replaying matches and batching
+    // contiguous misses into materialized runs.
+    let mut entries = ShardEntries::with_capacity(plans.len());
+    let mut pending: Vec<UnitPlan> = Vec::new();
+    let mut rescanned: u64 = 0;
+    let mut replayed: u64 = 0;
+    for plan in plans {
+        match old.find(plan.index) {
+            Some(i) if old.fingerprints[i] == plan.fingerprint => {
+                if !pending.is_empty() {
+                    rescanned += pending.len() as u64;
+                    scan_run_into(cx, &pending, &mut entries);
+                    pending.clear();
+                }
+                entries.push_replayed(&old, i);
+                replayed += 1;
+            }
+            _ => pending.push(*plan),
+        }
+    }
+    if !pending.is_empty() {
+        rescanned += pending.len() as u64;
+        scan_run_into(cx, &pending, &mut entries);
+        pending.clear();
+    }
+
+    let confusion =
+        ConfusionMatrix::from_outcomes(entries.outcomes.iter().map(|r| (r.reported, r.vulnerable)));
+    let preview: Vec<Finding> = entries
+        .findings
+        .iter()
+        .take(PREVIEW_FINDINGS)
+        .cloned()
+        .collect();
+    if rescanned > 0 {
+        cache::bytes_blob_put("manifest", key, &encode_entries(&entries));
+    }
+    // Publish the header whenever it mirrors the entries on disk: after
+    // a rewrite, or to heal a missing/corrupt header over a manifest
+    // that exactly covers these plans. A *valid* header whose digest
+    // merely differs (the same address read at a different corpus size)
+    // is left alone — rewriting it would just thrash between sizes.
+    if rescanned > 0
+        || (header.is_none() && replayed == plans.len() as u64 && old.len() == plans.len())
+    {
+        cache::disk_put(
+            "mhdr",
+            key,
+            &ShardHeader {
+                digest,
+                units: plans.len() as u64,
+                sites: entries.outcomes.len() as u64,
+                confusion,
+                findings: entries.findings.len() as u64,
+                preview: preview.clone(),
+            },
+        );
+    }
+    ShardOutcome {
+        units: plans.len() as u64,
+        sites: entries.outcomes.len() as u64,
+        confusion,
+        findings: entries.findings.len() as u64,
+        preview,
+        rescanned,
+        replayed,
+        digest_hit: false,
+    }
+}
+
+/// Folds one shard into the running aggregate — always called in shard
+/// order, whichever path produced the outcome.
+fn absorb(report: &mut StreamedScanReport, out: ShardOutcome) {
+    report.units += out.units;
+    report.sites += out.sites;
+    report.confusion = report.confusion + out.confusion;
+    report.findings += out.findings;
+    if report.preview.len() < PREVIEW_FINDINGS {
+        for f in out.preview {
+            if report.preview.len() >= PREVIEW_FINDINGS {
+                break;
+            }
+            report.preview.push(f);
+        }
+    }
+    report.rescanned += out.rescanned;
+    report.replayed += out.replayed;
+    report.digest_hits += u64::from(out.digest_hit);
+    report.shards += 1;
+}
+
+fn empty_report(tool: &dyn Detector) -> StreamedScanReport {
+    StreamedScanReport {
         tool: tool.name(),
         units: 0,
         sites: 0,
@@ -194,76 +693,182 @@ pub fn streamed_scan(
         preview: Vec::new(),
         rescanned: 0,
         replayed: 0,
+        digest_hits: 0,
+    }
+}
+
+fn add_to_global_counters(report: &StreamedScanReport) {
+    let c = counters();
+    c.rescanned.add(report.rescanned);
+    c.replayed.add(report.replayed);
+    c.shards.add(report.shards);
+    c.digest_hits.add(report.digest_hits);
+}
+
+/// The worker-pool width [`streamed_scan`] uses: the ambient rayon pool
+/// size (`RAYON_NUM_THREADS` honored).
+#[must_use]
+pub fn default_scan_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Runs `tool` over the corpus `builder` describes, in shards of
+/// `shard_units`, on [`default_scan_threads`] shard workers. See the
+/// module docs for the memory and incrementality contracts.
+///
+/// The returned report's confusion matrix, finding count and preview are
+/// bit-identical to a monolithic `build()` + scan + score at any shard
+/// size *and any thread count*; `rescanned`/`replayed`/`digest_hits` are
+/// this run's local counts (the global `scan.*` counters accumulate
+/// across runs).
+///
+/// # Panics
+///
+/// Panics if `shard_units` is 0.
+pub fn streamed_scan(
+    tool: &dyn Detector,
+    builder: &CorpusBuilder,
+    shard_units: usize,
+) -> StreamedScanReport {
+    streamed_scan_with_threads(tool, builder, shard_units, default_scan_threads())
+}
+
+/// [`streamed_scan`] with an explicit worker count (`--scan-threads`).
+/// `threads == 1` runs the serial oracle; more threads run the bounded
+/// producer/workers/fold pipeline. Output is identical either way.
+///
+/// # Panics
+///
+/// Panics if `shard_units` or `threads` is 0.
+pub fn streamed_scan_with_threads(
+    tool: &dyn Detector,
+    builder: &CorpusBuilder,
+    shard_units: usize,
+    threads: usize,
+) -> StreamedScanReport {
+    assert!(threads > 0, "scan thread count must be positive");
+    if threads == 1 {
+        return streamed_scan_serial(tool, builder, shard_units);
+    }
+    assert!(shard_units > 0, "shard size must be positive");
+    let mut stream = builder.stream();
+    let cx = ShardScanContext {
+        tool,
+        mat: stream.materializer(),
+        tool_fp: tool_fingerprint(tool),
+        fault_fp: campaign::fault_injection().map_or(0, |c| c.fingerprint()),
+        shard_units,
     };
+    let _span = vdbench_telemetry::span!(
+        "core",
+        "streamed_scan",
+        tool = tool.name(),
+        units = stream.total_units(),
+        shard_units = shard_units,
+        threads = threads
+    );
+    let mut report = empty_report(tool);
+    // Both channels are bounded by the worker count, so plans, in-flight
+    // shards and undrained outcomes together hold O(threads) shards —
+    // the flat-RSS guarantee survives parallelism. (Declared outside the
+    // scope: scoped threads borrow the receiver mutex.)
+    let (job_tx, job_rx) = sync_channel::<(u64, Vec<UnitPlan>)>(threads);
+    let job_rx = Mutex::new(job_rx);
+    let (out_tx, out_rx) = sync_channel::<(u64, ShardOutcome)>(threads);
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let _span = vdbench_telemetry::span!("core", "plan_producer");
+            let mut shard_index: u64 = 0;
+            loop {
+                let plans = stream.next_plans(shard_units);
+                if plans.is_empty() {
+                    break;
+                }
+                if job_tx.send((shard_index, plans)).is_err() {
+                    break;
+                }
+                shard_index += 1;
+            }
+        });
+        let cx = &cx;
+        let job_rx = &job_rx;
+        for worker in 0..threads {
+            let out_tx = out_tx.clone();
+            s.spawn(move || {
+                let _span = vdbench_telemetry::span!("core", "shard_worker", worker = worker);
+                loop {
+                    let job = job_rx.lock().expect("plan channel poisoned").recv();
+                    let Ok((shard_index, plans)) = job else { break };
+                    let out = process_shard(cx, shard_index, &plans);
+                    if out_tx.send((shard_index, out)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(out_tx);
+        // In-order fold: outcomes arrive in completion order and drain
+        // through a reorder buffer keyed on shard index, so absorption
+        // order — and therefore preview, counts and stdout — matches the
+        // serial oracle exactly.
+        let _span = vdbench_telemetry::span!("core", "shard_fold");
+        let mut next: u64 = 0;
+        let mut reorder: BTreeMap<u64, ShardOutcome> = BTreeMap::new();
+        while let Ok((shard_index, out)) = out_rx.recv() {
+            reorder.insert(shard_index, out);
+            while let Some(ready) = reorder.remove(&next) {
+                absorb(&mut report, ready);
+                next += 1;
+            }
+        }
+        debug_assert!(reorder.is_empty(), "reorder buffer drained");
+    });
+    add_to_global_counters(&report);
+    report
+}
+
+/// The retained serial oracle: one thread walks plans, processes each
+/// shard and folds it, with no channels in between. The pipeline is
+/// tested byte-identical against this path, and `--scan-threads 1`
+/// resolves to it.
+///
+/// # Panics
+///
+/// Panics if `shard_units` is 0.
+pub fn streamed_scan_serial(
+    tool: &dyn Detector,
+    builder: &CorpusBuilder,
+    shard_units: usize,
+) -> StreamedScanReport {
+    assert!(shard_units > 0, "shard size must be positive");
+    let mut stream = builder.stream();
+    let cx = ShardScanContext {
+        tool,
+        mat: stream.materializer(),
+        tool_fp: tool_fingerprint(tool),
+        fault_fp: campaign::fault_injection().map_or(0, |c| c.fingerprint()),
+        shard_units,
+    };
+    let _span = vdbench_telemetry::span!(
+        "core",
+        "streamed_scan",
+        tool = tool.name(),
+        units = stream.total_units(),
+        shard_units = shard_units,
+        threads = 1
+    );
+    let mut report = empty_report(tool);
     let mut shard_index: u64 = 0;
     loop {
         let plans = stream.next_plans(shard_units);
         if plans.is_empty() {
             break;
         }
-        let _span = vdbench_telemetry::span!(
-            "core",
-            "scan_shard",
-            index = shard_index,
-            units = plans.len()
-        );
-        let key = manifest_key(tool_fp, fault_fp, shard_units, shard_index);
-        let old: std::collections::BTreeMap<u32, UnitManifestEntry> =
-            cache::disk_get::<Vec<UnitManifestEntry>>("manifest", key)
-                .map(|entries| entries.into_iter().map(|e| (e.index, e)).collect())
-                .unwrap_or_default();
-
-        // Walk the shard in unit order, replaying matches and batching
-        // contiguous misses into materialized runs.
-        let mut entries: Vec<UnitManifestEntry> = Vec::with_capacity(plans.len());
-        let mut pending: Vec<UnitPlan> = Vec::new();
-        let mut rescanned_here: u64 = 0;
-        for plan in &plans {
-            match old.get(&plan.index) {
-                Some(e) if e.fingerprint == plan.fingerprint => {
-                    if !pending.is_empty() {
-                        rescanned_here += pending.len() as u64;
-                        entries.extend(scan_run(tool, &stream, &pending));
-                        pending.clear();
-                    }
-                    entries.push(e.clone());
-                    report.replayed += 1;
-                }
-                _ => pending.push(*plan),
-            }
-        }
-        if !pending.is_empty() {
-            rescanned_here += pending.len() as u64;
-            entries.extend(scan_run(tool, &stream, &pending));
-            pending.clear();
-        }
-        report.rescanned += rescanned_here;
-
-        // Absorb the shard into the O(1) aggregate.
-        for e in &entries {
-            report.sites += e.outcomes.len() as u64;
-            report.confusion = report.confusion
-                + ConfusionMatrix::from_outcomes(
-                    e.outcomes.iter().map(|r| (r.reported, r.vulnerable)),
-                );
-            report.findings += e.findings.len() as u64;
-            for f in &e.findings {
-                if report.preview.len() < PREVIEW_FINDINGS {
-                    report.preview.push(f.clone());
-                }
-            }
-        }
-        report.units += plans.len() as u64;
-        report.shards += 1;
-        if rescanned_here > 0 {
-            cache::disk_put("manifest", key, &entries);
-        }
+        let out = process_shard(&cx, shard_index, &plans);
+        absorb(&mut report, out);
         shard_index += 1;
     }
-    let c = counters();
-    c.rescanned.add(report.rescanned);
-    c.replayed.add(report.replayed);
-    c.shards.add(report.shards);
+    add_to_global_counters(&report);
     report
 }
 
@@ -286,6 +891,8 @@ pub struct ScalePoint {
     pub rescanned: u64,
     /// Units replayed from manifests at this point.
     pub replayed: u64,
+    /// Shards that replayed O(1) from their header digest.
+    pub digest_hits: u64,
 }
 
 /// The `BENCH_scale.json` document: units-vs-wall-time and peak-RSS
@@ -298,6 +905,8 @@ pub struct ScaleRecord {
     pub seed: u64,
     /// Shard size used throughout.
     pub shard_units: u64,
+    /// Shard-worker threads used throughout.
+    pub threads: u64,
     /// Measured curve, ascending unit counts.
     pub points: Vec<ScalePoint>,
     /// Delta rerun: the largest point's corpus grown by `delta_units`,
@@ -317,6 +926,9 @@ pub struct ScaleDelta {
     pub rescanned: u64,
     /// Units replayed from the base run's manifests.
     pub replayed: u64,
+    /// Shards that replayed O(1) from their header digest (every shard
+    /// but the growth tail's, when the base run is warm).
+    pub digest_hits: u64,
     /// Wall-clock time of the delta rerun.
     pub wall_ms: u64,
 }
@@ -326,7 +938,9 @@ mod tests {
     use super::*;
     use crate::cache::set_disk_cache;
     use std::sync::Mutex;
-    use vdbench_detectors::{score_detector, PatternScanner};
+    use vdbench_detectors::{
+        score_detector, FaultConfig, FaultPlan, FaultProfile, FaultyDetector, PatternScanner,
+    };
 
     /// The disk-tier configuration is process-global; serialize the
     /// tests that repoint it.
@@ -339,6 +953,24 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("vdbench-scale-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    /// Blob files of one kind in a store directory.
+    fn blobs_of_kind(dir: &std::path::Path, kind: &str) -> Vec<std::path::PathBuf> {
+        let marker = format!("-{kind}-");
+        std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .map(|e| e.path())
+                    .filter(|p| {
+                        p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| n.contains(&marker))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     #[test]
@@ -362,11 +994,68 @@ mod tests {
             );
             assert_eq!(report.rescanned, 150, "disk off: every unit rescans");
             assert_eq!(report.replayed, 0);
+            assert_eq!(report.digest_hits, 0);
         }
     }
 
     #[test]
-    fn identical_rerun_replays_every_unit() {
+    fn pipelined_scan_matches_serial_oracle() {
+        let _guard = disk_lock();
+        set_disk_cache(None);
+        let clean: Box<dyn Detector> = Box::new(PatternScanner::aggressive());
+        let flaky: Box<dyn Detector> = Box::new(FaultyDetector::new(
+            Box::new(PatternScanner::aggressive()),
+            FaultPlan::new(FaultConfig::new(FaultProfile::Flaky, 0xFA7)),
+        ));
+        for (profile, tool) in [("none", &clean), ("flaky", &flaky)] {
+            let builder = CorpusBuilder::new().units(137).seed(0x9192).clone();
+            for shard_units in [1usize, 13, 64, 137, 4096] {
+                let oracle = streamed_scan_serial(tool.as_ref(), &builder, shard_units);
+                for threads in [1usize, 2, 8] {
+                    let piped =
+                        streamed_scan_with_threads(tool.as_ref(), &builder, shard_units, threads);
+                    assert_eq!(
+                        piped, oracle,
+                        "fault={profile} shard={shard_units} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_scan_matches_serial_oracle_with_warm_store() {
+        let _guard = disk_lock();
+        let dir = tmp_store("pipe-warm");
+        set_disk_cache(Some(dir.clone()));
+        let tool = PatternScanner::aggressive();
+        let base = CorpusBuilder::new().units(100).seed(0xBEA7).clone();
+        let cold = streamed_scan_with_threads(&tool, &base, 16, 4);
+        assert_eq!(
+            (cold.rescanned, cold.replayed, cold.digest_hits),
+            (100, 0, 0)
+        );
+        // Grow the corpus so the warm run mixes digest hits, a partial
+        // per-unit replay and a fresh rescan — on both paths.
+        let grown = CorpusBuilder::new().units(150).seed(0xBEA7).clone();
+        let serial = streamed_scan_serial(&tool, &grown, 16);
+        // The serial warm run rewrote the tail; restore a store where the
+        // pipelined run sees the same starting state.
+        let _ = std::fs::remove_dir_all(&dir);
+        set_disk_cache(Some(dir.clone()));
+        let recold = streamed_scan_with_threads(&tool, &base, 16, 4);
+        assert_eq!(recold.rescanned, 100);
+        let piped = streamed_scan_with_threads(&tool, &grown, 16, 4);
+        assert_eq!(piped, serial);
+        assert_eq!(piped.rescanned, 50);
+        assert_eq!(piped.replayed, 100);
+        assert_eq!(piped.digest_hits, 6, "six of seven base shards digest-hit");
+        set_disk_cache(None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identical_rerun_replays_every_unit_via_digests() {
         let _guard = disk_lock();
         let dir = tmp_store("rerun");
         set_disk_cache(Some(dir.clone()));
@@ -375,9 +1064,14 @@ mod tests {
         let cold = streamed_scan(&tool, &builder, 32);
         assert_eq!(cold.rescanned, 90);
         assert_eq!(cold.replayed, 0);
+        assert_eq!(cold.digest_hits, 0);
         let warm = streamed_scan(&tool, &builder, 32);
         assert_eq!(warm.rescanned, 0, "identical rerun rescans nothing");
         assert_eq!(warm.replayed, 90);
+        assert_eq!(
+            warm.digest_hits, warm.shards,
+            "identical rerun folds every shard from its header"
+        );
         assert_eq!(warm.confusion, cold.confusion);
         assert_eq!(warm.preview, cold.preview);
         assert_eq!(warm.findings, cold.findings);
@@ -386,7 +1080,7 @@ mod tests {
     }
 
     #[test]
-    fn growing_by_k_units_rescans_exactly_k() {
+    fn growing_by_k_units_rescans_exactly_k_and_misses_only_tail_digest() {
         let _guard = disk_lock();
         let dir = tmp_store("delta");
         set_disk_cache(Some(dir.clone()));
@@ -397,6 +1091,10 @@ mod tests {
         let delta = streamed_scan(&tool, &grown, 32);
         assert_eq!(delta.rescanned, 25, "exactly the k new units rescan");
         assert_eq!(delta.replayed, 70);
+        assert_eq!(
+            delta.digest_hits, 2,
+            "only the growth tail's shard misses its digest"
+        );
         // The incremental result matches a from-scratch monolithic scan.
         let whole = score_detector(&tool, &grown.build());
         assert_eq!(delta.confusion, whole.confusion());
@@ -416,7 +1114,139 @@ mod tests {
         let moved = streamed_scan(&tool, &b, 16);
         assert_eq!(moved.rescanned, 40, "new seed, nothing replays");
         assert_eq!(moved.replayed, 0);
+        assert_eq!(moved.digest_hits, 0);
         set_disk_cache(None);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_header_falls_back_to_per_unit_matching_and_heals() {
+        let _guard = disk_lock();
+        let dir = tmp_store("hdrcorrupt");
+        set_disk_cache(Some(dir.clone()));
+        let tool = PatternScanner::aggressive();
+        let builder = CorpusBuilder::new().units(90).seed(0xC0DE).clone();
+        let cold = streamed_scan(&tool, &builder, 32);
+        let headers = blobs_of_kind(&dir, "mhdr");
+        assert_eq!(headers.len(), 3);
+        for path in &headers {
+            std::fs::write(path, b"{not json at all").unwrap();
+        }
+        let fallback = streamed_scan(&tool, &builder, 32);
+        assert_eq!(fallback.rescanned, 0, "entries still match per unit");
+        assert_eq!(fallback.replayed, 90);
+        assert_eq!(fallback.digest_hits, 0, "no header, no O(1) path");
+        assert_eq!(fallback.confusion, cold.confusion);
+        assert_eq!(fallback.preview, cold.preview);
+        // The full-coverage fallback republished the headers...
+        let healed = streamed_scan(&tool, &builder, 32);
+        assert_eq!(healed.digest_hits, 3, "headers healed on the previous run");
+        assert_eq!(healed.confusion, cold.confusion);
+        set_disk_cache(None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_rescans_its_shard_without_failing() {
+        let _guard = disk_lock();
+        let dir = tmp_store("mancorrupt");
+        set_disk_cache(Some(dir.clone()));
+        let tool = PatternScanner::aggressive();
+        let builder = CorpusBuilder::new().units(90).seed(0x5EED).clone();
+        let cold = streamed_scan(&tool, &builder, 32);
+        // Destroy shard 0's manifest *and* header: the digest must not
+        // rescue a shard whose entries are gone, and the scan must not
+        // fail — it rescans exactly that shard.
+        assert_eq!(blobs_of_kind(&dir, "manifest").len(), 3);
+        let victim_key = format!("{:016x}", manifest_key(tool_fingerprint(&tool), 0, 32, 0));
+        let victim_blob = |kind: &str| {
+            blobs_of_kind(&dir, kind)
+                .into_iter()
+                .find(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.contains(&victim_key))
+                })
+                .expect("shard 0 blob exists")
+        };
+        std::fs::write(victim_blob("manifest"), [0xFFu8; 7]).unwrap();
+        std::fs::remove_file(victim_blob("mhdr")).unwrap();
+        let partial = streamed_scan(&tool, &builder, 32);
+        assert_eq!(partial.rescanned, 32, "only the corrupted shard rescans");
+        assert_eq!(partial.replayed, 58);
+        assert_eq!(partial.digest_hits, 2);
+        assert_eq!(partial.confusion, cold.confusion);
+        assert_eq!(partial.findings, cold.findings);
+        set_disk_cache(None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_codec_roundtrips_and_rejects_corruption() {
+        let _guard = disk_lock();
+        set_disk_cache(None);
+        let tool = PatternScanner::aggressive();
+        let builder = CorpusBuilder::new().units(24).seed(0xC0DEC).clone();
+        let mut stream = builder.stream();
+        let cx = ShardScanContext {
+            tool: &tool,
+            mat: stream.materializer(),
+            tool_fp: tool_fingerprint(&tool),
+            fault_fp: 0,
+            shard_units: 24,
+        };
+        let plans = stream.next_plans(24);
+        let mut entries = ShardEntries::with_capacity(plans.len());
+        scan_run_into(&cx, &plans, &mut entries);
+        assert_eq!(entries.len(), 24);
+        assert!(!entries.outcomes.is_empty());
+        let bytes = encode_entries(&entries);
+        assert_eq!(decode_entries(&bytes).as_ref(), Some(&entries));
+
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0x55;
+        assert_eq!(decode_entries(&bad), None);
+        // Truncation anywhere must be a miss, never a panic.
+        for cut in [0, 7, 12, 19, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert_eq!(decode_entries(&bytes[..cut]), None, "cut at {cut}");
+        }
+        // Trailing garbage.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(decode_entries(&padded), None);
+        // Out-of-range enum code in the first outcome's class byte.
+        let mut bad_enum = bytes.clone();
+        let class_at = 20 + entries.len() * 20 + 10;
+        bad_enum[class_at] = 0xEE;
+        assert_eq!(decode_entries(&bad_enum), None);
+    }
+
+    #[test]
+    fn replayed_entries_reencode_identically() {
+        // A shard rebuilt from replayed entries must publish the same
+        // bytes a fresh scan would — otherwise partial replays would
+        // churn the store.
+        let _guard = disk_lock();
+        set_disk_cache(None);
+        let tool = PatternScanner::aggressive();
+        let builder = CorpusBuilder::new().units(30).seed(0xAB).clone();
+        let mut stream = builder.stream();
+        let cx = ShardScanContext {
+            tool: &tool,
+            mat: stream.materializer(),
+            tool_fp: tool_fingerprint(&tool),
+            fault_fp: 0,
+            shard_units: 30,
+        };
+        let plans = stream.next_plans(30);
+        let mut fresh = ShardEntries::with_capacity(plans.len());
+        scan_run_into(&cx, &plans, &mut fresh);
+        let mut replayed = ShardEntries::with_capacity(plans.len());
+        for i in 0..fresh.len() {
+            replayed.push_replayed(&fresh, i);
+        }
+        assert_eq!(replayed, fresh);
+        assert_eq!(encode_entries(&replayed), encode_entries(&fresh));
     }
 }

@@ -27,6 +27,27 @@ fn fnv1a_64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Continues an FNV-1a state over the decimal digits of `n` — the bytes
+/// `format!("{n}")` would append, without the allocation.
+fn fold_decimal(mut h: u64, n: u64) -> u64 {
+    let mut buf = [0u8; 20];
+    let mut pos = buf.len();
+    let mut rest = n;
+    loop {
+        pos -= 1;
+        buf[pos] = b'0' + (rest % 10) as u8;
+        rest /= 10;
+        if rest == 0 {
+            break;
+        }
+    }
+    for &b in &buf[pos..] {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Folds every generator knob *except the unit count* into one hash, so a
 /// grown corpus keeps the fingerprints of its existing units.
 fn config_fingerprint(b: &CorpusBuilder) -> u64 {
@@ -65,6 +86,53 @@ pub struct UnitPlan {
     pub fingerprint: u64,
 }
 
+/// Materializes planned units without holding the stream cursor.
+///
+/// A [`CorpusStream`] is a *cursor* — `next_plans` mutates the parent RNG
+/// — but materialization is a pure function of the plans and the builder
+/// configuration. Splitting the two lets a pipelined scanner keep one
+/// producer walking the plan sequence while worker threads materialize
+/// shards concurrently: the materializer owns only immutable builder
+/// state, so it is `Send + Sync` and shareable by reference across a
+/// thread scope.
+#[derive(Debug, Clone)]
+pub struct UnitMaterializer {
+    builder: CorpusBuilder,
+}
+
+impl UnitMaterializer {
+    /// Materializes a contiguous run of plans as a shard whose site ids
+    /// stay global ([`Corpus::unit_base`] = the first plan's index) —
+    /// bit-identical to [`CorpusStream::materialize`] on the same plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plans are not index-contiguous.
+    pub fn materialize(&self, plans: &[UnitPlan]) -> Corpus {
+        materialize_with(&self.builder, plans)
+    }
+}
+
+/// Shared materialization body behind [`UnitMaterializer::materialize`]
+/// and [`CorpusStream::materialize`].
+fn materialize_with(builder: &CorpusBuilder, plans: &[UnitPlan]) -> Corpus {
+    let base = plans.first().map_or(0, |p| p.index);
+    let mut units = Vec::with_capacity(plans.len());
+    let mut sites = Vec::with_capacity(plans.len());
+    for (offset, plan) in plans.iter().enumerate() {
+        assert_eq!(
+            plan.index as usize,
+            base as usize + offset,
+            "materialize requires index-contiguous plans"
+        );
+        let mut rng = SeededRng::new(plan.seed);
+        let (unit, info) = builder.generate_unit(plan.index, &mut rng);
+        units.push(unit);
+        sites.push(info);
+    }
+    Corpus::from_shard(units, sites, builder.seed, base)
+}
+
 /// On-demand generator over a [`CorpusBuilder`]'s unit sequence.
 ///
 /// ```
@@ -86,6 +154,12 @@ pub struct CorpusStream {
     parent: SeededRng,
     next: usize,
     config_fp: u64,
+    /// FNV-1a state over the shared `"unit-"` label prefix: `next_plans`
+    /// finishes each per-unit label hash by folding only the decimal
+    /// digits of the index, sparing the `format!` allocation the
+    /// monolithic `build()` loop pays per unit (bit-identical seeds — see
+    /// `SeededRng::split_seed_hashed`).
+    label_state: u64,
 }
 
 impl CorpusStream {
@@ -97,6 +171,15 @@ impl CorpusStream {
             parent,
             next: 0,
             config_fp,
+            label_state: fnv1a_64(b"unit-"),
+        }
+    }
+
+    /// A [`UnitMaterializer`] for this stream's builder configuration —
+    /// the thread-safe half of the plan/materialize split.
+    pub fn materializer(&self) -> UnitMaterializer {
+        UnitMaterializer {
+            builder: self.builder.clone(),
         }
     }
 
@@ -124,7 +207,8 @@ impl CorpusStream {
         let mut plans = Vec::with_capacity(take);
         for _ in 0..take {
             let i = self.next;
-            let seed = self.parent.split_seed(&format!("unit-{i}"));
+            let label_hash = fold_decimal(self.label_state, i as u64);
+            let seed = self.parent.split_seed_hashed(label_hash);
             plans.push(UnitPlan {
                 index: i as u32,
                 seed,
@@ -237,6 +321,52 @@ mod tests {
         for (a, b) in base.iter().zip(&noisier) {
             assert_eq!(a.seed, b.seed, "unit seeds depend only on the seed");
             assert_ne!(a.fingerprint, b.fingerprint, "unit {}", a.index);
+        }
+    }
+
+    #[test]
+    fn plan_labels_match_the_allocating_formula() {
+        // The digit-folding fast path must draw the exact seeds the
+        // `build()` loop derives from `format!("unit-{i}")` labels —
+        // including multi-digit and zero indices.
+        let builder = CorpusBuilder::new().units(1203).seed(0xFA57);
+        let mut parent = SeededRng::new(0xFA57);
+        let plans = builder.stream().next_plans(1203);
+        for (i, plan) in plans.iter().enumerate() {
+            assert_eq!(
+                plan.seed,
+                parent.split_seed(&format!("unit-{i}")),
+                "unit {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn materializer_matches_stream_and_is_thread_safe() {
+        fn assert_thread_safe<T: Send + Sync>() {}
+        assert_thread_safe::<UnitMaterializer>();
+        assert_thread_safe::<UnitPlan>();
+        fn assert_send<T: Send>() {}
+        assert_send::<CorpusStream>();
+
+        let builder = CorpusBuilder::new().units(40).seed(0x31A7);
+        let mut stream = builder.stream();
+        let mat = stream.materializer();
+        let plans = stream.next_plans(40);
+        assert_eq!(
+            mat.materialize(&plans[8..24]),
+            stream.materialize(&plans[8..24])
+        );
+        // Workers materialize concurrently from one shared materializer.
+        let shards: Vec<Corpus> = std::thread::scope(|s| {
+            let handles: Vec<_> = plans
+                .chunks(10)
+                .map(|chunk| s.spawn(|| mat.materialize(chunk)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, shard) in shards.iter().enumerate() {
+            assert_eq!(*shard, stream.materialize(&plans[i * 10..(i + 1) * 10]));
         }
     }
 

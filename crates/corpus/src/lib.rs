@@ -51,7 +51,7 @@ pub mod types;
 pub use ast::{Expr, Function, SiteId, Stmt, Unit};
 pub use compile::{CompiledUnit, InterpScratch};
 pub use corpus::{AttackSession, Corpus, CorpusStats, SiteInfo};
-pub use generator::stream::{CorpusStream, UnitPlan};
+pub use generator::stream::{CorpusStream, UnitMaterializer, UnitPlan};
 pub use generator::CorpusBuilder;
 pub use interp::{Interpreter, Request, SinkObservation};
 pub use types::{FlowShape, SanitizerKind, SinkKind, SourceKind, VulnClass};

@@ -49,6 +49,14 @@ impl DetectionOutcome {
         &self.records
     }
 
+    /// Consumes the outcome, yielding its records without cloning — the
+    /// manifest-building path of the streamed scanner stores every record
+    /// of every shard, so per-record clones would dominate its allocation
+    /// profile.
+    pub fn into_records(self) -> Vec<SiteOutcome> {
+        self.records
+    }
+
     /// Pooled confusion matrix over all cases.
     pub fn confusion(&self) -> ConfusionMatrix {
         ConfusionMatrix::from_outcomes(self.records.iter().map(|r| (r.reported, r.vulnerable)))

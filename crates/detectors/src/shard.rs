@@ -8,6 +8,14 @@
 //! is structural, not coincidental: the monolithic fault path is itself
 //! implemented as this driver over a single shard.
 //!
+//! The same schedule-independence discipline carries over to the
+//! *pipelined* streamed scanner (`vdbench_core::streamed_scan`), which
+//! scans whole shards on concurrent worker threads: every per-unit fault
+//! decision ([`fault`]) is keyed on the **global** unit id, never on
+//! visit order or thread identity, so a shard's findings are identical
+//! whether it is scanned serially, in this driver's attempt loop, or on
+//! an arbitrary worker of the parallel pipeline.
+//!
 //! Invariants the driver maintains:
 //!
 //! * **Scan-level faults roll once.** [`Detector::begin_scan`] is keyed

@@ -208,9 +208,21 @@ pub fn load_dir(dir: &Path) -> io::Result<Vec<RunEntry>> {
 /// Propagates filesystem and parse errors; on error no file is replaced
 /// mid-way (each file is swapped only after its tmp write succeeds).
 pub fn rebaseline(dir: &Path, note: &str) -> io::Result<usize> {
+    rebaseline_source(dir, note, None)
+}
+
+/// [`rebaseline`] restricted to one source ledger: only the
+/// `<source>.jsonl` file is touched, every other series keeps its
+/// baseline. `source = None` re-baselines everything.
+///
+/// # Errors
+///
+/// Same contract as [`rebaseline`].
+pub fn rebaseline_source(dir: &Path, note: &str, source: Option<&str>) -> io::Result<usize> {
     let mut files: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.extension().map(|x| x == "jsonl").unwrap_or(false))
+        .filter(|p| source.is_none_or(|s| p.file_stem().and_then(|n| n.to_str()) == Some(s)))
         .collect();
     files.sort();
     let mut updated = 0usize;

@@ -26,4 +26,6 @@ pub mod ledger;
 pub mod render;
 
 pub use analyze::{analyze, Analysis, Config, SeriesReport, Verdict};
-pub use ledger::{append_entry, env_dir, load_dir, now_ms, rebaseline, RunEntry, Series};
+pub use ledger::{
+    append_entry, env_dir, load_dir, now_ms, rebaseline, rebaseline_source, RunEntry, Series,
+};

@@ -76,7 +76,17 @@ impl SeededRng {
             h ^= u64::from(byte);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        h ^ self.inner.next_u64()
+        self.split_seed_hashed(h)
+    }
+
+    /// [`split_seed`](Self::split_seed) for a label whose FNV-1a hash the
+    /// caller computed itself — `split_seed_hashed(fnv1a(label))` is
+    /// bit-identical to `split_seed(label)` and consumes the same single
+    /// parent draw. This is the allocation-free path for hot label
+    /// families like `"unit-{i}"`, where the caller can hash the shared
+    /// prefix once and fold only the digits per call.
+    pub fn split_seed_hashed(&mut self, label_hash: u64) -> u64 {
+        label_hash ^ self.inner.next_u64()
     }
 
     /// Uniform sample in `[0, 1)`.
@@ -300,6 +310,21 @@ mod tests {
         let mut b = SeededRng::new(123);
         for _ in 0..100 {
             assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn split_seed_hashed_matches_split_seed() {
+        let mut a = SeededRng::new(0xFEED);
+        let mut b = SeededRng::new(0xFEED);
+        for i in 0..50u64 {
+            let label = format!("unit-{i}");
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in label.bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            assert_eq!(a.split_seed(&label), b.split_seed_hashed(h), "unit {i}");
         }
     }
 

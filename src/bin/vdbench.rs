@@ -119,6 +119,11 @@ const COMMANDS: &[CommandSpec] = &[
                 "DIR",
                 "manifest store for incremental rescans (with --shard-units)"
             ),
+            flag!(
+                "scan-threads",
+                "N",
+                "shard-worker threads for --shard-units (default: rayon pool size)"
+            ),
         ],
         run: cmd_scan,
     },
@@ -164,6 +169,11 @@ const COMMANDS: &[CommandSpec] = &[
                 "perf-history",
                 "DIR",
                 "append this run to the perfwatch ledger in DIR"
+            ),
+            flag!(
+                "scan-threads",
+                "N",
+                "shard-worker threads (default: rayon pool size; 1 = serial oracle)"
             ),
         ],
         run: cmd_scale,
@@ -648,6 +658,15 @@ fn print_scan_report(
     }
 }
 
+/// Parses `--scan-threads`, defaulting to the ambient rayon pool width.
+fn scan_threads(flags: &Flags) -> Result<usize, String> {
+    let threads = flag_usize(flags, "scan-threads", vdbench::core::default_scan_threads())?;
+    if threads == 0 {
+        return Err("--scan-threads must be positive".into());
+    }
+    Ok(threads)
+}
+
 fn cmd_scan(flags: &Flags) -> Result<(), String> {
     let tool_name = flags
         .get("tool")
@@ -671,8 +690,14 @@ fn cmd_scan(flags: &Flags) -> Result<(), String> {
         if let Some(dir) = flags.get("cache-dir") {
             vdbench::core::set_disk_cache(Some(std::path::PathBuf::from(dir)));
         }
+        let threads = scan_threads(flags)?;
         let builder = corpus_builder(flags)?;
-        let report = vdbench::core::streamed_scan(tool.as_ref(), &builder, shard_units);
+        let report = vdbench::core::streamed_scan_with_threads(
+            tool.as_ref(),
+            &builder,
+            shard_units,
+            threads,
+        );
         print_scan_report(
             &report.tool,
             report.sites,
@@ -681,8 +706,8 @@ fn cmd_scan(flags: &Flags) -> Result<(), String> {
             &report.preview,
         );
         eprintln!(
-            "scan: {} units in {} shards, {} rescanned, {} replayed",
-            report.units, report.shards, report.rescanned, report.replayed
+            "scan: {} units in {} shards, {} rescanned, {} replayed, {} digest hits",
+            report.units, report.shards, report.rescanned, report.replayed, report.digest_hits
         );
         return Ok(());
     }
@@ -703,7 +728,7 @@ fn cmd_scan(flags: &Flags) -> Result<(), String> {
 
 fn cmd_scale(flags: &Flags) -> Result<(), String> {
     use std::time::Instant;
-    use vdbench::core::{streamed_scan, ScaleDelta, ScalePoint, ScaleRecord};
+    use vdbench::core::{streamed_scan_with_threads, ScaleDelta, ScalePoint, ScaleRecord};
     let list = flags
         .get("units")
         .map(String::as_str)
@@ -738,6 +763,7 @@ fn cmd_scale(flags: &Flags) -> Result<(), String> {
         return Err("--density must be in [0, 1]".into());
     }
     let delta = flag_usize(flags, "delta", 0)?;
+    let threads = scan_threads(flags)?;
     let cache_dir = flags
         .get("cache-dir")
         .cloned()
@@ -766,17 +792,22 @@ fn cmd_scale(flags: &Flags) -> Result<(), String> {
     let mut points: Vec<ScalePoint> = Vec::new();
     for &n in &sizes {
         let start = Instant::now();
-        let report = streamed_scan(tool.as_ref(), &builder_for(n), shard_units);
+        let report =
+            streamed_scan_with_threads(tool.as_ref(), &builder_for(n), shard_units, threads);
         let wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
         let peak_rss_kb = vdbench::telemetry::peak_rss_kb().unwrap_or(0);
         let c = &report.confusion;
+        // Digest hits stay off stdout: warm hit counts vary with the
+        // shard size, and stdout must diff byte-identically across
+        // shard sizes (and thread counts).
         println!(
             "scale: units={} sites={} tp={} fp={} fn={} tn={} rescanned={} replayed={}",
             report.units, report.sites, c.tp, c.fp, c.fn_, c.tn, report.rescanned, report.replayed
         );
         eprintln!(
-            "  {} shards of {shard_units}: {wall_ms} ms, peak RSS {peak_rss_kb} kB",
-            report.shards
+            "  {} shards of {shard_units} on {threads} thread(s): {wall_ms} ms, peak RSS \
+             {peak_rss_kb} kB, {} digest hits",
+            report.shards, report.digest_hits
         );
         points.push(ScalePoint {
             units: report.units,
@@ -786,6 +817,7 @@ fn cmd_scale(flags: &Flags) -> Result<(), String> {
             peak_rss_kb,
             rescanned: report.rescanned,
             replayed: report.replayed,
+            digest_hits: report.digest_hits,
         });
     }
     let mut delta_record = None;
@@ -793,7 +825,8 @@ fn cmd_scale(flags: &Flags) -> Result<(), String> {
         let base = *sizes.last().expect("sizes is non-empty");
         let grown = base + delta;
         let start = Instant::now();
-        let report = streamed_scan(tool.as_ref(), &builder_for(grown), shard_units);
+        let report =
+            streamed_scan_with_threads(tool.as_ref(), &builder_for(grown), shard_units, threads);
         let wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
         if report.replayed == 0 {
             return Err(format!(
@@ -805,11 +838,16 @@ fn cmd_scale(flags: &Flags) -> Result<(), String> {
             "scale delta: base={base} grown={grown} rescanned={} replayed={}",
             report.rescanned, report.replayed
         );
+        eprintln!(
+            "  delta rerun: {wall_ms} ms, {} digest hits",
+            report.digest_hits
+        );
         delta_record = Some(ScaleDelta {
             base_units: base as u64,
             grown_units: grown as u64,
             rescanned: report.rescanned,
             replayed: report.replayed,
+            digest_hits: report.digest_hits,
             wall_ms,
         });
     }
@@ -817,6 +855,7 @@ fn cmd_scale(flags: &Flags) -> Result<(), String> {
         tool: tool.name(),
         seed,
         shard_units: shard_units as u64,
+        threads: threads as u64,
         points,
         delta: delta_record,
     };
@@ -894,6 +933,17 @@ fn append_scale_history(
             ));
         }
     }
+    if let Some(d) = &record.delta {
+        // The warm incremental rerun is the latency the digest replay
+        // path exists to protect — gate it.
+        series.push(Series::delta(
+            "warm_delta_ms",
+            "ms",
+            "lower",
+            true,
+            vec![d.wall_ms as f64],
+        ));
+    }
     let entry = RunEntry {
         source: "scale".to_string(),
         unix_ms: now_ms(),
@@ -925,10 +975,14 @@ fn cmd_perfwatch(flags: &Flags) -> Result<(), String> {
                 .get("note")
                 .cloned()
                 .unwrap_or_else(|| "re-baselined via vdbench perfwatch update".to_string());
-            let flipped = vdbench_perfwatch::rebaseline(&dir, &note)
+            let source = flags.get("source").map(String::as_str);
+            let flipped = vdbench_perfwatch::rebaseline_source(&dir, &note, source)
                 .map_err(|e| format!("cannot re-baseline {}: {e}", dir.display()))?;
             if flipped == 0 {
-                return Err(format!("no history to re-baseline in {}", dir.display()));
+                return Err(match source {
+                    Some(s) => format!("no `{s}` history to re-baseline in {}", dir.display()),
+                    None => format!("no history to re-baseline in {}", dir.display()),
+                });
             }
             println!(
                 "re-baselined {flipped} ledger file(s) in {} ({note})",

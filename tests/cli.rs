@@ -55,6 +55,7 @@ fn help_lists_every_command_and_its_flags() {
         "--alpha F",
         "--min-effect F",
         "--perf-history DIR",
+        "--scan-threads N",
     ] {
         assert!(stdout.contains(flag), "{flag} missing from help");
     }
@@ -80,6 +81,24 @@ fn sharded_scan_stdout_is_byte_identical() {
     assert_eq!(code, Some(0));
     assert_eq!(mono, sharded, "streamed path must not move a byte");
     assert!(stderr.contains("90 units in 6 shards"), "{stderr}");
+    // The parallel pipeline must not move a byte either, at any width.
+    for threads in ["2", "8"] {
+        let (piped, _, code) = vdbench(&[
+            "scan",
+            "--tool",
+            "pattern",
+            "--units",
+            "90",
+            "--seed",
+            "3",
+            "--shard-units",
+            "16",
+            "--scan-threads",
+            threads,
+        ]);
+        assert_eq!(code, Some(0));
+        assert_eq!(mono, piped, "{threads} scan threads moved a byte");
+    }
     // Streaming regenerates; it cannot apply to a saved corpus file.
     let (_, stderr, code) = vdbench(&[
         "scan",
@@ -92,6 +111,41 @@ fn sharded_scan_stdout_is_byte_identical() {
     ]);
     assert_eq!(code, Some(1));
     assert!(stderr.contains("cannot be combined"), "{stderr}");
+}
+
+#[test]
+fn warm_sharded_scan_replays_whole_shards_from_digests() {
+    let dir = std::env::temp_dir().join(format!("vdbench-cli-digest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("cache");
+    let args = [
+        "scan",
+        "--tool",
+        "pattern",
+        "--units",
+        "90",
+        "--seed",
+        "3",
+        "--shard-units",
+        "16",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+    ];
+    let (cold, cold_err, code) = vdbench(&args);
+    assert_eq!(code, Some(0));
+    assert!(
+        cold_err.contains("90 rescanned, 0 replayed, 0 digest hits"),
+        "{cold_err}"
+    );
+    let (warm, warm_err, code) = vdbench(&args);
+    assert_eq!(code, Some(0));
+    assert_eq!(cold, warm, "warm replay must not move a byte");
+    assert!(
+        warm_err.contains("0 rescanned, 90 replayed, 6 digest hits"),
+        "{warm_err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -389,12 +443,27 @@ fn perfwatch_gates_an_injected_regression_end_to_end() {
     assert!(table.contains("kendall-512:speedup"), "{table}");
     assert!(table.contains("REGRESSION"), "{table}");
 
-    // Re-baselining on purpose accepts the new level...
+    // Re-baselining on purpose accepts the new level. A second source's
+    // ledger sits alongside; `--source` must leave it untouched.
+    append_entry(
+        &dir,
+        &RunEntry {
+            source: "scale".to_string(),
+            unix_ms: 0,
+            label: "seed".to_string(),
+            provenance: String::new(),
+            baseline: true,
+            series: vec![Series::delta("wall_ms", "ms", "lower", false, vec![100.0])],
+        },
+    )
+    .unwrap();
     let (stdout, _, code) = vdbench(&[
         "perfwatch",
         "update",
         "--history",
         dir_str,
+        "--source",
+        "kernels",
         "--note",
         "accepted slower kernel",
     ]);
@@ -403,6 +472,19 @@ fn perfwatch_gates_an_injected_regression_end_to_end() {
     // ...and the recorded provenance note survives in the ledger.
     let ledger = std::fs::read_to_string(dir.join("kernels.jsonl")).unwrap();
     assert!(ledger.contains("accepted slower kernel"), "{ledger}");
+    let other = std::fs::read_to_string(dir.join("scale.jsonl")).unwrap();
+    assert!(!other.contains("accepted slower kernel"), "{other}");
+    // A source with no ledger is a clean failure, not a silent no-op.
+    let (_, stderr, code) = vdbench(&[
+        "perfwatch",
+        "update",
+        "--history",
+        dir_str,
+        "--source",
+        "nope",
+    ]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("no `nope` history"), "{stderr}");
     let (stdout, _, code) = vdbench(&[
         "perfwatch",
         "check",
